@@ -1,0 +1,47 @@
+// Ablation (Section 4.3 design choice): the paper estimates unknown picture
+// sizes with S_{j-N}, exploiting the repeating pattern. How much does the
+// estimator matter? Compare, on every sequence at the paper's operating
+// point:
+//   * pattern        — the paper's S_{j-N};
+//   * oracle         — perfect knowledge (upper bound on estimator quality);
+//   * last-same-type — nearest arrived same-type picture (no pattern
+//                      arithmetic);
+//   * type-mean      — running per-type mean (washes out scene changes).
+// Theorem 1 holds for all of them; the measures quantify the quality gap.
+#include "bench_util.h"
+
+#include "core/theorem.h"
+
+int main() {
+  using namespace lsm;
+  bench::banner("Ablation: size estimator choice (K=1, H=N, D=0.2)");
+
+  for (const trace::Trace& t : trace::paper_sequences()) {
+    std::printf("\n# %s\n", t.name().c_str());
+    std::printf("%-16s %12s %12s %14s %14s %10s\n", "estimator", "area_diff",
+                "rate_changes", "max_rate_Mbps", "sd_rate_Mbps", "delay_ok");
+    const core::SmootherParams params = bench::paper_params(t);
+
+    const core::PatternEstimator pattern(t);
+    const core::OracleEstimator oracle(t);
+    const core::LastSameTypeEstimator last(t);
+    const core::TypeMeanEstimator mean(t);
+    const core::PhaseEwmaEstimator ewma(t);
+    for (const core::SizeEstimator* estimator :
+         {static_cast<const core::SizeEstimator*>(&pattern),
+          static_cast<const core::SizeEstimator*>(&oracle),
+          static_cast<const core::SizeEstimator*>(&last),
+          static_cast<const core::SizeEstimator*>(&mean),
+          static_cast<const core::SizeEstimator*>(&ewma)}) {
+      const core::SmoothingResult result = core::smooth(t, params, *estimator);
+      const core::SmoothnessMetrics metrics = core::evaluate(result, t);
+      const core::TheoremReport report = core::check_theorem1(result, t);
+      std::printf("%-16s %12.4f %12d %14.4f %14.4f %10s\n",
+                  estimator->name().c_str(), metrics.area_difference,
+                  metrics.rate_changes, metrics.max_rate / 1e6,
+                  metrics.rate_stddev / 1e6,
+                  report.delay_bound_ok ? "yes" : "NO");
+    }
+  }
+  return 0;
+}

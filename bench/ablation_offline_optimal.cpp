@@ -1,0 +1,34 @@
+// Contrast with the a-priori-knowledge baseline (Ott et al. [8], modeled as
+// the taut-string offline-optimal schedule, see core/optimal.h): how much
+// peak rate and variability does the paper's causal algorithm give up by
+// knowing only K = 1 pictures ahead?
+//
+// Expected shape: the causal algorithm's peak is close to (and never below)
+// the offline optimum, with the gap shrinking as D grows — the paper's
+// argument that a priori knowledge is unnecessary in practice.
+#include "bench_util.h"
+
+#include "core/optimal.h"
+
+int main() {
+  using namespace lsm;
+  bench::banner("Ablation: basic algorithm vs offline-optimal (taut string)");
+
+  for (const trace::Trace& t : trace::paper_sequences()) {
+    std::printf("\n# %s (mean %.2f Mbps)\n", t.name().c_str(),
+                t.mean_rate() / 1e6);
+    std::printf("%8s %16s %16s %10s %16s\n", "D(s)", "basic_peak_Mbps",
+                "optimal_peak", "ratio", "optimal_maxdelay");
+    for (const double d : {0.07, 0.1, 0.1333, 0.2, 0.3}) {
+      core::SmootherParams params = bench::paper_params(t);
+      params.D = d;
+      const core::SmoothingResult basic = core::smooth_basic(t, params);
+      const core::OptimalResult optimal = core::smooth_offline_optimal(t, d);
+      const double basic_peak = basic.schedule().max_rate();
+      std::printf("%8.4f %16.4f %16.4f %10.3f %16.4f\n", d, basic_peak / 1e6,
+                  optimal.peak_rate / 1e6, basic_peak / optimal.peak_rate,
+                  optimal.max_delay());
+    }
+  }
+  return 0;
+}

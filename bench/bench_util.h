@@ -1,0 +1,44 @@
+// Shared helpers for the figure/table benches: every bench regenerates one
+// table or figure of the paper's evaluation section (see DESIGN.md,
+// experiment index) and prints its rows to stdout.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/metrics.h"
+#include "core/smoother.h"
+#include "trace/sequences.h"
+
+namespace lsm::bench {
+
+/// The paper's standard parameter set for a sequence: K = 1, H = N, D = 0.2.
+inline core::SmootherParams paper_params(const trace::Trace& trace) {
+  core::SmootherParams params;
+  params.K = 1;
+  params.H = trace.pattern().N();
+  params.D = 0.2;
+  params.tau = trace.tau();
+  return params;
+}
+
+/// Prints one row of the four smoothness measures.
+inline void print_measures_header(const char* x_label) {
+  std::printf("%10s %12s %12s %14s %14s\n", x_label, "area_diff",
+              "rate_changes", "max_rate_Mbps", "sd_rate_Mbps");
+}
+
+inline void print_measures_row(double x, const core::SmoothnessMetrics& m) {
+  std::printf("%10.4f %12.4f %12d %14.4f %14.4f\n", x, m.area_difference,
+              m.rate_changes, m.max_rate / 1e6, m.rate_stddev / 1e6);
+}
+
+/// Banner naming the figure being regenerated.
+inline void banner(const std::string& title) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("==============================================================\n");
+}
+
+}  // namespace lsm::bench

@@ -1,0 +1,57 @@
+// Buffer sizing study (system model, Figure 1): how much memory does
+// smoothing cost at the sender, and how much playout buffer does the
+// receiver need, as functions of the delay bound D? Not a figure in the
+// paper, but the engineering question its delay bound directly answers:
+// D bounds the sender queue residence time, so both buffers scale with D.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/buffer.h"
+#include "core/optimal.h"
+
+int main() {
+  using namespace lsm;
+  bench::banner("Buffer occupancy vs delay bound D (K=1, H=N)");
+
+  for (const trace::Trace& t : trace::paper_sequences()) {
+    std::printf("\n# %s (mean rate %.2f Mbps)\n", t.name().c_str(),
+                t.mean_rate() / 1e6);
+    std::printf("%8s %16s %16s %16s\n", "D(s)", "sender_max_kbit",
+                "sender_mean_kbit", "receiver_max_kbit");
+    for (const double d : {0.07, 0.1, 0.1333, 0.2, 0.3, 0.5}) {
+      core::SmootherParams params = bench::paper_params(t);
+      params.D = d;
+      const core::SmoothingResult result = core::smooth_basic(t, params);
+      const core::BufferAnalysis analysis =
+          core::analyze_buffers(t, result, 0.0, d);
+      std::printf("%8.4f %16.1f %16.1f %16.1f\n", d,
+                  analysis.max_sender_bits / 1e3,
+                  analysis.mean_sender_bits / 1e3,
+                  analysis.max_receiver_bits / 1e3);
+    }
+  }
+  std::printf("\nExpected shape: both buffers grow roughly linearly with D "
+              "(about D seconds' worth of the stream's rate).\n");
+
+  // Peak-rate vs receiver-buffer tradeoff: the buffer-constrained
+  // offline-optimal schedule (the corridor formulation that followed the
+  // paper). A small client buffer forces the channel peak back toward the
+  // unsmoothed requirement.
+  bench::banner("Peak rate vs receiver buffer (offline optimal, D=0.3)");
+  for (const trace::Trace& t : trace::paper_sequences()) {
+    double largest = 0.0;
+    for (int i = 1; i <= t.picture_count(); ++i) {
+      largest = std::max(largest, static_cast<double>(t.size_of(i)));
+    }
+    std::printf("\n# %s (largest picture %.0f kbit)\n", t.name().c_str(),
+                largest / 1e3);
+    std::printf("%18s %16s\n", "buffer(kbit)", "peak_Mbps");
+    for (const double factor : {1.05, 1.5, 2.0, 4.0, 8.0, 1e6}) {
+      const core::OptimalResult result = core::smooth_offline_optimal_buffered(
+          t, 0.3, largest * factor, 0.3);
+      std::printf("%18.0f %16.4f\n", largest * factor / 1e3,
+                  result.peak_rate / 1e6);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,40 @@
+// CBR-with-startup-delay vs lossless smoothing: the two classical service
+// models for stored/live video. For each sequence:
+//   * the (rate, startup delay) frontier of CBR transmission;
+//   * where the paper's operating point (K=1, H=N, D=0.2) sits against it.
+// CBR at equal delay has a lower PEAK (it exploits unlimited client
+// buffering and whole-trace knowledge) but reserves that rate for the whole
+// session and needs the startup delay; the smoother transmits at scene
+// rate, needs ~D of buffer at each end, and is causal.
+#include "bench_util.h"
+
+#include "core/cbr.h"
+#include "core/optimal.h"
+
+int main() {
+  using namespace lsm;
+  bench::banner("CBR startup-delay frontier vs lossless smoothing");
+
+  for (const trace::Trace& t : trace::paper_sequences()) {
+    std::printf("\n# %s (mean %.2f Mbps)\n", t.name().c_str(),
+                t.mean_rate() / 1e6);
+    std::printf("%12s %14s %18s\n", "delay(s)", "cbr_Mbps",
+                "cbr_rate/mean");
+    for (const double d : {0.1, 0.1333, 0.2, 0.3, 0.5, 1.0, 2.0}) {
+      const core::Rate rate = core::min_cbr_rate(t, d);
+      std::printf("%12.3f %14.4f %18.2f\n", d, rate / 1e6,
+                  rate / t.mean_rate());
+    }
+    const core::SmoothingResult smoothed =
+        core::smooth_basic(t, bench::paper_params(t));
+    const double peak = smoothed.schedule().max_rate();
+    std::printf("  smoothing @ D=0.2: peak %.4f Mbps (%.2fx mean), "
+                "CBR at same delay: %.4f Mbps reserved for the session\n",
+                peak / 1e6, peak / t.mean_rate(),
+                core::min_cbr_rate(t, 0.2) / 1e6);
+  }
+  std::printf("\nExpected shape: the CBR frontier falls steeply with delay; "
+              "at D=0.2 the CBR reservation exceeds the stream's mean by "
+              "15-40%%, capacity a multiplexed VBR service recovers.\n");
+  return 0;
+}

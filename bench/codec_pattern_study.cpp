@@ -1,0 +1,70 @@
+// Coding-pattern study: how the encoder's (N, M) choice shapes the
+// smoothing problem. One synthetic video is encoded under several GOP
+// structures; for each we report bit cost, quality, the I/B size spread
+// (the thing smoothing exists to absorb), and the paper's smoothness
+// measures at the standard operating point.
+//
+// Expected shape: all-intra (N=1) costs several times the bits but has
+// almost nothing to smooth; long GOPs (N=12) are cheapest and burstiest;
+// the paper's N=9/M=3 sits in between — interframe coding creates exactly
+// the picture-scale burstiness the smoothing algorithm then removes.
+#include <cstdio>
+
+#include "core/metrics.h"
+#include "core/smoother.h"
+#include "core/theorem.h"
+#include "mpeg/encoder.h"
+#include "mpeg/videogen.h"
+#include "trace/stats.h"
+
+int main() {
+  using namespace lsm;
+  std::printf("==============================================================\n");
+  std::printf("Codec pattern study: (N, M) vs rate, quality, and smoothness\n");
+  std::printf("==============================================================\n");
+
+  mpeg::VideoConfig video_config;
+  video_config.width = 192;
+  video_config.height = 112;
+  video_config.scenes = {mpeg::VideoScene{36, 1.1, 0.5},
+                         mpeg::VideoScene{36, 0.9, 0.25}};
+  video_config.seed = 88;
+  const std::vector<mpeg::Frame> video = mpeg::generate_video(video_config);
+
+  std::printf("\n%-14s %10s %8s %8s %8s %14s %12s\n", "pattern", "kbits",
+              "PSNR", "I/B", "pk/mean", "smoothed_max", "rate_changes");
+  for (const auto& [n, m] : {std::pair{1, 1}, {4, 1}, {6, 2}, {9, 3},
+                             {12, 3}, {12, 4}}) {
+    mpeg::EncoderConfig config;
+    config.pattern = trace::GopPattern(n, m);
+    const mpeg::EncodeResult encoded = mpeg::Encoder(config).encode(video);
+    const trace::Trace t = encoded.display_trace("study");
+    const trace::TraceStats stats = trace::compute_stats(t);
+
+    double psnr = 0.0;
+    for (const mpeg::EncodedPicture& picture : encoded.pictures) {
+      psnr += picture.psnr_y;
+    }
+    psnr /= static_cast<double>(encoded.pictures.size());
+
+    core::SmootherParams params;
+    params.tau = t.tau();
+    params.D = 0.2;
+    params.H = n;
+    const core::SmoothingResult result = core::smooth_basic(t, params);
+    const core::SmoothnessMetrics metrics = core::evaluate(result, t);
+    const core::TheoremReport report = core::check_theorem1(result, t);
+
+    std::printf("%-14s %10.0f %8.1f %8.2f %8.2f %13.3fM %12d%s\n",
+                t.pattern().to_string().c_str(),
+                static_cast<double>(t.total_bits()) / 1e3, psnr,
+                stats.i_to_b_ratio > 0 ? stats.i_to_b_ratio : 1.0,
+                stats.peak_to_mean, metrics.max_rate / 1e6,
+                metrics.rate_changes,
+                report.all_ok() ? "" : "  THEOREM-VIOLATION");
+  }
+  std::printf("\nExpected shape: bits fall and burstiness (I/B, peak/mean) "
+              "rises with GOP length; the delay bound holds for every "
+              "pattern.\n");
+  return 0;
+}

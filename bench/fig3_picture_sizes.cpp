@@ -1,0 +1,25 @@
+// Figure 3: picture sizes (bits/picture vs picture number) of the Driving1
+// and Tennis sequences — the raw material of every other experiment. The
+// paper shows two panels; we print all four sequences' series plus the
+// summary statistics that calibrate the synthetic substitution (DESIGN.md).
+#include "bench_util.h"
+#include "trace/stats.h"
+
+int main() {
+  using lsm::bench::banner;
+  banner("Figure 3: MPEG video sequences (bits/picture vs picture number)");
+
+  for (const lsm::trace::Trace& trace : lsm::trace::paper_sequences()) {
+    std::printf("\n# %s  coding pattern %s  %dx%d\n", trace.name().c_str(),
+                trace.pattern().to_string().c_str(), trace.width(),
+                trace.height());
+    std::printf("%s", lsm::trace::to_string(
+                          lsm::trace::compute_stats(trace)).c_str());
+    std::printf("%8s %4s %10s\n", "picture", "type", "bits");
+    for (int i = 1; i <= trace.picture_count(); i += 3) {
+      std::printf("%8d %4c %10lld\n", i, lsm::trace::to_char(trace.type_of(i)),
+                  static_cast<long long>(trace.size_of(i)));
+    }
+  }
+  return 0;
+}

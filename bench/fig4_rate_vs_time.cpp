@@ -1,0 +1,47 @@
+// Figure 4: rate as a function of time for four delay bounds
+// (Driving1, K = 1, H = 9, D in {0.1, 0.2, 0.3, 0.4}), comparing the basic
+// algorithm's r(t) against the ideal-smoothing rate R(t). The paper's
+// qualitative findings to reproduce:
+//   * smoothness improves as D is relaxed;
+//   * the improvement from 0.2 to 0.3 is marginal (D = 0.2 is the sweet
+//     spot);
+//   * the smoothed rate varies between roughly 1 and 3 Mbps, driven by
+//     scene content, not by the I/B size alternation.
+#include "bench_util.h"
+
+#include "core/ideal.h"
+
+int main() {
+  using namespace lsm;
+  bench::banner(
+      "Figure 4: r(t) vs ideal R(t), Driving1, K=1, H=9, four delay bounds");
+
+  const trace::Trace t = trace::driving1();
+  const core::SmoothingResult ideal = core::smooth_ideal(t);
+  const core::RateSchedule ideal_schedule = ideal.schedule();
+
+  std::vector<core::RateSchedule> schedules;
+  const std::vector<double> bounds = {0.1, 0.2, 0.3, 0.4};
+  std::printf("\nsummary:\n");
+  lsm::bench::print_measures_header("D(s)");
+  for (const double d : bounds) {
+    core::SmootherParams params = bench::paper_params(t);
+    params.D = d;
+    params.H = 9;
+    const core::SmoothingResult result = core::smooth_basic(t, params);
+    lsm::bench::print_measures_row(d, core::evaluate(result, t));
+    schedules.push_back(result.schedule());
+  }
+
+  std::printf("\nrate series (Mbps, sampled every 0.1 s; R = ideal):\n");
+  std::printf("%8s %10s %10s %10s %10s %10s\n", "time(s)", "D=0.1", "D=0.2",
+              "D=0.3", "D=0.4", "R(t)");
+  for (double at = 0.0; at <= t.duration() + 0.4; at += 0.1) {
+    std::printf("%8.1f", at);
+    for (const core::RateSchedule& schedule : schedules) {
+      std::printf(" %10.3f", schedule.rate_at(at) / 1e6);
+    }
+    std::printf(" %10.3f\n", ideal_schedule.rate_at(at) / 1e6);
+  }
+  return 0;
+}

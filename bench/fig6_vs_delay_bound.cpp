@@ -1,0 +1,32 @@
+// Figure 6: the four smoothness measures (area difference, number of rate
+// changes, maximum rate, standard deviation of rate) as a function of the
+// delay bound D, for all four sequences (K = 1, H = N).
+//
+// Paper findings to reproduce:
+//   * every measure improves (falls) as D is relaxed;
+//   * Backyard is the easiest sequence to smooth;
+//   * the 640x480 sequences level off at a max smoothed rate near 3 Mbps,
+//     Backyard near 1.5 Mbps;
+//   * the max-rate-vs-D curve is the design tradeoff lossless smoothing
+//     buys.
+#include "bench_util.h"
+
+int main() {
+  using namespace lsm;
+  bench::banner("Figure 6: measures vs delay bound D (K=1, H=N)");
+
+  const std::vector<double> bounds = {0.07, 0.0833, 0.1,    0.1167, 0.1333,
+                                      0.15, 0.1667, 0.2,    0.2333, 0.2667,
+                                      0.3};
+  for (const trace::Trace& t : trace::paper_sequences()) {
+    std::printf("\n# %s\n", t.name().c_str());
+    lsm::bench::print_measures_header("D(s)");
+    for (const double d : bounds) {
+      core::SmootherParams params = bench::paper_params(t);
+      params.D = d;
+      const core::SmoothingResult result = core::smooth_basic(t, params);
+      lsm::bench::print_measures_row(d, core::evaluate(result, t));
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,26 @@
+// Figure 7: the four smoothness measures as a function of the lookahead
+// interval H (D = 0.2, K = 1), all four sequences.
+//
+// Paper findings to reproduce (the Section 4.3 conjecture):
+//   * area difference, SD, and max rate stop improving once H reaches the
+//     pattern length N — estimated sizes beyond one pattern add nothing;
+//   * the number of rate changes INCREASES for H > N.
+#include "bench_util.h"
+
+int main() {
+  using namespace lsm;
+  bench::banner("Figure 7: measures vs lookahead H (D=0.2, K=1)");
+
+  for (const trace::Trace& t : trace::paper_sequences()) {
+    const int n = t.pattern().N();
+    std::printf("\n# %s (N=%d)\n", t.name().c_str(), n);
+    lsm::bench::print_measures_header("H");
+    for (int h = 1; h <= 2 * n; ++h) {
+      core::SmootherParams params = bench::paper_params(t);
+      params.H = h;
+      const core::SmoothingResult result = core::smooth_basic(t, params);
+      lsm::bench::print_measures_row(h, core::evaluate(result, t));
+    }
+  }
+  return 0;
+}

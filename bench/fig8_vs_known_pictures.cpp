@@ -1,0 +1,27 @@
+// Figure 8: the four smoothness measures as a function of K, the number of
+// pictures with known sizes (D = 0.1333 + (K+1)/30 so the slack is constant,
+// H = N), all four sequences.
+//
+// Paper finding to reproduce: smoothness improves only marginally ("barely
+// noticeable") as K grows, while delay grows linearly with K — so K = 1
+// should be used.
+#include "bench_util.h"
+
+int main() {
+  using namespace lsm;
+  bench::banner(
+      "Figure 8: measures vs K (D=0.1333+(K+1)/30, H=N)");
+
+  for (const trace::Trace& t : trace::paper_sequences()) {
+    std::printf("\n# %s\n", t.name().c_str());
+    lsm::bench::print_measures_header("K");
+    for (int k = 1; k <= 12; ++k) {
+      core::SmootherParams params = bench::paper_params(t);
+      params.K = k;
+      params.D = 0.1333 + (k + 1) / 30.0;
+      const core::SmoothingResult result = core::smooth_basic(t, params);
+      lsm::bench::print_measures_row(k, core::evaluate(result, t));
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,174 @@
+// Throughput microbenchmarks (google-benchmark): how fast are the smoother,
+// the offline-optimal solver, the estimators, and the codec primitives? The
+// algorithm must run in real time on 1994 hardware — a picture decision
+// costs O(H) arithmetic — so modern throughput should be millions of
+// pictures per second.
+#include <benchmark/benchmark.h>
+
+#include "core/ideal.h"
+#include "core/optimal.h"
+#include "core/smoother.h"
+#include "core/streaming.h"
+#include "mpeg/dct.h"
+#include "mpeg/encoder.h"
+#include "mpeg/motion.h"
+#include "mpeg/systems.h"
+#include "mpeg/videogen.h"
+#include "net/mux.h"
+#include "net/packetize.h"
+#include "trace/sequences.h"
+
+namespace {
+
+using namespace lsm;
+
+void BM_SmoothBasic(benchmark::State& state) {
+  const trace::Trace t = trace::driving1();
+  core::SmootherParams params;
+  params.tau = t.tau();
+  params.H = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::smooth_basic(t, params));
+  }
+  state.SetItemsProcessed(state.iterations() * t.picture_count());
+}
+BENCHMARK(BM_SmoothBasic)->Arg(1)->Arg(9)->Arg(18);
+
+void BM_SmoothModified(benchmark::State& state) {
+  const trace::Trace t = trace::driving1();
+  core::SmootherParams params;
+  params.tau = t.tau();
+  params.H = 9;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::smooth_modified(t, params));
+  }
+  state.SetItemsProcessed(state.iterations() * t.picture_count());
+}
+BENCHMARK(BM_SmoothModified);
+
+void BM_IdealSmoothing(benchmark::State& state) {
+  const trace::Trace t = trace::driving1();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::smooth_ideal(t));
+  }
+  state.SetItemsProcessed(state.iterations() * t.picture_count());
+}
+BENCHMARK(BM_IdealSmoothing);
+
+void BM_OfflineOptimal(benchmark::State& state) {
+  const trace::Trace t = trace::driving1();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::smooth_offline_optimal(t, 0.2));
+  }
+  state.SetItemsProcessed(state.iterations() * t.picture_count());
+}
+BENCHMARK(BM_OfflineOptimal);
+
+void BM_PatternEstimator(benchmark::State& state) {
+  const trace::Trace t = trace::driving1();
+  const core::PatternEstimator estimator(t);
+  int j = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(estimator.size_at(j, 5.0));
+    j = j % t.picture_count() + 1;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PatternEstimator);
+
+void BM_ForwardDct(benchmark::State& state) {
+  mpeg::Block block;
+  for (std::size_t k = 0; k < 64; ++k) {
+    block[k] = static_cast<std::int16_t>((k * 37) % 255 - 128);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mpeg::forward_dct(block));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ForwardDct);
+
+void BM_EncodeCif(benchmark::State& state) {
+  mpeg::VideoConfig video_config;
+  video_config.width = 176;
+  video_config.height = 144;
+  video_config.scenes = {mpeg::VideoScene{9, 1.0, 0.5}};
+  const std::vector<mpeg::Frame> video = mpeg::generate_video(video_config);
+  mpeg::EncoderConfig config;
+  config.pattern = trace::GopPattern(9, 3);
+  const mpeg::Encoder encoder(config);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(encoder.encode(video));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(video.size()));
+}
+BENCHMARK(BM_EncodeCif)->Unit(benchmark::kMillisecond);
+
+void BM_StreamingSmoother(benchmark::State& state) {
+  const trace::Trace t = trace::driving1();
+  core::SmootherParams params;
+  params.tau = t.tau();
+  params.H = 9;
+  for (auto _ : state) {
+    core::StreamingSmoother streaming(t.pattern(), params);
+    std::int64_t decided = 0;
+    for (int i = 1; i <= t.picture_count(); ++i) {
+      streaming.push(t.size_of(i));
+      decided += static_cast<std::int64_t>(streaming.drain().size());
+    }
+    streaming.finish();
+    decided += static_cast<std::int64_t>(streaming.drain().size());
+    benchmark::DoNotOptimize(decided);
+  }
+  state.SetItemsProcessed(state.iterations() * t.picture_count());
+}
+BENCHMARK(BM_StreamingSmoother);
+
+void BM_HalfPelSearch(benchmark::State& state) {
+  mpeg::VideoConfig config;
+  config.width = 96;
+  config.height = 64;
+  config.scenes = {mpeg::VideoScene{2, 1.0, 0.5}};
+  const std::vector<mpeg::Frame> video = mpeg::generate_video(config);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        mpeg::search_motion_halfpel(video[1], video[0], 2, 1, 7));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HalfPelSearch);
+
+void BM_SystemsMux(benchmark::State& state) {
+  mpeg::VideoConfig video_config;
+  video_config.width = 96;
+  video_config.height = 64;
+  video_config.scenes = {mpeg::VideoScene{18, 1.0, 0.4}};
+  mpeg::EncoderConfig encoder_config;
+  encoder_config.pattern = trace::GopPattern(9, 3);
+  const mpeg::EncodeResult encoded =
+      mpeg::Encoder(encoder_config).encode(mpeg::generate_video(video_config));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mpeg::mux_systems(encoded));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(encoded.stream.size()));
+}
+BENCHMARK(BM_SystemsMux);
+
+void BM_CellMux(benchmark::State& state) {
+  const trace::Trace t = trace::driving1();
+  const std::vector<std::vector<net::Cell>> sources = {
+      net::packetize_unsmoothed(t)};
+  const net::MuxConfig config{t.mean_rate() * 1.2, 100};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::simulate_cell_mux(sources, config));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(sources[0].size()));
+}
+BENCHMARK(BM_CellMux);
+
+}  // namespace
+
+BENCHMARK_MAIN();

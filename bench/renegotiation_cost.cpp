@@ -1,0 +1,76 @@
+// The signalling cost of VBR video, quantified: plan renegotiated-CBR
+// reservations for raw vs smoothed streams across hold times. This makes
+// the paper's "number of rate changes" measure operational — every change
+// is a renegotiation a network must process, and over-reservation is the
+// capacity wasted between changes.
+#include "bench_util.h"
+
+#include "net/admission.h"
+#include "net/renegotiation.h"
+
+namespace {
+
+using namespace lsm;
+
+core::RateSchedule raw_schedule(const trace::Trace& t) {
+  std::vector<core::RateSegment> segments;
+  for (int i = 1; i <= t.picture_count(); ++i) {
+    segments.push_back(core::RateSegment{
+        (i - 1) * t.tau(), i * t.tau(),
+        static_cast<double>(t.size_of(i)) / t.tau()});
+  }
+  return core::RateSchedule(std::move(segments));
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Renegotiated-CBR carriage cost: raw vs smoothed");
+
+  for (const trace::Trace& t : trace::paper_sequences()) {
+    const core::RateSchedule raw = raw_schedule(t);
+    const core::RateSchedule smooth =
+        core::smooth_basic(t, bench::paper_params(t)).schedule();
+    std::printf("\n# %s (renegotiations | over-reservation)\n",
+                t.name().c_str());
+    std::printf("%10s %16s %16s\n", "hold(s)", "raw", "smoothed");
+    for (const double hold : {0.1, 0.25, 0.5, 1.0, 2.0}) {
+      net::RenegotiationPolicy policy;
+      policy.min_hold = hold;
+      const net::ReservationResult raw_plan =
+          net::plan_reservation(raw, policy);
+      const net::ReservationResult smooth_plan =
+          net::plan_reservation(smooth, policy);
+      std::printf("%10.2f %9d %5.1f%% %9d %5.1f%%\n", hold,
+                  raw_plan.renegotiations, 100.0 * raw_plan.over_reservation,
+                  smooth_plan.renegotiations,
+                  100.0 * smooth_plan.over_reservation);
+    }
+  }
+
+  std::printf("\nadmission-control view (C = 12 Mbps):\n");
+  std::printf("%16s %10s %10s\n", "buffer(kbit)", "raw", "smoothed");
+  const std::vector<trace::Trace> catalog = trace::paper_sequences();
+  for (const double buffer : {100e3, 300e3, 600e3, 1200e3}) {
+    int counts[2] = {0, 0};
+    for (const bool smoothed : {false, true}) {
+      net::AdmissionController controller(12e6, buffer);
+      for (int s = 0; s < 24; ++s) {
+        const trace::Trace& t =
+            catalog[static_cast<std::size_t>(s) % catalog.size()];
+        const core::RateSchedule schedule =
+            smoothed
+                ? core::smooth_basic(t, bench::paper_params(t)).schedule()
+                : raw_schedule(t);
+        controller.try_admit(
+            net::describe_stream(schedule, t.mean_rate() * 1.45));
+      }
+      counts[smoothed ? 1 : 0] = controller.admitted_count();
+    }
+    std::printf("%16.0f %10d %10d\n", buffer / 1e3, counts[0], counts[1]);
+  }
+  std::printf("\nExpected shape: smoothed streams renegotiate less, waste "
+              "less reserved capacity, and admit in greater numbers at "
+              "small buffers.\n");
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Section 5.1 as a table: the inventory of the four MPEG video sequences —
+// coding pattern, resolution, duration, per-type size statistics, and the
+// derived quantities the paper quotes in the text (I an order of magnitude
+// above B; the 200,000-bit I next to the 20,000-bit B of the introduction;
+// the >7.5 Mbps unsmoothed peak requirement).
+#include "bench_util.h"
+#include "trace/stats.h"
+
+int main() {
+  using namespace lsm;
+  bench::banner("Section 5.1: sequence inventory");
+
+  std::printf("%-10s %-14s %-9s %5s %6s %9s %9s %9s %7s %9s\n", "sequence",
+              "pattern", "res", "pics", "sec", "I_mean", "P_mean", "B_mean",
+              "I/B", "peakMbps");
+  for (const trace::Trace& t : trace::paper_sequences()) {
+    const trace::TraceStats stats = trace::compute_stats(t);
+    char resolution[16];
+    std::snprintf(resolution, sizeof resolution, "%dx%d", t.width(),
+                  t.height());
+    std::printf("%-10s %-14s %-9s %5d %6.1f %9.0f %9.0f %9.0f %7.2f %9.2f\n",
+                t.name().c_str(), t.pattern().to_string().c_str(), resolution,
+                t.picture_count(), t.duration(),
+                stats.of(trace::PictureType::I).mean,
+                stats.of(trace::PictureType::P).mean,
+                stats.of(trace::PictureType::B).mean, stats.i_to_b_ratio,
+                stats.unsmoothed_peak_bps / 1e6);
+  }
+
+  std::printf("\nmean rates and smoothed operating points (K=1, H=N, D=0.2):\n");
+  std::printf("%-10s %10s %12s %12s\n", "sequence", "mean_Mbps",
+              "smoothedMax", "smoothedSD");
+  for (const trace::Trace& t : trace::paper_sequences()) {
+    const core::SmoothingResult result =
+        core::smooth_basic(t, bench::paper_params(t));
+    const core::SmoothnessMetrics metrics = core::evaluate(result, t);
+    std::printf("%-10s %10.2f %12.2f %12.3f\n", t.name().c_str(),
+                t.mean_rate() / 1e6, metrics.max_rate / 1e6,
+                metrics.rate_stddev / 1e6);
+  }
+  return 0;
+}

@@ -1,0 +1,134 @@
+// Capacity planning: "how many of these video streams fit on this link?"
+// — the question the smoothing layer ultimately serves. Walks one link
+// through three service models:
+//
+//   1. CBR per stream (startup delay d): reserve min_cbr_rate each;
+//   2. smoothed VBR with deterministic (sigma, rho) admission — worst-case
+//      guaranteed, and therefore no better than CBR (both are corridor
+//      extreme points; see doc/THEORY.md);
+//   3. smoothed VBR with STATISTICAL overbooking near the mean rate —
+//      where multiplexing actually pays; the example simulates the
+//      overbooked aggregate to show the loss stays negligible.
+//
+//   $ ./capacity_planning [link_Mbps [buffer_kbit]]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/cbr.h"
+#include "core/smoother.h"
+#include "net/admission.h"
+#include "net/mux.h"
+#include "net/renegotiation.h"
+#include "trace/sequences.h"
+
+int main(int argc, char** argv) {
+  const double link_bps = (argc > 1 ? std::atof(argv[1]) : 45.0) * 1e6;
+  const double buffer_bits = (argc > 2 ? std::atof(argv[2]) : 600.0) * 1e3;
+  const double delay = 0.2;
+
+  std::printf("link %.1f Mbps, switch buffer %.0f kbit, delay budget %.1f s\n",
+              link_bps / 1e6, buffer_bits / 1e3, delay);
+
+  const std::vector<lsm::trace::Trace> catalog =
+      lsm::trace::paper_sequences();
+
+  // Per-title provisioning numbers.
+  std::printf("\n%-10s %10s %12s %12s %14s\n", "title", "mean", "CBR@0.2s",
+              "smoothedPk", "renegs/10s");
+  struct Plan {
+    double cbr_rate;
+    double rho;
+    double sigma;
+  };
+  std::vector<Plan> plans;
+  for (const lsm::trace::Trace& t : catalog) {
+    lsm::core::SmootherParams params;
+    params.tau = t.tau();
+    params.D = delay;
+    params.H = t.pattern().N();
+    const lsm::core::SmoothingResult smoothed =
+        lsm::core::smooth_basic(t, params);
+    const lsm::core::RateSchedule schedule = smoothed.schedule();
+
+    const double cbr = lsm::core::min_cbr_rate(t, delay);
+    const double rho = schedule.max_rate();  // reserve the smoothed peak
+    const double sigma = lsm::net::min_bucket_depth(schedule, rho);
+    const lsm::net::ReservationResult reneg = lsm::net::plan_reservation(
+        schedule, lsm::net::RenegotiationPolicy{});
+    plans.push_back(Plan{cbr, rho, sigma});
+    std::printf("%-10s %9.2fM %11.2fM %11.2fM %14d\n", t.name().c_str(),
+                t.mean_rate() / 1e6, cbr / 1e6, rho / 1e6,
+                reneg.renegotiations);
+  }
+
+  // Admission sweeps: round-robin through the catalog until the link fills.
+  auto admit_cbr = [&]() {
+    double committed = 0.0;
+    int count = 0;
+    while (true) {
+      const Plan& plan = plans[static_cast<std::size_t>(count) % plans.size()];
+      if (committed + plan.cbr_rate > link_bps) break;
+      committed += plan.cbr_rate;
+      ++count;
+    }
+    return count;
+  };
+  auto admit_smoothed = [&]() {
+    lsm::net::AdmissionController controller(link_bps, buffer_bits);
+    int count = 0;
+    while (controller.try_admit(lsm::net::StreamDescriptor{
+        plans[static_cast<std::size_t>(count) % plans.size()].sigma,
+        plans[static_cast<std::size_t>(count) % plans.size()].rho})) {
+      ++count;
+      if (count > 1000) break;
+    }
+    return count;
+  };
+
+  const int cbr_streams = admit_cbr();
+  const int smoothed_streams = admit_smoothed();
+
+  std::printf("\nstreams admitted on this link:\n");
+  std::printf("  CBR reservations @ d=0.2s          : %d\n", cbr_streams);
+  std::printf("  smoothed VBR, deterministic (s,r)  : %d\n",
+              smoothed_streams);
+
+  // Statistical overbooking frontier: book streams at factor x their MEAN
+  // and simulate the admitted aggregate through a fluid multiplexer.
+  std::printf("\nstatistical overbooking frontier (smoothed streams):\n");
+  std::printf("%14s %10s %14s\n", "booking", "streams", "sim. loss");
+  for (const double factor : {1.05, 1.10, 1.20, 1.30}) {
+    std::vector<lsm::core::RateSchedule> schedules;
+    double committed = 0.0;
+    int count = 0;
+    while (true) {
+      const lsm::trace::Trace& t =
+          catalog[static_cast<std::size_t>(count) % catalog.size()];
+      if (committed + factor * t.mean_rate() > link_bps) break;
+      committed += factor * t.mean_rate();
+      lsm::core::SmootherParams params;
+      params.tau = t.tau();
+      params.D = delay;
+      params.H = t.pattern().N();
+      schedules.push_back(
+          lsm::core::smooth_basic(t, params).schedule().shifted_left(
+              -0.0531 * count));
+      ++count;
+    }
+    lsm::net::FluidMuxConfig mux_config;
+    mux_config.service_rate_bps = link_bps;
+    mux_config.buffer_bits = buffer_bits;
+    const double loss =
+        lsm::net::simulate_fluid_mux(schedules, mux_config).loss_ratio;
+    std::printf("%11.2fx mean %7d %14.2e\n", factor, count, loss);
+  }
+
+  std::printf("\nDeterministic admission cannot beat CBR (both reserve the "
+              "worst case); the multiplexing gain comes from statistical "
+              "overbooking of SMOOTHED streams, whose picture-scale bursts "
+              "are gone. The residual loss here overstates reality: this "
+              "catalog cycles the same four titles, so scene-level peaks "
+              "are perfectly correlated across copies — independent content "
+              "multiplexes better (see statmux_gain).\n");
+  return 0;
+}

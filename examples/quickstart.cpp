@@ -1,0 +1,66 @@
+// Quickstart: smooth one MPEG picture-size trace with the paper's
+// recommended parameters (K = 1, H = N, D = 0.2 s) and print what happened.
+//
+//   $ ./quickstart
+//
+// This is the five-minute tour of the library: build a trace, run the basic
+// algorithm, verify Theorem 1, and compare against ideal smoothing.
+#include <cstdio>
+
+#include "core/ideal.h"
+#include "core/metrics.h"
+#include "core/smoother.h"
+#include "core/theorem.h"
+#include "trace/sequences.h"
+#include "trace/stats.h"
+
+int main() {
+  // 1. A picture-size trace: the paper's Driving1 sequence (N = 9, M = 3,
+  //    640x480, 30 pictures/s). Use lsm::trace::load_trace_file() for your
+  //    own measured traces.
+  const lsm::trace::Trace trace = lsm::trace::driving1();
+  const lsm::trace::TraceStats stats = lsm::trace::compute_stats(trace);
+  std::printf("Sequence %s: %d pictures, pattern %s\n", trace.name().c_str(),
+              trace.picture_count(), trace.pattern().to_string().c_str());
+  std::printf("%s\n", lsm::trace::to_string(stats).c_str());
+
+  // 2. Parameters. The paper's conclusion: K = 1 (minimal delay), H = N,
+  //    D = 0.2 s is an excellent operating point.
+  lsm::core::SmootherParams params;
+  params.K = 1;
+  params.H = trace.pattern().N();
+  params.D = 0.2;
+  params.tau = trace.tau();
+
+  // 3. Run the basic algorithm (Figure 2 of the paper).
+  const lsm::core::SmoothingResult result =
+      lsm::core::smooth_basic(trace, params);
+
+  // 4. Verify the Theorem 1 properties on the concrete run.
+  const lsm::core::TheoremReport report =
+      lsm::core::check_theorem1(result, trace);
+  std::printf("Theorem 1: delay bound %s, continuous service %s, "
+              "max delay %.4f s (bound %.4f s)\n",
+              report.delay_bound_ok ? "OK" : "VIOLATED",
+              report.continuous_service_ok ? "OK" : "VIOLATED",
+              report.max_delay, params.D);
+
+  // 5. Smoothness measures, including the area difference against ideal
+  //    smoothing (Eq. 16).
+  const lsm::core::SmoothnessMetrics metrics =
+      lsm::core::evaluate(result, trace);
+  std::printf("rate changes : %d (of %d pictures)\n", metrics.rate_changes,
+              trace.picture_count());
+  std::printf("max rate     : %.3f Mbps (unsmoothed peak %.3f Mbps)\n",
+              metrics.max_rate / 1e6, stats.unsmoothed_peak_bps / 1e6);
+  std::printf("rate stddev  : %.3f Mbps around mean %.3f Mbps\n",
+              metrics.rate_stddev / 1e6, metrics.rate_mean / 1e6);
+  std::printf("area diff    : %.4f vs ideal smoothing\n",
+              metrics.area_difference);
+
+  // 6. For contrast: ideal smoothing is smoother but delays are unbounded.
+  const lsm::core::SmoothingResult ideal = lsm::core::smooth_ideal(trace);
+  std::printf("ideal smoothing max delay: %.4f s (no bound parameter)\n",
+              ideal.max_delay());
+  return 0;
+}

@@ -1,0 +1,182 @@
+// trace_tool: command-line utility over the library.
+//
+//   trace_tool list
+//       List the built-in paper sequences.
+//   trace_tool export <sequence> <file>
+//       Write a built-in sequence to a trace file.
+//   trace_tool stats <file>
+//       Print statistics of a trace file.
+//   trace_tool smooth <file> [D [K [H]]]
+//       Smooth a trace file (defaults D=0.2, K=1, H=N) and print the
+//       schedule summary plus the paper's four measures.
+//   trace_tool delays <file> [D [K [H]]]
+//       Print the per-picture delay series (for plotting).
+//   trace_tool model <file> <pictures> <seed> <outfile>
+//       Fit the statistical model to a trace and generate a synthetic trace
+//       of the given length from it.
+//   trace_tool optimal <file> [D]
+//       Compare the basic algorithm against the offline-optimal (taut
+//       string) schedule at delay bound D.
+//
+// Runs with no arguments as a self-demo: exports Driving1 to a temporary
+// file, then runs stats and smooth on it.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/metrics.h"
+#include "core/optimal.h"
+#include "core/smoother.h"
+#include "core/theorem.h"
+#include "trace/io.h"
+#include "trace/model.h"
+#include "trace/sequences.h"
+#include "trace/stats.h"
+
+namespace {
+
+lsm::trace::Trace builtin(const std::string& name) {
+  if (name == "driving1") return lsm::trace::driving1();
+  if (name == "driving2") return lsm::trace::driving2();
+  if (name == "tennis") return lsm::trace::tennis();
+  if (name == "backyard") return lsm::trace::backyard();
+  std::fprintf(stderr, "unknown sequence '%s' (driving1, driving2, tennis, "
+                       "backyard)\n",
+               name.c_str());
+  std::exit(2);
+}
+
+lsm::core::SmootherParams params_from_args(const lsm::trace::Trace& trace,
+                                           int argc, char** argv, int from) {
+  lsm::core::SmootherParams params;
+  params.tau = trace.tau();
+  params.H = trace.pattern().N();
+  params.D = argc > from ? std::atof(argv[from]) : 0.2;
+  params.K = argc > from + 1 ? std::atoi(argv[from + 1]) : 1;
+  if (argc > from + 2) params.H = std::atoi(argv[from + 2]);
+  return params;
+}
+
+int cmd_stats(const lsm::trace::Trace& trace) {
+  std::printf("name     : %s\n", trace.name().c_str());
+  std::printf("pattern  : %s (N=%d, M=%d)\n",
+              trace.pattern().to_string().c_str(), trace.pattern().N(),
+              trace.pattern().M());
+  std::printf("pictures : %d (%.2f s at %.1f pictures/s)\n",
+              trace.picture_count(), trace.duration(), 1.0 / trace.tau());
+  std::printf("%s", lsm::trace::to_string(
+                        lsm::trace::compute_stats(trace)).c_str());
+  return 0;
+}
+
+int cmd_smooth(const lsm::trace::Trace& trace,
+               const lsm::core::SmootherParams& params) {
+  params.validate();
+  const lsm::core::SmoothingResult result =
+      lsm::core::smooth_basic(trace, params);
+  const lsm::core::TheoremReport report =
+      lsm::core::check_theorem1(result, trace);
+  const lsm::core::SmoothnessMetrics metrics =
+      lsm::core::evaluate(result, trace);
+  std::printf("D=%.4f K=%d H=%d  (theorem regime: %s)\n", params.D, params.K,
+              params.H, params.guarantees_delay_bound() ? "yes" : "NO");
+  std::printf("delay bound      : %s (max delay %.4f s, %d violations)\n",
+              report.delay_bound_ok ? "satisfied" : "VIOLATED",
+              report.max_delay, report.delay_violations);
+  std::printf("continuous serve : %s\n",
+              report.continuous_service_ok ? "satisfied" : "VIOLATED");
+  std::printf("area difference  : %.4f\n", metrics.area_difference);
+  std::printf("rate changes     : %d\n", metrics.rate_changes);
+  std::printf("max rate         : %.4f Mbps\n", metrics.max_rate / 1e6);
+  std::printf("rate stddev      : %.4f Mbps\n", metrics.rate_stddev / 1e6);
+  return report.all_ok() ? 0 : 1;
+}
+
+int cmd_delays(const lsm::trace::Trace& trace,
+               const lsm::core::SmootherParams& params) {
+  const lsm::core::SmoothingResult result =
+      lsm::core::smooth_basic(trace, params);
+  std::printf("# picture delay_seconds rate_bps\n");
+  for (const lsm::core::PictureSend& send : result.sends) {
+    std::printf("%d %.6f %.1f\n", send.index, send.delay, send.rate);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    // Self-demo.
+    const std::string path = "/tmp/lsm_driving1.trace";
+    lsm::trace::save_trace_file(lsm::trace::driving1(), path);
+    std::printf("(demo) exported driving1 to %s\n\n", path.c_str());
+    const lsm::trace::Trace trace = lsm::trace::load_trace_file(path);
+    cmd_stats(trace);
+    std::printf("\n");
+    lsm::core::SmootherParams params;
+    params.tau = trace.tau();
+    params.H = trace.pattern().N();
+    return cmd_smooth(trace, params);
+  }
+
+  const std::string command = argv[1];
+  if (command == "list") {
+    for (const char* name : {"driving1", "driving2", "tennis", "backyard"}) {
+      std::printf("%s\n", name);
+    }
+    return 0;
+  }
+  if (command == "export" && argc >= 4) {
+    lsm::trace::save_trace_file(builtin(argv[2]), argv[3]);
+    std::printf("wrote %s\n", argv[3]);
+    return 0;
+  }
+  if (command == "stats" && argc >= 3) {
+    return cmd_stats(lsm::trace::load_trace_file(argv[2]));
+  }
+  if (command == "smooth" && argc >= 3) {
+    const lsm::trace::Trace trace = lsm::trace::load_trace_file(argv[2]);
+    return cmd_smooth(trace, params_from_args(trace, argc, argv, 3));
+  }
+  if (command == "delays" && argc >= 3) {
+    const lsm::trace::Trace trace = lsm::trace::load_trace_file(argv[2]);
+    return cmd_delays(trace, params_from_args(trace, argc, argv, 3));
+  }
+  if (command == "model" && argc >= 6) {
+    const lsm::trace::Trace source = lsm::trace::load_trace_file(argv[2]);
+    const lsm::trace::TraceModel model = lsm::trace::TraceModel::fit(source);
+    const lsm::trace::Trace generated = model.generate(
+        std::atoi(argv[3]), static_cast<std::uint64_t>(std::atoll(argv[4])));
+    lsm::trace::save_trace_file(generated, argv[5]);
+    std::printf("fitted %s (%d phases) and wrote %d pictures to %s\n",
+                source.name().c_str(), model.pattern().N(),
+                generated.picture_count(), argv[5]);
+    return 0;
+  }
+  if (command == "optimal" && argc >= 3) {
+    const lsm::trace::Trace trace = lsm::trace::load_trace_file(argv[2]);
+    const double bound = argc > 3 ? std::atof(argv[3]) : 0.2;
+    lsm::core::SmootherParams params;
+    params.tau = trace.tau();
+    params.H = trace.pattern().N();
+    params.D = bound;
+    const lsm::core::SmoothingResult basic =
+        lsm::core::smooth_basic(trace, params);
+    const lsm::core::OptimalResult optimal =
+        lsm::core::smooth_offline_optimal(trace, bound);
+    const double basic_peak = basic.schedule().max_rate();
+    std::printf("D=%.4f s\n", bound);
+    std::printf("basic (causal, K=1)   peak: %.4f Mbps\n", basic_peak / 1e6);
+    std::printf("offline optimal       peak: %.4f Mbps\n",
+                optimal.peak_rate / 1e6);
+    std::printf("causality premium: %.1f%%\n",
+                100.0 * (basic_peak / optimal.peak_rate - 1.0));
+    return 0;
+  }
+  std::fprintf(stderr,
+               "usage: trace_tool [list | export <seq> <file> | stats <file> "
+               "| smooth <file> [D [K [H]]] | delays <file> [D [K [H]]] | "
+               "model <file> <pictures> <seed> <out> | optimal <file> [D]]\n");
+  return 2;
+}

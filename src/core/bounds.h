@@ -1,0 +1,44 @@
+// Rate bounds of Theorem 1 and their lookahead extensions (paper Eqs. 5, 6,
+// 12, 13). Exposed as free functions so the theorem's arithmetic can be
+// tested independently of the rate-selection loop.
+//
+// All bounds concern the rate r_i chosen at time t_i for picture i:
+//
+//   lower(h):  sending pictures i..i+h at r_i keeps the (approximate) delay
+//              of picture i+h within D              (Eq. 12; h=0 is Eq. 5)
+//   upper(h):  sending pictures i..i+h at r_i does not finish before picture
+//              i+h+K has arrived, so the server never idles
+//                                                   (Eq. 13; h=0 is Eq. 6)
+//
+// A bound whose denominator is not positive is "not well defined"; following
+// the paper, an ill-defined upper bound means "no constraint" (+infinity),
+// and an ill-defined lower bound means the deadline is already unreachable
+// at any finite rate (+infinity as well, which forces the early-exit path).
+#pragma once
+
+#include <limits>
+
+#include "core/params.h"
+
+namespace lsm::core {
+
+inline constexpr Rate kUnbounded = std::numeric_limits<Rate>::infinity();
+
+/// Lower bound r_i^L(h): sum_bits / (D + (i-1+h) tau - t_i), or +infinity if
+/// the denominator is <= 0. `sum_bits` is S_i + ... + S_{i+h} (estimates
+/// allowed for j > i).
+Rate lookahead_lower_bound(double sum_bits, int i, int h, Seconds t_i,
+                           const SmootherParams& params) noexcept;
+
+/// Upper bound r_i^U(h): sum_bits / ((i+h+K) tau - t_i) if
+/// t_i < (i+h+K) tau, else +infinity.
+Rate lookahead_upper_bound(double sum_bits, int i, int h, Seconds t_i,
+                           const SmootherParams& params) noexcept;
+
+/// Theorem 1 bounds (h = 0) for picture i of size s_i.
+Rate theorem_lower_bound(Bits s_i, int i, Seconds t_i,
+                         const SmootherParams& params) noexcept;
+Rate theorem_upper_bound(Bits s_i, int i, Seconds t_i,
+                         const SmootherParams& params) noexcept;
+
+}  // namespace lsm::core

@@ -1,0 +1,98 @@
+#include "core/buffer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace lsm::core {
+
+BufferAnalysis analyze_buffers(const lsm::trace::Trace& trace,
+                               const SmoothingResult& result,
+                               Seconds latency, Seconds playout_offset) {
+  if (latency < 0.0) {
+    throw std::invalid_argument("analyze_buffers: negative latency");
+  }
+  if (result.sends.size() !=
+      static_cast<std::size_t>(trace.picture_count())) {
+    throw std::invalid_argument("analyze_buffers: result/trace mismatch");
+  }
+  const double tau = trace.tau();
+  const RateSchedule schedule = result.schedule();
+  const Seconds horizon = std::max(schedule.end_time(), trace.duration());
+
+  BufferAnalysis analysis;
+
+  // --- Sender queue. Breakpoints: picture-period boundaries (arrival ramp
+  // slope changes) and schedule breakpoints (send rate changes). Between
+  // them Q(t) is linear, so sampling the grid captures the extrema.
+  {
+    std::vector<Seconds> grid = schedule.breakpoints();
+    for (int i = 0; i <= trace.picture_count(); ++i) grid.push_back(i * tau);
+    grid.push_back(horizon);
+    std::sort(grid.begin(), grid.end());
+    grid.erase(std::unique(grid.begin(), grid.end()), grid.end());
+
+    // Incremental cumulative arrivals would be O(n); the direct form is
+    // O(n^2) over the grid, so accumulate picture sums once instead.
+    std::vector<double> prefix(static_cast<std::size_t>(
+                                   trace.picture_count()) + 1, 0.0);
+    for (int i = 1; i <= trace.picture_count(); ++i) {
+      prefix[static_cast<std::size_t>(i)] =
+          prefix[static_cast<std::size_t>(i - 1)] +
+          static_cast<double>(trace.size_of(i));
+    }
+    auto arrivals_fast = [&](Seconds t) {
+      if (t <= 0.0) return 0.0;
+      const int complete = std::min(
+          trace.picture_count(),
+          static_cast<int>(std::floor(t / tau + 1e-12)));
+      double bits = prefix[static_cast<std::size_t>(complete)];
+      if (complete < trace.picture_count()) {
+        const double fraction = (t - complete * tau) / tau;
+        if (fraction > 0.0) {
+          bits += fraction * static_cast<double>(trace.size_of(complete + 1));
+        }
+      }
+      return bits;
+    };
+
+    double previous_time = 0.0;
+    double previous_bits = 0.0;
+    double area = 0.0;
+    for (const Seconds t : grid) {
+      const double occupancy =
+          std::max(0.0, arrivals_fast(t) - schedule.integral(0.0, t));
+      analysis.sender.push_back(OccupancySample{t, occupancy});
+      analysis.max_sender_bits = std::max(analysis.max_sender_bits, occupancy);
+      area += 0.5 * (occupancy + previous_bits) * (t - previous_time);
+      previous_time = t;
+      previous_bits = occupancy;
+    }
+    if (horizon > 0.0) analysis.mean_sender_bits = area / horizon;
+  }
+
+  // --- Receiver buffer: evaluate just before each playout removal (the
+  // occupancy maxima) and record post-removal minima to detect underflow.
+  {
+    double received_total = 0.0;
+    double played = 0.0;
+    analysis.min_receiver_bits = 0.0;
+    for (int i = 1; i <= trace.picture_count(); ++i) {
+      const Seconds playout = playout_offset + (i - 1) * tau;
+      // Bits received by the playout instant.
+      received_total = schedule.integral(0.0, playout - latency);
+      const double before = received_total - played;
+      analysis.receiver.push_back(OccupancySample{playout, before});
+      analysis.max_receiver_bits =
+          std::max(analysis.max_receiver_bits, before);
+      played += static_cast<double>(trace.size_of(i));
+      const double after = received_total - played;
+      analysis.min_receiver_bits =
+          std::min(analysis.min_receiver_bits, after);
+      if (after < -1e-6) ++analysis.underflows;
+    }
+  }
+  return analysis;
+}
+
+}  // namespace lsm::core

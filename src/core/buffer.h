@@ -1,0 +1,46 @@
+// Buffer-occupancy analysis for the Figure 1 system model: how much memory
+// do the sender's smoothing queue and the receiver's playout buffer actually
+// need? Smoothing trades delay for rate smoothness, and this module prices
+// that trade in bits.
+//
+// Sender queue: Q(t) = A(t) - X(t), with A(t) the cumulative encoder output
+// (the S_i bits of picture i arrive as a linear ramp over ((i-1)tau, i tau],
+// per the system model) and X(t) the cumulative bits sent by the schedule.
+//
+// Receiver buffer: R(t) = X(t - latency) - P(t), where P(t) removes picture
+// i's S_i bits at its playout instant offset + (i-1) tau. R dipping below
+// zero is exactly a playout underflow; its maximum is the playout buffer
+// size to provision.
+#pragma once
+
+#include <vector>
+
+#include "core/smoother.h"
+
+namespace lsm::core {
+
+/// One sampled occupancy point.
+struct OccupancySample {
+  Seconds time = 0.0;
+  double bits = 0.0;
+};
+
+struct BufferAnalysis {
+  double max_sender_bits = 0.0;
+  double mean_sender_bits = 0.0;   ///< time-average over [0, d_n]
+  double max_receiver_bits = 0.0;  ///< peak just before each playout removal
+  double min_receiver_bits = 0.0;  ///< negative iff some picture is late
+  int underflows = 0;              ///< pictures not fully present at playout
+  std::vector<OccupancySample> sender;    ///< at all model breakpoints
+  std::vector<OccupancySample> receiver;  ///< pre-removal values at playouts
+};
+
+/// Analyzes `result` (a smoothing run over `trace`). `latency` is the fixed
+/// network delay; `playout_offset` is when picture 1 is displayed (pictures
+/// then follow every tau). Throws std::invalid_argument on negative latency
+/// or a result/trace length mismatch.
+BufferAnalysis analyze_buffers(const lsm::trace::Trace& trace,
+                               const SmoothingResult& result,
+                               Seconds latency, Seconds playout_offset);
+
+}  // namespace lsm::core

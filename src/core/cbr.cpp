@@ -1,0 +1,69 @@
+#include "core/cbr.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace lsm::core {
+
+namespace {
+
+std::vector<double> cumulative(const lsm::trace::Trace& trace) {
+  std::vector<double> cum(static_cast<std::size_t>(trace.picture_count()) + 1,
+                          0.0);
+  for (int i = 1; i <= trace.picture_count(); ++i) {
+    cum[static_cast<std::size_t>(i)] =
+        cum[static_cast<std::size_t>(i - 1)] +
+        static_cast<double>(trace.size_of(i));
+  }
+  return cum;
+}
+
+}  // namespace
+
+Seconds min_startup_delay(const lsm::trace::Trace& trace, Rate rate) {
+  if (!(rate > 0.0)) {
+    throw std::invalid_argument("min_startup_delay: rate must be > 0");
+  }
+  const std::vector<double> cum = cumulative(trace);
+  const double tau = trace.tau();
+  // delivery_i = cum_i / R + max_{j<=i} (j tau - cum_{j-1} / R): keep the
+  // inner max as a running quantity for O(n).
+  double inner_max = -1e300;
+  Seconds worst = 0.0;
+  for (int i = 1; i <= trace.picture_count(); ++i) {
+    inner_max = std::max(inner_max,
+                         static_cast<double>(i) * tau -
+                             cum[static_cast<std::size_t>(i - 1)] / rate);
+    const Seconds delivery =
+        cum[static_cast<std::size_t>(i)] / rate + inner_max;
+    worst = std::max(worst, delivery - static_cast<double>(i - 1) * tau);
+  }
+  return worst;
+}
+
+Rate min_cbr_rate(const lsm::trace::Trace& trace, Seconds startup_delay) {
+  const double tau = trace.tau();
+  if (!(startup_delay > tau)) {
+    throw std::invalid_argument(
+        "min_cbr_rate: startup delay must exceed one picture period");
+  }
+  const std::vector<double> cum = cumulative(trace);
+  // Feasibility for every window j..i: the bits of pictures j..i cannot
+  // start before picture j's arrival at j tau and must finish by picture
+  // i's playout at (i-1) tau + startup_delay:
+  //   (cum_i - cum_{j-1}) / R <= startup_delay + (i - j) tau - tau.
+  Rate needed = 0.0;
+  for (int j = 1; j <= trace.picture_count(); ++j) {
+    for (int i = j; i <= trace.picture_count(); ++i) {
+      const double bits = cum[static_cast<std::size_t>(i)] -
+                          cum[static_cast<std::size_t>(j - 1)];
+      const double window =
+          startup_delay + static_cast<double>(i - j) * tau - tau;
+      needed = std::max(needed, bits / window);
+    }
+  }
+  return needed;
+}
+
+}  // namespace lsm::core

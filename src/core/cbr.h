@@ -1,0 +1,31 @@
+// Constant-bit-rate transmission with startup delay: the simplest possible
+// alternative to smoothing. The channel runs at one fixed rate R from the
+// start; the receiver waits a startup delay d before displaying picture 1
+// and then plays at the picture rate. Bigger d tolerates a smaller R (down
+// to the long-run mean); the (R, d) tradeoff curve is the classic yardstick
+// smoothing algorithms are measured against.
+//
+// Model: a work-conserving server at rate R drains the encoder queue
+// (picture i available at i tau). Picture i's delivery completes at
+//
+//   delivery_i = max_{1 <= j <= i} ( j tau + (cum_i - cum_{j-1}) / R )
+//
+// (the last cum_i - cum_{j-1} bits cannot start before picture j arrives),
+// and the minimal startup delay is max_i (delivery_i - (i-1) tau).
+#pragma once
+
+#include "core/params.h"
+
+namespace lsm::core {
+
+/// Minimal startup delay for CBR rate R (bits/s). Requires R > 0; returns
+/// +infinity when R is below the long-run requirement of some suffix (every
+/// finite trace has a finite answer for any R > 0, so this is always
+/// finite — but enormous for tiny R).
+Seconds min_startup_delay(const lsm::trace::Trace& trace, Rate rate);
+
+/// Minimal CBR rate whose startup delay is <= `startup_delay`. Requires
+/// startup_delay > 0.
+Rate min_cbr_rate(const lsm::trace::Trace& trace, Seconds startup_delay);
+
+}  // namespace lsm::core

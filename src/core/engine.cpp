@@ -1,0 +1,59 @@
+#include "core/engine.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/rate_select.h"
+
+namespace lsm::core {
+
+SmootherEngine::SmootherEngine(const lsm::trace::Trace& trace,
+                               const SmootherParams& params,
+                               const SizeEstimator& estimator, Variant variant)
+    : trace_(trace), params_(params), estimator_(estimator), variant_(variant) {
+  params_.validate();
+}
+
+bool SmootherEngine::done() const noexcept {
+  return next_ > trace_.picture_count();
+}
+
+PictureSend SmootherEngine::step() {
+  const int n = trace_.picture_count();
+  const int i = next_;
+  if (i > n) throw std::logic_error("SmootherEngine::step: already done");
+  const double tau = params_.tau;
+
+  // t_i = max(d_{i-1}, (i-1+K) tau), truncated to pictures that exist.
+  const int last_required = std::min(i - 1 + params_.K, n);
+  const Seconds time =
+      std::max(depart_, static_cast<double>(last_required) * tau);
+
+  const detail::RateDecision decision = detail::select_rate(
+      i, time, n, rate_, params_, trace_.pattern().N(), variant_,
+      static_cast<double>(trace_.size_of(i)),
+      [this](int j, Seconds t) { return estimator_.size_at(j, t); });
+  rate_ = decision.rate;
+  diag_ = decision.diag;
+
+  PictureSend send;
+  send.index = i;
+  send.bits = trace_.size_of(i);
+  send.start = time;
+  send.rate = rate_;
+  send.depart = time + static_cast<double>(send.bits) / rate_;
+  send.delay = send.depart - static_cast<double>(i - 1) * tau;
+
+  depart_ = send.depart;
+  ++next_;
+  return send;
+}
+
+std::vector<PictureSend> SmootherEngine::run() {
+  std::vector<PictureSend> sends;
+  sends.reserve(static_cast<std::size_t>(trace_.picture_count() - next_ + 1));
+  while (!done()) sends.push_back(step());
+  return sends;
+}
+
+}  // namespace lsm::core

@@ -1,0 +1,85 @@
+// The smoothing algorithm itself (paper, Figure 2), as an incremental,
+// causal engine: one step() per picture, in picture order.
+//
+// The engine follows the published pseudocode exactly, with two documented
+// boundary refinements:
+//
+//   * Sequence end. The paper's procedure loops "until seq_end". Near the
+//     end of a finite sequence the lookahead window and the K-picture wait
+//     are truncated to existing pictures: t_i = max(d_{i-1},
+//     min(i-1+K, n) tau) — the server does not wait for pictures that will
+//     never arrive — and the inner loop stops at h with i + h > n.
+//
+//   * Ill-defined bounds. If a lower bound's denominator is <= 0 (possible
+//     only when the parameters violate Eq. 1, e.g. the paper's K = 0
+//     violation experiments), the bound is +infinity, which drives the
+//     early-exit branch; if that branch would select an infinite rate the
+//     engine falls back to the largest finite bound so the returned schedule
+//     is always realizable (the delay bound may then be violated, which the
+//     TheoremChecker reports — exactly the behavior the paper observed for
+//     K = 0 with small slack).
+//
+// Variant::kMovingAverage is the paper's Eq. 15 modification: on normal
+// exit the proposed rate is sum/(N tau) (the lookahead moving average)
+// instead of "keep the previous rate"; it is then clamped to
+// [lower, upper] like the basic algorithm.
+#pragma once
+
+#include <vector>
+
+#include "core/estimator.h"
+#include "core/params.h"
+#include "core/schedule.h"
+
+namespace lsm::core {
+
+/// Which rate-selection rule runs on normal exit (see file comment).
+enum class Variant { kBasic, kMovingAverage };
+
+/// Per-step diagnostics, exposed for tests and the H-conjecture study.
+struct StepDiagnostics {
+  int lookahead_used = 0;  ///< number of pictures summed (h at loop exit)
+  bool early_exit = false; ///< inner loop ended with lower > upper
+  Rate lower = 0.0;        ///< final (clamped) lower bound
+  Rate upper = 0.0;        ///< final (clamped) upper bound
+  bool rate_changed = false;  ///< r_i differs from r_{i-1}
+};
+
+/// Incremental smoother. The referenced trace and estimator must outlive the
+/// engine. Pictures are processed strictly in order 1..n.
+class SmootherEngine {
+ public:
+  /// Throws InvalidParams on structurally invalid parameters.
+  SmootherEngine(const lsm::trace::Trace& trace, const SmootherParams& params,
+                 const SizeEstimator& estimator,
+                 Variant variant = Variant::kBasic);
+
+  /// True when every picture has been scheduled.
+  bool done() const noexcept;
+
+  /// 1-based index of the picture the next step() will schedule.
+  int next_picture() const noexcept { return next_; }
+
+  /// Schedules the next picture: computes t_i, selects r_i per Figure 2,
+  /// and returns the send record. Requires !done().
+  PictureSend step();
+
+  /// Diagnostics of the most recent step(). Meaningful after one step.
+  const StepDiagnostics& last_diagnostics() const noexcept { return diag_; }
+
+  /// Runs all remaining steps and returns their send records.
+  std::vector<PictureSend> run();
+
+ private:
+  const lsm::trace::Trace& trace_;
+  SmootherParams params_;
+  const SizeEstimator& estimator_;
+  Variant variant_;
+
+  int next_ = 1;        ///< picture index i of the next step
+  Seconds depart_ = 0.0;  ///< d_{i-1}
+  Rate rate_ = 0.0;     ///< r_{i-1}, carried across steps per Figure 2
+  StepDiagnostics diag_{};
+};
+
+}  // namespace lsm::core

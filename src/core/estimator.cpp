@@ -1,0 +1,140 @@
+#include "core/estimator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace lsm::core {
+
+using lsm::trace::PictureType;
+
+Bits DefaultSizes::of(PictureType type) const noexcept {
+  switch (type) {
+    case PictureType::I: return i_bits;
+    case PictureType::P: return p_bits;
+    case PictureType::B: return b_bits;
+  }
+  return b_bits;
+}
+
+namespace {
+
+void check_index(int j, const lsm::trace::Trace& trace) {
+  if (j < 1 || j > trace.picture_count()) {
+    throw std::out_of_range("SizeEstimator: picture index out of range");
+  }
+}
+
+}  // namespace
+
+PatternEstimator::PatternEstimator(const lsm::trace::Trace& trace,
+                                   DefaultSizes defaults)
+    : trace_(trace), defaults_(defaults) {}
+
+Bits PatternEstimator::size_at(int j, Seconds t) const {
+  check_index(j, trace_);
+  const int n_pattern = trace_.pattern().N();
+  // Walk back in steps of N until an arrived picture (same pattern phase,
+  // hence same type) is found. With H <= N at most one step is taken.
+  int k = j;
+  while (k >= 1 && !arrived(k, t, trace_.tau())) k -= n_pattern;
+  if (k >= 1) return trace_.size_of(k);
+  return defaults_.of(trace_.type_of(j));
+}
+
+Bits OracleEstimator::size_at(int j, Seconds) const {
+  check_index(j, trace_);
+  return trace_.size_of(j);
+}
+
+LastSameTypeEstimator::LastSameTypeEstimator(const lsm::trace::Trace& trace,
+                                             DefaultSizes defaults)
+    : trace_(trace), defaults_(defaults) {}
+
+Bits LastSameTypeEstimator::size_at(int j, Seconds t) const {
+  check_index(j, trace_);
+  const PictureType wanted = trace_.type_of(j);
+  // Most recent arrived picture overall is floor(t / tau); scan back for the
+  // matching type.
+  int latest = static_cast<int>(std::floor(t / trace_.tau() + 1e-9));
+  latest = std::min(latest, trace_.picture_count());
+  if (arrived(j, t, trace_.tau())) return trace_.size_of(j);
+  for (int k = latest; k >= 1; --k) {
+    if (trace_.type_of(k) == wanted) return trace_.size_of(k);
+  }
+  return defaults_.of(wanted);
+}
+
+PhaseEwmaEstimator::PhaseEwmaEstimator(const lsm::trace::Trace& trace,
+                                       double alpha, DefaultSizes defaults)
+    : trace_(trace), alpha_(alpha), defaults_(defaults) {
+  if (!(alpha > 0.0) || alpha > 1.0) {
+    throw std::invalid_argument("PhaseEwmaEstimator: alpha must be in (0,1]");
+  }
+  const int n_phase = trace.pattern().N();
+  by_phase_.resize(static_cast<std::size_t>(n_phase));
+  for (int i = 1; i <= trace.picture_count(); ++i) {
+    PhaseHistory& history =
+        by_phase_[static_cast<std::size_t>(trace.pattern().phase_of(i))];
+    const double sample = static_cast<double>(trace.size_of(i));
+    const double updated =
+        history.ewma_after.empty()
+            ? sample
+            : alpha_ * sample + (1.0 - alpha_) * history.ewma_after.back();
+    history.indices.push_back(i);
+    history.ewma_after.push_back(updated);
+  }
+}
+
+Bits PhaseEwmaEstimator::size_at(int j, Seconds t) const {
+  check_index(j, trace_);
+  if (arrived(j, t, trace_.tau())) return trace_.size_of(j);
+  const PhaseHistory& history =
+      by_phase_[static_cast<std::size_t>(trace_.pattern().phase_of(j))];
+  // Last same-phase picture that has arrived by t.
+  int latest = static_cast<int>(std::floor(t / trace_.tau() + 1e-9));
+  latest = std::min(latest, trace_.picture_count());
+  const auto it = std::upper_bound(history.indices.begin(),
+                                   history.indices.end(), latest);
+  if (it == history.indices.begin()) {
+    return defaults_.of(trace_.type_of(j));
+  }
+  const auto position =
+      static_cast<std::size_t>(it - history.indices.begin() - 1);
+  return static_cast<Bits>(std::llround(history.ewma_after[position]));
+}
+
+TypeMeanEstimator::TypeMeanEstimator(const lsm::trace::Trace& trace,
+                                     DefaultSizes defaults)
+    : trace_(trace), defaults_(defaults) {
+  const auto n = static_cast<std::size_t>(trace.picture_count());
+  prefix_sums_.assign(3, std::vector<double>(n + 1, 0.0));
+  prefix_counts_.assign(3, std::vector<int>(n + 1, 0));
+  for (std::size_t k = 1; k <= n; ++k) {
+    const auto type = static_cast<std::size_t>(
+        trace.type_of(static_cast<int>(k)));
+    for (std::size_t t = 0; t < 3; ++t) {
+      prefix_sums_[t][k] = prefix_sums_[t][k - 1];
+      prefix_counts_[t][k] = prefix_counts_[t][k - 1];
+    }
+    prefix_sums_[type][k] +=
+        static_cast<double>(trace.size_of(static_cast<int>(k)));
+    prefix_counts_[type][k] += 1;
+  }
+}
+
+Bits TypeMeanEstimator::size_at(int j, Seconds t) const {
+  check_index(j, trace_);
+  if (arrived(j, t, trace_.tau())) return trace_.size_of(j);
+  const auto type_index =
+      static_cast<std::size_t>(static_cast<int>(trace_.type_of(j)));
+  int latest = static_cast<int>(std::floor(t / trace_.tau() + 1e-9));
+  latest = std::clamp(latest, 0, trace_.picture_count());
+  const int count = prefix_counts_[type_index][static_cast<std::size_t>(latest)];
+  if (count == 0) return defaults_.of(trace_.type_of(j));
+  const double mean =
+      prefix_sums_[type_index][static_cast<std::size_t>(latest)] / count;
+  return static_cast<Bits>(std::llround(mean));
+}
+
+}  // namespace lsm::core

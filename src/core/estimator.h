@@ -1,0 +1,139 @@
+// Picture-size estimators: the size(j, t) function of the algorithm
+// specification (paper, Section 4.4).
+//
+// At time t, the size of picture j is *known* iff picture j has completely
+// arrived, i.e. t >= j tau (the paper's pseudocode writes t > j tau; we use
+// >= because in the system model picture j's arrival completes exactly at
+// j tau, and Theorem 1 needs S_i known at t_i = (i-1+K) tau = i tau when
+// K = 1 and the server is not behind). Sizes of pictures that have not
+// arrived are estimated.
+//
+// The paper's estimator exploits the repeating pattern: S_j is estimated by
+// S_{j-N}, the most recent same-type picture one full pattern back; for the
+// initial part of the sequence fixed per-type defaults are used (I: 200,000;
+// P: 100,000; B: 20,000 bits). Theorem 1 holds regardless of estimate
+// quality, so alternative estimators are provided for ablation studies.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/params.h"
+#include "trace/pattern.h"
+
+namespace lsm::core {
+
+/// Fixed per-type fallback sizes (paper, Section 4.4).
+struct DefaultSizes {
+  Bits i_bits = 200000;
+  Bits p_bits = 100000;
+  Bits b_bits = 20000;
+
+  Bits of(lsm::trace::PictureType type) const noexcept;
+};
+
+/// Interface for size(j, t). Implementations are bound to one trace.
+class SizeEstimator {
+ public:
+  virtual ~SizeEstimator() = default;
+
+  /// Returns the actual size of picture j if it has arrived by time t,
+  /// otherwise an estimate. Requires 1 <= j <= picture count of the trace.
+  virtual Bits size_at(int j, Seconds t) const = 0;
+
+  /// Human-readable estimator name for bench/report output.
+  virtual std::string name() const = 0;
+
+ protected:
+  /// True iff picture j has completely arrived at time t.
+  static bool arrived(int j, Seconds t, Seconds tau) noexcept {
+    return t >= static_cast<double>(j) * tau - 1e-12;
+  }
+};
+
+/// The paper's estimator: actual size if arrived; else S_{j-N} (applied
+/// repeatedly if j-N has itself not arrived, which only happens when the
+/// lookahead H exceeds N); else the per-type default.
+class PatternEstimator final : public SizeEstimator {
+ public:
+  explicit PatternEstimator(const lsm::trace::Trace& trace,
+                            DefaultSizes defaults = {});
+  Bits size_at(int j, Seconds t) const override;
+  std::string name() const override { return "pattern"; }
+
+ private:
+  const lsm::trace::Trace& trace_;
+  DefaultSizes defaults_;
+};
+
+/// Oracle: all sizes known a priori (the Ott et al. assumption). Upper
+/// bound on what any estimator can achieve.
+class OracleEstimator final : public SizeEstimator {
+ public:
+  explicit OracleEstimator(const lsm::trace::Trace& trace) : trace_(trace) {}
+  Bits size_at(int j, Seconds t) const override;
+  std::string name() const override { return "oracle"; }
+
+ private:
+  const lsm::trace::Trace& trace_;
+};
+
+/// Most recent *arrived* picture of the same type (distance may be < N for
+/// B pictures); falls back to per-type defaults.
+class LastSameTypeEstimator final : public SizeEstimator {
+ public:
+  explicit LastSameTypeEstimator(const lsm::trace::Trace& trace,
+                                 DefaultSizes defaults = {});
+  Bits size_at(int j, Seconds t) const override;
+  std::string name() const override { return "last-same-type"; }
+
+ private:
+  const lsm::trace::Trace& trace_;
+  DefaultSizes defaults_;
+};
+
+/// Exponentially weighted moving average over the arrived pictures at the
+/// same pattern PHASE as j (not merely the same type): a natural refinement
+/// of the paper's S_{j-N} that averages out per-picture noise while still
+/// tracking scene changes with weight alpha per step. alpha = 1 reduces to
+/// the paper's estimator.
+class PhaseEwmaEstimator final : public SizeEstimator {
+ public:
+  /// Requires 0 < alpha <= 1.
+  explicit PhaseEwmaEstimator(const lsm::trace::Trace& trace,
+                              double alpha = 0.5, DefaultSizes defaults = {});
+  Bits size_at(int j, Seconds t) const override;
+  std::string name() const override { return "phase-ewma"; }
+
+ private:
+  const lsm::trace::Trace& trace_;
+  double alpha_;
+  DefaultSizes defaults_;
+  /// Per phase: the picture indices at that phase (ascending) and the EWMA
+  /// value after each of them, so a query is a binary search.
+  struct PhaseHistory {
+    std::vector<int> indices;
+    std::vector<double> ewma_after;
+  };
+  std::vector<PhaseHistory> by_phase_;
+};
+
+/// Mean of all arrived pictures of the same type; adapts slowly and washes
+/// out scene changes — included to show why recency matters.
+class TypeMeanEstimator final : public SizeEstimator {
+ public:
+  explicit TypeMeanEstimator(const lsm::trace::Trace& trace,
+                             DefaultSizes defaults = {});
+  Bits size_at(int j, Seconds t) const override;
+  std::string name() const override { return "type-mean"; }
+
+ private:
+  const lsm::trace::Trace& trace_;
+  DefaultSizes defaults_;
+  // Prefix sums and counts per type, by picture index, precomputed so that
+  // queries are O(1): sums_[t][k] = total bits of type-t pictures among 1..k.
+  std::vector<std::vector<double>> prefix_sums_;
+  std::vector<std::vector<int>> prefix_counts_;
+};
+
+}  // namespace lsm::core

@@ -1,0 +1,58 @@
+#include "core/ideal.h"
+
+#include <algorithm>
+
+namespace lsm::core {
+
+SmoothingResult smooth_ideal(const lsm::trace::Trace& trace) {
+  const int n = trace.picture_count();
+  const int pattern_length = trace.pattern().N();
+  const double tau = trace.tau();
+
+  SmoothingResult result;
+  result.variant = Variant::kBasic;
+  result.estimator_name = "ideal";
+  result.sends.reserve(static_cast<std::size_t>(n));
+  result.diagnostics.reserve(static_cast<std::size_t>(n));
+
+  Seconds depart = 0.0;
+  Rate previous_rate = 0.0;
+  for (int first = 1; first <= n; first += pattern_length) {
+    const int last = std::min(first + pattern_length - 1, n);
+    double pattern_bits = 0.0;
+    for (int i = first; i <= last; ++i) {
+      pattern_bits += static_cast<double>(trace.size_of(i));
+    }
+    const Rate rate =
+        pattern_bits / (static_cast<double>(last - first + 1) * tau);
+
+    for (int i = first; i <= last; ++i) {
+      // All pictures of the pattern must have arrived: not before last*tau.
+      const Seconds start =
+          std::max(depart, static_cast<double>(last) * tau);
+      PictureSend send;
+      send.index = i;
+      send.bits = trace.size_of(i);
+      send.rate = rate;
+      send.start = start;
+      send.depart = start + static_cast<double>(send.bits) / rate;
+      send.delay = send.depart - static_cast<double>(i - 1) * tau;
+      depart = send.depart;
+      result.sends.push_back(send);
+
+      StepDiagnostics diag;
+      diag.lookahead_used = last - i + 1;
+      diag.rate_changed = i == first && (first == 1 || rate != previous_rate);
+      result.diagnostics.push_back(diag);
+    }
+    previous_rate = rate;
+  }
+
+  result.params.K = pattern_length;
+  result.params.H = pattern_length;
+  result.params.tau = tau;
+  result.params.D = result.max_delay();
+  return result;
+}
+
+}  // namespace lsm::core

@@ -1,0 +1,20 @@
+// Ideal smoothing (paper, Section 3.2): every picture of a pattern is sent
+// at the pattern's average rate (S_i + ... + S_{i+N-1}) / (N tau). This
+// requires all N pictures of the pattern to have arrived before the first
+// may be transmitted, so delays are large and have no a-priori bound —
+// ideal smoothing is the reference the basic algorithm is measured against
+// (the R(t) of Figures 4 and Eq. 16), not a deployable scheme.
+#pragma once
+
+#include "core/schedule.h"
+#include "core/smoother.h"
+
+namespace lsm::core {
+
+/// Runs ideal smoothing over `trace`. A trailing partial pattern is averaged
+/// over its own length. The returned result has params.K = N (all sizes of a
+/// pattern known before sending), params.H = N, and params.D set to the
+/// observed maximum delay (ideal smoothing has no delay parameter).
+SmoothingResult smooth_ideal(const lsm::trace::Trace& trace);
+
+}  // namespace lsm::core

@@ -1,0 +1,150 @@
+#include "core/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace lsm::core {
+
+RateMoments rate_moments(const RateSchedule& schedule, Seconds a, Seconds b) {
+  if (!(b > a)) {
+    throw std::invalid_argument("rate_moments: empty interval");
+  }
+  const double span = b - a;
+  const double mean = schedule.integral(a, b) / span;
+
+  // Second moment over the same interval, including zero-rate gaps.
+  double second = 0.0;
+  double covered = 0.0;
+  for (const RateSegment& s : schedule.segments()) {
+    const Seconds lo = std::max(a, s.begin);
+    const Seconds hi = std::min(b, s.end);
+    if (hi > lo) {
+      second += s.rate * s.rate * (hi - lo);
+      covered += hi - lo;
+    }
+  }
+  // Remaining (uncovered) time contributes rate 0.
+  (void)covered;
+  const double variance = std::max(0.0, second / span - mean * mean);
+  return RateMoments{mean, std::sqrt(variance)};
+}
+
+double area_difference(const RateSchedule& smoothed, const RateSchedule& ideal,
+                       Seconds shift, Seconds T) {
+  if (!(T > 0.0)) throw std::invalid_argument("area_difference: T <= 0");
+  const RateSchedule reference = ideal.shifted_left(shift);
+
+  // Merge breakpoints of both schedules; both are constant between them.
+  std::vector<Seconds> points;
+  points.push_back(0.0);
+  points.push_back(T);
+  for (const Seconds t : smoothed.breakpoints()) {
+    if (t > 0.0 && t < T) points.push_back(t);
+  }
+  for (const Seconds t : reference.breakpoints()) {
+    if (t > 0.0 && t < T) points.push_back(t);
+  }
+  std::sort(points.begin(), points.end());
+  points.erase(std::unique(points.begin(), points.end()), points.end());
+
+  double excess = 0.0;
+  double reference_area = 0.0;
+  for (std::size_t k = 0; k + 1 < points.size(); ++k) {
+    const Seconds lo = points[k];
+    const Seconds hi = points[k + 1];
+    const Seconds mid = 0.5 * (lo + hi);
+    const Rate r = smoothed.rate_at(mid);
+    const Rate ref = reference.rate_at(mid);
+    excess += std::max(0.0, r - ref) * (hi - lo);
+    reference_area += ref * (hi - lo);
+  }
+  if (reference_area <= 0.0) {
+    throw std::invalid_argument("area_difference: reference area is zero");
+  }
+  return excess / reference_area;
+}
+
+RateChangeProfile rate_change_profile(const SmoothingResult& result) {
+  RateChangeProfile profile;
+  if (result.sends.empty()) return profile;
+  double magnitude_sum = 0.0;
+  for (std::size_t k = 1; k < result.sends.size(); ++k) {
+    const Rate previous = result.sends[k - 1].rate;
+    const Rate current = result.sends[k].rate;
+    const Rate magnitude = std::abs(current - previous);
+    if (magnitude <= 1e-9 * std::max(std::abs(current), 1.0)) continue;
+    ++profile.changes;
+    magnitude_sum += magnitude;
+    profile.max_magnitude = std::max(profile.max_magnitude, magnitude);
+  }
+  if (profile.changes > 0) {
+    profile.mean_magnitude = magnitude_sum / profile.changes;
+    const RateSchedule schedule = result.schedule();
+    const double span = schedule.end_time() - schedule.start_time();
+    if (span > 0.0) {
+      const double mean_rate =
+          schedule.integral(schedule.start_time(), schedule.end_time()) / span;
+      if (mean_rate > 0.0) {
+        profile.mean_relative = profile.mean_magnitude / mean_rate;
+      }
+    }
+  }
+  return profile;
+}
+
+Seconds min_delay_for_peak(const lsm::trace::Trace& trace,
+                           const SmootherParams& base, Rate target_peak,
+                           Seconds d_max, Seconds precision) {
+  if (!(target_peak > 0.0) || !(precision > 0.0)) {
+    throw std::invalid_argument("min_delay_for_peak: bad arguments");
+  }
+  auto peak_at = [&trace, &base](Seconds d) {
+    SmootherParams params = base;
+    params.D = d;
+    return smooth_basic(trace, params).schedule().max_rate();
+  };
+  Seconds lo = (base.K + 1) * base.tau;
+  Seconds hi = std::max(d_max, lo + precision);
+  if (peak_at(hi) > target_peak) return -1.0;
+  if (peak_at(lo) <= target_peak) return lo;
+  // The peak is not strictly monotone in D (estimates shift), but it is
+  // monotone enough for a bisection to land within a step of the frontier;
+  // the returned D is validated to meet the target.
+  while (hi - lo > precision) {
+    const Seconds mid = 0.5 * (lo + hi);
+    if (peak_at(mid) <= target_peak) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return peak_at(hi) <= target_peak ? hi : -1.0;
+}
+
+SmoothnessMetrics evaluate(const SmoothingResult& result,
+                           const lsm::trace::Trace& trace) {
+  SmoothnessMetrics metrics;
+  const RateSchedule schedule = result.schedule();
+  const SmoothingResult ideal = smooth_ideal(trace);
+  const RateSchedule ideal_schedule = ideal.schedule();
+
+  const Seconds shift =
+      (static_cast<double>(trace.pattern().N()) -
+       static_cast<double>(result.params.K)) *
+      result.params.tau;
+  const Seconds T = schedule.end_time();
+
+  metrics.area_difference =
+      area_difference(schedule, ideal_schedule, shift, T);
+  metrics.rate_changes = result.rate_change_count();
+  metrics.max_rate = schedule.max_rate();
+  const RateMoments moments = rate_moments(schedule, 0.0, T);
+  metrics.rate_mean = moments.mean;
+  metrics.rate_stddev = moments.stddev;
+  metrics.max_delay = result.max_delay();
+  return metrics;
+}
+
+}  // namespace lsm::core

@@ -1,0 +1,71 @@
+// Quantitative smoothness measures (paper, Section 5.2):
+//
+//   * area difference (Eq. 16) between r(t) and the time-shifted ideal
+//     R(t + (N-K) tau);
+//   * number of rate changes over [0, T];
+//   * maximum of r(t) over [0, T];
+//   * standard deviation of r(t) over [0, T].
+//
+// Figures 6-8 plot these four measures against D, H, and K respectively.
+#pragma once
+
+#include "core/ideal.h"
+#include "core/schedule.h"
+#include "core/smoother.h"
+
+namespace lsm::core {
+
+/// Time-weighted mean and standard deviation of a rate function over [a, b]
+/// (r(t) = 0 where the schedule is undefined).
+struct RateMoments {
+  Rate mean = 0.0;
+  Rate stddev = 0.0;
+};
+
+RateMoments rate_moments(const RateSchedule& schedule, Seconds a, Seconds b);
+
+/// Eq. 16: integral over [0, T] of [r(t) - R(t + shift)]^+ divided by the
+/// integral of R(t + shift); `ideal` is evaluated shifted left by `shift`.
+/// Requires T > 0 and a nonzero denominator.
+double area_difference(const RateSchedule& smoothed, const RateSchedule& ideal,
+                       Seconds shift, Seconds T);
+
+/// The paper's four measures for one smoothing run of `trace`.
+struct SmoothnessMetrics {
+  double area_difference = 0.0;
+  int rate_changes = 0;
+  Rate max_rate = 0.0;
+  Rate rate_stddev = 0.0;
+  Rate rate_mean = 0.0;
+  Seconds max_delay = 0.0;
+};
+
+/// Computes all measures. The ideal schedule is derived from `trace`; the
+/// shift is (N - K) tau per Eq. 16; moments and maxima are taken over
+/// [0, T] with T = the smoothed schedule's end time.
+SmoothnessMetrics evaluate(const SmoothingResult& result,
+                           const lsm::trace::Trace& trace);
+
+/// Magnitudes of the rate jumps a schedule makes. Section 4.4 describes the
+/// Eq. 15 variant as producing "numerous small rate changes over time" —
+/// this profile quantifies "small": the modified algorithm makes many more
+/// changes, each a fraction of the size of the basic algorithm's jumps.
+struct RateChangeProfile {
+  int changes = 0;               ///< number of rate changes (excl. start-up)
+  Rate mean_magnitude = 0.0;     ///< mean |r_i - r_{i-1}| over changes
+  Rate max_magnitude = 0.0;
+  double mean_relative = 0.0;    ///< mean magnitude / time-average rate
+};
+RateChangeProfile rate_change_profile(const SmoothingResult& result);
+
+/// Inverts the Figure 6 design tradeoff: the smallest delay bound D at
+/// which the basic algorithm's max rate does not exceed `target_peak`
+/// (searched to `precision` seconds over [ (K+1) tau, d_max ]). Returns a
+/// negative value when even d_max cannot meet the target. This is the
+/// question an application actually asks: "how much delay do I need to
+/// afford to fit this channel?"
+Seconds min_delay_for_peak(const lsm::trace::Trace& trace,
+                           const SmootherParams& base, Rate target_peak,
+                           Seconds d_max = 2.0, Seconds precision = 1e-3);
+
+}  // namespace lsm::core

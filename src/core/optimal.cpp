@@ -1,0 +1,260 @@
+#include "core/optimal.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace lsm::core {
+
+namespace {
+
+constexpr double kSlopeEps = 1e-9;
+
+struct CorridorPoint {
+  Seconds t = 0.0;
+  double lo = 0.0;  ///< minimum cumulative bits sent by t (deadlines)
+  double hi = 0.0;  ///< maximum cumulative bits sent by t (availability)
+};
+
+/// Optional receiver-buffer constraint (see header).
+struct BufferSpec {
+  double bits = 0.0;
+  Seconds playout_offset = 0.0;
+};
+
+/// Builds the corridor grid for `trace` under delay bound D and an optional
+/// receiver-buffer constraint.
+std::vector<CorridorPoint> build_corridor(const lsm::trace::Trace& trace,
+                                          Seconds D,
+                                          const BufferSpec* buffer) {
+  const int n = trace.picture_count();
+  const double tau = trace.tau();
+  if (!(D > tau)) {
+    throw std::invalid_argument(
+        "smooth_offline_optimal: requires D > tau for a feasible corridor");
+  }
+
+  std::vector<double> cum(static_cast<std::size_t>(n) + 1, 0.0);
+  for (int i = 1; i <= n; ++i) {
+    cum[static_cast<std::size_t>(i)] =
+        cum[static_cast<std::size_t>(i - 1)] +
+        static_cast<double>(trace.size_of(i));
+  }
+  if (buffer != nullptr) {
+    if (!(buffer->playout_offset >= tau)) {
+      throw std::invalid_argument(
+          "smooth_offline_optimal_buffered: playout_offset must be >= tau");
+    }
+    for (int i = 1; i <= n; ++i) {
+      if (static_cast<double>(trace.size_of(i)) > buffer->bits) {
+        throw std::invalid_argument(
+            "smooth_offline_optimal_buffered: buffer smaller than a picture");
+      }
+    }
+  }
+
+  Seconds horizon = static_cast<double>(n - 1) * tau + D;
+  if (buffer != nullptr) {
+    horizon = std::max(horizon,
+                       buffer->playout_offset + static_cast<double>(n - 1) * tau);
+  }
+  // Terminus strictly after the last constraint so the buffer bound there
+  // is total + B (everything has been played out).
+  const Seconds terminus = horizon + 0.5 * tau;
+
+  std::vector<Seconds> times;
+  times.reserve(static_cast<std::size_t>(3 * n) + 2);
+  times.push_back(0.0);
+  for (int i = 1; i <= n; ++i) {
+    times.push_back(static_cast<double>(i) * tau);
+    times.push_back(static_cast<double>(i - 1) * tau + D);
+    if (buffer != nullptr) {
+      times.push_back(buffer->playout_offset +
+                      static_cast<double>(i - 1) * tau);
+    }
+  }
+  times.push_back(terminus);
+  std::sort(times.begin(), times.end());
+  times.erase(std::unique(times.begin(), times.end(),
+                          [](Seconds a, Seconds b) {
+                            return std::abs(a - b) < 1e-12;
+                          }),
+              times.end());
+  while (!times.empty() && times.back() > terminus + 1e-12) times.pop_back();
+
+  std::vector<CorridorPoint> grid;
+  grid.reserve(times.size());
+  for (const Seconds t : times) {
+    CorridorPoint point;
+    point.t = t;
+    // Availability approached from the left: pictures with i*tau strictly
+    // before t have fully arrived and are sendable.
+    const int arrived = std::min(
+        n, static_cast<int>(std::floor(t / tau - 1e-12)));
+    point.hi = cum[static_cast<std::size_t>(std::max(0, arrived))];
+    // Deadlines are inclusive: pictures with (i-1)tau + D <= t must be out.
+    const int due = std::clamp(
+        static_cast<int>(std::floor((t - D) / tau + 1e-12)) + 1, 0, n);
+    point.lo = cum[static_cast<std::size_t>(due)];
+    if (buffer != nullptr) {
+      // Playout lower bound (inclusive): picture i fully delivered by
+      // playout_offset + (i-1) tau.
+      const int played_inclusive = std::clamp(
+          static_cast<int>(std::floor(
+              (t - buffer->playout_offset) / tau + 1e-12)) + 1,
+          0, n);
+      point.lo = std::max(point.lo,
+                          cum[static_cast<std::size_t>(played_inclusive)]);
+      // Buffer upper bound (exclusive of a removal exactly at t): at most
+      // B bits beyond what has already been played out.
+      const int played_exclusive = std::clamp(
+          static_cast<int>(std::floor(
+              (t - buffer->playout_offset) / tau - 1e-12)) + 1,
+          0, n);
+      point.hi = std::min(
+          point.hi,
+          buffer->bits + cum[static_cast<std::size_t>(played_exclusive)]);
+    }
+    if (point.lo > point.hi + 1e-6) {
+      throw std::invalid_argument(
+          "smooth_offline_optimal: corridor infeasible");
+    }
+    grid.push_back(point);
+  }
+  return grid;
+}
+
+/// Taut string through the corridor plus per-picture departures.
+OptimalResult solve_corridor(const lsm::trace::Trace& trace,
+                             const std::vector<CorridorPoint>& grid) {
+  const std::size_t m = grid.size() - 1;
+
+  std::vector<CorridorPoint> vertices;  // (t, x) path vertices; lo==hi==x
+  Seconds cur_t = grid[0].t;
+  double cur_x = grid[0].lo;  // == 0
+  vertices.push_back(CorridorPoint{cur_t, cur_x, cur_x});
+  std::size_t k0 = 0;
+  while (k0 < m) {
+    double min_up = std::numeric_limits<double>::infinity();
+    double max_lo = -std::numeric_limits<double>::infinity();
+    std::size_t pin_hi = k0, pin_lo = k0;
+    bool bent = false;
+    for (std::size_t k = k0 + 1; k <= m; ++k) {
+      const double dt = grid[k].t - cur_t;
+      const double up = (grid[k].hi - cur_x) / dt;
+      const double lo = (grid[k].lo - cur_x) / dt;
+      if (lo > min_up + kSlopeEps) {
+        // Pulled over the availability/buffer staircase: bend on it.
+        cur_t = grid[pin_hi].t;
+        cur_x = grid[pin_hi].hi;
+        k0 = pin_hi;
+        bent = true;
+        break;
+      }
+      if (up < max_lo - kSlopeEps) {
+        // Pulled under the deadline staircase: bend on it.
+        cur_t = grid[pin_lo].t;
+        cur_x = grid[pin_lo].lo;
+        k0 = pin_lo;
+        bent = true;
+        break;
+      }
+      if (up < min_up) {
+        min_up = up;
+        pin_hi = k;
+      }
+      if (lo > max_lo) {
+        max_lo = lo;
+        pin_lo = k;
+      }
+    }
+    if (!bent) {
+      // Straight run to the terminus; there lo == total and hi >= total,
+      // so aim at the lowest admissible endpoint (all bits delivered).
+      cur_t = grid[m].t;
+      cur_x = grid[m].lo;
+      k0 = m;
+    }
+    vertices.push_back(CorridorPoint{cur_t, cur_x, cur_x});
+  }
+
+  OptimalResult result;
+  std::vector<RateSegment> segments;
+  segments.reserve(vertices.size());
+  for (std::size_t v = 1; v < vertices.size(); ++v) {
+    const double dt = vertices[v].t - vertices[v - 1].t;
+    if (dt <= 0.0) continue;
+    const Rate rate = (vertices[v].lo - vertices[v - 1].lo) / dt;
+    segments.push_back(
+        RateSegment{vertices[v - 1].t, vertices[v].t, std::max(0.0, rate)});
+    result.peak_rate = std::max(result.peak_rate, rate);
+  }
+  result.schedule = RateSchedule(std::move(segments));
+
+  // Per-picture departure times: the first instant X(t) reaches cum_i.
+  const int n = trace.picture_count();
+  const double tau = trace.tau();
+  result.departures.resize(static_cast<std::size_t>(n));
+  result.delays.resize(static_cast<std::size_t>(n));
+  double cum = 0.0;
+  std::size_t v = 1;
+  double x_prev = vertices[0].lo;
+  for (int i = 1; i <= n; ++i) {
+    cum += static_cast<double>(trace.size_of(i));
+    while (v < vertices.size() && vertices[v].lo < cum - 1e-6) {
+      x_prev = vertices[v].lo;
+      ++v;
+    }
+    Seconds departure;
+    if (v >= vertices.size()) {
+      departure = vertices.back().t;
+    } else {
+      const double x0 = x_prev;
+      const double x1 = vertices[v].lo;
+      const Seconds t0 = vertices[v - 1].t;
+      const Seconds t1 = vertices[v].t;
+      departure = x1 > x0 ? t0 + (cum - x0) / (x1 - x0) * (t1 - t0) : t1;
+    }
+    result.departures[static_cast<std::size_t>(i - 1)] = departure;
+    result.delays[static_cast<std::size_t>(i - 1)] =
+        departure - static_cast<double>(i - 1) * tau;
+  }
+  return result;
+}
+
+}  // namespace
+
+Seconds OptimalResult::max_delay() const noexcept {
+  Seconds worst = 0.0;
+  for (const Seconds d : delays) worst = std::max(worst, d);
+  return worst;
+}
+
+OptimalResult smooth_offline_optimal(const lsm::trace::Trace& trace,
+                                     Seconds D) {
+  return solve_corridor(trace, build_corridor(trace, D, nullptr));
+}
+
+OptimalResult smooth_offline_optimal_buffered(const lsm::trace::Trace& trace,
+                                              Seconds D,
+                                              double receiver_buffer_bits,
+                                              Seconds playout_offset) {
+  const BufferSpec buffer{receiver_buffer_bits, playout_offset};
+  return solve_corridor(trace, build_corridor(trace, D, &buffer));
+}
+
+Rate minimal_feasible_peak(const lsm::trace::Trace& trace, Seconds D) {
+  const std::vector<CorridorPoint> grid = build_corridor(trace, D, nullptr);
+  Rate bound = 0.0;
+  for (std::size_t j = 0; j < grid.size(); ++j) {
+    for (std::size_t k = j + 1; k < grid.size(); ++k) {
+      if (grid[k].lo <= grid[j].hi) continue;
+      bound = std::max(bound,
+                       (grid[k].lo - grid[j].hi) / (grid[k].t - grid[j].t));
+    }
+  }
+  return bound;
+}
+
+}  // namespace lsm::core

@@ -1,0 +1,64 @@
+// Offline-optimal lossless smoothing with a-priori-known picture sizes: the
+// baseline the paper contrasts with (Ott, Lakshman & Tabatabai [8] assume
+// all sizes known and have no K parameter and no repeating pattern).
+//
+// Formulation. Let cum_i = S_1 + ... + S_i. The cumulative bits sent X(t)
+// must stay inside a corridor:
+//
+//   availability (upper): bits of picture i can be sent only after its
+//     arrival completes at i tau, so X(t) <= cum_{floor(t/tau)} —
+//     approaching from the left, X(i tau) <= cum_{i-1} holds by continuity;
+//   deadline (lower): picture i must fully depart by (i-1) tau + D, so
+//     X(t) >= cum_i for t >= (i-1) tau + D.
+//
+// The schedule minimizing both the peak rate and the rate variance among all
+// feasible schedules is the *taut string* (shortest path) through this
+// corridor — a classical majorization argument. Feasibility requires
+// D > tau strictly (at D == tau the deadline of picture i coincides with its
+// arrival instant and no finite rate suffices).
+#pragma once
+
+#include <vector>
+
+#include "core/schedule.h"
+
+namespace lsm::core {
+
+/// Result of the offline-optimal smoother.
+struct OptimalResult {
+  RateSchedule schedule;             ///< piecewise-constant r(t)
+  std::vector<Seconds> departures;   ///< d_i per picture (1-based at [i-1])
+  std::vector<Seconds> delays;       ///< d_i - (i-1) tau
+  Rate peak_rate = 0.0;              ///< max slope of the taut string
+
+  Seconds max_delay() const noexcept;
+};
+
+/// Computes the taut-string schedule for `trace` under delay bound `D`.
+/// Throws std::invalid_argument if D <= tau (infeasible corridor).
+OptimalResult smooth_offline_optimal(const lsm::trace::Trace& trace,
+                                     Seconds D);
+
+/// Lower bound on the peak rate of *any* feasible schedule for this corridor
+/// (max average slope over corridor-constrained intervals). The taut string
+/// attains it; exposed for tests.
+Rate minimal_feasible_peak(const lsm::trace::Trace& trace, Seconds D);
+
+/// Buffer-constrained variant: additionally caps the RECEIVER buffer at
+/// `receiver_buffer_bits`. The decoder removes picture i's bits at its
+/// playout instant playout_offset + (i-1) tau, so the upper corridor
+/// becomes min(availability, played(t) + B) and the lower corridor also
+/// enforces "picture i fully delivered by its playout". This is the classic
+/// client-buffer-constrained smoothing formulation that followed the paper
+/// (Salehi et al.); with B = +infinity and playout_offset >= D it reduces
+/// exactly to smooth_offline_optimal.
+///
+/// Throws std::invalid_argument if D <= tau, playout_offset < tau, the
+/// buffer cannot hold the largest picture, or the corridor is otherwise
+/// infeasible.
+OptimalResult smooth_offline_optimal_buffered(const lsm::trace::Trace& trace,
+                                              Seconds D,
+                                              double receiver_buffer_bits,
+                                              Seconds playout_offset);
+
+}  // namespace lsm::core

@@ -1,0 +1,22 @@
+#include "core/params.h"
+
+namespace lsm::core {
+
+void SmootherParams::validate() const {
+  if (!(D > 0.0)) throw InvalidParams("SmootherParams: D must be > 0");
+  if (K < 0) throw InvalidParams("SmootherParams: K must be >= 0");
+  if (H < 1) throw InvalidParams("SmootherParams: H must be >= 1");
+  if (!(tau > 0.0)) throw InvalidParams("SmootherParams: tau must be > 0");
+  if (rate_quantum < 0.0) {
+    throw InvalidParams("SmootherParams: rate_quantum must be >= 0");
+  }
+}
+
+bool SmootherParams::guarantees_delay_bound() const noexcept {
+  // A hair of tolerance so D specified as exactly (K+1)*tau (as in the
+  // paper's Figure 5/8 experiments, D = 0.1333 + (K+1)/30) passes cleanly.
+  constexpr double kEps = 1e-12;
+  return K >= 1 && D + kEps >= (static_cast<double>(K) + 1.0) * tau;
+}
+
+}  // namespace lsm::core

@@ -1,0 +1,55 @@
+// Parameters of the smoothing algorithm (paper, Section 4.1):
+//
+//   D — maximum delay for every picture (seconds); the delay of picture i is
+//       d_i - (i-1)tau and includes encoding, queueing, and sending delay.
+//   K — number of completely-arrived pictures required before the server may
+//       begin sending picture i (pictures i .. i+K-1 must have arrived).
+//   H — lookahead interval in pictures used by the rate-selection loop.
+//
+// Satisfiability (paper Eq. 1): the delay bound is guaranteed only when
+// K >= 1 and D >= (K+1) tau. K = 0 and smaller D are *permitted* (the paper
+// itself runs K = 0 experiments to exhibit violations); use
+// guarantees_delay_bound() to ask whether Theorem 1 applies.
+#pragma once
+
+#include <stdexcept>
+
+#include "trace/trace.h"
+
+namespace lsm::core {
+
+using Bits = lsm::trace::Bits;
+using Seconds = double;
+using Rate = double;  // bits per second
+
+/// Thrown when parameters are structurally invalid (not merely outside the
+/// Theorem 1 regime).
+class InvalidParams : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+struct SmootherParams {
+  Seconds D = 0.2;                     ///< delay bound, seconds
+  int K = 1;                           ///< pictures required in queue
+  int H = 9;                           ///< lookahead interval, pictures
+  Seconds tau = lsm::trace::kDefaultTau;  ///< picture period, seconds
+
+  /// Channel rate granularity in bits/s; 0 means a continuous-rate channel.
+  /// Networks of the paper's era offered discrete rate classes (the p x 64
+  /// kb/s channels its introduction cites for H.261): when > 0, selected
+  /// rates are snapped to the nearest multiple that still lies inside the
+  /// Theorem 1 interval [r^L, r^U] — so the guarantees are untouched; when
+  /// no multiple fits, the exact rate is used for that picture.
+  Rate rate_quantum = 0.0;
+
+  /// Throws InvalidParams unless D > 0, K >= 0, H >= 1, tau > 0,
+  /// rate_quantum >= 0.
+  void validate() const;
+
+  /// True iff Theorem 1 guarantees the delay bound and continuous service:
+  /// K >= 1 and D >= (K+1) tau (Eq. 1).
+  bool guarantees_delay_bound() const noexcept;
+};
+
+}  // namespace lsm::core

@@ -1,0 +1,108 @@
+// Internal: the rate-selection inner loop of Figure 2, shared by the batch
+// SmootherEngine and the StreamingSmoother so the two cannot diverge. See
+// engine.h for the algorithm documentation.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/bounds.h"
+#include "core/engine.h"
+
+namespace lsm::core::detail {
+
+struct RateDecision {
+  Rate rate = 0.0;
+  StepDiagnostics diag{};
+};
+
+/// Selects r_i for picture i deciding at time `t_i`.
+///  - `last_picture` bounds the lookahead (i + h <= last_picture); pass a
+///    huge value for an unbounded (streaming, pre-finish) sequence.
+///  - `size_at(j, t)` is the paper's size function (actual or estimated).
+///  - `previous_rate` is r_{i-1} (ignored for i == 1).
+///  - `fallback_bits` is the value used to realize a rate if every bound is
+///    ill-defined (only reachable outside the Theorem 1 regime).
+template <typename SizeFn>
+RateDecision select_rate(int i, Seconds t_i, int last_picture,
+                         Rate previous_rate, const SmootherParams& params,
+                         int pattern_length, Variant variant,
+                         double fallback_bits, SizeFn&& size_at) {
+  const double tau = params.tau;
+  int h = 0;
+  double sum = 0.0;
+  Rate lower = 0.0;
+  Rate upper = kUnbounded;
+  Rate lower_old = 0.0;
+  Rate upper_old = kUnbounded;
+  bool early_exit = false;
+  while (true) {
+    if (i + h > last_picture) break;  // sequence end: nothing further
+    sum += static_cast<double>(size_at(i + h, t_i));
+    lower_old = lower;
+    upper_old = upper;
+    const Rate lo = lookahead_lower_bound(sum, i, h, t_i, params);
+    const Rate up = lookahead_upper_bound(sum, i, h, t_i, params);
+    lower = std::max(lo, lower_old);
+    upper = std::min(up, upper_old);
+    ++h;
+    if (lower > upper) {
+      early_exit = true;
+      break;
+    }
+    if (h >= params.H) break;
+  }
+
+  Rate rate = previous_rate;
+  if (early_exit) {
+    // Section 4.4: either the new lower bound rose above the standing
+    // interval (upper == upper_old; send as fast as allowed) or the new
+    // upper fell below it (lower == lower_old; send as slow as allowed).
+    rate = (lower > lower_old) ? upper : lower;
+  } else if (i == 1) {
+    rate = std::isfinite(upper) ? (lower + upper) / 2.0 : 2.0 * lower;
+  } else {
+    if (variant == Variant::kMovingAverage) {
+      rate = sum / (static_cast<double>(pattern_length) * tau);
+    }
+    if (rate > upper) {
+      rate = upper;
+    } else if (rate < lower) {
+      rate = lower;
+    }
+  }
+
+  // Realizability fallback: never emit an infinite or non-positive rate.
+  // Only reachable outside the Theorem 1 regime (see engine.h).
+  if (!std::isfinite(rate) || rate <= 0.0) {
+    rate = std::isfinite(lower) && lower > 0.0   ? lower
+           : std::isfinite(upper) && upper > 0.0 ? upper
+                                                 : fallback_bits / tau;
+  }
+
+  // Discrete-rate channel: snap to the nearest quantum multiple that stays
+  // inside [lower, upper]; keep the exact rate when no multiple fits.
+  if (params.rate_quantum > 0.0 && std::isfinite(rate)) {
+    const double quantum = params.rate_quantum;
+    double snapped = std::round(rate / quantum) * quantum;
+    if (snapped < lower) snapped += quantum;
+    if (snapped > upper && std::isfinite(upper)) snapped -= quantum;
+    if (snapped >= lower && (!std::isfinite(upper) || snapped <= upper) &&
+        snapped > 0.0) {
+      rate = snapped;
+    }
+  }
+
+  RateDecision decision;
+  decision.rate = rate;
+  decision.diag.lookahead_used = h;
+  decision.diag.early_exit = early_exit;
+  decision.diag.lower = lower;
+  decision.diag.upper = upper;
+  decision.diag.rate_changed =
+      i == 1 || std::abs(rate - previous_rate) >
+                    1e-9 * std::max(std::abs(rate), 1.0);
+  return decision;
+}
+
+}  // namespace lsm::core::detail

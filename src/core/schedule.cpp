@@ -1,0 +1,100 @@
+#include "core/schedule.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace lsm::core {
+
+namespace {
+constexpr double kTimeEps = 1e-12;
+}
+
+RateSchedule::RateSchedule(std::vector<RateSegment> segments)
+    : segments_(std::move(segments)) {
+  for (std::size_t k = 0; k < segments_.size(); ++k) {
+    const RateSegment& s = segments_[k];
+    if (!(s.begin < s.end)) {
+      throw std::invalid_argument("RateSchedule: segment with begin >= end");
+    }
+    if (s.rate < 0.0 || !std::isfinite(s.rate)) {
+      throw std::invalid_argument("RateSchedule: invalid rate");
+    }
+    if (k > 0 && s.begin < segments_[k - 1].end - kTimeEps) {
+      throw std::invalid_argument("RateSchedule: overlapping segments");
+    }
+  }
+}
+
+RateSchedule RateSchedule::from_sends(const std::vector<PictureSend>& sends) {
+  std::vector<RateSegment> segments;
+  segments.reserve(sends.size());
+  for (const PictureSend& send : sends) {
+    if (send.depart > send.start) {
+      segments.push_back(RateSegment{send.start, send.depart, send.rate});
+    }
+  }
+  return RateSchedule(std::move(segments));
+}
+
+Seconds RateSchedule::start_time() const noexcept {
+  return segments_.empty() ? 0.0 : segments_.front().begin;
+}
+
+Seconds RateSchedule::end_time() const noexcept {
+  return segments_.empty() ? 0.0 : segments_.back().end;
+}
+
+Rate RateSchedule::rate_at(Seconds t) const noexcept {
+  // First segment whose end is after t; right-continuous at breakpoints.
+  auto it = std::upper_bound(
+      segments_.begin(), segments_.end(), t,
+      [](Seconds value, const RateSegment& s) { return value < s.end; });
+  if (it == segments_.end() || t < it->begin) return 0.0;
+  return it->rate;
+}
+
+double RateSchedule::integral(Seconds a, Seconds b) const {
+  if (a > b) throw std::invalid_argument("RateSchedule::integral: a > b");
+  double total = 0.0;
+  for (const RateSegment& s : segments_) {
+    const Seconds lo = std::max(a, s.begin);
+    const Seconds hi = std::min(b, s.end);
+    if (hi > lo) total += s.rate * (hi - lo);
+    if (s.begin >= b) break;
+  }
+  return total;
+}
+
+Rate RateSchedule::max_rate() const noexcept {
+  Rate peak = 0.0;
+  for (const RateSegment& s : segments_) peak = std::max(peak, s.rate);
+  return peak;
+}
+
+std::vector<Seconds> RateSchedule::breakpoints() const {
+  std::vector<Seconds> points;
+  points.reserve(segments_.size() * 2);
+  for (const RateSegment& s : segments_) {
+    points.push_back(s.begin);
+    points.push_back(s.end);
+  }
+  std::sort(points.begin(), points.end());
+  points.erase(std::unique(points.begin(), points.end(),
+                           [](Seconds a, Seconds b) {
+                             return std::abs(a - b) <= kTimeEps;
+                           }),
+               points.end());
+  return points;
+}
+
+RateSchedule RateSchedule::shifted_left(Seconds shift) const {
+  std::vector<RateSegment> moved;
+  moved.reserve(segments_.size());
+  for (const RateSegment& s : segments_) {
+    moved.push_back(RateSegment{s.begin - shift, s.end - shift, s.rate});
+  }
+  return RateSchedule(std::move(moved));
+}
+
+}  // namespace lsm::core

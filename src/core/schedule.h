@@ -1,0 +1,78 @@
+// Rate schedules: the output of every smoother in this library.
+//
+// A schedule is the piecewise-constant channel rate function r(t) together
+// with (when produced by a per-picture smoother) the per-picture send
+// records (t_i, d_i, r_i, delay_i) of the paper's system model.
+#pragma once
+
+#include <vector>
+
+#include "core/params.h"
+
+namespace lsm::core {
+
+/// Send record for one picture (paper Eqs. 2-4).
+struct PictureSend {
+  int index = 0;        ///< 1-based picture index i
+  Seconds start = 0.0;  ///< t_i, when the server begins sending picture i
+  Seconds depart = 0.0; ///< d_i = t_i + S_i / r_i
+  Rate rate = 0.0;      ///< r_i in bits/s
+  Seconds delay = 0.0;  ///< d_i - (i-1) tau
+  Bits bits = 0;        ///< S_i
+};
+
+/// One constant-rate interval of r(t).
+struct RateSegment {
+  Seconds begin = 0.0;
+  Seconds end = 0.0;
+  Rate rate = 0.0;
+};
+
+/// Piecewise-constant rate function. r(t) = 0 outside all segments.
+/// Invariants: segments are sorted, non-overlapping, with begin < end and
+/// rate >= 0.
+class RateSchedule {
+ public:
+  RateSchedule() = default;
+
+  /// Throws std::invalid_argument if segments violate the invariants.
+  explicit RateSchedule(std::vector<RateSegment> segments);
+
+  /// Builds the schedule of a per-picture smoother: one segment per send
+  /// (adjacent equal-rate segments are kept separate so that per-picture
+  /// structure is preserved; queries are unaffected).
+  static RateSchedule from_sends(const std::vector<PictureSend>& sends);
+
+  const std::vector<RateSegment>& segments() const noexcept {
+    return segments_;
+  }
+  bool empty() const noexcept { return segments_.empty(); }
+
+  /// First instant with a defined rate, 0 if empty.
+  Seconds start_time() const noexcept;
+  /// Last instant with a defined rate, 0 if empty.
+  Seconds end_time() const noexcept;
+
+  /// r(t); 0 outside segments. At a breakpoint the right-continuous value is
+  /// returned.
+  Rate rate_at(Seconds t) const noexcept;
+
+  /// Integral of r over [a, b] in bits. Requires a <= b.
+  double integral(Seconds a, Seconds b) const;
+
+  /// Maximum rate over all segments (0 if empty).
+  Rate max_rate() const noexcept;
+
+  /// Sorted unique segment boundary times.
+  std::vector<Seconds> breakpoints() const;
+
+  /// Time-shifted copy: the returned schedule's value at t equals this
+  /// schedule's value at t + shift (i.e. the graph moves left by `shift`
+  /// when shift > 0 — matching R(t + (N-K) tau) in paper Eq. 16).
+  RateSchedule shifted_left(Seconds shift) const;
+
+ private:
+  std::vector<RateSegment> segments_;
+};
+
+}  // namespace lsm::core

@@ -1,0 +1,48 @@
+#include "core/smoother.h"
+
+#include <algorithm>
+
+namespace lsm::core {
+
+Seconds SmoothingResult::max_delay() const noexcept {
+  Seconds worst = 0.0;
+  for (const PictureSend& send : sends) worst = std::max(worst, send.delay);
+  return worst;
+}
+
+int SmoothingResult::rate_change_count() const noexcept {
+  int count = 0;
+  for (const StepDiagnostics& d : diagnostics) count += d.rate_changed ? 1 : 0;
+  return count;
+}
+
+SmoothingResult smooth(const lsm::trace::Trace& trace,
+                       const SmootherParams& params,
+                       const SizeEstimator& estimator, Variant variant) {
+  SmootherEngine engine(trace, params, estimator, variant);
+  SmoothingResult result;
+  result.params = params;
+  result.variant = variant;
+  result.estimator_name = estimator.name();
+  result.sends.reserve(static_cast<std::size_t>(trace.picture_count()));
+  result.diagnostics.reserve(static_cast<std::size_t>(trace.picture_count()));
+  while (!engine.done()) {
+    result.sends.push_back(engine.step());
+    result.diagnostics.push_back(engine.last_diagnostics());
+  }
+  return result;
+}
+
+SmoothingResult smooth_basic(const lsm::trace::Trace& trace,
+                             const SmootherParams& params) {
+  PatternEstimator estimator(trace);
+  return smooth(trace, params, estimator, Variant::kBasic);
+}
+
+SmoothingResult smooth_modified(const lsm::trace::Trace& trace,
+                                const SmootherParams& params) {
+  PatternEstimator estimator(trace);
+  return smooth(trace, params, estimator, Variant::kMovingAverage);
+}
+
+}  // namespace lsm::core

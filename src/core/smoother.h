@@ -1,0 +1,46 @@
+// Batch front end over SmootherEngine: run a whole trace through the basic
+// or modified algorithm and collect the result.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/schedule.h"
+
+namespace lsm::core {
+
+/// Complete output of one smoothing run.
+struct SmoothingResult {
+  std::vector<PictureSend> sends;          ///< one record per picture
+  std::vector<StepDiagnostics> diagnostics; ///< parallel to sends
+  SmootherParams params;
+  Variant variant = Variant::kBasic;
+  std::string estimator_name;
+
+  /// The rate function r(t) as a schedule.
+  RateSchedule schedule() const { return RateSchedule::from_sends(sends); }
+
+  /// Largest per-picture delay observed.
+  Seconds max_delay() const noexcept;
+
+  /// Number of times r(t) changed (the first assignment counts as a change,
+  /// matching "number of rate changes over [0, T]").
+  int rate_change_count() const noexcept;
+};
+
+/// Runs `variant` of the algorithm over `trace` using `estimator`.
+SmoothingResult smooth(const lsm::trace::Trace& trace,
+                       const SmootherParams& params,
+                       const SizeEstimator& estimator,
+                       Variant variant = Variant::kBasic);
+
+/// Convenience: basic algorithm with the paper's pattern estimator.
+SmoothingResult smooth_basic(const lsm::trace::Trace& trace,
+                             const SmootherParams& params);
+
+/// Convenience: Eq. 15 moving-average variant with the pattern estimator.
+SmoothingResult smooth_modified(const lsm::trace::Trace& trace,
+                                const SmootherParams& params);
+
+}  // namespace lsm::core

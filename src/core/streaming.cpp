@@ -1,0 +1,92 @@
+#include "core/streaming.h"
+
+#include <limits>
+#include <stdexcept>
+
+#include "core/rate_select.h"
+
+namespace lsm::core {
+
+StreamingSmoother::StreamingSmoother(lsm::trace::GopPattern pattern,
+                                     SmootherParams params,
+                                     DefaultSizes defaults)
+    : pattern_(pattern), params_(params), defaults_(defaults) {
+  params_.validate();
+}
+
+void StreamingSmoother::push(Bits size) {
+  if (finished_) {
+    throw std::logic_error("StreamingSmoother::push after finish");
+  }
+  if (size <= 0) {
+    throw std::invalid_argument("StreamingSmoother::push: size must be > 0");
+  }
+  sizes_.push_back(size);
+}
+
+void StreamingSmoother::finish() {
+  finished_ = true;
+}
+
+Bits StreamingSmoother::size_at(int j, Seconds t) const {
+  if (j < 1) throw std::out_of_range("StreamingSmoother: bad picture index");
+  // Walk back one pattern at a time until a pushed-and-arrived picture.
+  int k = j;
+  while (k >= 1) {
+    const bool pushed = k <= pushed_count();
+    const bool arrived = t >= static_cast<double>(k) * params_.tau - 1e-12;
+    if (pushed && arrived) {
+      return sizes_[static_cast<std::size_t>(k - 1)];
+    }
+    k -= pattern_.N();
+  }
+  return defaults_.of(pattern_.type_of(j));
+}
+
+bool StreamingSmoother::can_decide() const {
+  const int i = next_;
+  if (i > pushed_count()) return false;  // S_i itself not yet known
+  if (finished_) return true;
+  // Pre-finish: decide only once every picture that has *arrived* by t_i
+  // has been pushed, so size_at reads exactly what the paper's size(j, t_i)
+  // would.
+  const Seconds t_i = std::max(
+      depart_, static_cast<double>(i - 1 + params_.K) * params_.tau);
+  return t_i <= static_cast<double>(pushed_count()) * params_.tau + 1e-12;
+}
+
+PictureSend StreamingSmoother::decide() {
+  const int i = next_;
+  const double tau = params_.tau;
+  const int last_picture =
+      finished_ ? pushed_count() : std::numeric_limits<int>::max() / 2;
+  const int last_required = std::min(i - 1 + params_.K, last_picture);
+  const Seconds time =
+      std::max(depart_, static_cast<double>(last_required) * tau);
+
+  const detail::RateDecision decision = detail::select_rate(
+      i, time, last_picture, rate_, params_, pattern_.N(), Variant::kBasic,
+      static_cast<double>(sizes_[static_cast<std::size_t>(i - 1)]),
+      [this](int j, Seconds t) { return size_at(j, t); });
+  rate_ = decision.rate;
+
+  PictureSend send;
+  send.index = i;
+  send.bits = sizes_[static_cast<std::size_t>(i - 1)];
+  send.start = time;
+  send.rate = rate_;
+  send.depart = time + static_cast<double>(send.bits) / rate_;
+  send.delay = send.depart - static_cast<double>(i - 1) * tau;
+
+  depart_ = send.depart;
+  ++next_;
+  return send;
+}
+
+std::vector<PictureSend> StreamingSmoother::drain() {
+  std::vector<PictureSend> sends;
+  while (can_decide()) sends.push_back(decide());
+  return sends;
+}
+
+}  // namespace lsm::core

@@ -1,0 +1,76 @@
+// Streaming smoother: the Figure 2 algorithm for a live, unbounded picture
+// sequence. SmootherEngine consumes a complete Trace; a transport protocol
+// instead learns S_i one picture at a time as the encoder finishes each
+// picture. StreamingSmoother exposes exactly that interface:
+//
+//   StreamingSmoother smoother(pattern, params);
+//   smoother.push(bits);            // picture i arrived (at time i*tau)
+//   for (auto& send : smoother.drain())  notify(send.index, send.rate);
+//   ...
+//   smoother.finish();              // encoder reached sequence end
+//   for (auto& send : smoother.drain())  ...   // tail decisions
+//
+// drain() releases the send record of picture i only when its decision
+// instant t_i = max(d_{i-1}, (i-1+K) tau) lies within already-pushed time
+// (every picture the paper's size(j, t_i) function would read as *actual*
+// has been pushed), so the decision is identical to what a clairvoyant-free
+// online implementation would compute. Sizes of unpushed pictures are
+// estimated by walking back one pattern at a time (S_{j-N}), falling back
+// to the paper's per-type defaults — the same estimator the batch engine
+// uses. Until finish() is called the sequence is treated as unbounded: the
+// lookahead window is never truncated.
+//
+// After finish(), remaining decisions use the batch engine's sequence-end
+// semantics, so push-all / finish / drain-all reproduces SmootherEngine's
+// output exactly (tested).
+#pragma once
+
+#include <vector>
+
+#include "core/estimator.h"
+#include "core/schedule.h"
+
+namespace lsm::core {
+
+class StreamingSmoother {
+ public:
+  /// Throws InvalidParams on invalid params.
+  StreamingSmoother(lsm::trace::GopPattern pattern, SmootherParams params,
+                    DefaultSizes defaults = {});
+
+  /// Picture (pushed_count()+1) finished encoding; its arrival completes at
+  /// push_count * tau. Throws std::logic_error after finish().
+  void push(Bits size);
+
+  /// Marks the end of the sequence. Idempotent.
+  void finish();
+
+  int pushed_count() const noexcept {
+    return static_cast<int>(sizes_.size());
+  }
+  /// Index of the next picture to be decided (1-based).
+  int next_picture() const noexcept { return next_; }
+  bool finished() const noexcept { return finished_; }
+
+  /// All send records whose decisions are now determined (possibly empty).
+  std::vector<PictureSend> drain();
+
+ private:
+  /// The size(j, t) function over the growing buffer.
+  Bits size_at(int j, Seconds t) const;
+  /// True when picture `next_` can be decided now.
+  bool can_decide() const;
+  PictureSend decide();
+
+  lsm::trace::GopPattern pattern_;
+  SmootherParams params_;
+  DefaultSizes defaults_;
+  std::vector<Bits> sizes_;
+  bool finished_ = false;
+
+  int next_ = 1;
+  Seconds depart_ = 0.0;
+  Rate rate_ = 0.0;
+};
+
+}  // namespace lsm::core

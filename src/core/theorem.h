@@ -1,0 +1,40 @@
+// Checker for the correctness properties of Theorem 1 against a concrete
+// smoothing run:
+//
+//   (7) delay_i <= D for every picture,
+//   (8) t_{i+1} <= i tau + D,
+//   (9) t_{i+1} = d_i (continuous service).
+//
+// Theorem 1 guarantees all three when K >= 1, D >= (K+1) tau, and rates are
+// chosen inside [r^L, r^U] — which the engine does. The checker exists to
+// *verify* runs (property tests), and to measure violations in the regimes
+// the paper deliberately explores outside the theorem (K = 0 with small
+// slack, Section 5.2).
+#pragma once
+
+#include <vector>
+
+#include "core/smoother.h"
+
+namespace lsm::core {
+
+struct TheoremReport {
+  bool delay_bound_ok = true;        ///< Eq. (7) for all pictures
+  bool start_bound_ok = true;        ///< Eq. (8) for all pictures
+  bool continuous_service_ok = true; ///< Eq. (9) for all pictures
+  int delay_violations = 0;
+  Seconds max_delay = 0.0;
+  Seconds worst_excess = 0.0;        ///< max(delay_i - D), <= 0 when ok
+  std::vector<int> violating_pictures;  ///< indices with delay_i > D
+
+  bool all_ok() const noexcept {
+    return delay_bound_ok && start_bound_ok && continuous_service_ok;
+  }
+};
+
+/// Verifies a finished run against `trace`. Time comparisons use a small
+/// absolute tolerance (1e-9 s) so exact-boundary schedules pass.
+TheoremReport check_theorem1(const SmoothingResult& result,
+                             const lsm::trace::Trace& trace);
+
+}  // namespace lsm::core

@@ -1,0 +1,131 @@
+#include "mpeg/bits.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace lsm::mpeg {
+
+void BitWriter::put_bits(std::uint32_t value, int count) {
+  if (count < 0 || count > 32) {
+    throw std::invalid_argument("BitWriter::put_bits: bad count");
+  }
+  if (count < 32 && value >= (std::uint64_t{1} << count)) {
+    throw std::invalid_argument("BitWriter::put_bits: value does not fit");
+  }
+  for (int k = count - 1; k >= 0; --k) {
+    const bool bit = ((value >> k) & 1u) != 0;
+    if (bit_pos_ == 0) bytes_.push_back(0);
+    if (bit) {
+      bytes_.back() = static_cast<std::uint8_t>(
+          bytes_.back() | (0x80u >> bit_pos_));
+    }
+    bit_pos_ = (bit_pos_ + 1) % 8;
+  }
+}
+
+void BitWriter::align() {
+  bit_pos_ = 0;
+}
+
+std::int64_t BitWriter::bit_count() const noexcept {
+  const std::int64_t full = static_cast<std::int64_t>(bytes_.size()) * 8;
+  return bit_pos_ == 0 ? full : full - (8 - bit_pos_);
+}
+
+std::vector<std::uint8_t> BitWriter::take() {
+  align();
+  return std::exchange(bytes_, {});
+}
+
+BitReader::BitReader(std::vector<std::uint8_t> bytes)
+    : bytes_(std::move(bytes)) {}
+
+std::uint32_t BitReader::get_bits(int count) {
+  if (count < 0 || count > 32) {
+    throw std::invalid_argument("BitReader::get_bits: bad count");
+  }
+  std::uint32_t value = 0;
+  for (int k = 0; k < count; ++k) {
+    if (byte_pos_ >= bytes_.size()) {
+      throw std::out_of_range("BitReader: read past end of stream");
+    }
+    const bool bit = (bytes_[byte_pos_] & (0x80u >> bit_pos_)) != 0;
+    value = (value << 1) | (bit ? 1u : 0u);
+    ++bit_pos_;
+    if (bit_pos_ == 8) {
+      bit_pos_ = 0;
+      ++byte_pos_;
+    }
+  }
+  return value;
+}
+
+void BitReader::align() {
+  if (bit_pos_ != 0) {
+    bit_pos_ = 0;
+    ++byte_pos_;
+  }
+}
+
+std::int64_t BitReader::remaining() const noexcept {
+  return static_cast<std::int64_t>(bytes_.size() - byte_pos_) * 8 - bit_pos_;
+}
+
+std::vector<std::uint8_t> escape_payload(
+    const std::vector<std::uint8_t>& raw) {
+  std::vector<std::uint8_t> out;
+  out.reserve(raw.size() + raw.size() / 64 + 4);
+  int zeros = 0;
+  for (const std::uint8_t byte : raw) {
+    if (zeros >= 2 && byte <= 0x03) {
+      out.push_back(0x03);
+      zeros = 0;
+    }
+    out.push_back(byte);
+    zeros = (byte == 0x00) ? zeros + 1 : 0;
+  }
+  // A payload ending in 0x00 0x00 could merge with a following start-code
+  // prefix; terminate such payloads with a guard byte.
+  if (zeros >= 2) out.push_back(0x03);
+  return out;
+}
+
+std::vector<std::uint8_t> unescape_payload(
+    const std::vector<std::uint8_t>& escaped) {
+  std::vector<std::uint8_t> out;
+  out.reserve(escaped.size());
+  int zeros = 0;
+  for (std::size_t k = 0; k < escaped.size(); ++k) {
+    const std::uint8_t byte = escaped[k];
+    if (zeros >= 2 && byte == 0x03) {
+      zeros = 0;
+      continue;  // emulation-prevention byte
+    }
+    out.push_back(byte);
+    zeros = (byte == 0x00) ? zeros + 1 : 0;
+  }
+  return out;
+}
+
+void append_start_code(std::vector<std::uint8_t>& out, std::uint8_t code) {
+  out.push_back(0x00);
+  out.push_back(0x00);
+  out.push_back(0x01);
+  out.push_back(code);
+}
+
+std::int64_t find_start_code(const std::vector<std::uint8_t>& data,
+                             std::int64_t from) {
+  if (from < 0) from = 0;
+  const std::int64_t size = static_cast<std::int64_t>(data.size());
+  for (std::int64_t k = from; k + 3 < size; ++k) {
+    if (data[static_cast<std::size_t>(k)] == 0x00 &&
+        data[static_cast<std::size_t>(k + 1)] == 0x00 &&
+        data[static_cast<std::size_t>(k + 2)] == 0x01) {
+      return k;
+    }
+  }
+  return -1;
+}
+
+}  // namespace lsm::mpeg

@@ -1,0 +1,98 @@
+// Bit-level I/O and start-code framing for the coded stream.
+//
+// MPEG start codes are byte-aligned 0x00 0x00 0x01 <code> sequences made
+// unique in the stream by construction of the VLC tables plus zero stuffing
+// (paper, Section 2). Our VLC layer is simplified (exp-Golomb codes, see
+// vlc.h), so uniqueness is instead enforced with explicit emulation
+// prevention: within a unit's payload every byte pair 0x00 0x00 followed by
+// a byte <= 0x03 gets a 0x03 byte inserted after the zeros on write, and the
+// reader strips it. The effect is identical — a three-byte 0x00 0x00 0x01
+// can only ever be a start code — and the mechanism is documented in
+// DESIGN.md as a deviation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace lsm::mpeg {
+
+/// MSB-first bit writer.
+class BitWriter {
+ public:
+  /// Appends the `count` low bits of `value`, most significant first.
+  /// Requires 0 <= count <= 32 and value < 2^count.
+  void put_bits(std::uint32_t value, int count);
+
+  /// Appends a single bit.
+  void put_bit(bool bit) { put_bits(bit ? 1u : 0u, 1); }
+
+  /// Pads with zero bits to the next byte boundary.
+  void align();
+
+  /// True if the current position is byte-aligned.
+  bool aligned() const noexcept { return bit_pos_ == 0; }
+
+  /// Total number of bits written so far.
+  std::int64_t bit_count() const noexcept;
+
+  /// Finishes (aligns) and returns the bytes.
+  std::vector<std::uint8_t> take();
+
+  const std::vector<std::uint8_t>& bytes() const noexcept { return bytes_; }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+  int bit_pos_ = 0;  ///< bits already used in the trailing partial byte
+};
+
+/// MSB-first bit reader over a byte buffer.
+class BitReader {
+ public:
+  explicit BitReader(std::vector<std::uint8_t> bytes);
+
+  /// Reads `count` bits (0 <= count <= 32). Throws std::out_of_range past
+  /// the end of the buffer.
+  std::uint32_t get_bits(int count);
+
+  bool get_bit() { return get_bits(1) != 0; }
+
+  /// Skips to the next byte boundary.
+  void align();
+
+  /// Bits remaining.
+  std::int64_t remaining() const noexcept;
+
+  bool exhausted() const noexcept { return remaining() <= 0; }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+  std::size_t byte_pos_ = 0;
+  int bit_pos_ = 0;
+};
+
+/// Inserts emulation-prevention bytes (see file comment).
+std::vector<std::uint8_t> escape_payload(const std::vector<std::uint8_t>& raw);
+
+/// Removes emulation-prevention bytes.
+std::vector<std::uint8_t> unescape_payload(
+    const std::vector<std::uint8_t>& escaped);
+
+/// Start-code values (the <code> byte), numbered as in MPEG-1 video.
+namespace startcode {
+inline constexpr std::uint8_t kPicture = 0x00;
+inline constexpr std::uint8_t kSliceFirst = 0x01;  ///< slice row r -> 0x01+r
+inline constexpr std::uint8_t kSliceLast = 0xAF;
+inline constexpr std::uint8_t kSequenceHeader = 0xB3;
+inline constexpr std::uint8_t kSequenceEnd = 0xB7;
+inline constexpr std::uint8_t kGroup = 0xB8;
+}  // namespace startcode
+
+/// Appends 0x00 0x00 0x01 <code> to `out`.
+void append_start_code(std::vector<std::uint8_t>& out, std::uint8_t code);
+
+/// Finds the next start code at or after `from`. Returns the offset of the
+/// 0x00 of the prefix, or -1 if none.
+std::int64_t find_start_code(const std::vector<std::uint8_t>& data,
+                             std::int64_t from);
+
+}  // namespace lsm::mpeg

@@ -1,0 +1,112 @@
+#include "mpeg/coding.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lsm::mpeg::detail {
+
+namespace {
+
+std::int16_t clamp255(int v) noexcept {
+  return static_cast<std::int16_t>(std::clamp(v, 0, 255));
+}
+
+/// Offsets of block b within the macroblock, in its own plane's units.
+void block_origin(int b, int& x0, int& y0) noexcept {
+  switch (b) {
+    case 0: x0 = 0; y0 = 0; break;
+    case 1: x0 = 8; y0 = 0; break;
+    case 2: x0 = 0; y0 = 8; break;
+    case 3: x0 = 8; y0 = 8; break;
+    default: x0 = 0; y0 = 0; break;  // chroma blocks span the whole 8x8
+  }
+}
+
+}  // namespace
+
+Block block_of(const MacroblockPixels& mb, int b) {
+  if (b < 0 || b > 5) throw std::invalid_argument("block_of: bad index");
+  Block out{};
+  if (b < 4) {
+    int x0 = 0, y0 = 0;
+    block_origin(b, x0, y0);
+    for (int y = 0; y < 8; ++y) {
+      for (int x = 0; x < 8; ++x) {
+        out[static_cast<std::size_t>(y * 8 + x)] = static_cast<std::int16_t>(
+            mb.y[static_cast<std::size_t>((y0 + y) * 16 + (x0 + x))]);
+      }
+    }
+  } else {
+    const auto& plane = b == 4 ? mb.cb : mb.cr;
+    for (std::size_t k = 0; k < 64; ++k) {
+      out[k] = static_cast<std::int16_t>(plane[k]);
+    }
+  }
+  return out;
+}
+
+void store_block(Frame& frame, int mb_x, int mb_y, int b,
+                 const Block& samples) {
+  if (b < 4) {
+    int x0 = 0, y0 = 0;
+    block_origin(b, x0, y0);
+    const int fx = mb_x * 16 + x0;
+    const int fy = mb_y * 16 + y0;
+    for (int y = 0; y < 8; ++y) {
+      for (int x = 0; x < 8; ++x) {
+        frame.y.set(fx + x, fy + y,
+                    static_cast<std::uint8_t>(
+                        samples[static_cast<std::size_t>(y * 8 + x)]));
+      }
+    }
+  } else {
+    Plane& plane = b == 4 ? frame.cb : frame.cr;
+    const int fx = mb_x * 8;
+    const int fy = mb_y * 8;
+    for (int y = 0; y < 8; ++y) {
+      for (int x = 0; x < 8; ++x) {
+        plane.set(fx + x, fy + y,
+                  static_cast<std::uint8_t>(
+                      samples[static_cast<std::size_t>(y * 8 + x)]));
+      }
+    }
+  }
+}
+
+Block reconstruct_intra(const CoeffBlock& levels, int quantizer_scale) {
+  const CoeffBlock coeffs = dequantize_intra(levels, quantizer_scale);
+  Block spatial = inverse_dct(coeffs);
+  for (auto& s : spatial) s = clamp255(s + 128);
+  return spatial;
+}
+
+Block reconstruct_inter(const Block& prediction, const CoeffBlock& levels,
+                        int quantizer_scale) {
+  const CoeffBlock coeffs = dequantize_inter(levels, quantizer_scale);
+  const Block residual = inverse_dct(coeffs);
+  Block out{};
+  for (std::size_t k = 0; k < 64; ++k) {
+    out[k] = clamp255(prediction[k] + residual[k]);
+  }
+  return out;
+}
+
+void store_macroblock(Frame& frame, int mb_x, int mb_y,
+                      const MacroblockPixels& mb) {
+  for (int y = 0; y < 16; ++y) {
+    for (int x = 0; x < 16; ++x) {
+      frame.y.set(mb_x * 16 + x, mb_y * 16 + y,
+                  mb.y[static_cast<std::size_t>(y * 16 + x)]);
+    }
+  }
+  for (int y = 0; y < 8; ++y) {
+    for (int x = 0; x < 8; ++x) {
+      frame.cb.set(mb_x * 8 + x, mb_y * 8 + y,
+                   mb.cb[static_cast<std::size_t>(y * 8 + x)]);
+      frame.cr.set(mb_x * 8 + x, mb_y * 8 + y,
+                   mb.cr[static_cast<std::size_t>(y * 8 + x)]);
+    }
+  }
+}
+
+}  // namespace lsm::mpeg::detail

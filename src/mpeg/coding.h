@@ -1,0 +1,47 @@
+// Block-level helpers shared by the encoder and decoder so both sides
+// compute the identical reconstruction (dequantize + IDCT + prediction +
+// clamp). Block indices within a macroblock follow MPEG numbering:
+// 0..3 = luma quadrants (top-left, top-right, bottom-left, bottom-right),
+// 4 = Cb, 5 = Cr.
+#pragma once
+
+#include "mpeg/dct.h"
+#include "mpeg/frame.h"
+#include "mpeg/motion.h"
+#include "mpeg/quant.h"
+
+namespace lsm::mpeg::detail {
+
+/// Differential-DC predictors for intracoded blocks. Luma blocks share one
+/// predictor; each chroma plane has its own. Predictors reset to 0 (the
+/// level-shifted mid-gray) at slice start and after any non-intra
+/// macroblock.
+struct DcPredictors {
+  int y = 0;
+  int cb = 0;
+  int cr = 0;
+  void reset() noexcept { y = cb = cr = 0; }
+  int& of(int block) noexcept { return block < 4 ? y : (block == 4 ? cb : cr); }
+};
+
+/// Extracts 8x8 block `b` of a macroblock as signed samples (no shift).
+Block block_of(const MacroblockPixels& mb, int b);
+
+/// Writes clamped samples of block `b` into `frame` at macroblock
+/// (mb_x, mb_y).
+void store_block(Frame& frame, int mb_x, int mb_y, int b,
+                 const Block& samples);
+
+/// Intra reconstruction: dequantize, inverse DCT, undo the 128 level shift,
+/// clamp to [0, 255].
+Block reconstruct_intra(const CoeffBlock& levels, int quantizer_scale);
+
+/// Inter reconstruction: prediction plus decoded residual, clamped.
+Block reconstruct_inter(const Block& prediction, const CoeffBlock& levels,
+                        int quantizer_scale);
+
+/// Copies a whole prediction macroblock into the reconstruction frame.
+void store_macroblock(Frame& frame, int mb_x, int mb_y,
+                      const MacroblockPixels& mb);
+
+}  // namespace lsm::mpeg::detail

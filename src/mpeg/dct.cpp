@@ -1,0 +1,85 @@
+#include "mpeg/dct.h"
+
+#include <cmath>
+
+namespace lsm::mpeg {
+
+namespace {
+
+/// basis[u][x] = c(u) * cos((2x+1) u pi / 16) with c(0) = sqrt(1/8),
+/// c(u>0) = sqrt(2/8) — the orthonormal DCT-II basis.
+struct BasisTable {
+  double value[8][8];
+  BasisTable() {
+    const double pi = 3.14159265358979323846;
+    for (int u = 0; u < 8; ++u) {
+      const double c = u == 0 ? std::sqrt(1.0 / 8.0) : std::sqrt(2.0 / 8.0);
+      for (int x = 0; x < 8; ++x) {
+        value[u][x] = c * std::cos((2 * x + 1) * u * pi / 16.0);
+      }
+    }
+  }
+};
+
+const BasisTable& basis() {
+  static const BasisTable table;
+  return table;
+}
+
+}  // namespace
+
+CoeffBlock forward_dct(const Block& spatial) {
+  const BasisTable& b = basis();
+  double rows[8][8];
+  // 1-D DCT over rows.
+  for (int y = 0; y < 8; ++y) {
+    for (int u = 0; u < 8; ++u) {
+      double acc = 0.0;
+      for (int x = 0; x < 8; ++x) {
+        acc += b.value[u][x] *
+               static_cast<double>(spatial[static_cast<std::size_t>(y * 8 + x)]);
+      }
+      rows[y][u] = acc;
+    }
+  }
+  // 1-D DCT over columns.
+  CoeffBlock out{};
+  for (int u = 0; u < 8; ++u) {
+    for (int v = 0; v < 8; ++v) {
+      double acc = 0.0;
+      for (int y = 0; y < 8; ++y) acc += b.value[v][y] * rows[y][u];
+      out[static_cast<std::size_t>(v * 8 + u)] =
+          static_cast<std::int16_t>(std::lround(acc));
+    }
+  }
+  return out;
+}
+
+Block inverse_dct(const CoeffBlock& coeffs) {
+  const BasisTable& b = basis();
+  double cols[8][8];
+  // Inverse over columns.
+  for (int u = 0; u < 8; ++u) {
+    for (int y = 0; y < 8; ++y) {
+      double acc = 0.0;
+      for (int v = 0; v < 8; ++v) {
+        acc += b.value[v][y] *
+               static_cast<double>(coeffs[static_cast<std::size_t>(v * 8 + u)]);
+      }
+      cols[y][u] = acc;
+    }
+  }
+  // Inverse over rows.
+  Block out{};
+  for (int y = 0; y < 8; ++y) {
+    for (int x = 0; x < 8; ++x) {
+      double acc = 0.0;
+      for (int u = 0; u < 8; ++u) acc += b.value[u][x] * cols[y][u];
+      out[static_cast<std::size_t>(y * 8 + x)] =
+          static_cast<std::int16_t>(std::lround(acc));
+    }
+  }
+  return out;
+}
+
+}  // namespace lsm::mpeg

@@ -1,0 +1,26 @@
+// 8x8 forward and inverse discrete cosine transform (type-II / type-III),
+// the transform MPEG applies to every block (paper, Section 2). Implemented
+// as two separable 1-D passes with a precomputed basis table; floating
+// point, with the inverse rounding back to integers.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace lsm::mpeg {
+
+/// 8x8 block of spatial samples or residuals, row-major.
+using Block = std::array<std::int16_t, 64>;
+/// 8x8 block of transform coefficients, row-major.
+using CoeffBlock = std::array<std::int16_t, 64>;
+
+/// Forward DCT. Input samples are signed (residuals, or intra samples with
+/// the 128 level shift already applied). Output coefficients are rounded to
+/// the nearest integer; with 9-bit signed input they fit comfortably in
+/// int16 (|coeff| <= 8 * 1024).
+CoeffBlock forward_dct(const Block& spatial);
+
+/// Inverse DCT, rounding to nearest integer.
+Block inverse_dct(const CoeffBlock& coeffs);
+
+}  // namespace lsm::mpeg

@@ -1,0 +1,370 @@
+#include "mpeg/decoder.h"
+
+#include <algorithm>
+#include <optional>
+#include <stdexcept>
+
+#include "mpeg/coding.h"
+#include "mpeg/vlc.h"
+
+namespace lsm::mpeg {
+
+namespace {
+
+using detail::DcPredictors;
+using lsm::trace::PictureType;
+
+struct Anchor {
+  Frame recon;
+  int display_index = -1;
+};
+
+struct SliceState {
+  DcPredictors dc;
+  MotionVector mv_pred_f;
+  MotionVector mv_pred_b;
+  void reset() {
+    dc.reset();
+    mv_pred_f = MotionVector{};
+    mv_pred_b = MotionVector{};
+  }
+};
+
+/// One start-code unit in the stream.
+struct Unit {
+  std::uint8_t code = 0;
+  std::vector<std::uint8_t> payload;  ///< unescaped
+};
+
+std::vector<Unit> split_units(const std::vector<std::uint8_t>& stream) {
+  std::vector<Unit> units;
+  std::int64_t at = find_start_code(stream, 0);
+  if (at < 0) throw std::runtime_error("decode: no start code found");
+  while (at >= 0) {
+    const std::uint8_t code = stream[static_cast<std::size_t>(at + 3)];
+    const std::int64_t body = at + 4;
+    std::int64_t next = find_start_code(stream, body);
+    const std::int64_t end = next < 0
+                                 ? static_cast<std::int64_t>(stream.size())
+                                 : next;
+    Unit unit;
+    unit.code = code;
+    unit.payload = unescape_payload(std::vector<std::uint8_t>(
+        stream.begin() + body, stream.begin() + end));
+    units.push_back(std::move(unit));
+    at = next;
+  }
+  return units;
+}
+
+CoeffBlock levels_from(const DecodedBlock& decoded, std::int16_t dc) {
+  return run_length_decode(dc, decoded.ac);
+}
+
+void decode_intra_macroblock(BitReader& reader, SliceState& state, int qscale,
+                             Frame& recon, int mb_x, int mb_y) {
+  for (int b = 0; b < 6; ++b) {
+    const DecodedBlock decoded = get_block(reader);
+    int& predictor = state.dc.of(b);
+    const int dc = predictor + decoded.dc;
+    predictor = dc;
+    const CoeffBlock levels =
+        levels_from(decoded, static_cast<std::int16_t>(dc));
+    detail::store_block(recon, mb_x, mb_y, b,
+                        detail::reconstruct_intra(levels, qscale));
+  }
+}
+
+void decode_inter_blocks(BitReader& reader, const MacroblockPixels& prediction,
+                         int qscale, Frame& recon, int mb_x, int mb_y) {
+  const std::uint32_t cbp = reader.get_bits(6);
+  for (int b = 0; b < 6; ++b) {
+    const Block pred = detail::block_of(prediction, b);
+    if (cbp & (1u << (5 - b))) {
+      const DecodedBlock decoded = get_block(reader);
+      const CoeffBlock levels = levels_from(decoded, decoded.dc);
+      detail::store_block(recon, mb_x, mb_y, b,
+                          detail::reconstruct_inter(pred, levels, qscale));
+    } else {
+      detail::store_block(recon, mb_x, mb_y, b, pred);
+    }
+  }
+}
+
+MotionVector read_mv(BitReader& reader, MotionVector& predictor) {
+  MotionVector mv;
+  mv.dx = predictor.dx + get_se(reader);
+  mv.dy = predictor.dy + get_se(reader);
+  predictor = mv;
+  return mv;
+}
+
+/// Decodes one slice's macroblock data. Throws on any parse error.
+void decode_slice(const Unit& unit, const PictureHeader& header, int mb_y,
+                  int mb_cols, const Anchor* forward_ref,
+                  const Anchor* backward_ref, Frame& recon) {
+  BitReader reader(unit.payload);
+  const int qscale = static_cast<int>(reader.get_bits(5));
+  if (qscale < 1 || qscale > 31) {
+    throw std::runtime_error("decode: bad slice quantizer scale");
+  }
+  SliceState state;
+  state.reset();
+  const PictureType type = header.type;
+
+  for (int mb_x = 0; mb_x < mb_cols; ++mb_x) {
+    if (type == PictureType::I) {
+      decode_intra_macroblock(reader, state, qscale, recon, mb_x, mb_y);
+      continue;
+    }
+    if (type == PictureType::P) {
+      const std::uint32_t mode = get_ue(reader);
+      if (mode == mb_mode::kPIntra) {
+        decode_intra_macroblock(reader, state, qscale, recon, mb_x, mb_y);
+        state.mv_pred_f = MotionVector{};
+        continue;
+      }
+      state.dc.reset();
+      if (mode == mb_mode::kPSkip) {
+        detail::store_macroblock(
+            recon, mb_x, mb_y,
+            extract_macroblock(forward_ref->recon, mb_x, mb_y));
+        state.mv_pred_f = MotionVector{};
+        continue;
+      }
+      if (mode != mb_mode::kPInter) {
+        throw std::runtime_error("decode: bad P macroblock mode");
+      }
+      const MotionVector mv = read_mv(reader, state.mv_pred_f);
+      const MacroblockPixels prediction =
+          extract_macroblock_halfpel(forward_ref->recon, mb_x, mb_y, mv);
+      decode_inter_blocks(reader, prediction, qscale, recon, mb_x, mb_y);
+      continue;
+    }
+
+    // B picture.
+    const std::uint32_t mode = get_ue(reader);
+    if (mode == mb_mode::kBIntra) {
+      decode_intra_macroblock(reader, state, qscale, recon, mb_x, mb_y);
+      state.mv_pred_f = MotionVector{};
+      state.mv_pred_b = MotionVector{};
+      continue;
+    }
+    if (mode > mb_mode::kBIntra) {
+      throw std::runtime_error("decode: bad B macroblock mode");
+    }
+    state.dc.reset();
+    MacroblockPixels prediction;
+    if (mode == mb_mode::kBForward) {
+      const MotionVector mv = read_mv(reader, state.mv_pred_f);
+      prediction =
+          extract_macroblock_halfpel(forward_ref->recon, mb_x, mb_y, mv);
+    } else if (mode == mb_mode::kBBackward) {
+      if (backward_ref == nullptr) {
+        throw std::runtime_error("decode: backward mode without reference");
+      }
+      const MotionVector mv = read_mv(reader, state.mv_pred_b);
+      prediction =
+          extract_macroblock_halfpel(backward_ref->recon, mb_x, mb_y, mv);
+    } else {
+      if (backward_ref == nullptr) {
+        throw std::runtime_error(
+            "decode: interpolated mode without backward reference");
+      }
+      const MotionVector mv_f = read_mv(reader, state.mv_pred_f);
+      const MotionVector mv_b = read_mv(reader, state.mv_pred_b);
+      prediction = average(
+          extract_macroblock_halfpel(forward_ref->recon, mb_x, mb_y, mv_f),
+          extract_macroblock_halfpel(backward_ref->recon, mb_x, mb_y, mv_b));
+    }
+    decode_inter_blocks(reader, prediction, qscale, recon, mb_x, mb_y);
+  }
+}
+
+/// Conceals a damaged slice: colocated copy from the reference, or mid-gray
+/// where no reference exists (leading I picture).
+void conceal_slice(int mb_y, int mb_cols, const Anchor* reference,
+                   Frame& recon) {
+  for (int mb_x = 0; mb_x < mb_cols; ++mb_x) {
+    if (reference != nullptr) {
+      detail::store_macroblock(recon, mb_x, mb_y,
+                               extract_macroblock(reference->recon, mb_x,
+                                                  mb_y));
+    } else {
+      MacroblockPixels gray;
+      gray.y.fill(128);
+      gray.cb.fill(128);
+      gray.cr.fill(128);
+      detail::store_macroblock(recon, mb_x, mb_y, gray);
+    }
+  }
+}
+
+DecodeResult decode_impl(const std::vector<std::uint8_t>& stream,
+                         bool resilient, ResilientDecodeResult* damage) {
+  const std::vector<Unit> units = split_units(stream);
+  if (units.empty() || units.front().code != startcode::kSequenceHeader) {
+    throw std::runtime_error("decode: stream must begin with sequence header");
+  }
+
+  DecodeResult result;
+  {
+    BitReader reader(units.front().payload);
+    result.sequence_header = read_sequence_header(reader);
+  }
+  const int width = result.sequence_header.width;
+  const int height = result.sequence_header.height;
+  if (width <= 0 || height <= 0 || width % 16 != 0 || height % 16 != 0) {
+    throw std::runtime_error("decode: bad dimensions in sequence header");
+  }
+  const int mb_cols = width / 16;
+  const int mb_rows = height / 16;
+
+  std::optional<Anchor> older;
+  std::optional<Anchor> newer;
+
+  std::optional<PictureHeader> picture_header;
+  Frame recon;
+  int coded_index = 0;
+
+  auto finish_picture = [&]() {
+    if (!picture_header) return;
+    DecodedPicture decoded;
+    decoded.coded_index = coded_index++;
+    decoded.display_index = picture_header->temporal_reference;
+    decoded.type = picture_header->type;
+    decoded.frame = recon;
+    result.pictures.push_back(std::move(decoded));
+    if (picture_header->type != PictureType::B) {
+      older = std::move(newer);
+      newer = Anchor{std::move(recon), picture_header->temporal_reference};
+    }
+    picture_header.reset();
+  };
+
+  for (std::size_t u = 1; u < units.size(); ++u) {
+    const Unit& unit = units[u];
+    if (unit.code == startcode::kSequenceEnd) {
+      finish_picture();
+      break;
+    }
+    if (unit.code == startcode::kGroup ||
+        unit.code == startcode::kSequenceHeader) {
+      finish_picture();
+      continue;
+    }
+    if (unit.code == startcode::kPicture) {
+      finish_picture();
+      try {
+        BitReader reader(unit.payload);
+        picture_header = read_picture_header(reader);
+      } catch (const std::exception&) {
+        if (!resilient) throw;
+        ++damage->skipped_units;  // picture lost; following slices skip too
+        picture_header.reset();
+        continue;
+      }
+      recon = Frame(width, height);
+      continue;
+    }
+    if (unit.code >= startcode::kSliceFirst &&
+        unit.code <= startcode::kSliceLast) {
+      if (!picture_header) {
+        if (resilient) {
+          ++damage->skipped_units;
+          continue;
+        }
+        throw std::runtime_error("decode: slice outside any picture");
+      }
+      const int mb_y = unit.code - startcode::kSliceFirst;
+      if (mb_y >= mb_rows) {
+        if (resilient) {
+          ++damage->skipped_units;
+          continue;
+        }
+        throw std::runtime_error("decode: bad slice row");
+      }
+
+      // Reference selection, mirroring the encoder.
+      const Anchor* forward_ref = nullptr;
+      const Anchor* backward_ref = nullptr;
+      const PictureType type = picture_header->type;
+      const int di = picture_header->temporal_reference;
+      if (type != PictureType::I && !newer) {
+        // Predicted picture with no decodable reference (start-of-stream
+        // corruption): unrecoverable in strict mode, skippable otherwise.
+        if (resilient) {
+          ++damage->skipped_units;
+          continue;
+        }
+        throw std::runtime_error("decode: predicted picture without reference");
+      }
+      if (type == PictureType::P) {
+        forward_ref = &*newer;
+      } else if (type == PictureType::B) {
+        if (di > newer->display_index) {
+          forward_ref = &*newer;
+        } else {
+          forward_ref = older ? &*older : &*newer;
+          backward_ref = &*newer;
+        }
+      }
+
+      if (resilient) {
+        try {
+          decode_slice(unit, *picture_header, mb_y, mb_cols, forward_ref,
+                       backward_ref, recon);
+        } catch (const std::exception&) {
+          // Resynchronize at the next slice start code; conceal this one.
+          conceal_slice(mb_y, mb_cols,
+                        forward_ref != nullptr ? forward_ref
+                        : newer                ? &*newer
+                                               : nullptr,
+                        recon);
+          ++damage->damaged_slices;
+        }
+      } else {
+        decode_slice(unit, *picture_header, mb_y, mb_cols, forward_ref,
+                     backward_ref, recon);
+      }
+      continue;
+    }
+    if (resilient) {
+      ++damage->skipped_units;
+      continue;
+    }
+    throw std::runtime_error("decode: unknown start code");
+  }
+
+  finish_picture();
+  return result;
+}
+
+}  // namespace
+
+std::vector<Frame> DecodeResult::display_frames() const {
+  std::vector<DecodedPicture const*> sorted;
+  sorted.reserve(pictures.size());
+  for (const DecodedPicture& picture : pictures) sorted.push_back(&picture);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const DecodedPicture* a, const DecodedPicture* b) {
+              return a->display_index < b->display_index;
+            });
+  std::vector<Frame> frames;
+  frames.reserve(sorted.size());
+  for (const DecodedPicture* picture : sorted) frames.push_back(picture->frame);
+  return frames;
+}
+
+DecodeResult decode_stream(const std::vector<std::uint8_t>& stream) {
+  return decode_impl(stream, false, nullptr);
+}
+
+ResilientDecodeResult decode_stream_resilient(
+    const std::vector<std::uint8_t>& stream) {
+  ResilientDecodeResult resilient;
+  resilient.result = decode_impl(stream, true, &resilient);
+  return resilient;
+}
+
+}  // namespace lsm::mpeg

@@ -1,0 +1,54 @@
+// Full pixel decoder for the coded stream: parses every layer down to the
+// macroblock and reconstructs frames with the same arithmetic the encoder's
+// reference loop uses, so decoder output is bit-exact against encoder
+// reconstruction. A decoder resynchronizes at slice start codes, which is
+// why a slice is the smallest unit recoverable after errors (paper,
+// Section 2).
+#pragma once
+
+#include <vector>
+
+#include "mpeg/encoder.h"
+#include "mpeg/frame.h"
+#include "mpeg/headers.h"
+
+namespace lsm::mpeg {
+
+struct DecodedPicture {
+  int coded_index = 0;
+  int display_index = 0;
+  lsm::trace::PictureType type = lsm::trace::PictureType::I;
+  Frame frame;
+};
+
+struct DecodeResult {
+  SequenceHeader sequence_header;
+  std::vector<DecodedPicture> pictures;  ///< in coded (stream) order
+
+  /// Frames rearranged into display order.
+  std::vector<Frame> display_frames() const;
+};
+
+/// Decodes a complete stream. Throws std::runtime_error on malformed input
+/// (bad start-code structure, truncated slices, invalid codes).
+DecodeResult decode_stream(const std::vector<std::uint8_t>& stream);
+
+/// Error-resilient decode (the paper's Section 2 observation made concrete:
+/// "whenever errors are detected, the decoder can skip ahead to the next
+/// slice start code — or picture start code — and resume decoding from
+/// there"). A slice whose macroblock data fails to parse is concealed by
+/// copying the colocated rows from the picture's forward reference (or
+/// mid-gray when none exists); unknown or garbled units are skipped. The
+/// sequence header must still parse — without it nothing can be decoded.
+struct ResilientDecodeResult {
+  DecodeResult result;
+  int damaged_slices = 0;  ///< slices concealed after a parse failure
+  int skipped_units = 0;   ///< unknown/garbled non-slice units ignored
+  bool clean() const noexcept {
+    return damaged_slices == 0 && skipped_units == 0;
+  }
+};
+ResilientDecodeResult decode_stream_resilient(
+    const std::vector<std::uint8_t>& stream);
+
+}  // namespace lsm::mpeg

@@ -1,0 +1,395 @@
+#include "mpeg/encoder.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <limits>
+#include <optional>
+#include <stdexcept>
+
+#include "mpeg/coding.h"
+#include "mpeg/vlc.h"
+#include "trace/reorder.h"
+
+namespace lsm::mpeg {
+
+namespace {
+
+using detail::DcPredictors;
+using lsm::trace::PictureType;
+
+/// An encoded reference picture (reconstruction plus display position).
+struct Anchor {
+  Frame recon;
+  int display_index = -1;
+};
+
+/// Per-slice mutable coding state.
+struct SliceState {
+  DcPredictors dc;
+  MotionVector mv_pred_f;
+  MotionVector mv_pred_b;
+  void reset() {
+    dc.reset();
+    mv_pred_f = MotionVector{};
+    mv_pred_b = MotionVector{};
+  }
+};
+
+/// Quantizes all 6 blocks of an inter residual; returns the coded-block
+/// pattern (bit 5-b set if block b has any nonzero level, matching MPEG's
+/// MSB-first CBP order Y0 Y1 Y2 Y3 Cb Cr).
+std::uint32_t quantize_residual(const MacroblockPixels& current,
+                                const MacroblockPixels& prediction,
+                                int qscale,
+                                std::array<CoeffBlock, 6>& levels) {
+  std::uint32_t cbp = 0;
+  for (int b = 0; b < 6; ++b) {
+    const Block cur = detail::block_of(current, b);
+    const Block pred = detail::block_of(prediction, b);
+    Block residual{};
+    for (std::size_t k = 0; k < 64; ++k) {
+      residual[k] = static_cast<std::int16_t>(cur[k] - pred[k]);
+    }
+    levels[static_cast<std::size_t>(b)] =
+        quantize_inter(forward_dct(residual), qscale);
+    const auto& lv = levels[static_cast<std::size_t>(b)];
+    const bool coded =
+        std::any_of(lv.begin(), lv.end(), [](std::int16_t v) { return v != 0; });
+    if (coded) cbp |= 1u << (5 - b);
+  }
+  return cbp;
+}
+
+/// Writes an intracoded macroblock (blocks + differential DC) and stores its
+/// reconstruction.
+void code_intra_macroblock(BitWriter& writer, SliceState& state,
+                           const MacroblockPixels& current, int qscale,
+                           Frame& recon, int mb_x, int mb_y) {
+  for (int b = 0; b < 6; ++b) {
+    Block samples = detail::block_of(current, b);
+    for (auto& s : samples) s = static_cast<std::int16_t>(s - 128);
+    const CoeffBlock levels = quantize_intra(forward_dct(samples), qscale);
+    int& predictor = state.dc.of(b);
+    const int dc_diff = levels[0] - predictor;
+    predictor = levels[0];
+    put_block(writer, static_cast<std::int16_t>(dc_diff),
+              run_length_encode(levels));
+    detail::store_block(recon, mb_x, mb_y, b,
+                        detail::reconstruct_intra(levels, qscale));
+  }
+}
+
+/// Writes CBP plus the coded residual blocks and stores the reconstruction.
+void code_inter_blocks(BitWriter& writer, std::uint32_t cbp,
+                       const std::array<CoeffBlock, 6>& levels,
+                       const MacroblockPixels& prediction, int qscale,
+                       Frame& recon, int mb_x, int mb_y) {
+  writer.put_bits(cbp, 6);
+  for (int b = 0; b < 6; ++b) {
+    const Block pred = detail::block_of(prediction, b);
+    if (cbp & (1u << (5 - b))) {
+      const auto& lv = levels[static_cast<std::size_t>(b)];
+      put_block(writer, lv[0], run_length_encode(lv));
+      detail::store_block(recon, mb_x, mb_y, b,
+                          detail::reconstruct_inter(pred, lv, qscale));
+    } else {
+      detail::store_block(recon, mb_x, mb_y, b, pred);
+    }
+  }
+}
+
+}  // namespace
+
+Encoder::Encoder(EncoderConfig config) : config_(std::move(config)) {
+  if (config_.fps < 1 || config_.fps > 255) {
+    throw std::invalid_argument("Encoder: fps out of range");
+  }
+  for (const int q : {config_.i_quant, config_.p_quant, config_.b_quant}) {
+    if (q < 1 || q > 31) {
+      throw std::invalid_argument("Encoder: quantizer scale out of [1,31]");
+    }
+  }
+  if (config_.search_range < 0 || config_.search_range > 64) {
+    throw std::invalid_argument("Encoder: bad search range");
+  }
+  for (const int q : config_.per_picture_quant) {
+    if (q < 0 || q > 31) {
+      throw std::invalid_argument("Encoder: bad per-picture quant override");
+    }
+  }
+}
+
+EncodeResult Encoder::encode(const std::vector<Frame>& display_frames) const {
+  if (display_frames.empty()) {
+    throw std::invalid_argument("Encoder::encode: no frames");
+  }
+  const int width = display_frames.front().width();
+  const int height = display_frames.front().height();
+  for (const Frame& frame : display_frames) {
+    if (frame.width() != width || frame.height() != height) {
+      throw std::invalid_argument("Encoder::encode: frame size mismatch");
+    }
+  }
+  const int mb_cols = width / 16;
+  const int mb_rows = height / 16;
+  if (mb_rows > startcode::kSliceLast - startcode::kSliceFirst) {
+    throw std::invalid_argument("Encoder::encode: too many slice rows");
+  }
+
+  const int n = static_cast<int>(display_frames.size());
+  std::vector<PictureType> types;
+  types.reserve(static_cast<std::size_t>(n));
+  for (int i = 1; i <= n; ++i) types.push_back(config_.pattern.type_of(i));
+  const std::vector<int> order =
+      lsm::trace::display_to_coded_permutation(types);
+
+  EncodeResult result;
+  result.sequence_header = SequenceHeader{
+      width, height, config_.fps, config_.pattern.N(), config_.pattern.M()};
+  {
+    BitWriter writer;
+    write_fields(writer, result.sequence_header);
+    append_unit(result.stream, startcode::kSequenceHeader, writer.take());
+  }
+
+  std::optional<Anchor> older;
+  std::optional<Anchor> newer;
+  int gop_counter = 0;
+
+  for (int ci = 0; ci < n; ++ci) {
+    const int di = order[static_cast<std::size_t>(ci)];
+    const PictureType type = types[static_cast<std::size_t>(di)];
+    const Frame& source = display_frames[static_cast<std::size_t>(di)];
+
+    if (type == PictureType::I) {
+      BitWriter writer;
+      write_fields(writer, GroupHeader{gop_counter++ & 0xFFFF, true});
+      append_unit(result.stream, startcode::kGroup, writer.take());
+    }
+
+    int qscale = type == PictureType::I   ? config_.i_quant
+                 : type == PictureType::P ? config_.p_quant
+                                          : config_.b_quant;
+    if (!config_.per_picture_quant.empty()) {
+      if (config_.per_picture_quant.size() != static_cast<std::size_t>(n)) {
+        throw std::invalid_argument(
+            "Encoder: per-picture quant override length mismatch");
+      }
+      const int override_q =
+          config_.per_picture_quant[static_cast<std::size_t>(di)];
+      if (override_q != 0) qscale = override_q;
+    }
+    const std::int64_t offset_before =
+        static_cast<std::int64_t>(result.stream.size());
+    {
+      BitWriter writer;
+      write_fields(writer, PictureHeader{di & 0xFFFF, type, qscale});
+      append_unit(result.stream, startcode::kPicture, writer.take());
+    }
+
+    // Reference selection for this picture.
+    const Anchor* forward_ref = nullptr;
+    const Anchor* backward_ref = nullptr;
+    if (type == PictureType::P) {
+      if (!newer) {
+        throw std::invalid_argument(
+            "Encoder::encode: P picture without a reference (sequence must "
+            "start with I)");
+      }
+      forward_ref = &*newer;
+    } else if (type == PictureType::B) {
+      if (!newer) {
+        throw std::invalid_argument(
+            "Encoder::encode: B picture without any reference");
+      }
+      if (di > newer->display_index) {
+        forward_ref = &*newer;  // trailing B: forward prediction only
+      } else {
+        forward_ref = older ? &*older : &*newer;
+        backward_ref = &*newer;
+      }
+    }
+
+    Frame recon(width, height);
+    for (int mb_y = 0; mb_y < mb_rows; ++mb_y) {
+      BitWriter writer;
+      writer.put_bits(static_cast<std::uint32_t>(qscale), 5);
+      SliceState state;
+      state.reset();
+
+      for (int mb_x = 0; mb_x < mb_cols; ++mb_x) {
+        const MacroblockPixels current =
+            extract_macroblock(source, mb_x, mb_y);
+
+        if (type == PictureType::I) {
+          code_intra_macroblock(writer, state, current, qscale, recon, mb_x,
+                                mb_y);
+          continue;
+        }
+
+        // All motion vectors below are in half-pel units (see motion.h).
+        auto search = [&](const Frame& reference) {
+          if (config_.half_pel) {
+            return search_motion_halfpel(source, reference, mb_x, mb_y,
+                                         config_.search_range);
+          }
+          MotionSearchResult full = search_motion(source, reference, mb_x,
+                                                  mb_y, config_.search_range);
+          full.mv = MotionVector{2 * full.mv.dx, 2 * full.mv.dy};
+          return full;
+        };
+
+        if (type == PictureType::P) {
+          const MotionSearchResult best = search(forward_ref->recon);
+          if (best.sad > config_.intra_sad_threshold) {
+            put_ue(writer, mb_mode::kPIntra);
+            code_intra_macroblock(writer, state, current, qscale, recon,
+                                  mb_x, mb_y);
+            state.mv_pred_f = MotionVector{};
+            continue;
+          }
+          const MacroblockPixels prediction = extract_macroblock_halfpel(
+              forward_ref->recon, mb_x, mb_y, best.mv);
+          std::array<CoeffBlock, 6> levels;
+          const std::uint32_t cbp =
+              quantize_residual(current, prediction, qscale, levels);
+          state.dc.reset();
+          if (cbp == 0 && best.mv == MotionVector{}) {
+            put_ue(writer, mb_mode::kPSkip);
+            detail::store_macroblock(recon, mb_x, mb_y, prediction);
+            state.mv_pred_f = MotionVector{};
+            continue;
+          }
+          put_ue(writer, mb_mode::kPInter);
+          put_se(writer, best.mv.dx - state.mv_pred_f.dx);
+          put_se(writer, best.mv.dy - state.mv_pred_f.dy);
+          state.mv_pred_f = best.mv;
+          code_inter_blocks(writer, cbp, levels, prediction, qscale, recon,
+                            mb_x, mb_y);
+          continue;
+        }
+
+        // B picture.
+        const MotionSearchResult fwd = search(forward_ref->recon);
+        MotionSearchResult bwd;
+        int interp_sad = std::numeric_limits<int>::max();
+        MacroblockPixels pred_f = extract_macroblock_halfpel(
+            forward_ref->recon, mb_x, mb_y, fwd.mv);
+        MacroblockPixels pred_b;
+        MacroblockPixels pred_i;
+        if (backward_ref != nullptr) {
+          bwd = search(backward_ref->recon);
+          pred_b = extract_macroblock_halfpel(backward_ref->recon, mb_x, mb_y,
+                                              bwd.mv);
+          pred_i = average(pred_f, pred_b);
+          interp_sad = 0;
+          for (int y = 0; y < 16; ++y) {
+            for (int x = 0; x < 16; ++x) {
+              const int a = current.y[static_cast<std::size_t>(y * 16 + x)];
+              const int b = pred_i.y[static_cast<std::size_t>(y * 16 + x)];
+              interp_sad += std::abs(a - b);
+            }
+          }
+        }
+
+        std::uint32_t mode = mb_mode::kBForward;
+        int best_sad = fwd.sad;
+        if (backward_ref != nullptr) {
+          if (bwd.sad < best_sad) {
+            mode = mb_mode::kBBackward;
+            best_sad = bwd.sad;
+          }
+          if (interp_sad < best_sad) {
+            mode = mb_mode::kBInterpolated;
+            best_sad = interp_sad;
+          }
+        }
+        if (best_sad > config_.intra_sad_threshold) {
+          put_ue(writer, mb_mode::kBIntra);
+          code_intra_macroblock(writer, state, current, qscale, recon, mb_x,
+                                mb_y);
+          state.mv_pred_f = MotionVector{};
+          state.mv_pred_b = MotionVector{};
+          continue;
+        }
+
+        const MacroblockPixels& prediction =
+            mode == mb_mode::kBForward    ? pred_f
+            : mode == mb_mode::kBBackward ? pred_b
+                                          : pred_i;
+        put_ue(writer, mode);
+        if (mode != mb_mode::kBBackward) {
+          put_se(writer, fwd.mv.dx - state.mv_pred_f.dx);
+          put_se(writer, fwd.mv.dy - state.mv_pred_f.dy);
+          state.mv_pred_f = fwd.mv;
+        }
+        if (mode != mb_mode::kBForward) {
+          put_se(writer, bwd.mv.dx - state.mv_pred_b.dx);
+          put_se(writer, bwd.mv.dy - state.mv_pred_b.dy);
+          state.mv_pred_b = bwd.mv;
+        }
+        std::array<CoeffBlock, 6> levels;
+        const std::uint32_t cbp =
+            quantize_residual(current, prediction, qscale, levels);
+        state.dc.reset();
+        code_inter_blocks(writer, cbp, levels, prediction, qscale, recon,
+                          mb_x, mb_y);
+      }
+
+      append_unit(result.stream,
+                  static_cast<std::uint8_t>(startcode::kSliceFirst + mb_y),
+                  writer.take());
+    }
+
+    EncodedPicture record;
+    record.display_index = di;
+    record.coded_index = ci;
+    record.type = type;
+    record.bits =
+        (static_cast<std::int64_t>(result.stream.size()) - offset_before) * 8;
+    const bool have_recon =
+        type != PictureType::B || config_.reconstruct_b;
+    record.psnr_y = have_recon ? psnr_y(source, recon) : 0.0;
+    result.pictures.push_back(record);
+
+    if (type != PictureType::B) {
+      older = std::move(newer);
+      newer = Anchor{std::move(recon), di};
+    }
+  }
+
+  append_start_code(result.stream, startcode::kSequenceEnd);
+  return result;
+}
+
+lsm::trace::Trace EncodeResult::display_trace(const std::string& name) const {
+  std::vector<lsm::trace::Bits> sizes(pictures.size(), 0);
+  std::vector<lsm::trace::PictureType> types(pictures.size(),
+                                             lsm::trace::PictureType::I);
+  for (const EncodedPicture& picture : pictures) {
+    sizes[static_cast<std::size_t>(picture.display_index)] = picture.bits;
+    types[static_cast<std::size_t>(picture.display_index)] = picture.type;
+  }
+  return lsm::trace::Trace(
+      name,
+      lsm::trace::GopPattern(sequence_header.gop_n, sequence_header.gop_m),
+      std::move(sizes), std::move(types), 1.0 / sequence_header.fps,
+      sequence_header.width, sequence_header.height);
+}
+
+lsm::trace::Trace EncodeResult::coded_trace(const std::string& name) const {
+  std::vector<lsm::trace::Bits> sizes;
+  std::vector<lsm::trace::PictureType> types;
+  sizes.reserve(pictures.size());
+  for (const EncodedPicture& picture : pictures) {
+    sizes.push_back(picture.bits);
+    types.push_back(picture.type);
+  }
+  return lsm::trace::Trace(
+      name,
+      lsm::trace::GopPattern(sequence_header.gop_n, sequence_header.gop_m),
+      std::move(sizes), std::move(types), 1.0 / sequence_header.fps,
+      sequence_header.width, sequence_header.height);
+}
+
+}  // namespace lsm::mpeg

@@ -1,0 +1,99 @@
+// The MPEG-style encoder: consumes display-order frames, produces a
+// start-code-delimited coded bit stream with I/P/B pictures in transmission
+// order, and reports the per-picture sizes that form a lsm::trace::Trace.
+//
+// Coding pipeline per macroblock (paper, Section 2):
+//   I:  every macroblock intracoded — level shift, 8x8 DCT, intra
+//       quantization, zigzag run/level, VLC; DC coded differentially.
+//   P:  full-pel motion search against the previous reference; residual
+//       DCT-coded with the flat inter matrix; falls back to intra when the
+//       best match is poor; zero-vector/zero-residual macroblocks are
+//       skipped.
+//   B:  forward, backward, or interpolated prediction from the two
+//       surrounding references (backward only when a future reference
+//       exists, e.g. not for trailing B pictures); intra fallback.
+//
+// The encoder maintains the same reconstruction the decoder computes
+// (dequantize + IDCT + prediction), so decoder output matches encoder
+// reconstruction bit-exactly — tested in tests/mpeg/codec_test.cpp.
+#pragma once
+
+#include <vector>
+
+#include "mpeg/frame.h"
+#include "mpeg/headers.h"
+#include "trace/trace.h"
+
+namespace lsm::mpeg {
+
+struct EncoderConfig {
+  lsm::trace::GopPattern pattern{9, 3};
+  int fps = 30;
+  /// Quantizer scales per picture type; the paper's Driving sequences used
+  /// 4 / 6 / 15.
+  int i_quant = 4;
+  int p_quant = 6;
+  int b_quant = 15;
+  /// Full-pel motion search range (+-range in both axes).
+  int search_range = 7;
+  /// Half-pel motion refinement (ISO 11172-2 precision). When false the
+  /// encoder emits full-pel vectors only; the bit stream is unchanged (all
+  /// vectors are coded in half-pel units and full-pel ones are even).
+  bool half_pel = true;
+  /// A macroblock whose best prediction SAD exceeds this is intracoded.
+  int intra_sad_threshold = 3200;
+  /// Also reconstruct B pictures (needed for PSNR reporting; references
+  /// never depend on them).
+  bool reconstruct_b = true;
+  /// Optional per-picture quantizer override, indexed by display position
+  /// (0-based). Empty = use the per-type scales above; an entry of 0 means
+  /// "no override for this picture". Non-empty overrides must match the
+  /// frame count. Used by the lossy rate-shaping layer (ratecontrol.h).
+  std::vector<int> per_picture_quant;
+};
+
+/// Macroblock coding modes as they appear in the bit stream.
+namespace mb_mode {
+inline constexpr std::uint32_t kPSkip = 0;
+inline constexpr std::uint32_t kPInter = 1;
+inline constexpr std::uint32_t kPIntra = 2;
+inline constexpr std::uint32_t kBForward = 0;
+inline constexpr std::uint32_t kBBackward = 1;
+inline constexpr std::uint32_t kBInterpolated = 2;
+inline constexpr std::uint32_t kBIntra = 3;
+}  // namespace mb_mode
+
+/// Bookkeeping for one encoded picture.
+struct EncodedPicture {
+  int display_index = 0;  ///< 0-based position in display order
+  int coded_index = 0;    ///< 0-based position in the stream
+  lsm::trace::PictureType type = lsm::trace::PictureType::I;
+  std::int64_t bits = 0;  ///< picture start code to next non-slice start code
+  double psnr_y = 0.0;    ///< reconstruction quality vs the source frame
+};
+
+struct EncodeResult {
+  std::vector<std::uint8_t> stream;
+  std::vector<EncodedPicture> pictures;  ///< in coded (stream) order
+  SequenceHeader sequence_header;
+
+  /// Picture-size trace in DISPLAY order (what Figure 3 plots).
+  lsm::trace::Trace display_trace(const std::string& name) const;
+  /// Picture-size trace in CODED (transmission) order.
+  lsm::trace::Trace coded_trace(const std::string& name) const;
+};
+
+class Encoder {
+ public:
+  /// Throws std::invalid_argument on a structurally bad config.
+  explicit Encoder(EncoderConfig config);
+
+  /// Encodes `display_frames` (all same dimensions, multiples of 16,
+  /// non-empty). Returns the stream plus bookkeeping.
+  EncodeResult encode(const std::vector<Frame>& display_frames) const;
+
+ private:
+  EncoderConfig config_;
+};
+
+}  // namespace lsm::mpeg

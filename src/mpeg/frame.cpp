@@ -1,0 +1,68 @@
+#include "mpeg/frame.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace lsm::mpeg {
+
+Plane::Plane(int width, int height, std::uint8_t fill)
+    : width_(width),
+      height_(height),
+      data_(static_cast<std::size_t>(width) * static_cast<std::size_t>(height),
+            fill) {
+  if (width <= 0 || height <= 0) {
+    throw std::invalid_argument("Plane: non-positive dimensions");
+  }
+}
+
+std::uint8_t Plane::at(int x, int y) const {
+  if (x < 0 || x >= width_ || y < 0 || y >= height_) {
+    throw std::out_of_range("Plane::at: coordinates out of range");
+  }
+  return data_[static_cast<std::size_t>(y) * static_cast<std::size_t>(width_) +
+               static_cast<std::size_t>(x)];
+}
+
+void Plane::set(int x, int y, std::uint8_t value) {
+  if (x < 0 || x >= width_ || y < 0 || y >= height_) {
+    throw std::out_of_range("Plane::set: coordinates out of range");
+  }
+  data_[static_cast<std::size_t>(y) * static_cast<std::size_t>(width_) +
+        static_cast<std::size_t>(x)] = value;
+}
+
+std::uint8_t Plane::at_clamped(int x, int y) const noexcept {
+  const int cx = std::clamp(x, 0, width_ - 1);
+  const int cy = std::clamp(y, 0, height_ - 1);
+  return data_[static_cast<std::size_t>(cy) * static_cast<std::size_t>(width_) +
+               static_cast<std::size_t>(cx)];
+}
+
+Frame::Frame(int width, int height)
+    : y(width, height),
+      cb(width / 2, height / 2, 128),
+      cr(width / 2, height / 2, 128) {
+  if (width % 16 != 0 || height % 16 != 0) {
+    throw std::invalid_argument("Frame: dimensions must be multiples of 16");
+  }
+}
+
+double psnr_y(const Frame& a, const Frame& b) {
+  if (a.width() != b.width() || a.height() != b.height()) {
+    throw std::invalid_argument("psnr_y: size mismatch");
+  }
+  double sse = 0.0;
+  const auto& pa = a.y.samples();
+  const auto& pb = b.y.samples();
+  for (std::size_t k = 0; k < pa.size(); ++k) {
+    const double d = static_cast<double>(pa[k]) - static_cast<double>(pb[k]);
+    sse += d * d;
+  }
+  if (sse == 0.0) return std::numeric_limits<double>::infinity();
+  const double mse = sse / static_cast<double>(pa.size());
+  return 10.0 * std::log10(255.0 * 255.0 / mse);
+}
+
+}  // namespace lsm::mpeg

@@ -1,0 +1,64 @@
+// Uncompressed video frames in 4:2:0 YCbCr, the working format of the codec
+// (paper, Section 2: RGB is converted to YCrCb and chroma is subsampled so
+// each 16x16 macroblock carries four 8x8 luma blocks and one 8x8 block per
+// chroma plane).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace lsm::mpeg {
+
+/// One sample plane. Samples are 8-bit; indexing is row-major.
+class Plane {
+ public:
+  Plane() = default;
+  /// Creates a width x height plane filled with `fill`.
+  Plane(int width, int height, std::uint8_t fill = 0);
+
+  int width() const noexcept { return width_; }
+  int height() const noexcept { return height_; }
+
+  std::uint8_t at(int x, int y) const;
+  void set(int x, int y, std::uint8_t value);
+
+  /// Clamped read: coordinates outside the plane are clamped to the border
+  /// (used by motion compensation near edges).
+  std::uint8_t at_clamped(int x, int y) const noexcept;
+
+  const std::vector<std::uint8_t>& samples() const noexcept { return data_; }
+  std::vector<std::uint8_t>& samples() noexcept { return data_; }
+
+  friend bool operator==(const Plane& a, const Plane& b) = default;
+
+ private:
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<std::uint8_t> data_;
+};
+
+/// A 4:2:0 frame: full-resolution luma, half-resolution chroma. Dimensions
+/// must be multiples of 16 so the macroblock grid is exact.
+struct Frame {
+  Plane y;
+  Plane cb;
+  Plane cr;
+
+  Frame() = default;
+  /// Throws std::invalid_argument unless width and height are positive
+  /// multiples of 16.
+  Frame(int width, int height);
+
+  int width() const noexcept { return y.width(); }
+  int height() const noexcept { return y.height(); }
+  int mb_cols() const noexcept { return y.width() / 16; }
+  int mb_rows() const noexcept { return y.height() / 16; }
+
+  friend bool operator==(const Frame& a, const Frame& b) = default;
+};
+
+/// Luma peak signal-to-noise ratio in dB between two equally-sized frames.
+/// Returns +infinity for identical planes. Throws on size mismatch.
+double psnr_y(const Frame& a, const Frame& b);
+
+}  // namespace lsm::mpeg

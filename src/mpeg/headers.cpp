@@ -1,0 +1,82 @@
+#include "mpeg/headers.h"
+
+#include <stdexcept>
+
+namespace lsm::mpeg {
+
+namespace {
+
+std::uint32_t type_code(lsm::trace::PictureType type) noexcept {
+  switch (type) {
+    case lsm::trace::PictureType::I: return 0;
+    case lsm::trace::PictureType::P: return 1;
+    case lsm::trace::PictureType::B: return 2;
+  }
+  return 0;
+}
+
+lsm::trace::PictureType type_from_code(std::uint32_t code) {
+  switch (code) {
+    case 0: return lsm::trace::PictureType::I;
+    case 1: return lsm::trace::PictureType::P;
+    case 2: return lsm::trace::PictureType::B;
+    default:
+      throw std::runtime_error("picture header: bad type code");
+  }
+}
+
+}  // namespace
+
+void write_fields(BitWriter& writer, const SequenceHeader& header) {
+  writer.put_bits(static_cast<std::uint32_t>(header.width), 16);
+  writer.put_bits(static_cast<std::uint32_t>(header.height), 16);
+  writer.put_bits(static_cast<std::uint32_t>(header.fps), 8);
+  writer.put_bits(static_cast<std::uint32_t>(header.gop_n), 8);
+  writer.put_bits(static_cast<std::uint32_t>(header.gop_m), 8);
+}
+
+void write_fields(BitWriter& writer, const GroupHeader& header) {
+  writer.put_bits(static_cast<std::uint32_t>(header.index), 16);
+  writer.put_bit(header.closed);
+}
+
+void write_fields(BitWriter& writer, const PictureHeader& header) {
+  writer.put_bits(
+      static_cast<std::uint32_t>(header.temporal_reference & 0xFFFF), 16);
+  writer.put_bits(type_code(header.type), 2);
+  writer.put_bits(static_cast<std::uint32_t>(header.quantizer_scale), 5);
+}
+
+SequenceHeader read_sequence_header(BitReader& reader) {
+  SequenceHeader header;
+  header.width = static_cast<int>(reader.get_bits(16));
+  header.height = static_cast<int>(reader.get_bits(16));
+  header.fps = static_cast<int>(reader.get_bits(8));
+  header.gop_n = static_cast<int>(reader.get_bits(8));
+  header.gop_m = static_cast<int>(reader.get_bits(8));
+  return header;
+}
+
+GroupHeader read_group_header(BitReader& reader) {
+  GroupHeader header;
+  header.index = static_cast<int>(reader.get_bits(16));
+  header.closed = reader.get_bit();
+  return header;
+}
+
+PictureHeader read_picture_header(BitReader& reader) {
+  PictureHeader header;
+  header.temporal_reference = static_cast<int>(reader.get_bits(16));
+  header.type = type_from_code(reader.get_bits(2));
+  header.quantizer_scale = static_cast<int>(reader.get_bits(5));
+  return header;
+}
+
+void append_unit(std::vector<std::uint8_t>& out, std::uint8_t code,
+                 const std::vector<std::uint8_t>& payload) {
+  append_start_code(out, code);
+  const std::vector<std::uint8_t> escaped = escape_payload(payload);
+  out.insert(out.end(), escaped.begin(), escaped.end());
+}
+
+}  // namespace lsm::mpeg

@@ -1,0 +1,63 @@
+// Stream-level headers, mirroring the paper's Section 2 BNF:
+//
+//   <sequence> ::= <sequence header> <group of pictures>
+//                  { [<sequence header>] <group of pictures> }
+//                  <sequence end code>
+//   <group of pictures> ::= <group header> <picture> { <picture> }
+//   <picture> ::= <picture header> <slice> { <slice> }
+//   <slice>   ::= <slice header> <macroblock> { <macroblock> }
+//
+// Every header begins with a byte-aligned, unique 0x000001xx start code
+// (bits.h). Field widths are our own (documented below); the structure and
+// code numbering follow MPEG-1.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mpeg/bits.h"
+#include "trace/pattern.h"
+
+namespace lsm::mpeg {
+
+/// Sequence header: width(16) height(16) fps(8) N(8) M(8).
+struct SequenceHeader {
+  int width = 0;
+  int height = 0;
+  int fps = 30;
+  int gop_n = 9;  ///< pattern length N
+  int gop_m = 3;  ///< reference distance M
+  friend bool operator==(const SequenceHeader&,
+                         const SequenceHeader&) = default;
+};
+
+/// Group-of-pictures header: index(16) closed(1). The index substitutes for
+/// MPEG's hours/minutes/seconds time code (random access anchor).
+struct GroupHeader {
+  int index = 0;
+  bool closed = true;
+  friend bool operator==(const GroupHeader&, const GroupHeader&) = default;
+};
+
+/// Picture header: temporal_reference(16) type(2) quantizer_scale(5).
+struct PictureHeader {
+  int temporal_reference = 0;  ///< display index, modulo 2^16
+  lsm::trace::PictureType type = lsm::trace::PictureType::I;
+  int quantizer_scale = 8;
+  friend bool operator==(const PictureHeader&,
+                         const PictureHeader&) = default;
+};
+
+void write_fields(BitWriter& writer, const SequenceHeader& header);
+void write_fields(BitWriter& writer, const GroupHeader& header);
+void write_fields(BitWriter& writer, const PictureHeader& header);
+
+SequenceHeader read_sequence_header(BitReader& reader);
+GroupHeader read_group_header(BitReader& reader);
+PictureHeader read_picture_header(BitReader& reader);
+
+/// Appends a complete unit — start code plus escaped payload — to `out`.
+void append_unit(std::vector<std::uint8_t>& out, std::uint8_t code,
+                 const std::vector<std::uint8_t>& payload);
+
+}  // namespace lsm::mpeg

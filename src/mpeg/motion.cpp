@@ -1,0 +1,179 @@
+#include "mpeg/motion.h"
+
+#include <cstdlib>
+
+namespace lsm::mpeg {
+
+namespace {
+
+int floor_div2(int v) noexcept { return v >= 0 ? v / 2 : (v - 1) / 2; }
+
+/// Bilinear sample of `plane` at half-pel coordinates (2x is one pixel).
+std::uint8_t sample_halfpel(const Plane& plane, int x_half,
+                            int y_half) noexcept {
+  const int x0 = floor_div2(x_half);
+  const int y0 = floor_div2(y_half);
+  const bool frac_x = (x_half & 1) != 0;
+  const bool frac_y = (y_half & 1) != 0;
+  if (!frac_x && !frac_y) return plane.at_clamped(x0, y0);
+  if (frac_x && !frac_y) {
+    return static_cast<std::uint8_t>(
+        (plane.at_clamped(x0, y0) + plane.at_clamped(x0 + 1, y0) + 1) / 2);
+  }
+  if (!frac_x && frac_y) {
+    return static_cast<std::uint8_t>(
+        (plane.at_clamped(x0, y0) + plane.at_clamped(x0, y0 + 1) + 1) / 2);
+  }
+  return static_cast<std::uint8_t>(
+      (plane.at_clamped(x0, y0) + plane.at_clamped(x0 + 1, y0) +
+       plane.at_clamped(x0, y0 + 1) + plane.at_clamped(x0 + 1, y0 + 1) + 2) /
+      4);
+}
+
+/// Chroma vector: luma half-pel vector halved with truncation toward zero
+/// (ISO 11172-2 semantics), still in half-pel units of the chroma plane.
+int chroma_component(int luma_half) noexcept { return luma_half / 2; }
+
+}  // namespace
+
+MacroblockPixels extract_macroblock(const Frame& frame, int mb_x, int mb_y,
+                                    MotionVector mv) {
+  MacroblockPixels out;
+  const int y0 = mb_y * 16 + mv.dy;
+  const int x0 = mb_x * 16 + mv.dx;
+  for (int y = 0; y < 16; ++y) {
+    for (int x = 0; x < 16; ++x) {
+      out.y[static_cast<std::size_t>(y * 16 + x)] =
+          frame.y.at_clamped(x0 + x, y0 + y);
+    }
+  }
+  const int cy0 = mb_y * 8 + mv.dy / 2;
+  const int cx0 = mb_x * 8 + mv.dx / 2;
+  for (int y = 0; y < 8; ++y) {
+    for (int x = 0; x < 8; ++x) {
+      out.cb[static_cast<std::size_t>(y * 8 + x)] =
+          frame.cb.at_clamped(cx0 + x, cy0 + y);
+      out.cr[static_cast<std::size_t>(y * 8 + x)] =
+          frame.cr.at_clamped(cx0 + x, cy0 + y);
+    }
+  }
+  return out;
+}
+
+MacroblockPixels average(const MacroblockPixels& a,
+                         const MacroblockPixels& b) {
+  MacroblockPixels out;
+  for (std::size_t k = 0; k < out.y.size(); ++k) {
+    out.y[k] = static_cast<std::uint8_t>((a.y[k] + b.y[k] + 1) / 2);
+  }
+  for (std::size_t k = 0; k < out.cb.size(); ++k) {
+    out.cb[k] = static_cast<std::uint8_t>((a.cb[k] + b.cb[k] + 1) / 2);
+    out.cr[k] = static_cast<std::uint8_t>((a.cr[k] + b.cr[k] + 1) / 2);
+  }
+  return out;
+}
+
+int luma_sad(const Frame& current, const Frame& reference, int mb_x, int mb_y,
+             MotionVector mv) {
+  const int cy = mb_y * 16;
+  const int cx = mb_x * 16;
+  int total = 0;
+  for (int y = 0; y < 16; ++y) {
+    for (int x = 0; x < 16; ++x) {
+      const int a = current.y.at_clamped(cx + x, cy + y);
+      const int b = reference.y.at_clamped(cx + mv.dx + x, cy + mv.dy + y);
+      total += std::abs(a - b);
+    }
+  }
+  return total;
+}
+
+MacroblockPixels extract_macroblock_halfpel(const Frame& frame, int mb_x,
+                                            int mb_y, MotionVector half_pel) {
+  MacroblockPixels out;
+  const int y0 = mb_y * 32 + half_pel.dy;  // half-pel origin
+  const int x0 = mb_x * 32 + half_pel.dx;
+  for (int y = 0; y < 16; ++y) {
+    for (int x = 0; x < 16; ++x) {
+      out.y[static_cast<std::size_t>(y * 16 + x)] =
+          sample_halfpel(frame.y, x0 + 2 * x, y0 + 2 * y);
+    }
+  }
+  const int cy0 = mb_y * 16 + chroma_component(half_pel.dy);
+  const int cx0 = mb_x * 16 + chroma_component(half_pel.dx);
+  for (int y = 0; y < 8; ++y) {
+    for (int x = 0; x < 8; ++x) {
+      out.cb[static_cast<std::size_t>(y * 8 + x)] =
+          sample_halfpel(frame.cb, cx0 + 2 * x, cy0 + 2 * y);
+      out.cr[static_cast<std::size_t>(y * 8 + x)] =
+          sample_halfpel(frame.cr, cx0 + 2 * x, cy0 + 2 * y);
+    }
+  }
+  return out;
+}
+
+int luma_sad_halfpel(const Frame& current, const Frame& reference, int mb_x,
+                     int mb_y, MotionVector half_pel) {
+  const int cy = mb_y * 16;
+  const int cx = mb_x * 16;
+  const int ry0 = mb_y * 32 + half_pel.dy;
+  const int rx0 = mb_x * 32 + half_pel.dx;
+  int total = 0;
+  for (int y = 0; y < 16; ++y) {
+    for (int x = 0; x < 16; ++x) {
+      const int a = current.y.at_clamped(cx + x, cy + y);
+      const int b = sample_halfpel(reference.y, rx0 + 2 * x, ry0 + 2 * y);
+      total += std::abs(a - b);
+    }
+  }
+  return total;
+}
+
+MotionSearchResult search_motion_halfpel(const Frame& current,
+                                         const Frame& reference, int mb_x,
+                                         int mb_y, int range, int zero_bias) {
+  // Stage 1: full-pel candidate.
+  const MotionSearchResult full =
+      search_motion(current, reference, mb_x, mb_y, range, zero_bias);
+  MotionSearchResult best;
+  best.mv = MotionVector{2 * full.mv.dx, 2 * full.mv.dy};
+  best.sad = full.sad;
+  // Stage 2: +-1 half-pel refinement around the full-pel winner.
+  for (int dy = -1; dy <= 1; ++dy) {
+    for (int dx = -1; dx <= 1; ++dx) {
+      if (dx == 0 && dy == 0) continue;
+      const MotionVector candidate{2 * full.mv.dx + dx, 2 * full.mv.dy + dy};
+      const int sad =
+          luma_sad_halfpel(current, reference, mb_x, mb_y, candidate);
+      if (sad < best.sad) {
+        best.mv = candidate;
+        best.sad = sad;
+      }
+    }
+  }
+  return best;
+}
+
+MotionSearchResult search_motion(const Frame& current, const Frame& reference,
+                                 int mb_x, int mb_y, int range,
+                                 int zero_bias) {
+  MotionSearchResult best;
+  best.mv = MotionVector{0, 0};
+  best.sad = luma_sad(current, reference, mb_x, mb_y, best.mv) - zero_bias;
+  for (int dy = -range; dy <= range; ++dy) {
+    for (int dx = -range; dx <= range; ++dx) {
+      if (dx == 0 && dy == 0) continue;
+      const MotionVector mv{dx, dy};
+      const int sad = luma_sad(current, reference, mb_x, mb_y, mv);
+      if (sad < best.sad) {
+        best.mv = mv;
+        best.sad = sad;
+      }
+    }
+  }
+  // Report the true SAD for the winner (undo the zero bias if it won).
+  best.sad = luma_sad(current, reference, mb_x, mb_y, best.mv);
+  return best;
+}
+
+}  // namespace lsm::mpeg

@@ -1,0 +1,80 @@
+// Motion estimation and compensation (paper, Section 2): P macroblocks are
+// predicted from the preceding reference picture via a motion vector plus a
+// coded error term; B macroblocks may use forward, backward, or interpolated
+// (averaged) prediction. The search algorithm is implementation-defined by
+// the standard; we use exhaustive full-pel search over a square window,
+// minimizing luma SAD with a zero-vector preference.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "mpeg/frame.h"
+
+namespace lsm::mpeg {
+
+/// Full-pel motion vector (luma units; chroma uses mv/2).
+struct MotionVector {
+  int dx = 0;
+  int dy = 0;
+  friend bool operator==(const MotionVector& a,
+                         const MotionVector& b) = default;
+};
+
+/// Pixel content of one macroblock: 16x16 luma, 8x8 per chroma plane.
+struct MacroblockPixels {
+  std::array<std::uint8_t, 256> y{};
+  std::array<std::uint8_t, 64> cb{};
+  std::array<std::uint8_t, 64> cr{};
+};
+
+/// Extracts the macroblock at grid position (mb_x, mb_y) from `frame`,
+/// displaced by `mv` (clamped at frame borders). mv = {0,0} reads the
+/// colocated macroblock.
+MacroblockPixels extract_macroblock(const Frame& frame, int mb_x, int mb_y,
+                                    MotionVector mv = {});
+
+/// Pixel-wise average (rounded) of two predictions — B interpolation.
+MacroblockPixels average(const MacroblockPixels& a, const MacroblockPixels& b);
+
+/// Sum of absolute luma differences between the macroblock at (mb_x, mb_y)
+/// of `current` and the mv-displaced macroblock of `reference`.
+int luma_sad(const Frame& current, const Frame& reference, int mb_x, int mb_y,
+             MotionVector mv);
+
+/// Result of a motion search.
+struct MotionSearchResult {
+  MotionVector mv;
+  int sad = 0;
+};
+
+/// Exhaustive full-pel search over [-range, range]^2. Ties and near-ties
+/// (within `zero_bias`) go to the zero vector, which costs fewest bits.
+MotionSearchResult search_motion(const Frame& current, const Frame& reference,
+                                 int mb_x, int mb_y, int range,
+                                 int zero_bias = 128);
+
+// ---- Half-pel motion (MPEG-1's actual precision) ----------------------
+//
+// In the functions below MotionVector components are in HALF-pel units:
+// (2, 0) moves one full luma pixel right, (1, 0) moves half a pixel and
+// samples are bilinearly interpolated (averaged with round-half-up, as in
+// ISO 11172-2). Chroma displacement is the luma vector divided by two
+// (truncation toward zero), also in half-pel units of the chroma plane.
+
+/// Extracts a macroblock displaced by a half-pel vector.
+MacroblockPixels extract_macroblock_halfpel(const Frame& frame, int mb_x,
+                                            int mb_y, MotionVector half_pel);
+
+/// Luma SAD against a half-pel displaced reference macroblock.
+int luma_sad_halfpel(const Frame& current, const Frame& reference, int mb_x,
+                     int mb_y, MotionVector half_pel);
+
+/// Two-stage search: exhaustive full-pel over [-range, range]^2 followed by
+/// +-1 half-pel refinement. The returned vector is in half-pel units.
+MotionSearchResult search_motion_halfpel(const Frame& current,
+                                         const Frame& reference, int mb_x,
+                                         int mb_y, int range,
+                                         int zero_bias = 128);
+
+}  // namespace lsm::mpeg

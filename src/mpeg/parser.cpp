@@ -1,0 +1,133 @@
+#include "mpeg/parser.h"
+
+#include <stdexcept>
+
+#include "mpeg/bits.h"
+
+namespace lsm::mpeg {
+
+namespace {
+
+bool is_slice(std::uint8_t code) noexcept {
+  return code >= startcode::kSliceFirst && code <= startcode::kSliceLast;
+}
+
+}  // namespace
+
+ParseResult parse_stream(const std::vector<std::uint8_t>& stream) {
+  ParseResult result;
+  bool saw_sequence_header = false;
+
+  std::int64_t at = find_start_code(stream, 0);
+  if (at != 0) {
+    throw std::runtime_error("parse_stream: stream must begin with a start code");
+  }
+
+  std::int64_t picture_offset = -1;  // offset of the open picture's start code
+  auto close_picture = [&result, &picture_offset](std::int64_t end_offset) {
+    if (picture_offset < 0) return;
+    result.pictures.back().bits = (end_offset - picture_offset) * 8;
+    picture_offset = -1;
+  };
+
+  while (at >= 0) {
+    const std::uint8_t code = stream[static_cast<std::size_t>(at + 3)];
+    const std::int64_t body = at + 4;
+    const std::int64_t next = find_start_code(stream, body);
+    const std::int64_t end =
+        next < 0 ? static_cast<std::int64_t>(stream.size()) : next;
+
+    if (is_slice(code)) {
+      if (picture_offset < 0) {
+        throw std::runtime_error("parse_stream: slice outside any picture");
+      }
+      ++result.pictures.back().slice_count;
+    } else {
+      close_picture(at);
+      if (code == startcode::kSequenceHeader) {
+        const std::vector<std::uint8_t> payload = unescape_payload(
+            std::vector<std::uint8_t>(stream.begin() + body,
+                                      stream.begin() + end));
+        BitReader reader(payload);
+        result.sequence_header = read_sequence_header(reader);
+        saw_sequence_header = true;
+      } else if (code == startcode::kGroup) {
+        ++result.group_count;
+      } else if (code == startcode::kPicture) {
+        if (!saw_sequence_header) {
+          throw std::runtime_error(
+              "parse_stream: picture before sequence header");
+        }
+        const std::vector<std::uint8_t> payload = unescape_payload(
+            std::vector<std::uint8_t>(stream.begin() + body,
+                                      stream.begin() + end));
+        BitReader reader(payload);
+        const PictureHeader header = read_picture_header(reader);
+        ParsedPicture picture;
+        picture.coded_index = static_cast<int>(result.pictures.size());
+        picture.display_index = header.temporal_reference;
+        picture.type = header.type;
+        picture.quantizer_scale = header.quantizer_scale;
+        result.pictures.push_back(picture);
+        picture_offset = at;
+      } else if (code == startcode::kSequenceEnd) {
+        result.has_sequence_end = true;
+        break;
+      } else {
+        throw std::runtime_error("parse_stream: unknown start code");
+      }
+    }
+    at = next;
+  }
+  // Stream without a sequence end code: close against the stream tail.
+  close_picture(static_cast<std::int64_t>(stream.size()));
+  return result;
+}
+
+std::vector<UnitOffset> scan_units(const std::vector<std::uint8_t>& stream) {
+  std::vector<UnitOffset> units;
+  std::int64_t at = find_start_code(stream, 0);
+  while (at >= 0) {
+    units.push_back(
+        UnitOffset{at, stream[static_cast<std::size_t>(at + 3)]});
+    at = find_start_code(stream, at + 4);
+  }
+  return units;
+}
+
+lsm::trace::Trace ParseResult::display_trace(const std::string& name) const {
+  std::vector<lsm::trace::Bits> sizes(pictures.size(), 0);
+  std::vector<lsm::trace::PictureType> types(pictures.size(),
+                                             lsm::trace::PictureType::I);
+  for (const ParsedPicture& picture : pictures) {
+    if (picture.display_index < 0 ||
+        picture.display_index >= static_cast<int>(pictures.size()) ||
+        sizes[static_cast<std::size_t>(picture.display_index)] != 0) {
+      throw std::runtime_error(
+          "display_trace: temporal references are not a permutation");
+    }
+    sizes[static_cast<std::size_t>(picture.display_index)] = picture.bits;
+    types[static_cast<std::size_t>(picture.display_index)] = picture.type;
+  }
+  return lsm::trace::Trace(
+      name,
+      lsm::trace::GopPattern(sequence_header.gop_n, sequence_header.gop_m),
+      std::move(sizes), std::move(types), 1.0 / sequence_header.fps,
+      sequence_header.width, sequence_header.height);
+}
+
+lsm::trace::Trace ParseResult::coded_trace(const std::string& name) const {
+  std::vector<lsm::trace::Bits> sizes;
+  std::vector<lsm::trace::PictureType> types;
+  for (const ParsedPicture& picture : pictures) {
+    sizes.push_back(picture.bits);
+    types.push_back(picture.type);
+  }
+  return lsm::trace::Trace(
+      name,
+      lsm::trace::GopPattern(sequence_header.gop_n, sequence_header.gop_m),
+      std::move(sizes), std::move(types), 1.0 / sequence_header.fps,
+      sequence_header.width, sequence_header.height);
+}
+
+}  // namespace lsm::mpeg

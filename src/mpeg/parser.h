@@ -1,0 +1,54 @@
+// Structure-level stream parser: walks the start codes of a coded stream
+// without decoding macroblocks, recovering exactly what a transport protocol
+// can see — picture boundaries, types, and sizes. This is how a smoothing
+// implementation obtains its picture-size sequence from a live encoder's
+// output, and it is the bridge from the mpeg substrate to lsm::trace.
+//
+// A picture's size is measured from its picture start code up to the next
+// start code that is not a slice (the next picture, group, sequence header,
+// or sequence end) — the same accounting the encoder reports.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mpeg/headers.h"
+#include "trace/trace.h"
+
+namespace lsm::mpeg {
+
+struct ParsedPicture {
+  int coded_index = 0;
+  int display_index = 0;  ///< from the temporal reference field
+  lsm::trace::PictureType type = lsm::trace::PictureType::I;
+  int quantizer_scale = 0;
+  int slice_count = 0;
+  std::int64_t bits = 0;
+};
+
+struct ParseResult {
+  SequenceHeader sequence_header;
+  std::vector<ParsedPicture> pictures;  ///< in coded (stream) order
+  int group_count = 0;
+  bool has_sequence_end = false;
+
+  /// Picture-size trace in display order (requires every display index in
+  /// [0, n) to be present exactly once).
+  lsm::trace::Trace display_trace(const std::string& name) const;
+  /// Picture-size trace in coded order.
+  lsm::trace::Trace coded_trace(const std::string& name) const;
+};
+
+/// Parses the structure of `stream`. Throws std::runtime_error on malformed
+/// start-code structure.
+ParseResult parse_stream(const std::vector<std::uint8_t>& stream);
+
+/// Raw start-code map of a stream: byte offset of each 0x000001 prefix and
+/// the unit's code byte. Useful for targeted fault injection and tooling.
+struct UnitOffset {
+  std::int64_t offset = 0;
+  std::uint8_t code = 0;
+};
+std::vector<UnitOffset> scan_units(const std::vector<std::uint8_t>& stream);
+
+}  // namespace lsm::mpeg

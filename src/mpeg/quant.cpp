@@ -1,0 +1,89 @@
+#include "mpeg/quant.h"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace lsm::mpeg {
+
+namespace {
+
+void check_scale(int quantizer_scale) {
+  if (quantizer_scale < 1 || quantizer_scale > 31) {
+    throw std::invalid_argument("quantizer_scale must be in [1, 31]");
+  }
+}
+
+int divide_round(int value, int divisor) noexcept {
+  // Symmetric round-half-away-from-zero.
+  const int sign = value < 0 ? -1 : 1;
+  return sign * ((std::abs(value) * 2 + divisor) / (2 * divisor));
+}
+
+}  // namespace
+
+const std::array<std::uint8_t, 64>& intra_quant_matrix() noexcept {
+  // ISO 11172-2 default intra matrix.
+  static const std::array<std::uint8_t, 64> matrix = {
+      8,  16, 19, 22, 26, 27, 29, 34,
+      16, 16, 22, 24, 27, 29, 34, 37,
+      19, 22, 26, 27, 29, 34, 34, 38,
+      22, 22, 26, 27, 29, 34, 37, 40,
+      22, 26, 27, 29, 32, 35, 40, 48,
+      26, 27, 29, 32, 35, 40, 48, 58,
+      26, 27, 29, 34, 38, 46, 56, 69,
+      27, 29, 35, 38, 46, 56, 69, 83};
+  return matrix;
+}
+
+CoeffBlock quantize_intra(const CoeffBlock& coeffs, int quantizer_scale) {
+  check_scale(quantizer_scale);
+  const auto& matrix = intra_quant_matrix();
+  CoeffBlock levels{};
+  // DC: fixed divisor of 8, independent of the scale (MPEG-1 semantics).
+  levels[0] = static_cast<std::int16_t>(divide_round(coeffs[0], 8));
+  for (std::size_t k = 1; k < 64; ++k) {
+    const int divisor = quantizer_scale * matrix[k];
+    // MPEG-1 scales the matrix entry by quantizer_scale/8 relative to the
+    // coefficient; expressed directly: level = 8*coeff / (scale * m).
+    levels[k] = static_cast<std::int16_t>(
+        divide_round(8 * coeffs[k], divisor));
+  }
+  return levels;
+}
+
+CoeffBlock quantize_inter(const CoeffBlock& coeffs, int quantizer_scale) {
+  check_scale(quantizer_scale);
+  CoeffBlock levels{};
+  for (std::size_t k = 0; k < 64; ++k) {
+    const int divisor = quantizer_scale * 16;
+    // MPEG-1 non-intra quantization truncates toward zero: the resulting
+    // dead zone around zero is what keeps residual pictures small — noise
+    // the reference already absorbed is not re-coded.
+    levels[k] = static_cast<std::int16_t>((8 * coeffs[k]) / divisor);
+  }
+  return levels;
+}
+
+CoeffBlock dequantize_intra(const CoeffBlock& levels, int quantizer_scale) {
+  check_scale(quantizer_scale);
+  const auto& matrix = intra_quant_matrix();
+  CoeffBlock coeffs{};
+  coeffs[0] = static_cast<std::int16_t>(levels[0] * 8);
+  for (std::size_t k = 1; k < 64; ++k) {
+    coeffs[k] = static_cast<std::int16_t>(
+        (levels[k] * quantizer_scale * matrix[k]) / 8);
+  }
+  return coeffs;
+}
+
+CoeffBlock dequantize_inter(const CoeffBlock& levels, int quantizer_scale) {
+  check_scale(quantizer_scale);
+  CoeffBlock coeffs{};
+  for (std::size_t k = 0; k < 64; ++k) {
+    coeffs[k] = static_cast<std::int16_t>(
+        (levels[k] * quantizer_scale * 16) / 8);
+  }
+  return coeffs;
+}
+
+}  // namespace lsm::mpeg

@@ -1,0 +1,27 @@
+// Coefficient quantization (paper, Section 2: low-frequency coefficients are
+// quantized more finely than high-frequency ones; the quantizer scale in the
+// slice/macroblock header trades bit rate for visual quality and is the knob
+// lossy rate control turns — Section 3.1).
+//
+// Intra blocks use the MPEG-1 default intra matrix with the DC coefficient
+// quantized by a fixed step of 8; non-intra (residual) blocks use a flat
+// matrix of 16, as in MPEG-1.
+#pragma once
+
+#include "mpeg/dct.h"
+
+namespace lsm::mpeg {
+
+/// MPEG-1 default intra quantization matrix (row-major, zigzag-independent).
+const std::array<std::uint8_t, 64>& intra_quant_matrix() noexcept;
+
+/// Quantizes `coeffs` in place semantics (returns levels). quantizer_scale
+/// must be in [1, 31].
+CoeffBlock quantize_intra(const CoeffBlock& coeffs, int quantizer_scale);
+CoeffBlock quantize_inter(const CoeffBlock& coeffs, int quantizer_scale);
+
+/// Reconstructs coefficient values from levels.
+CoeffBlock dequantize_intra(const CoeffBlock& levels, int quantizer_scale);
+CoeffBlock dequantize_inter(const CoeffBlock& levels, int quantizer_scale);
+
+}  // namespace lsm::mpeg

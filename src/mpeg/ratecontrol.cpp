@@ -1,0 +1,73 @@
+#include "mpeg/ratecontrol.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace lsm::mpeg {
+
+RateShapeResult encode_rate_shaped(const std::vector<Frame>& display_frames,
+                                   const RateShapeConfig& config) {
+  if (config.target_peak_bps <= 0.0) {
+    throw std::invalid_argument("encode_rate_shaped: bad target rate");
+  }
+  if (config.max_quant < 1 || config.max_quant > 31 ||
+      config.max_passes < 1) {
+    throw std::invalid_argument("encode_rate_shaped: bad shaper limits");
+  }
+
+  const int n = static_cast<int>(display_frames.size());
+  const double tau = 1.0 / config.base.fps;
+  const double budget_bits = config.target_peak_bps * tau;
+
+  EncoderConfig current = config.base;
+  current.per_picture_quant.assign(static_cast<std::size_t>(n), 0);
+
+  RateShapeResult result;
+  // Track the effective scale per picture (starts at the type default).
+  result.quant_by_picture.assign(static_cast<std::size_t>(n), 0);
+  for (int i = 1; i <= n; ++i) {
+    const auto type = config.base.pattern.type_of(i);
+    result.quant_by_picture[static_cast<std::size_t>(i - 1)] =
+        type == lsm::trace::PictureType::I   ? config.base.i_quant
+        : type == lsm::trace::PictureType::P ? config.base.p_quant
+                                             : config.base.b_quant;
+  }
+
+  for (int pass = 0; pass < config.max_passes; ++pass) {
+    result.encoded = Encoder(current).encode(display_frames);
+    ++result.passes;
+
+    // Coarsen every oversized picture proportionally to its overshoot
+    // (coded size is roughly inversely proportional to the scale).
+    bool any_over = false;
+    for (const EncodedPicture& picture : result.encoded.pictures) {
+      if (static_cast<double>(picture.bits) <= budget_bits) continue;
+      const auto index = static_cast<std::size_t>(picture.display_index);
+      const int old_quant = result.quant_by_picture[index];
+      if (old_quant >= config.max_quant) continue;  // cannot coarsen further
+      const double overshoot =
+          static_cast<double>(picture.bits) / budget_bits;
+      const int new_quant = std::clamp(
+          static_cast<int>(std::ceil(old_quant * overshoot)), old_quant + 1,
+          config.max_quant);
+      result.quant_by_picture[index] = new_quant;
+      current.per_picture_quant[index] = new_quant;
+      any_over = true;
+    }
+    if (!any_over) break;
+  }
+
+  result.reencoded_pictures = 0;
+  result.converged = true;
+  for (const EncodedPicture& picture : result.encoded.pictures) {
+    const auto index = static_cast<std::size_t>(picture.display_index);
+    if (current.per_picture_quant[index] != 0) ++result.reencoded_pictures;
+    if (static_cast<double>(picture.bits) > budget_bits) {
+      result.converged = false;
+    }
+  }
+  return result;
+}
+
+}  // namespace lsm::mpeg

@@ -1,0 +1,39 @@
+// Lossy rate shaping by quantizer-scale control — the technique the paper's
+// Section 3.1 reviews and argues should be a LAST resort. The encoder's
+// output rate is capped by re-encoding oversized pictures at coarser
+// quantizer scales (multi-pass), so that every picture fits within a
+// per-period bit budget and no smoothing buffer is needed at all.
+//
+// The paper's experiment: raising an I picture's quantizer scale from 4 to
+// 30 shrank it from 282,976 to 75,960 bits, but the result was "grainy,
+// fuzzy, and has visible blocking effects". The ablation bench
+// (ablation_lossy_vs_lossless) reproduces the trade: rate-shaping to the
+// same peak rate that lossless smoothing achieves costs several dB of
+// I-picture PSNR, while lossless smoothing costs only delay.
+#pragma once
+
+#include "mpeg/encoder.h"
+
+namespace lsm::mpeg {
+
+struct RateShapeConfig {
+  EncoderConfig base;            ///< pass-1 configuration (fine quants)
+  double target_peak_bps = 2e6;  ///< no picture may exceed this rate over tau
+  int max_quant = 31;            ///< coarsest scale the shaper may use
+  int max_passes = 8;            ///< re-encode iterations
+};
+
+struct RateShapeResult {
+  EncodeResult encoded;               ///< final pass output
+  std::vector<int> quant_by_picture;  ///< effective scale, display order
+  int reencoded_pictures = 0;  ///< pictures forced to a coarser scale
+  int passes = 0;              ///< encode passes run
+  bool converged = false;      ///< every picture within budget at the end
+};
+
+/// Shapes `display_frames` to the target peak rate. Throws
+/// std::invalid_argument on a non-positive target or bad base config.
+RateShapeResult encode_rate_shaped(const std::vector<Frame>& display_frames,
+                                   const RateShapeConfig& config);
+
+}  // namespace lsm::mpeg

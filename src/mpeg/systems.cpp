@@ -1,0 +1,192 @@
+#include "mpeg/systems.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "mpeg/bits.h"
+#include "mpeg/parser.h"
+
+namespace lsm::mpeg {
+
+namespace {
+
+constexpr std::uint8_t kPackCode = 0xBA;
+constexpr std::uint8_t kPesVideoCode = 0xE0;
+constexpr std::uint8_t kProgramEndCode = 0xB9;
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint32_t value) {
+  out.push_back(static_cast<std::uint8_t>(value >> 8));
+  out.push_back(static_cast<std::uint8_t>(value & 0xFF));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t value) {
+  out.push_back(static_cast<std::uint8_t>(value >> 24));
+  out.push_back(static_cast<std::uint8_t>((value >> 16) & 0xFF));
+  out.push_back(static_cast<std::uint8_t>((value >> 8) & 0xFF));
+  out.push_back(static_cast<std::uint8_t>(value & 0xFF));
+}
+
+std::uint32_t get_u16(const std::vector<std::uint8_t>& data,
+                      std::size_t& at) {
+  if (at + 2 > data.size()) throw std::runtime_error("demux: truncated u16");
+  const std::uint32_t value = (static_cast<std::uint32_t>(data[at]) << 8) |
+                              data[at + 1];
+  at += 2;
+  return value;
+}
+
+std::uint32_t get_u32(const std::vector<std::uint8_t>& data,
+                      std::size_t& at) {
+  if (at + 4 > data.size()) throw std::runtime_error("demux: truncated u32");
+  const std::uint32_t value = (static_cast<std::uint32_t>(data[at]) << 24) |
+                              (static_cast<std::uint32_t>(data[at + 1]) << 16) |
+                              (static_cast<std::uint32_t>(data[at + 2]) << 8) |
+                              data[at + 3];
+  at += 4;
+  return value;
+}
+
+void expect_start_code(const std::vector<std::uint8_t>& data, std::size_t& at,
+                       std::uint8_t code) {
+  if (at + 4 > data.size() || data[at] != 0x00 || data[at + 1] != 0x00 ||
+      data[at + 2] != 0x01 || data[at + 3] != code) {
+    throw std::runtime_error("demux: expected start code");
+  }
+  at += 4;
+}
+
+}  // namespace
+
+SystemsStream mux_systems(const EncodeResult& encoded,
+                          const SystemsConfig& config) {
+  if (config.pes_payload_bytes < 32 || !(config.mux_rate_bps > 0.0)) {
+    throw std::invalid_argument("mux_systems: bad config");
+  }
+  const std::vector<std::uint8_t>& es = encoded.stream;
+
+  // Picture start offsets within the elementary stream, with display-time
+  // PTS values for each.
+  struct Boundary {
+    std::int64_t offset;
+    double pts_seconds;
+  };
+  std::vector<Boundary> boundaries;
+  {
+    std::size_t picture_index = 0;
+    for (const UnitOffset& unit : scan_units(es)) {
+      if (unit.code != startcode::kPicture) continue;
+      if (picture_index >= encoded.pictures.size()) break;
+      const EncodedPicture& picture = encoded.pictures[picture_index++];
+      const double tau = 1.0 / encoded.sequence_header.fps;
+      boundaries.push_back(
+          Boundary{unit.offset, picture.display_index * tau});
+    }
+  }
+
+  SystemsStream out;
+  const double bytes_per_second = config.mux_rate_bps / 8.0;
+  std::size_t es_at = 0;
+  std::size_t next_boundary = 0;
+  while (es_at < es.size()) {
+    const std::size_t chunk = std::min(
+        static_cast<std::size_t>(config.pes_payload_bytes),
+        es.size() - es_at);
+
+    // Pack header: SCR from the systems-stream position so far.
+    append_start_code(out.bytes, kPackCode);
+    const double scr_seconds =
+        static_cast<double>(out.bytes.size()) / bytes_per_second;
+    put_u32(out.bytes,
+            static_cast<std::uint32_t>(scr_seconds * kSystemClockHz));
+    // mux_rate in units of 50 bytes/s, 22 bits used of 24.
+    const auto rate_units =
+        static_cast<std::uint32_t>(config.mux_rate_bps / 8.0 / 50.0);
+    out.bytes.push_back(static_cast<std::uint8_t>((rate_units >> 16) & 0x3F));
+    out.bytes.push_back(static_cast<std::uint8_t>((rate_units >> 8) & 0xFF));
+    out.bytes.push_back(static_cast<std::uint8_t>(rate_units & 0xFF));
+    ++out.pack_count;
+
+    // Does a picture begin within this chunk? Then stamp the earliest one.
+    // (If several pictures start in one chunk only the first is stamped —
+    // as in MPEG, unstamped access units inherit interpolated timestamps.)
+    bool has_pts = false;
+    double pts_seconds = 0.0;
+    while (next_boundary < boundaries.size() &&
+           boundaries[next_boundary].offset <
+               static_cast<std::int64_t>(es_at)) {
+      ++next_boundary;  // picture started in an earlier, already-stamped chunk
+    }
+    if (next_boundary < boundaries.size() &&
+        boundaries[next_boundary].offset <
+            static_cast<std::int64_t>(es_at + chunk)) {
+      has_pts = true;
+      pts_seconds = boundaries[next_boundary].pts_seconds;
+      ++next_boundary;
+      ++out.pts_count;
+    }
+
+    // PES packet.
+    append_start_code(out.bytes, kPesVideoCode);
+    const std::uint32_t length =
+        1 + (has_pts ? 4 : 0) + static_cast<std::uint32_t>(chunk);
+    put_u16(out.bytes, length);
+    out.bytes.push_back(has_pts ? 0x01 : 0x00);
+    if (has_pts) {
+      put_u32(out.bytes,
+              static_cast<std::uint32_t>(pts_seconds * kSystemClockHz));
+    }
+    out.bytes.insert(out.bytes.end(), es.begin() + static_cast<std::ptrdiff_t>(es_at),
+                     es.begin() + static_cast<std::ptrdiff_t>(es_at + chunk));
+    es_at += chunk;
+  }
+
+  append_start_code(out.bytes, kProgramEndCode);
+  return out;
+}
+
+DemuxResult demux_systems(const std::vector<std::uint8_t>& stream) {
+  DemuxResult result;
+  std::size_t at = 0;
+  while (true) {
+    if (at + 4 > stream.size()) {
+      throw std::runtime_error("demux: missing program end code");
+    }
+    if (stream[at] == 0x00 && stream[at + 1] == 0x00 &&
+        stream[at + 2] == 0x01 && stream[at + 3] == kProgramEndCode) {
+      break;
+    }
+    expect_start_code(stream, at, kPackCode);
+    const std::uint32_t scr = get_u32(stream, at);
+    result.scr_seconds.push_back(static_cast<double>(scr) / kSystemClockHz);
+    if (at + 3 > stream.size()) throw std::runtime_error("demux: truncated");
+    const std::uint32_t rate_units =
+        (static_cast<std::uint32_t>(stream[at]) << 16) |
+        (static_cast<std::uint32_t>(stream[at + 1]) << 8) | stream[at + 2];
+    at += 3;
+    result.mux_rate_bps = static_cast<double>(rate_units) * 50.0 * 8.0;
+
+    expect_start_code(stream, at, kPesVideoCode);
+    const std::uint32_t length = get_u16(stream, at);
+    if (length < 1 || at + length > stream.size()) {
+      throw std::runtime_error("demux: bad PES length");
+    }
+    const std::uint8_t flags = stream[at++];
+    std::uint32_t consumed = 1;
+    if (flags & 0x01) {
+      const std::uint32_t pts = get_u32(stream, at);
+      consumed += 4;
+      result.pts.push_back(
+          PtsEntry{static_cast<std::int64_t>(result.elementary.size()),
+                   static_cast<double>(pts) / kSystemClockHz});
+    }
+    const std::uint32_t payload = length - consumed;
+    result.elementary.insert(
+        result.elementary.end(), stream.begin() + static_cast<std::ptrdiff_t>(at),
+        stream.begin() + static_cast<std::ptrdiff_t>(at + payload));
+    at += payload;
+  }
+  return result;
+}
+
+}  // namespace lsm::mpeg

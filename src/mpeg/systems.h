@@ -1,0 +1,64 @@
+// MPEG systems layer (ISO 11172-1 in miniature): packs the video elementary
+// stream into a timestamped systems stream — the form in which MPEG video
+// is actually stored and handed to a transport (the paper's Section 1:
+// MPEG targets "storing video on digital storage media ... as well as
+// delivering video through local area networks").
+//
+// Structure (field widths ours, start-code numbering MPEG's):
+//
+//   pack        ::= 0x000001BA  SCR(32, 90 kHz ticks)  mux_rate(22, b/s/50)
+//                   <PES packet>
+//   PES packet  ::= 0x000001E0  length(16)  flags(8)  [PTS(32, 90 kHz)]
+//                   payload bytes (length counts from the flags byte)
+//   end         ::= 0x000001B9
+//
+// A PTS is attached to the first PES packet that begins a coded picture;
+// its value is the picture's DISPLAY time. The PES length field delimits
+// payloads exactly, so no start-code emulation handling is needed at this
+// layer. The demuxer reassembles the elementary stream byte-exactly and
+// returns the timestamp list — enough for a receiver to schedule decode and
+// playout (the playout-offset logic of net/transport.h).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mpeg/encoder.h"
+
+namespace lsm::mpeg {
+
+/// 90 kHz system clock, as in MPEG.
+inline constexpr double kSystemClockHz = 90000.0;
+
+struct SystemsConfig {
+  int pes_payload_bytes = 2016;  ///< elementary-stream bytes per PES packet
+  double mux_rate_bps = 4e6;     ///< rate the SCR advances at (> 0)
+};
+
+struct SystemsStream {
+  std::vector<std::uint8_t> bytes;
+  int pack_count = 0;
+  int pts_count = 0;
+};
+
+/// Packs `encoded` (elementary stream + picture bookkeeping) into a systems
+/// stream. Throws std::invalid_argument on a bad config.
+SystemsStream mux_systems(const EncodeResult& encoded,
+                          const SystemsConfig& config = {});
+
+struct PtsEntry {
+  std::int64_t es_offset = 0;  ///< byte offset within the elementary stream
+  double seconds = 0.0;        ///< PTS / 90 kHz
+};
+
+struct DemuxResult {
+  std::vector<std::uint8_t> elementary;  ///< reassembled video ES
+  std::vector<double> scr_seconds;       ///< one per pack, monotone
+  std::vector<PtsEntry> pts;             ///< in stream order
+  double mux_rate_bps = 0.0;
+};
+
+/// Unpacks a systems stream. Throws std::runtime_error on malformed input.
+DemuxResult demux_systems(const std::vector<std::uint8_t>& stream);
+
+}  // namespace lsm::mpeg

@@ -1,0 +1,150 @@
+#include "mpeg/videogen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "sim/rng.h"
+
+namespace lsm::mpeg {
+
+namespace {
+
+/// Cheap deterministic 2-D hash noise in [0, 1).
+double hash_noise(std::uint64_t seed, int x, int y) noexcept {
+  std::uint64_t h = seed;
+  h ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(x)) * 0x9E3779B97F4A7C15ULL;
+  h ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(y)) * 0xC2B2AE3D27D4EB4FULL;
+  h ^= h >> 29;
+  h *= 0xBF58476D1CE4E5B9ULL;
+  h ^= h >> 32;
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+std::uint8_t clamp_pixel(double v) noexcept {
+  return static_cast<std::uint8_t>(std::clamp(v, 0.0, 255.0));
+}
+
+struct Object {
+  double x, y;    // position
+  double vx, vy;  // velocity per frame
+  int w, h;
+  double luma;
+  double cb, cr;
+};
+
+}  // namespace
+
+std::vector<Frame> generate_video(const VideoConfig& config) {
+  if (config.width % 16 != 0 || config.height % 16 != 0 ||
+      config.width <= 0 || config.height <= 0) {
+    throw std::invalid_argument("generate_video: bad dimensions");
+  }
+  if (config.scenes.empty()) {
+    throw std::invalid_argument("generate_video: no scenes");
+  }
+
+  std::vector<Frame> frames;
+  lsm::sim::Rng rng(config.seed);
+
+  int scene_index = 0;
+  for (const VideoScene& scene : config.scenes) {
+    if (scene.frames < 1 || scene.complexity <= 0.0) {
+      throw std::invalid_argument("generate_video: bad scene");
+    }
+    // Scene-specific texture parameters.
+    const std::uint64_t tex_seed = rng.next_u64();
+    const double base_luma = rng.uniform(90.0, 160.0);
+    const double freq_x = rng.uniform(0.02, 0.06) * scene.complexity;
+    const double freq_y = rng.uniform(0.02, 0.06) * scene.complexity;
+    const double wave_amp = 25.0 * scene.complexity;
+    const double noise_amp = 18.0 * scene.complexity;
+    // Up to 2 px/frame of camera pan: with M = 3 a P picture is three frames
+    // from its reference, so the displacement stays inside the encoder's
+    // default +-7 full-pel search window.
+    const double pan_speed = 2.0 * scene.motion;
+    const double scene_cb = rng.uniform(110.0, 146.0);
+    const double scene_cr = rng.uniform(110.0, 146.0);
+
+    // A few moving objects.
+    std::vector<Object> objects;
+    const int object_count = 2 + static_cast<int>(rng.uniform_int(0, 2));
+    for (int k = 0; k < object_count; ++k) {
+      Object obj;
+      obj.x = rng.uniform(0.0, config.width - 32.0);
+      obj.y = rng.uniform(0.0, config.height - 32.0);
+      const double speed = 2.0 * scene.motion;
+      obj.vx = rng.uniform(-speed, speed);
+      obj.vy = rng.uniform(-speed, speed);
+      obj.w = 16 + static_cast<int>(rng.uniform_int(0, 32));
+      obj.h = 16 + static_cast<int>(rng.uniform_int(0, 32));
+      obj.luma = rng.uniform(40.0, 220.0);
+      obj.cb = rng.uniform(90.0, 166.0);
+      obj.cr = rng.uniform(90.0, 166.0);
+      objects.push_back(obj);
+    }
+
+    for (int f = 0; f < scene.frames; ++f) {
+      Frame frame(config.width, config.height);
+      // Integer pan per frame: the generator has no sub-pixel filter and the
+      // codec searches full-pel vectors only (MPEG's half-pel refinement is
+      // out of scope), so camera motion is quantized to whole pixels to keep
+      // the background exactly motion-compensable — as real video is to a
+      // half-pel-capable coder.
+      const double pan = std::floor(pan_speed * f);
+      const double pan_y = std::floor(0.35 * pan);
+
+      for (int y = 0; y < config.height; ++y) {
+        for (int x = 0; x < config.width; ++x) {
+          const double tx = x + pan;
+          const double ty = y + pan_y;
+          double v = base_luma;
+          v += wave_amp * std::sin(freq_x * tx) * std::cos(freq_y * ty);
+          v += wave_amp * 0.5 * std::sin(0.11 * tx + 0.07 * ty);
+          v += noise_amp * (hash_noise(tex_seed,
+                                       static_cast<int>(std::floor(tx / 2.0)),
+                                       static_cast<int>(std::floor(ty / 2.0))) -
+                            0.5);
+          frame.y.set(x, y, clamp_pixel(v));
+        }
+      }
+      for (int y = 0; y < config.height / 2; ++y) {
+        for (int x = 0; x < config.width / 2; ++x) {
+          const double tx = 2.0 * x + pan;
+          frame.cb.set(x, y,
+                       clamp_pixel(scene_cb + 10.0 * std::sin(0.015 * tx)));
+          frame.cr.set(x, y,
+                       clamp_pixel(scene_cr + 10.0 * std::cos(0.017 * tx)));
+        }
+      }
+
+      // Objects on top, bouncing off frame edges.
+      for (Object& obj : objects) {
+        const int ox = static_cast<int>(std::lround(obj.x));
+        const int oy = static_cast<int>(std::lround(obj.y));
+        for (int y = std::max(0, oy);
+             y < std::min(config.height, oy + obj.h); ++y) {
+          for (int x = std::max(0, ox);
+               x < std::min(config.width, ox + obj.w); ++x) {
+            frame.y.set(x, y, clamp_pixel(obj.luma +
+                                          8.0 * hash_noise(tex_seed, x - ox,
+                                                           y - oy)));
+            frame.cb.set(x / 2, y / 2, clamp_pixel(obj.cb));
+            frame.cr.set(x / 2, y / 2, clamp_pixel(obj.cr));
+          }
+        }
+        obj.x += obj.vx;
+        obj.y += obj.vy;
+        if (obj.x < -obj.w || obj.x > config.width) obj.vx = -obj.vx;
+        if (obj.y < -obj.h || obj.y > config.height) obj.vy = -obj.vy;
+      }
+
+      frames.push_back(std::move(frame));
+    }
+    ++scene_index;
+  }
+  (void)scene_index;
+  return frames;
+}
+
+}  // namespace lsm::mpeg

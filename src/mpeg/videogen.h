@@ -1,0 +1,38 @@
+// Synthetic video source: renders deterministic frames with controllable
+// spatial complexity, motion, and scene changes, substituting for the
+// captured tapes the paper encoded (DESIGN.md substitution table).
+//
+// A scene is a textured background (sum of sinusoids plus hash noise whose
+// amplitude scales with complexity), panned at a speed proportional to the
+// motion level, with a handful of moving rectangular objects. A scene change
+// re-seeds the texture and palette, so motion compensation across the
+// boundary genuinely fails — exactly the effect that inflates P/B pictures
+// at scene changes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mpeg/frame.h"
+
+namespace lsm::mpeg {
+
+/// One scene of the synthetic video.
+struct VideoScene {
+  int frames = 30;          ///< length in frames (>= 1)
+  double complexity = 1.0;  ///< texture amplitude/detail, > 0
+  double motion = 0.5;      ///< pan + object speed, in [0, 1]
+};
+
+struct VideoConfig {
+  int width = 320;   ///< multiple of 16
+  int height = 240;  ///< multiple of 16
+  std::vector<VideoScene> scenes;
+  std::uint64_t seed = 1;
+};
+
+/// Renders all frames in display order. Deterministic for a given config.
+/// Throws std::invalid_argument on bad dimensions or an empty scene list.
+std::vector<Frame> generate_video(const VideoConfig& config);
+
+}  // namespace lsm::mpeg

@@ -1,0 +1,71 @@
+#include "mpeg/vlc.h"
+
+#include <stdexcept>
+
+namespace lsm::mpeg {
+
+void put_ue(BitWriter& writer, std::uint32_t value) {
+  // Encode value+1 with floor(log2(value+1)) leading zeros.
+  const std::uint64_t code = static_cast<std::uint64_t>(value) + 1;
+  int length = 0;
+  while ((code >> (length + 1)) != 0) ++length;
+  writer.put_bits(0, length);
+  // code has (length + 1) significant bits, the top one being 1.
+  writer.put_bits(static_cast<std::uint32_t>(code), length + 1);
+}
+
+std::uint32_t get_ue(BitReader& reader) {
+  int zeros = 0;
+  while (!reader.get_bit()) {
+    ++zeros;
+    if (zeros > 32) throw std::runtime_error("get_ue: malformed code");
+  }
+  std::uint64_t code = 1;
+  for (int k = 0; k < zeros; ++k) {
+    code = (code << 1) | (reader.get_bit() ? 1u : 0u);
+  }
+  return static_cast<std::uint32_t>(code - 1);
+}
+
+void put_se(BitWriter& writer, std::int32_t value) {
+  const std::uint32_t mapped =
+      value > 0 ? static_cast<std::uint32_t>(value) * 2 - 1
+                : static_cast<std::uint32_t>(-static_cast<std::int64_t>(value)) * 2;
+  put_ue(writer, mapped);
+}
+
+std::int32_t get_se(BitReader& reader) {
+  const std::uint32_t mapped = get_ue(reader);
+  if (mapped % 2 == 1) return static_cast<std::int32_t>((mapped + 1) / 2);
+  return -static_cast<std::int32_t>(mapped / 2);
+}
+
+void put_block(BitWriter& writer, std::int16_t dc,
+               const std::vector<RunLevel>& ac) {
+  put_se(writer, dc);
+  for (const RunLevel& pair : ac) {
+    if (pair.level == 0) {
+      throw std::invalid_argument("put_block: zero AC level");
+    }
+    put_ue(writer, pair.run);
+    put_se(writer, pair.level);
+  }
+  put_ue(writer, kEndOfBlockRun);
+}
+
+DecodedBlock get_block(BitReader& reader) {
+  DecodedBlock block;
+  block.dc = static_cast<std::int16_t>(get_se(reader));
+  while (true) {
+    const std::uint32_t run = get_ue(reader);
+    if (run == kEndOfBlockRun) break;
+    if (run > 62) throw std::runtime_error("get_block: bad run length");
+    const std::int32_t level = get_se(reader);
+    if (level == 0) throw std::runtime_error("get_block: zero level");
+    block.ac.push_back(RunLevel{static_cast<std::uint8_t>(run),
+                                static_cast<std::int16_t>(level)});
+  }
+  return block;
+}
+
+}  // namespace lsm::mpeg

@@ -1,0 +1,47 @@
+// Variable-length (entropy) coding layer.
+//
+// MPEG-1 uses fixed Huffman tables for DC sizes, AC run/level pairs, and
+// motion vectors. We use exponential-Golomb codes instead: they are
+// self-terminating, prefix-free, assign short codes to the small values that
+// dominate after quantization, and need no table plumbing. This is a
+// documented deviation (DESIGN.md): absolute picture sizes shift by a small
+// constant factor versus the ISO tables, while the structure the smoothing
+// paper depends on (I >> P >> B, long zero runs cheap) is unchanged.
+//
+// Layout per coded block: signed-Golomb DC (intra: differential from the
+// previous DC of the same plane; inter: absolute), then AC (run, level)
+// pairs as (ue(run), se(level)), terminated by the end-of-block symbol
+// ue(64) in the run position (runs are always <= 62, so 64 is unambiguous).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mpeg/bits.h"
+#include "mpeg/zigzag.h"
+
+namespace lsm::mpeg {
+
+/// End-of-block marker written in the run position.
+inline constexpr std::uint32_t kEndOfBlockRun = 64;
+
+/// Unsigned exp-Golomb: 0 -> "1", 1 -> "010", 2 -> "011", ...
+void put_ue(BitWriter& writer, std::uint32_t value);
+std::uint32_t get_ue(BitReader& reader);
+
+/// Signed exp-Golomb: 0, 1, -1, 2, -2, ... mapped to 0, 1, 2, 3, 4, ...
+void put_se(BitWriter& writer, std::int32_t value);
+std::int32_t get_se(BitReader& reader);
+
+/// Writes one block: DC value (signed) then AC run/levels and EOB.
+void put_block(BitWriter& writer, std::int16_t dc,
+               const std::vector<RunLevel>& ac);
+
+/// Reads one block written by put_block.
+struct DecodedBlock {
+  std::int16_t dc = 0;
+  std::vector<RunLevel> ac;
+};
+DecodedBlock get_block(BitReader& reader);
+
+}  // namespace lsm::mpeg

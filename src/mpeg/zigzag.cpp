@@ -1,0 +1,56 @@
+#include "mpeg/zigzag.h"
+
+#include <stdexcept>
+
+namespace lsm::mpeg {
+
+const std::array<std::uint8_t, 64>& zigzag_scan() noexcept {
+  static const std::array<std::uint8_t, 64> scan = {
+      0,  1,  8,  16, 9,  2,  3,  10,
+      17, 24, 32, 25, 18, 11, 4,  5,
+      12, 19, 26, 33, 40, 48, 41, 34,
+      27, 20, 13, 6,  7,  14, 21, 28,
+      35, 42, 49, 56, 57, 50, 43, 36,
+      29, 22, 15, 23, 30, 37, 44, 51,
+      58, 59, 52, 45, 38, 31, 39, 46,
+      53, 60, 61, 54, 47, 55, 62, 63};
+  return scan;
+}
+
+std::vector<RunLevel> run_length_encode(const CoeffBlock& block) {
+  const auto& scan = zigzag_scan();
+  std::vector<RunLevel> pairs;
+  int run = 0;
+  for (std::size_t k = 1; k < 64; ++k) {
+    const std::int16_t value = block[scan[k]];
+    if (value == 0) {
+      ++run;
+    } else {
+      pairs.push_back(RunLevel{static_cast<std::uint8_t>(run), value});
+      run = 0;
+    }
+  }
+  return pairs;
+}
+
+CoeffBlock run_length_decode(std::int16_t dc,
+                             const std::vector<RunLevel>& pairs) {
+  const auto& scan = zigzag_scan();
+  CoeffBlock block{};
+  block[0] = dc;
+  std::size_t position = 1;
+  for (const RunLevel& pair : pairs) {
+    if (pair.level == 0) {
+      throw std::invalid_argument("run_length_decode: zero level");
+    }
+    position += pair.run;
+    if (position >= 64) {
+      throw std::invalid_argument("run_length_decode: overflow");
+    }
+    block[scan[position]] = pair.level;
+    ++position;
+  }
+  return block;
+}
+
+}  // namespace lsm::mpeg

@@ -1,0 +1,32 @@
+// Zigzag scan: orders the 64 coefficients of a block from low to high
+// spatial frequency so that the run-length coder sees the long zero runs
+// quantization produces in the high frequencies (paper, Section 2).
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "mpeg/dct.h"
+
+namespace lsm::mpeg {
+
+/// scan[k] = row-major index of the k-th coefficient in zigzag order.
+const std::array<std::uint8_t, 64>& zigzag_scan() noexcept;
+
+/// A (run, level) pair: `run` zero coefficients followed by `level` != 0.
+struct RunLevel {
+  std::uint8_t run = 0;
+  std::int16_t level = 0;
+};
+
+/// Run-length encodes the AC coefficients (zigzag positions 1..63). The DC
+/// coefficient (position 0) is NOT included — it is coded separately.
+std::vector<RunLevel> run_length_encode(const CoeffBlock& block);
+
+/// Rebuilds a coefficient block from `dc` and the AC run/level pairs.
+/// Throws std::invalid_argument if the pairs overflow the block or contain
+/// a zero level.
+CoeffBlock run_length_decode(std::int16_t dc,
+                             const std::vector<RunLevel>& pairs);
+
+}  // namespace lsm::mpeg

@@ -1,0 +1,66 @@
+#include "net/admission.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lsm::net {
+
+StreamDescriptor describe_stream(const core::RateSchedule& schedule,
+                                 double rho) {
+  return StreamDescriptor{min_bucket_depth(schedule, rho), rho};
+}
+
+StreamDescriptor describe_cells(const std::vector<Cell>& cells, double rho) {
+  if (rho <= 0.0) throw std::invalid_argument("describe_cells: rho <= 0");
+  // Virtual queue drained at rho; the required bucket depth is its peak.
+  double queue = 0.0;
+  double peak = 0.0;
+  double last_time = cells.empty() ? 0.0 : cells.front().time;
+  for (const Cell& cell : cells) {
+    queue = std::max(0.0, queue - rho * (cell.time - last_time));
+    queue += kCellPayloadBits;
+    peak = std::max(peak, queue);
+    last_time = cell.time;
+  }
+  return StreamDescriptor{peak, rho};
+}
+
+AdmissionController::AdmissionController(double capacity_bps,
+                                         double buffer_bits)
+    : capacity_(capacity_bps), buffer_(buffer_bits) {
+  if (!(capacity_ > 0.0) || buffer_ < 0.0) {
+    throw std::invalid_argument("AdmissionController: bad link spec");
+  }
+}
+
+bool AdmissionController::try_admit(const StreamDescriptor& descriptor) {
+  if (descriptor.rho <= 0.0 || descriptor.sigma < 0.0) {
+    throw std::invalid_argument("try_admit: bad descriptor");
+  }
+  if (committed_rate_ + descriptor.rho > capacity_ + 1e-9) return false;
+  if (committed_burst_ + descriptor.sigma > buffer_ + 1e-9) return false;
+  committed_rate_ += descriptor.rho;
+  committed_burst_ += descriptor.sigma;
+  ++admitted_;
+  return true;
+}
+
+PolicedCells police_cells(const std::vector<Cell>& cells,
+                          const StreamDescriptor& descriptor) {
+  // One extra cell of depth absorbs packetization quantization: a fluid
+  // schedule conforming to (sigma, rho) emits whole cells whose completion
+  // times lead the fluid by at most one payload.
+  TokenBucket bucket(descriptor.sigma + kCellPayloadBits, descriptor.rho);
+  PolicedCells out;
+  out.conforming.reserve(cells.size());
+  for (const Cell& cell : cells) {
+    if (bucket.consume(cell.time, kCellPayloadBits)) {
+      out.conforming.push_back(cell);
+    } else {
+      ++out.dropped;
+    }
+  }
+  return out;
+}
+
+}  // namespace lsm::net

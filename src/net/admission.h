@@ -1,0 +1,79 @@
+// Deterministic admission control over (sigma, rho) traffic descriptors.
+//
+// A stream policed by a token bucket (sigma, rho) contributes at most
+// sigma bits of backlog beyond its reserved rate. For a FIFO link of
+// capacity C and buffer B, the classical deterministic test admits a set
+// of streams when
+//
+//     sum(rho_i) <= C        (rate feasibility)
+//     sum(sigma_i) <= B      (worst-case backlog fits the buffer)
+//
+// guaranteeing zero loss for conforming traffic. Because lossless smoothing
+// collapses a stream's sigma at any rho above its per-pattern peak (see
+// token_bucket.h), a link admits far more smoothed streams than raw VBR
+// ones at equal (C, B) — the admission-control view of the paper's
+// statistical-multiplexing motivation.
+#pragma once
+
+#include <vector>
+
+#include "core/schedule.h"
+#include "net/packetize.h"
+#include "net/token_bucket.h"
+
+namespace lsm::net {
+
+/// A stream's traffic contract.
+struct StreamDescriptor {
+  double sigma = 0.0;  ///< token-bucket depth, bits
+  double rho = 0.0;    ///< sustained rate, bits/s
+};
+
+/// Measures the tightest conforming descriptor of `schedule` at drain rate
+/// `rho` (sigma = min_bucket_depth).
+StreamDescriptor describe_stream(const core::RateSchedule& schedule,
+                                 double rho);
+
+/// Measures the tightest conforming descriptor of an actual CELL stream at
+/// drain rate `rho`. Strictly larger sigma than the fluid schedule's: each
+/// picture's final cell carries padding, so the cell stream's bit rate
+/// exceeds the fluid rate it was cut from. Police real cells with this,
+/// not with the fluid descriptor.
+StreamDescriptor describe_cells(const std::vector<Cell>& cells, double rho);
+
+/// Tracks commitments on one link and admits/rejects streams.
+class AdmissionController {
+ public:
+  /// Throws std::invalid_argument unless capacity > 0 and buffer >= 0.
+  AdmissionController(double capacity_bps, double buffer_bits);
+
+  /// Admits the stream iff both tests pass; on admission the resources are
+  /// committed.
+  bool try_admit(const StreamDescriptor& descriptor);
+
+  int admitted_count() const noexcept { return admitted_; }
+  double committed_rate() const noexcept { return committed_rate_; }
+  double committed_burst() const noexcept { return committed_burst_; }
+  double capacity() const noexcept { return capacity_; }
+  double buffer() const noexcept { return buffer_; }
+
+ private:
+  double capacity_;
+  double buffer_;
+  double committed_rate_ = 0.0;
+  double committed_burst_ = 0.0;
+  int admitted_ = 0;
+};
+
+/// Ingress policing: enforces a stream's admitted descriptor at the network
+/// edge. Each cell consumes its payload from a (sigma, rho) token bucket;
+/// nonconforming cells are dropped — the network's defence that makes the
+/// deterministic admission guarantee real.
+struct PolicedCells {
+  std::vector<Cell> conforming;
+  std::int64_t dropped = 0;
+};
+PolicedCells police_cells(const std::vector<Cell>& cells,
+                          const StreamDescriptor& descriptor);
+
+}  // namespace lsm::net

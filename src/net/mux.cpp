@@ -1,0 +1,110 @@
+#include "net/mux.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lsm::net {
+
+MuxResult simulate_cell_mux(const std::vector<std::vector<Cell>>& sources,
+                            const MuxConfig& config) {
+  if (config.buffer_cells < 1 || config.service_rate_bps <= 0.0) {
+    throw std::invalid_argument("simulate_cell_mux: bad config");
+  }
+  // Merge all arrivals by time (stable across sources for determinism).
+  std::vector<Cell> arrivals;
+  std::size_t total = 0;
+  for (const auto& source : sources) total += source.size();
+  arrivals.reserve(total);
+  for (const auto& source : sources) {
+    arrivals.insert(arrivals.end(), source.begin(), source.end());
+  }
+  std::stable_sort(arrivals.begin(), arrivals.end(),
+                   [](const Cell& a, const Cell& b) {
+                     if (a.time != b.time) return a.time < b.time;
+                     return a.source < b.source;
+                   });
+
+  MuxResult result;
+  result.arrived_by_source.assign(sources.size(), 0);
+  result.dropped_by_source.assign(sources.size(), 0);
+
+  const double cell_service_time =
+      static_cast<double>(kCellPayloadBits) / config.service_rate_bps;
+  double backlog = 0.0;  // cells in the buffer (fractional during drain)
+  double last_time = arrivals.empty() ? 0.0 : arrivals.front().time;
+  double weighted_backlog = 0.0;
+
+  for (const Cell& cell : arrivals) {
+    // Drain since the previous event; the backlog falls linearly at one cell
+    // per service time until empty.
+    const double dt = cell.time - last_time;
+    const double drainable = dt / cell_service_time;
+    if (drainable >= backlog) {
+      weighted_backlog += 0.5 * backlog * backlog * cell_service_time;
+      backlog = 0.0;
+    } else {
+      weighted_backlog += (backlog - 0.5 * drainable) * dt;
+      backlog -= drainable;
+    }
+    last_time = cell.time;
+
+    ++result.arrived;
+    ++result.arrived_by_source[static_cast<std::size_t>(cell.source)];
+    if (backlog + 1.0 > static_cast<double>(config.buffer_cells)) {
+      ++result.dropped;
+      ++result.dropped_by_source[static_cast<std::size_t>(cell.source)];
+    } else {
+      backlog += 1.0;
+      result.max_backlog_cells = std::max(result.max_backlog_cells, backlog);
+    }
+  }
+
+  if (result.arrived > 0) {
+    result.loss_ratio = static_cast<double>(result.dropped) /
+                        static_cast<double>(result.arrived);
+    const double span = last_time - arrivals.front().time;
+    if (span > 0.0) result.mean_backlog_cells = weighted_backlog / span;
+  }
+  return result;
+}
+
+FluidMuxResult simulate_fluid_mux(
+    const std::vector<core::RateSchedule>& sources,
+    const FluidMuxConfig& config) {
+  if (config.buffer_bits < 0.0 || config.service_rate_bps <= 0.0 ||
+      config.step <= 0.0) {
+    throw std::invalid_argument("simulate_fluid_mux: bad config");
+  }
+  double t_begin = 0.0;
+  double t_end = 0.0;
+  for (const core::RateSchedule& source : sources) {
+    if (source.empty()) continue;
+    t_begin = std::min(t_begin, source.start_time());
+    t_end = std::max(t_end, source.end_time());
+  }
+
+  FluidMuxResult result;
+  double backlog = 0.0;
+  for (double t = t_begin; t < t_end; t += config.step) {
+    const double mid = t + 0.5 * config.step;
+    double in_rate = 0.0;
+    for (const core::RateSchedule& source : sources) {
+      in_rate += source.rate_at(mid);
+    }
+    const double inflow = in_rate * config.step;
+    result.offered_bits += inflow;
+    backlog += inflow - config.service_rate_bps * config.step;
+    if (backlog > config.buffer_bits) {
+      result.lost_bits += backlog - config.buffer_bits;
+      backlog = config.buffer_bits;
+    }
+    if (backlog < 0.0) backlog = 0.0;
+    result.max_backlog_bits = std::max(result.max_backlog_bits, backlog);
+  }
+  if (result.offered_bits > 0.0) {
+    result.loss_ratio = result.lost_bits / result.offered_bits;
+  }
+  return result;
+}
+
+}  // namespace lsm::net

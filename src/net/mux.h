@@ -1,0 +1,62 @@
+// Finite-buffer FIFO multiplexer models.
+//
+// Two granularities:
+//  * Cell-level: individual cell arrivals from many sources join one FIFO
+//    buffer drained at the service rate; a cell arriving to a full buffer is
+//    dropped. This is the ATM switch of the paper's motivation.
+//  * Fluid: the aggregate of piecewise-constant rate functions feeds a fluid
+//    queue; overflow volume is lost. Orders of magnitude faster, used for
+//    wide parameter sweeps.
+//
+// Both report the loss ratio as a function of buffer size and utilization —
+// the statistical-multiplexing-gain experiments (refs [10, 11]).
+#pragma once
+
+#include <vector>
+
+#include "core/schedule.h"
+#include "net/packetize.h"
+
+namespace lsm::net {
+
+struct MuxConfig {
+  double service_rate_bps = 10e6;  ///< output link capacity
+  int buffer_cells = 100;          ///< FIFO capacity in cells (>= 1)
+};
+
+struct MuxResult {
+  std::int64_t arrived = 0;
+  std::int64_t dropped = 0;
+  double loss_ratio = 0.0;         ///< dropped / arrived
+  double max_backlog_cells = 0.0;  ///< peak occupancy observed
+  double mean_backlog_cells = 0.0; ///< time-average occupancy
+  std::vector<std::int64_t> dropped_by_source;
+  std::vector<std::int64_t> arrived_by_source;
+};
+
+/// Simulates the cell multiplexer. Each inner vector holds one source's
+/// cells (each sorted by time; sources are merged). The buffer drains
+/// continuously at the service rate (one cell every kCellPayloadBits /
+/// service_rate seconds).
+MuxResult simulate_cell_mux(const std::vector<std::vector<Cell>>& sources,
+                            const MuxConfig& config);
+
+struct FluidMuxConfig {
+  double service_rate_bps = 10e6;
+  double buffer_bits = 1e6;
+  double step = 1e-3;  ///< integration step, seconds
+};
+
+struct FluidMuxResult {
+  double offered_bits = 0.0;
+  double lost_bits = 0.0;
+  double loss_ratio = 0.0;
+  double max_backlog_bits = 0.0;
+};
+
+/// Fluid approximation over the union of all schedules' time spans.
+FluidMuxResult simulate_fluid_mux(
+    const std::vector<core::RateSchedule>& sources,
+    const FluidMuxConfig& config);
+
+}  // namespace lsm::net

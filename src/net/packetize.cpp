@@ -1,0 +1,49 @@
+#include "net/packetize.h"
+
+#include <cmath>
+
+namespace lsm::net {
+
+namespace {
+
+/// Emits the cells of one picture transmitted at a constant rate over
+/// [start, start + bits/rate).
+void emit_picture(std::vector<Cell>& cells, double start, double rate,
+                  std::int64_t bits, int source, int picture) {
+  const auto cell_count = static_cast<std::int64_t>(
+      (bits + kCellPayloadBits - 1) / kCellPayloadBits);
+  for (std::int64_t k = 0; k < cell_count; ++k) {
+    // Arrival = transmission completion of the k-th cell's payload.
+    const double sent_bits =
+        std::min<double>(static_cast<double>((k + 1) * kCellPayloadBits),
+                         static_cast<double>(bits));
+    cells.push_back(Cell{start + sent_bits / rate, source, picture});
+  }
+}
+
+}  // namespace
+
+std::vector<Cell> packetize(const core::SmoothingResult& result, int source) {
+  std::vector<Cell> cells;
+  for (const core::PictureSend& send : result.sends) {
+    emit_picture(cells, send.start, send.rate, send.bits, source, send.index);
+  }
+  return cells;
+}
+
+std::vector<Cell> packetize_unsmoothed(const lsm::trace::Trace& trace,
+                                       int source) {
+  std::vector<Cell> cells;
+  for (int i = 1; i <= trace.picture_count(); ++i) {
+    const double start = (i - 1) * trace.tau();
+    const double rate = static_cast<double>(trace.size_of(i)) / trace.tau();
+    emit_picture(cells, start, rate, trace.size_of(i), source, i);
+  }
+  return cells;
+}
+
+void shift_cells(std::vector<Cell>& cells, double offset) {
+  for (Cell& cell : cells) cell.time += offset;
+}
+
+}  // namespace lsm::net

@@ -1,0 +1,39 @@
+// Cell packetization: turns a rate schedule (smoothed or raw) into the
+// sequence of fixed-size cell arrivals an ATM-style multiplexer sees. The
+// paper's motivation (Sections 1 and 3, refs [10, 11]) is that reducing the
+// rate variance of such cell streams improves the statistical-multiplexing
+// gain of finite-buffer packet switches.
+#pragma once
+
+#include <vector>
+
+#include "core/smoother.h"
+#include "trace/trace.h"
+
+namespace lsm::net {
+
+/// ATM payload: 48 bytes.
+inline constexpr int kCellPayloadBits = 48 * 8;
+
+/// One cell arrival at the multiplexer.
+struct Cell {
+  double time = 0.0;  ///< arrival instant (transmission completion), seconds
+  int source = 0;     ///< which stream produced it
+  int picture = 0;    ///< 1-based picture index within the stream
+};
+
+/// Packetizes a smoothing result: picture i occupies [t_i, d_i) at rate r_i;
+/// each cell's arrival is the instant its last bit leaves the sender.
+std::vector<Cell> packetize(const core::SmoothingResult& result,
+                            int source = 0);
+
+/// Packetizes an UNSMOOTHED trace: picture i is transmitted evenly within
+/// its own picture period ((i-1) tau, i tau] — the per-picture peak-rate
+/// behaviour smoothing exists to remove.
+std::vector<Cell> packetize_unsmoothed(const lsm::trace::Trace& trace,
+                                       int source = 0);
+
+/// Shifts every cell time by `offset` (e.g. to desynchronize sources).
+void shift_cells(std::vector<Cell>& cells, double offset);
+
+}  // namespace lsm::net

@@ -1,0 +1,96 @@
+#include "net/renegotiation.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace lsm::net {
+
+namespace {
+
+/// Maximum of r over [a, b] (0 where the schedule is undefined).
+core::Rate max_rate_over(const core::RateSchedule& schedule, double a,
+                         double b) {
+  core::Rate peak = 0.0;
+  for (const core::RateSegment& segment : schedule.segments()) {
+    if (segment.end <= a) continue;
+    if (segment.begin >= b) break;
+    peak = std::max(peak, segment.rate);
+  }
+  return peak;
+}
+
+}  // namespace
+
+ReservationResult plan_reservation(const core::RateSchedule& schedule,
+                                   const RenegotiationPolicy& policy) {
+  if (schedule.empty()) {
+    throw std::invalid_argument("plan_reservation: empty schedule");
+  }
+  if (!(policy.min_hold > 0.0) || policy.headroom < 1.0 ||
+      policy.release_threshold < 0.0 || policy.release_threshold > 1.0) {
+    throw std::invalid_argument("plan_reservation: bad policy");
+  }
+
+  const std::vector<double> breakpoints = schedule.breakpoints();
+  const double start = schedule.start_time();
+  const double end = schedule.end_time();
+
+  std::vector<core::RateSegment> reserved;
+  double t = start;
+  while (t < end) {
+    const double window_end = std::min(t + policy.min_hold, end);
+    core::Rate level =
+        policy.headroom * max_rate_over(schedule, t, window_end);
+    // Degenerate all-idle window: hold a zero reservation.
+    double segment_end = window_end;
+    // Extend past the hold window while the demand stays under the level
+    // and releasing is not yet worthwhile.
+    auto next_breakpoint = std::upper_bound(breakpoints.begin(),
+                                            breakpoints.end(), segment_end);
+    while (segment_end < end) {
+      const double probe_end =
+          next_breakpoint == breakpoints.end() ? end : *next_breakpoint;
+      // Demand within (segment_end, probe_end) is constant; sample it.
+      const core::Rate demand =
+          max_rate_over(schedule, segment_end, probe_end);
+      if (demand * policy.headroom > level) break;  // renegotiate up
+      if (policy.release_threshold > 0.0 &&
+          policy.headroom *
+                  max_rate_over(schedule, segment_end,
+                                segment_end + policy.min_hold) <
+              policy.release_threshold * level) {
+        break;  // renegotiate down
+      }
+      segment_end = probe_end;
+      if (next_breakpoint != breakpoints.end()) ++next_breakpoint;
+    }
+    reserved.push_back(core::RateSegment{t, segment_end, level});
+    t = segment_end;
+  }
+
+  // Merge adjacent equal-level segments (a release followed by an identical
+  // re-reservation is not a real renegotiation).
+  std::vector<core::RateSegment> merged;
+  for (const core::RateSegment& segment : reserved) {
+    if (!merged.empty() && merged.back().rate == segment.rate &&
+        merged.back().end == segment.begin) {
+      merged.back().end = segment.end;
+    } else {
+      merged.push_back(segment);
+    }
+  }
+
+  ReservationResult result;
+  result.renegotiations = static_cast<int>(merged.size()) - 1;
+  for (const core::RateSegment& segment : merged) {
+    result.peak_reserved = std::max(result.peak_reserved, segment.rate);
+  }
+  result.reservation = core::RateSchedule(std::move(merged));
+  const double used = schedule.integral(start, end);
+  const double booked = result.reservation.integral(start, end);
+  if (used > 0.0) result.over_reservation = booked / used - 1.0;
+  return result;
+}
+
+}  // namespace lsm::net

@@ -1,0 +1,56 @@
+#include "net/token_bucket.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lsm::net {
+
+double min_bucket_depth(const core::RateSchedule& schedule, double rho) {
+  if (rho <= 0.0) throw std::invalid_argument("min_bucket_depth: rho <= 0");
+  double backlog = 0.0;
+  double peak = 0.0;
+  double previous_end = schedule.empty() ? 0.0 : schedule.start_time();
+  for (const core::RateSegment& segment : schedule.segments()) {
+    // Idle gap before this segment drains the virtual queue.
+    backlog = std::max(0.0, backlog - rho * (segment.begin - previous_end));
+    const double net = (segment.rate - rho) * (segment.end - segment.begin);
+    if (net > 0.0) {
+      backlog += net;
+      peak = std::max(peak, backlog);
+    } else {
+      backlog = std::max(0.0, backlog + net);
+    }
+    previous_end = segment.end;
+  }
+  return peak;
+}
+
+std::vector<BurstinessPoint> burstiness_curve(
+    const core::RateSchedule& schedule, const std::vector<double>& rhos) {
+  std::vector<BurstinessPoint> curve;
+  curve.reserve(rhos.size());
+  for (const double rho : rhos) {
+    curve.push_back(BurstinessPoint{rho, min_bucket_depth(schedule, rho)});
+  }
+  return curve;
+}
+
+TokenBucket::TokenBucket(double sigma_bits, double rho_bps)
+    : sigma_(sigma_bits), rho_(rho_bps), tokens_(sigma_bits) {
+  if (sigma_ < 0.0 || rho_ <= 0.0) {
+    throw std::invalid_argument("TokenBucket: bad parameters");
+  }
+}
+
+bool TokenBucket::consume(double time, double bits) {
+  if (time < last_time_) {
+    throw std::invalid_argument("TokenBucket::consume: time went backwards");
+  }
+  tokens_ = std::min(sigma_, tokens_ + rho_ * (time - last_time_));
+  last_time_ = time;
+  if (bits > tokens_ + 1e-9) return false;
+  tokens_ -= bits;
+  return true;
+}
+
+}  // namespace lsm::net

@@ -1,0 +1,49 @@
+// Token-bucket (sigma, rho) traffic characterization.
+//
+// A stream conforming to a token bucket with depth sigma and drain rate rho
+// never needs more than sigma bits of buffer at a server of rate rho. The
+// burstiness curve sigma(rho) — the minimal conforming depth for each rho —
+// makes the value of smoothing quantitative: a smoothed schedule's curve
+// collapses toward zero for every rho at or above the per-pattern peak,
+// while the raw VBR stream needs nearly a whole I picture of depth.
+#pragma once
+
+#include <vector>
+
+#include "core/schedule.h"
+
+namespace lsm::net {
+
+/// Minimal bucket depth (bits) at drain rate `rho` for the given rate
+/// function: the peak backlog of a virtual queue fed by the schedule and
+/// drained at rho. Requires rho > 0.
+double min_bucket_depth(const core::RateSchedule& schedule, double rho);
+
+/// Burstiness curve sampled at the given drain rates.
+struct BurstinessPoint {
+  double rho = 0.0;    ///< bits/s
+  double sigma = 0.0;  ///< bits
+};
+std::vector<BurstinessPoint> burstiness_curve(
+    const core::RateSchedule& schedule, const std::vector<double>& rhos);
+
+/// Online token-bucket policer: consume() returns false (non-conforming)
+/// when the bucket lacks tokens for the requested bits.
+class TokenBucket {
+ public:
+  /// Requires sigma >= 0 and rho > 0. The bucket starts full.
+  TokenBucket(double sigma_bits, double rho_bps);
+
+  /// Advances to `time` (monotone) and attempts to consume `bits`.
+  bool consume(double time, double bits);
+
+  double tokens() const noexcept { return tokens_; }
+
+ private:
+  double sigma_;
+  double rho_;
+  double tokens_;
+  double last_time_ = 0.0;
+};
+
+}  // namespace lsm::net

@@ -1,0 +1,69 @@
+#include "net/transport.h"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+
+#include "sim/rng.h"
+
+namespace lsm::net {
+
+PipelineReport run_live_pipeline(const lsm::trace::Trace& trace,
+                                 const PipelineConfig& config) {
+  if (config.network_latency < 0.0 || config.jitter < 0.0) {
+    throw std::invalid_argument("run_live_pipeline: negative latency/jitter");
+  }
+  config.params.validate();
+
+  PipelineReport report;
+  report.playout_offset =
+      config.playout_offset > 0.0
+          ? config.playout_offset
+          : config.params.D + config.network_latency + config.jitter;
+
+  sim::EventQueue queue;
+  sim::Rng jitter_rng(config.jitter_seed);
+  core::PatternEstimator estimator(trace);
+  core::SmootherEngine engine(trace, config.params, estimator);
+
+  // Self-scheduling sender: each step computes the next picture's rate at
+  // its decision instant t_i and schedules the following decision at d_i
+  // (or at the arrival instant the engine will wait for, whichever is
+  // later — the engine computes t_i itself; we only need to wake it then).
+  auto send_next = std::make_shared<std::function<void()>>();
+  *send_next = [&, send_next]() {
+    if (engine.done()) return;
+    const core::PictureSend send = engine.step();
+    if (send.start + 1e-9 < queue.now()) {
+      throw std::logic_error("run_live_pipeline: engine decided in the past");
+    }
+    PictureDelivery delivery;
+    delivery.index = send.index;
+    delivery.sender_start = send.start;
+    delivery.sender_done = send.depart;
+    delivery.received = send.depart + config.network_latency +
+                        (config.jitter > 0.0
+                             ? jitter_rng.uniform(0.0, config.jitter)
+                             : 0.0);
+    delivery.deadline = report.playout_offset +
+                        (send.index - 1) * config.params.tau;
+    delivery.late = delivery.received > delivery.deadline + 1e-9;
+    report.deliveries.push_back(delivery);
+    report.underflows += delivery.late ? 1 : 0;
+    report.max_sender_delay = std::max(report.max_sender_delay, send.delay);
+    // Wake up at the departure instant to decide the next picture's rate.
+    queue.schedule_at(send.depart, [send_next] { (*send_next)(); });
+  };
+
+  // First decision cannot happen before K pictures have arrived.
+  const double first_decision =
+      std::min(config.params.K, trace.picture_count()) * config.params.tau;
+  queue.schedule_at(first_decision, [send_next] { (*send_next)(); });
+  queue.run();
+  // The self-scheduling closure captures its own shared_ptr; break the
+  // reference cycle explicitly once the simulation has drained.
+  *send_next = nullptr;
+  return report;
+}
+
+}  // namespace lsm::net

@@ -1,0 +1,57 @@
+// Transport-level integration of the smoothing algorithm (the paper's
+// Figure 1 system model, run as an actual event-driven pipeline):
+//
+//   encoder --> [FIFO queue + smoother] --notify(i, r_i)--> paced sender
+//       --> network (fixed latency) --> receiver playback buffer
+//
+// The encoder side is driven by a picture-size trace: picture i's arrival
+// completes at time i*tau. The smoother engine's rate decision for picture i
+// is made at t_i = max(d_{i-1}, (i-1+K) tau) — an event scheduled on the
+// simulation queue, using only information available at that instant (the
+// engine is causal by construction). The receiver starts displaying picture
+// i at playout_offset + (i-1) tau and underflows if the picture's last bit
+// has not arrived by then. Theorem 1 guarantees zero underflows whenever
+// playout_offset >= D + network_latency + jitter (the jitter term bounds
+// the random per-picture delay component).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/smoother.h"
+#include "sim/event_queue.h"
+
+namespace lsm::net {
+
+struct PipelineConfig {
+  core::SmootherParams params;
+  double network_latency = 0.010;  ///< one-way base delay, seconds (>= 0)
+  double jitter = 0.0;             ///< extra uniform[0, jitter] per picture
+  std::uint64_t jitter_seed = 1;   ///< deterministic jitter stream
+  double playout_offset = 0.0;     ///< 0 selects D + latency + jitter
+};
+
+struct PictureDelivery {
+  int index = 0;             ///< 1-based picture
+  double sender_start = 0.0; ///< t_i
+  double sender_done = 0.0;  ///< d_i
+  double received = 0.0;     ///< last bit at receiver
+  double deadline = 0.0;     ///< playout instant
+  bool late = false;
+};
+
+struct PipelineReport {
+  std::vector<PictureDelivery> deliveries;
+  int underflows = 0;
+  double max_sender_delay = 0.0;  ///< max d_i - (i-1) tau
+  double playout_offset = 0.0;
+
+  bool clean() const noexcept { return underflows == 0; }
+};
+
+/// Runs the full pipeline for `trace`. The smoothing decisions are made
+/// inside simulated time via SmootherEngine.
+PipelineReport run_live_pipeline(const lsm::trace::Trace& trace,
+                                 const PipelineConfig& config);
+
+}  // namespace lsm::net

@@ -1,0 +1,123 @@
+#include "net/wfq.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+#include <stdexcept>
+
+namespace lsm::net {
+
+WfqResult simulate_wfq(const std::vector<std::vector<Cell>>& sources,
+                       const WfqConfig& config) {
+  const std::size_t n = sources.size();
+  if (config.weights.size() != n) {
+    throw std::invalid_argument("simulate_wfq: weights/sources mismatch");
+  }
+  if (config.service_rate_bps <= 0.0 || config.buffer_cells_per_queue < 1) {
+    throw std::invalid_argument("simulate_wfq: bad config");
+  }
+  for (const int w : config.weights) {
+    if (w < 1) throw std::invalid_argument("simulate_wfq: weights must be >= 1");
+  }
+
+  const double cell_time =
+      static_cast<double>(kCellPayloadBits) / config.service_rate_bps;
+
+  WfqResult result;
+  result.arrived_by_source.assign(n, 0);
+  result.served_by_source.assign(n, 0);
+  result.dropped_by_source.assign(n, 0);
+  result.mean_delay_by_source.assign(n, 0.0);
+  result.max_delay_by_source.assign(n, 0.0);
+
+  std::vector<std::size_t> next_arrival(n, 0);
+  std::vector<std::deque<double>> queue(n);  // arrival instants of queued cells
+
+  double now = 0.0;
+  // Admits every cell with arrival time <= t.
+  auto admit_until = [&](double t) {
+    for (std::size_t s = 0; s < n; ++s) {
+      while (next_arrival[s] < sources[s].size() &&
+             sources[s][next_arrival[s]].time <= t + 1e-15) {
+        ++result.arrived_by_source[s];
+        if (static_cast<int>(queue[s].size()) >=
+            config.buffer_cells_per_queue) {
+          ++result.dropped_by_source[s];
+        } else {
+          queue[s].push_back(sources[s][next_arrival[s]].time);
+        }
+        ++next_arrival[s];
+      }
+    }
+  };
+  auto earliest_pending = [&]() {
+    double t = std::numeric_limits<double>::infinity();
+    for (std::size_t s = 0; s < n; ++s) {
+      if (next_arrival[s] < sources[s].size()) {
+        t = std::min(t, sources[s][next_arrival[s]].time);
+      }
+    }
+    return t;
+  };
+  auto any_backlog = [&]() {
+    for (const auto& q : queue) {
+      if (!q.empty()) return true;
+    }
+    return false;
+  };
+
+  // Weighted round robin: while backlogged, queue s may send up to
+  // weights[s] cells per round.
+  std::size_t current = 0;
+  int credit = config.weights.empty() ? 0 : config.weights[0];
+
+  while (true) {
+    admit_until(now);
+    if (!any_backlog()) {
+      const double next = earliest_pending();
+      if (!std::isfinite(next)) break;  // drained everything
+      now = std::max(now, next);
+      continue;
+    }
+    // Find the next queue entitled and able to send (the loop terminates
+    // because some queue is backlogged).
+    std::size_t guard = 0;
+    while (credit == 0 || queue[current].empty()) {
+      current = (current + 1) % n;
+      credit = config.weights[current];
+      if (++guard > 2 * n) {
+        break;  // unreachable: a backlogged queue exists (checked above)
+      }
+    }
+    if (queue[current].empty()) continue;  // defensive against the guard
+    const double arrival = queue[current].front();
+    queue[current].pop_front();
+    --credit;
+    const double depart = now + cell_time;
+    const double delay = depart - arrival;
+    ++result.served_by_source[current];
+    result.mean_delay_by_source[current] += delay;
+    result.max_delay_by_source[current] =
+        std::max(result.max_delay_by_source[current], delay);
+    now = depart;
+  }
+
+  std::int64_t arrived_total = 0;
+  std::int64_t dropped_total = 0;
+  for (std::size_t s = 0; s < n; ++s) {
+    if (result.served_by_source[s] > 0) {
+      result.mean_delay_by_source[s] /=
+          static_cast<double>(result.served_by_source[s]);
+    }
+    arrived_total += result.arrived_by_source[s];
+    dropped_total += result.dropped_by_source[s];
+  }
+  if (arrived_total > 0) {
+    result.loss_ratio = static_cast<double>(dropped_total) /
+                        static_cast<double>(arrived_total);
+  }
+  return result;
+}
+
+}  // namespace lsm::net

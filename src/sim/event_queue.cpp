@@ -1,0 +1,48 @@
+#include "sim/event_queue.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace lsm::sim {
+
+void EventQueue::schedule_at(double when, Action action) {
+  if (when < now_) {
+    throw std::invalid_argument("EventQueue::schedule_at: time in the past");
+  }
+  heap_.push(Entry{when, next_seq_++, std::move(action)});
+}
+
+void EventQueue::schedule_in(double delay, Action action) {
+  if (delay < 0.0) {
+    throw std::invalid_argument("EventQueue::schedule_in: negative delay");
+  }
+  schedule_at(now_ + delay, std::move(action));
+}
+
+bool EventQueue::step() {
+  if (heap_.empty()) return false;
+  // Copy out before pop so the action may schedule further events.
+  Entry entry = heap_.top();
+  heap_.pop();
+  now_ = entry.time;
+  entry.action();
+  return true;
+}
+
+std::size_t EventQueue::run_until(double time_limit) {
+  std::size_t count = 0;
+  while (!heap_.empty() && heap_.top().time <= time_limit) {
+    step();
+    ++count;
+  }
+  if (now_ < time_limit) now_ = time_limit;
+  return count;
+}
+
+std::size_t EventQueue::run() {
+  std::size_t count = 0;
+  while (step()) ++count;
+  return count;
+}
+
+}  // namespace lsm::sim

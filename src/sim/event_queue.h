@@ -1,0 +1,63 @@
+// Minimal discrete-event simulation kernel.
+//
+// Events are closures ordered by (time, insertion sequence); ties in time are
+// broken FIFO so simulations are deterministic. The cell-level multiplexer in
+// lsm::net and the live-pipeline example are built on this kernel.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace lsm::sim {
+
+/// Discrete-event queue with a monotonically advancing clock.
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  /// Current simulation time (seconds). Starts at 0.
+  double now() const noexcept { return now_; }
+
+  /// Number of events not yet dispatched.
+  std::size_t pending() const noexcept { return heap_.size(); }
+
+  /// Schedules `action` at absolute time `when`. `when` must not be in the
+  /// past (>= now()); scheduling "now" is allowed and runs after the current
+  /// event returns.
+  void schedule_at(double when, Action action);
+
+  /// Schedules `action` `delay` seconds from now. Requires delay >= 0.
+  void schedule_in(double delay, Action action);
+
+  /// Dispatches the single earliest event. Returns false if the queue is
+  /// empty.
+  bool step();
+
+  /// Runs until the queue is empty or `time_limit` is reached (events at
+  /// exactly time_limit are still dispatched). Returns number of events run.
+  std::size_t run_until(double time_limit);
+
+  /// Runs until the queue is empty. Returns number of events dispatched.
+  std::size_t run();
+
+ private:
+  struct Entry {
+    double time;
+    std::uint64_t seq;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  double now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+};
+
+}  // namespace lsm::sim

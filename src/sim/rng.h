@@ -1,0 +1,63 @@
+// Deterministic, platform-stable pseudo-random number generation.
+//
+// The standard library's distribution objects (std::normal_distribution and
+// friends) are implementation-defined: the same seed produces different
+// streams on different standard libraries. Trace synthesis must be bit-stable
+// across platforms so that calibrated experiment workloads are reproducible,
+// hence this module implements both the generator (xoshiro256**) and the
+// distributions (inverse/Box-Muller style) from scratch.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace lsm::sim {
+
+/// splitmix64 step; used to expand a single 64-bit seed into generator state.
+std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// xoshiro256** generator (Blackman & Vigna). Small, fast, and high quality;
+/// deterministic for a given seed on every platform.
+class Rng {
+ public:
+  /// Seeds the full 256-bit state from one 64-bit seed via splitmix64.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  /// Next raw 64-bit output.
+  std::uint64_t next_u64() noexcept;
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double uniform() noexcept;
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Standard normal via Box-Muller (cached second variate).
+  double normal() noexcept;
+
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev) noexcept;
+
+  /// Lognormal: exp(normal(mu, sigma)). mu/sigma are the log-space params.
+  double lognormal(double mu, double sigma) noexcept;
+
+  /// Exponential with the given rate (lambda). Requires rate > 0.
+  double exponential(double rate) noexcept;
+
+  /// Bernoulli trial with success probability p in [0, 1].
+  bool bernoulli(double p) noexcept;
+
+  /// Independent child generator; streams do not overlap in practice because
+  /// the child is seeded from this generator's output.
+  Rng split() noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace lsm::sim

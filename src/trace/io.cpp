@@ -1,0 +1,121 @@
+#include "trace/io.h"
+
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace lsm::trace {
+
+namespace {
+
+PictureType type_from_char(char c) {
+  switch (c) {
+    case 'I': return PictureType::I;
+    case 'P': return PictureType::P;
+    case 'B': return PictureType::B;
+    default:
+      throw std::runtime_error(std::string("load_trace: bad picture type '") +
+                               c + "'");
+  }
+}
+
+/// Reads the next non-comment, non-blank line.
+bool next_line(std::istream& in, std::string& line) {
+  while (std::getline(in, line)) {
+    const auto pos = line.find_first_not_of(" \t\r");
+    if (pos == std::string::npos) continue;
+    if (line[pos] == '#') continue;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+void save_trace(const Trace& trace, std::ostream& out) {
+  out << "lsm-trace 1\n";
+  out << "name " << trace.name() << "\n";
+  out << "pattern " << trace.pattern().to_string() << "\n";
+  out << "tau " << std::setprecision(12) << trace.tau() << "\n";
+  out << "resolution " << trace.width() << " " << trace.height() << "\n";
+  out << "pictures " << trace.picture_count() << "\n";
+  for (int i = 1; i <= trace.picture_count(); ++i) {
+    out << i << " " << to_char(trace.type_of(i)) << " " << trace.size_of(i)
+        << "\n";
+  }
+}
+
+void save_trace_file(const Trace& trace, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_trace_file: cannot open " + path);
+  save_trace(trace, out);
+  if (!out) throw std::runtime_error("save_trace_file: write failed: " + path);
+}
+
+Trace load_trace(std::istream& in) {
+  std::string line;
+  auto expect = [&](const std::string& keyword) -> std::istringstream {
+    if (!next_line(in, line)) {
+      throw std::runtime_error("load_trace: unexpected end of input, wanted " +
+                               keyword);
+    }
+    std::istringstream ls(line);
+    std::string word;
+    ls >> word;
+    if (word != keyword) {
+      throw std::runtime_error("load_trace: expected '" + keyword +
+                               "', found '" + word + "'");
+    }
+    return ls;
+  };
+
+  {
+    auto ls = expect("lsm-trace");
+    int version = 0;
+    ls >> version;
+    if (version != 1) throw std::runtime_error("load_trace: bad version");
+  }
+  std::string name;
+  expect("name") >> name;
+  std::string pattern_string;
+  expect("pattern") >> pattern_string;
+  double tau = 0.0;
+  expect("tau") >> tau;
+  int width = 0, height = 0;
+  expect("resolution") >> width >> height;
+  int count = 0;
+  expect("pictures") >> count;
+  if (count < 1) throw std::runtime_error("load_trace: bad picture count");
+
+  std::vector<Bits> sizes;
+  std::vector<PictureType> types;
+  sizes.reserve(static_cast<std::size_t>(count));
+  types.reserve(static_cast<std::size_t>(count));
+  for (int i = 1; i <= count; ++i) {
+    if (!next_line(in, line)) {
+      throw std::runtime_error("load_trace: missing picture line");
+    }
+    std::istringstream ls(line);
+    int index = 0;
+    char type_char = 0;
+    Bits bits = 0;
+    if (!(ls >> index >> type_char >> bits) || index != i) {
+      throw std::runtime_error("load_trace: malformed picture line: " + line);
+    }
+    types.push_back(type_from_char(type_char));
+    sizes.push_back(bits);
+  }
+
+  return Trace(name, GopPattern::parse(pattern_string), std::move(sizes),
+               std::move(types), tau, width, height);
+}
+
+Trace load_trace_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_trace_file: cannot open " + path);
+  return load_trace(in);
+}
+
+}  // namespace lsm::trace

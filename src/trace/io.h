@@ -1,0 +1,38 @@
+// Plain-text trace serialization, so traces can be exported for plotting,
+// archived, or loaded from externally measured MPEG streams.
+//
+// Format (one directive per line; '#' begins a comment):
+//
+//   lsm-trace 1
+//   name Driving1
+//   pattern IBBPBBPBB
+//   tau 0.0333333333
+//   resolution 640 480
+//   pictures 300
+//   1 I 214332
+//   2 B 18997
+//   ...
+//
+// Picture lines are "<index> <type> <bits>"; indices must be 1..n in order.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/trace.h"
+
+namespace lsm::trace {
+
+/// Writes `trace` to `out` in the format above.
+void save_trace(const Trace& trace, std::ostream& out);
+
+/// Writes `trace` to a file. Throws std::runtime_error on I/O failure.
+void save_trace_file(const Trace& trace, const std::string& path);
+
+/// Parses a trace from `in`. Throws std::runtime_error on malformed input.
+Trace load_trace(std::istream& in);
+
+/// Loads a trace from a file. Throws std::runtime_error on failure.
+Trace load_trace_file(const std::string& path);
+
+}  // namespace lsm::trace

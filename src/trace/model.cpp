@@ -1,0 +1,83 @@
+#include "trace/model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "sim/rng.h"
+
+namespace lsm::trace {
+
+TraceModel TraceModel::fit(const Trace& trace) {
+  const int n_phase = trace.pattern().N();
+  if (trace.picture_count() < 3 * n_phase) {
+    throw std::invalid_argument("TraceModel::fit: need >= 3 full patterns");
+  }
+
+  TraceModel model;
+  model.pattern_ = trace.pattern();
+  model.tau_ = trace.tau();
+  model.width_ = trace.width();
+  model.height_ = trace.height();
+  model.source_name_ = trace.name();
+  model.by_phase_.resize(static_cast<std::size_t>(n_phase));
+
+  for (int phase = 0; phase < n_phase; ++phase) {
+    std::vector<double> logs;
+    for (int i = phase + 1; i <= trace.picture_count(); i += n_phase) {
+      logs.push_back(std::log(static_cast<double>(trace.size_of(i))));
+    }
+    const auto count = static_cast<double>(logs.size());
+    double mean = 0.0;
+    for (const double v : logs) mean += v;
+    mean /= count;
+    double variance = 0.0;
+    for (const double v : logs) variance += (v - mean) * (v - mean);
+    variance /= count;
+    // Lag-1 autocovariance of the same-phase series.
+    double autocovariance = 0.0;
+    for (std::size_t k = 1; k < logs.size(); ++k) {
+      autocovariance += (logs[k] - mean) * (logs[k - 1] - mean);
+    }
+    autocovariance /= count - 1.0;
+
+    PhaseStats& stats =
+        model.by_phase_[static_cast<std::size_t>(phase)];
+    stats.log_mean = mean;
+    stats.log_sd = std::sqrt(variance);
+    stats.ar1 = variance > 1e-12
+                    ? std::clamp(autocovariance / variance, 0.0, 0.98)
+                    : 0.0;
+  }
+  return model;
+}
+
+Trace TraceModel::generate(int picture_count, std::uint64_t seed) const {
+  if (picture_count < 1) {
+    throw std::invalid_argument("TraceModel::generate: bad picture count");
+  }
+  sim::Rng rng(seed);
+  const int n_phase = pattern_.N();
+
+  // One standardized AR(1) state per phase, warmed to stationarity.
+  std::vector<double> state(static_cast<std::size_t>(n_phase));
+  for (auto& z : state) z = rng.normal();
+
+  std::vector<Bits> sizes;
+  sizes.reserve(static_cast<std::size_t>(picture_count));
+  for (int i = 1; i <= picture_count; ++i) {
+    const auto phase = static_cast<std::size_t>(pattern_.phase_of(i));
+    const PhaseStats& stats = by_phase_[phase];
+    double& z = state[phase];
+    // Stationary AR(1): z' = a z + sqrt(1 - a^2) e, keeps unit variance.
+    z = stats.ar1 * z +
+        std::sqrt(std::max(0.0, 1.0 - stats.ar1 * stats.ar1)) * rng.normal();
+    const double log_size = stats.log_mean + stats.log_sd * z;
+    sizes.push_back(std::max<Bits>(
+        1, static_cast<Bits>(std::llround(std::exp(log_size)))));
+  }
+  return Trace(source_name_ + ".model", pattern_, std::move(sizes), tau_,
+               width_, height_);
+}
+
+}  // namespace lsm::trace

@@ -1,0 +1,52 @@
+// Statistical trace model: fit a compact generative model to a measured
+// picture-size trace and synthesize arbitrarily long traces with the same
+// structure. This is the workload-generator counterpart of the calibrated
+// scene scripts in sequences.h: where those encode a *description* of a
+// video, TraceModel encodes a *measurement*.
+//
+// Model: the sizes at each pattern phase (0..N-1) form a stationary
+// lognormal AR(1) process — log S is Gaussian with per-phase mean and
+// standard deviation, and consecutive same-phase pictures correlate with a
+// per-phase coefficient. Same-phase autocorrelation is precisely the
+// property the paper's S_{j-N} estimator exploits, so traces generated from
+// a fitted model exercise the estimator the way the source trace does.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/trace.h"
+
+namespace lsm::trace {
+
+/// Per-phase parameters of the fitted process.
+struct PhaseStats {
+  double log_mean = 0.0;
+  double log_sd = 0.0;
+  double ar1 = 0.0;  ///< lag-1 autocorrelation of same-phase log sizes
+};
+
+class TraceModel {
+ public:
+  /// Fits a model to `trace`. Requires at least three full patterns.
+  /// Throws std::invalid_argument otherwise.
+  static TraceModel fit(const Trace& trace);
+
+  /// Generates `picture_count` pictures. Deterministic per seed.
+  Trace generate(int picture_count, std::uint64_t seed) const;
+
+  const GopPattern& pattern() const noexcept { return pattern_; }
+  const std::vector<PhaseStats>& by_phase() const noexcept {
+    return by_phase_;
+  }
+
+ private:
+  GopPattern pattern_{9, 3};
+  double tau_ = kDefaultTau;
+  int width_ = 0;
+  int height_ = 0;
+  std::string source_name_;
+  std::vector<PhaseStats> by_phase_;
+};
+
+}  // namespace lsm::trace

@@ -1,0 +1,81 @@
+#include "trace/pattern.h"
+
+#include <stdexcept>
+
+namespace lsm::trace {
+
+char to_char(PictureType type) noexcept {
+  switch (type) {
+    case PictureType::I: return 'I';
+    case PictureType::P: return 'P';
+    case PictureType::B: return 'B';
+  }
+  return '?';
+}
+
+GopPattern::GopPattern(int N, int M) : n_(N), m_(M) {
+  if (N < 1 || M < 1 || M > N || N % M != 0) {
+    throw std::invalid_argument(
+        "GopPattern: requires 1 <= M <= N and N % M == 0");
+  }
+}
+
+PictureType GopPattern::type_of(int i) const noexcept {
+  const int phase = phase_of(i);
+  if (phase == 0) return PictureType::I;
+  if (phase % m_ == 0) return PictureType::P;
+  return PictureType::B;
+}
+
+int GopPattern::phase_of(int i) const noexcept {
+  // 1-based picture 1 has phase 0. Negative/zero indices are not meaningful
+  // but map consistently for defensive callers.
+  const int zero_based = i - 1;
+  const int phase = zero_based % n_;
+  return phase < 0 ? phase + n_ : phase;
+}
+
+int GopPattern::count_of(PictureType type) const noexcept {
+  switch (type) {
+    case PictureType::I: return 1;
+    case PictureType::P: return n_ / m_ - 1;
+    case PictureType::B: return n_ - n_ / m_;
+  }
+  return 0;
+}
+
+std::string GopPattern::to_string() const {
+  std::string out;
+  out.reserve(static_cast<std::size_t>(n_));
+  for (int i = 1; i <= n_; ++i) out.push_back(to_char(type_of(i)));
+  return out;
+}
+
+GopPattern GopPattern::parse(const std::string& pattern) {
+  if (pattern.empty() || pattern.front() != 'I') {
+    throw std::invalid_argument("GopPattern::parse: must begin with 'I'");
+  }
+  const int n = static_cast<int>(pattern.size());
+  // M is the index of the first reference picture after the leading I; if
+  // there is none, every non-I picture would be B, which is only valid for
+  // the degenerate all-I pattern "I" (N = M = 1).
+  int m = n;
+  for (int p = 1; p < n; ++p) {
+    const char c = pattern[static_cast<std::size_t>(p)];
+    if (c == 'P') {
+      m = p;
+      break;
+    }
+    if (c != 'B') {
+      throw std::invalid_argument("GopPattern::parse: invalid character");
+    }
+  }
+  GopPattern result(n, m);
+  if (result.to_string() != pattern) {
+    throw std::invalid_argument(
+        "GopPattern::parse: string is not a valid (N, M) pattern: " + pattern);
+  }
+  return result;
+}
+
+}  // namespace lsm::trace

@@ -1,0 +1,64 @@
+// MPEG group-of-pictures (GOP) pattern: the repeating sequence of I, P, and B
+// picture types, parameterized as in the paper by
+//   M — distance between successive reference pictures (I or P), and
+//   N — distance between successive I pictures (the pattern length).
+//
+// Example: M = 3, N = 9 yields the display-order pattern IBBPBBPBB; M = 1,
+// N = 5 yields IPPPP.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lsm::trace {
+
+/// Number of bits; picture sizes are exact integers.
+using Bits = std::int64_t;
+
+/// MPEG picture (frame) coding type.
+enum class PictureType : std::uint8_t { I, P, B };
+
+/// Single-character name ('I', 'P', or 'B').
+char to_char(PictureType type) noexcept;
+
+/// The repeating pattern of picture types in display order.
+///
+/// Invariant: N >= 1, M >= 1, and M divides N (every pattern position
+/// p with p % M == 0 is a reference picture). Picture indices are 1-based
+/// throughout the library, matching the paper; picture 1 is an I picture.
+class GopPattern {
+ public:
+  /// Throws std::invalid_argument unless 1 <= M <= N and N % M == 0.
+  GopPattern(int N, int M);
+
+  int N() const noexcept { return n_; }
+  int M() const noexcept { return m_; }
+
+  /// Type of 1-based picture index `i` in display order.
+  PictureType type_of(int i) const noexcept;
+
+  /// Position of picture `i` within its pattern, in [0, N).
+  int phase_of(int i) const noexcept;
+
+  /// Count of each type within one pattern period.
+  int count_of(PictureType type) const noexcept;
+
+  /// Display-order pattern string, e.g. "IBBPBBPBB".
+  std::string to_string() const;
+
+  /// Parses a display-order pattern string such as "IBBPBBPBB". The string
+  /// must begin with 'I', contain only I/P/B, and be a valid (N, M) pattern.
+  /// Throws std::invalid_argument otherwise.
+  static GopPattern parse(const std::string& pattern);
+
+  friend bool operator==(const GopPattern& a, const GopPattern& b) noexcept {
+    return a.n_ == b.n_ && a.m_ == b.m_;
+  }
+
+ private:
+  int n_;
+  int m_;
+};
+
+}  // namespace lsm::trace

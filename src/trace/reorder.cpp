@@ -1,0 +1,51 @@
+#include "trace/reorder.h"
+
+namespace lsm::trace {
+
+std::vector<int> display_to_coded_permutation(
+    const std::vector<PictureType>& display_types) {
+  std::vector<int> order;
+  order.reserve(display_types.size());
+  std::vector<int> pending_b;
+  for (int f = 0; f < static_cast<int>(display_types.size()); ++f) {
+    if (display_types[static_cast<std::size_t>(f)] == PictureType::B) {
+      pending_b.push_back(f);
+    } else {
+      // Anchor: transmit it ahead of the B pictures that display before it.
+      order.push_back(f);
+      for (const int b : pending_b) order.push_back(b);
+      pending_b.clear();
+    }
+  }
+  // Trailing B pictures with no future anchor (end of sequence).
+  for (const int b : pending_b) order.push_back(b);
+  return order;
+}
+
+std::vector<int> coded_position_of_display(
+    const std::vector<PictureType>& display_types) {
+  const std::vector<int> order = display_to_coded_permutation(display_types);
+  std::vector<int> inverse(order.size(), 0);
+  for (int k = 0; k < static_cast<int>(order.size()); ++k) {
+    inverse[static_cast<std::size_t>(order[static_cast<std::size_t>(k)])] = k;
+  }
+  return inverse;
+}
+
+Trace to_coded_order(const Trace& display_trace) {
+  const std::vector<int> order =
+      display_to_coded_permutation(display_trace.types());
+  std::vector<Bits> sizes;
+  std::vector<PictureType> types;
+  sizes.reserve(order.size());
+  types.reserve(order.size());
+  for (const int f : order) {
+    sizes.push_back(display_trace.sizes()[static_cast<std::size_t>(f)]);
+    types.push_back(display_trace.types()[static_cast<std::size_t>(f)]);
+  }
+  return Trace(display_trace.name() + ".coded", display_trace.pattern(),
+               std::move(sizes), std::move(types), display_trace.tau(),
+               display_trace.width(), display_trace.height());
+}
+
+}  // namespace lsm::trace

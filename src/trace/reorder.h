@@ -1,0 +1,33 @@
+// Display-order <-> coded-order (transmission-order) conversion.
+//
+// B pictures reference a future anchor, so the anchor must be transmitted
+// before the B pictures that precede it in display order (paper, Section 2):
+//
+//   display:  I B B P B B P B B I B B P ...
+//   coded:    I P B B P B B I B B P B B ...
+//
+// The smoothing experiments in the paper operate on the picture sequence in
+// the order the encoder emits it; these helpers let callers work in either
+// order and convert traces between them.
+#pragma once
+
+#include <vector>
+
+#include "trace/trace.h"
+
+namespace lsm::trace {
+
+/// Permutation from coded position k (0-based) to display index (0-based):
+/// the k-th transmitted picture is display picture perm[k]. Works for any
+/// type sequence, including irregular ones.
+std::vector<int> display_to_coded_permutation(
+    const std::vector<PictureType>& display_types);
+
+/// Inverse permutation: display position -> coded position (0-based).
+std::vector<int> coded_position_of_display(
+    const std::vector<PictureType>& display_types);
+
+/// Returns `display_trace` with pictures rearranged into coded order.
+Trace to_coded_order(const Trace& display_trace);
+
+}  // namespace lsm::trace

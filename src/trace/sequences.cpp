@@ -1,0 +1,78 @@
+#include "trace/sequences.h"
+
+namespace lsm::trace {
+
+SyntheticConfig driving_config() {
+  SyntheticConfig config;
+  config.name = "Driving";
+  config.width = 640;
+  config.height = 480;
+  // Fast car in the countryside -> close-up of the driver -> car again.
+  config.scenes = {
+      SceneSpec{110, 1.00, 0.80, 0.90},
+      SceneSpec{90, 0.72, 0.20, 0.28},
+      SceneSpec{100, 1.02, 0.85, 0.80},
+  };
+  config.bits_per_pixel_intra = 0.70;
+  config.noise_sigma = 0.07;
+  config.seed = 0xD41;
+  return config;
+}
+
+Trace driving1() {
+  SyntheticConfig config = driving_config();
+  config.name = "Driving1";
+  return synthesize(config, GopPattern(9, 3));
+}
+
+Trace driving2() {
+  SyntheticConfig config = driving_config();
+  config.name = "Driving2";
+  return synthesize(config, GopPattern(6, 2));
+}
+
+Trace tennis() {
+  SyntheticConfig config;
+  config.name = "Tennis";
+  config.width = 640;
+  config.height = 480;
+  // One continuous scene: the instructor lectures sitting down, then gets up
+  // and moves away; motion ramps up gradually through the second half.
+  config.scenes = {
+      SceneSpec{150, 1.15, 0.10, 0.18},
+      SceneSpec{150, 1.15, 0.25, 0.75},
+  };
+  // Two isolated instances of large P pictures in the first half.
+  config.spikes = {
+      MotionSpike{58, 3, 0.95},
+      MotionSpike{104, 3, 0.95},
+  };
+  config.bits_per_pixel_intra = 0.82;
+  config.noise_sigma = 0.06;
+  config.seed = 0x7E5;
+  return synthesize(config, GopPattern(9, 3));
+}
+
+Trace backyard() {
+  SyntheticConfig config;
+  config.name = "Backyard";
+  config.width = 352;
+  config.height = 288;
+  // Person in a backyard -> two other people elsewhere -> back. Complex,
+  // detailed backgrounds (high spatial complexity) but unhurried motion.
+  config.scenes = {
+      SceneSpec{132, 1.30, 0.18, 0.22},
+      SceneSpec{120, 1.38, 0.22, 0.28},
+      SceneSpec{108, 1.30, 0.20, 0.18},
+  };
+  config.bits_per_pixel_intra = 0.80;
+  config.noise_sigma = 0.06;
+  config.seed = 0xBAC;
+  return synthesize(config, GopPattern(12, 3));
+}
+
+std::vector<Trace> paper_sequences() {
+  return {driving1(), driving2(), tennis(), backyard()};
+}
+
+}  // namespace lsm::trace

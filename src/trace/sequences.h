@@ -1,0 +1,38 @@
+// The four MPEG video sequences of the paper's Section 5.1, synthesized from
+// calibrated scene scripts (see DESIGN.md, substitution table):
+//
+//   Driving1 (N=9, M=3, 640x480)  — fast car scene, close-up of the driver,
+//                                   back to the car; two scene changes.
+//   Driving2 (N=6, M=2, 640x480)  — the SAME video re-encoded with a
+//                                   different coding pattern.
+//   Tennis   (N=9, M=3, 640x480)  — no scene change; motion grows gradually
+//                                   as the instructor gets up; two isolated
+//                                   large P pictures in the first half.
+//   Backyard (N=12, M=3, 352x288) — two scene changes, complex backgrounds,
+//                                   slow motion; the easiest to smooth.
+//
+// All sequences run at 30 pictures/s and last 10-12 seconds. Calibration
+// targets from the paper: I pictures ~200-300 kbit at 640x480 (an order of
+// magnitude above B pictures), smoothed rates spanning roughly 1-3 Mbps for
+// the 640x480 sequences and peaking near 1.5 Mbps for Backyard.
+#pragma once
+
+#include <vector>
+
+#include "trace/synthetic.h"
+#include "trace/trace.h"
+
+namespace lsm::trace {
+
+/// The shared scene script for the Driving video (used by both encodings).
+SyntheticConfig driving_config();
+
+Trace driving1();  ///< Driving encoded with N=9, M=3.
+Trace driving2();  ///< Driving encoded with N=6, M=2.
+Trace tennis();    ///< Tennis, N=9, M=3.
+Trace backyard();  ///< Backyard, N=12, M=3.
+
+/// All four sequences in the paper's order.
+std::vector<Trace> paper_sequences();
+
+}  // namespace lsm::trace

@@ -1,0 +1,79 @@
+#include "trace/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <vector>
+
+namespace lsm::trace {
+
+namespace {
+
+SizeSummary summarize(const std::vector<Bits>& values) {
+  SizeSummary out;
+  out.count = static_cast<int>(values.size());
+  if (values.empty()) return out;
+  out.min = std::numeric_limits<Bits>::max();
+  out.max = std::numeric_limits<Bits>::min();
+  double sum = 0.0;
+  for (const Bits v : values) {
+    out.min = std::min(out.min, v);
+    out.max = std::max(out.max, v);
+    sum += static_cast<double>(v);
+  }
+  out.mean = sum / static_cast<double>(values.size());
+  double sq = 0.0;
+  for (const Bits v : values) {
+    const double d = static_cast<double>(v) - out.mean;
+    sq += d * d;
+  }
+  out.stddev = std::sqrt(sq / static_cast<double>(values.size()));
+  return out;
+}
+
+}  // namespace
+
+TraceStats compute_stats(const Trace& trace) {
+  TraceStats stats;
+  std::vector<Bits> all(trace.sizes());
+  std::vector<Bits> per_type[3];
+  for (int i = 1; i <= trace.picture_count(); ++i) {
+    per_type[static_cast<int>(trace.type_of(i))].push_back(trace.size_of(i));
+  }
+  stats.overall = summarize(all);
+  for (int t = 0; t < 3; ++t) stats.by_type[t] = summarize(per_type[t]);
+
+  if (stats.overall.mean > 0.0) {
+    stats.peak_to_mean =
+        static_cast<double>(stats.overall.max) / stats.overall.mean;
+  }
+  const double b_mean = stats.of(PictureType::B).mean;
+  if (b_mean > 0.0) {
+    stats.i_to_b_ratio = stats.of(PictureType::I).mean / b_mean;
+  }
+  stats.mean_rate_bps = trace.mean_rate();
+  stats.unsmoothed_peak_bps =
+      static_cast<double>(stats.overall.max) / trace.tau();
+  return stats;
+}
+
+std::string to_string(const TraceStats& stats) {
+  std::ostringstream os;
+  auto row = [&os](const char* label, const SizeSummary& s) {
+    os << "  " << label << ": count=" << s.count << " min=" << s.min
+       << " max=" << s.max << " mean=" << static_cast<Bits>(s.mean)
+       << " sd=" << static_cast<Bits>(s.stddev) << " bits\n";
+  };
+  row("all", stats.overall);
+  row("I  ", stats.of(PictureType::I));
+  row("P  ", stats.of(PictureType::P));
+  row("B  ", stats.of(PictureType::B));
+  os << "  peak/mean=" << stats.peak_to_mean
+     << " I/B=" << stats.i_to_b_ratio
+     << " mean_rate=" << stats.mean_rate_bps / 1e6 << " Mbps"
+     << " unsmoothed_peak=" << stats.unsmoothed_peak_bps / 1e6 << " Mbps\n";
+  return os.str();
+}
+
+}  // namespace lsm::trace

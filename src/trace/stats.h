@@ -1,0 +1,52 @@
+// Descriptive statistics of a picture-size trace: overall and per picture
+// type. Used by the sequence-inventory "table" bench and by tests that check
+// the calibrated synthetic sequences match the paper's descriptions
+// (I pictures roughly an order of magnitude larger than B pictures, etc.).
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "trace/trace.h"
+
+namespace lsm::trace {
+
+/// Summary statistics over a set of picture sizes.
+struct SizeSummary {
+  int count = 0;
+  Bits min = 0;
+  Bits max = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  // population standard deviation
+};
+
+/// Per-trace statistics.
+struct TraceStats {
+  SizeSummary overall;
+  SizeSummary by_type[3];  // indexed by static_cast<int>(PictureType)
+
+  /// Peak-to-mean ratio of picture sizes.
+  double peak_to_mean = 0.0;
+
+  /// Ratio mean(I) / mean(B); the paper reports "an order of magnitude".
+  double i_to_b_ratio = 0.0;
+
+  /// Long-run average bit rate in bits/s.
+  double mean_rate_bps = 0.0;
+
+  /// Rate needed to send the largest picture in one picture period, bits/s —
+  /// the unsmoothed peak requirement the paper's introduction computes.
+  double unsmoothed_peak_bps = 0.0;
+
+  const SizeSummary& of(PictureType type) const noexcept {
+    return by_type[static_cast<int>(type)];
+  }
+};
+
+/// Computes statistics for `trace`.
+TraceStats compute_stats(const Trace& trace);
+
+/// Multi-line human-readable rendering (used by tab_sequences bench).
+std::string to_string(const TraceStats& stats);
+
+}  // namespace lsm::trace

@@ -1,0 +1,125 @@
+#include "trace/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "sim/rng.h"
+
+namespace lsm::trace {
+
+namespace {
+
+double clamp01(double x) noexcept { return std::clamp(x, 0.0, 1.0); }
+
+/// Display index (1-based) of the reference anchor preceding picture i, for
+/// the regular pattern. Anchors (I or P) sit at phases 0, M, 2M, ...
+int previous_anchor(int i, const GopPattern& pattern) noexcept {
+  const int offset = pattern.phase_of(i) % pattern.M();
+  return i - (offset == 0 ? pattern.M() : offset);
+}
+
+}  // namespace
+
+VideoProcess expand_process(const SyntheticConfig& config) {
+  if (config.scenes.empty()) {
+    throw std::invalid_argument("expand_process: scene script is empty");
+  }
+  VideoProcess process;
+  sim::Rng rng(config.seed);
+  double wander = 0.0;
+  int scene_index = 0;
+  for (const SceneSpec& scene : config.scenes) {
+    if (scene.frames < 1 || scene.complexity <= 0.0) {
+      throw std::invalid_argument("expand_process: invalid scene spec");
+    }
+    for (int f = 0; f < scene.frames; ++f) {
+      const double progress =
+          scene.frames > 1 ? static_cast<double>(f) / (scene.frames - 1) : 0.0;
+      wander = 0.9 * wander + rng.normal(0.0, config.complexity_wander);
+      process.complexity.push_back(scene.complexity * std::exp(wander));
+      process.motion.push_back(clamp01(scene.motion_begin +
+                                       progress * (scene.motion_end -
+                                                   scene.motion_begin)));
+      process.scene_of.push_back(scene_index);
+    }
+    ++scene_index;
+  }
+  // Apply motion spikes on top of the scene script.
+  for (const MotionSpike& spike : config.spikes) {
+    const int half = spike.width / 2;
+    for (int f = spike.frame - half; f <= spike.frame + half; ++f) {
+      if (f < 1 || f > static_cast<int>(process.motion.size())) continue;
+      auto& m = process.motion[static_cast<std::size_t>(f - 1)];
+      m = clamp01(std::max(m, spike.magnitude));
+    }
+  }
+  return process;
+}
+
+Trace synthesize(const SyntheticConfig& config, const GopPattern& pattern) {
+  const VideoProcess process = expand_process(config);
+  const int frames = static_cast<int>(process.complexity.size());
+  const double pixels =
+      static_cast<double>(config.width) * static_cast<double>(config.height);
+
+  // Each (pattern, seed) combination is a distinct "encoding run" of the same
+  // video, so the per-picture coding noise stream is keyed on the pattern.
+  sim::Rng noise(config.seed ^
+                 (static_cast<std::uint64_t>(pattern.N()) * 1000003ULL +
+                  static_cast<std::uint64_t>(pattern.M())));
+
+  auto scene_at = [&process, frames](int f) {
+    const int clamped = std::clamp(f, 1, frames);
+    return process.scene_of[static_cast<std::size_t>(clamped - 1)];
+  };
+
+  std::vector<Bits> sizes;
+  sizes.reserve(static_cast<std::size_t>(frames));
+  for (int i = 1; i <= frames; ++i) {
+    const double c = process.complexity[static_cast<std::size_t>(i - 1)];
+    const double m = process.motion[static_cast<std::size_t>(i - 1)];
+    const double intra_cost = config.bits_per_pixel_intra * c * pixels;
+
+    const PictureType type = pattern.type_of(i);
+    double m_eff = m;
+    if (type == PictureType::P) {
+      // Reference across a scene change: motion compensation fails, most
+      // macroblocks revert to intra coding.
+      if (scene_at(previous_anchor(i, pattern)) != scene_at(i)) m_eff = 0.95;
+    } else if (type == PictureType::B) {
+      const int prev = previous_anchor(i, pattern);
+      const int next = prev + pattern.M();
+      const bool prev_crosses = scene_at(prev) != scene_at(i);
+      const bool next_crosses = scene_at(next) != scene_at(i);
+      if (prev_crosses && next_crosses) {
+        m_eff = 0.9;  // no usable reference on either side
+      } else if (prev_crosses || next_crosses) {
+        // One-sided prediction still works; interpolation does not.
+        m_eff = std::max(m, 0.5);
+      }
+    }
+
+    double factor = 1.0;
+    switch (type) {
+      case PictureType::I:
+        factor = 1.0;
+        break;
+      case PictureType::P:
+        factor = std::min(1.0, config.p_floor + config.p_gain * m_eff);
+        break;
+      case PictureType::B:
+        factor = std::min(1.0, config.b_floor + config.b_gain * m_eff);
+        break;
+    }
+
+    const double jitter = noise.lognormal(0.0, config.noise_sigma);
+    const double bits = intra_cost * factor * jitter;
+    sizes.push_back(std::max<Bits>(200, static_cast<Bits>(std::llround(bits))));
+  }
+
+  return Trace(config.name, pattern, std::move(sizes), kDefaultTau,
+               config.width, config.height);
+}
+
+}  // namespace lsm::trace

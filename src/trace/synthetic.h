@@ -1,0 +1,95 @@
+// Scene-process synthetic trace generator.
+//
+// The paper's experiments use four MPEG sequences encoded at UT Austin from
+// captured video; we do not have those tapes. This module substitutes a
+// generative model of the *video*, not of the size sequence directly: each
+// display frame f carries a scene complexity c_f and a motion level m_f drawn
+// from a scene script (piecewise levels, ramps, isolated motion spikes, and
+// scene changes). Picture sizes are then derived from (c_f, m_f) and the GOP
+// pattern the way an interframe coder behaves:
+//
+//   intra cost   = bits_per_pixel_intra * c_f * pixels
+//   I size       = intra cost
+//   P size       = intra cost * min(1, p_floor + p_gain * m_eff)
+//   B size       = intra cost * min(1, b_floor + b_gain * m_eff)
+//
+// where m_eff is the motion level, overridden toward 1 for predicted pictures
+// whose reference lies across a scene change (motion compensation fails and
+// most macroblocks fall back to intra coding). Multiplicative lognormal noise
+// models residual per-picture variability, and a slow AR(1) wander models
+// within-scene complexity drift.
+//
+// Because (c_f, m_f) is generated first and the pattern is applied second,
+// re-running one script with different (N, M) models re-encoding the *same*
+// video with different coding parameters — exactly how the paper produced
+// Driving1 (N=9, M=3) and Driving2 (N=6, M=2) from one tape.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/pattern.h"
+#include "trace/trace.h"
+
+namespace lsm::trace {
+
+/// One homogeneous scene in the script. Motion ramps linearly from
+/// motion_begin to motion_end across the scene's frames.
+struct SceneSpec {
+  int frames = 0;             ///< scene length in display frames (>= 1)
+  double complexity = 1.0;    ///< relative spatial complexity (> 0)
+  double motion_begin = 0.0;  ///< motion level in [0, 1] at scene start
+  double motion_end = 0.0;    ///< motion level in [0, 1] at scene end
+};
+
+/// An isolated burst of motion (e.g. the two isolated large P pictures in
+/// the Tennis sequence): motion is raised to `magnitude` for `width` frames
+/// centered at `frame` (1-based display frame index).
+struct MotionSpike {
+  int frame = 0;
+  int width = 1;
+  double magnitude = 1.0;
+};
+
+/// Full description of a synthetic sequence.
+struct SyntheticConfig {
+  std::string name = "synthetic";
+  int width = 640;
+  int height = 480;
+  std::vector<SceneSpec> scenes;   ///< at least one scene required
+  std::vector<MotionSpike> spikes; ///< optional motion events
+
+  /// Coder model constants (see file comment).
+  double bits_per_pixel_intra = 0.70;
+  double p_floor = 0.16;
+  double p_gain = 0.42;
+  double b_floor = 0.055;
+  double b_gain = 0.22;
+
+  /// Per-picture multiplicative lognormal noise sigma (log-space).
+  double noise_sigma = 0.06;
+  /// AR(1) within-scene complexity wander: c *= exp(w), w ~ AR(1) with this
+  /// innovation sigma and pole 0.9.
+  double complexity_wander = 0.015;
+
+  std::uint64_t seed = 1;
+};
+
+/// The per-frame video process, exposed so tests can validate the model and
+/// so Driving1/Driving2 can be shown to share one underlying video.
+struct VideoProcess {
+  std::vector<double> complexity;  ///< c_f, one per display frame
+  std::vector<double> motion;      ///< m_f in [0, 1], one per display frame
+  std::vector<int> scene_of;       ///< 0-based scene index per frame
+};
+
+/// Expands the scene script into the per-frame process. Deterministic given
+/// config.seed. Throws std::invalid_argument on an empty/invalid script.
+VideoProcess expand_process(const SyntheticConfig& config);
+
+/// Generates the picture-size trace for `pattern` applied to the config's
+/// video process. Deterministic given (config, pattern).
+Trace synthesize(const SyntheticConfig& config, const GopPattern& pattern);
+
+}  // namespace lsm::trace

@@ -1,0 +1,119 @@
+#include "trace/trace.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <utility>
+
+namespace lsm::trace {
+
+namespace {
+
+std::vector<PictureType> types_from_pattern(const GopPattern& pattern,
+                                            std::size_t count) {
+  std::vector<PictureType> types;
+  types.reserve(count);
+  for (std::size_t i = 1; i <= count; ++i) {
+    types.push_back(pattern.type_of(static_cast<int>(i)));
+  }
+  return types;
+}
+
+}  // namespace
+
+Trace::Trace(std::string name, GopPattern pattern, std::vector<Bits> sizes,
+             double tau, int width, int height)
+    : Trace(std::move(name), pattern, std::move(sizes), {}, tau, width,
+            height) {}
+
+Trace::Trace(std::string name, GopPattern pattern, std::vector<Bits> sizes,
+             std::vector<PictureType> types, double tau, int width, int height)
+    : name_(std::move(name)),
+      pattern_(pattern),
+      sizes_(std::move(sizes)),
+      types_(std::move(types)),
+      tau_(tau),
+      width_(width),
+      height_(height) {
+  if (sizes_.empty()) {
+    throw std::invalid_argument("Trace: empty size sequence");
+  }
+  if (tau_ <= 0.0) {
+    throw std::invalid_argument("Trace: picture period must be positive");
+  }
+  for (const Bits s : sizes_) {
+    if (s <= 0) {
+      throw std::invalid_argument("Trace: picture sizes must be positive");
+    }
+  }
+  if (types_.empty()) {
+    types_ = types_from_pattern(pattern_, sizes_.size());
+  } else if (types_.size() != sizes_.size()) {
+    throw std::invalid_argument("Trace: types/sizes length mismatch");
+  }
+}
+
+Bits Trace::size_of(int i) const {
+  if (i < 1 || i > picture_count()) {
+    throw std::out_of_range("Trace::size_of: picture index out of range");
+  }
+  return sizes_[static_cast<std::size_t>(i - 1)];
+}
+
+PictureType Trace::type_of(int i) const {
+  if (i < 1 || i > picture_count()) {
+    throw std::out_of_range("Trace::type_of: picture index out of range");
+  }
+  return types_[static_cast<std::size_t>(i - 1)];
+}
+
+Bits Trace::total_bits() const noexcept {
+  return std::accumulate(sizes_.begin(), sizes_.end(), Bits{0});
+}
+
+double Trace::mean_rate() const noexcept {
+  return static_cast<double>(total_bits()) / duration();
+}
+
+Trace Trace::slice(int first, int last) const {
+  if (first < 1 || last > picture_count() || first > last) {
+    throw std::out_of_range("Trace::slice: invalid range");
+  }
+  const auto a = static_cast<std::size_t>(first - 1);
+  const auto b = static_cast<std::size_t>(last);
+  return Trace(name_ + "[" + std::to_string(first) + ":" +
+                   std::to_string(last) + "]",
+               pattern_, std::vector<Bits>(sizes_.begin() + a, sizes_.begin() + b),
+               std::vector<PictureType>(types_.begin() + a, types_.begin() + b),
+               tau_, width_, height_);
+}
+
+Trace Trace::scaled(double factor) const {
+  if (!(factor > 0.0)) {
+    throw std::invalid_argument("Trace::scaled: factor must be > 0");
+  }
+  std::vector<Bits> sizes;
+  sizes.reserve(sizes_.size());
+  for (const Bits s : sizes_) {
+    sizes.push_back(std::max<Bits>(
+        1, static_cast<Bits>(std::llround(static_cast<double>(s) * factor))));
+  }
+  return Trace(name_ + ".scaled", pattern_, std::move(sizes),
+               std::vector<PictureType>(types_), tau_, width_, height_);
+}
+
+Trace concat(const Trace& first, const Trace& second) {
+  if (std::abs(first.tau() - second.tau()) > 1e-12) {
+    throw std::invalid_argument("concat: picture periods differ");
+  }
+  std::vector<Bits> sizes = first.sizes();
+  sizes.insert(sizes.end(), second.sizes().begin(), second.sizes().end());
+  std::vector<PictureType> types = first.types();
+  types.insert(types.end(), second.types().begin(), second.types().end());
+  return Trace(first.name() + "+" + second.name(), first.pattern(),
+               std::move(sizes), std::move(types), first.tau(), first.width(),
+               first.height());
+}
+
+}  // namespace lsm::trace

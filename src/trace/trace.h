@@ -1,0 +1,94 @@
+// A picture-size trace: the sequence S_1, S_2, ... of coded picture sizes for
+// one video sequence, together with its GOP pattern and metadata. This is the
+// sole input the smoothing algorithm consumes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "trace/pattern.h"
+
+namespace lsm::trace {
+
+/// Default picture period used throughout the paper: 30 pictures/s.
+inline constexpr double kDefaultTau = 1.0 / 30.0;
+
+/// Immutable picture-size trace. Picture indices are 1-based as in the paper.
+///
+/// Picture types are stored explicitly so that sequences with mid-stream
+/// pattern changes (an MPEG encoder may change M and N adaptively, Section
+/// 4.4) can be represented; for ordinary traces the types simply follow the
+/// pattern.
+class Trace {
+ public:
+  /// Builds a trace whose types follow `pattern`. Throws
+  /// std::invalid_argument if sizes is empty, any size is <= 0, or tau <= 0.
+  Trace(std::string name, GopPattern pattern, std::vector<Bits> sizes,
+        double tau = kDefaultTau, int width = 0, int height = 0);
+
+  /// Builds a trace with explicit per-picture types (sizes and types must
+  /// have equal length). `pattern` is retained as the nominal pattern used
+  /// for size estimation.
+  Trace(std::string name, GopPattern pattern, std::vector<Bits> sizes,
+        std::vector<PictureType> types, double tau = kDefaultTau,
+        int width = 0, int height = 0);
+
+  const std::string& name() const noexcept { return name_; }
+  const GopPattern& pattern() const noexcept { return pattern_; }
+  double tau() const noexcept { return tau_; }
+  int width() const noexcept { return width_; }
+  int height() const noexcept { return height_; }
+
+  /// Number of pictures n.
+  int picture_count() const noexcept { return static_cast<int>(sizes_.size()); }
+
+  /// Size S_i in bits of 1-based picture i. Requires 1 <= i <= count.
+  Bits size_of(int i) const;
+
+  /// Type of 1-based picture i. Requires 1 <= i <= count.
+  PictureType type_of(int i) const;
+
+  /// Duration n * tau of the sequence in seconds.
+  double duration() const noexcept {
+    return static_cast<double>(sizes_.size()) * tau_;
+  }
+
+  /// Sum of all picture sizes in bits.
+  Bits total_bits() const noexcept;
+
+  /// Long-run average bit rate total_bits / duration, in bits/s.
+  double mean_rate() const noexcept;
+
+  const std::vector<Bits>& sizes() const noexcept { return sizes_; }
+  const std::vector<PictureType>& types() const noexcept { return types_; }
+
+  /// Copy of this trace restricted to pictures [first, last] (1-based,
+  /// inclusive). The slice must begin on a pattern boundary for the nominal
+  /// pattern to remain meaningful; this is not enforced.
+  Trace slice(int first, int last) const;
+
+  /// Copy with every size multiplied by `factor` (> 0), e.g. to model a
+  /// different quantizer operating point. Sizes round to >= 1 bit.
+  Trace scaled(double factor) const;
+
+ private:
+  std::string name_;
+  GopPattern pattern_;
+  std::vector<Bits> sizes_;
+  std::vector<PictureType> types_;
+  double tau_;
+  int width_;
+  int height_;
+};
+
+/// Concatenates two traces into one sequence — the situation of Section 4.4
+/// where "an MPEG encoder may change the values of M and N adaptively as
+/// the scene changes". The result carries explicit per-picture types (the
+/// type sequence of `first` followed by that of `second`) and `first`'s
+/// nominal pattern; the basic algorithm does not depend on M and uses N
+/// only for size estimation, so smoothing remains correct across the
+/// switch (see the pattern-switch tests and bench). Picture periods must
+/// match. Throws std::invalid_argument otherwise.
+Trace concat(const Trace& first, const Trace& second);
+
+}  // namespace lsm::trace

@@ -1,0 +1,99 @@
+#include "core/bounds.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace lsm::core {
+namespace {
+
+SmootherParams params(double D, int K, double tau = 0.1) {
+  SmootherParams p;
+  p.D = D;
+  p.K = K;
+  p.tau = tau;
+  p.H = 1;
+  return p;
+}
+
+TEST(Bounds, TheoremLowerBoundMatchesEquationFive) {
+  // r^L = S_i / (D + (i-1) tau - t_i).
+  const SmootherParams p = params(0.5, 1);
+  // i = 3, t_i = 0.3 ((i-1+K) tau): denominator = 0.5 + 0.2 - 0.3 = 0.4.
+  EXPECT_NEAR(theorem_lower_bound(200, 3, 0.3, p), 200 / 0.4, 1e-9);
+}
+
+TEST(Bounds, TheoremUpperBoundMatchesEquationSix) {
+  // r^U = S_i / ((i+K) tau - t_i) when t_i < (i+K) tau.
+  const SmootherParams p = params(0.5, 1);
+  // i = 3: (3+1)*0.1 = 0.4; t_i = 0.3 -> denominator 0.1.
+  EXPECT_NEAR(theorem_upper_bound(200, 3, 0.3, p), 2000.0, 1e-9);
+}
+
+TEST(Bounds, UpperBoundInfiniteWhenServerIsLate) {
+  const SmootherParams p = params(0.5, 1);
+  // t_i at or past (i+K) tau: no upper constraint.
+  EXPECT_TRUE(std::isinf(theorem_upper_bound(200, 3, 0.4, p)));
+  EXPECT_TRUE(std::isinf(theorem_upper_bound(200, 3, 0.7, p)));
+}
+
+TEST(Bounds, LowerBoundInfiniteWhenDeadlineUnreachable) {
+  // Denominator D + (i-1) tau - t_i <= 0: no finite rate meets the bound.
+  const SmootherParams p = params(0.05, 1);
+  EXPECT_TRUE(std::isinf(theorem_lower_bound(200, 1, 0.05, p)));
+  EXPECT_TRUE(std::isinf(theorem_lower_bound(200, 1, 0.2, p)));
+}
+
+TEST(Bounds, LookaheadZeroEqualsTheoremBounds) {
+  const SmootherParams p = params(0.5, 2);
+  for (int i = 1; i <= 5; ++i) {
+    const double t_i = (i - 1 + p.K) * p.tau;
+    EXPECT_NEAR(lookahead_lower_bound(300.0, i, 0, t_i, p),
+                theorem_lower_bound(300, i, t_i, p), 1e-9);
+    EXPECT_NEAR(lookahead_upper_bound(300.0, i, 0, t_i, p),
+                theorem_upper_bound(300, i, t_i, p), 1e-9);
+  }
+}
+
+TEST(Bounds, CorollaryOneLowerNotAboveUpper) {
+  // Corollary 1: with D >= (K+1) tau and t_i in the legal window
+  // [(i-1+K) tau, (i-1) tau + D], r^L <= r^U for the same sum.
+  const double tau = 1.0 / 30.0;
+  for (int K = 1; K <= 4; ++K) {
+    const SmootherParams p = params((K + 1) * tau + 0.05, K, tau);
+    for (int i = 1; i <= 20; ++i) {
+      for (double frac : {0.0, 0.3, 0.7, 1.0}) {
+        const double lo_t = (i - 1 + K) * tau;
+        const double hi_t = (i - 1) * tau + p.D;
+        const double t_i = lo_t + frac * (hi_t - lo_t);
+        const Rate lower = theorem_lower_bound(1000, i, t_i, p);
+        const Rate upper = theorem_upper_bound(1000, i, t_i, p);
+        if (std::isfinite(lower)) {
+          EXPECT_LE(lower, upper + 1e-6)
+              << "K=" << K << " i=" << i << " frac=" << frac;
+        }
+      }
+    }
+  }
+}
+
+TEST(Bounds, LookaheadLowerGrowsWithSum) {
+  const SmootherParams p = params(0.5, 1);
+  const double t_i = 0.1;
+  EXPECT_LT(lookahead_lower_bound(100.0, 1, 2, t_i, p),
+            lookahead_lower_bound(200.0, 1, 2, t_i, p));
+}
+
+TEST(Bounds, LookaheadDenominatorsShiftWithH) {
+  const SmootherParams p = params(0.5, 1);
+  const double t_i = 0.1;
+  // lower(h) denominator grows by tau per h; with equal sums the bound drops.
+  EXPECT_GT(lookahead_lower_bound(100.0, 1, 0, t_i, p),
+            lookahead_lower_bound(100.0, 1, 1, t_i, p));
+  // upper(h) deadline also moves out by tau per h.
+  EXPECT_GT(lookahead_upper_bound(100.0, 1, 0, t_i, p),
+            lookahead_upper_bound(100.0, 1, 1, t_i, p));
+}
+
+}  // namespace
+}  // namespace lsm::core

@@ -1,0 +1,126 @@
+#include "core/buffer.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/smoother.h"
+#include "trace/sequences.h"
+
+namespace lsm::core {
+namespace {
+
+using lsm::trace::GopPattern;
+using lsm::trace::Trace;
+
+SmootherParams params_for(const Trace& trace, double D = 0.2) {
+  SmootherParams params;
+  params.tau = trace.tau();
+  params.H = trace.pattern().N();
+  params.D = D;
+  return params;
+}
+
+TEST(BufferAnalysis, SenderOccupancyNeverNegative) {
+  const Trace t = lsm::trace::driving1();
+  const SmoothingResult result = smooth_basic(t, params_for(t));
+  const BufferAnalysis analysis = analyze_buffers(t, result, 0.01, 0.21);
+  for (const OccupancySample& sample : analysis.sender) {
+    ASSERT_GE(sample.bits, 0.0) << "t=" << sample.time;
+  }
+  EXPECT_GT(analysis.max_sender_bits, 0.0);
+  EXPECT_GT(analysis.mean_sender_bits, 0.0);
+  EXPECT_GE(analysis.max_sender_bits, analysis.mean_sender_bits);
+}
+
+TEST(BufferAnalysis, SenderBoundedByDelayBoundWorthOfBits) {
+  // Every bit leaves within D of its picture's arrival start, so the queue
+  // can never hold more than the bits arriving in any D-long window.
+  const Trace t = lsm::trace::driving1();
+  const SmootherParams params = params_for(t);
+  const SmoothingResult result = smooth_basic(t, params);
+  const BufferAnalysis analysis = analyze_buffers(t, result, 0.0, params.D);
+  // Crude upper bound: max bits in ceil(D/tau)+1 consecutive pictures.
+  const int window = static_cast<int>(params.D / t.tau()) + 2;
+  double worst_window = 0.0;
+  for (int i = 1; i + window - 1 <= t.picture_count(); ++i) {
+    double sum = 0.0;
+    for (int j = i; j < i + window; ++j) {
+      sum += static_cast<double>(t.size_of(j));
+    }
+    worst_window = std::max(worst_window, sum);
+  }
+  EXPECT_LE(analysis.max_sender_bits, worst_window);
+}
+
+TEST(BufferAnalysis, LargerDNeedsMoreSenderBuffer) {
+  const Trace t = lsm::trace::tennis();
+  const BufferAnalysis tight = analyze_buffers(
+      t, smooth_basic(t, params_for(t, 0.0834)), 0.0, 0.0834);
+  const BufferAnalysis loose = analyze_buffers(
+      t, smooth_basic(t, params_for(t, 0.3)), 0.0, 0.3);
+  EXPECT_GT(loose.max_sender_bits, tight.max_sender_bits);
+}
+
+TEST(BufferAnalysis, ReceiverNeverUnderflowsAtSafeOffset) {
+  for (const Trace& t : lsm::trace::paper_sequences()) {
+    const SmootherParams params = params_for(t);
+    const SmoothingResult result = smooth_basic(t, params);
+    const double latency = 0.02;
+    const BufferAnalysis analysis =
+        analyze_buffers(t, result, latency, params.D + latency);
+    EXPECT_EQ(analysis.underflows, 0) << t.name();
+    EXPECT_GE(analysis.min_receiver_bits, -1e-6) << t.name();
+  }
+}
+
+TEST(BufferAnalysis, TightOffsetUnderflows) {
+  const Trace t = lsm::trace::driving1();
+  const SmootherParams params = params_for(t);
+  const SmoothingResult result = smooth_basic(t, params);
+  const BufferAnalysis analysis = analyze_buffers(t, result, 0.02, 0.08);
+  EXPECT_GT(analysis.underflows, 0);
+  EXPECT_LT(analysis.min_receiver_bits, 0.0);
+}
+
+TEST(BufferAnalysis, ReceiverOccupancyScalesWithOffset) {
+  // Waiting longer before playout means more bits are buffered.
+  const Trace t = lsm::trace::backyard();
+  const SmoothingResult result = smooth_basic(t, params_for(t));
+  const BufferAnalysis small = analyze_buffers(t, result, 0.0, 0.21);
+  const BufferAnalysis large = analyze_buffers(t, result, 0.0, 0.5);
+  EXPECT_GT(large.max_receiver_bits, small.max_receiver_bits);
+}
+
+TEST(BufferAnalysis, HandComputedTinyCase) {
+  // One picture of 3000 bits, tau = 0.1, K = 1, D = 0.3. The engine starts
+  // at t_1 = 0.1; rate = (lower+upper)/2 with defaults-free exact size:
+  // lower = 3000/(0.3 - 0.1) = 15000, upper = 3000/(0.2 - 0.1) = 30000,
+  // rate = 22500, depart = 0.2333..
+  const Trace t("tiny", GopPattern(1, 1), {3000}, 0.1);
+  SmootherParams params;
+  params.tau = 0.1;
+  params.H = 1;
+  params.D = 0.3;
+  const SmoothingResult result = smooth_basic(t, params);
+  ASSERT_EQ(result.sends.size(), 1u);
+  const BufferAnalysis analysis = analyze_buffers(t, result, 0.0, 0.4);
+  // Sender peak: at t = 0.1 the whole picture (3000 bits) has arrived and
+  // nothing has left yet.
+  EXPECT_NEAR(analysis.max_sender_bits, 3000.0, 1e-6);
+  // Receiver: everything (3000 bits) is in the buffer before playout at 0.4.
+  EXPECT_NEAR(analysis.max_receiver_bits, 3000.0, 1e-6);
+  EXPECT_EQ(analysis.underflows, 0);
+}
+
+TEST(BufferAnalysis, RejectsBadInputs) {
+  const Trace t = lsm::trace::backyard();
+  const SmoothingResult result = smooth_basic(t, params_for(t));
+  EXPECT_THROW(analyze_buffers(t, result, -0.1, 0.2), std::invalid_argument);
+  const Trace other = lsm::trace::driving1();
+  EXPECT_THROW(analyze_buffers(other, result, 0.0, 0.2),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lsm::core

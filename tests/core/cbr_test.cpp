@@ -1,0 +1,135 @@
+#include "core/cbr.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/optimal.h"
+#include "core/smoother.h"
+#include "trace/sequences.h"
+
+namespace lsm::core {
+namespace {
+
+using lsm::trace::GopPattern;
+using lsm::trace::Trace;
+
+TEST(Cbr, ConstantTraceHandComputed) {
+  // 1000-bit pictures every 0.1 s at R = 20000 b/s: each picture needs
+  // 0.05 s after its arrival, so delivery_i = i*0.1 + 0.05 and the startup
+  // delay is 0.15 s.
+  const Trace t("const", GopPattern(1, 1), std::vector<lsm::trace::Bits>(20, 1000),
+                0.1);
+  EXPECT_NEAR(min_startup_delay(t, 20000.0), 0.15, 1e-9);
+  // At exactly the drain rate (10000 b/s) every picture takes a full
+  // period: startup delay 0.2 s (one arrival period + one service period).
+  EXPECT_NEAR(min_startup_delay(t, 10000.0), 0.2, 1e-9);
+}
+
+TEST(Cbr, DelayDecreasesWithRate) {
+  const Trace t = lsm::trace::driving1();
+  double previous = 1e18;
+  for (double factor = 1.0; factor <= 3.01; factor += 0.25) {
+    const Seconds d = min_startup_delay(t, t.mean_rate() * factor);
+    EXPECT_LE(d, previous + 1e-9) << "factor " << factor;
+    previous = d;
+  }
+}
+
+TEST(Cbr, InverseFunctionsAgree) {
+  const Trace t = lsm::trace::tennis();
+  for (const double d : {0.2, 0.5, 1.0, 2.0}) {
+    const Rate rate = min_cbr_rate(t, d);
+    // That rate must achieve a startup delay of (at most) d ...
+    EXPECT_LE(min_startup_delay(t, rate), d + 1e-6) << "d=" << d;
+    // ... and be tight: a slightly smaller rate must miss it.
+    EXPECT_GT(min_startup_delay(t, rate * 0.98), d - 1e-6) << "d=" << d;
+  }
+}
+
+TEST(Cbr, RateDecreasesWithDelayDownToTheStretchLimit) {
+  const Trace t = lsm::trace::backyard();
+  Rate previous = 1e18;
+  for (const double d : {0.2, 0.5, 1.0, 3.0, t.duration()}) {
+    const Rate rate = min_cbr_rate(t, d);
+    EXPECT_LE(rate, previous + 1e-9) << "d=" << d;
+    // Never below the whole-trace stretch bound: all bits within
+    // (duration - tau) + d of the first arrival.
+    EXPECT_GE(rate, static_cast<double>(t.total_bits()) /
+                        (t.duration() - t.tau() + d) - 1e-6)
+        << "d=" << d;
+    previous = rate;
+  }
+  // A startup delay as long as the clip lets CBR run well BELOW the mean
+  // rate (twice the time to deliver) — the degenerate download regime.
+  EXPECT_LT(min_cbr_rate(t, t.duration()), 0.75 * t.mean_rate());
+}
+
+TEST(Cbr, TightDelayNeedsNearPeakRate) {
+  const Trace t = lsm::trace::driving1();
+  // With barely more than one period of startup, the rate must carry the
+  // largest picture within roughly (d - tau) of its arrival.
+  const double d = 2.5 * t.tau();
+  const Rate rate = min_cbr_rate(t, d);
+  lsm::trace::Bits largest = 0;
+  for (int i = 1; i <= t.picture_count(); ++i) {
+    largest = std::max(largest, t.size_of(i));
+  }
+  EXPECT_GE(rate, static_cast<double>(largest) / (d - t.tau()) * 0.99);
+}
+
+TEST(Cbr, SimulationConfirmsTheDelay) {
+  // Work-conserving CBR server simulation at the computed (R, d): every
+  // picture must be delivered by its playout instant.
+  const Trace t = lsm::trace::driving2();
+  const Rate rate = t.mean_rate() * 1.4;
+  const Seconds d = min_startup_delay(t, rate);
+
+  double backlog = 0.0;
+  double now = 0.0;
+  for (int i = 1; i <= t.picture_count(); ++i) {
+    // Serve until picture i arrives at i*tau.
+    const double arrival = i * t.tau();
+    backlog = std::max(0.0, backlog - rate * (arrival - now));
+    now = arrival;
+    backlog += static_cast<double>(t.size_of(i));
+    // Delivery of everything queued so far:
+    const double delivery = now + backlog / rate;
+    ASSERT_LE(delivery, (i - 1) * t.tau() + d + 1e-6) << "picture " << i;
+  }
+}
+
+TEST(Cbr, MinCbrRateEqualsOfflineOptimalPeak) {
+  // Theory cross-check: a work-conserving CBR server at rate R delivers no
+  // later than any schedule whose rate never exceeds R, so the minimal
+  // feasible CBR rate for startup delay d equals the minimal peak over ALL
+  // schedules for delay bound d — i.e. the taut string's peak. Two
+  // independently implemented computations must agree.
+  for (const Trace& t : lsm::trace::paper_sequences()) {
+    for (const double d : {0.1, 0.2, 0.3}) {
+      const Rate cbr = min_cbr_rate(t, d);
+      const Rate optimal = minimal_feasible_peak(t, d);
+      EXPECT_NEAR(cbr, optimal, 0.01 * optimal)
+          << t.name() << " d=" << d;
+    }
+  }
+}
+
+TEST(Cbr, CbrReservationWastesCapacityThatSmoothedVbrDoesNot) {
+  // CBR reserves min_cbr_rate for the whole session; the stream only uses
+  // its mean. The gap is the capacity a VBR service with smoothing (and
+  // statistical multiplexing) can recover — the service-model argument for
+  // smoothing rather than padding to CBR.
+  const Trace t = lsm::trace::driving1();
+  const Rate cbr = min_cbr_rate(t, 0.2);
+  EXPECT_GT(cbr, 1.1 * t.mean_rate());
+}
+
+TEST(Cbr, RejectsBadArguments) {
+  const Trace t = lsm::trace::backyard();
+  EXPECT_THROW(min_startup_delay(t, 0.0), std::invalid_argument);
+  EXPECT_THROW(min_cbr_rate(t, t.tau()), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lsm::core

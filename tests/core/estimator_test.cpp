@@ -1,0 +1,174 @@
+#include "core/estimator.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace lsm::core {
+namespace {
+
+using lsm::trace::GopPattern;
+using lsm::trace::PictureType;
+using lsm::trace::Trace;
+
+// Two patterns of IBB at tau = 0.1: pictures 1..6.
+Trace small_trace() {
+  return Trace("t", GopPattern(3, 3), {100, 20, 30, 90, 25, 35}, 0.1);
+}
+
+TEST(PatternEstimator, ActualSizeWhenArrived) {
+  const Trace t = small_trace();
+  const PatternEstimator est(t);
+  // Picture 4 arrives at 0.4.
+  EXPECT_EQ(est.size_at(4, 0.4), 90);
+  EXPECT_EQ(est.size_at(4, 0.5), 90);
+}
+
+TEST(PatternEstimator, ArrivalBoundaryIsInclusive) {
+  // At exactly j*tau the picture has completely arrived (system model), so
+  // the actual size must be used — Theorem 1 depends on this when K = 1.
+  const Trace t = small_trace();
+  const PatternEstimator est(t);
+  EXPECT_EQ(est.size_at(4, 0.4), 90);
+  EXPECT_EQ(est.size_at(4, 0.4 - 1e-6), 100);  // falls back to S_{4-3}
+}
+
+TEST(PatternEstimator, UsesOnePatternBack) {
+  const Trace t = small_trace();
+  const PatternEstimator est(t);
+  // At t = 0.35 pictures 1..3 have arrived; sizes of 4..6 are estimated by
+  // pictures 1..3 respectively.
+  EXPECT_EQ(est.size_at(4, 0.35), 100);
+  EXPECT_EQ(est.size_at(5, 0.35), 20);
+  EXPECT_EQ(est.size_at(6, 0.35), 30);
+}
+
+TEST(PatternEstimator, WalksBackMultiplePatternsWhenNeeded) {
+  // With lookahead H > N the estimate S_{j-N} may itself be unarrived; the
+  // estimator must chain back to the newest arrived same-phase picture.
+  const Trace t("t", GopPattern(3, 3), {100, 20, 30, 90, 25, 35, 80, 22, 33},
+                0.1);
+  const PatternEstimator est(t);
+  // At t = 0.3 only pictures 1..3 have arrived; picture 7 estimates via
+  // 7 -> 4 (unarrived) -> 1.
+  EXPECT_EQ(est.size_at(7, 0.3), 100);
+}
+
+TEST(PatternEstimator, InitialDefaultsPerType) {
+  const Trace t = small_trace();
+  const DefaultSizes defaults;  // paper values
+  const PatternEstimator est(t);
+  // At t = 0 nothing has arrived; picture 1 is I, 2 is B.
+  EXPECT_EQ(est.size_at(1, 0.0), defaults.i_bits);
+  EXPECT_EQ(est.size_at(2, 0.0), defaults.b_bits);
+}
+
+TEST(PatternEstimator, DefaultsForPType) {
+  const Trace t("t", GopPattern(3, 1), {100, 50, 40}, 0.1);
+  const PatternEstimator est(t);
+  EXPECT_EQ(est.size_at(2, 0.0), DefaultSizes{}.p_bits);
+}
+
+TEST(PatternEstimator, CustomDefaults) {
+  const Trace t = small_trace();
+  const PatternEstimator est(t, DefaultSizes{111, 222, 333});
+  EXPECT_EQ(est.size_at(1, 0.0), 111);
+  EXPECT_EQ(est.size_at(2, 0.0), 333);
+}
+
+TEST(PatternEstimator, RejectsOutOfRangeIndex) {
+  const Trace t = small_trace();
+  const PatternEstimator est(t);
+  EXPECT_THROW(est.size_at(0, 0.0), std::out_of_range);
+  EXPECT_THROW(est.size_at(7, 0.0), std::out_of_range);
+}
+
+TEST(OracleEstimator, AlwaysKnowsEverything) {
+  const Trace t = small_trace();
+  const OracleEstimator est(t);
+  EXPECT_EQ(est.size_at(6, 0.0), 35);
+  EXPECT_EQ(est.size_at(1, -5.0), 100);
+}
+
+TEST(LastSameTypeEstimator, PicksMostRecentArrivedOfType) {
+  const Trace t = small_trace();
+  const LastSameTypeEstimator est(t);
+  // At t = 0.35, pictures 1..3 arrived. Picture 5 is B; most recent B is 3.
+  EXPECT_EQ(est.size_at(5, 0.35), 30);
+  // Picture 4 is I; most recent I is 1.
+  EXPECT_EQ(est.size_at(4, 0.35), 100);
+  // Arrived pictures are exact.
+  EXPECT_EQ(est.size_at(2, 0.35), 20);
+}
+
+TEST(LastSameTypeEstimator, FallsBackToDefaults) {
+  const Trace t = small_trace();
+  const LastSameTypeEstimator est(t);
+  EXPECT_EQ(est.size_at(1, 0.0), DefaultSizes{}.i_bits);
+}
+
+TEST(TypeMeanEstimator, AveragesArrivedOfType) {
+  const Trace t = small_trace();
+  const TypeMeanEstimator est(t);
+  // At t = 0.5 pictures 1..5 arrived. Picture 6 is B; arrived Bs: 20, 30, 25.
+  EXPECT_EQ(est.size_at(6, 0.5), 25);
+}
+
+TEST(TypeMeanEstimator, ExactForArrivedAndDefaultBeforeAnyArrival) {
+  const Trace t = small_trace();
+  const TypeMeanEstimator est(t);
+  EXPECT_EQ(est.size_at(3, 0.5), 30);
+  EXPECT_EQ(est.size_at(2, 0.0), DefaultSizes{}.b_bits);
+}
+
+TEST(PhaseEwmaEstimator, AlphaOneReducesToPatternEstimatorInSteadyState) {
+  const Trace t("t", GopPattern(3, 3), {100, 20, 30, 90, 25, 35, 80, 22, 33},
+                0.1);
+  const PhaseEwmaEstimator ewma(t, 1.0);
+  const PatternEstimator pattern(t);
+  // At t = 0.65, pictures 1..6 arrived; estimates for 7..9 must agree.
+  for (int j = 7; j <= 9; ++j) {
+    EXPECT_EQ(ewma.size_at(j, 0.65), pattern.size_at(j, 0.65)) << j;
+  }
+}
+
+TEST(PhaseEwmaEstimator, AveragesSamePhaseHistory) {
+  const Trace t("t", GopPattern(3, 3), {100, 20, 30, 200, 25, 35, 80, 22, 33},
+                0.1);
+  const PhaseEwmaEstimator ewma(t, 0.5);
+  // At t = 0.65 pictures 1..6 arrived. Phase-0 history: 100, then
+  // 0.5*200 + 0.5*100 = 150. Estimate for picture 7 (phase 0) = 150.
+  EXPECT_EQ(ewma.size_at(7, 0.65), 150);
+  // Phase-1 history: 20, then 0.5*25 + 0.5*20 = 22.5 -> 23 (rounded).
+  EXPECT_EQ(ewma.size_at(8, 0.65), 23);
+}
+
+TEST(PhaseEwmaEstimator, ArrivedPicturesAreExact) {
+  const Trace t = small_trace();
+  const PhaseEwmaEstimator ewma(t, 0.3);
+  EXPECT_EQ(ewma.size_at(4, 0.4), 90);
+}
+
+TEST(PhaseEwmaEstimator, DefaultsBeforeAnyHistory) {
+  const Trace t = small_trace();
+  const PhaseEwmaEstimator ewma(t);
+  EXPECT_EQ(ewma.size_at(1, 0.0), DefaultSizes{}.i_bits);
+  EXPECT_EQ(ewma.size_at(2, 0.0), DefaultSizes{}.b_bits);
+}
+
+TEST(PhaseEwmaEstimator, RejectsBadAlpha) {
+  const Trace t = small_trace();
+  EXPECT_THROW(PhaseEwmaEstimator(t, 0.0), std::invalid_argument);
+  EXPECT_THROW(PhaseEwmaEstimator(t, 1.5), std::invalid_argument);
+}
+
+TEST(Estimators, NamesAreDistinct) {
+  const Trace t = small_trace();
+  EXPECT_EQ(PatternEstimator(t).name(), "pattern");
+  EXPECT_EQ(OracleEstimator(t).name(), "oracle");
+  EXPECT_EQ(LastSameTypeEstimator(t).name(), "last-same-type");
+  EXPECT_EQ(TypeMeanEstimator(t).name(), "type-mean");
+}
+
+}  // namespace
+}  // namespace lsm::core

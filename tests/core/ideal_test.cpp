@@ -1,0 +1,85 @@
+#include "core/ideal.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "trace/sequences.h"
+
+namespace lsm::core {
+namespace {
+
+using lsm::trace::GopPattern;
+using lsm::trace::Trace;
+
+TEST(IdealSmoother, EveryPictureOfAPatternSharesOneRate) {
+  const Trace t = lsm::trace::driving1();
+  const SmoothingResult result = smooth_ideal(t);
+  const int n_pattern = t.pattern().N();
+  for (std::size_t k = 0; k < result.sends.size(); ++k) {
+    const std::size_t group_first = (k / n_pattern) * n_pattern;
+    EXPECT_DOUBLE_EQ(result.sends[k].rate, result.sends[group_first].rate);
+  }
+}
+
+TEST(IdealSmoother, PatternRateIsTheAverage) {
+  const Trace t("t", GopPattern(3, 3), {100, 20, 30, 90, 25, 35}, 0.1);
+  const SmoothingResult result = smooth_ideal(t);
+  EXPECT_NEAR(result.sends[0].rate, 150.0 / 0.3, 1e-9);
+  EXPECT_NEAR(result.sends[3].rate, 150.0 / 0.3, 1e-9);
+}
+
+TEST(IdealSmoother, FirstPictureWaitsForWholePattern) {
+  const Trace t("t", GopPattern(3, 3), {100, 20, 30, 90, 25, 35}, 0.1);
+  const SmoothingResult result = smooth_ideal(t);
+  // Pattern 1 = pictures 1..3, all arrived at 0.3.
+  EXPECT_NEAR(result.sends[0].start, 0.3, 1e-12);
+  // Each pattern takes exactly N tau to send, so the server is continuously
+  // busy from 0.3 onwards.
+  EXPECT_NEAR(result.sends[3].start, 0.6, 1e-9);
+}
+
+TEST(IdealSmoother, DelaysAreLargeComparedToBasicAlgorithm) {
+  // Figure 5: ideal smoothing delays dwarf the basic algorithm's D = 0.1.
+  const Trace t = lsm::trace::driving1();
+  const SmoothingResult ideal = smooth_ideal(t);
+  double min_delay = 1e9;
+  for (const PictureSend& send : ideal.sends) {
+    min_delay = std::min(min_delay, send.delay);
+  }
+  // Every picture waits at least for its own pattern to finish arriving.
+  EXPECT_GT(min_delay, 0.1);
+  EXPECT_GT(ideal.max_delay(), 0.3);
+}
+
+TEST(IdealSmoother, ServerKeepsUpOnAverage) {
+  // Sending each pattern at its average rate takes exactly N tau, so the
+  // departure of the last picture trails the arrival of the last picture by
+  // at most one pattern duration plus start offset.
+  const Trace t = lsm::trace::tennis();
+  const SmoothingResult result = smooth_ideal(t);
+  const PictureSend& last = result.sends.back();
+  const double n_tau = t.pattern().N() * t.tau();
+  EXPECT_LE(last.depart, t.duration() + n_tau + 1e-9);
+}
+
+TEST(IdealSmoother, TrailingPartialPatternAveragedOverItsOwnLength) {
+  // 4 pictures with pattern length 3: the trailing group is picture 4 alone.
+  const Trace t("t", GopPattern(3, 3), {100, 20, 30, 90}, 0.1);
+  const SmoothingResult result = smooth_ideal(t);
+  EXPECT_NEAR(result.sends[3].rate, 90.0 / 0.1, 1e-9);
+  // The lone picture 4 arrives at 0.4 and may start then (or when the
+  // previous pattern departs, whichever is later).
+  EXPECT_GE(result.sends[3].start, 0.4 - 1e-12);
+}
+
+TEST(IdealSmoother, RateChangesAtMostOncePerPattern) {
+  const Trace t = lsm::trace::backyard();
+  const SmoothingResult result = smooth_ideal(t);
+  const int groups =
+      (t.picture_count() + t.pattern().N() - 1) / t.pattern().N();
+  EXPECT_LE(result.rate_change_count(), groups);
+}
+
+}  // namespace
+}  // namespace lsm::core

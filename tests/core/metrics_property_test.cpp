@@ -1,0 +1,112 @@
+// Property sweep over the full (sequence x D x K x H x variant x quantum)
+// grid: structural sanity of every smoothing run and its measures. These
+// complement the hand-computed metric tests with breadth.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <tuple>
+
+#include "core/metrics.h"
+#include "core/smoother.h"
+#include "core/theorem.h"
+#include "trace/sequences.h"
+
+namespace lsm::core {
+namespace {
+
+using lsm::trace::Trace;
+
+struct GridCase {
+  const char* sequence;
+  double D;
+  int K;
+  int H;
+  Variant variant;
+  double quantum;
+};
+
+Trace sequence_by_name(const std::string& name) {
+  if (name == "driving1") return lsm::trace::driving1();
+  if (name == "driving2") return lsm::trace::driving2();
+  if (name == "tennis") return lsm::trace::tennis();
+  return lsm::trace::backyard();
+}
+
+std::string grid_name(const testing::TestParamInfo<GridCase>& info) {
+  const GridCase& c = info.param;
+  return std::string(c.sequence) + "_D" +
+         std::to_string(static_cast<int>(c.D * 1000)) + "_K" +
+         std::to_string(c.K) + "_H" + std::to_string(c.H) +
+         (c.variant == Variant::kMovingAverage ? "_mod" : "_basic") +
+         (c.quantum > 0 ? "_q64" : "");
+}
+
+class MeasureGrid : public testing::TestWithParam<GridCase> {};
+
+TEST_P(MeasureGrid, StructuralInvariantsHold) {
+  const GridCase& c = GetParam();
+  const Trace t = sequence_by_name(c.sequence);
+  SmootherParams params;
+  params.tau = t.tau();
+  params.D = c.D;
+  params.K = c.K;
+  params.H = c.H;
+  params.rate_quantum = c.quantum;
+
+  const PatternEstimator estimator(t);
+  const SmoothingResult result = smooth(t, params, estimator, c.variant);
+  const SmoothnessMetrics metrics = evaluate(result, t);
+  const TheoremReport report = check_theorem1(result, t);
+
+  // Theorem regime => all guarantees.
+  ASSERT_TRUE(params.guarantees_delay_bound());
+  EXPECT_TRUE(report.all_ok());
+
+  // Measures are structurally sane.
+  EXPECT_GE(metrics.area_difference, 0.0);
+  EXPECT_LT(metrics.area_difference, 1.0);
+  EXPECT_GE(metrics.rate_changes, 1);
+  EXPECT_LE(metrics.rate_changes, t.picture_count());
+  EXPECT_GT(metrics.max_rate, 0.0);
+  EXPECT_GE(metrics.max_rate, metrics.rate_mean);
+  EXPECT_GE(metrics.rate_stddev, 0.0);
+  EXPECT_LE(metrics.rate_stddev, metrics.max_rate);
+
+  // The schedule moves exactly the trace's bits.
+  const RateSchedule schedule = result.schedule();
+  const double sent =
+      schedule.integral(0.0, schedule.end_time() + 1.0);
+  EXPECT_NEAR(sent, static_cast<double>(t.total_bits()),
+              1e-6 * static_cast<double>(t.total_bits()));
+
+  // The mean smoothed rate cannot beat the arithmetic it is made of:
+  // total bits over the sending span.
+  const double span = schedule.end_time() - schedule.start_time();
+  EXPECT_NEAR(metrics.rate_mean * schedule.end_time(), sent,
+              0.05 * sent + 1.0);
+  EXPECT_GT(span, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, MeasureGrid,
+    testing::Values(
+        GridCase{"driving1", 0.1, 1, 9, Variant::kBasic, 0.0},
+        GridCase{"driving1", 0.2, 1, 9, Variant::kBasic, 0.0},
+        GridCase{"driving1", 0.2, 1, 9, Variant::kMovingAverage, 0.0},
+        GridCase{"driving1", 0.2, 1, 9, Variant::kBasic, 64000.0},
+        GridCase{"driving1", 0.3, 2, 18, Variant::kBasic, 0.0},
+        GridCase{"driving2", 0.1333, 1, 6, Variant::kBasic, 0.0},
+        GridCase{"driving2", 0.2, 1, 6, Variant::kMovingAverage, 0.0},
+        GridCase{"driving2", 0.2, 3, 12, Variant::kBasic, 64000.0},
+        GridCase{"tennis", 0.1, 1, 9, Variant::kBasic, 0.0},
+        GridCase{"tennis", 0.2, 1, 1, Variant::kBasic, 0.0},
+        GridCase{"tennis", 0.3, 1, 9, Variant::kMovingAverage, 64000.0},
+        GridCase{"backyard", 0.1, 1, 12, Variant::kBasic, 0.0},
+        GridCase{"backyard", 0.2, 1, 12, Variant::kMovingAverage, 0.0},
+        GridCase{"backyard", 0.2, 2, 24, Variant::kBasic, 0.0},
+        GridCase{"backyard", 0.3, 1, 12, Variant::kBasic, 64000.0}),
+    grid_name);
+
+}  // namespace
+}  // namespace lsm::core

@@ -1,0 +1,113 @@
+// Buffer-constrained offline-optimal smoothing: the taut string through the
+// corridor narrowed by a finite receiver buffer (see optimal.h).
+#include "core/optimal.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "trace/sequences.h"
+
+namespace lsm::core {
+namespace {
+
+using lsm::trace::Trace;
+
+constexpr double kHuge = 1e15;
+
+TEST(BufferedOptimal, HugeBufferReducesToUnconstrained) {
+  const Trace t = lsm::trace::driving1();
+  const double D = 0.2;
+  const OptimalResult plain = smooth_offline_optimal(t, D);
+  // playout_offset = D makes the playout deadlines coincide with the delay
+  // deadlines, so nothing tightens.
+  const OptimalResult buffered =
+      smooth_offline_optimal_buffered(t, D, kHuge, D);
+  EXPECT_NEAR(buffered.peak_rate, plain.peak_rate, 1e-6 * plain.peak_rate);
+  for (std::size_t k = 0; k < plain.departures.size(); ++k) {
+    ASSERT_NEAR(buffered.departures[k], plain.departures[k], 1e-6);
+  }
+}
+
+TEST(BufferedOptimal, RespectsTheBufferAtEveryPlayout) {
+  const Trace t = lsm::trace::tennis();
+  const double D = 0.2;
+  const double buffer = 400e3;  // 400 kbit
+  const OptimalResult result =
+      smooth_offline_optimal_buffered(t, D, buffer, D);
+  double played = 0.0;
+  for (int i = 1; i <= t.picture_count(); ++i) {
+    const double playout = D + (i - 1) * t.tau();
+    const double delivered = result.schedule.integral(0.0, playout);
+    // Pre-removal occupancy (picture i leaves AT the instant).
+    ASSERT_LE(delivered - played, buffer + 1.0) << "picture " << i;
+    // Playout feasibility: picture i fully delivered by its playout.
+    played += static_cast<double>(t.size_of(i));
+    ASSERT_GE(delivered, played - 1.0) << "picture " << i;
+  }
+}
+
+TEST(BufferedOptimal, StillMeetsTheDelayBound) {
+  const Trace t = lsm::trace::driving1();
+  const OptimalResult result =
+      smooth_offline_optimal_buffered(t, 0.2, 500e3, 0.2);
+  EXPECT_LE(result.max_delay(), 0.2 + 1e-6);
+}
+
+TEST(BufferedOptimal, TighterBufferRaisesThePeak) {
+  const Trace t = lsm::trace::driving1();
+  const double D = 0.3;
+  double previous = 0.0;
+  for (const double buffer : {kHuge, 2000e3, 800e3, 400e3}) {
+    const OptimalResult result =
+        smooth_offline_optimal_buffered(t, D, buffer, D);
+    EXPECT_GE(result.peak_rate, previous - 1e-6)
+        << "buffer " << buffer;
+    previous = result.peak_rate;
+  }
+}
+
+TEST(BufferedOptimal, BufferBelowLargestPictureThrows) {
+  const Trace t = lsm::trace::driving1();
+  double largest = 0.0;
+  for (int i = 1; i <= t.picture_count(); ++i) {
+    largest = std::max(largest, static_cast<double>(t.size_of(i)));
+  }
+  EXPECT_THROW(
+      smooth_offline_optimal_buffered(t, 0.2, largest * 0.9, 0.2),
+      std::invalid_argument);
+  EXPECT_NO_THROW(
+      smooth_offline_optimal_buffered(t, 0.2, largest * 1.5, 0.2));
+}
+
+TEST(BufferedOptimal, RejectsTooEarlyPlayout) {
+  const Trace t = lsm::trace::backyard();
+  EXPECT_THROW(smooth_offline_optimal_buffered(t, 0.2, kHuge, 0.01),
+               std::invalid_argument);
+}
+
+TEST(BufferedOptimal, LargerPlayoutOffsetNeverHurtsThePeak) {
+  // More playout slack relaxes the playout deadlines (the delay bound still
+  // applies), so the peak cannot increase.
+  const Trace t = lsm::trace::tennis();
+  const double buffer = 1500e3;
+  const OptimalResult tight =
+      smooth_offline_optimal_buffered(t, 0.3, buffer, 0.1);
+  const OptimalResult loose =
+      smooth_offline_optimal_buffered(t, 0.3, buffer, 0.3);
+  EXPECT_LE(loose.peak_rate, tight.peak_rate + 1e-6);
+}
+
+TEST(BufferedOptimal, ConservesAllBits) {
+  const Trace t = lsm::trace::backyard();
+  const OptimalResult result =
+      smooth_offline_optimal_buffered(t, 0.2, 300e3, 0.2);
+  const double sent = result.schedule.integral(
+      0.0, result.schedule.end_time() + 1.0);
+  EXPECT_NEAR(sent, static_cast<double>(t.total_bits()),
+              1e-6 * static_cast<double>(t.total_bits()));
+}
+
+}  // namespace
+}  // namespace lsm::core

@@ -1,0 +1,122 @@
+#include "core/optimal.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/metrics.h"
+#include "core/smoother.h"
+#include "trace/sequences.h"
+
+namespace lsm::core {
+namespace {
+
+using lsm::trace::GopPattern;
+using lsm::trace::Trace;
+
+TEST(OfflineOptimal, ConstantTraceReducesToOneWorkingRate) {
+  // 20 pictures x 1000 bits, tau = 0.1, D = 0.3. Worked by hand: nothing is
+  // available before 0.1, after which the taut string runs straight to the
+  // terminus (2.2 s, 20000 bits) at 20000/2.1 bits/s.
+  const Trace t("const", GopPattern(1, 1), std::vector<Bits>(20, 1000), 0.1);
+  const OptimalResult result = smooth_offline_optimal(t, 0.3);
+  EXPECT_NEAR(result.peak_rate, 20000.0 / 2.1, 1e-6);
+  // All positive-rate segments share that one rate.
+  for (const RateSegment& s : result.schedule.segments()) {
+    if (s.rate > 0.0) EXPECT_NEAR(s.rate, 20000.0 / 2.1, 1e-6);
+  }
+}
+
+TEST(OfflineOptimal, MeetsEveryDeadline) {
+  const Trace t = lsm::trace::driving1();
+  for (const double D : {0.1, 0.2, 0.4}) {
+    const OptimalResult result = smooth_offline_optimal(t, D);
+    EXPECT_LE(result.max_delay(), D + 1e-6) << "D=" << D;
+    for (std::size_t i = 1; i < result.departures.size(); ++i) {
+      ASSERT_LE(result.departures[i - 1], result.departures[i] + 1e-9);
+    }
+  }
+}
+
+TEST(OfflineOptimal, NeverSendsUnarrivedBits) {
+  const Trace t = lsm::trace::tennis();
+  const OptimalResult result = smooth_offline_optimal(t, 0.2);
+  double cum = 0.0;
+  for (int i = 1; i <= t.picture_count(); ++i) {
+    // Just before picture i's arrival completes, at most cum_{i-1} bits may
+    // have left.
+    const double sent =
+        result.schedule.integral(0.0, i * t.tau() - 1e-7);
+    ASSERT_LE(sent, cum + 1.0) << "picture " << i;
+    cum += static_cast<double>(t.size_of(i));
+  }
+}
+
+TEST(OfflineOptimal, ConservesAllBits) {
+  const Trace t = lsm::trace::backyard();
+  const OptimalResult result = smooth_offline_optimal(t, 0.25);
+  const double sent = result.schedule.integral(
+      0.0, result.schedule.end_time() + 1.0);
+  EXPECT_NEAR(sent, static_cast<double>(t.total_bits()),
+              1e-6 * static_cast<double>(t.total_bits()));
+}
+
+TEST(OfflineOptimal, PeakAttainsTheLowerBound) {
+  // The taut string is peak-minimal: its peak equals the largest average
+  // slope forced by any (availability, deadline) pair.
+  for (const Trace& t : lsm::trace::paper_sequences()) {
+    for (const double D : {0.1, 0.2}) {
+      const OptimalResult result = smooth_offline_optimal(t, D);
+      const Rate bound = minimal_feasible_peak(t, D);
+      EXPECT_NEAR(result.peak_rate, bound, 1e-6 * bound)
+          << t.name() << " D=" << D;
+    }
+  }
+}
+
+TEST(OfflineOptimal, NeverWorseThanBasicAlgorithmPeak) {
+  // The basic algorithm with K = 1 produces a schedule feasible for the same
+  // corridor, so the optimal peak is a lower bound on its max rate.
+  const Trace t = lsm::trace::driving1();
+  for (const double D : {0.1, 0.2, 0.3}) {
+    SmootherParams p;
+    p.D = D;
+    p.K = 1;
+    p.H = t.pattern().N();
+    p.tau = t.tau();
+    const SmoothingResult basic = smooth_basic(t, p);
+    const OptimalResult optimal = smooth_offline_optimal(t, D);
+    EXPECT_LE(optimal.peak_rate,
+              basic.schedule().max_rate() * (1.0 + 1e-9))
+        << "D=" << D;
+  }
+}
+
+TEST(OfflineOptimal, SmallerDelayBoundRaisesPeak) {
+  const Trace t = lsm::trace::driving1();
+  const Rate tight = smooth_offline_optimal(t, 0.08).peak_rate;
+  const Rate loose = smooth_offline_optimal(t, 0.5).peak_rate;
+  EXPECT_GE(tight, loose);
+}
+
+TEST(OfflineOptimal, InfeasibleDelayBoundThrows) {
+  const Trace t("x", GopPattern(1, 1), {100, 100}, 0.1);
+  EXPECT_THROW(smooth_offline_optimal(t, 0.1), std::invalid_argument);
+  EXPECT_THROW(smooth_offline_optimal(t, 0.05), std::invalid_argument);
+  EXPECT_NO_THROW(smooth_offline_optimal(t, 0.11));
+}
+
+TEST(OfflineOptimal, DepartureInterpolationIsExact) {
+  // Constant-rate region: departures must be evenly spaced.
+  const Trace t("const", GopPattern(1, 1), std::vector<Bits>(20, 1000), 0.1);
+  const OptimalResult result = smooth_offline_optimal(t, 0.3);
+  const double rate = 20000.0 / 2.1;
+  for (int i = 1; i <= 20; ++i) {
+    EXPECT_NEAR(result.departures[static_cast<std::size_t>(i - 1)],
+                0.1 + i * 1000.0 / rate, 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace lsm::core

@@ -1,0 +1,58 @@
+#include "core/params.h"
+
+#include <gtest/gtest.h>
+
+namespace lsm::core {
+namespace {
+
+TEST(SmootherParams, DefaultsAreValidAndGuaranteeTheBound) {
+  const SmootherParams params;
+  EXPECT_NO_THROW(params.validate());
+  // D = 0.2, K = 1, tau = 1/30: 0.2 >= 2/30.
+  EXPECT_TRUE(params.guarantees_delay_bound());
+}
+
+TEST(SmootherParams, ValidateRejectsStructuralErrors) {
+  SmootherParams params;
+  params.D = 0.0;
+  EXPECT_THROW(params.validate(), InvalidParams);
+  params = SmootherParams{};
+  params.K = -1;
+  EXPECT_THROW(params.validate(), InvalidParams);
+  params = SmootherParams{};
+  params.H = 0;
+  EXPECT_THROW(params.validate(), InvalidParams);
+  params = SmootherParams{};
+  params.tau = -0.1;
+  EXPECT_THROW(params.validate(), InvalidParams);
+}
+
+TEST(SmootherParams, KZeroIsValidButUnguaranteed) {
+  SmootherParams params;
+  params.K = 0;
+  EXPECT_NO_THROW(params.validate());
+  EXPECT_FALSE(params.guarantees_delay_bound());
+}
+
+TEST(SmootherParams, EqualityBoundaryOfEquationOne) {
+  SmootherParams params;
+  params.tau = 1.0 / 30.0;
+  params.K = 1;
+  params.D = 2.0 / 30.0;  // exactly (K+1) tau
+  EXPECT_TRUE(params.guarantees_delay_bound());
+  params.D = 2.0 / 30.0 - 1e-6;
+  EXPECT_FALSE(params.guarantees_delay_bound());
+}
+
+TEST(SmootherParams, PaperFigureEightParameterization) {
+  // D = 0.1333 + (K+1)/30 with H = N: always inside the theorem regime.
+  for (int k = 1; k <= 12; ++k) {
+    SmootherParams params;
+    params.K = k;
+    params.D = 0.1333 + (k + 1) / 30.0;
+    EXPECT_TRUE(params.guarantees_delay_bound()) << "K=" << k;
+  }
+}
+
+}  // namespace
+}  // namespace lsm::core

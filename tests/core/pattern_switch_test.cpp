@@ -1,0 +1,150 @@
+// Mid-stream coding-pattern changes (paper, Section 4.4: "An MPEG encoder
+// may change the values of M and N adaptively as the scene ... changes.
+// Note that the basic algorithm does not depend on M, and it uses N only in
+// picture size estimation.") We concatenate a Driving1-style segment
+// (N=9, M=3) with a Driving2-style one (N=6, M=2) and verify:
+//   * Theorem 1 properties hold across the switch for every estimator
+//     (estimates may be wrong; guarantees may not);
+//   * type-aware estimators (last-same-type) degrade more gracefully than
+//     the fixed-N pattern walk right after the switch.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/metrics.h"
+#include "core/smoother.h"
+#include "core/theorem.h"
+#include "trace/sequences.h"
+
+namespace lsm::core {
+namespace {
+
+using lsm::trace::GopPattern;
+using lsm::trace::Trace;
+
+Trace switched_trace() {
+  // First half of the Driving video coded as N=9/M=3, second half as
+  // N=6/M=2 — a plausible adaptive-encoder behaviour at the scene change.
+  const Trace d1 = lsm::trace::driving1().slice(1, 153);   // 17 patterns
+  const Trace d2 = lsm::trace::driving2().slice(155, 300); // from an I? see below
+  // Make the second segment begin at an I picture: driving2 has N=6, so
+  // pictures 151, 157, ... are I; 155 is not. Use 157.
+  const Trace d2_aligned = lsm::trace::driving2().slice(157, 300);
+  (void)d2;
+  return lsm::trace::concat(d1, d2_aligned);
+}
+
+TEST(PatternSwitch, ConcatKeepsBothTypeSequences) {
+  const Trace t = switched_trace();
+  EXPECT_EQ(t.picture_count(), 153 + (300 - 157 + 1));
+  // Picture 154 is the first of the second segment: an I picture.
+  EXPECT_EQ(t.type_of(154), lsm::trace::PictureType::I);
+  // Pattern of the second segment is IBPBPB: picture 155 is B, 156 is P.
+  EXPECT_EQ(t.type_of(155), lsm::trace::PictureType::B);
+  EXPECT_EQ(t.type_of(156), lsm::trace::PictureType::P);
+}
+
+TEST(PatternSwitch, TheoremHoldsAcrossTheSwitchForEveryEstimator) {
+  const Trace t = switched_trace();
+  SmootherParams params;
+  params.tau = t.tau();
+  params.D = 0.2;
+  params.H = 9;
+
+  const PatternEstimator pattern(t);
+  const OracleEstimator oracle(t);
+  const LastSameTypeEstimator last(t);
+  const TypeMeanEstimator mean(t);
+  const PhaseEwmaEstimator ewma(t);
+  for (const SizeEstimator* estimator :
+       {static_cast<const SizeEstimator*>(&pattern),
+        static_cast<const SizeEstimator*>(&oracle),
+        static_cast<const SizeEstimator*>(&last),
+        static_cast<const SizeEstimator*>(&mean),
+        static_cast<const SizeEstimator*>(&ewma)}) {
+    const SmoothingResult result = smooth(t, params, *estimator);
+    const TheoremReport report = check_theorem1(result, t);
+    EXPECT_TRUE(report.delay_bound_ok)
+        << estimator->name() << " max delay " << report.max_delay;
+    EXPECT_TRUE(report.continuous_service_ok) << estimator->name();
+  }
+}
+
+TEST(PatternSwitch, SmoothingQualityRemainsReasonable) {
+  // Even with the misleading fixed-N estimator the schedule must stay far
+  // smoother than the unsmoothed stream.
+  const Trace t = switched_trace();
+  SmootherParams params;
+  params.tau = t.tau();
+  params.D = 0.2;
+  params.H = 9;
+  const SmoothingResult result = smooth_basic(t, params);
+  const RateSchedule schedule = result.schedule();
+  double unsmoothed_peak = 0.0;
+  for (int i = 1; i <= t.picture_count(); ++i) {
+    unsmoothed_peak = std::max(
+        unsmoothed_peak, static_cast<double>(t.size_of(i)) / t.tau());
+  }
+  EXPECT_LT(schedule.max_rate(), 0.55 * unsmoothed_peak);
+}
+
+TEST(PatternSwitch, OracleBeatsFixedPatternWalkAfterSwitch) {
+  // The fixed-N pattern estimator misreads phases after the switch; the
+  // oracle does not. Compare rate changes in the post-switch region.
+  const Trace t = switched_trace();
+  SmootherParams params;
+  params.tau = t.tau();
+  params.D = 0.2;
+  params.H = 9;
+  const PatternEstimator pattern(t);
+  const OracleEstimator oracle(t);
+  const SmoothingResult with_pattern = smooth(t, params, pattern);
+  const SmoothingResult with_oracle = smooth(t, params, oracle);
+  auto changes_after = [](const SmoothingResult& result, int from) {
+    int count = 0;
+    for (std::size_t k = static_cast<std::size_t>(from);
+         k < result.diagnostics.size(); ++k) {
+      count += result.diagnostics[k].rate_changed ? 1 : 0;
+    }
+    return count;
+  };
+  EXPECT_LE(changes_after(with_oracle, 153), changes_after(with_pattern, 153));
+}
+
+TEST(PatternSwitch, ScaledTraceScalesRatesExactly) {
+  // Every quantity in the algorithm is homogeneous of degree one in the
+  // picture sizes — PROVIDED the warm-up default estimates are scaled too
+  // (they are absolute constants from the paper, so smooth_basic alone is
+  // not scale-invariant during the first pattern).
+  const Trace t = lsm::trace::backyard();
+  const Trace doubled = t.scaled(2.0);
+  EXPECT_NEAR(doubled.mean_rate(), 2.0 * t.mean_rate(),
+              0.001 * t.mean_rate());
+  SmootherParams params;
+  params.tau = t.tau();
+  params.H = 12;
+  const DefaultSizes base_defaults;
+  const DefaultSizes doubled_defaults{2 * base_defaults.i_bits,
+                                      2 * base_defaults.p_bits,
+                                      2 * base_defaults.b_bits};
+  const PatternEstimator base_estimator(t, base_defaults);
+  const PatternEstimator doubled_estimator(doubled, doubled_defaults);
+  const SmoothingResult base = smooth(t, params, base_estimator);
+  const SmoothingResult scaled = smooth(doubled, params, doubled_estimator);
+  ASSERT_EQ(base.sends.size(), scaled.sends.size());
+  for (std::size_t k = 0; k < base.sends.size(); ++k) {
+    ASSERT_NEAR(scaled.sends[k].rate, 2.0 * base.sends[k].rate,
+                1e-6 * scaled.sends[k].rate)
+        << "picture " << k + 1;
+  }
+}
+
+TEST(PatternSwitch, ConcatRejectsMismatchedPeriods) {
+  const Trace a("a", GopPattern(3, 3), {10, 20, 30}, 0.1);
+  const Trace b("b", GopPattern(3, 3), {10, 20, 30}, 0.2);
+  EXPECT_THROW(lsm::trace::concat(a, b), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lsm::core

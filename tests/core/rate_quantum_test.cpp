@@ -1,0 +1,115 @@
+// Discrete-rate channels (p x 64 kb/s classes): rates snap to the grid
+// whenever a multiple fits inside the Theorem 1 interval, and the
+// guarantees are untouched either way.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/metrics.h"
+#include "core/smoother.h"
+#include "core/theorem.h"
+#include "trace/sequences.h"
+
+namespace lsm::core {
+namespace {
+
+using lsm::trace::Trace;
+
+constexpr double kQuantum = 64000.0;  // the classic 64 kb/s granule
+
+SmootherParams params_for(const Trace& trace) {
+  SmootherParams params;
+  params.tau = trace.tau();
+  params.D = 0.2;
+  params.H = trace.pattern().N();
+  params.rate_quantum = kQuantum;
+  return params;
+}
+
+bool is_multiple(double rate) {
+  const double periods = rate / kQuantum;
+  return std::abs(periods - std::round(periods)) < 1e-6;
+}
+
+TEST(RateQuantum, RatesLandOnTheGridWheneverAMultipleFits) {
+  // Early exits pin the rate to an interval endpoint of an EMPTY interval
+  // (lower > upper), where no multiple can fit; every other picture whose
+  // interval spans at least one grid point must be on the grid.
+  for (const Trace& t : lsm::trace::paper_sequences()) {
+    const SmoothingResult result = smooth_basic(t, params_for(t));
+    int on_grid = 0;
+    int grid_possible = 0;
+    for (std::size_t k = 0; k < result.sends.size(); ++k) {
+      const StepDiagnostics& diag = result.diagnostics[k];
+      const double lower = diag.lower;
+      const double upper = diag.upper;
+      const bool fits = !diag.early_exit &&
+                        std::floor(upper / kQuantum) * kQuantum >= lower &&
+                        std::floor(upper / kQuantum) > 0.0;
+      if (!fits) continue;
+      ++grid_possible;
+      if (is_multiple(result.sends[k].rate)) ++on_grid;
+    }
+    EXPECT_GT(grid_possible, t.picture_count() / 2) << t.name();
+    EXPECT_EQ(on_grid, grid_possible) << t.name();
+  }
+}
+
+TEST(RateQuantum, TheoremStillHolds) {
+  for (const Trace& t : lsm::trace::paper_sequences()) {
+    const SmoothingResult result = smooth_basic(t, params_for(t));
+    const TheoremReport report = check_theorem1(result, t);
+    EXPECT_TRUE(report.all_ok()) << t.name() << " max delay "
+                                 << report.max_delay;
+  }
+}
+
+TEST(RateQuantum, SnappingReducesRateChanges) {
+  // Distinct near-equal rates collapse onto the same grid point.
+  const Trace t = lsm::trace::driving1();
+  SmootherParams continuous = params_for(t);
+  continuous.rate_quantum = 0.0;
+  const int with_grid =
+      smooth_basic(t, params_for(t)).rate_change_count();
+  const int without_grid =
+      smooth_basic(t, continuous).rate_change_count();
+  EXPECT_LE(with_grid, without_grid);
+}
+
+TEST(RateQuantum, CoarseGridFallsBackToExactRatesWhenNothingFits) {
+  // A grid coarser than the feasible interval: the algorithm must still
+  // produce a valid schedule (exact rates) rather than fail.
+  const Trace t = lsm::trace::backyard();
+  SmootherParams params = params_for(t);
+  params.rate_quantum = 50e6;  // 50 Mbps granule: no multiple ever fits
+  const SmoothingResult result = smooth_basic(t, params);
+  const TheoremReport report = check_theorem1(result, t);
+  EXPECT_TRUE(report.all_ok());
+  for (const PictureSend& send : result.sends) {
+    ASSERT_GT(send.rate, 0.0);
+    ASSERT_LT(send.rate, 50e6);
+  }
+}
+
+TEST(RateQuantum, ZeroQuantumMatchesContinuousExactly) {
+  const Trace t = lsm::trace::tennis();
+  SmootherParams a = params_for(t);
+  a.rate_quantum = 0.0;
+  SmootherParams b = params_for(t);
+  b.rate_quantum = 0.0;
+  const SmoothingResult ra = smooth_basic(t, a);
+  const SmoothingResult rb = smooth_basic(t, b);
+  for (std::size_t k = 0; k < ra.sends.size(); ++k) {
+    ASSERT_DOUBLE_EQ(ra.sends[k].rate, rb.sends[k].rate);
+  }
+}
+
+TEST(RateQuantum, NegativeQuantumRejected) {
+  const Trace t = lsm::trace::backyard();
+  SmootherParams params = params_for(t);
+  params.rate_quantum = -1.0;
+  EXPECT_THROW(smooth_basic(t, params), InvalidParams);
+}
+
+}  // namespace
+}  // namespace lsm::core

@@ -1,0 +1,99 @@
+#include "core/schedule.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace lsm::core {
+namespace {
+
+RateSchedule two_step() {
+  return RateSchedule({RateSegment{0.0, 1.0, 10.0},
+                       RateSegment{1.0, 3.0, 5.0}});
+}
+
+TEST(RateSchedule, RateAtQueriesSegments) {
+  const RateSchedule s = two_step();
+  EXPECT_DOUBLE_EQ(s.rate_at(0.5), 10.0);
+  EXPECT_DOUBLE_EQ(s.rate_at(2.0), 5.0);
+  EXPECT_DOUBLE_EQ(s.rate_at(1.0), 5.0);  // right-continuous at breakpoint
+  EXPECT_DOUBLE_EQ(s.rate_at(-0.1), 0.0);
+  EXPECT_DOUBLE_EQ(s.rate_at(3.5), 0.0);
+}
+
+TEST(RateSchedule, GapsReadAsZero) {
+  const RateSchedule s({RateSegment{0.0, 1.0, 4.0},
+                        RateSegment{2.0, 3.0, 6.0}});
+  EXPECT_DOUBLE_EQ(s.rate_at(1.5), 0.0);
+  EXPECT_DOUBLE_EQ(s.integral(0.0, 3.0), 10.0);
+}
+
+TEST(RateSchedule, IntegralPartialOverlap) {
+  const RateSchedule s = two_step();
+  EXPECT_DOUBLE_EQ(s.integral(0.5, 2.0), 0.5 * 10 + 1.0 * 5);
+  EXPECT_DOUBLE_EQ(s.integral(-1.0, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(s.integral(2.5, 10.0), 2.5);
+  EXPECT_DOUBLE_EQ(s.integral(5.0, 6.0), 0.0);
+  EXPECT_THROW(s.integral(2.0, 1.0), std::invalid_argument);
+}
+
+TEST(RateSchedule, MaxRateAndTimes) {
+  const RateSchedule s = two_step();
+  EXPECT_DOUBLE_EQ(s.max_rate(), 10.0);
+  EXPECT_DOUBLE_EQ(s.start_time(), 0.0);
+  EXPECT_DOUBLE_EQ(s.end_time(), 3.0);
+  const RateSchedule empty;
+  EXPECT_DOUBLE_EQ(empty.max_rate(), 0.0);
+  EXPECT_TRUE(empty.empty());
+}
+
+TEST(RateSchedule, BreakpointsAreSortedUnique) {
+  const RateSchedule s = two_step();
+  const std::vector<Seconds> points = s.breakpoints();
+  ASSERT_EQ(points.size(), 3u);
+  EXPECT_DOUBLE_EQ(points[0], 0.0);
+  EXPECT_DOUBLE_EQ(points[1], 1.0);
+  EXPECT_DOUBLE_EQ(points[2], 3.0);
+}
+
+TEST(RateSchedule, ShiftedLeftMovesGraph) {
+  const RateSchedule s = two_step();
+  const RateSchedule shifted = s.shifted_left(1.0);
+  // shifted(t) == s(t + 1): s at 0.5 equals shifted at -0.5.
+  EXPECT_DOUBLE_EQ(shifted.rate_at(-0.5), 10.0);
+  EXPECT_DOUBLE_EQ(shifted.rate_at(1.5), 5.0);
+  EXPECT_DOUBLE_EQ(shifted.rate_at(2.5), 0.0);
+}
+
+TEST(RateSchedule, RejectsInvalidSegments) {
+  EXPECT_THROW(RateSchedule({RateSegment{1.0, 1.0, 5.0}}),
+               std::invalid_argument);
+  EXPECT_THROW(RateSchedule({RateSegment{2.0, 1.0, 5.0}}),
+               std::invalid_argument);
+  EXPECT_THROW(RateSchedule({RateSegment{0.0, 1.0, -5.0}}),
+               std::invalid_argument);
+  EXPECT_THROW(RateSchedule({RateSegment{0.0, 2.0, 5.0},
+                             RateSegment{1.0, 3.0, 5.0}}),
+               std::invalid_argument);
+}
+
+TEST(RateSchedule, FromSendsBuildsContiguousSegments) {
+  std::vector<PictureSend> sends(2);
+  sends[0] = PictureSend{1, 0.0, 1.0, 100.0, 1.0, 100};
+  sends[1] = PictureSend{2, 1.0, 1.5, 200.0, 0.6, 100};
+  const RateSchedule s = RateSchedule::from_sends(sends);
+  ASSERT_EQ(s.segments().size(), 2u);
+  EXPECT_DOUBLE_EQ(s.rate_at(0.5), 100.0);
+  EXPECT_DOUBLE_EQ(s.rate_at(1.2), 200.0);
+}
+
+TEST(RateSchedule, FromSendsSkipsZeroDurationSends) {
+  std::vector<PictureSend> sends(2);
+  sends[0] = PictureSend{1, 0.0, 1.0, 100.0, 1.0, 100};
+  sends[1] = PictureSend{2, 1.0, 1.0, 1e12, 0.0, 0};
+  const RateSchedule s = RateSchedule::from_sends(sends);
+  EXPECT_EQ(s.segments().size(), 1u);
+}
+
+}  // namespace
+}  // namespace lsm::core

@@ -1,0 +1,162 @@
+#include "core/streaming.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/smoother.h"
+#include "core/theorem.h"
+#include "trace/sequences.h"
+
+namespace lsm::core {
+namespace {
+
+using lsm::trace::GopPattern;
+using lsm::trace::Trace;
+
+SmootherParams params_for(const Trace& trace, double D = 0.2) {
+  SmootherParams params;
+  params.tau = trace.tau();
+  params.H = trace.pattern().N();
+  params.D = D;
+  return params;
+}
+
+TEST(StreamingSmoother, PushAllThenFinishMatchesBatchExactly) {
+  for (const Trace& t : lsm::trace::paper_sequences()) {
+    const SmootherParams params = params_for(t);
+    const SmoothingResult batch = smooth_basic(t, params);
+
+    StreamingSmoother streaming(t.pattern(), params);
+    for (int i = 1; i <= t.picture_count(); ++i) {
+      streaming.push(t.size_of(i));
+    }
+    streaming.finish();
+    const std::vector<PictureSend> sends = streaming.drain();
+
+    ASSERT_EQ(sends.size(), batch.sends.size()) << t.name();
+    for (std::size_t k = 0; k < sends.size(); ++k) {
+      ASSERT_DOUBLE_EQ(sends[k].rate, batch.sends[k].rate)
+          << t.name() << " picture " << k + 1;
+      ASSERT_DOUBLE_EQ(sends[k].start, batch.sends[k].start);
+      ASSERT_DOUBLE_EQ(sends[k].depart, batch.sends[k].depart);
+    }
+  }
+}
+
+TEST(StreamingSmoother, EagerDrainMatchesBatchAwayFromTheTail) {
+  // Interleave push/drain; decisions for pictures whose lookahead never
+  // crosses the (unknown) sequence end must equal the batch engine's.
+  const Trace t = lsm::trace::driving1();
+  const SmootherParams params = params_for(t);
+  const SmoothingResult batch = smooth_basic(t, params);
+
+  StreamingSmoother streaming(t.pattern(), params);
+  std::vector<PictureSend> sends;
+  for (int i = 1; i <= t.picture_count(); ++i) {
+    streaming.push(t.size_of(i));
+    for (const PictureSend& send : streaming.drain()) {
+      sends.push_back(send);
+    }
+  }
+  streaming.finish();
+  for (const PictureSend& send : streaming.drain()) sends.push_back(send);
+
+  ASSERT_EQ(sends.size(), batch.sends.size());
+  const std::size_t safe = sends.size() - static_cast<std::size_t>(params.H);
+  for (std::size_t k = 0; k < safe; ++k) {
+    ASSERT_DOUBLE_EQ(sends[k].rate, batch.sends[k].rate) << "picture " << k + 1;
+  }
+}
+
+TEST(StreamingSmoother, DecisionsAreCausal) {
+  // Nothing can be drained before the K-th picture is pushed; afterwards,
+  // each drained decision's t_i lies within pushed time.
+  const Trace t = lsm::trace::tennis();
+  SmootherParams params = params_for(t);
+  params.K = 2;
+  StreamingSmoother streaming(t.pattern(), params);
+  EXPECT_TRUE(streaming.drain().empty());
+  streaming.push(t.size_of(1));
+  EXPECT_TRUE(streaming.drain().empty());  // K = 2: picture 2 not yet pushed
+  streaming.push(t.size_of(2));
+  int drained = 0;
+  for (int i = 3; i <= t.picture_count(); ++i) {
+    for (const PictureSend& send : streaming.drain()) {
+      ASSERT_LE(send.start,
+                streaming.pushed_count() * params.tau + 1e-9);
+      ++drained;
+    }
+    streaming.push(t.size_of(i));
+  }
+  streaming.finish();
+  drained += static_cast<int>(streaming.drain().size());
+  EXPECT_EQ(drained, t.picture_count());
+}
+
+TEST(StreamingSmoother, TheoremHoldsOnStreamedSchedule) {
+  const Trace t = lsm::trace::backyard();
+  const SmootherParams params = params_for(t);
+  StreamingSmoother streaming(t.pattern(), params);
+  std::vector<PictureSend> sends;
+  for (int i = 1; i <= t.picture_count(); ++i) {
+    streaming.push(t.size_of(i));
+    for (const PictureSend& send : streaming.drain()) sends.push_back(send);
+  }
+  streaming.finish();
+  for (const PictureSend& send : streaming.drain()) sends.push_back(send);
+
+  SmoothingResult result;
+  result.sends = sends;
+  result.params = params;
+  const TheoremReport report = check_theorem1(result, t);
+  EXPECT_TRUE(report.delay_bound_ok) << "max delay " << report.max_delay;
+  EXPECT_TRUE(report.continuous_service_ok);
+}
+
+TEST(StreamingSmoother, UnboundedRunStaysBoundedInMemoryUse) {
+  // Simulate a long live session (10,000 pictures) with eager draining; the
+  // smoother must keep deciding and never stall.
+  const GopPattern pattern(9, 3);
+  SmootherParams params;
+  params.H = 9;
+  StreamingSmoother streaming(pattern, params);
+  int decided = 0;
+  for (int i = 1; i <= 10000; ++i) {
+    const Bits size = pattern.type_of(i) == lsm::trace::PictureType::I
+                          ? 180000
+                      : pattern.type_of(i) == lsm::trace::PictureType::P
+                          ? 80000
+                          : 22000;
+    streaming.push(size + (i % 7) * 1000);
+    decided += static_cast<int>(streaming.drain().size());
+  }
+  // All but a bounded tail must be decided long before finish.
+  EXPECT_GE(decided, 10000 - 2 * params.H - params.K);
+  streaming.finish();
+  decided += static_cast<int>(streaming.drain().size());
+  EXPECT_EQ(decided, 10000);
+}
+
+TEST(StreamingSmoother, RejectsMisuse) {
+  StreamingSmoother streaming(GopPattern(9, 3), SmootherParams{});
+  EXPECT_THROW(streaming.push(0), std::invalid_argument);
+  streaming.push(1000);
+  streaming.finish();
+  EXPECT_THROW(streaming.push(1000), std::logic_error);
+  SmootherParams bad;
+  bad.H = 0;
+  EXPECT_THROW(StreamingSmoother(GopPattern(9, 3), bad), InvalidParams);
+}
+
+TEST(StreamingSmoother, FinishIsIdempotent) {
+  StreamingSmoother streaming(GopPattern(3, 3), SmootherParams{});
+  streaming.push(5000);
+  streaming.finish();
+  streaming.finish();
+  EXPECT_EQ(streaming.drain().size(), 1u);
+  EXPECT_TRUE(streaming.drain().empty());
+}
+
+}  // namespace
+}  // namespace lsm::core

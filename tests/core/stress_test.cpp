@@ -1,0 +1,116 @@
+// Long-duration and adversarial stress: the algorithm must stay correct and
+// fast far beyond the paper's 10-second clips (a transport protocol runs
+// for hours). Uses the fitted statistical model to generate long traces.
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "core/smoother.h"
+#include "core/streaming.h"
+#include "core/theorem.h"
+#include "trace/model.h"
+#include "trace/sequences.h"
+
+namespace lsm::core {
+namespace {
+
+using lsm::trace::Trace;
+using lsm::trace::TraceModel;
+
+TEST(Stress, TenMinutesOfVideoSmoothsCorrectly) {
+  const TraceModel model = TraceModel::fit(lsm::trace::driving1());
+  const Trace long_trace = model.generate(18000, 41);  // 10 minutes
+  SmootherParams params;
+  params.tau = long_trace.tau();
+  params.D = 0.2;
+  params.H = 9;
+  const SmoothingResult result = smooth_basic(long_trace, params);
+  const TheoremReport report = check_theorem1(result, long_trace);
+  EXPECT_TRUE(report.all_ok()) << "max delay " << report.max_delay;
+}
+
+TEST(Stress, SmoothingIsFastEnoughForRealTimeByOrdersOfMagnitude) {
+  const TraceModel model = TraceModel::fit(lsm::trace::tennis());
+  const Trace long_trace = model.generate(18000, 42);
+  SmootherParams params;
+  params.tau = long_trace.tau();
+  params.D = 0.2;
+  params.H = 9;
+  const auto begin = std::chrono::steady_clock::now();
+  const SmoothingResult result = smooth_basic(long_trace, params);
+  const auto elapsed = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - begin)
+                           .count();
+  EXPECT_EQ(result.sends.size(), 18000u);
+  // 10 minutes of video must smooth in well under one second of CPU.
+  EXPECT_LT(elapsed, 1.0);
+}
+
+TEST(Stress, StreamingSmootherHandlesAnHourLiveSession) {
+  const TraceModel model = TraceModel::fit(lsm::trace::backyard());
+  const Trace hour = model.generate(108000, 43);  // 60 minutes
+  SmootherParams params;
+  params.tau = hour.tau();
+  params.D = 0.2;
+  params.H = 12;
+  StreamingSmoother streaming(hour.pattern(), params);
+  Seconds worst_delay = 0.0;
+  std::int64_t decided = 0;
+  Seconds previous_depart = -1.0;
+  for (int i = 1; i <= hour.picture_count(); ++i) {
+    streaming.push(hour.size_of(i));
+    for (const PictureSend& send : streaming.drain()) {
+      worst_delay = std::max(worst_delay, send.delay);
+      if (previous_depart >= 0.0) {
+        ASSERT_GE(send.start, previous_depart - 1e-9);
+      }
+      previous_depart = send.depart;
+      ++decided;
+    }
+  }
+  streaming.finish();
+  for (const PictureSend& send : streaming.drain()) {
+    worst_delay = std::max(worst_delay, send.delay);
+    ++decided;
+  }
+  EXPECT_EQ(decided, hour.picture_count());
+  EXPECT_LE(worst_delay, params.D + 1e-9);
+}
+
+TEST(Stress, WorstCaseAlternatingSizesAtTheEquationOneBoundary) {
+  // D exactly (K+1) tau with violently alternating sizes: the tightest
+  // legal regime. Theorem 1 must still hold.
+  std::vector<lsm::trace::Bits> sizes;
+  for (int i = 0; i < 3000; ++i) {
+    sizes.push_back(i % 2 == 0 ? 1000000 : 100);
+  }
+  const Trace t("nasty", lsm::trace::GopPattern(3, 3), std::move(sizes));
+  SmootherParams params;
+  params.tau = t.tau();
+  params.K = 1;
+  params.D = 2.0 * params.tau;
+  params.H = 3;
+  const SmoothingResult result = smooth_basic(t, params);
+  const TheoremReport report = check_theorem1(result, t);
+  EXPECT_TRUE(report.all_ok()) << "worst excess " << report.worst_excess;
+}
+
+TEST(Stress, HugePictureAmongTinyOnes) {
+  std::vector<lsm::trace::Bits> sizes(600, 500);
+  sizes[299] = 50000000;  // a 50-megabit outlier
+  const Trace t("outlier", lsm::trace::GopPattern(6, 3), std::move(sizes));
+  SmootherParams params;
+  params.tau = t.tau();
+  params.D = 0.1;
+  params.H = 6;
+  const SmoothingResult result = smooth_basic(t, params);
+  const TheoremReport report = check_theorem1(result, t);
+  EXPECT_TRUE(report.all_ok());
+  // The outlier dominates the peak: it must be sent in under D plus its own
+  // arrival period, i.e. at >= size/D rate.
+  const RateSchedule schedule = result.schedule();
+  EXPECT_GE(schedule.max_rate(), 50000000.0 / params.D * 0.9);
+}
+
+}  // namespace
+}  // namespace lsm::core

@@ -1,0 +1,186 @@
+// Property tests for Theorem 1: across traces (paper sequences, randomized
+// synthetic ones, and adversarial hand-built ones) and a sweep of (D, K, H)
+// inside the theorem regime, every run must satisfy
+//
+//   (7) delay_i <= D,   (8) t_{i+1} <= i tau + D,   (9) t_{i+1} = d_i,
+//
+// with finite positive rates. Estimate quality must be irrelevant.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/metrics.h"
+#include "core/smoother.h"
+#include "core/theorem.h"
+#include "sim/rng.h"
+#include "trace/sequences.h"
+#include "trace/synthetic.h"
+
+namespace lsm::core {
+namespace {
+
+using lsm::trace::GopPattern;
+using lsm::trace::Trace;
+
+/// Trace generators indexed by name, covering benign and hostile shapes.
+Trace make_trace(const std::string& id) {
+  if (id == "driving1") return lsm::trace::driving1();
+  if (id == "driving2") return lsm::trace::driving2();
+  if (id == "tennis") return lsm::trace::tennis();
+  if (id == "backyard") return lsm::trace::backyard();
+  if (id == "random") {
+    // Uniformly random sizes: the pattern estimator is useless here, which
+    // is exactly the point — Theorem 1 must not care.
+    lsm::sim::Rng rng(2024);
+    std::vector<lsm::trace::Bits> sizes;
+    for (int i = 0; i < 200; ++i) sizes.push_back(rng.uniform_int(500, 500000));
+    return Trace("random", GopPattern(9, 3), std::move(sizes));
+  }
+  if (id == "spiky") {
+    // One enormous picture in an otherwise small sequence.
+    std::vector<lsm::trace::Bits> sizes(120, 5000);
+    sizes[60] = 5000000;
+    return Trace("spiky", GopPattern(6, 2), std::move(sizes));
+  }
+  if (id == "alternating") {
+    std::vector<lsm::trace::Bits> sizes;
+    for (int i = 0; i < 150; ++i) sizes.push_back(i % 2 == 0 ? 300000 : 1000);
+    return Trace("alternating", GopPattern(3, 3), std::move(sizes));
+  }
+  if (id == "tiny") {
+    return Trace("tiny", GopPattern(3, 3), {1000, 200, 300});
+  }
+  if (id == "growing") {
+    std::vector<lsm::trace::Bits> sizes;
+    for (int i = 1; i <= 90; ++i) sizes.push_back(1000 * i);
+    return Trace("growing", GopPattern(9, 3), std::move(sizes));
+  }
+  throw std::logic_error("unknown trace id " + id);
+}
+
+struct Case {
+  std::string trace_id;
+  double slack;  // D = (K+1) tau + slack
+  int K;
+  int H;
+};
+
+std::string case_name(const testing::TestParamInfo<Case>& info) {
+  const Case& c = info.param;
+  std::string slack_tag = std::to_string(static_cast<int>(c.slack * 1000));
+  return c.trace_id + "_s" + slack_tag + "_K" + std::to_string(c.K) + "_H" +
+         std::to_string(c.H);
+}
+
+class TheoremProperty : public testing::TestWithParam<Case> {};
+
+TEST_P(TheoremProperty, AllThreePropertiesHold) {
+  const Case& c = GetParam();
+  const Trace t = make_trace(c.trace_id);
+  SmootherParams p;
+  p.tau = t.tau();
+  p.K = c.K;
+  p.H = c.H;
+  p.D = (c.K + 1) * p.tau + c.slack;
+  ASSERT_TRUE(p.guarantees_delay_bound());
+
+  for (const Variant variant : {Variant::kBasic, Variant::kMovingAverage}) {
+    const PatternEstimator est(t);
+    const SmoothingResult result = smooth(t, p, est, variant);
+    ASSERT_EQ(result.sends.size(),
+              static_cast<std::size_t>(t.picture_count()));
+
+    const TheoremReport report = check_theorem1(result, t);
+    EXPECT_TRUE(report.delay_bound_ok)
+        << "max delay " << report.max_delay << " vs D " << p.D << " ("
+        << report.delay_violations << " violations)";
+    EXPECT_TRUE(report.start_bound_ok);
+    EXPECT_TRUE(report.continuous_service_ok);
+
+    for (const PictureSend& send : result.sends) {
+      ASSERT_TRUE(std::isfinite(send.rate));
+      ASSERT_GT(send.rate, 0.0);
+      ASSERT_GE(send.delay, 0.0);
+    }
+  }
+}
+
+TEST_P(TheoremProperty, EstimatorChoiceCannotBreakTheTheorem) {
+  const Case& c = GetParam();
+  const Trace t = make_trace(c.trace_id);
+  SmootherParams p;
+  p.tau = t.tau();
+  p.K = c.K;
+  p.H = c.H;
+  p.D = (c.K + 1) * p.tau + c.slack;
+
+  const PatternEstimator pattern(t);
+  const OracleEstimator oracle(t);
+  const LastSameTypeEstimator last(t);
+  const TypeMeanEstimator mean(t);
+  for (const SizeEstimator* est :
+       {static_cast<const SizeEstimator*>(&pattern),
+        static_cast<const SizeEstimator*>(&oracle),
+        static_cast<const SizeEstimator*>(&last),
+        static_cast<const SizeEstimator*>(&mean)}) {
+    const SmoothingResult result = smooth(t, p, *est);
+    const TheoremReport report = check_theorem1(result, t);
+    EXPECT_TRUE(report.all_ok()) << est->name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TheoremProperty,
+    testing::Values(
+        // Paper sequences at the paper's parameter points.
+        Case{"driving1", 0.1333, 1, 9}, Case{"driving1", 0.0333, 1, 9},
+        Case{"driving1", 0.1333, 9, 9}, Case{"driving1", 0.2, 1, 1},
+        Case{"driving2", 0.1333, 1, 6}, Case{"driving2", 0.0, 1, 6},
+        Case{"tennis", 0.1333, 1, 9}, Case{"tennis", 0.1, 3, 9},
+        Case{"backyard", 0.1333, 1, 12}, Case{"backyard", 0.05, 2, 12},
+        // Exact boundary of Eq. 1: D = (K+1) tau.
+        Case{"driving1", 0.0, 1, 9}, Case{"tennis", 0.0, 2, 9},
+        Case{"backyard", 0.0, 1, 1},
+        // Lookahead beyond one pattern.
+        Case{"driving1", 0.1333, 1, 18}, Case{"backyard", 0.1333, 1, 24},
+        // Hostile shapes.
+        Case{"random", 0.1, 1, 9}, Case{"random", 0.0, 1, 1},
+        Case{"spiky", 0.1, 1, 6}, Case{"spiky", 0.0, 2, 6},
+        Case{"alternating", 0.05, 1, 3}, Case{"alternating", 0.0, 1, 1},
+        Case{"tiny", 0.1, 1, 3}, Case{"tiny", 0.0, 2, 3},
+        Case{"growing", 0.1, 1, 9}, Case{"growing", 0.0, 3, 9}),
+    case_name);
+
+/// Randomized mini-fuzz: many random traces and parameter combinations.
+TEST(TheoremFuzz, RandomTracesAndParameters) {
+  lsm::sim::Rng rng(7777);
+  for (int round = 0; round < 60; ++round) {
+    const int n_pattern = static_cast<int>(rng.uniform_int(1, 4)) * 3;
+    const GopPattern pattern(n_pattern, 3);
+    const int count = static_cast<int>(rng.uniform_int(20, 120));
+    std::vector<lsm::trace::Bits> sizes;
+    sizes.reserve(static_cast<std::size_t>(count));
+    for (int i = 0; i < count; ++i) {
+      sizes.push_back(rng.uniform_int(100, 1000000));
+    }
+    const Trace t("fuzz", pattern, std::move(sizes));
+
+    SmootherParams p;
+    p.tau = t.tau();
+    p.K = static_cast<int>(rng.uniform_int(1, 4));
+    p.H = static_cast<int>(rng.uniform_int(1, 2 * n_pattern));
+    p.D = (p.K + 1) * p.tau + rng.uniform(0.0, 0.3);
+
+    const SmoothingResult result = smooth_basic(t, p);
+    const TheoremReport report = check_theorem1(result, t);
+    ASSERT_TRUE(report.all_ok())
+        << "round " << round << " K=" << p.K << " H=" << p.H << " D=" << p.D
+        << " worst excess " << report.worst_excess;
+  }
+}
+
+}  // namespace
+}  // namespace lsm::core

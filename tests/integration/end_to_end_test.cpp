@@ -1,0 +1,200 @@
+// Whole-system integration: every module in one flow.
+//
+//   synthetic video -> MPEG encoder -> coded bit stream -> structure parser
+//   -> picture-size trace -> streaming smoother (live) -> paced transport
+//   -> finite-buffer multiplexer / admission control -> receiver playback
+//
+// plus the decode path (resilient) on the same bits. If this test passes,
+// the library's pieces genuinely compose.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/buffer.h"
+#include "core/metrics.h"
+#include "core/streaming.h"
+#include "core/theorem.h"
+#include "mpeg/decoder.h"
+#include "mpeg/encoder.h"
+#include "mpeg/parser.h"
+#include "mpeg/videogen.h"
+#include "net/admission.h"
+#include "net/mux.h"
+#include "mpeg/systems.h"
+#include "net/packetize.h"
+#include "net/transport.h"
+#include "trace/sequences.h"
+
+namespace lsm {
+namespace {
+
+TEST(EndToEnd, CameraToNetworkAndBack) {
+  // 1. Camera: 3 seconds of two-scene video.
+  mpeg::VideoConfig video_config;
+  video_config.width = 160;
+  video_config.height = 96;
+  video_config.scenes = {mpeg::VideoScene{45, 1.1, 0.5},
+                         mpeg::VideoScene{45, 0.9, 0.2}};
+  video_config.seed = 404;
+  const std::vector<mpeg::Frame> video = mpeg::generate_video(video_config);
+
+  // 2. Encoder (half-pel, paper quantizers).
+  mpeg::EncoderConfig encoder_config;
+  encoder_config.pattern = trace::GopPattern(9, 3);
+  const mpeg::EncodeResult encoded =
+      mpeg::Encoder(encoder_config).encode(video);
+
+  // 3. The transport sees only the bits: recover the trace by start-code
+  //    walking and check it against the encoder's bookkeeping.
+  const mpeg::ParseResult parsed = mpeg::parse_stream(encoded.stream);
+  const trace::Trace t = parsed.display_trace("e2e");
+  ASSERT_EQ(t.picture_count(), static_cast<int>(video.size()));
+
+  // 4. Live smoothing with the streaming engine, pictures pushed as the
+  //    encoder finishes them.
+  core::SmootherParams params;
+  params.tau = t.tau();
+  params.D = 0.2;
+  params.K = 1;
+  params.H = 9;
+  core::StreamingSmoother streaming(t.pattern(), params);
+  std::vector<core::PictureSend> sends;
+  for (int i = 1; i <= t.picture_count(); ++i) {
+    streaming.push(t.size_of(i));
+    for (const core::PictureSend& send : streaming.drain()) {
+      sends.push_back(send);
+    }
+  }
+  streaming.finish();
+  for (const core::PictureSend& send : streaming.drain()) {
+    sends.push_back(send);
+  }
+  ASSERT_EQ(sends.size(), static_cast<std::size_t>(t.picture_count()));
+
+  core::SmoothingResult result;
+  result.sends = sends;
+  result.params = params;
+  const core::TheoremReport report = core::check_theorem1(result, t);
+  EXPECT_TRUE(report.all_ok());
+
+  // 5. The smoothed stream fits a channel at its own peak with near-zero
+  //    burst tolerance; the raw stream does not.
+  const core::RateSchedule schedule = result.schedule();
+  const net::StreamDescriptor descriptor =
+      net::describe_stream(schedule, schedule.max_rate() * 1.001);
+  EXPECT_LT(descriptor.sigma, 1e-3);
+
+  // 6. Cell multiplexer: smoothed cells through a link with 20% headroom
+  //    and a modest buffer lose nothing.
+  const std::vector<std::vector<net::Cell>> sources = {
+      net::packetize(result)};
+  const net::MuxConfig mux_config{t.mean_rate() * 1.2, 100};
+  const net::MuxResult mux_result =
+      net::simulate_cell_mux(sources, mux_config);
+  EXPECT_EQ(mux_result.dropped, 0);
+
+  // 7. Receiver: playout at D + latency never underflows, and the playout
+  //    buffer requirement is finite and sane.
+  const core::BufferAnalysis buffers =
+      core::analyze_buffers(t, result, 0.01, params.D + 0.01);
+  EXPECT_EQ(buffers.underflows, 0);
+  EXPECT_GT(buffers.max_receiver_bits, 0.0);
+  EXPECT_LT(buffers.max_receiver_bits, 1e7);
+
+  // 8. And the bits themselves still decode (resiliently) into frames.
+  const mpeg::ResilientDecodeResult decoded =
+      mpeg::decode_stream_resilient(encoded.stream);
+  EXPECT_TRUE(decoded.clean());
+  EXPECT_EQ(decoded.result.pictures.size(), video.size());
+}
+
+TEST(EndToEnd, SystemsTimestampsDrivePlayoutCorrectly) {
+  // Storage path: encode, pack into a systems stream, demux, and use the
+  // recovered PTS values to schedule playout against the smoothed delivery
+  // times — the receiver-side contract end to end.
+  mpeg::VideoConfig video_config;
+  video_config.width = 96;
+  video_config.height = 64;
+  video_config.scenes = {mpeg::VideoScene{27, 1.0, 0.4}};
+  video_config.seed = 71;
+  mpeg::EncoderConfig encoder_config;
+  encoder_config.pattern = trace::GopPattern(9, 3);
+  const mpeg::EncodeResult encoded =
+      mpeg::Encoder(encoder_config).encode(mpeg::generate_video(video_config));
+
+  mpeg::SystemsConfig systems_config;
+  systems_config.pes_payload_bytes = 256;
+  const mpeg::DemuxResult demuxed =
+      mpeg::demux_systems(mpeg::mux_systems(encoded, systems_config).bytes);
+  ASSERT_EQ(demuxed.elementary, encoded.stream);
+
+  // Smooth the trace and check each stamped picture's delivery precedes its
+  // PTS-derived playout instant (with the standard offset D + latency).
+  const trace::Trace t =
+      mpeg::parse_stream(demuxed.elementary).display_trace("sys");
+  core::SmootherParams params;
+  params.tau = t.tau();
+  params.D = 0.2;
+  params.H = 9;
+  const core::SmoothingResult result = core::smooth_basic(t, params);
+  const double latency = 0.01;
+  const double offset = params.D + latency;
+
+  // Each PTS is the stamped picture's display instant, so it identifies the
+  // display index directly.
+  int matched = 0;
+  for (const mpeg::PtsEntry& entry : demuxed.pts) {
+    const int display_index = static_cast<int>(
+        std::lround(entry.seconds / t.tau()));
+    ASSERT_GE(display_index, 0);
+    ASSERT_LT(display_index, t.picture_count());
+    const core::PictureSend& send =
+        result.sends[static_cast<std::size_t>(display_index)];
+    EXPECT_EQ(send.index, display_index + 1);
+    // Delivered (plus latency) no later than playout at offset + PTS.
+    EXPECT_LE(send.depart + latency, offset + entry.seconds + 1e-9)
+        << "display " << display_index;
+    ++matched;
+  }
+  EXPECT_GT(matched, t.picture_count() / 2);
+}
+
+TEST(EndToEnd, PipelineAgreesWithStreamingSmoother) {
+  // The event-driven pipeline (engine inside simulated time) and the
+  // push/drain streaming smoother must produce the same schedule for the
+  // same trace and parameters.
+  const trace::Trace t = trace::tennis();
+  core::SmootherParams params;
+  params.tau = t.tau();
+  params.D = 0.2;
+  params.H = 9;
+
+  net::PipelineConfig config;
+  config.params = params;
+  config.network_latency = 0.0;
+  const net::PipelineReport report = net::run_live_pipeline(t, config);
+
+  core::StreamingSmoother streaming(t.pattern(), params);
+  std::vector<core::PictureSend> sends;
+  for (int i = 1; i <= t.picture_count(); ++i) {
+    streaming.push(t.size_of(i));
+    for (const core::PictureSend& send : streaming.drain()) {
+      sends.push_back(send);
+    }
+  }
+  streaming.finish();
+  for (const core::PictureSend& send : streaming.drain()) {
+    sends.push_back(send);
+  }
+
+  ASSERT_EQ(report.deliveries.size(), sends.size());
+  // Away from the tail (where the pipeline's engine knows the sequence end
+  // but the streaming smoother pre-finish does not), schedules agree.
+  for (std::size_t k = 0; k + params.H < sends.size(); ++k) {
+    ASSERT_NEAR(report.deliveries[k].sender_done, sends[k].depart, 1e-9)
+        << "picture " << k + 1;
+  }
+}
+
+}  // namespace
+}  // namespace lsm

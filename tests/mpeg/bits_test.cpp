@@ -1,0 +1,141 @@
+#include "mpeg/bits.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "sim/rng.h"
+
+namespace lsm::mpeg {
+namespace {
+
+TEST(BitIo, SingleBitsRoundTrip) {
+  BitWriter writer;
+  const bool pattern[] = {true, false, true, true, false, false, true, false,
+                          true, true, true};
+  for (const bool bit : pattern) writer.put_bit(bit);
+  BitReader reader(writer.take());
+  for (const bool bit : pattern) EXPECT_EQ(reader.get_bit(), bit);
+}
+
+TEST(BitIo, MultiBitValuesRoundTrip) {
+  BitWriter writer;
+  writer.put_bits(0x5, 3);
+  writer.put_bits(0x12345, 20);
+  writer.put_bits(0xFFFFFFFF, 32);
+  writer.put_bits(0, 1);
+  BitReader reader(writer.take());
+  EXPECT_EQ(reader.get_bits(3), 0x5u);
+  EXPECT_EQ(reader.get_bits(20), 0x12345u);
+  EXPECT_EQ(reader.get_bits(32), 0xFFFFFFFFu);
+  EXPECT_EQ(reader.get_bits(1), 0u);
+}
+
+TEST(BitIo, RandomizedRoundTrip) {
+  lsm::sim::Rng rng(5);
+  std::vector<std::pair<std::uint32_t, int>> values;
+  BitWriter writer;
+  for (int k = 0; k < 5000; ++k) {
+    const int count = static_cast<int>(rng.uniform_int(1, 32));
+    const std::uint32_t value =
+        count == 32 ? static_cast<std::uint32_t>(rng.next_u64())
+                    : static_cast<std::uint32_t>(
+                          rng.uniform_int(0, (1LL << count) - 1));
+    values.emplace_back(value, count);
+    writer.put_bits(value, count);
+  }
+  BitReader reader(writer.take());
+  for (const auto& [value, count] : values) {
+    ASSERT_EQ(reader.get_bits(count), value);
+  }
+}
+
+TEST(BitIo, ValueTooWideThrows) {
+  BitWriter writer;
+  EXPECT_THROW(writer.put_bits(4, 2), std::invalid_argument);
+  EXPECT_THROW(writer.put_bits(0, 33), std::invalid_argument);
+}
+
+TEST(BitIo, ReadPastEndThrows) {
+  BitWriter writer;
+  writer.put_bits(0xA, 4);
+  BitReader reader(writer.take());
+  reader.get_bits(8);  // padded byte
+  EXPECT_THROW(reader.get_bits(1), std::out_of_range);
+}
+
+TEST(BitIo, AlignmentPadsWithZeros) {
+  BitWriter writer;
+  writer.put_bits(1, 1);
+  writer.align();
+  EXPECT_TRUE(writer.aligned());
+  writer.put_bits(0xAB, 8);
+  BitReader reader(writer.take());
+  EXPECT_EQ(reader.get_bits(8), 0x80u);
+  EXPECT_EQ(reader.get_bits(8), 0xABu);
+}
+
+TEST(BitIo, BitCountTracksWrites) {
+  BitWriter writer;
+  EXPECT_EQ(writer.bit_count(), 0);
+  writer.put_bits(1, 1);
+  EXPECT_EQ(writer.bit_count(), 1);
+  writer.put_bits(0, 10);
+  EXPECT_EQ(writer.bit_count(), 11);
+  writer.align();
+  EXPECT_EQ(writer.bit_count(), 16);
+}
+
+TEST(Escaping, StartCodePatternNeverAppearsInEscapedPayload) {
+  // Payload engineered to contain every dangerous pattern.
+  std::vector<std::uint8_t> payload = {0x00, 0x00, 0x01, 0xFF, 0x00, 0x00,
+                                       0x00, 0x00, 0x02, 0x00, 0x00, 0x03,
+                                       0x00, 0x00};
+  const std::vector<std::uint8_t> escaped = escape_payload(payload);
+  EXPECT_EQ(find_start_code(escaped, 0), -1);
+  EXPECT_EQ(unescape_payload(escaped), payload);
+}
+
+TEST(Escaping, RandomPayloadsRoundTripAndStayClean) {
+  lsm::sim::Rng rng(17);
+  for (int round = 0; round < 200; ++round) {
+    std::vector<std::uint8_t> payload;
+    const int size = static_cast<int>(rng.uniform_int(0, 300));
+    for (int k = 0; k < size; ++k) {
+      // Heavily zero-biased to stress the escaper.
+      payload.push_back(rng.bernoulli(0.6)
+                            ? 0x00
+                            : static_cast<std::uint8_t>(rng.uniform_int(0, 4)));
+    }
+    const std::vector<std::uint8_t> escaped = escape_payload(payload);
+    ASSERT_EQ(find_start_code(escaped, 0), -1) << "round " << round;
+    ASSERT_EQ(unescape_payload(escaped), payload) << "round " << round;
+  }
+}
+
+TEST(Escaping, TrailingZerosGetGuardByte) {
+  const std::vector<std::uint8_t> payload = {0xAA, 0x00, 0x00};
+  const std::vector<std::uint8_t> escaped = escape_payload(payload);
+  // A following start code must not merge with the payload tail.
+  std::vector<std::uint8_t> stream = escaped;
+  append_start_code(stream, 0x42);
+  const std::int64_t at = find_start_code(stream, 0);
+  ASSERT_GE(at, 0);
+  EXPECT_EQ(stream[static_cast<std::size_t>(at + 3)], 0x42);
+  EXPECT_EQ(at, static_cast<std::int64_t>(escaped.size()));
+}
+
+TEST(StartCodes, FindLocatesAllCodes) {
+  std::vector<std::uint8_t> stream;
+  append_start_code(stream, startcode::kSequenceHeader);
+  stream.push_back(0xAB);
+  append_start_code(stream, startcode::kPicture);
+  const std::int64_t first = find_start_code(stream, 0);
+  EXPECT_EQ(first, 0);
+  const std::int64_t second = find_start_code(stream, first + 4);
+  EXPECT_EQ(second, 5);
+  EXPECT_EQ(find_start_code(stream, second + 4), -1);
+}
+
+}  // namespace
+}  // namespace lsm::mpeg

@@ -1,0 +1,136 @@
+#include "mpeg/coding.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "sim/rng.h"
+
+namespace lsm::mpeg {
+namespace {
+
+using detail::block_of;
+using detail::DcPredictors;
+using detail::reconstruct_inter;
+using detail::reconstruct_intra;
+using detail::store_block;
+using detail::store_macroblock;
+
+MacroblockPixels random_macroblock(std::uint64_t seed) {
+  lsm::sim::Rng rng(seed);
+  MacroblockPixels mb;
+  for (auto& v : mb.y) v = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+  for (auto& v : mb.cb) v = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+  for (auto& v : mb.cr) v = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+  return mb;
+}
+
+TEST(Coding, BlockOfReadsTheRightQuadrants) {
+  MacroblockPixels mb;
+  for (int y = 0; y < 16; ++y) {
+    for (int x = 0; x < 16; ++x) {
+      mb.y[static_cast<std::size_t>(y * 16 + x)] =
+          static_cast<std::uint8_t>(y * 16 + x);
+    }
+  }
+  // Block 3 is the bottom-right luma quadrant: its (0,0) is pixel (8,8).
+  const Block block = block_of(mb, 3);
+  EXPECT_EQ(block[0], 8 * 16 + 8);
+  EXPECT_EQ(block[63], 15 * 16 + 15);
+  // Block 4/5 are the chroma planes.
+  mb.cb[0] = 99;
+  EXPECT_EQ(block_of(mb, 4)[0], 99);
+  EXPECT_THROW(block_of(mb, 6), std::invalid_argument);
+  EXPECT_THROW(block_of(mb, -1), std::invalid_argument);
+}
+
+TEST(Coding, StoreMacroblockThenBlockOfRoundTrips) {
+  const MacroblockPixels mb = random_macroblock(5);
+  Frame frame(64, 48);
+  store_macroblock(frame, 2, 1, mb);
+  const MacroblockPixels back = extract_macroblock(frame, 2, 1);
+  EXPECT_EQ(back.y, mb.y);
+  EXPECT_EQ(back.cb, mb.cb);
+  EXPECT_EQ(back.cr, mb.cr);
+}
+
+TEST(Coding, StoreBlockWritesOneBlockOnly) {
+  Frame frame(64, 48);
+  Block samples{};
+  samples.fill(200);
+  store_block(frame, 1, 1, 1, samples);  // top-right luma quadrant of MB(1,1)
+  EXPECT_EQ(frame.y.at(16 + 8, 16 + 0), 200);
+  EXPECT_EQ(frame.y.at(16 + 0, 16 + 0), 0);  // neighbouring quadrant intact
+}
+
+TEST(Coding, IntraReconstructionInvertsQuantizationApproximately) {
+  lsm::sim::Rng rng(7);
+  for (const int qscale : {2, 6, 15}) {
+    MacroblockPixels mb = random_macroblock(rng.next_u64());
+    const Block source = block_of(mb, 0);
+    Block shifted = source;
+    for (auto& s : shifted) s = static_cast<std::int16_t>(s - 128);
+    const CoeffBlock levels =
+        quantize_intra(forward_dct(shifted), qscale);
+    const Block recon = reconstruct_intra(levels, qscale);
+    // Random (noise-like) blocks are the worst case for transform coding;
+    // bound the error loosely but meaningfully.
+    double err = 0.0;
+    for (std::size_t k = 0; k < 64; ++k) {
+      err += std::abs(recon[k] - source[k]);
+    }
+    EXPECT_LT(err / 64.0, 6.0 * qscale) << "qscale " << qscale;
+  }
+}
+
+TEST(Coding, InterReconstructionAddsResidualToPrediction) {
+  // prediction + quantized(residual) must move recon toward the target.
+  const MacroblockPixels current = random_macroblock(11);
+  const MacroblockPixels prediction = random_macroblock(12);
+  const Block cur = block_of(current, 0);
+  const Block pred = block_of(prediction, 0);
+  Block residual{};
+  for (std::size_t k = 0; k < 64; ++k) {
+    residual[k] = static_cast<std::int16_t>(cur[k] - pred[k]);
+  }
+  const CoeffBlock levels = quantize_inter(forward_dct(residual), 4);
+  const Block recon = reconstruct_inter(pred, levels, 4);
+  double err_with_residual = 0.0, err_prediction_only = 0.0;
+  for (std::size_t k = 0; k < 64; ++k) {
+    err_with_residual += std::abs(recon[k] - cur[k]);
+    err_prediction_only += std::abs(pred[k] - cur[k]);
+  }
+  EXPECT_LT(err_with_residual, 0.5 * err_prediction_only);
+}
+
+TEST(Coding, ReconstructionClampsToPixelRange) {
+  CoeffBlock levels{};
+  levels[0] = 30000 / 8;  // an absurd DC
+  const Block high = reconstruct_intra(levels, 4);
+  for (const auto v : high) {
+    ASSERT_GE(v, 0);
+    ASSERT_LE(v, 255);
+  }
+  levels[0] = -30000 / 8;
+  const Block low = reconstruct_intra(levels, 4);
+  for (const auto v : low) {
+    ASSERT_GE(v, 0);
+    ASSERT_LE(v, 255);
+  }
+}
+
+TEST(Coding, DcPredictorsTrackPerComponent) {
+  DcPredictors dc;
+  dc.of(0) = 5;
+  dc.of(3) = 7;  // same luma predictor
+  EXPECT_EQ(dc.y, 7);
+  dc.of(4) = 11;
+  dc.of(5) = 13;
+  EXPECT_EQ(dc.cb, 11);
+  EXPECT_EQ(dc.cr, 13);
+  dc.reset();
+  EXPECT_EQ(dc.y + dc.cb + dc.cr, 0);
+}
+
+}  // namespace
+}  // namespace lsm::mpeg

@@ -1,0 +1,100 @@
+#include "mpeg/dct.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/rng.h"
+
+namespace lsm::mpeg {
+namespace {
+
+TEST(Dct, ConstantBlockHasOnlyDc) {
+  Block block;
+  block.fill(100);
+  const CoeffBlock coeffs = forward_dct(block);
+  // Orthonormal DCT: DC = 8 * value.
+  EXPECT_EQ(coeffs[0], 800);
+  for (std::size_t k = 1; k < 64; ++k) {
+    EXPECT_EQ(coeffs[k], 0) << "k=" << k;
+  }
+}
+
+TEST(Dct, ZeroBlockStaysZero) {
+  Block block{};
+  const CoeffBlock coeffs = forward_dct(block);
+  for (const auto c : coeffs) EXPECT_EQ(c, 0);
+  const Block back = inverse_dct(coeffs);
+  for (const auto s : back) EXPECT_EQ(s, 0);
+}
+
+TEST(Dct, RoundTripWithinRoundingError) {
+  lsm::sim::Rng rng(11);
+  for (int round = 0; round < 100; ++round) {
+    Block block;
+    for (auto& s : block) {
+      s = static_cast<std::int16_t>(rng.uniform_int(-255, 255));
+    }
+    const Block back = inverse_dct(forward_dct(block));
+    for (std::size_t k = 0; k < 64; ++k) {
+      // Forward rounds once, inverse rounds once: error stays tiny.
+      ASSERT_NEAR(back[k], block[k], 2) << "round " << round << " k=" << k;
+    }
+  }
+}
+
+TEST(Dct, LinearityApproximately) {
+  lsm::sim::Rng rng(13);
+  Block a, b, sum;
+  for (std::size_t k = 0; k < 64; ++k) {
+    a[k] = static_cast<std::int16_t>(rng.uniform_int(-100, 100));
+    b[k] = static_cast<std::int16_t>(rng.uniform_int(-100, 100));
+    sum[k] = static_cast<std::int16_t>(a[k] + b[k]);
+  }
+  const CoeffBlock ca = forward_dct(a);
+  const CoeffBlock cb = forward_dct(b);
+  const CoeffBlock cs = forward_dct(sum);
+  for (std::size_t k = 0; k < 64; ++k) {
+    ASSERT_NEAR(cs[k], ca[k] + cb[k], 2);
+  }
+}
+
+TEST(Dct, EnergyPreservedParseval) {
+  lsm::sim::Rng rng(17);
+  Block block;
+  for (auto& s : block) {
+    s = static_cast<std::int16_t>(rng.uniform_int(-200, 200));
+  }
+  const CoeffBlock coeffs = forward_dct(block);
+  double spatial_energy = 0.0, coeff_energy = 0.0;
+  for (std::size_t k = 0; k < 64; ++k) {
+    spatial_energy += static_cast<double>(block[k]) * block[k];
+    coeff_energy += static_cast<double>(coeffs[k]) * coeffs[k];
+  }
+  EXPECT_NEAR(coeff_energy, spatial_energy, 0.02 * spatial_energy + 100.0);
+}
+
+TEST(Dct, HorizontalCosineHitsSingleCoefficient) {
+  // spatial(x, y) = cos((2x+1) pi u / 16) lands on coefficient (u, 0).
+  const double pi = 3.14159265358979323846;
+  const int u = 3;
+  Block block;
+  for (int y = 0; y < 8; ++y) {
+    for (int x = 0; x < 8; ++x) {
+      block[static_cast<std::size_t>(y * 8 + x)] = static_cast<std::int16_t>(
+          std::lround(100.0 * std::cos((2 * x + 1) * u * pi / 16.0)));
+    }
+  }
+  const CoeffBlock coeffs = forward_dct(block);
+  int argmax = 0;
+  for (int k = 1; k < 64; ++k) {
+    if (std::abs(coeffs[static_cast<std::size_t>(k)]) >
+        std::abs(coeffs[static_cast<std::size_t>(argmax)])) {
+      argmax = k;
+    }
+  }
+  EXPECT_EQ(argmax, u);  // row 0, column u
+}
+
+}  // namespace
+}  // namespace lsm::mpeg

@@ -1,0 +1,91 @@
+#include "mpeg/frame.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace lsm::mpeg {
+namespace {
+
+TEST(Plane, ConstructionAndAccess) {
+  Plane plane(8, 4, 77);
+  EXPECT_EQ(plane.width(), 8);
+  EXPECT_EQ(plane.height(), 4);
+  EXPECT_EQ(plane.at(0, 0), 77);
+  EXPECT_EQ(plane.at(7, 3), 77);
+  plane.set(3, 2, 200);
+  EXPECT_EQ(plane.at(3, 2), 200);
+}
+
+TEST(Plane, BoundsChecked) {
+  Plane plane(8, 4);
+  EXPECT_THROW(plane.at(8, 0), std::out_of_range);
+  EXPECT_THROW(plane.at(0, 4), std::out_of_range);
+  EXPECT_THROW(plane.at(-1, 0), std::out_of_range);
+  EXPECT_THROW(plane.set(0, -1, 0), std::out_of_range);
+  EXPECT_THROW(Plane(0, 4), std::invalid_argument);
+}
+
+TEST(Plane, ClampedReadsAtBorders) {
+  Plane plane(4, 4);
+  plane.set(0, 0, 10);
+  plane.set(3, 3, 20);
+  EXPECT_EQ(plane.at_clamped(-5, -5), 10);
+  EXPECT_EQ(plane.at_clamped(100, 100), 20);
+  EXPECT_EQ(plane.at_clamped(-1, 3), plane.at(0, 3));
+}
+
+TEST(Frame, ChromaIsQuarterSize) {
+  const Frame frame(64, 48);
+  EXPECT_EQ(frame.y.width(), 64);
+  EXPECT_EQ(frame.cb.width(), 32);
+  EXPECT_EQ(frame.cb.height(), 24);
+  EXPECT_EQ(frame.mb_cols(), 4);
+  EXPECT_EQ(frame.mb_rows(), 3);
+  // Chroma planes start at mid-gray.
+  EXPECT_EQ(frame.cb.at(0, 0), 128);
+  EXPECT_EQ(frame.cr.at(10, 10), 128);
+}
+
+TEST(Frame, RequiresMacroblockAlignment) {
+  EXPECT_THROW(Frame(60, 48), std::invalid_argument);
+  EXPECT_THROW(Frame(64, 40), std::invalid_argument);
+  EXPECT_NO_THROW(Frame(16, 16));
+}
+
+TEST(Psnr, IdenticalFramesAreInfinite) {
+  const Frame a(32, 32);
+  EXPECT_TRUE(std::isinf(psnr_y(a, a)));
+}
+
+TEST(Psnr, KnownUniformError) {
+  Frame a(32, 32), b(32, 32);
+  for (int y = 0; y < 32; ++y) {
+    for (int x = 0; x < 32; ++x) {
+      a.y.set(x, y, 100);
+      b.y.set(x, y, 110);  // error 10 everywhere: MSE = 100
+    }
+  }
+  EXPECT_NEAR(psnr_y(a, b), 10.0 * std::log10(255.0 * 255.0 / 100.0), 1e-9);
+}
+
+TEST(Psnr, SizeMismatchThrows) {
+  const Frame a(32, 32), b(64, 32);
+  EXPECT_THROW(psnr_y(a, b), std::invalid_argument);
+}
+
+TEST(Psnr, MoreErrorMeansLowerPsnr) {
+  Frame reference(32, 32), small_err(32, 32), big_err(32, 32);
+  for (int y = 0; y < 32; ++y) {
+    for (int x = 0; x < 32; ++x) {
+      reference.y.set(x, y, 128);
+      small_err.y.set(x, y, 130);
+      big_err.y.set(x, y, 160);
+    }
+  }
+  EXPECT_GT(psnr_y(reference, small_err), psnr_y(reference, big_err));
+}
+
+}  // namespace
+}  // namespace lsm::mpeg

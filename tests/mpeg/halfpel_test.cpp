@@ -1,0 +1,161 @@
+// Half-pel motion compensation (ISO 11172-2 precision): bilinear
+// interpolation, two-stage search, and the compression payoff on
+// sub-pixel motion.
+#include "mpeg/motion.h"
+
+#include <gtest/gtest.h>
+
+#include <utility>
+
+#include "mpeg/decoder.h"
+#include "mpeg/encoder.h"
+#include "sim/rng.h"
+
+namespace lsm::mpeg {
+namespace {
+
+Frame textured_frame(std::uint64_t seed, int width = 64, int height = 48) {
+  Frame frame(width, height);
+  lsm::sim::Rng rng(seed);
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      frame.y.set(x, y, static_cast<std::uint8_t>(rng.uniform_int(0, 255)));
+    }
+  }
+  for (int y = 0; y < height / 2; ++y) {
+    for (int x = 0; x < width / 2; ++x) {
+      frame.cb.set(x, y, static_cast<std::uint8_t>(rng.uniform_int(0, 255)));
+      frame.cr.set(x, y, static_cast<std::uint8_t>(rng.uniform_int(0, 255)));
+    }
+  }
+  return frame;
+}
+
+/// Shifts luma by half a pixel horizontally with the codec's own rounding.
+Frame halfpel_shifted(const Frame& source) {
+  Frame out = source;
+  for (int y = 0; y < source.height(); ++y) {
+    for (int x = 0; x < source.width(); ++x) {
+      out.y.set(x, y,
+                static_cast<std::uint8_t>((source.y.at_clamped(x, y) +
+                                           source.y.at_clamped(x + 1, y) + 1) /
+                                          2));
+    }
+  }
+  return out;
+}
+
+TEST(HalfPel, EvenVectorsMatchFullPelExtraction) {
+  const Frame frame = textured_frame(1);
+  // Luma agrees for every even half-pel vector. Chroma agrees only when the
+  // halved vector is even too (an odd full-pel luma vector puts chroma on a
+  // half-pel position, which the half-pel path correctly interpolates while
+  // the full-pel path truncates).
+  for (const auto& [dx, dy] : {std::pair{0, 0}, {2, 4}, {-6, 2}, {8, -8}}) {
+    const MacroblockPixels full =
+        extract_macroblock(frame, 1, 1, MotionVector{dx / 2, dy / 2});
+    const MacroblockPixels half =
+        extract_macroblock_halfpel(frame, 1, 1, MotionVector{dx, dy});
+    EXPECT_EQ(full.y, half.y) << dx << "," << dy;
+    if (dx % 4 == 0 && dy % 4 == 0) {
+      EXPECT_EQ(full.cb, half.cb) << dx << "," << dy;
+      EXPECT_EQ(full.cr, half.cr) << dx << "," << dy;
+    }
+  }
+}
+
+TEST(HalfPel, HorizontalInterpolationAveragesNeighbours) {
+  Frame frame(32, 32);
+  for (int y = 0; y < 32; ++y) {
+    for (int x = 0; x < 32; ++x) {
+      frame.y.set(x, y, static_cast<std::uint8_t>(x * 7));
+    }
+  }
+  const MacroblockPixels half =
+      extract_macroblock_halfpel(frame, 0, 0, MotionVector{1, 0});
+  // Pixel (0,0) samples between luma columns 0 and 1: (0 + 7 + 1)/2 = 4.
+  EXPECT_EQ(half.y[0], 4);
+  // Pixel (5,0): between columns 5 and 6: (35 + 42 + 1)/2 = 39.
+  EXPECT_EQ(half.y[5], 39);
+}
+
+TEST(HalfPel, DiagonalInterpolationAveragesFour) {
+  Frame frame(32, 32);
+  frame.y.set(0, 0, 10);
+  frame.y.set(1, 0, 20);
+  frame.y.set(0, 1, 30);
+  frame.y.set(1, 1, 50);
+  const MacroblockPixels half =
+      extract_macroblock_halfpel(frame, 0, 0, MotionVector{1, 1});
+  EXPECT_EQ(half.y[0], (10 + 20 + 30 + 50 + 2) / 4);
+}
+
+TEST(HalfPel, NegativeHalfVectorsFloorCorrectly) {
+  Frame frame(32, 32);
+  for (int x = 0; x < 32; ++x) frame.y.set(x, 5, static_cast<std::uint8_t>(x));
+  // Macroblock (1, 0), vector (-1, 0): pixel (x=0, y=5) of the macroblock
+  // samples between luma columns 15 and 16: (15 + 16 + 1)/2 = 16.
+  const MacroblockPixels half =
+      extract_macroblock_halfpel(frame, 1, 0, MotionVector{-1, 0});
+  EXPECT_EQ(half.y[5 * 16 + 0], 16);
+}
+
+TEST(HalfPel, SearchRecoversHalfPelShift) {
+  const Frame reference = textured_frame(7);
+  const Frame current = halfpel_shifted(reference);
+  const MotionSearchResult result =
+      search_motion_halfpel(current, reference, 1, 1, 4);
+  EXPECT_EQ(result.mv.dx, 1);
+  EXPECT_EQ(result.mv.dy, 0);
+  EXPECT_EQ(result.sad, 0);
+}
+
+TEST(HalfPel, SearchNeverWorseThanFullPel) {
+  const Frame reference = textured_frame(9);
+  const Frame current = textured_frame(10);  // unrelated content
+  for (int mb = 0; mb < 3; ++mb) {
+    const MotionSearchResult full =
+        search_motion(current, reference, mb, 1, 4);
+    const MotionSearchResult half =
+        search_motion_halfpel(current, reference, mb, 1, 4);
+    EXPECT_LE(half.sad, full.sad) << "mb " << mb;
+  }
+}
+
+TEST(HalfPel, ImprovesCompressionOnSubPixelMotion) {
+  // A two-frame I,P sequence whose motion is exactly half a pixel: the
+  // half-pel encoder predicts almost perfectly, the full-pel one cannot.
+  const Frame reference = textured_frame(21, 96, 64);
+  const Frame moved = halfpel_shifted(reference);
+  const std::vector<Frame> video = {reference, moved};
+
+  EncoderConfig half_config;
+  half_config.pattern = lsm::trace::GopPattern(2, 1);
+  half_config.half_pel = true;
+  EncoderConfig full_config = half_config;
+  full_config.half_pel = false;
+
+  const EncodeResult with_half = Encoder(half_config).encode(video);
+  const EncodeResult with_full = Encoder(full_config).encode(video);
+  // Picture at coded index 1 is the P picture in both runs.
+  const std::int64_t half_bits = with_half.pictures[1].bits;
+  const std::int64_t full_bits = with_full.pictures[1].bits;
+  EXPECT_LT(half_bits, full_bits / 2)
+      << "half-pel " << half_bits << " vs full-pel " << full_bits;
+}
+
+TEST(HalfPel, FullPelModeStillRoundTrips) {
+  const Frame a = textured_frame(31, 96, 64);
+  const Frame b = halfpel_shifted(a);
+  EncoderConfig config;
+  config.pattern = lsm::trace::GopPattern(2, 1);
+  config.half_pel = false;
+  const EncodeResult encoded = Encoder(config).encode({a, b});
+  EXPECT_NO_THROW({
+    const auto decoded = decode_stream(encoded.stream);
+    EXPECT_EQ(decoded.pictures.size(), 2u);
+  });
+}
+
+}  // namespace
+}  // namespace lsm::mpeg

@@ -1,0 +1,68 @@
+#include "mpeg/headers.h"
+
+#include <gtest/gtest.h>
+
+namespace lsm::mpeg {
+namespace {
+
+TEST(Headers, SequenceHeaderRoundTrip) {
+  const SequenceHeader original{640, 480, 30, 9, 3};
+  BitWriter writer;
+  write_fields(writer, original);
+  BitReader reader(writer.take());
+  EXPECT_TRUE(read_sequence_header(reader) == original);
+}
+
+TEST(Headers, GroupHeaderRoundTrip) {
+  for (const bool closed : {true, false}) {
+    const GroupHeader original{4242, closed};
+    BitWriter writer;
+    write_fields(writer, original);
+    BitReader reader(writer.take());
+    EXPECT_TRUE(read_group_header(reader) == original);
+  }
+}
+
+TEST(Headers, PictureHeaderRoundTripAllTypes) {
+  for (const auto type : {lsm::trace::PictureType::I,
+                          lsm::trace::PictureType::P,
+                          lsm::trace::PictureType::B}) {
+    const PictureHeader original{1234, type, 17};
+    BitWriter writer;
+    write_fields(writer, original);
+    BitReader reader(writer.take());
+    EXPECT_TRUE(read_picture_header(reader) == original);
+  }
+}
+
+TEST(Headers, TemporalReferenceWrapsAt16Bits) {
+  const PictureHeader original{0x1FFFF, lsm::trace::PictureType::I, 4};
+  BitWriter writer;
+  write_fields(writer, original);
+  BitReader reader(writer.take());
+  EXPECT_EQ(read_picture_header(reader).temporal_reference, 0xFFFF);
+}
+
+TEST(Headers, BadPictureTypeCodeThrows) {
+  BitWriter writer;
+  writer.put_bits(0, 16);  // temporal reference
+  writer.put_bits(3, 2);   // invalid type code
+  writer.put_bits(8, 5);
+  BitReader reader(writer.take());
+  EXPECT_THROW(read_picture_header(reader), std::runtime_error);
+}
+
+TEST(Headers, AppendUnitEscapesPayload) {
+  std::vector<std::uint8_t> out;
+  // Payload full of zeros would otherwise emulate a start code.
+  const std::vector<std::uint8_t> payload(16, 0x00);
+  append_unit(out, startcode::kGroup, payload);
+  // Exactly one start code in the unit: the one we wrote.
+  const std::int64_t first = find_start_code(out, 0);
+  EXPECT_EQ(first, 0);
+  EXPECT_EQ(out[3], startcode::kGroup);
+  EXPECT_EQ(find_start_code(out, 4), -1);
+}
+
+}  // namespace
+}  // namespace lsm::mpeg

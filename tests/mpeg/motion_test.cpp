@@ -1,0 +1,151 @@
+#include "mpeg/motion.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <utility>
+
+#include "mpeg/videogen.h"
+#include "sim/rng.h"
+
+namespace lsm::mpeg {
+namespace {
+
+/// A frame with deterministic texture (no motion model — just content).
+Frame textured_frame(std::uint64_t seed, int width = 64, int height = 48) {
+  Frame frame(width, height);
+  lsm::sim::Rng rng(seed);
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      frame.y.set(x, y, static_cast<std::uint8_t>(rng.uniform_int(0, 255)));
+    }
+  }
+  for (int y = 0; y < height / 2; ++y) {
+    for (int x = 0; x < width / 2; ++x) {
+      frame.cb.set(x, y, static_cast<std::uint8_t>(rng.uniform_int(0, 255)));
+      frame.cr.set(x, y, static_cast<std::uint8_t>(rng.uniform_int(0, 255)));
+    }
+  }
+  return frame;
+}
+
+/// Shifts frame content by (dx, dy); vacated pixels clamp to the border.
+Frame shifted(const Frame& source, int dx, int dy) {
+  Frame out(source.width(), source.height());
+  for (int y = 0; y < source.height(); ++y) {
+    for (int x = 0; x < source.width(); ++x) {
+      out.y.set(x, y, source.y.at_clamped(x - dx, y - dy));
+    }
+  }
+  for (int y = 0; y < source.height() / 2; ++y) {
+    for (int x = 0; x < source.width() / 2; ++x) {
+      out.cb.set(x, y, source.cb.at_clamped(x - dx / 2, y - dy / 2));
+      out.cr.set(x, y, source.cr.at_clamped(x - dx / 2, y - dy / 2));
+    }
+  }
+  return out;
+}
+
+TEST(Motion, ZeroVectorOnIdenticalFrames) {
+  const Frame frame = textured_frame(1);
+  const MotionSearchResult result = search_motion(frame, frame, 1, 1, 7);
+  EXPECT_EQ(result.mv, (MotionVector{0, 0}));
+  EXPECT_EQ(result.sad, 0);
+}
+
+TEST(Motion, RecoversPureTranslation) {
+  const Frame reference = textured_frame(2);
+  for (const auto& [dx, dy] : {std::pair{3, 2}, {-4, 1}, {0, -5}, {6, -6}}) {
+    const Frame current = shifted(reference, dx, dy);
+    // Interior macroblock so the clamped border does not interfere.
+    const MotionSearchResult result =
+        search_motion(current, reference, 1, 1, 7);
+    EXPECT_EQ(result.mv.dx, -dx) << "dx=" << dx << " dy=" << dy;
+    EXPECT_EQ(result.mv.dy, -dy) << "dx=" << dx << " dy=" << dy;
+    EXPECT_EQ(result.sad, 0);
+  }
+}
+
+TEST(Motion, RangeLimitsTheSearch) {
+  const Frame reference = textured_frame(3);
+  const Frame current = shifted(reference, 6, 0);
+  const MotionSearchResult narrow = search_motion(current, reference, 1, 1, 2);
+  // The true vector (-6, 0) is outside range 2.
+  EXPECT_LE(std::abs(narrow.mv.dx), 2);
+  EXPECT_LE(std::abs(narrow.mv.dy), 2);
+  EXPECT_GT(narrow.sad, 0);
+}
+
+TEST(Motion, ZeroBiasPrefersStillVector) {
+  // On a flat frame every vector has SAD 0; the zero vector must win.
+  Frame flat(64, 48);
+  for (int y = 0; y < 48; ++y) {
+    for (int x = 0; x < 64; ++x) flat.y.set(x, y, 128);
+  }
+  const MotionSearchResult result = search_motion(flat, flat, 1, 1, 7);
+  EXPECT_EQ(result.mv, (MotionVector{0, 0}));
+}
+
+TEST(Motion, SadMatchesManualComputation) {
+  Frame a(32, 32), b(32, 32);
+  for (int y = 0; y < 32; ++y) {
+    for (int x = 0; x < 32; ++x) {
+      a.y.set(x, y, 100);
+      b.y.set(x, y, 103);
+    }
+  }
+  EXPECT_EQ(luma_sad(a, b, 0, 0, MotionVector{0, 0}), 256 * 3);
+}
+
+TEST(Motion, ExtractMacroblockReadsCorrectPixels) {
+  const Frame frame = textured_frame(4);
+  const MacroblockPixels mb = extract_macroblock(frame, 1, 2);
+  for (int y = 0; y < 16; ++y) {
+    for (int x = 0; x < 16; ++x) {
+      ASSERT_EQ(mb.y[static_cast<std::size_t>(y * 16 + x)],
+                frame.y.at(16 + x, 32 + y));
+    }
+  }
+  for (int y = 0; y < 8; ++y) {
+    for (int x = 0; x < 8; ++x) {
+      ASSERT_EQ(mb.cb[static_cast<std::size_t>(y * 8 + x)],
+                frame.cb.at(8 + x, 16 + y));
+    }
+  }
+}
+
+TEST(Motion, ExtractWithVectorDisplaces) {
+  const Frame frame = textured_frame(5);
+  const MacroblockPixels moved =
+      extract_macroblock(frame, 1, 1, MotionVector{3, -2});
+  EXPECT_EQ(moved.y[0], frame.y.at(16 + 3, 16 - 2));
+  // Chroma displaced by mv/2.
+  EXPECT_EQ(moved.cb[0], frame.cb.at(8 + 1, 8 - 1));
+}
+
+TEST(Motion, ExtractClampsAtBorders) {
+  const Frame frame = textured_frame(6);
+  // Far out-of-range vector: every sample clamps to the frame corner region.
+  const MacroblockPixels mb =
+      extract_macroblock(frame, 0, 0, MotionVector{-100, -100});
+  for (const auto sample : mb.y) {
+    ASSERT_EQ(sample, frame.y.at(0, 0));
+  }
+}
+
+TEST(Motion, AverageRoundsUp) {
+  MacroblockPixels a, b;
+  a.y.fill(10);
+  b.y.fill(13);
+  a.cb.fill(0);
+  b.cb.fill(1);
+  a.cr.fill(200);
+  b.cr.fill(200);
+  const MacroblockPixels avg = average(a, b);
+  EXPECT_EQ(avg.y[0], 12);   // (10+13+1)/2
+  EXPECT_EQ(avg.cb[0], 1);   // (0+1+1)/2
+  EXPECT_EQ(avg.cr[0], 200);
+}
+
+}  // namespace
+}  // namespace lsm::mpeg

@@ -1,0 +1,126 @@
+// The structure parser is what a transport-protocol implementation would run
+// over a live encoder's output to obtain the picture-size sequence the
+// smoothing algorithm needs; its accounting must agree bit-for-bit with the
+// encoder's own bookkeeping.
+#include "mpeg/parser.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "mpeg/encoder.h"
+#include "mpeg/videogen.h"
+
+namespace lsm::mpeg {
+namespace {
+
+EncodeResult encode_sample(int frames = 20) {
+  VideoConfig video_config;
+  video_config.width = 96;
+  video_config.height = 64;
+  video_config.scenes = {VideoScene{frames, 1.0, 0.5}};
+  video_config.seed = 21;
+  EncoderConfig encoder_config;
+  encoder_config.pattern = lsm::trace::GopPattern(9, 3);
+  return Encoder(encoder_config).encode(generate_video(video_config));
+}
+
+TEST(Parser, RecoversSequenceHeader) {
+  const EncodeResult encoded = encode_sample();
+  const ParseResult parsed = parse_stream(encoded.stream);
+  EXPECT_TRUE(parsed.sequence_header == encoded.sequence_header);
+  EXPECT_TRUE(parsed.has_sequence_end);
+}
+
+TEST(Parser, PictureSizesMatchEncoderExactly) {
+  const EncodeResult encoded = encode_sample();
+  const ParseResult parsed = parse_stream(encoded.stream);
+  ASSERT_EQ(parsed.pictures.size(), encoded.pictures.size());
+  for (std::size_t k = 0; k < parsed.pictures.size(); ++k) {
+    ASSERT_EQ(parsed.pictures[k].bits, encoded.pictures[k].bits)
+        << "picture " << k;
+    ASSERT_EQ(parsed.pictures[k].display_index,
+              encoded.pictures[k].display_index);
+    ASSERT_EQ(parsed.pictures[k].type, encoded.pictures[k].type);
+  }
+}
+
+TEST(Parser, GroupCountEqualsNumberOfIPictures) {
+  const EncodeResult encoded = encode_sample(20);  // I at displays 0, 9, 18
+  const ParseResult parsed = parse_stream(encoded.stream);
+  EXPECT_EQ(parsed.group_count, 3);
+}
+
+TEST(Parser, SliceCountEqualsMacroblockRows) {
+  const EncodeResult encoded = encode_sample();
+  const ParseResult parsed = parse_stream(encoded.stream);
+  for (const ParsedPicture& picture : parsed.pictures) {
+    EXPECT_EQ(picture.slice_count, 64 / 16);
+  }
+}
+
+TEST(Parser, DisplayTraceMatchesEncoderTrace) {
+  const EncodeResult encoded = encode_sample();
+  const ParseResult parsed = parse_stream(encoded.stream);
+  const lsm::trace::Trace from_parser = parsed.display_trace("t");
+  const lsm::trace::Trace from_encoder = encoded.display_trace("t");
+  EXPECT_EQ(from_parser.sizes(), from_encoder.sizes());
+  EXPECT_EQ(from_parser.types(), from_encoder.types());
+  EXPECT_DOUBLE_EQ(from_parser.tau(), from_encoder.tau());
+}
+
+TEST(Parser, CodedTracePreservesStreamOrder) {
+  const EncodeResult encoded = encode_sample();
+  const ParseResult parsed = parse_stream(encoded.stream);
+  const lsm::trace::Trace coded = parsed.coded_trace("t");
+  for (std::size_t k = 0; k < parsed.pictures.size(); ++k) {
+    EXPECT_EQ(coded.size_of(static_cast<int>(k) + 1),
+              parsed.pictures[k].bits);
+  }
+}
+
+TEST(Parser, WorksWithoutSequenceEndCode) {
+  EncodeResult encoded = encode_sample();
+  // Drop the 4-byte sequence end code.
+  encoded.stream.resize(encoded.stream.size() - 4);
+  const ParseResult parsed = parse_stream(encoded.stream);
+  EXPECT_FALSE(parsed.has_sequence_end);
+  ASSERT_EQ(parsed.pictures.size(), 20u);
+  EXPECT_GT(parsed.pictures.back().bits, 0);
+}
+
+TEST(Parser, RejectsMalformedStreams) {
+  EXPECT_THROW(parse_stream({0xFF, 0xFE}), std::runtime_error);
+  // Slice before any picture.
+  std::vector<std::uint8_t> bad;
+  append_start_code(bad, startcode::kSequenceHeader);
+  // minimal sequence header payload: 16+16+8+8+8 bits = 7 bytes
+  for (int k = 0; k < 7; ++k) bad.push_back(0x10);
+  append_start_code(bad, startcode::kSliceFirst);
+  bad.push_back(0xAA);
+  EXPECT_THROW(parse_stream(bad), std::runtime_error);
+  // Picture before sequence header.
+  std::vector<std::uint8_t> headerless;
+  append_start_code(headerless, startcode::kPicture);
+  headerless.push_back(0x00);
+  headerless.push_back(0x00);
+  headerless.push_back(0x00);
+  EXPECT_THROW(parse_stream(headerless), std::runtime_error);
+}
+
+TEST(Parser, TotalBitsAreConsistentWithStreamSize) {
+  const EncodeResult encoded = encode_sample();
+  const ParseResult parsed = parse_stream(encoded.stream);
+  std::int64_t picture_bits = 0;
+  for (const ParsedPicture& picture : parsed.pictures) {
+    picture_bits += picture.bits;
+  }
+  // Pictures account for most of the stream; headers are the remainder.
+  const std::int64_t stream_bits =
+      static_cast<std::int64_t>(encoded.stream.size()) * 8;
+  EXPECT_LT(picture_bits, stream_bits);
+  EXPECT_GT(picture_bits, stream_bits * 9 / 10);
+}
+
+}  // namespace
+}  // namespace lsm::mpeg

@@ -1,0 +1,108 @@
+#include "mpeg/quant.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "sim/rng.h"
+
+namespace lsm::mpeg {
+namespace {
+
+TEST(Quant, IntraDcUsesFixedStepOfEight) {
+  CoeffBlock coeffs{};
+  coeffs[0] = 800;
+  for (const int scale : {1, 8, 31}) {
+    const CoeffBlock levels = quantize_intra(coeffs, scale);
+    EXPECT_EQ(levels[0], 100) << "scale " << scale;
+    const CoeffBlock back = dequantize_intra(levels, scale);
+    EXPECT_EQ(back[0], 800);
+  }
+}
+
+TEST(Quant, CoarserScaleZeroesMoreCoefficients) {
+  lsm::sim::Rng rng(3);
+  CoeffBlock coeffs{};
+  for (std::size_t k = 0; k < 64; ++k) {
+    coeffs[k] = static_cast<std::int16_t>(rng.uniform_int(-60, 60));
+  }
+  auto zero_count = [](const CoeffBlock& levels) {
+    int zeros = 0;
+    for (const auto v : levels) zeros += v == 0 ? 1 : 0;
+    return zeros;
+  };
+  const int fine = zero_count(quantize_intra(coeffs, 2));
+  const int coarse = zero_count(quantize_intra(coeffs, 30));
+  EXPECT_GT(coarse, fine);
+}
+
+TEST(Quant, ReconstructionErrorBoundedByStep) {
+  lsm::sim::Rng rng(5);
+  for (const int scale : {1, 4, 8, 16, 31}) {
+    CoeffBlock coeffs{};
+    for (std::size_t k = 0; k < 64; ++k) {
+      coeffs[k] = static_cast<std::int16_t>(rng.uniform_int(-1000, 1000));
+    }
+    const CoeffBlock recon =
+        dequantize_intra(quantize_intra(coeffs, scale), scale);
+    const auto& matrix = intra_quant_matrix();
+    for (std::size_t k = 1; k < 64; ++k) {
+      const double step = scale * matrix[k] / 8.0;
+      ASSERT_LE(std::abs(recon[k] - coeffs[k]), step + 1.0)
+          << "scale " << scale << " k " << k;
+    }
+  }
+}
+
+TEST(Quant, InterFlatMatrixErrorBound) {
+  lsm::sim::Rng rng(7);
+  for (const int scale : {1, 6, 15, 31}) {
+    CoeffBlock coeffs{};
+    for (std::size_t k = 0; k < 64; ++k) {
+      coeffs[k] = static_cast<std::int16_t>(rng.uniform_int(-2000, 2000));
+    }
+    const CoeffBlock recon =
+        dequantize_inter(quantize_inter(coeffs, scale), scale);
+    const double step = scale * 16.0 / 8.0;
+    for (std::size_t k = 0; k < 64; ++k) {
+      ASSERT_LE(std::abs(recon[k] - coeffs[k]), step + 1.0);
+    }
+  }
+}
+
+TEST(Quant, QuantizationIsMonotone) {
+  // Larger coefficients never quantize to smaller levels.
+  for (int v = -500; v <= 500; v += 7) {
+    CoeffBlock a{}, b{};
+    a[10] = static_cast<std::int16_t>(v);
+    b[10] = static_cast<std::int16_t>(v + 7);
+    EXPECT_LE(quantize_intra(a, 8)[10], quantize_intra(b, 8)[10]);
+    EXPECT_LE(quantize_inter(a, 8)[10], quantize_inter(b, 8)[10]);
+  }
+}
+
+TEST(Quant, SymmetricAroundZero) {
+  CoeffBlock pos{}, neg{};
+  pos[5] = 123;
+  neg[5] = -123;
+  EXPECT_EQ(quantize_intra(pos, 6)[5], -quantize_intra(neg, 6)[5]);
+  EXPECT_EQ(quantize_inter(pos, 6)[5], -quantize_inter(neg, 6)[5]);
+}
+
+TEST(Quant, RejectsBadScale) {
+  const CoeffBlock coeffs{};
+  EXPECT_THROW(quantize_intra(coeffs, 0), std::invalid_argument);
+  EXPECT_THROW(quantize_intra(coeffs, 32), std::invalid_argument);
+  EXPECT_THROW(dequantize_inter(coeffs, -1), std::invalid_argument);
+}
+
+TEST(Quant, MatrixMatchesIsoDefaultCorners) {
+  const auto& matrix = intra_quant_matrix();
+  EXPECT_EQ(matrix[0], 8);    // DC position
+  EXPECT_EQ(matrix[63], 83);  // highest frequency
+  EXPECT_EQ(matrix[7], 34);
+}
+
+}  // namespace
+}  // namespace lsm::mpeg

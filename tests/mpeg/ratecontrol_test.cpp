@@ -1,0 +1,154 @@
+// The Section 3.1 trade-off, quantified: shaping the encoder's peak rate by
+// coarsening quantizer scales shrinks oversized pictures but costs quality —
+// most visibly on I pictures — whereas lossless smoothing achieves the same
+// channel peak with zero quality loss (and a delay of D).
+#include "mpeg/ratecontrol.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "mpeg/decoder.h"
+#include "mpeg/videogen.h"
+#include "trace/stats.h"
+
+namespace lsm::mpeg {
+namespace {
+
+std::vector<Frame> sample_video() {
+  VideoConfig config;
+  config.width = 96;
+  config.height = 64;
+  config.scenes = {VideoScene{18, 1.2, 0.4}};
+  config.seed = 51;
+  return generate_video(config);
+}
+
+EncoderConfig base_config() {
+  EncoderConfig config;
+  config.pattern = lsm::trace::GopPattern(9, 3);
+  return config;
+}
+
+TEST(RateShaping, CapsEveryPictureAtTheBudget) {
+  const std::vector<Frame> video = sample_video();
+  const EncodeResult vbr = Encoder(base_config()).encode(video);
+  lsm::trace::Bits peak = 0;
+  for (const EncodedPicture& picture : vbr.pictures) {
+    peak = std::max(peak, picture.bits);
+  }
+
+  RateShapeConfig config;
+  config.base = base_config();
+  // Target: halve the peak picture rate.
+  config.target_peak_bps =
+      static_cast<double>(peak) / 2.0 * config.base.fps;
+  const RateShapeResult shaped = encode_rate_shaped(video, config);
+  EXPECT_TRUE(shaped.converged);
+  const double budget = config.target_peak_bps / config.base.fps;
+  for (const EncodedPicture& picture : shaped.encoded.pictures) {
+    EXPECT_LE(static_cast<double>(picture.bits), budget + 1e-6)
+        << "display " << picture.display_index;
+  }
+  EXPECT_GT(shaped.reencoded_pictures, 0);
+}
+
+TEST(RateShaping, OnlyOversizedPicturesAreTouched) {
+  const std::vector<Frame> video = sample_video();
+  const EncodeResult vbr = Encoder(base_config()).encode(video);
+
+  RateShapeConfig config;
+  config.base = base_config();
+  // A generous budget that only I pictures exceed.
+  lsm::trace::Bits i_min = 1 << 30, pb_max = 0;
+  for (const EncodedPicture& picture : vbr.pictures) {
+    if (picture.type == lsm::trace::PictureType::I) {
+      i_min = std::min(i_min, picture.bits);
+    } else {
+      pb_max = std::max(pb_max, picture.bits);
+    }
+  }
+  ASSERT_GT(i_min, pb_max);
+  config.target_peak_bps =
+      static_cast<double>(pb_max + (i_min - pb_max) / 2) * config.base.fps;
+  const RateShapeResult shaped = encode_rate_shaped(video, config);
+
+  for (const EncodedPicture& picture : shaped.encoded.pictures) {
+    const int quant =
+        shaped.quant_by_picture[static_cast<std::size_t>(
+            picture.display_index)];
+    if (picture.type == lsm::trace::PictureType::I) {
+      EXPECT_GT(quant, config.base.i_quant);
+    } else if (picture.type == lsm::trace::PictureType::B) {
+      EXPECT_EQ(quant, config.base.b_quant);
+    }
+  }
+}
+
+TEST(RateShaping, QualityDegradesOnShapedPictures) {
+  // The paper: quantizer 4 -> 30 on an I picture cut its size ~3.7x at a
+  // visible quality cost. Check both directions of the trade.
+  const std::vector<Frame> video = sample_video();
+  const EncodeResult vbr = Encoder(base_config()).encode(video);
+
+  RateShapeConfig config;
+  config.base = base_config();
+  lsm::trace::Bits peak = 0;
+  for (const EncodedPicture& picture : vbr.pictures) {
+    peak = std::max(peak, picture.bits);
+  }
+  config.target_peak_bps =
+      static_cast<double>(peak) / 3.0 * config.base.fps;
+  const RateShapeResult shaped = encode_rate_shaped(video, config);
+
+  double vbr_i_psnr = 0.0, shaped_i_psnr = 0.0;
+  int i_count = 0;
+  for (std::size_t k = 0; k < vbr.pictures.size(); ++k) {
+    if (vbr.pictures[k].type != lsm::trace::PictureType::I) continue;
+    vbr_i_psnr += vbr.pictures[k].psnr_y;
+    shaped_i_psnr += shaped.encoded.pictures[k].psnr_y;
+    ++i_count;
+  }
+  ASSERT_GT(i_count, 0);
+  // Shaped I pictures lose measurable quality.
+  EXPECT_LT(shaped_i_psnr / i_count, vbr_i_psnr / i_count - 1.5);
+}
+
+TEST(RateShaping, ImpossibleTargetReportsNonConvergence) {
+  const std::vector<Frame> video = sample_video();
+  RateShapeConfig config;
+  config.base = base_config();
+  config.target_peak_bps = 1000.0;  // absurd: ~33 bits per picture
+  const RateShapeResult shaped = encode_rate_shaped(video, config);
+  EXPECT_FALSE(shaped.converged);
+  // Every picture was pushed to the coarsest allowed scale.
+  for (const int quant : shaped.quant_by_picture) {
+    EXPECT_EQ(quant, config.max_quant);
+  }
+}
+
+TEST(RateShaping, RejectsBadConfig) {
+  const std::vector<Frame> video = sample_video();
+  RateShapeConfig config;
+  config.base = base_config();
+  config.target_peak_bps = 0.0;
+  EXPECT_THROW(encode_rate_shaped(video, config), std::invalid_argument);
+  config.target_peak_bps = 1e6;
+  config.max_passes = 0;
+  EXPECT_THROW(encode_rate_shaped(video, config), std::invalid_argument);
+}
+
+TEST(RateShaping, ShapedStreamStillDecodes) {
+  const std::vector<Frame> video = sample_video();
+  RateShapeConfig config;
+  config.base = base_config();
+  config.target_peak_bps = 0.4e6;
+  const RateShapeResult shaped = encode_rate_shaped(video, config);
+  EXPECT_NO_THROW({
+    const auto decoded = decode_stream(shaped.encoded.stream);
+    EXPECT_EQ(decoded.pictures.size(), video.size());
+  });
+}
+
+}  // namespace
+}  // namespace lsm::mpeg

@@ -1,0 +1,121 @@
+#include "mpeg/systems.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "mpeg/decoder.h"
+#include "mpeg/videogen.h"
+
+namespace lsm::mpeg {
+namespace {
+
+EncodeResult encode_sample(int frames = 18) {
+  VideoConfig video_config;
+  video_config.width = 96;
+  video_config.height = 64;
+  video_config.scenes = {VideoScene{frames, 1.0, 0.4}};
+  video_config.seed = 61;
+  EncoderConfig config;
+  config.pattern = lsm::trace::GopPattern(9, 3);
+  return Encoder(config).encode(generate_video(video_config));
+}
+
+TEST(Systems, RoundTripIsByteExact) {
+  const EncodeResult encoded = encode_sample();
+  const SystemsStream muxed = mux_systems(encoded);
+  const DemuxResult demuxed = demux_systems(muxed.bytes);
+  EXPECT_EQ(demuxed.elementary, encoded.stream);
+}
+
+TEST(Systems, DemuxedStreamStillDecodes) {
+  const EncodeResult encoded = encode_sample();
+  const DemuxResult demuxed = demux_systems(mux_systems(encoded).bytes);
+  const DecodeResult direct = decode_stream(encoded.stream);
+  const DecodeResult via_systems = decode_stream(demuxed.elementary);
+  ASSERT_EQ(via_systems.pictures.size(), direct.pictures.size());
+  for (std::size_t k = 0; k < direct.pictures.size(); ++k) {
+    ASSERT_TRUE(via_systems.pictures[k].frame == direct.pictures[k].frame);
+  }
+}
+
+TEST(Systems, PackCountMatchesPayloadSize) {
+  const EncodeResult encoded = encode_sample();
+  SystemsConfig config;
+  config.pes_payload_bytes = 512;
+  const SystemsStream muxed = mux_systems(encoded, config);
+  const int expected =
+      static_cast<int>((encoded.stream.size() + 511) / 512);
+  EXPECT_EQ(muxed.pack_count, expected);
+}
+
+TEST(Systems, ScrIsMonotoneAndScaledByMuxRate) {
+  const EncodeResult encoded = encode_sample();
+  SystemsConfig config;
+  config.mux_rate_bps = 2e6;
+  const DemuxResult demuxed =
+      demux_systems(mux_systems(encoded, config).bytes);
+  ASSERT_GT(demuxed.scr_seconds.size(), 1u);
+  for (std::size_t k = 1; k < demuxed.scr_seconds.size(); ++k) {
+    ASSERT_GE(demuxed.scr_seconds[k], demuxed.scr_seconds[k - 1]);
+  }
+  EXPECT_NEAR(demuxed.mux_rate_bps, 2e6, 50.0 * 8.0);
+  // The last SCR is roughly the stream size over the mux rate.
+  const double expected_span =
+      static_cast<double>(mux_systems(encoded, config).bytes.size()) * 8.0 /
+      2e6;
+  EXPECT_NEAR(demuxed.scr_seconds.back(), expected_span,
+              0.2 * expected_span + 0.01);
+}
+
+TEST(Systems, PtsValuesAreDisplayTimes) {
+  const EncodeResult encoded = encode_sample();
+  SystemsConfig config;
+  config.pes_payload_bytes = 256;  // small chunks: most pictures stamped
+  const SystemsStream muxed = mux_systems(encoded, config);
+  const DemuxResult demuxed = demux_systems(muxed.bytes);
+  ASSERT_EQ(static_cast<int>(demuxed.pts.size()), muxed.pts_count);
+  EXPECT_GT(demuxed.pts.size(), encoded.pictures.size() / 2);
+  const double tau = 1.0 / encoded.sequence_header.fps;
+  for (const PtsEntry& entry : demuxed.pts) {
+    // Every PTS is some picture's display instant: a multiple of tau
+    // (within 90 kHz quantization).
+    const double periods = entry.seconds / tau;
+    EXPECT_NEAR(periods, std::round(periods), 0.01)
+        << "pts " << entry.seconds;
+  }
+}
+
+TEST(Systems, FirstPtsBelongsToTheFirstPicture) {
+  const EncodeResult encoded = encode_sample();
+  const DemuxResult demuxed = demux_systems(mux_systems(encoded).bytes);
+  ASSERT_FALSE(demuxed.pts.empty());
+  // Coded order starts with the I picture at display 0: PTS 0.
+  EXPECT_NEAR(demuxed.pts.front().seconds, 0.0, 1e-4);
+  EXPECT_EQ(demuxed.pts.front().es_offset, 0);
+}
+
+TEST(Systems, RejectsGarbageAndTruncation) {
+  EXPECT_THROW(demux_systems({0x12, 0x34, 0x56, 0x78}), std::runtime_error);
+  const EncodeResult encoded = encode_sample(9);
+  std::vector<std::uint8_t> truncated = mux_systems(encoded).bytes;
+  truncated.resize(truncated.size() / 2);
+  EXPECT_THROW(demux_systems(truncated), std::runtime_error);
+  SystemsConfig bad;
+  bad.pes_payload_bytes = 1;
+  EXPECT_THROW(mux_systems(encoded, bad), std::invalid_argument);
+}
+
+TEST(Systems, OverheadIsSmall) {
+  const EncodeResult encoded = encode_sample();
+  const SystemsStream muxed = mux_systems(encoded);
+  const double overhead =
+      static_cast<double>(muxed.bytes.size()) /
+          static_cast<double>(encoded.stream.size()) -
+      1.0;
+  EXPECT_LT(overhead, 0.03);  // < 3% for 2016-byte payloads
+}
+
+}  // namespace
+}  // namespace lsm::mpeg

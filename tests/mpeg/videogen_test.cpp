@@ -1,0 +1,110 @@
+#include "mpeg/videogen.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace lsm::mpeg {
+namespace {
+
+VideoConfig small_config() {
+  VideoConfig config;
+  config.width = 96;
+  config.height = 64;
+  config.scenes = {VideoScene{10, 1.0, 0.5}, VideoScene{8, 1.4, 0.1}};
+  config.seed = 77;
+  return config;
+}
+
+double mean_abs_luma_diff(const Frame& a, const Frame& b) {
+  double total = 0.0;
+  const auto& pa = a.y.samples();
+  const auto& pb = b.y.samples();
+  for (std::size_t k = 0; k < pa.size(); ++k) {
+    total += std::abs(static_cast<int>(pa[k]) - static_cast<int>(pb[k]));
+  }
+  return total / static_cast<double>(pa.size());
+}
+
+TEST(VideoGen, ProducesAllFramesAtRequestedSize) {
+  const std::vector<Frame> frames = generate_video(small_config());
+  ASSERT_EQ(frames.size(), 18u);
+  for (const Frame& frame : frames) {
+    EXPECT_EQ(frame.width(), 96);
+    EXPECT_EQ(frame.height(), 64);
+    EXPECT_EQ(frame.cb.width(), 48);
+  }
+}
+
+TEST(VideoGen, Deterministic) {
+  const std::vector<Frame> a = generate_video(small_config());
+  const std::vector<Frame> b = generate_video(small_config());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    ASSERT_TRUE(a[k] == b[k]) << "frame " << k;
+  }
+}
+
+TEST(VideoGen, SeedChangesContent) {
+  VideoConfig other = small_config();
+  other.seed = 78;
+  const std::vector<Frame> a = generate_video(small_config());
+  const std::vector<Frame> b = generate_video(other);
+  EXPECT_FALSE(a[0] == b[0]);
+}
+
+TEST(VideoGen, ConsecutiveFramesWithinSceneAreSimilar) {
+  const std::vector<Frame> frames = generate_video(small_config());
+  // Within scene 1 (frames 0..9): small frame-to-frame change.
+  const double within = mean_abs_luma_diff(frames[4], frames[5]);
+  // Across the scene change (frames 9 -> 10): large change.
+  const double across = mean_abs_luma_diff(frames[9], frames[10]);
+  EXPECT_LT(within, 0.5 * across);
+}
+
+TEST(VideoGen, MotionLevelControlsFrameDifference) {
+  VideoConfig still = small_config();
+  still.scenes = {VideoScene{6, 1.0, 0.0}};
+  VideoConfig moving = small_config();
+  moving.scenes = {VideoScene{6, 1.0, 1.0}};
+  const std::vector<Frame> a = generate_video(still);
+  const std::vector<Frame> b = generate_video(moving);
+  EXPECT_LT(mean_abs_luma_diff(a[2], a[3]) + 0.5,
+            mean_abs_luma_diff(b[2], b[3]));
+}
+
+TEST(VideoGen, ComplexityRaisesSpatialDetail) {
+  VideoConfig flat = small_config();
+  flat.scenes = {VideoScene{2, 0.2, 0.0}};
+  VideoConfig busy = small_config();
+  busy.scenes = {VideoScene{2, 2.0, 0.0}};
+  auto horizontal_activity = [](const Frame& frame) {
+    double total = 0.0;
+    for (int y = 0; y < frame.height(); ++y) {
+      for (int x = 1; x < frame.width(); ++x) {
+        total += std::abs(static_cast<int>(frame.y.at(x, y)) -
+                          static_cast<int>(frame.y.at(x - 1, y)));
+      }
+    }
+    return total;
+  };
+  const double calm = horizontal_activity(generate_video(flat)[0]);
+  const double rich = horizontal_activity(generate_video(busy)[0]);
+  EXPECT_GT(rich, 1.5 * calm);
+}
+
+TEST(VideoGen, RejectsBadConfig) {
+  VideoConfig config = small_config();
+  config.width = 100;  // not a multiple of 16
+  EXPECT_THROW(generate_video(config), std::invalid_argument);
+  config = small_config();
+  config.scenes.clear();
+  EXPECT_THROW(generate_video(config), std::invalid_argument);
+  config = small_config();
+  config.scenes[0].frames = 0;
+  EXPECT_THROW(generate_video(config), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lsm::mpeg

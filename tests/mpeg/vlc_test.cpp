@@ -1,0 +1,130 @@
+#include "mpeg/vlc.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "sim/rng.h"
+
+namespace lsm::mpeg {
+namespace {
+
+TEST(ExpGolomb, KnownCodewords) {
+  // 0 -> "1" (1 bit), 1 -> "010", 2 -> "011", 3 -> "00100".
+  BitWriter writer;
+  put_ue(writer, 0);
+  put_ue(writer, 1);
+  put_ue(writer, 2);
+  put_ue(writer, 3);
+  EXPECT_EQ(writer.bit_count(), 1 + 3 + 3 + 5);
+  BitReader reader(writer.take());
+  EXPECT_EQ(get_ue(reader), 0u);
+  EXPECT_EQ(get_ue(reader), 1u);
+  EXPECT_EQ(get_ue(reader), 2u);
+  EXPECT_EQ(get_ue(reader), 3u);
+}
+
+TEST(ExpGolomb, ShorterCodesForSmallerValues) {
+  auto bits_for = [](std::uint32_t value) {
+    BitWriter writer;
+    put_ue(writer, value);
+    return writer.bit_count();
+  };
+  EXPECT_LT(bits_for(0), bits_for(1));
+  EXPECT_LE(bits_for(1), bits_for(5));
+  EXPECT_LT(bits_for(5), bits_for(100));
+  EXPECT_LT(bits_for(100), bits_for(100000));
+}
+
+TEST(ExpGolomb, UnsignedRoundTripSweep) {
+  BitWriter writer;
+  for (std::uint32_t v = 0; v < 2000; ++v) put_ue(writer, v);
+  put_ue(writer, 0x7FFFFFFF);
+  BitReader reader(writer.take());
+  for (std::uint32_t v = 0; v < 2000; ++v) ASSERT_EQ(get_ue(reader), v);
+  EXPECT_EQ(get_ue(reader), 0x7FFFFFFFu);
+}
+
+TEST(ExpGolomb, SignedRoundTripSweep) {
+  BitWriter writer;
+  for (std::int32_t v = -1500; v <= 1500; ++v) put_se(writer, v);
+  put_se(writer, 1 << 30);
+  put_se(writer, -(1 << 30));
+  BitReader reader(writer.take());
+  for (std::int32_t v = -1500; v <= 1500; ++v) ASSERT_EQ(get_se(reader), v);
+  EXPECT_EQ(get_se(reader), 1 << 30);
+  EXPECT_EQ(get_se(reader), -(1 << 30));
+}
+
+TEST(ExpGolomb, SignedMappingOrder) {
+  // 0, 1, -1, 2, -2 map to codes of non-decreasing length.
+  auto bits_for = [](std::int32_t value) {
+    BitWriter writer;
+    put_se(writer, value);
+    return writer.bit_count();
+  };
+  EXPECT_LT(bits_for(0), bits_for(1));
+  EXPECT_EQ(bits_for(1), bits_for(-1));
+  EXPECT_EQ(bits_for(2), bits_for(-2));
+  EXPECT_LE(bits_for(1), bits_for(2));
+}
+
+TEST(Vlc, BlockRoundTrip) {
+  lsm::sim::Rng rng(31);
+  for (int round = 0; round < 200; ++round) {
+    const std::int16_t dc = static_cast<std::int16_t>(
+        rng.uniform_int(-1000, 1000));
+    std::vector<RunLevel> ac;
+    int budget = 63;
+    while (budget > 1 && rng.bernoulli(0.7)) {
+      const int run = static_cast<int>(rng.uniform_int(0, std::min(10, budget - 1)));
+      std::int16_t level = static_cast<std::int16_t>(rng.uniform_int(1, 500));
+      if (rng.bernoulli(0.5)) level = static_cast<std::int16_t>(-level);
+      ac.push_back(RunLevel{static_cast<std::uint8_t>(run), level});
+      budget -= run + 1;
+    }
+    BitWriter writer;
+    put_block(writer, dc, ac);
+    BitReader reader(writer.take());
+    const DecodedBlock decoded = get_block(reader);
+    ASSERT_EQ(decoded.dc, dc);
+    ASSERT_EQ(decoded.ac.size(), ac.size());
+    for (std::size_t k = 0; k < ac.size(); ++k) {
+      ASSERT_EQ(decoded.ac[k].run, ac[k].run);
+      ASSERT_EQ(decoded.ac[k].level, ac[k].level);
+    }
+  }
+}
+
+TEST(Vlc, MultipleBlocksBackToBack) {
+  BitWriter writer;
+  put_block(writer, 5, {RunLevel{0, 3}});
+  put_block(writer, -2, {});
+  put_block(writer, 0, {RunLevel{62, -1}});
+  BitReader reader(writer.take());
+  EXPECT_EQ(get_block(reader).dc, 5);
+  const DecodedBlock second = get_block(reader);
+  EXPECT_EQ(second.dc, -2);
+  EXPECT_TRUE(second.ac.empty());
+  const DecodedBlock third = get_block(reader);
+  EXPECT_EQ(third.ac[0].run, 62);
+  EXPECT_EQ(third.ac[0].level, -1);
+}
+
+TEST(Vlc, PutBlockRejectsZeroLevel) {
+  BitWriter writer;
+  EXPECT_THROW(put_block(writer, 0, {RunLevel{0, 0}}), std::invalid_argument);
+}
+
+TEST(Vlc, GetBlockRejectsBadRun) {
+  BitWriter writer;
+  put_se(writer, 0);   // dc
+  put_ue(writer, 63);  // run 63: invalid (only <= 62 possible)
+  put_se(writer, 1);
+  put_ue(writer, kEndOfBlockRun);
+  BitReader reader(writer.take());
+  EXPECT_THROW(get_block(reader), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace lsm::mpeg

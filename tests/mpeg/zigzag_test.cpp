@@ -1,0 +1,101 @@
+#include "mpeg/zigzag.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "sim/rng.h"
+
+namespace lsm::mpeg {
+namespace {
+
+TEST(Zigzag, ScanIsAPermutation) {
+  const auto& scan = zigzag_scan();
+  std::array<bool, 64> seen{};
+  for (const auto index : scan) {
+    ASSERT_LT(index, 64);
+    ASSERT_FALSE(seen[index]);
+    seen[index] = true;
+  }
+}
+
+TEST(Zigzag, ScanStartsAndEndsCorrectly) {
+  const auto& scan = zigzag_scan();
+  EXPECT_EQ(scan[0], 0);   // DC first
+  EXPECT_EQ(scan[1], 1);   // then (0,1)
+  EXPECT_EQ(scan[2], 8);   // then (1,0)
+  EXPECT_EQ(scan[63], 63); // highest frequency last
+}
+
+TEST(Zigzag, ScanFrequencyIsNonDecreasingDiagonally) {
+  // Each scan step moves to a cell whose (row + col) differs by at most 1.
+  const auto& scan = zigzag_scan();
+  for (std::size_t k = 1; k < 64; ++k) {
+    const int a = scan[k - 1] / 8 + scan[k - 1] % 8;
+    const int b = scan[k] / 8 + scan[k] % 8;
+    ASSERT_LE(std::abs(b - a), 1) << "k=" << k;
+  }
+}
+
+TEST(RunLength, AllZeroAcGivesNoPairs) {
+  CoeffBlock block{};
+  block[0] = 42;  // DC is excluded from the AC coder
+  EXPECT_TRUE(run_length_encode(block).empty());
+}
+
+TEST(RunLength, HandComputedPattern) {
+  const auto& scan = zigzag_scan();
+  CoeffBlock block{};
+  block[scan[1]] = 7;    // run 0
+  block[scan[4]] = -3;   // run 2
+  block[scan[63]] = 1;   // run 58
+  const std::vector<RunLevel> pairs = run_length_encode(block);
+  ASSERT_EQ(pairs.size(), 3u);
+  EXPECT_EQ(pairs[0].run, 0);
+  EXPECT_EQ(pairs[0].level, 7);
+  EXPECT_EQ(pairs[1].run, 2);
+  EXPECT_EQ(pairs[1].level, -3);
+  EXPECT_EQ(pairs[2].run, 58);
+  EXPECT_EQ(pairs[2].level, 1);
+}
+
+TEST(RunLength, RoundTripRandomBlocks) {
+  lsm::sim::Rng rng(23);
+  for (int round = 0; round < 300; ++round) {
+    CoeffBlock block{};
+    const int nonzero = static_cast<int>(rng.uniform_int(0, 20));
+    for (int k = 0; k < nonzero; ++k) {
+      const auto pos = static_cast<std::size_t>(rng.uniform_int(0, 63));
+      block[pos] = static_cast<std::int16_t>(
+          rng.bernoulli(0.5) ? rng.uniform_int(1, 300)
+                             : -rng.uniform_int(1, 300));
+    }
+    const CoeffBlock back =
+        run_length_decode(block[0], run_length_encode(block));
+    ASSERT_EQ(back, block) << "round " << round;
+  }
+}
+
+TEST(RunLength, DecodeRejectsOverflow) {
+  std::vector<RunLevel> pairs = {RunLevel{63, 5}, RunLevel{10, 1}};
+  EXPECT_THROW(run_length_decode(0, pairs), std::invalid_argument);
+}
+
+TEST(RunLength, DecodeRejectsZeroLevel) {
+  std::vector<RunLevel> pairs = {RunLevel{0, 0}};
+  EXPECT_THROW(run_length_decode(0, pairs), std::invalid_argument);
+}
+
+TEST(RunLength, DenseBlockFullRoundTrip) {
+  CoeffBlock block{};
+  for (std::size_t k = 0; k < 64; ++k) {
+    block[k] = static_cast<std::int16_t>(k % 2 == 0 ? k + 1 : -(int)k);
+  }
+  const CoeffBlock back =
+      run_length_decode(block[0], run_length_encode(block));
+  EXPECT_EQ(back, block);
+}
+
+}  // namespace
+}  // namespace lsm::mpeg

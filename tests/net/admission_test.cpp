@@ -1,0 +1,169 @@
+#include "net/admission.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/smoother.h"
+#include "net/mux.h"
+#include "trace/sequences.h"
+
+namespace lsm::net {
+namespace {
+
+using lsm::trace::Trace;
+
+core::RateSchedule smoothed_schedule(const Trace& trace) {
+  core::SmootherParams params;
+  params.tau = trace.tau();
+  params.D = 0.2;
+  params.H = trace.pattern().N();
+  return core::smooth_basic(trace, params).schedule();
+}
+
+core::RateSchedule raw_schedule(const Trace& trace, double offset = 0.0) {
+  std::vector<core::RateSegment> segments;
+  for (int i = 1; i <= trace.picture_count(); ++i) {
+    segments.push_back(core::RateSegment{
+        offset + (i - 1) * trace.tau(), offset + i * trace.tau(),
+        static_cast<double>(trace.size_of(i)) / trace.tau()});
+  }
+  return core::RateSchedule(std::move(segments));
+}
+
+TEST(Admission, EnforcesRateAndBufferBudgets) {
+  AdmissionController controller(10e6, 1e6);
+  EXPECT_TRUE(controller.try_admit(StreamDescriptor{4e5, 4e6}));
+  EXPECT_TRUE(controller.try_admit(StreamDescriptor{4e5, 4e6}));
+  // Third stream breaks the rate budget.
+  EXPECT_FALSE(controller.try_admit(StreamDescriptor{1e5, 4e6}));
+  // A slim stream fits the remaining 2 Mbps but must also fit the buffer.
+  EXPECT_FALSE(controller.try_admit(StreamDescriptor{3e5, 1e6}));
+  EXPECT_TRUE(controller.try_admit(StreamDescriptor{1e5, 1e6}));
+  EXPECT_EQ(controller.admitted_count(), 3);
+}
+
+TEST(Admission, DescriptorMeasurementMatchesTokenBucket) {
+  const Trace t = lsm::trace::backyard();
+  const core::RateSchedule schedule = smoothed_schedule(t);
+  const double rho = t.mean_rate() * 1.3;
+  const StreamDescriptor descriptor = describe_stream(schedule, rho);
+  EXPECT_DOUBLE_EQ(descriptor.rho, rho);
+  EXPECT_DOUBLE_EQ(descriptor.sigma, min_bucket_depth(schedule, rho));
+}
+
+TEST(Admission, AdmittedSetNeverLosesInTheFluidMux) {
+  // The deterministic guarantee, checked by simulation: admit streams
+  // (phase-shifted copies of the paper sequences) until rejection, then run
+  // the admitted set through a fluid mux at exactly (C, B) — loss must be
+  // zero.
+  const double capacity = 12e6;
+  const double buffer = 2e6;
+  AdmissionController controller(capacity, buffer);
+  std::vector<core::RateSchedule> admitted;
+  const std::vector<Trace> catalog = lsm::trace::paper_sequences();
+  for (int s = 0; s < 16; ++s) {
+    const Trace& t = catalog[static_cast<std::size_t>(s) % catalog.size()];
+    const double rho = t.mean_rate() * 1.45;
+    core::RateSchedule schedule =
+        smoothed_schedule(t).shifted_left(-0.083 * s);
+    const StreamDescriptor descriptor = describe_stream(schedule, rho);
+    if (controller.try_admit(descriptor)) {
+      admitted.push_back(std::move(schedule));
+    }
+  }
+  ASSERT_GE(admitted.size(), 2u);
+  ASSERT_LT(admitted.size(), 16u);  // the link did fill up
+
+  FluidMuxConfig config;
+  config.service_rate_bps = capacity;
+  config.buffer_bits = buffer;
+  const FluidMuxResult result = simulate_fluid_mux(admitted, config);
+  // Zero up to the fluid integrator's discretization error.
+  EXPECT_LT(result.loss_ratio, 1e-6);
+}
+
+TEST(Admission, SmoothingAdmitsMoreStreams) {
+  // The admission-control statement of the multiplexing-gain claim. The
+  // buffer is sized so raw VBR streams exhaust it (sigma ~ 100-220 kbit
+  // each at rho = 1.45x mean) while smoothed streams (sigma ~ 0) are
+  // limited only by link rate.
+  const double capacity = 12e6;
+  const double buffer = 3e5;
+  const std::vector<Trace> catalog = lsm::trace::paper_sequences();
+
+  auto admit_count = [&](bool smoothed) {
+    AdmissionController controller(capacity, buffer);
+    for (int s = 0; s < 24; ++s) {
+      const Trace& t = catalog[static_cast<std::size_t>(s) % catalog.size()];
+      const double rho = t.mean_rate() * 1.45;
+      const core::RateSchedule schedule =
+          smoothed ? smoothed_schedule(t) : raw_schedule(t);
+      controller.try_admit(describe_stream(schedule, rho));
+    }
+    return controller.admitted_count();
+  };
+  const int raw = admit_count(false);
+  const int smooth = admit_count(true);
+  EXPECT_GT(smooth, raw);
+}
+
+TEST(Policing, ConformingStreamPassesUntouched) {
+  const Trace t = lsm::trace::backyard();
+  const core::SmoothingResult result = [&t] {
+    core::SmootherParams params;
+    params.tau = t.tau();
+    params.D = 0.2;
+    params.H = t.pattern().N();
+    return core::smooth_basic(t, params);
+  }();
+  const double rho = t.mean_rate() * 1.3;
+  const std::vector<Cell> cells = packetize(result);
+  const StreamDescriptor descriptor = describe_cells(cells, rho);
+  const PolicedCells policed = police_cells(cells, descriptor);
+  EXPECT_EQ(policed.dropped, 0);
+  // Padding makes the cell descriptor strictly larger than the fluid one.
+  EXPECT_GE(descriptor.sigma,
+            describe_stream(result.schedule(), rho).sigma);
+}
+
+TEST(Policing, UndersizedDescriptorDropsCells) {
+  // Police the RAW stream with the smoothed stream's (near-zero) sigma: the
+  // I-picture bursts are nonconforming and get cut at the edge.
+  const Trace t = lsm::trace::driving1();
+  const double rho = t.mean_rate() * 1.3;
+  const PolicedCells policed = police_cells(
+      packetize_unsmoothed(t), StreamDescriptor{1000.0, rho});
+  EXPECT_GT(policed.dropped, 0);
+  // Conforming output is still time-ordered.
+  for (std::size_t k = 1; k < policed.conforming.size(); ++k) {
+    ASSERT_GE(policed.conforming[k].time,
+              policed.conforming[k - 1].time - 1e-12);
+  }
+}
+
+TEST(Policing, DropsFallAsSigmaGrows) {
+  const Trace t = lsm::trace::driving1();
+  const double rho = t.mean_rate() * 1.2;
+  const std::vector<Cell> cells = packetize_unsmoothed(t);
+  std::int64_t previous = 1LL << 60;
+  for (const double sigma : {1e3, 1e4, 1e5, 1e6}) {
+    const std::int64_t dropped =
+        police_cells(cells, StreamDescriptor{sigma, rho}).dropped;
+    EXPECT_LE(dropped, previous) << "sigma " << sigma;
+    previous = dropped;
+  }
+}
+
+TEST(Admission, RejectsBadInputs) {
+  EXPECT_THROW(AdmissionController(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(AdmissionController(1.0, -1.0), std::invalid_argument);
+  AdmissionController controller(1e6, 1e5);
+  EXPECT_THROW(controller.try_admit(StreamDescriptor{0.0, 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(controller.try_admit(StreamDescriptor{-1.0, 1.0}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lsm::net

@@ -1,0 +1,90 @@
+#include "net/packetize.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/smoother.h"
+#include "trace/sequences.h"
+
+namespace lsm::net {
+namespace {
+
+using lsm::trace::GopPattern;
+using lsm::trace::Trace;
+
+TEST(Packetize, CellCountMatchesBits) {
+  const Trace t("t", GopPattern(1, 1), {1000, 384, 385}, 0.1);
+  const std::vector<Cell> cells = packetize_unsmoothed(t);
+  // ceil(1000/384) + ceil(384/384) + ceil(385/384) = 3 + 1 + 2.
+  EXPECT_EQ(cells.size(), 6u);
+}
+
+TEST(Packetize, UnsmoothedCellsStayInsideTheirPicturePeriod) {
+  const Trace t = lsm::trace::backyard();
+  const std::vector<Cell> cells = packetize_unsmoothed(t);
+  for (const Cell& cell : cells) {
+    const double begin = (cell.picture - 1) * t.tau();
+    ASSERT_GT(cell.time, begin);
+    ASSERT_LE(cell.time, begin + t.tau() + 1e-9);
+  }
+}
+
+TEST(Packetize, SmoothedCellsFollowTheSchedule) {
+  const Trace t = lsm::trace::backyard();
+  core::SmootherParams params;
+  params.tau = t.tau();
+  params.H = 12;
+  const core::SmoothingResult result = core::smooth_basic(t, params);
+  const std::vector<Cell> cells = packetize(result);
+  std::size_t k = 0;
+  for (const core::PictureSend& send : result.sends) {
+    const auto count = static_cast<std::size_t>(
+        (send.bits + kCellPayloadBits - 1) / kCellPayloadBits);
+    for (std::size_t c = 0; c < count; ++c, ++k) {
+      ASSERT_LT(k, cells.size());
+      ASSERT_EQ(cells[k].picture, send.index);
+      ASSERT_GT(cells[k].time, send.start);
+      ASSERT_LE(cells[k].time, send.depart + 1e-9);
+    }
+  }
+  EXPECT_EQ(k, cells.size());
+}
+
+TEST(Packetize, CellTimesAreNonDecreasing) {
+  const Trace t = lsm::trace::driving1();
+  core::SmootherParams params;
+  params.tau = t.tau();
+  const std::vector<Cell> cells = packetize(core::smooth_basic(t, params));
+  for (std::size_t k = 1; k < cells.size(); ++k) {
+    ASSERT_GE(cells[k].time, cells[k - 1].time - 1e-12);
+  }
+}
+
+TEST(Packetize, TotalPayloadCoversTraceBits) {
+  const Trace t = lsm::trace::backyard();
+  const std::vector<Cell> cells = packetize_unsmoothed(t);
+  const auto payload_bits =
+      static_cast<std::int64_t>(cells.size()) * kCellPayloadBits;
+  EXPECT_GE(payload_bits, t.total_bits());
+  // Padding waste is below one cell per picture.
+  EXPECT_LT(payload_bits - t.total_bits(),
+            static_cast<std::int64_t>(t.picture_count()) * kCellPayloadBits);
+}
+
+TEST(Packetize, ShiftMovesAllCells) {
+  const Trace t("t", GopPattern(1, 1), {1000}, 0.1);
+  std::vector<Cell> cells = packetize_unsmoothed(t);
+  const double first = cells.front().time;
+  shift_cells(cells, 2.5);
+  EXPECT_DOUBLE_EQ(cells.front().time, first + 2.5);
+}
+
+TEST(Packetize, SourceTagPropagates) {
+  const Trace t("t", GopPattern(1, 1), {1000}, 0.1);
+  const std::vector<Cell> cells = packetize_unsmoothed(t, 7);
+  for (const Cell& cell : cells) EXPECT_EQ(cell.source, 7);
+}
+
+}  // namespace
+}  // namespace lsm::net

@@ -1,0 +1,127 @@
+#include "net/renegotiation.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/smoother.h"
+#include "trace/sequences.h"
+
+namespace lsm::net {
+namespace {
+
+using lsm::trace::Trace;
+
+core::RateSchedule smoothed_schedule(const Trace& trace, double D = 0.2) {
+  core::SmootherParams params;
+  params.tau = trace.tau();
+  params.D = D;
+  params.H = trace.pattern().N();
+  return core::smooth_basic(trace, params).schedule();
+}
+
+core::RateSchedule raw_schedule(const Trace& trace) {
+  std::vector<core::RateSegment> segments;
+  for (int i = 1; i <= trace.picture_count(); ++i) {
+    segments.push_back(core::RateSegment{
+        (i - 1) * trace.tau(), i * trace.tau(),
+        static_cast<double>(trace.size_of(i)) / trace.tau()});
+  }
+  return core::RateSchedule(std::move(segments));
+}
+
+TEST(Renegotiation, ReservationAlwaysCoversDemand) {
+  const Trace t = lsm::trace::driving1();
+  for (const core::RateSchedule& schedule :
+       {smoothed_schedule(t), raw_schedule(t)}) {
+    const ReservationResult planned =
+        plan_reservation(schedule, RenegotiationPolicy{});
+    // Check at every demand breakpoint midpoint.
+    const auto points = schedule.breakpoints();
+    for (std::size_t k = 0; k + 1 < points.size(); ++k) {
+      const double mid = 0.5 * (points[k] + points[k + 1]);
+      ASSERT_GE(planned.reservation.rate_at(mid) + 1e-6,
+                schedule.rate_at(mid))
+          << "t=" << mid;
+    }
+  }
+}
+
+TEST(Renegotiation, HoldTimeIsRespected) {
+  const Trace t = lsm::trace::tennis();
+  RenegotiationPolicy policy;
+  policy.min_hold = 0.75;
+  const ReservationResult planned =
+      plan_reservation(smoothed_schedule(t), policy);
+  const auto& segments = planned.reservation.segments();
+  for (std::size_t k = 0; k + 1 < segments.size(); ++k) {
+    // Every reservation level is held at least min_hold (merged segments
+    // can only be longer).
+    EXPECT_GE(segments[k].end - segments[k].begin, policy.min_hold - 1e-9);
+  }
+}
+
+TEST(Renegotiation, LongerHoldMeansFewerRenegotiations) {
+  const Trace t = lsm::trace::driving1();
+  const core::RateSchedule schedule = smoothed_schedule(t);
+  RenegotiationPolicy fast;
+  fast.min_hold = 0.1;
+  RenegotiationPolicy slow;
+  slow.min_hold = 2.0;
+  EXPECT_GE(plan_reservation(schedule, fast).renegotiations,
+            plan_reservation(schedule, slow).renegotiations);
+}
+
+TEST(Renegotiation, SmoothedStreamIsCheaperToCarry) {
+  // The practical meaning of the paper's "number of rate changes" measure:
+  // at equal hold time, the smoothed stream needs fewer renegotiations AND
+  // wastes less reserved capacity than the raw VBR stream.
+  const Trace t = lsm::trace::driving1();
+  const ReservationResult raw =
+      plan_reservation(raw_schedule(t), RenegotiationPolicy{});
+  const ReservationResult smooth =
+      plan_reservation(smoothed_schedule(t), RenegotiationPolicy{});
+  EXPECT_LT(smooth.over_reservation, 0.7 * raw.over_reservation);
+  EXPECT_LE(smooth.peak_reserved, raw.peak_reserved);
+}
+
+TEST(Renegotiation, ConstantDemandNeedsOneReservation) {
+  const core::RateSchedule schedule(
+      {core::RateSegment{0.0, 10.0, 1e6}});
+  const ReservationResult planned =
+      plan_reservation(schedule, RenegotiationPolicy{});
+  EXPECT_EQ(planned.renegotiations, 0);
+  EXPECT_NEAR(planned.peak_reserved, 1.02e6, 1.0);
+  EXPECT_NEAR(planned.over_reservation, 0.02, 1e-6);
+}
+
+TEST(Renegotiation, ReleaseThresholdTriggersDownNegotiation) {
+  // High plateau then low plateau: with releases enabled the reservation
+  // steps down; with releases disabled it stays up.
+  const core::RateSchedule schedule({core::RateSegment{0.0, 2.0, 1e6},
+                                     core::RateSegment{2.0, 10.0, 1e5}});
+  RenegotiationPolicy with_release;
+  RenegotiationPolicy no_release;
+  no_release.release_threshold = 0.0;
+  const ReservationResult released =
+      plan_reservation(schedule, with_release);
+  const ReservationResult held = plan_reservation(schedule, no_release);
+  EXPECT_LT(released.over_reservation, held.over_reservation);
+  EXPECT_GE(released.renegotiations, 1);
+  EXPECT_EQ(held.renegotiations, 0);
+}
+
+TEST(Renegotiation, RejectsBadInputs) {
+  EXPECT_THROW(plan_reservation(core::RateSchedule{}, RenegotiationPolicy{}),
+               std::invalid_argument);
+  const core::RateSchedule schedule({core::RateSegment{0.0, 1.0, 1.0}});
+  RenegotiationPolicy bad;
+  bad.min_hold = 0.0;
+  EXPECT_THROW(plan_reservation(schedule, bad), std::invalid_argument);
+  bad = RenegotiationPolicy{};
+  bad.headroom = 0.9;
+  EXPECT_THROW(plan_reservation(schedule, bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lsm::net

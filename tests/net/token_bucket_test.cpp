@@ -1,0 +1,129 @@
+#include "net/token_bucket.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/smoother.h"
+#include "trace/sequences.h"
+
+namespace lsm::net {
+namespace {
+
+TEST(MinBucketDepth, ConstantRateBelowRhoNeedsNoDepth) {
+  const core::RateSchedule s({core::RateSegment{0.0, 10.0, 100.0}});
+  EXPECT_DOUBLE_EQ(min_bucket_depth(s, 150.0), 0.0);
+  EXPECT_DOUBLE_EQ(min_bucket_depth(s, 100.0), 0.0);
+}
+
+TEST(MinBucketDepth, HandComputedBurst) {
+  // 1000 b/s for 2 s then silence; rho = 600: backlog peaks at 800 bits.
+  const core::RateSchedule s({core::RateSegment{0.0, 2.0, 1000.0}});
+  EXPECT_NEAR(min_bucket_depth(s, 600.0), 800.0, 1e-9);
+}
+
+TEST(MinBucketDepth, GapsDrainTheBucket) {
+  // Two bursts separated by an idle second.
+  const core::RateSchedule s({core::RateSegment{0.0, 1.0, 1000.0},
+                              core::RateSegment{2.0, 3.0, 1000.0}});
+  // rho = 600: each burst alone peaks at 400; the 1 s gap drains 600 > 400,
+  // so the peaks do not accumulate.
+  EXPECT_NEAR(min_bucket_depth(s, 600.0), 400.0, 1e-9);
+  // rho = 450: burst peak 550, gap drains 450, second burst adds 550 on a
+  // 100-bit remainder -> 650.
+  EXPECT_NEAR(min_bucket_depth(s, 450.0), 650.0, 1e-9);
+}
+
+TEST(MinBucketDepth, MonotoneDecreasingInRho) {
+  const auto t = lsm::trace::driving1();
+  core::SmootherParams params;
+  params.tau = t.tau();
+  const core::RateSchedule s = core::smooth_basic(t, params).schedule();
+  double previous = 1e18;
+  for (double rho = 0.5e6; rho <= 4e6; rho += 0.5e6) {
+    const double sigma = min_bucket_depth(s, rho);
+    EXPECT_LE(sigma, previous + 1e-6);
+    previous = sigma;
+  }
+}
+
+TEST(MinBucketDepth, SmoothingShrinksTheCurve) {
+  const auto t = lsm::trace::driving1();
+  core::SmootherParams params;
+  params.tau = t.tau();
+  params.D = 0.2;
+  params.H = 9;
+  // Raw stream: each picture at its own per-period rate.
+  std::vector<core::RateSegment> raw_segments;
+  for (int i = 1; i <= t.picture_count(); ++i) {
+    raw_segments.push_back(core::RateSegment{
+        (i - 1) * t.tau(), i * t.tau(),
+        static_cast<double>(t.size_of(i)) / t.tau()});
+  }
+  const core::RateSchedule raw(std::move(raw_segments));
+  const core::RateSchedule smooth = core::smooth_basic(t, params).schedule();
+  const double rho = t.mean_rate() * 1.5;
+  EXPECT_LT(min_bucket_depth(smooth, rho),
+            0.5 * min_bucket_depth(raw, rho));
+}
+
+TEST(MinBucketDepth, RejectsBadRho) {
+  const core::RateSchedule s({core::RateSegment{0.0, 1.0, 1.0}});
+  EXPECT_THROW(min_bucket_depth(s, 0.0), std::invalid_argument);
+}
+
+TEST(BurstinessCurve, SamplesEveryRho) {
+  const core::RateSchedule s({core::RateSegment{0.0, 2.0, 1000.0}});
+  const auto curve = burstiness_curve(s, {400.0, 600.0, 1200.0});
+  ASSERT_EQ(curve.size(), 3u);
+  EXPECT_NEAR(curve[0].sigma, 1200.0, 1e-9);
+  EXPECT_NEAR(curve[1].sigma, 800.0, 1e-9);
+  EXPECT_DOUBLE_EQ(curve[2].sigma, 0.0);
+}
+
+TEST(TokenBucket, ConformingStreamPasses) {
+  TokenBucket bucket(1000.0, 500.0);
+  EXPECT_TRUE(bucket.consume(0.0, 800.0));
+  // 0.4 s refills 200 -> 400 available.
+  EXPECT_TRUE(bucket.consume(0.4, 400.0));
+  EXPECT_FALSE(bucket.consume(0.4, 1.0));
+}
+
+TEST(TokenBucket, RefillsCapAtSigma) {
+  TokenBucket bucket(100.0, 1000.0);
+  EXPECT_TRUE(bucket.consume(0.0, 100.0));
+  // 10 s would refill 10000, capped at 100.
+  EXPECT_FALSE(bucket.consume(10.0, 101.0));
+  EXPECT_TRUE(bucket.consume(10.0, 100.0));
+}
+
+TEST(TokenBucket, RejectsTimeTravel) {
+  TokenBucket bucket(100.0, 10.0);
+  EXPECT_TRUE(bucket.consume(5.0, 1.0));
+  EXPECT_THROW(bucket.consume(4.0, 1.0), std::invalid_argument);
+}
+
+TEST(TokenBucket, ScheduleConformsToItsMeasuredDepth) {
+  // Property: feeding a schedule's own cells through a bucket sized by
+  // min_bucket_depth at the same rho never rejects.
+  const auto t = lsm::trace::backyard();
+  core::SmootherParams params;
+  params.tau = t.tau();
+  params.H = 12;
+  const core::SmoothingResult result = core::smooth_basic(t, params);
+  const core::RateSchedule schedule = result.schedule();
+  const double rho = t.mean_rate() * 1.2;
+  const double sigma = min_bucket_depth(schedule, rho);
+  // Feed the fluid schedule in small steps. Discretization front-loads each
+  // step's bits, so allow one step of slack on top of the measured depth.
+  const double step = 1e-3;
+  TokenBucket bucket(sigma + schedule.max_rate() * step, rho);
+  for (double at = schedule.start_time(); at < schedule.end_time();
+       at += step) {
+    const double bits = schedule.rate_at(at + 0.5 * step) * step;
+    ASSERT_TRUE(bucket.consume(at, bits)) << "time " << at;
+  }
+}
+
+}  // namespace
+}  // namespace lsm::net

@@ -1,0 +1,142 @@
+#include "net/transport.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/smoother.h"
+#include "trace/sequences.h"
+
+namespace lsm::net {
+namespace {
+
+using lsm::trace::Trace;
+
+PipelineConfig default_config(const Trace& trace) {
+  PipelineConfig config;
+  config.params.tau = trace.tau();
+  config.params.D = 0.2;
+  config.params.K = 1;
+  config.params.H = trace.pattern().N();
+  config.network_latency = 0.010;
+  return config;
+}
+
+TEST(Pipeline, DeliversEveryPicture) {
+  const Trace t = lsm::trace::driving1();
+  const PipelineReport report = run_live_pipeline(t, default_config(t));
+  EXPECT_EQ(report.deliveries.size(),
+            static_cast<std::size_t>(t.picture_count()));
+}
+
+TEST(Pipeline, NoUnderflowWhenPlayoutOffsetCoversDPlusLatency) {
+  // The transport contract implied by Theorem 1.
+  for (const Trace& t : lsm::trace::paper_sequences()) {
+    const PipelineConfig config = default_config(t);
+    const PipelineReport report = run_live_pipeline(t, config);
+    EXPECT_EQ(report.underflows, 0) << t.name();
+    EXPECT_TRUE(report.clean());
+    EXPECT_NEAR(report.playout_offset, 0.21, 1e-12);
+  }
+}
+
+TEST(Pipeline, SenderDelaysRespectTheBound) {
+  const Trace t = lsm::trace::tennis();
+  const PipelineConfig config = default_config(t);
+  const PipelineReport report = run_live_pipeline(t, config);
+  EXPECT_LE(report.max_sender_delay, config.params.D + 1e-9);
+}
+
+TEST(Pipeline, TightPlayoutOffsetUnderflows) {
+  const Trace t = lsm::trace::driving1();
+  PipelineConfig config = default_config(t);
+  // Offset far below D: pictures whose smoothing delay exceeds it are late.
+  config.playout_offset = 0.07;
+  const PipelineReport report = run_live_pipeline(t, config);
+  EXPECT_GT(report.underflows, 0);
+}
+
+TEST(Pipeline, LatencyShiftsReceptionNotSending) {
+  const Trace t = lsm::trace::backyard();
+  PipelineConfig near = default_config(t);
+  near.network_latency = 0.0;
+  PipelineConfig far = default_config(t);
+  far.network_latency = 0.1;
+  const PipelineReport a = run_live_pipeline(t, near);
+  const PipelineReport b = run_live_pipeline(t, far);
+  for (std::size_t k = 0; k < a.deliveries.size(); ++k) {
+    ASSERT_DOUBLE_EQ(a.deliveries[k].sender_done,
+                     b.deliveries[k].sender_done);
+    ASSERT_NEAR(b.deliveries[k].received - a.deliveries[k].received, 0.1,
+                1e-9);
+  }
+  EXPECT_EQ(b.underflows, 0);  // offset auto-includes the latency
+}
+
+TEST(Pipeline, DeliveriesMatchOfflineSmoother) {
+  // The event-driven pipeline and the batch smoother must compute the same
+  // schedule (the engine is shared; the pipeline only changes *when* the
+  // steps run, not what they see).
+  const Trace t = lsm::trace::driving2();
+  const PipelineConfig config = default_config(t);
+  const PipelineReport report = run_live_pipeline(t, config);
+  const core::SmoothingResult offline = core::smooth_basic(t, config.params);
+  ASSERT_EQ(report.deliveries.size(), offline.sends.size());
+  for (std::size_t k = 0; k < offline.sends.size(); ++k) {
+    ASSERT_DOUBLE_EQ(report.deliveries[k].sender_start,
+                     offline.sends[k].start);
+    ASSERT_DOUBLE_EQ(report.deliveries[k].sender_done,
+                     offline.sends[k].depart);
+  }
+}
+
+TEST(Pipeline, JitterCoveredByAutoOffsetStaysClean) {
+  const Trace t = lsm::trace::driving1();
+  PipelineConfig config = default_config(t);
+  config.jitter = 0.03;
+  const PipelineReport report = run_live_pipeline(t, config);
+  EXPECT_NEAR(report.playout_offset, 0.2 + 0.01 + 0.03, 1e-12);
+  EXPECT_EQ(report.underflows, 0);
+}
+
+TEST(Pipeline, JitterBeyondOffsetCausesLateness) {
+  const Trace t = lsm::trace::driving1();
+  PipelineConfig config = default_config(t);
+  config.jitter = 0.05;
+  // Offset covers D + base latency but NOT the jitter.
+  config.playout_offset = 0.2 + 0.01;
+  const PipelineReport report = run_live_pipeline(t, config);
+  EXPECT_GT(report.underflows, 0);
+}
+
+TEST(Pipeline, JitterIsDeterministicPerSeed) {
+  const Trace t = lsm::trace::backyard();
+  PipelineConfig config = default_config(t);
+  config.jitter = 0.02;
+  const PipelineReport a = run_live_pipeline(t, config);
+  const PipelineReport b = run_live_pipeline(t, config);
+  config.jitter_seed = 2;
+  const PipelineReport c = run_live_pipeline(t, config);
+  ASSERT_EQ(a.deliveries.size(), b.deliveries.size());
+  bool any_difference = false;
+  for (std::size_t k = 0; k < a.deliveries.size(); ++k) {
+    ASSERT_DOUBLE_EQ(a.deliveries[k].received, b.deliveries[k].received);
+    if (a.deliveries[k].received != c.deliveries[k].received) {
+      any_difference = true;
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(Pipeline, RejectsBadConfig) {
+  const Trace t = lsm::trace::backyard();
+  PipelineConfig config = default_config(t);
+  config.network_latency = -1.0;
+  EXPECT_THROW(run_live_pipeline(t, config), std::invalid_argument);
+  config = default_config(t);
+  config.params.H = 0;
+  EXPECT_THROW(run_live_pipeline(t, config), core::InvalidParams);
+}
+
+}  // namespace
+}  // namespace lsm::net

@@ -1,0 +1,102 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace lsm::sim {
+namespace {
+
+TEST(EventQueue, DispatchesInTimeOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.schedule_at(3.0, [&order] { order.push_back(3); });
+  queue.schedule_at(1.0, [&order] { order.push_back(1); });
+  queue.schedule_at(2.0, [&order] { order.push_back(2); });
+  queue.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesBreakFifo) {
+  EventQueue queue;
+  std::vector<int> order;
+  for (int k = 0; k < 10; ++k) {
+    queue.schedule_at(5.0, [&order, k] { order.push_back(k); });
+  }
+  queue.run();
+  for (int k = 0; k < 10; ++k) {
+    EXPECT_EQ(order[static_cast<std::size_t>(k)], k);
+  }
+}
+
+TEST(EventQueue, ClockAdvancesToEventTime) {
+  EventQueue queue;
+  double observed = -1.0;
+  queue.schedule_at(2.5, [&] { observed = queue.now(); });
+  queue.run();
+  EXPECT_DOUBLE_EQ(observed, 2.5);
+  EXPECT_DOUBLE_EQ(queue.now(), 2.5);
+}
+
+TEST(EventQueue, ActionsMayScheduleFurtherEvents) {
+  EventQueue queue;
+  std::vector<double> times;
+  queue.schedule_at(1.0, [&] {
+    times.push_back(queue.now());
+    queue.schedule_in(1.0, [&] { times.push_back(queue.now()); });
+  });
+  queue.run();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_DOUBLE_EQ(times[0], 1.0);
+  EXPECT_DOUBLE_EQ(times[1], 2.0);
+}
+
+TEST(EventQueue, SchedulingInThePastThrows) {
+  EventQueue queue;
+  queue.schedule_at(1.0, [] {});
+  queue.run();
+  EXPECT_THROW(queue.schedule_at(0.5, [] {}), std::invalid_argument);
+  EXPECT_THROW(queue.schedule_in(-0.1, [] {}), std::invalid_argument);
+}
+
+TEST(EventQueue, RunUntilStopsAtLimitInclusive) {
+  EventQueue queue;
+  std::vector<int> fired;
+  queue.schedule_at(1.0, [&] { fired.push_back(1); });
+  queue.schedule_at(2.0, [&] { fired.push_back(2); });
+  queue.schedule_at(3.0, [&] { fired.push_back(3); });
+  const std::size_t count = queue.run_until(2.0);
+  EXPECT_EQ(count, 2u);
+  EXPECT_EQ(fired, (std::vector<int>{1, 2}));
+  EXPECT_EQ(queue.pending(), 1u);
+  EXPECT_DOUBLE_EQ(queue.now(), 2.0);
+}
+
+TEST(EventQueue, RunUntilAdvancesClockWhenIdle) {
+  EventQueue queue;
+  queue.run_until(7.0);
+  EXPECT_DOUBLE_EQ(queue.now(), 7.0);
+}
+
+TEST(EventQueue, StepReturnsFalseWhenEmpty) {
+  EventQueue queue;
+  EXPECT_FALSE(queue.step());
+  queue.schedule_at(0.0, [] {});
+  EXPECT_TRUE(queue.step());
+  EXPECT_FALSE(queue.step());
+}
+
+TEST(EventQueue, ZeroDelaySelfScheduleRunsAfterCurrent) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.schedule_at(1.0, [&] {
+    queue.schedule_in(0.0, [&] { order.push_back(2); });
+    order.push_back(1);
+  });
+  queue.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+}  // namespace
+}  // namespace lsm::sim

@@ -1,0 +1,49 @@
+// Golden-file regression pin: the calibrated paper sequences shipped in
+// data/ must match what the generator produces today. Any change to the RNG,
+// the scene process, or the calibration constants trips this test — which is
+// the point: EXPERIMENTS.md's measured numbers are tied to these exact
+// traces.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "trace/io.h"
+#include "trace/sequences.h"
+
+namespace lsm::trace {
+namespace {
+
+std::string data_dir() {
+  // Tests run from the build tree; the data directory lives in the source
+  // tree. LSM_SOURCE_DIR is injected by the test CMakeLists.
+  const char* dir = std::getenv("LSM_SOURCE_DIR");
+  return dir != nullptr ? std::string(dir) + "/data" : "../data";
+}
+
+class GoldenTrace : public testing::TestWithParam<const char*> {};
+
+TEST_P(GoldenTrace, FileMatchesGenerator) {
+  const std::string name = GetParam();
+  Trace generated = name == "driving1"   ? driving1()
+                    : name == "driving2" ? driving2()
+                    : name == "tennis"   ? tennis()
+                                         : backyard();
+  const Trace loaded = load_trace_file(data_dir() + "/" + name + ".trace");
+  EXPECT_EQ(loaded.name(), generated.name());
+  EXPECT_TRUE(loaded.pattern() == generated.pattern());
+  EXPECT_EQ(loaded.sizes(), generated.sizes());
+  EXPECT_EQ(loaded.types(), generated.types());
+  EXPECT_EQ(loaded.width(), generated.width());
+  EXPECT_EQ(loaded.height(), generated.height());
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperSequences, GoldenTrace,
+                         testing::Values("driving1", "driving2", "tennis",
+                                         "backyard"),
+                         [](const auto& info) {
+                           return std::string(info.param);
+                         });
+
+}  // namespace
+}  // namespace lsm::trace

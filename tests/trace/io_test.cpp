@@ -1,0 +1,91 @@
+#include "trace/io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "trace/sequences.h"
+
+namespace lsm::trace {
+namespace {
+
+TEST(TraceIo, RoundTripPreservesEverything) {
+  const Trace original("Sample", GopPattern(9, 3),
+                       {214332, 18997, 20011, 95000, 21000, 19000, 97000,
+                        20500, 18800},
+                       1.0 / 30.0, 640, 480);
+  std::stringstream buffer;
+  save_trace(original, buffer);
+  const Trace loaded = load_trace(buffer);
+
+  EXPECT_EQ(loaded.name(), original.name());
+  EXPECT_TRUE(loaded.pattern() == original.pattern());
+  EXPECT_EQ(loaded.sizes(), original.sizes());
+  EXPECT_EQ(loaded.types(), original.types());
+  EXPECT_NEAR(loaded.tau(), original.tau(), 1e-12);
+  EXPECT_EQ(loaded.width(), 640);
+  EXPECT_EQ(loaded.height(), 480);
+}
+
+TEST(TraceIo, RoundTripPaperSequence) {
+  const Trace original = driving1();
+  std::stringstream buffer;
+  save_trace(original, buffer);
+  const Trace loaded = load_trace(buffer);
+  EXPECT_EQ(loaded.sizes(), original.sizes());
+}
+
+TEST(TraceIo, CommentsAndBlankLinesIgnored) {
+  std::stringstream buffer;
+  buffer << "# a comment\n\nlsm-trace 1\nname T\n# another\npattern IBB\n"
+         << "tau 0.1\nresolution 0 0\npictures 3\n1 I 100\n\n2 B 20\n3 B 30\n";
+  const Trace loaded = load_trace(buffer);
+  EXPECT_EQ(loaded.picture_count(), 3);
+  EXPECT_EQ(loaded.size_of(2), 20);
+}
+
+TEST(TraceIo, RejectsWrongVersion) {
+  std::stringstream buffer;
+  buffer << "lsm-trace 2\nname T\npattern I\ntau 0.1\nresolution 0 0\n"
+         << "pictures 1\n1 I 100\n";
+  EXPECT_THROW(load_trace(buffer), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsMissingPictures) {
+  std::stringstream buffer;
+  buffer << "lsm-trace 1\nname T\npattern I\ntau 0.1\nresolution 0 0\n"
+         << "pictures 3\n1 I 100\n2 I 90\n";
+  EXPECT_THROW(load_trace(buffer), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsOutOfOrderIndices) {
+  std::stringstream buffer;
+  buffer << "lsm-trace 1\nname T\npattern I\ntau 0.1\nresolution 0 0\n"
+         << "pictures 2\n2 I 100\n1 I 90\n";
+  EXPECT_THROW(load_trace(buffer), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsBadType) {
+  std::stringstream buffer;
+  buffer << "lsm-trace 1\nname T\npattern I\ntau 0.1\nresolution 0 0\n"
+         << "pictures 1\n1 Q 100\n";
+  EXPECT_THROW(load_trace(buffer), std::runtime_error);
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  const Trace original = backyard();
+  const std::string path = testing::TempDir() + "/lsm_io_test.trace";
+  save_trace_file(original, path);
+  const Trace loaded = load_trace_file(path);
+  EXPECT_EQ(loaded.sizes(), original.sizes());
+  EXPECT_EQ(loaded.name(), original.name());
+}
+
+TEST(TraceIo, MissingFileThrows) {
+  EXPECT_THROW(load_trace_file("/nonexistent/definitely/missing.trace"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace lsm::trace

@@ -1,0 +1,97 @@
+#include "trace/model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "trace/sequences.h"
+#include "trace/stats.h"
+
+namespace lsm::trace {
+namespace {
+
+TEST(TraceModel, FitRequiresEnoughData) {
+  const Trace tiny("t", GopPattern(9, 3), std::vector<Bits>(18, 1000));
+  EXPECT_THROW(TraceModel::fit(tiny), std::invalid_argument);
+  const Trace enough("t", GopPattern(9, 3), std::vector<Bits>(27, 1000));
+  EXPECT_NO_THROW(TraceModel::fit(enough));
+}
+
+TEST(TraceModel, FitRecoversPerPhaseScale) {
+  const Trace t = driving1();
+  const TraceModel model = TraceModel::fit(t);
+  ASSERT_EQ(model.by_phase().size(), 9u);
+  // Phase 0 is the I phase: its log-mean must dominate the B phases.
+  const double i_mean = model.by_phase()[0].log_mean;
+  for (const std::size_t b_phase : {1u, 2u, 4u, 5u, 7u, 8u}) {
+    EXPECT_GT(i_mean, model.by_phase()[b_phase].log_mean + 0.5);
+  }
+}
+
+TEST(TraceModel, SamePhaseAutocorrelationIsPositive) {
+  // Scene structure makes neighbouring same-phase pictures similar — the
+  // property the S_{j-N} estimator relies on; the fit must capture it.
+  const TraceModel model = TraceModel::fit(driving1());
+  int positive = 0;
+  for (const PhaseStats& stats : model.by_phase()) {
+    if (stats.ar1 > 0.3) ++positive;
+  }
+  EXPECT_GE(positive, 6);
+}
+
+TEST(TraceModel, GeneratedTraceMatchesSourceStatistics) {
+  const Trace source = tennis();
+  const TraceModel model = TraceModel::fit(source);
+  const Trace generated = model.generate(1800, 7);  // 60 seconds
+
+  const TraceStats source_stats = compute_stats(source);
+  const TraceStats generated_stats = compute_stats(generated);
+  for (const PictureType type :
+       {PictureType::I, PictureType::P, PictureType::B}) {
+    const double ratio = generated_stats.of(type).mean /
+                         source_stats.of(type).mean;
+    EXPECT_GT(ratio, 0.75) << to_char(type);
+    EXPECT_LT(ratio, 1.35) << to_char(type);
+  }
+  EXPECT_GT(generated_stats.i_to_b_ratio, 0.6 * source_stats.i_to_b_ratio);
+}
+
+TEST(TraceModel, GeneratedTraceKeepsPatternStructure) {
+  const TraceModel model = TraceModel::fit(backyard());
+  const Trace generated = model.generate(240, 3);
+  EXPECT_EQ(generated.pattern().to_string(), "IBBPBBPBBPBB");
+  for (int i = 1; i <= generated.picture_count(); ++i) {
+    EXPECT_EQ(generated.type_of(i), generated.pattern().type_of(i));
+  }
+}
+
+TEST(TraceModel, DeterministicPerSeed) {
+  const TraceModel model = TraceModel::fit(driving2());
+  EXPECT_EQ(model.generate(100, 5).sizes(), model.generate(100, 5).sizes());
+  EXPECT_NE(model.generate(100, 5).sizes(), model.generate(100, 6).sizes());
+}
+
+TEST(TraceModel, RefitOnGeneratedDataAgrees) {
+  // Generating a long trace and refitting must approximately recover the
+  // model parameters (a consistency check of the generator).
+  const TraceModel model = TraceModel::fit(driving1());
+  const Trace generated = model.generate(9000, 11);  // 5 minutes
+  const TraceModel refit = TraceModel::fit(generated);
+  for (std::size_t phase = 0; phase < model.by_phase().size(); ++phase) {
+    EXPECT_NEAR(refit.by_phase()[phase].log_mean,
+                model.by_phase()[phase].log_mean, 0.15)
+        << "phase " << phase;
+    EXPECT_NEAR(refit.by_phase()[phase].log_sd,
+                model.by_phase()[phase].log_sd, 0.35)
+        << "phase " << phase;
+  }
+}
+
+TEST(TraceModel, GenerateRejectsBadCount) {
+  const TraceModel model = TraceModel::fit(backyard());
+  EXPECT_THROW(model.generate(0, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lsm::trace

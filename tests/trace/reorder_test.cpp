@@ -1,0 +1,93 @@
+#include "trace/reorder.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace lsm::trace {
+namespace {
+
+std::vector<PictureType> types_of(const std::string& s) {
+  std::vector<PictureType> out;
+  for (const char c : s) {
+    out.push_back(c == 'I'   ? PictureType::I
+                  : c == 'P' ? PictureType::P
+                             : PictureType::B);
+  }
+  return out;
+}
+
+std::string apply(const std::string& display) {
+  const auto types = types_of(display);
+  const auto order = display_to_coded_permutation(types);
+  std::string out;
+  for (const int f : order) {
+    out.push_back(to_char(types[static_cast<std::size_t>(f)]));
+  }
+  return out;
+}
+
+TEST(Reorder, PaperSectionTwoExample) {
+  // Paper: display IBBPBBPBBIBBP... transmits as IPBBPBBIBBPBB...
+  EXPECT_EQ(apply("IBBPBBPBBIBBPBB"), "IPBBPBBIBBPBBBB");
+  // Check the leading portion the paper prints explicitly.
+  EXPECT_EQ(apply("IBBPBBPBBIBB").substr(0, 8), "IPBBPBBI");
+}
+
+TEST(Reorder, AllIntraIsIdentity) {
+  const auto types = types_of("IIIII");
+  const auto order = display_to_coded_permutation(types);
+  for (int k = 0; k < 5; ++k) {
+    EXPECT_EQ(order[static_cast<std::size_t>(k)], k);
+  }
+}
+
+TEST(Reorder, IpppIsIdentity) {
+  const auto order = display_to_coded_permutation(types_of("IPPPP"));
+  for (int k = 0; k < 5; ++k) {
+    EXPECT_EQ(order[static_cast<std::size_t>(k)], k);
+  }
+}
+
+TEST(Reorder, PermutationIsBijective) {
+  const auto types = types_of("IBBPBBPBBIBBPBBPBB");
+  auto order = display_to_coded_permutation(types);
+  std::sort(order.begin(), order.end());
+  for (int k = 0; k < static_cast<int>(order.size()); ++k) {
+    EXPECT_EQ(order[static_cast<std::size_t>(k)], k);
+  }
+}
+
+TEST(Reorder, InverseIsConsistent) {
+  const auto types = types_of("IBBPBBPBB");
+  const auto order = display_to_coded_permutation(types);
+  const auto inverse = coded_position_of_display(types);
+  for (int k = 0; k < static_cast<int>(order.size()); ++k) {
+    EXPECT_EQ(inverse[static_cast<std::size_t>(
+                  order[static_cast<std::size_t>(k)])],
+              k);
+  }
+}
+
+TEST(Reorder, TrailingBsWithoutAnchorAreAppended) {
+  EXPECT_EQ(apply("IBB"), "IBB");
+  EXPECT_EQ(apply("IBBPBB"), "IPBBBB");
+}
+
+TEST(Reorder, TraceReorderKeepsMultisetOfSizes) {
+  const Trace display("t", GopPattern(9, 3),
+                      {100, 20, 21, 60, 22, 23, 61, 24, 25});
+  const Trace coded = to_coded_order(display);
+  std::vector<Bits> a = display.sizes();
+  std::vector<Bits> b = coded.sizes();
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);
+  // First two coded pictures: the I, then the P that displays fourth.
+  EXPECT_EQ(coded.size_of(1), 100);
+  EXPECT_EQ(coded.size_of(2), 60);
+  EXPECT_EQ(coded.type_of(2), PictureType::P);
+}
+
+}  // namespace
+}  // namespace lsm::trace

@@ -1,0 +1,148 @@
+// Checks that the calibrated synthetic sequences match the paper's
+// Section 5.1 descriptions and the quantitative hints scattered through the
+// text (I pictures about an order of magnitude larger than B pictures at
+// 640x480; ~200,000-bit I pictures next to ~20,000-bit B pictures; Driving1
+// and Driving2 are the same video encoded twice; etc.).
+#include "trace/sequences.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "trace/stats.h"
+
+namespace lsm::trace {
+namespace {
+
+TEST(Sequences, PatternsMatchPaper) {
+  EXPECT_EQ(driving1().pattern().to_string(), "IBBPBBPBB");
+  EXPECT_EQ(driving2().pattern().to_string(), "IBPBPB");
+  EXPECT_EQ(tennis().pattern().to_string(), "IBBPBBPBB");
+  EXPECT_EQ(backyard().pattern().to_string(), "IBBPBBPBBPBB");
+}
+
+TEST(Sequences, ResolutionsMatchPaper) {
+  for (const Trace& t : {driving1(), driving2(), tennis()}) {
+    EXPECT_EQ(t.width(), 640);
+    EXPECT_EQ(t.height(), 480);
+  }
+  EXPECT_EQ(backyard().width(), 352);
+  EXPECT_EQ(backyard().height(), 288);
+}
+
+TEST(Sequences, ThirtyPicturesPerSecondAndRoughlyTenSeconds) {
+  for (const Trace& t : paper_sequences()) {
+    EXPECT_DOUBLE_EQ(t.tau(), 1.0 / 30.0);
+    EXPECT_GE(t.duration(), 9.0);
+    EXPECT_LE(t.duration(), 13.0);
+  }
+}
+
+TEST(Sequences, IPicturesAnOrderOfMagnitudeAboveB) {
+  for (const Trace& t : paper_sequences()) {
+    const TraceStats stats = compute_stats(t);
+    EXPECT_GT(stats.i_to_b_ratio, 4.0) << t.name();
+    EXPECT_LT(stats.i_to_b_ratio, 25.0) << t.name();
+    EXPECT_GT(stats.of(PictureType::P).mean, stats.of(PictureType::B).mean)
+        << t.name();
+  }
+}
+
+TEST(Sequences, Driving1SizeScaleMatchesFigure3) {
+  const TraceStats stats = compute_stats(driving1());
+  // Paper: I pictures around 200,000 bits at 640x480, B pictures down to
+  // ~20,000 bits in the close-up scene; no picture above ~300,000 bits.
+  EXPECT_GT(stats.of(PictureType::I).mean, 150000.0);
+  EXPECT_LT(stats.of(PictureType::I).mean, 280000.0);
+  EXPECT_LT(stats.of(PictureType::B).min, 30000.0);
+  EXPECT_LT(stats.overall.max, 330000);
+}
+
+TEST(Sequences, TennisReachesLargerPicturesThanDriving) {
+  // Figure 3: Tennis peaks above 300,000 bits, Driving1 around 250,000.
+  const TraceStats tennis_stats = compute_stats(tennis());
+  const TraceStats driving_stats = compute_stats(driving1());
+  EXPECT_GT(tennis_stats.overall.max, driving_stats.overall.max);
+  EXPECT_GT(tennis_stats.overall.max, 280000);
+}
+
+TEST(Sequences, BackyardIsSmallerScale) {
+  const TraceStats stats = compute_stats(backyard());
+  EXPECT_LT(stats.overall.max, 150000);
+  EXPECT_LT(stats.mean_rate_bps, 1.5e6);
+}
+
+TEST(Sequences, DrivingMeanRateInPaperRange) {
+  // Figure 4: the smoothed Driving1 rate varies between about 1 and 3 Mbps,
+  // so the long-run mean must sit inside that band.
+  const double rate = driving1().mean_rate();
+  EXPECT_GT(rate, 1.0e6);
+  EXPECT_LT(rate, 3.0e6);
+}
+
+TEST(Sequences, Driving1AndDriving2ShareTheUnderlyingVideo) {
+  // Same scene script and seed: the per-frame process is identical, only the
+  // coding pattern differs.
+  const SyntheticConfig config = driving_config();
+  const VideoProcess process = expand_process(config);
+  const Trace d1 = driving1();
+  const Trace d2 = driving2();
+  EXPECT_EQ(d1.picture_count(), static_cast<int>(process.motion.size()));
+  EXPECT_EQ(d2.picture_count(), d1.picture_count());
+  // Both encodings must show the close-up scene (scene 1) as cheaper:
+  // compare mean sizes over the same frame window.
+  auto window_mean = [](const Trace& t, int lo, int hi) {
+    double sum = 0.0;
+    for (int i = lo; i <= hi; ++i) sum += static_cast<double>(t.size_of(i));
+    return sum / (hi - lo + 1);
+  };
+  EXPECT_GT(window_mean(d1, 20, 100), window_mean(d1, 120, 190));
+  EXPECT_GT(window_mean(d2, 20, 100), window_mean(d2, 120, 190));
+}
+
+TEST(Sequences, TennisMotionRampRaisesPredictedSizesGradually) {
+  const Trace t = tennis();
+  auto mean_b = [&t](int lo, int hi) {
+    double sum = 0.0;
+    int count = 0;
+    for (int i = lo; i <= hi; ++i) {
+      if (t.type_of(i) == PictureType::B) {
+        sum += static_cast<double>(t.size_of(i));
+        ++count;
+      }
+    }
+    return sum / count;
+  };
+  const double early = mean_b(10, 80);
+  const double late = mean_b(220, 290);
+  EXPECT_GT(late, 1.8 * early);
+}
+
+TEST(Sequences, TennisHasTwoIsolatedLargePSpikesInFirstHalf) {
+  const Trace t = tennis();
+  // Find P pictures in the first half that are at least twice the median P.
+  std::vector<double> p_sizes;
+  for (int i = 1; i <= 150; ++i) {
+    if (t.type_of(i) == PictureType::P) {
+      p_sizes.push_back(static_cast<double>(t.size_of(i)));
+    }
+  }
+  std::vector<double> sorted = p_sizes;
+  std::sort(sorted.begin(), sorted.end());
+  const double median = sorted[sorted.size() / 2];
+  int spikes = 0;
+  for (const double s : p_sizes) {
+    if (s > 1.8 * median) ++spikes;
+  }
+  EXPECT_GE(spikes, 1);
+  EXPECT_LE(spikes, 4);
+}
+
+TEST(Sequences, DeterministicAcrossCalls) {
+  EXPECT_EQ(driving1().sizes(), driving1().sizes());
+  EXPECT_EQ(backyard().sizes(), backyard().sizes());
+}
+
+}  // namespace
+}  // namespace lsm::trace

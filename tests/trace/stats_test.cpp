@@ -1,0 +1,53 @@
+#include "trace/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace lsm::trace {
+namespace {
+
+TEST(TraceStats, HandComputedExample) {
+  // Pattern IBB repeated twice at tau = 0.1.
+  const Trace t("t", GopPattern(3, 3), {100, 20, 30, 90, 25, 35}, 0.1);
+  const TraceStats stats = compute_stats(t);
+
+  EXPECT_EQ(stats.overall.count, 6);
+  EXPECT_EQ(stats.overall.min, 20);
+  EXPECT_EQ(stats.overall.max, 100);
+  EXPECT_NEAR(stats.overall.mean, 50.0, 1e-12);
+
+  EXPECT_EQ(stats.of(PictureType::I).count, 2);
+  EXPECT_NEAR(stats.of(PictureType::I).mean, 95.0, 1e-12);
+  EXPECT_NEAR(stats.of(PictureType::I).stddev, 5.0, 1e-12);
+  EXPECT_EQ(stats.of(PictureType::P).count, 0);
+  EXPECT_EQ(stats.of(PictureType::B).count, 4);
+  EXPECT_NEAR(stats.of(PictureType::B).mean, 27.5, 1e-12);
+
+  EXPECT_NEAR(stats.peak_to_mean, 2.0, 1e-12);
+  EXPECT_NEAR(stats.i_to_b_ratio, 95.0 / 27.5, 1e-12);
+  EXPECT_NEAR(stats.mean_rate_bps, 300.0 / 0.6, 1e-9);
+  EXPECT_NEAR(stats.unsmoothed_peak_bps, 1000.0, 1e-9);
+}
+
+TEST(TraceStats, SingletonTrace) {
+  const Trace t("one", GopPattern(1, 1), {500});
+  const TraceStats stats = compute_stats(t);
+  EXPECT_EQ(stats.overall.count, 1);
+  EXPECT_DOUBLE_EQ(stats.overall.mean, 500.0);
+  EXPECT_DOUBLE_EQ(stats.overall.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(stats.peak_to_mean, 1.0);
+  // No B pictures: ratio stays at its zero default.
+  EXPECT_DOUBLE_EQ(stats.i_to_b_ratio, 0.0);
+}
+
+TEST(TraceStats, ToStringMentionsAllRows) {
+  const Trace t("t", GopPattern(3, 3), {100, 20, 30});
+  const std::string text = to_string(compute_stats(t));
+  EXPECT_NE(text.find("all"), std::string::npos);
+  EXPECT_NE(text.find("I  "), std::string::npos);
+  EXPECT_NE(text.find("peak/mean"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lsm::trace

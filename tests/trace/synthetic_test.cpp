@@ -1,0 +1,169 @@
+#include "trace/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "trace/stats.h"
+
+namespace lsm::trace {
+namespace {
+
+SyntheticConfig two_scene_config() {
+  SyntheticConfig config;
+  config.name = "two-scene";
+  config.width = 320;
+  config.height = 240;
+  config.scenes = {
+      SceneSpec{90, 1.0, 0.8, 0.8},   // busy scene
+      SceneSpec{90, 0.7, 0.1, 0.1},   // calm scene
+  };
+  config.seed = 99;
+  return config;
+}
+
+TEST(Synthetic, ProcessHasOneEntryPerFrame) {
+  const VideoProcess process = expand_process(two_scene_config());
+  EXPECT_EQ(process.complexity.size(), 180u);
+  EXPECT_EQ(process.motion.size(), 180u);
+  EXPECT_EQ(process.scene_of.size(), 180u);
+  EXPECT_EQ(process.scene_of.front(), 0);
+  EXPECT_EQ(process.scene_of.back(), 1);
+}
+
+TEST(Synthetic, MotionRampIsLinear) {
+  SyntheticConfig config;
+  config.scenes = {SceneSpec{101, 1.0, 0.0, 1.0}};
+  const VideoProcess process = expand_process(config);
+  EXPECT_DOUBLE_EQ(process.motion.front(), 0.0);
+  EXPECT_DOUBLE_EQ(process.motion.back(), 1.0);
+  EXPECT_NEAR(process.motion[50], 0.5, 1e-12);
+}
+
+TEST(Synthetic, SpikeRaisesMotionLocally) {
+  SyntheticConfig config;
+  config.scenes = {SceneSpec{100, 1.0, 0.1, 0.1}};
+  config.spikes = {MotionSpike{50, 3, 0.9}};
+  const VideoProcess process = expand_process(config);
+  EXPECT_NEAR(process.motion[48], 0.9, 1e-12);  // frame 49
+  EXPECT_NEAR(process.motion[49], 0.9, 1e-12);  // frame 50
+  EXPECT_NEAR(process.motion[50], 0.9, 1e-12);  // frame 51
+  EXPECT_NEAR(process.motion[46], 0.1, 1e-12);
+  EXPECT_NEAR(process.motion[52], 0.1, 1e-12);
+}
+
+TEST(Synthetic, SpikeAtEdgeIsClippedNotFatal) {
+  SyntheticConfig config;
+  config.scenes = {SceneSpec{10, 1.0, 0.1, 0.1}};
+  config.spikes = {MotionSpike{1, 5, 0.9}, MotionSpike{10, 5, 0.9}};
+  const VideoProcess process = expand_process(config);
+  EXPECT_NEAR(process.motion.front(), 0.9, 1e-12);
+  EXPECT_NEAR(process.motion.back(), 0.9, 1e-12);
+}
+
+TEST(Synthetic, Deterministic) {
+  const GopPattern pattern(9, 3);
+  const Trace a = synthesize(two_scene_config(), pattern);
+  const Trace b = synthesize(two_scene_config(), pattern);
+  EXPECT_EQ(a.sizes(), b.sizes());
+}
+
+TEST(Synthetic, SeedChangesSizes) {
+  const GopPattern pattern(9, 3);
+  SyntheticConfig other = two_scene_config();
+  other.seed = 100;
+  const Trace a = synthesize(two_scene_config(), pattern);
+  const Trace b = synthesize(other, pattern);
+  EXPECT_NE(a.sizes(), b.sizes());
+}
+
+TEST(Synthetic, TypeOrderingIpbHolds) {
+  const Trace t = synthesize(two_scene_config(), GopPattern(9, 3));
+  const TraceStats stats = compute_stats(t);
+  EXPECT_GT(stats.of(PictureType::I).mean, stats.of(PictureType::P).mean);
+  EXPECT_GT(stats.of(PictureType::P).mean, stats.of(PictureType::B).mean);
+}
+
+TEST(Synthetic, BusySceneProducesLargerPredictedPictures) {
+  const Trace t = synthesize(two_scene_config(), GopPattern(9, 3));
+  // Compare mean B size in the middle of scene 1 vs scene 2 (avoid the
+  // boundary region where reference-crossing inflates sizes).
+  double busy = 0.0, calm = 0.0;
+  int busy_count = 0, calm_count = 0;
+  for (int i = 10; i <= 70; ++i) {
+    if (t.type_of(i) == PictureType::B) {
+      busy += static_cast<double>(t.size_of(i));
+      ++busy_count;
+    }
+  }
+  for (int i = 110; i <= 170; ++i) {
+    if (t.type_of(i) == PictureType::B) {
+      calm += static_cast<double>(t.size_of(i));
+      ++calm_count;
+    }
+  }
+  ASSERT_GT(busy_count, 0);
+  ASSERT_GT(calm_count, 0);
+  EXPECT_GT(busy / busy_count, 2.0 * calm / calm_count);
+}
+
+TEST(Synthetic, SceneChangeInflatesPredictedPicturesAtBoundary) {
+  // A P or B picture whose reference lies across the scene boundary should
+  // be much larger than its steady-state neighbours of the same type. Scene
+  // lengths are chosen so the boundary falls mid-pattern (a 90-frame scene
+  // would align the change with an I picture, where nothing crosses).
+  SyntheticConfig config = two_scene_config();
+  config.scenes[0].frames = 94;
+  config.scenes[1].frames = 86;
+  const GopPattern pattern(9, 3);
+  const Trace t = synthesize(config, pattern);
+  // Scene boundary is between frames 94 and 95; pictures 95..97 are B, B, P
+  // with references reaching back into scene 1.
+  double boundary_max = 0.0;
+  for (int i = 95; i <= 97; ++i) {
+    if (t.type_of(i) != PictureType::I) {
+      boundary_max = std::max(boundary_max,
+                              static_cast<double>(t.size_of(i)));
+    }
+  }
+  double steady = 0.0;
+  int steady_count = 0;
+  for (int i = 110; i <= 170; ++i) {
+    if (t.type_of(i) == PictureType::B) {
+      steady += static_cast<double>(t.size_of(i));
+      ++steady_count;
+    }
+  }
+  ASSERT_GT(steady_count, 0);
+  EXPECT_GT(boundary_max, 3.0 * steady / steady_count);
+}
+
+TEST(Synthetic, SamePatternPhaseSizesCorrelateAcrossOnePattern) {
+  // The S_{j-N} estimator relies on same-phase pictures one pattern apart
+  // being similar in steady state: relative error should be small.
+  const Trace t = synthesize(two_scene_config(), GopPattern(9, 3));
+  double total_rel_err = 0.0;
+  int count = 0;
+  for (int i = 19; i <= 80; ++i) {  // inside scene 1, past warm-up
+    const double a = static_cast<double>(t.size_of(i));
+    const double b = static_cast<double>(t.size_of(i - 9));
+    total_rel_err += std::abs(a - b) / std::max(a, b);
+    ++count;
+  }
+  EXPECT_LT(total_rel_err / count, 0.35);
+}
+
+TEST(Synthetic, RejectsEmptyScript) {
+  SyntheticConfig config;
+  config.scenes = {};
+  EXPECT_THROW(expand_process(config), std::invalid_argument);
+  config.scenes = {SceneSpec{0, 1.0, 0.0, 0.0}};
+  EXPECT_THROW(expand_process(config), std::invalid_argument);
+  config.scenes = {SceneSpec{10, -1.0, 0.0, 0.0}};
+  EXPECT_THROW(expand_process(config), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lsm::trace

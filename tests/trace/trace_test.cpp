@@ -1,0 +1,80 @@
+#include "trace/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace lsm::trace {
+namespace {
+
+Trace make_small() {
+  return Trace("t", GopPattern(3, 3), {100, 20, 30, 90, 25, 35}, 0.1);
+}
+
+TEST(Trace, BasicAccessors) {
+  const Trace t = make_small();
+  EXPECT_EQ(t.picture_count(), 6);
+  EXPECT_EQ(t.size_of(1), 100);
+  EXPECT_EQ(t.size_of(6), 35);
+  EXPECT_EQ(t.type_of(1), PictureType::I);
+  EXPECT_EQ(t.type_of(2), PictureType::B);
+  EXPECT_EQ(t.type_of(4), PictureType::I);
+  EXPECT_DOUBLE_EQ(t.tau(), 0.1);
+}
+
+TEST(Trace, DurationAndRates) {
+  const Trace t = make_small();
+  EXPECT_DOUBLE_EQ(t.duration(), 0.6);
+  EXPECT_EQ(t.total_bits(), 300);
+  EXPECT_DOUBLE_EQ(t.mean_rate(), 500.0);
+}
+
+TEST(Trace, TypesFollowPatternByDefault) {
+  const Trace t("x", GopPattern(9, 3),
+                std::vector<Bits>(18, 1000));
+  for (int i = 1; i <= 18; ++i) {
+    EXPECT_EQ(t.type_of(i), t.pattern().type_of(i));
+  }
+}
+
+TEST(Trace, ExplicitTypesOverridePattern) {
+  const Trace t("x", GopPattern(3, 3), {10, 20, 30},
+                {PictureType::I, PictureType::P, PictureType::P});
+  EXPECT_EQ(t.type_of(2), PictureType::P);  // pattern would say B
+}
+
+TEST(Trace, RejectsBadConstruction) {
+  EXPECT_THROW(Trace("x", GopPattern(3, 3), {}), std::invalid_argument);
+  EXPECT_THROW(Trace("x", GopPattern(3, 3), {10, 0, 30}),
+               std::invalid_argument);
+  EXPECT_THROW(Trace("x", GopPattern(3, 3), {10, -5, 30}),
+               std::invalid_argument);
+  EXPECT_THROW(Trace("x", GopPattern(3, 3), {10, 20, 30}, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(Trace("x", GopPattern(3, 3), {10, 20},
+                     {PictureType::I, PictureType::B, PictureType::B}),
+               std::invalid_argument);
+}
+
+TEST(Trace, IndexBoundsChecked) {
+  const Trace t = make_small();
+  EXPECT_THROW(t.size_of(0), std::out_of_range);
+  EXPECT_THROW(t.size_of(7), std::out_of_range);
+  EXPECT_THROW(t.type_of(0), std::out_of_range);
+  EXPECT_THROW(t.type_of(7), std::out_of_range);
+}
+
+TEST(Trace, SliceKeepsSizesAndTypes) {
+  const Trace t = make_small();
+  const Trace s = t.slice(4, 6);
+  EXPECT_EQ(s.picture_count(), 3);
+  EXPECT_EQ(s.size_of(1), 90);
+  EXPECT_EQ(s.size_of(3), 35);
+  EXPECT_EQ(s.type_of(1), PictureType::I);  // original picture 4 was phase 0
+  EXPECT_THROW(t.slice(0, 3), std::out_of_range);
+  EXPECT_THROW(t.slice(5, 4), std::out_of_range);
+  EXPECT_THROW(t.slice(1, 7), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace lsm::trace
