@@ -11,6 +11,8 @@
 //
 // The paper's own data point: an I picture re-quantized from scale 4 to 30
 // shrank 282,976 -> 75,960 bits and looked "grainy, fuzzy".
+#include "bench_util.h"
+
 #include <cstdio>
 
 #include "core/metrics.h"
@@ -22,9 +24,7 @@
 
 int main() {
   using namespace lsm;
-  std::printf("==============================================================\n");
-  std::printf("Section 3.1: lossy rate control vs lossless smoothing\n");
-  std::printf("==============================================================\n");
+  bench::banner("Section 3.1: lossy rate control vs lossless smoothing");
 
   // A two-scene synthetic feed, VBR-encoded.
   mpeg::VideoConfig video_config;

@@ -3,7 +3,9 @@
 // experiment index) and prints its rows to stdout.
 #pragma once
 
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -12,6 +14,34 @@
 #include "trace/sequences.h"
 
 namespace lsm::bench {
+
+/// Exits with a failing status when `ok` is false. The CI smoke step runs
+/// every bench and treats a nonzero exit as failure, so a bench that
+/// computes garbage must call these instead of printing it and returning 0.
+inline void require(bool ok, const char* what) {
+  if (!ok) {
+    std::fprintf(stderr, "bench sanity check failed: %s\n", what);
+    std::exit(EXIT_FAILURE);
+  }
+}
+
+/// A finite, non-NaN number (loss ratios, rates, gains, ...).
+inline void require_finite(double value, const char* what) {
+  require(std::isfinite(value), what);
+}
+
+/// A smoothing run is sane iff it scheduled at least one picture and every
+/// send carries finite times and a positive finite rate.
+inline void require_sane(const core::SmoothingResult& result,
+                         const char* what) {
+  require(!result.sends.empty(), what);
+  for (const core::PictureSend& send : result.sends) {
+    require(std::isfinite(send.start) && std::isfinite(send.depart) &&
+                std::isfinite(send.delay) && std::isfinite(send.rate) &&
+                send.rate > 0.0,
+            what);
+  }
+}
 
 /// The paper's standard parameter set for a sequence: K = 1, H = N, D = 0.2.
 inline core::SmootherParams paper_params(const trace::Trace& trace) {
@@ -36,9 +66,9 @@ inline void print_measures_row(double x, const core::SmoothnessMetrics& m) {
 
 /// Banner naming the figure being regenerated.
 inline void banner(const std::string& title) {
-  std::printf("==============================================================\n");
-  std::printf("%s\n", title.c_str());
-  std::printf("==============================================================\n");
+  const char* rule =
+      "==============================================================";
+  std::printf("%s\n%s\n%s\n", rule, title.c_str(), rule);
 }
 
 }  // namespace lsm::bench

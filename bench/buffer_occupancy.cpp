@@ -3,9 +3,10 @@
 // receiver need, as functions of the delay bound D? Not a figure in the
 // paper, but the engineering question its delay bound directly answers:
 // D bounds the sender queue residence time, so both buffers scale with D.
+#include "bench_util.h"
+
 #include <cstdio>
 
-#include "bench_util.h"
 #include "core/buffer.h"
 #include "core/optimal.h"
 

@@ -8,6 +8,8 @@
 // almost nothing to smooth; long GOPs (N=12) are cheapest and burstiest;
 // the paper's N=9/M=3 sits in between — interframe coding creates exactly
 // the picture-scale burstiness the smoothing algorithm then removes.
+#include "bench_util.h"
+
 #include <cstdio>
 
 #include "core/metrics.h"
@@ -19,9 +21,8 @@
 
 int main() {
   using namespace lsm;
-  std::printf("==============================================================\n");
-  std::printf("Codec pattern study: (N, M) vs rate, quality, and smoothness\n");
-  std::printf("==============================================================\n");
+  bench::banner(
+      "Codec pattern study: (N, M) vs rate, quality, and smoothness");
 
   mpeg::VideoConfig video_config;
   video_config.width = 192;

@@ -16,6 +16,7 @@
 #include "mpeg/videogen.h"
 #include "net/mux.h"
 #include "net/packetize.h"
+#include "runtime/batch.h"
 #include "trace/sequences.h"
 
 namespace {
@@ -45,6 +46,47 @@ void BM_SmoothModified(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * t.picture_count());
 }
 BENCHMARK(BM_SmoothModified);
+
+// Batch runtime scaling: 32 independent smoothing runs (the four paper
+// traces, cycled) sharded across a work-stealing pool. Near-linear scaling
+// in the thread count is the tentpole claim; CI's bench-baseline job tracks
+// items_per_second for each thread count. UseRealTime: the work happens on
+// pool workers, not the benchmark thread.
+void BM_BatchSmooth(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  const std::vector<trace::Trace> catalog = trace::paper_sequences();
+  std::vector<runtime::BatchJob> jobs;
+  std::int64_t batch_pictures = 0;
+  for (int i = 0; i < 32; ++i) {
+    const trace::Trace& t = catalog[static_cast<std::size_t>(i) %
+                                    catalog.size()];
+    core::SmootherParams params;
+    params.K = 1;
+    params.H = t.pattern().N();
+    params.D = 0.2;
+    params.tau = t.tau();
+    jobs.push_back(runtime::BatchJob{&t, params, core::Variant::kBasic});
+    batch_pictures += t.picture_count();
+  }
+  runtime::BatchSmoother batch(threads);
+  std::vector<core::SmoothingResult> results;
+  for (auto _ : state) {
+    batch.run_into(jobs, results);
+    benchmark::DoNotOptimize(results.data());
+  }
+  state.SetItemsProcessed(state.iterations() * batch_pictures);
+  state.counters["streams_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) *
+          static_cast<double>(jobs.size()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_BatchSmooth)
+    ->ArgName("threads")
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 void BM_IdealSmoothing(benchmark::State& state) {
   const trace::Trace t = trace::driving1();

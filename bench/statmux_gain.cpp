@@ -12,28 +12,45 @@
 #include "net/packetize.h"
 #include "net/token_bucket.h"
 #include "net/wfq.h"
+#include "runtime/batch.h"
 
 namespace {
 
 using namespace lsm;
 
-std::vector<std::vector<net::Cell>> make_sources(int count, bool smoothed,
+/// Catalog of the four paper sequences plus their smoothed schedules, the
+/// latter produced by one parallel batch run (each statmux experiment needs
+/// every sequence smoothed; sources repeat the catalog cyclically).
+struct Catalog {
+  std::vector<trace::Trace> traces;
+  std::vector<core::SmoothingResult> smoothed;
+};
+
+Catalog make_catalog(runtime::BatchSmoother& batch) {
+  Catalog catalog;
+  catalog.traces = trace::paper_sequences();
+  catalog.smoothed =
+      batch.run(runtime::make_jobs(catalog.traces, bench::paper_params));
+  for (const core::SmoothingResult& result : catalog.smoothed) {
+    bench::require_sane(result, "statmux catalog smoothing run");
+  }
+  return catalog;
+}
+
+std::vector<std::vector<net::Cell>> make_sources(const Catalog& catalog,
+                                                 int count, bool smoothed,
                                                  double& total_mean) {
-  const std::vector<trace::Trace> catalog = trace::paper_sequences();
   std::vector<std::vector<net::Cell>> sources;
   total_mean = 0.0;
   for (int s = 0; s < count; ++s) {
-    const trace::Trace& t = catalog[static_cast<std::size_t>(s) %
-                                    catalog.size()];
-    std::vector<net::Cell> cells;
-    if (smoothed) {
-      cells = net::packetize(core::smooth_basic(t, bench::paper_params(t)), s);
-    } else {
-      cells = net::packetize_unsmoothed(t, s);
-    }
+    const std::size_t slot =
+        static_cast<std::size_t>(s) % catalog.traces.size();
+    std::vector<net::Cell> cells =
+        smoothed ? net::packetize(catalog.smoothed[slot], s)
+                 : net::packetize_unsmoothed(catalog.traces[slot], s);
     net::shift_cells(cells, 0.0531 * s);  // desynchronize GOP phases
     sources.push_back(std::move(cells));
-    total_mean += t.mean_rate();
+    total_mean += catalog.traces[slot].mean_rate();
   }
   return sources;
 }
@@ -43,18 +60,24 @@ std::vector<std::vector<net::Cell>> make_sources(int count, bool smoothed,
 int main() {
   bench::banner("Motivation: statistical multiplexing gain (refs [10, 11])");
 
+  runtime::BatchSmoother batch;
+  const Catalog catalog = make_catalog(batch);
+
   std::printf("\ncell-loss ratio vs utilization "
               "(8 sources, buffer 300 cells):\n");
   std::printf("%12s %14s %14s\n", "utilization", "raw", "smoothed");
   {
     double mean = 0.0;
-    const auto raw = make_sources(8, false, mean);
-    const auto smooth = make_sources(8, true, mean);
+    const auto raw = make_sources(catalog, 8, false, mean);
+    const auto smooth = make_sources(catalog, 8, true, mean);
     for (const double u : {0.55, 0.65, 0.75, 0.85, 0.95}) {
       const net::MuxConfig config{mean / u, 300};
-      std::printf("%12.2f %14.6f %14.6f\n", u,
-                  net::simulate_cell_mux(raw, config).loss_ratio,
-                  net::simulate_cell_mux(smooth, config).loss_ratio);
+      const double raw_loss = net::simulate_cell_mux(raw, config).loss_ratio;
+      const double smooth_loss =
+          net::simulate_cell_mux(smooth, config).loss_ratio;
+      bench::require_finite(raw_loss, "raw loss ratio");
+      bench::require_finite(smooth_loss, "smoothed loss ratio");
+      std::printf("%12.2f %14.6f %14.6f\n", u, raw_loss, smooth_loss);
     }
   }
 
@@ -63,8 +86,8 @@ int main() {
   std::printf("%12s %14s %14s\n", "sources", "raw", "smoothed");
   for (const int count : {2, 4, 8, 12}) {
     double mean = 0.0;
-    const auto raw = make_sources(count, false, mean);
-    const auto smooth = make_sources(count, true, mean);
+    const auto raw = make_sources(catalog, count, false, mean);
+    const auto smooth = make_sources(catalog, count, true, mean);
     const net::MuxConfig config{mean / 0.8, 300};
     std::printf("%12d %14.6f %14.6f\n", count,
                 net::simulate_cell_mux(raw, config).loss_ratio,
@@ -78,14 +101,12 @@ int main() {
     // Each conforming source reserves its SMOOTHED PEAK (what it would
     // declare at admission); the flooder reserves its nominal mean but
     // sends double. Weights encode the reservations in 100 kb/s units.
-    const std::vector<trace::Trace> catalog = trace::paper_sequences();
     std::vector<std::vector<net::Cell>> cells;
     std::vector<int> weights;
     double reserved_total = 0.0;
     for (int s = 0; s < 3; ++s) {
-      const trace::Trace& t = catalog[static_cast<std::size_t>(s)];
-      const core::SmoothingResult smoothed =
-          core::smooth_basic(t, bench::paper_params(t));
+      const core::SmoothingResult& smoothed =
+          catalog.smoothed[static_cast<std::size_t>(s)];
       auto stream = net::packetize(smoothed, s);
       net::shift_cells(stream, 0.0531 * s);
       cells.push_back(std::move(stream));
@@ -95,7 +116,7 @@ int main() {
       reserved_total += reservation;
     }
     {
-      const trace::Trace& t = catalog[3];
+      const trace::Trace& t = catalog.traces[3];
       std::vector<net::Cell> flood = net::packetize_unsmoothed(t, 3);
       std::vector<net::Cell> extra = net::packetize_unsmoothed(t, 3);
       net::shift_cells(extra, 0.009);
@@ -128,7 +149,7 @@ int main() {
   std::printf("\ntoken-bucket burstiness sigma(rho) for Driving1 (kbits):\n");
   std::printf("%14s %12s %12s\n", "rho/mean", "raw", "smoothed");
   {
-    const trace::Trace t = trace::driving1();
+    const trace::Trace& t = catalog.traces[0];  // Driving1
     std::vector<core::RateSegment> raw_segments;
     for (int i = 1; i <= t.picture_count(); ++i) {
       raw_segments.push_back(core::RateSegment{
@@ -136,8 +157,7 @@ int main() {
           static_cast<double>(t.size_of(i)) / t.tau()});
     }
     const core::RateSchedule raw(std::move(raw_segments));
-    const core::RateSchedule smooth =
-        core::smooth_basic(t, bench::paper_params(t)).schedule();
+    const core::RateSchedule smooth = catalog.smoothed[0].schedule();
     for (const double factor : {1.1, 1.2, 1.4, 1.7, 2.0, 2.5}) {
       const double rho = t.mean_rate() * factor;
       std::printf("%14.1f %12.1f %12.1f\n", factor,
@@ -145,5 +165,8 @@ int main() {
                   net::min_bucket_depth(smooth, rho) / 1e3);
     }
   }
+
+  std::printf("\nsmoothing runtime counters (%d workers):\n%s\n",
+              batch.thread_count(), batch.report_json().c_str());
   return 0;
 }

@@ -27,7 +27,8 @@ int main() {
                 stats.unsmoothed_peak_bps / 1e6);
   }
 
-  std::printf("\nmean rates and smoothed operating points (K=1, H=N, D=0.2):\n");
+  std::printf(
+      "\nmean rates and smoothed operating points (K=1, H=N, D=0.2):\n");
   std::printf("%-10s %10s %12s %12s\n", "sequence", "mean_Mbps",
               "smoothedMax", "smoothedSD");
   for (const trace::Trace& t : trace::paper_sequences()) {

@@ -22,9 +22,10 @@ int main() {
   config.params.tau = trace.tau();
   config.network_latency = 0.015;
 
-  std::printf("Live pipeline over %s (%d pictures), D=%.2f s, latency=%.0f ms\n",
-              trace.name().c_str(), trace.picture_count(), config.params.D,
-              config.network_latency * 1e3);
+  std::printf(
+      "Live pipeline over %s (%d pictures), D=%.2f s, latency=%.0f ms\n",
+      trace.name().c_str(), trace.picture_count(), config.params.D,
+      config.network_latency * 1e3);
 
   // Safe playout offset: D + latency, chosen automatically.
   const lsm::net::PipelineReport safe =

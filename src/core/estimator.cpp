@@ -130,7 +130,8 @@ Bits TypeMeanEstimator::size_at(int j, Seconds t) const {
       static_cast<std::size_t>(static_cast<int>(trace_.type_of(j)));
   int latest = static_cast<int>(std::floor(t / trace_.tau() + 1e-9));
   latest = std::clamp(latest, 0, trace_.picture_count());
-  const int count = prefix_counts_[type_index][static_cast<std::size_t>(latest)];
+  const int count =
+      prefix_counts_[type_index][static_cast<std::size_t>(latest)];
   if (count == 0) return defaults_.of(trace_.type_of(j));
   const double mean =
       prefix_sums_[type_index][static_cast<std::size_t>(latest)] / count;

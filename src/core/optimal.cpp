@@ -56,8 +56,8 @@ std::vector<CorridorPoint> build_corridor(const lsm::trace::Trace& trace,
 
   Seconds horizon = static_cast<double>(n - 1) * tau + D;
   if (buffer != nullptr) {
-    horizon = std::max(horizon,
-                       buffer->playout_offset + static_cast<double>(n - 1) * tau);
+    horizon = std::max(
+        horizon, buffer->playout_offset + static_cast<double>(n - 1) * tau);
   }
   // Terminus strictly after the last constraint so the buffer bound there
   // is total + B (everything has been played out).

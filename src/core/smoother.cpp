@@ -19,18 +19,26 @@ int SmoothingResult::rate_change_count() const noexcept {
 SmoothingResult smooth(const lsm::trace::Trace& trace,
                        const SmootherParams& params,
                        const SizeEstimator& estimator, Variant variant) {
-  SmootherEngine engine(trace, params, estimator, variant);
   SmoothingResult result;
-  result.params = params;
-  result.variant = variant;
-  result.estimator_name = estimator.name();
-  result.sends.reserve(static_cast<std::size_t>(trace.picture_count()));
-  result.diagnostics.reserve(static_cast<std::size_t>(trace.picture_count()));
-  while (!engine.done()) {
-    result.sends.push_back(engine.step());
-    result.diagnostics.push_back(engine.last_diagnostics());
-  }
+  smooth_into(trace, params, estimator, variant, result);
   return result;
+}
+
+void smooth_into(const lsm::trace::Trace& trace, const SmootherParams& params,
+                 const SizeEstimator& estimator, Variant variant,
+                 SmoothingResult& out) {
+  SmootherEngine engine(trace, params, estimator, variant);
+  out.params = params;
+  out.variant = variant;
+  out.estimator_name = estimator.name();
+  out.sends.clear();
+  out.diagnostics.clear();
+  out.sends.reserve(static_cast<std::size_t>(trace.picture_count()));
+  out.diagnostics.reserve(static_cast<std::size_t>(trace.picture_count()));
+  while (!engine.done()) {
+    out.sends.push_back(engine.step());
+    out.diagnostics.push_back(engine.last_diagnostics());
+  }
 }
 
 SmoothingResult smooth_basic(const lsm::trace::Trace& trace,

@@ -35,6 +35,13 @@ SmoothingResult smooth(const lsm::trace::Trace& trace,
                        const SizeEstimator& estimator,
                        Variant variant = Variant::kBasic);
 
+/// Same run, but written into `out`, whose sends/diagnostics capacity is
+/// reused — repeated runs into the same result do not allocate once the
+/// vectors have grown to the largest trace. The batch runtime's hot path.
+void smooth_into(const lsm::trace::Trace& trace, const SmootherParams& params,
+                 const SizeEstimator& estimator, Variant variant,
+                 SmoothingResult& out);
+
 /// Convenience: basic algorithm with the paper's pattern estimator.
 SmoothingResult smooth_basic(const lsm::trace::Trace& trace,
                              const SmootherParams& params);

@@ -36,8 +36,8 @@ CoeffBlock forward_dct(const Block& spatial) {
     for (int u = 0; u < 8; ++u) {
       double acc = 0.0;
       for (int x = 0; x < 8; ++x) {
-        acc += b.value[u][x] *
-               static_cast<double>(spatial[static_cast<std::size_t>(y * 8 + x)]);
+        const auto k = static_cast<std::size_t>(y * 8 + x);
+        acc += b.value[u][x] * static_cast<double>(spatial[k]);
       }
       rows[y][u] = acc;
     }

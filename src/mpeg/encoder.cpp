@@ -53,8 +53,8 @@ std::uint32_t quantize_residual(const MacroblockPixels& current,
     levels[static_cast<std::size_t>(b)] =
         quantize_inter(forward_dct(residual), qscale);
     const auto& lv = levels[static_cast<std::size_t>(b)];
-    const bool coded =
-        std::any_of(lv.begin(), lv.end(), [](std::int16_t v) { return v != 0; });
+    const bool coded = std::any_of(lv.begin(), lv.end(),
+                                   [](std::int16_t v) { return v != 0; });
     if (coded) cbp |= 1u << (5 - b);
   }
   return cbp;

@@ -20,7 +20,8 @@ ParseResult parse_stream(const std::vector<std::uint8_t>& stream) {
 
   std::int64_t at = find_start_code(stream, 0);
   if (at != 0) {
-    throw std::runtime_error("parse_stream: stream must begin with a start code");
+    throw std::runtime_error(
+        "parse_stream: stream must begin with a start code");
   }
 
   std::int64_t picture_offset = -1;  // offset of the open picture's start code

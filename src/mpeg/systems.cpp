@@ -136,7 +136,8 @@ SystemsStream mux_systems(const EncodeResult& encoded,
       put_u32(out.bytes,
               static_cast<std::uint32_t>(pts_seconds * kSystemClockHz));
     }
-    out.bytes.insert(out.bytes.end(), es.begin() + static_cast<std::ptrdiff_t>(es_at),
+    out.bytes.insert(out.bytes.end(),
+                     es.begin() + static_cast<std::ptrdiff_t>(es_at),
                      es.begin() + static_cast<std::ptrdiff_t>(es_at + chunk));
     es_at += chunk;
   }
@@ -182,7 +183,8 @@ DemuxResult demux_systems(const std::vector<std::uint8_t>& stream) {
     }
     const std::uint32_t payload = length - consumed;
     result.elementary.insert(
-        result.elementary.end(), stream.begin() + static_cast<std::ptrdiff_t>(at),
+        result.elementary.end(),
+        stream.begin() + static_cast<std::ptrdiff_t>(at),
         stream.begin() + static_cast<std::ptrdiff_t>(at + payload));
     at += payload;
   }

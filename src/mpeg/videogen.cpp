@@ -13,8 +13,10 @@ namespace {
 /// Cheap deterministic 2-D hash noise in [0, 1).
 double hash_noise(std::uint64_t seed, int x, int y) noexcept {
   std::uint64_t h = seed;
-  h ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(x)) * 0x9E3779B97F4A7C15ULL;
-  h ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(y)) * 0xC2B2AE3D27D4EB4FULL;
+  h ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(x)) *
+       0x9E3779B97F4A7C15ULL;
+  h ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(y)) *
+       0xC2B2AE3D27D4EB4FULL;
   h ^= h >> 29;
   h *= 0xBF58476D1CE4E5B9ULL;
   h ^= h >> 32;

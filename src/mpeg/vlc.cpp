@@ -29,8 +29,9 @@ std::uint32_t get_ue(BitReader& reader) {
 
 void put_se(BitWriter& writer, std::int32_t value) {
   const std::uint32_t mapped =
-      value > 0 ? static_cast<std::uint32_t>(value) * 2 - 1
-                : static_cast<std::uint32_t>(-static_cast<std::int64_t>(value)) * 2;
+      value > 0
+          ? static_cast<std::uint32_t>(value) * 2 - 1
+          : static_cast<std::uint32_t>(-static_cast<std::int64_t>(value)) * 2;
   put_ue(writer, mapped);
 }
 

@@ -18,7 +18,9 @@ WfqResult simulate_wfq(const std::vector<std::vector<Cell>>& sources,
     throw std::invalid_argument("simulate_wfq: bad config");
   }
   for (const int w : config.weights) {
-    if (w < 1) throw std::invalid_argument("simulate_wfq: weights must be >= 1");
+    if (w < 1) {
+      throw std::invalid_argument("simulate_wfq: weights must be >= 1");
+    }
   }
 
   const double cell_time =

@@ -1,0 +1,49 @@
+#include "runtime/batch.h"
+
+#include <stdexcept>
+
+#include "core/estimator.h"
+
+namespace lsm::runtime {
+
+BatchSmoother::BatchSmoother(int threads)
+    : pool_(threads), counters_(pool_.thread_count()) {}
+
+std::vector<lsm::core::SmoothingResult> BatchSmoother::run(
+    const std::vector<BatchJob>& jobs) {
+  std::vector<lsm::core::SmoothingResult> results;
+  run_into(jobs, results);
+  return results;
+}
+
+void BatchSmoother::run_into(
+    const std::vector<BatchJob>& jobs,
+    std::vector<lsm::core::SmoothingResult>& results) {
+  for (const BatchJob& job : jobs) {
+    if (job.trace == nullptr) {
+      throw std::invalid_argument("BatchJob with null trace");
+    }
+  }
+  results.resize(jobs.size());
+  parallel_for(pool_, static_cast<int>(jobs.size()), [&](int i) {
+    const BatchJob& job = jobs[static_cast<std::size_t>(i)];
+    const std::uint64_t wall_start = wall_clock_ns();
+    const std::uint64_t cpu_start = thread_cpu_ns();
+    const lsm::core::PatternEstimator estimator(*job.trace);
+    lsm::core::SmoothingResult& result =
+        results[static_cast<std::size_t>(i)];
+    lsm::core::smooth_into(*job.trace, job.params, estimator, job.variant,
+                           result);
+    PerfCounters& slot = counters_.slot(pool_.index_of_current_thread());
+    slot.streams += 1;
+    slot.pictures += result.sends.size();
+    for (const lsm::core::StepDiagnostics& d : result.diagnostics) {
+      slot.rate_changes += d.rate_changed ? 1 : 0;
+      slot.early_exits += d.early_exit ? 1 : 0;
+    }
+    slot.wall_ns += wall_clock_ns() - wall_start;
+    slot.cpu_ns += thread_cpu_ns() - cpu_start;
+  });
+}
+
+}  // namespace lsm::runtime

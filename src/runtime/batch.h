@@ -1,0 +1,75 @@
+// BatchSmoother: run many independent smoothing jobs across a work-stealing
+// thread pool with deterministic output ordering.
+//
+// Each job is one lsm::core::smooth() run (trace + parameters + variant).
+// Jobs are sharded across the pool's workers; every worker writes its
+// result into the job's dedicated slot of the output vector, so the result
+// at index i always belongs to the job at index i and is bitwise identical
+// to what a serial smooth() call would have produced — smooth() is a pure
+// function of its inputs and the workers share nothing but the (const)
+// traces. Per-worker PerfCounters record what each worker did; a JSON
+// report aggregates them for scaling studies and CI artifacts.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/smoother.h"
+#include "runtime/counters.h"
+#include "runtime/pool.h"
+
+namespace lsm::runtime {
+
+/// One smoothing run. The referenced trace must outlive the batch call.
+struct BatchJob {
+  const lsm::trace::Trace* trace = nullptr;
+  lsm::core::SmootherParams params;
+  lsm::core::Variant variant = lsm::core::Variant::kBasic;
+};
+
+/// Uniform helper: one kBasic job per trace, parameters chosen per trace by
+/// `make_params` (e.g. bench::paper_params).
+template <typename MakeParams>
+std::vector<BatchJob> make_jobs(const std::vector<lsm::trace::Trace>& traces,
+                                MakeParams&& make_params) {
+  std::vector<BatchJob> jobs;
+  jobs.reserve(traces.size());
+  for (const lsm::trace::Trace& trace : traces) {
+    jobs.push_back(BatchJob{&trace, make_params(trace),
+                            lsm::core::Variant::kBasic});
+  }
+  return jobs;
+}
+
+class BatchSmoother {
+ public:
+  /// `threads` == 0 picks the hardware concurrency.
+  explicit BatchSmoother(int threads = 0);
+
+  int thread_count() const noexcept { return pool_.thread_count(); }
+
+  /// Runs every job and returns the results in job order. Blocks the
+  /// calling thread; must not be called from this pool's own workers.
+  /// Throws std::invalid_argument on a null trace.
+  std::vector<lsm::core::SmoothingResult> run(
+      const std::vector<BatchJob>& jobs);
+
+  /// Same, writing into `results` (resized to jobs.size()); each slot's
+  /// vector capacity is reused, so steady-state batches do not allocate.
+  void run_into(const std::vector<BatchJob>& jobs,
+                std::vector<lsm::core::SmoothingResult>& results);
+
+  /// Counters accumulated since construction (or the last reset) across
+  /// every run() call. Safe to read between runs, not during one.
+  const PerfRegistry& counters() const noexcept { return counters_; }
+  PerfRegistry& counters() noexcept { return counters_; }
+
+  /// counters().to_json(), the CI-artifact report format.
+  std::string report_json() const { return counters_.to_json(); }
+
+ private:
+  ThreadPool pool_;
+  PerfRegistry counters_;
+};
+
+}  // namespace lsm::runtime

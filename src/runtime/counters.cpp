@@ -1,0 +1,105 @@
+#include "runtime/counters.h"
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+
+#if defined(__linux__) || defined(__APPLE__)
+#include <time.h>
+#endif
+
+namespace lsm::runtime {
+
+PerfCounters& PerfCounters::operator+=(const PerfCounters& other) noexcept {
+  streams += other.streams;
+  pictures += other.pictures;
+  rate_changes += other.rate_changes;
+  early_exits += other.early_exits;
+  wall_ns += other.wall_ns;
+  cpu_ns += other.cpu_ns;
+  return *this;
+}
+
+double PerfCounters::wall_ns_per_stream() const noexcept {
+  return streams == 0 ? 0.0
+                      : static_cast<double>(wall_ns) /
+                            static_cast<double>(streams);
+}
+
+PerfRegistry::PerfRegistry(int workers)
+    : workers_(workers),
+      slots_(static_cast<std::size_t>(workers > 0 ? workers : 0) + 1) {}
+
+PerfCounters& PerfRegistry::slot(int index) {
+  if (index < 0 || index >= workers_) return slots_.back();
+  return slots_[static_cast<std::size_t>(index)];
+}
+
+const PerfCounters& PerfRegistry::slot(int index) const {
+  if (index < 0 || index >= workers_) return slots_.back();
+  return slots_[static_cast<std::size_t>(index)];
+}
+
+PerfCounters PerfRegistry::total() const noexcept {
+  PerfCounters sum;
+  for (const PerfCounters& slot : slots_) sum += slot;
+  return sum;
+}
+
+void PerfRegistry::reset() noexcept {
+  for (PerfCounters& slot : slots_) slot = PerfCounters{};
+}
+
+namespace {
+
+void append_counters(std::string& out, const PerfCounters& c) {
+  char buffer[256];
+  std::snprintf(buffer, sizeof buffer,
+                "{\"streams\": %" PRIu64 ", \"pictures\": %" PRIu64
+                ", \"rate_changes\": %" PRIu64 ", \"early_exits\": %" PRIu64
+                ", \"wall_ns\": %" PRIu64 ", \"cpu_ns\": %" PRIu64 "}",
+                c.streams, c.pictures, c.rate_changes, c.early_exits,
+                c.wall_ns, c.cpu_ns);
+  out += buffer;
+}
+
+}  // namespace
+
+std::string PerfRegistry::to_json() const {
+  const PerfCounters sum = total();
+  std::string out = "{\"total\": ";
+  append_counters(out, sum);
+  char buffer[96];
+  std::snprintf(buffer, sizeof buffer, ", \"wall_ns_per_stream\": %.1f",
+                sum.wall_ns_per_stream());
+  out += buffer;
+  out += ", \"workers\": [";
+  for (int i = 0; i < workers_; ++i) {
+    if (i > 0) out += ", ";
+    append_counters(out, slot(i));
+  }
+  out += "], \"external\": ";
+  append_counters(out, slots_.back());
+  out += "}";
+  return out;
+}
+
+std::uint64_t wall_clock_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::uint64_t thread_cpu_ns() noexcept {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+  timespec ts{};
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0) {
+    return static_cast<std::uint64_t>(ts.tv_sec) * 1000000000ull +
+           static_cast<std::uint64_t>(ts.tv_nsec);
+  }
+#endif
+  return 0;
+}
+
+}  // namespace lsm::runtime

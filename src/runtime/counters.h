@@ -1,0 +1,69 @@
+// Lock-free per-worker performance counters for the batch runtime.
+//
+// Every pool worker owns one cache-line-aligned PerfCounters slot and
+// updates it with plain stores — no atomics, no locks — which is safe
+// because no other thread touches the slot while work is in flight, and
+// ThreadPool::wait_idle() orders all slot writes before the aggregating
+// read. Aggregation sums the slots into one report; to_json() serializes
+// both the totals and the per-worker breakdown so scaling studies can see
+// how evenly the shards landed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lsm::runtime {
+
+/// Tallies for one worker (or one whole run, after aggregation).
+struct alignas(64) PerfCounters {
+  std::uint64_t streams = 0;       ///< smoothing runs completed
+  std::uint64_t pictures = 0;      ///< pictures scheduled across those runs
+  std::uint64_t rate_changes = 0;  ///< diagnostics with rate_changed
+  std::uint64_t early_exits = 0;   ///< diagnostics with early_exit
+  std::uint64_t wall_ns = 0;       ///< wall-clock ns spent inside smooth()
+  std::uint64_t cpu_ns = 0;        ///< thread CPU ns spent inside smooth()
+
+  PerfCounters& operator+=(const PerfCounters& other) noexcept;
+
+  /// Mean wall ns per stream; 0 when no streams were recorded.
+  double wall_ns_per_stream() const noexcept;
+};
+
+/// One counter slot per pool worker plus one trailing slot for work done on
+/// non-pool threads (slot(-1)).
+class PerfRegistry {
+ public:
+  /// `workers` slots for pool threads, one extra for outside callers.
+  explicit PerfRegistry(int workers);
+
+  /// Slot for pool-worker `index`, or the external slot when index == -1.
+  PerfCounters& slot(int index);
+  const PerfCounters& slot(int index) const;
+
+  int worker_count() const noexcept { return workers_; }
+
+  /// Sum of every slot. Call only after the producing tasks have been
+  /// ordered before this thread (ThreadPool::wait_idle()).
+  PerfCounters total() const noexcept;
+
+  /// Zeroes every slot.
+  void reset() noexcept;
+
+  /// Report with totals, derived per-stream costs, and the per-worker
+  /// breakdown, e.g.
+  ///   {"streams": 8, "pictures": 2640, ..., "workers": [{...}, ...]}
+  std::string to_json() const;
+
+ private:
+  int workers_;
+  std::vector<PerfCounters> slots_;
+};
+
+/// Monotonic wall clock, ns.
+std::uint64_t wall_clock_ns() noexcept;
+
+/// Per-thread CPU clock, ns (0 where the platform lacks one).
+std::uint64_t thread_cpu_ns() noexcept;
+
+}  // namespace lsm::runtime

@@ -1,0 +1,128 @@
+#include "runtime/pool.h"
+
+#include <memory>
+#include <utility>
+
+namespace lsm::runtime {
+
+namespace {
+
+// Identity of the current thread within its owning pool (null off-pool).
+thread_local const ThreadPool* t_pool = nullptr;
+thread_local int t_index = -1;
+
+}  // namespace
+
+ThreadPool::ThreadPool(int threads) {
+  if (threads <= 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (threads <= 0) threads = 1;
+  }
+  queues_.reserve(static_cast<std::size_t>(threads));
+  for (int i = 0; i < threads; ++i) {
+    queues_.push_back(std::make_unique<Queue>());
+  }
+  workers_.reserve(static_cast<std::size_t>(threads));
+  for (int i = 0; i < threads; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    stopping_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  std::size_t target;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    ++pending_;
+    ++queued_;
+    if (t_pool == this) {
+      // A worker fans out onto its own queue; thieves spread the load.
+      target = static_cast<std::size_t>(t_index);
+    } else {
+      target = next_queue_++ % queues_.size();
+    }
+    std::lock_guard<std::mutex> queue_lock(queues_[target]->mutex);
+    queues_[target]->tasks.push_back(std::move(task));
+  }
+  work_ready_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(state_mutex_);
+  all_done_.wait(lock, [this] { return pending_ == 0; });
+}
+
+int ThreadPool::worker_index() noexcept {
+  return t_pool != nullptr ? t_index : -1;
+}
+
+int ThreadPool::index_of_current_thread() const noexcept {
+  return t_pool == this ? t_index : -1;
+}
+
+bool ThreadPool::try_pop(int index, std::function<void()>& task) {
+  Queue& queue = *queues_[static_cast<std::size_t>(index)];
+  std::lock_guard<std::mutex> lock(queue.mutex);
+  if (queue.tasks.empty()) return false;
+  task = std::move(queue.tasks.back());
+  queue.tasks.pop_back();
+  return true;
+}
+
+bool ThreadPool::try_steal(int thief, std::function<void()>& task) {
+  const std::size_t count = queues_.size();
+  for (std::size_t offset = 1; offset < count; ++offset) {
+    const std::size_t victim =
+        (static_cast<std::size_t>(thief) + offset) % count;
+    Queue& queue = *queues_[victim];
+    std::lock_guard<std::mutex> lock(queue.mutex);
+    if (queue.tasks.empty()) continue;
+    task = std::move(queue.tasks.front());
+    queue.tasks.pop_front();
+    return true;
+  }
+  return false;
+}
+
+void ThreadPool::worker_loop(int index) {
+  t_pool = this;
+  t_index = index;
+  for (;;) {
+    std::function<void()> task;
+    if (!try_pop(index, task) && !try_steal(index, task)) {
+      std::unique_lock<std::mutex> lock(state_mutex_);
+      if (stopping_ && queued_ == 0) return;
+      // queued_ may exceed the queues' visible contents for the instant
+      // between a rival's pop and its decrement; the re-scan handles it.
+      work_ready_.wait(lock, [this] { return queued_ > 0 || stopping_; });
+      continue;
+    }
+    {
+      std::lock_guard<std::mutex> lock(state_mutex_);
+      --queued_;
+    }
+    task();
+    task = nullptr;  // release captures before reporting completion
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    --pending_;
+    if (pending_ == 0) all_done_.notify_all();
+  }
+}
+
+void parallel_for(ThreadPool& pool, int n,
+                  const std::function<void(int)>& body) {
+  for (int i = 0; i < n; ++i) {
+    pool.submit([&body, i] { body(i); });
+  }
+  pool.wait_idle();
+}
+
+}  // namespace lsm::runtime

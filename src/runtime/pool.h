@@ -1,0 +1,88 @@
+// Work-stealing thread pool for the multi-stream smoothing runtime.
+//
+// Each worker owns a double-ended task queue: the owner pushes and pops at
+// the back (LIFO, cache-warm), idle workers steal from the front (FIFO,
+// oldest work first). External submissions are distributed round-robin so a
+// burst of jobs lands spread across workers even before stealing kicks in.
+// Queues are guarded by small per-worker mutexes rather than a lock-free
+// deque: the tasks this pool runs (one whole smoothing run each) cost
+// hundreds of microseconds, so queue overhead is noise, and mutexes keep
+// every access ThreadSanitizer-clean by construction.
+//
+// wait_idle() blocks until every task submitted so far has finished; its
+// mutex handoff is what orders worker-private writes (e.g. PerfCounters
+// slots) before the caller's subsequent reads.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace lsm::runtime {
+
+class ThreadPool {
+ public:
+  /// Starts `threads` workers; 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(int threads = 0);
+
+  /// Finishes all submitted tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int thread_count() const noexcept {
+    return static_cast<int>(workers_.size());
+  }
+
+  /// Enqueues a task. Callable from any thread, including pool workers
+  /// (a worker submits to its own queue, so recursive fan-out stays local
+  /// until another worker steals it).
+  void submit(std::function<void()> task);
+
+  /// Blocks until every task submitted before this call has completed.
+  /// Establishes happens-before between those tasks' writes and the caller.
+  void wait_idle();
+
+  /// Index of the calling pool worker in [0, thread_count()), or -1 when
+  /// called from a thread that does not belong to any pool.
+  static int worker_index() noexcept;
+
+  /// Like worker_index(), but -1 also when the caller belongs to a
+  /// *different* pool — use when the index keys into per-worker state of
+  /// this specific pool.
+  int index_of_current_thread() const noexcept;
+
+ private:
+  struct Queue {
+    std::mutex mutex;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void worker_loop(int index);
+  bool try_pop(int index, std::function<void()>& task);
+  bool try_steal(int thief, std::function<void()>& task);
+
+  std::vector<std::unique_ptr<Queue>> queues_;
+  std::vector<std::thread> workers_;
+
+  std::mutex state_mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable all_done_;
+  std::size_t pending_ = 0;       // submitted but not yet finished
+  std::size_t queued_ = 0;        // submitted but not yet popped by a worker
+  std::size_t next_queue_ = 0;    // round-robin cursor for external submits
+  bool stopping_ = false;
+};
+
+/// Runs body(0..n-1) on the pool and waits for all of them. The calls may
+/// execute in any order and concurrently; `body` must be safe to invoke
+/// from multiple threads.
+void parallel_for(ThreadPool& pool, int n,
+                  const std::function<void(int)>& body);
+
+}  // namespace lsm::runtime

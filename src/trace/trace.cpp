@@ -84,7 +84,8 @@ Trace Trace::slice(int first, int last) const {
   const auto b = static_cast<std::size_t>(last);
   return Trace(name_ + "[" + std::to_string(first) + ":" +
                    std::to_string(last) + "]",
-               pattern_, std::vector<Bits>(sizes_.begin() + a, sizes_.begin() + b),
+               pattern_,
+               std::vector<Bits>(sizes_.begin() + a, sizes_.begin() + b),
                std::vector<PictureType>(types_.begin() + a, types_.begin() + b),
                tau_, width_, height_);
 }

@@ -18,8 +18,8 @@ TEST(Cbr, ConstantTraceHandComputed) {
   // 1000-bit pictures every 0.1 s at R = 20000 b/s: each picture needs
   // 0.05 s after its arrival, so delivery_i = i*0.1 + 0.05 and the startup
   // delay is 0.15 s.
-  const Trace t("const", GopPattern(1, 1), std::vector<lsm::trace::Bits>(20, 1000),
-                0.1);
+  const Trace t("const", GopPattern(1, 1),
+                std::vector<lsm::trace::Bits>(20, 1000), 0.1);
   EXPECT_NEAR(min_startup_delay(t, 20000.0), 0.15, 1e-9);
   // At exactly the drain rate (10000 b/s) every picture takes a full
   // period: startup delay 0.2 s (one arrival period + one service period).

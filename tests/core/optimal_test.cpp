@@ -24,7 +24,9 @@ TEST(OfflineOptimal, ConstantTraceReducesToOneWorkingRate) {
   EXPECT_NEAR(result.peak_rate, 20000.0 / 2.1, 1e-6);
   // All positive-rate segments share that one rate.
   for (const RateSegment& s : result.schedule.segments()) {
-    if (s.rate > 0.0) EXPECT_NEAR(s.rate, 20000.0 / 2.1, 1e-6);
+    if (s.rate > 0.0) {
+      EXPECT_NEAR(s.rate, 20000.0 / 2.1, 1e-6);
+    }
   }
 }
 

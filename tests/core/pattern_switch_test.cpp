@@ -26,8 +26,8 @@ using lsm::trace::Trace;
 Trace switched_trace() {
   // First half of the Driving video coded as N=9/M=3, second half as
   // N=6/M=2 — a plausible adaptive-encoder behaviour at the scene change.
-  const Trace d1 = lsm::trace::driving1().slice(1, 153);   // 17 patterns
-  const Trace d2 = lsm::trace::driving2().slice(155, 300); // from an I? see below
+  const Trace d1 = lsm::trace::driving1().slice(1, 153);  // 17 patterns
+  const Trace d2 = lsm::trace::driving2().slice(155, 300);
   // Make the second segment begin at an I picture: driving2 has N=6, so
   // pictures 151, 157, ... are I; 155 is not. Use 157.
   const Trace d2_aligned = lsm::trace::driving2().slice(157, 300);

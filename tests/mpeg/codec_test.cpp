@@ -116,7 +116,8 @@ TEST(Codec, CoarserQuantizerShrinksStreamAndDegradesQuality) {
     fine_psnr += a.pictures[k].psnr_y;
     coarse_psnr += b.pictures[k].psnr_y;
   }
-  EXPECT_LT(coarse_psnr, fine_psnr - 3.0 * static_cast<double>(a.pictures.size()));
+  EXPECT_LT(coarse_psnr,
+            fine_psnr - 3.0 * static_cast<double>(a.pictures.size()));
 }
 
 TEST(Codec, SceneChangeInflatesPredictedPictures) {

@@ -77,7 +77,8 @@ TEST(Vlc, BlockRoundTrip) {
     std::vector<RunLevel> ac;
     int budget = 63;
     while (budget > 1 && rng.bernoulli(0.7)) {
-      const int run = static_cast<int>(rng.uniform_int(0, std::min(10, budget - 1)));
+      const int run =
+          static_cast<int>(rng.uniform_int(0, std::min(10, budget - 1)));
       std::int16_t level = static_cast<std::int16_t>(rng.uniform_int(1, 500));
       if (rng.bernoulli(0.5)) level = static_cast<std::int16_t>(-level);
       ac.push_back(RunLevel{static_cast<std::uint8_t>(run), level});

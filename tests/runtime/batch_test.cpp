@@ -1,0 +1,175 @@
+// BatchSmoother: sharded execution must be observationally identical to
+// serial smooth() — bitwise-equal results in job order for all four shipped
+// paper traces — and the per-worker counters must aggregate to exactly what
+// the results contain.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/estimator.h"
+#include "core/smoother.h"
+#include "runtime/batch.h"
+#include "trace/io.h"
+
+namespace lsm::runtime {
+namespace {
+
+using lsm::core::SmoothingResult;
+using lsm::core::SmootherParams;
+using lsm::trace::Trace;
+
+std::string data_dir() {
+  const char* dir = std::getenv("LSM_SOURCE_DIR");
+  return dir != nullptr ? std::string(dir) + "/data" : "../data";
+}
+
+std::vector<Trace> shipped_traces() {
+  std::vector<Trace> traces;
+  for (const char* name : {"driving1", "driving2", "tennis", "backyard"}) {
+    traces.push_back(
+        lsm::trace::load_trace_file(data_dir() + "/" + name + ".trace"));
+  }
+  return traces;
+}
+
+SmootherParams params_for(const Trace& trace) {
+  SmootherParams params;
+  params.K = 1;
+  params.H = trace.pattern().N();
+  params.D = 0.2;
+  params.tau = trace.tau();
+  return params;
+}
+
+// Bitwise equality, not approximate: the batch path must run the exact
+// same arithmetic as the serial path.
+void expect_bitwise_equal(const SmoothingResult& a, const SmoothingResult& b) {
+  ASSERT_EQ(a.sends.size(), b.sends.size());
+  for (std::size_t i = 0; i < a.sends.size(); ++i) {
+    EXPECT_EQ(a.sends[i].index, b.sends[i].index);
+    EXPECT_EQ(std::memcmp(&a.sends[i].start, &b.sends[i].start,
+                          sizeof(double)), 0);
+    EXPECT_EQ(std::memcmp(&a.sends[i].depart, &b.sends[i].depart,
+                          sizeof(double)), 0);
+    EXPECT_EQ(std::memcmp(&a.sends[i].rate, &b.sends[i].rate,
+                          sizeof(double)), 0);
+    EXPECT_EQ(std::memcmp(&a.sends[i].delay, &b.sends[i].delay,
+                          sizeof(double)), 0);
+    EXPECT_EQ(a.sends[i].bits, b.sends[i].bits);
+  }
+  ASSERT_EQ(a.diagnostics.size(), b.diagnostics.size());
+  for (std::size_t i = 0; i < a.diagnostics.size(); ++i) {
+    EXPECT_EQ(a.diagnostics[i].lookahead_used, b.diagnostics[i].lookahead_used);
+    EXPECT_EQ(a.diagnostics[i].early_exit, b.diagnostics[i].early_exit);
+    EXPECT_EQ(a.diagnostics[i].rate_changed, b.diagnostics[i].rate_changed);
+  }
+  EXPECT_EQ(a.estimator_name, b.estimator_name);
+  EXPECT_EQ(a.variant, b.variant);
+}
+
+TEST(BatchSmoother, MatchesSerialBitwiseOnAllShippedTraces) {
+  const std::vector<Trace> traces = shipped_traces();
+  const std::vector<BatchJob> jobs = make_jobs(traces, params_for);
+  BatchSmoother batch(4);
+  const std::vector<SmoothingResult> parallel = batch.run(jobs);
+  ASSERT_EQ(parallel.size(), traces.size());
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    const SmoothingResult serial =
+        lsm::core::smooth_basic(traces[i], params_for(traces[i]));
+    expect_bitwise_equal(parallel[i], serial);
+  }
+}
+
+TEST(BatchSmoother, ResultOrderFollowsJobOrderNotCompletionOrder) {
+  const std::vector<Trace> traces = shipped_traces();
+  // Mix long and short jobs so completion order differs from job order.
+  std::vector<BatchJob> jobs;
+  for (int repeat = 0; repeat < 4; ++repeat) {
+    for (const Trace& trace : traces) {
+      jobs.push_back(BatchJob{&trace, params_for(trace),
+                              lsm::core::Variant::kBasic});
+    }
+  }
+  BatchSmoother batch(4);
+  const std::vector<SmoothingResult> results = batch.run(jobs);
+  ASSERT_EQ(results.size(), jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(results[i].sends.size(),
+              static_cast<std::size_t>(jobs[i].trace->picture_count()))
+        << "slot " << i;
+  }
+}
+
+TEST(BatchSmoother, VariantIsHonoredPerJob) {
+  const std::vector<Trace> traces = shipped_traces();
+  const Trace& trace = traces[0];
+  std::vector<BatchJob> jobs = {
+      BatchJob{&trace, params_for(trace), lsm::core::Variant::kBasic},
+      BatchJob{&trace, params_for(trace), lsm::core::Variant::kMovingAverage},
+  };
+  BatchSmoother batch(2);
+  const std::vector<SmoothingResult> results = batch.run(jobs);
+  expect_bitwise_equal(results[0],
+                       lsm::core::smooth_basic(trace, params_for(trace)));
+  expect_bitwise_equal(results[1],
+                       lsm::core::smooth_modified(trace, params_for(trace)));
+}
+
+TEST(BatchSmoother, CountersAggregateToResultContents) {
+  const std::vector<Trace> traces = shipped_traces();
+  const std::vector<BatchJob> jobs = make_jobs(traces, params_for);
+  BatchSmoother batch(3);
+  const std::vector<SmoothingResult> results = batch.run(jobs);
+  const PerfCounters total = batch.counters().total();
+  std::uint64_t pictures = 0, changes = 0, exits = 0;
+  for (const SmoothingResult& result : results) {
+    pictures += result.sends.size();
+    for (const auto& d : result.diagnostics) {
+      changes += d.rate_changed ? 1 : 0;
+      exits += d.early_exit ? 1 : 0;
+    }
+  }
+  EXPECT_EQ(total.streams, jobs.size());
+  EXPECT_EQ(total.pictures, pictures);
+  EXPECT_EQ(total.rate_changes, changes);
+  EXPECT_EQ(total.early_exits, exits);
+  EXPECT_GT(total.wall_ns, 0u);
+  // Counters accumulate across runs until reset.
+  batch.run(jobs);
+  EXPECT_EQ(batch.counters().total().streams, 2 * jobs.size());
+  batch.counters().reset();
+  EXPECT_EQ(batch.counters().total().streams, 0u);
+}
+
+TEST(BatchSmoother, RunIntoReusesResultSlots) {
+  const std::vector<Trace> traces = shipped_traces();
+  const std::vector<BatchJob> jobs = make_jobs(traces, params_for);
+  BatchSmoother batch(2);
+  std::vector<SmoothingResult> results;
+  batch.run_into(jobs, results);
+  ASSERT_EQ(results.size(), jobs.size());
+  const void* first_buffer = results[0].sends.data();
+  const std::size_t first_capacity = results[0].sends.capacity();
+  batch.run_into(jobs, results);  // same shapes: no reallocation expected
+  EXPECT_EQ(results[0].sends.data(), first_buffer);
+  EXPECT_EQ(results[0].sends.capacity(), first_capacity);
+  expect_bitwise_equal(
+      results[0], lsm::core::smooth_basic(traces[0], params_for(traces[0])));
+}
+
+TEST(BatchSmoother, NullTraceIsRejected) {
+  BatchSmoother batch(1);
+  std::vector<BatchJob> jobs(1);  // trace left null
+  EXPECT_THROW(batch.run(jobs), std::invalid_argument);
+}
+
+TEST(BatchSmoother, EmptyBatchYieldsEmptyResults) {
+  BatchSmoother batch(2);
+  EXPECT_TRUE(batch.run({}).empty());
+}
+
+}  // namespace
+}  // namespace lsm::runtime

@@ -1,0 +1,94 @@
+// PerfCounters / PerfRegistry: aggregation arithmetic, slot routing, reset,
+// and the JSON report shape consumed by the CI bench artifacts.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "runtime/counters.h"
+
+namespace lsm::runtime {
+namespace {
+
+PerfCounters make(std::uint64_t base) {
+  PerfCounters c;
+  c.streams = base;
+  c.pictures = base * 10;
+  c.rate_changes = base * 2;
+  c.early_exits = base + 1;
+  c.wall_ns = base * 100;
+  c.cpu_ns = base * 90;
+  return c;
+}
+
+TEST(PerfCounters, PlusEqualsSumsEveryField) {
+  PerfCounters a = make(3);
+  a += make(4);
+  EXPECT_EQ(a.streams, 7u);
+  EXPECT_EQ(a.pictures, 70u);
+  EXPECT_EQ(a.rate_changes, 14u);
+  EXPECT_EQ(a.early_exits, 9u);
+  EXPECT_EQ(a.wall_ns, 700u);
+  EXPECT_EQ(a.cpu_ns, 630u);
+}
+
+TEST(PerfCounters, WallNsPerStream) {
+  EXPECT_EQ(PerfCounters{}.wall_ns_per_stream(), 0.0);
+  PerfCounters c;
+  c.streams = 4;
+  c.wall_ns = 1000;
+  EXPECT_DOUBLE_EQ(c.wall_ns_per_stream(), 250.0);
+}
+
+TEST(PerfRegistry, TotalSumsWorkerAndExternalSlots) {
+  PerfRegistry registry(3);
+  EXPECT_EQ(registry.worker_count(), 3);
+  registry.slot(0) = make(1);
+  registry.slot(2) = make(2);
+  registry.slot(-1) = make(5);  // external slot
+  const PerfCounters total = registry.total();
+  EXPECT_EQ(total.streams, 8u);
+  EXPECT_EQ(total.pictures, 80u);
+}
+
+TEST(PerfRegistry, OutOfRangeIndexRoutesToExternalSlot) {
+  PerfRegistry registry(2);
+  registry.slot(7).streams = 9;  // beyond worker range -> external
+  EXPECT_EQ(registry.slot(-1).streams, 9u);
+}
+
+TEST(PerfRegistry, ResetZeroesAllSlots) {
+  PerfRegistry registry(2);
+  registry.slot(0) = make(6);
+  registry.slot(-1) = make(6);
+  registry.reset();
+  EXPECT_EQ(registry.total().streams, 0u);
+  EXPECT_EQ(registry.total().wall_ns, 0u);
+}
+
+TEST(PerfRegistry, JsonReportHasTotalsWorkersAndDerivedCost) {
+  PerfRegistry registry(2);
+  registry.slot(0).streams = 2;
+  registry.slot(0).wall_ns = 500;
+  registry.slot(1).pictures = 33;
+  const std::string json = registry.to_json();
+  EXPECT_NE(json.find("\"total\""), std::string::npos);
+  EXPECT_NE(json.find("\"streams\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"pictures\": 33"), std::string::npos);
+  EXPECT_NE(json.find("\"wall_ns_per_stream\": 250.0"), std::string::npos);
+  EXPECT_NE(json.find("\"workers\": ["), std::string::npos);
+  EXPECT_NE(json.find("\"external\""), std::string::npos);
+}
+
+TEST(Clocks, MonotoneAndNonNegative) {
+  const std::uint64_t a = wall_clock_ns();
+  const std::uint64_t b = wall_clock_ns();
+  EXPECT_GE(b, a);
+  // thread_cpu_ns is 0 on platforms without a thread CPU clock; where it
+  // exists it must also be monotone.
+  const std::uint64_t c = thread_cpu_ns();
+  const std::uint64_t d = thread_cpu_ns();
+  EXPECT_GE(d, c);
+}
+
+}  // namespace
+}  // namespace lsm::runtime

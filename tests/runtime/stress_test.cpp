@@ -1,0 +1,117 @@
+// Runtime stress: heavy, irregular load with multiple client threads
+// hammering one BatchSmoother and pools being created and torn down while
+// full. Primarily a ThreadSanitizer target (CI runs this binary with
+// -DLSM_SANITIZE=thread); the assertions also pin determinism under load.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "core/smoother.h"
+#include "runtime/batch.h"
+#include "runtime/pool.h"
+#include "trace/pattern.h"
+#include "trace/trace.h"
+
+namespace lsm::runtime {
+namespace {
+
+using lsm::core::SmoothingResult;
+using lsm::core::SmootherParams;
+using lsm::trace::Trace;
+
+// Small deterministic synthetic trace; size varies with `seed` so different
+// jobs do different amounts of work.
+Trace tiny_trace(int seed) {
+  const int pictures = 30 + (seed % 5) * 9;
+  std::vector<lsm::trace::Bits> sizes;
+  sizes.reserve(static_cast<std::size_t>(pictures));
+  for (int i = 0; i < pictures; ++i) {
+    const int in_gop = i % 9;
+    const lsm::trace::Bits base =
+        in_gop == 0 ? 200000 : (in_gop % 3 == 0 ? 90000 : 20000);
+    sizes.push_back(base + (seed * 131 + i * 17) % 5000);
+  }
+  return Trace("tiny" + std::to_string(seed), lsm::trace::GopPattern(9, 3),
+               std::move(sizes));
+}
+
+SmootherParams tiny_params(const Trace& trace) {
+  SmootherParams params;
+  params.K = 1;
+  params.H = trace.pattern().N();
+  params.D = 0.2;
+  params.tau = trace.tau();
+  return params;
+}
+
+TEST(RuntimeStress, ManyClientsShareOneBatchSmoother) {
+  constexpr int kClients = 4;
+  constexpr int kBatchesPerClient = 8;
+  constexpr int kJobsPerBatch = 16;
+
+  std::vector<Trace> traces;
+  for (int seed = 0; seed < kJobsPerBatch; ++seed) {
+    traces.push_back(tiny_trace(seed));
+  }
+  std::vector<BatchJob> jobs;
+  for (const Trace& trace : traces) {
+    jobs.push_back(BatchJob{&trace, tiny_params(trace),
+                            lsm::core::Variant::kBasic});
+  }
+  std::vector<SmoothingResult> expected;
+  for (const Trace& trace : traces) {
+    expected.push_back(lsm::core::smooth_basic(trace, tiny_params(trace)));
+  }
+
+  BatchSmoother batch(4);
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&batch, &jobs, &expected, &mismatches] {
+      for (int round = 0; round < kBatchesPerClient; ++round) {
+        const std::vector<SmoothingResult> results = batch.run(jobs);
+        for (std::size_t i = 0; i < results.size(); ++i) {
+          if (results[i].sends.size() != expected[i].sends.size() ||
+              results[i].sends.back().rate != expected[i].sends.back().rate) {
+            mismatches.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  const PerfCounters total = batch.counters().total();
+  EXPECT_EQ(total.streams, static_cast<std::uint64_t>(kClients) *
+                               kBatchesPerClient * kJobsPerBatch);
+}
+
+TEST(RuntimeStress, PoolTearDownWhileFull) {
+  std::atomic<int> ran{0};
+  for (int round = 0; round < 20; ++round) {
+    ThreadPool pool(3);
+    for (int i = 0; i < 64; ++i) {
+      pool.submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+    }
+    // destructor must drain all 64 without losing or double-running any
+  }
+  EXPECT_EQ(ran.load(), 20 * 64);
+}
+
+TEST(RuntimeStress, InterleavedSubmitAndWaitIdle) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  for (int wave = 0; wave < 50; ++wave) {
+    for (int i = 0; i < 20; ++i) {
+      pool.submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+    }
+    pool.wait_idle();
+    ASSERT_EQ(ran.load(), (wave + 1) * 20);
+  }
+}
+
+}  // namespace
+}  // namespace lsm::runtime

@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""Compare a google-benchmark JSON run against a committed baseline.
+
+The CI bench-baseline job runs
+
+    perf_micro --benchmark_format=json > bench_results.json
+    tools/check_bench.py compare --baseline BENCH_BASELINE.json \
+        --current bench_results.json
+
+and fails when any benchmark's throughput (items_per_second; falls back to
+1/real_time for benchmarks without an items counter) drops more than
+--threshold (default 0.25) below the baseline. Benchmarks new in the
+current run pass with a notice; benchmarks that disappeared fail, so a
+deleted benchmark forces a deliberate baseline refresh.
+
+Refresh the baseline from a trusted run with
+
+    tools/check_bench.py update --current bench_results.json \
+        --baseline BENCH_BASELINE.json
+
+which rewrites the baseline as a minimal, diff-friendly document.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load_throughputs(path: str) -> dict[str, float]:
+    """Map benchmark name -> throughput from either a raw google-benchmark
+    JSON document or a previously reduced baseline document."""
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    benchmarks = document.get("benchmarks", [])
+    if isinstance(benchmarks, dict):  # reduced baseline format
+        return {name: float(entry["throughput"])
+                for name, entry in benchmarks.items()}
+    throughputs: dict[str, float] = {}
+    for entry in benchmarks:
+        if entry.get("run_type", "iteration") != "iteration":
+            continue  # skip aggregate rows (mean/median/stddev)
+        name = entry["name"]
+        if "items_per_second" in entry:
+            throughputs[name] = float(entry["items_per_second"])
+        else:
+            # real_time is reported in entry["time_unit"]; normalize to
+            # runs/second so the ratio check still works.
+            unit = {"ns": 1e-9, "us": 1e-6, "ms": 1e-3, "s": 1.0}[
+                entry.get("time_unit", "ns")]
+            real_time = float(entry["real_time"]) * unit
+            if real_time > 0:
+                throughputs[name] = 1.0 / real_time
+    return throughputs
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    baseline = load_throughputs(args.baseline)
+    current = load_throughputs(args.current)
+    failures = []
+    for name, base in sorted(baseline.items()):
+        now = current.get(name)
+        if now is None:
+            failures.append(f"{name}: present in baseline but missing from "
+                            f"the current run (refresh the baseline if it "
+                            f"was removed on purpose)")
+            continue
+        ratio = now / base if base > 0 else float("inf")
+        marker = "FAIL" if ratio < 1.0 - args.threshold else "ok"
+        print(f"{marker:>4}  {name}: {now:.3e} vs baseline {base:.3e} "
+              f"({100.0 * (ratio - 1.0):+.1f}%)")
+        if marker == "FAIL":
+            failures.append(f"{name}: throughput regressed "
+                            f"{100.0 * (1.0 - ratio):.1f}% "
+                            f"(> {100.0 * args.threshold:.0f}% allowed)")
+    for name in sorted(set(current) - set(baseline)):
+        print(f" new  {name}: {current[name]:.3e} (no baseline; "
+              f"run the update command to record one)")
+    if failures:
+        print("\nbench regression check FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print(f"\nbench regression check passed "
+          f"({len(baseline)} baselined benchmarks).")
+    return 0
+
+
+def cmd_update(args: argparse.Namespace) -> int:
+    current = load_throughputs(args.current)
+    if not current:
+        print("no benchmarks in the current run; refusing to write an "
+              "empty baseline", file=sys.stderr)
+        return 1
+    document = {
+        "comment": "Throughput baseline for tools/check_bench.py; refresh "
+                   "with the update subcommand from a trusted run.",
+        "benchmarks": {
+            name: {"throughput": value}
+            for name, value in sorted(current.items())
+        },
+    }
+    with open(args.baseline, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {len(current)} baselines to {args.baseline}")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    compare = subparsers.add_parser("compare", help="check a run")
+    compare.add_argument("--baseline", default="BENCH_BASELINE.json")
+    compare.add_argument("--current", required=True)
+    compare.add_argument("--threshold", type=float, default=0.25,
+                         help="allowed fractional throughput drop")
+    compare.set_defaults(func=cmd_compare)
+
+    update = subparsers.add_parser("update", help="rewrite the baseline")
+    update.add_argument("--baseline", default="BENCH_BASELINE.json")
+    update.add_argument("--current", required=True)
+    update.set_defaults(func=cmd_update)
+
+    args = parser.parse_args()
+    try:
+        return args.func(args)
+    except OSError as error:
+        print(f"check_bench: {error}", file=sys.stderr)
+        return 1
+    except (json.JSONDecodeError, KeyError, TypeError, ValueError) as error:
+        print(f"check_bench: malformed benchmark document: {error}",
+              file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
