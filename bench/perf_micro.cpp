@@ -18,6 +18,7 @@
 #include "net/packetize.h"
 #include "runtime/batch.h"
 #include "trace/sequences.h"
+#include "trace/synthetic.h"
 
 namespace {
 
@@ -34,6 +35,85 @@ void BM_SmoothBasic(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * t.picture_count());
 }
 BENCHMARK(BM_SmoothBasic)->Arg(1)->Arg(9)->Arg(18);
+
+// A long scene-process trace (>= 50k pictures) so the per-picture cost is
+// measured with the estimator tables, prefix sums, and trace data far
+// outside L1/L2 — the regime batch consumers actually run in, where the
+// small paper traces (< 10k pictures) flatter the cache.
+const trace::Trace& long_synthetic_trace() {
+  static const trace::Trace t = [] {
+    trace::SyntheticConfig config;
+    config.name = "bench-long";
+    config.seed = 42;
+    for (int s = 0; s < 25; ++s) {
+      // Alternating calm and busy scenes, 2160 frames (90 s) each: 54k
+      // pictures total, with scene changes to exercise the scene-cut
+      // fallback inside the size model.
+      config.scenes.push_back(trace::SceneSpec{
+          2160, 0.8 + 0.03 * s, s % 2 == 0 ? 0.1 : 0.5,
+          s % 2 == 0 ? 0.3 : 0.7});
+    }
+    return trace::synthesize(config, trace::GopPattern(9, 3));
+  }();
+  return t;
+}
+
+void BM_SmoothBasicLong(benchmark::State& state) {
+  const trace::Trace& t = long_synthetic_trace();
+  core::SmootherParams params;
+  params.tau = t.tau();
+  params.H = static_cast<int>(state.range(0));
+  std::vector<core::PictureSend> sends;
+  std::vector<core::StepDiagnostics> diagnostics;
+  const core::PatternEstimator estimator(t);
+  for (auto _ : state) {
+    sends.clear();
+    diagnostics.clear();
+    core::SmootherEngine engine(t, params, estimator);
+    engine.run_into(sends, diagnostics);
+    benchmark::DoNotOptimize(sends.data());
+  }
+  state.SetItemsProcessed(state.iterations() * t.picture_count());
+}
+BENCHMARK(BM_SmoothBasicLong)->Arg(18);
+
+// Whole-loop throughput of each sealed estimator kernel: the estimator
+// choice decides which fast-path kernel the engine instantiates, so these
+// track the per-kernel cost of the devirtualized path (compare against
+// BM_SmoothBasic, the PatternEstimator kernel, on the same trace).
+template <typename Estimator, typename... Args>
+void smooth_with_estimator(benchmark::State& state, Args... args) {
+  const trace::Trace t = trace::driving1();
+  core::SmootherParams params;
+  params.tau = t.tau();
+  params.H = 18;
+  const Estimator estimator(t, args...);
+  std::vector<core::PictureSend> sends;
+  std::vector<core::StepDiagnostics> diagnostics;
+  for (auto _ : state) {
+    sends.clear();
+    diagnostics.clear();
+    core::SmootherEngine engine(t, params, estimator);
+    engine.run_into(sends, diagnostics);
+    benchmark::DoNotOptimize(sends.data());
+  }
+  state.SetItemsProcessed(state.iterations() * t.picture_count());
+}
+
+void BM_LastSameType(benchmark::State& state) {
+  smooth_with_estimator<core::LastSameTypeEstimator>(state);
+}
+BENCHMARK(BM_LastSameType);
+
+void BM_PhaseEwma(benchmark::State& state) {
+  smooth_with_estimator<core::PhaseEwmaEstimator>(state, 0.5);
+}
+BENCHMARK(BM_PhaseEwma);
+
+void BM_TypeMean(benchmark::State& state) {
+  smooth_with_estimator<core::TypeMeanEstimator>(state);
+}
+BENCHMARK(BM_TypeMean);
 
 void BM_SmoothModified(benchmark::State& state) {
   const trace::Trace t = trace::driving1();

@@ -2,21 +2,6 @@
 
 namespace lsm::core {
 
-Rate lookahead_lower_bound(double sum_bits, int i, int h, Seconds t_i,
-                           const SmootherParams& params) noexcept {
-  const double denom =
-      params.D + static_cast<double>(i - 1 + h) * params.tau - t_i;
-  if (denom <= 0.0) return kUnbounded;
-  return sum_bits / denom;
-}
-
-Rate lookahead_upper_bound(double sum_bits, int i, int h, Seconds t_i,
-                           const SmootherParams& params) noexcept {
-  const double deadline = static_cast<double>(params.K + i + h) * params.tau;
-  if (t_i >= deadline) return kUnbounded;
-  return sum_bits / (deadline - t_i);
-}
-
 Rate theorem_lower_bound(Bits s_i, int i, Seconds t_i,
                          const SmootherParams& params) noexcept {
   return lookahead_lower_bound(static_cast<double>(s_i), i, 0, t_i, params);

@@ -26,14 +26,42 @@ inline constexpr Rate kUnbounded = std::numeric_limits<Rate>::infinity();
 
 /// Lower bound r_i^L(h): sum_bits / (D + (i-1+h) tau - t_i), or +infinity if
 /// the denominator is <= 0. `sum_bits` is S_i + ... + S_{i+h} (estimates
-/// allowed for j > i).
-Rate lookahead_lower_bound(double sum_bits, int i, int h, Seconds t_i,
-                           const SmootherParams& params) noexcept;
+/// allowed for j > i). Inline: these run up to H times per picture in the
+/// rate-selection loop, the system's hottest code.
+///
+/// The `_at` forms take the picture count i-1+h (resp. deadline index
+/// K+i+h) as an already-converted double so the loop can maintain it
+/// incrementally (+1.0 per h). Both counts are integers far below 2^53, so
+/// the incremental double is identical to the int conversion bit for bit.
+inline Rate lookahead_lower_bound_at(double sum_bits, double pictures,
+                                     Seconds t_i,
+                                     const SmootherParams& params) noexcept {
+  const double denom = params.D + pictures * params.tau - t_i;
+  if (denom <= 0.0) return kUnbounded;
+  return sum_bits / denom;
+}
+
+inline Rate lookahead_lower_bound(double sum_bits, int i, int h, Seconds t_i,
+                                  const SmootherParams& params) noexcept {
+  return lookahead_lower_bound_at(sum_bits, static_cast<double>(i - 1 + h),
+                                  t_i, params);
+}
 
 /// Upper bound r_i^U(h): sum_bits / ((i+h+K) tau - t_i) if
 /// t_i < (i+h+K) tau, else +infinity.
-Rate lookahead_upper_bound(double sum_bits, int i, int h, Seconds t_i,
-                           const SmootherParams& params) noexcept;
+inline Rate lookahead_upper_bound_at(double sum_bits, double deadline_index,
+                                     Seconds t_i,
+                                     const SmootherParams& params) noexcept {
+  const double deadline = deadline_index * params.tau;
+  if (t_i >= deadline) return kUnbounded;
+  return sum_bits / (deadline - t_i);
+}
+
+inline Rate lookahead_upper_bound(double sum_bits, int i, int h, Seconds t_i,
+                                  const SmootherParams& params) noexcept {
+  return lookahead_upper_bound_at(
+      sum_bits, static_cast<double>(params.K + i + h), t_i, params);
+}
 
 /// Theorem 1 bounds (h = 0) for picture i of size s_i.
 Rate theorem_lower_bound(Bits s_i, int i, Seconds t_i,

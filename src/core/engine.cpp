@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <type_traits>
 
 #include "core/rate_select.h"
 
@@ -9,19 +10,22 @@ namespace lsm::core {
 
 SmootherEngine::SmootherEngine(const lsm::trace::Trace& trace,
                                const SmootherParams& params,
-                               const SizeEstimator& estimator, Variant variant)
+                               const SizeEstimator& estimator, Variant variant,
+                               ExecutionPath path)
     : trace_(trace), params_(params), estimator_(estimator), variant_(variant) {
   params_.validate();
+  kernel_ = fastpath::make_kernel(trace_, estimator_, path);
 }
 
 bool SmootherEngine::done() const noexcept {
   return next_ > trace_.picture_count();
 }
 
-PictureSend SmootherEngine::step() {
+template <typename Kernel>
+[[gnu::always_inline]] inline PictureSend SmootherEngine::step_on(
+    Kernel& kernel) {
   const int n = trace_.picture_count();
   const int i = next_;
-  if (i > n) throw std::logic_error("SmootherEngine::step: already done");
   const double tau = params_.tau;
 
   // t_i = max(d_{i-1}, (i-1+K) tau), truncated to pictures that exist.
@@ -29,19 +33,28 @@ PictureSend SmootherEngine::step() {
   const Seconds time =
       std::max(depart_, static_cast<double>(last_required) * tau);
 
-  const detail::RateDecision decision = detail::select_rate(
-      i, time, n, rate_, params_, trace_.pattern().N(), variant_,
-      static_cast<double>(trace_.size_of(i)),
-      [this](int j, Seconds t) { return estimator_.size_at(j, t); });
+  const Bits bits = trace_.size_of(i);
+  const double fallback = static_cast<double>(bits);
+  detail::RateDecision decision;
+  if constexpr (std::is_same_v<Kernel, std::monostate>) {
+    decision = detail::select_rate(
+        i, time, n, rate_, params_, trace_.pattern().N(), variant_, fallback,
+        [this](int j, Seconds t) { return estimator_.size_at(j, t); });
+  } else {
+    decision =
+        detail::select_rate_kernel(i, time, n, rate_, params_,
+                                   trace_.pattern().N(), variant_, fallback,
+                                   kernel);
+  }
   rate_ = decision.rate;
   diag_ = decision.diag;
 
   PictureSend send;
   send.index = i;
-  send.bits = trace_.size_of(i);
+  send.bits = bits;
   send.start = time;
   send.rate = rate_;
-  send.depart = time + static_cast<double>(send.bits) / rate_;
+  send.depart = time + static_cast<double>(bits) / rate_;
   send.delay = send.depart - static_cast<double>(i - 1) * tau;
 
   depart_ = send.depart;
@@ -49,10 +62,36 @@ PictureSend SmootherEngine::step() {
   return send;
 }
 
+PictureSend SmootherEngine::step() {
+  if (done()) throw std::logic_error("SmootherEngine::step: already done");
+  return std::visit([this](auto& kernel) { return step_on(kernel); }, kernel_);
+}
+
+void SmootherEngine::run_into(std::vector<PictureSend>& sends,
+                              std::vector<StepDiagnostics>& diags) {
+  const int n = trace_.picture_count();
+  if (next_ > n) return;
+  const std::size_t remaining = static_cast<std::size_t>(n - next_ + 1);
+  sends.reserve(sends.size() + remaining);
+  diags.reserve(diags.size() + remaining);
+  std::visit(
+      [&](auto& kernel) {
+        while (next_ <= n) {
+          sends.push_back(step_on(kernel));
+          diags.push_back(diag_);
+        }
+      },
+      kernel_);
+}
+
 std::vector<PictureSend> SmootherEngine::run() {
   std::vector<PictureSend> sends;
-  sends.reserve(static_cast<std::size_t>(trace_.picture_count() - next_ + 1));
-  while (!done()) sends.push_back(step());
+  std::vector<StepDiagnostics> diags;
+  const std::size_t remaining =
+      static_cast<std::size_t>(trace_.picture_count() - next_ + 1);
+  sends.reserve(remaining);
+  diags.reserve(remaining);
+  run_into(sends, diags);
   return sends;
 }
 

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "core/estimator.h"
+#include "core/fastpath.h"
 #include "core/params.h"
 #include "core/schedule.h"
 
@@ -47,12 +48,19 @@ struct StepDiagnostics {
 
 /// Incremental smoother. The referenced trace and estimator must outlive the
 /// engine. Pictures are processed strictly in order 1..n.
+///
+/// By default (ExecutionPath::kAuto) the engine runs the devirtualized fast
+/// path of fastpath.h whenever the estimator is one of the library's
+/// concrete kinds bound to `trace`; its output is bitwise identical to the
+/// virtual reference path, which ExecutionPath::kReference forces (the
+/// differential-testing flag).
 class SmootherEngine {
  public:
   /// Throws InvalidParams on structurally invalid parameters.
   SmootherEngine(const lsm::trace::Trace& trace, const SmootherParams& params,
                  const SizeEstimator& estimator,
-                 Variant variant = Variant::kBasic);
+                 Variant variant = Variant::kBasic,
+                 ExecutionPath path = ExecutionPath::kAuto);
 
   /// True when every picture has been scheduled.
   bool done() const noexcept;
@@ -70,11 +78,31 @@ class SmootherEngine {
   /// Runs all remaining steps and returns their send records.
   std::vector<PictureSend> run();
 
+  /// Runs all remaining steps, appending one PictureSend and one
+  /// StepDiagnostics per picture. Equivalent to repeated step() +
+  /// last_diagnostics(), but resolves the execution path once for the whole
+  /// run instead of once per picture — the batch hot path (smooth_into).
+  void run_into(std::vector<PictureSend>& sends,
+                std::vector<StepDiagnostics>& diags);
+
+  /// True when steps run on a sealed fast-path kernel (kAuto resolved to a
+  /// known estimator kind), false on the virtual reference path.
+  bool using_fast_path() const noexcept {
+    return !std::holds_alternative<std::monostate>(kernel_);
+  }
+
  private:
+  /// One Figure 2 step against a statically-typed kernel (monostate = the
+  /// virtual reference path). Shared by step() and run_into() so the two
+  /// entry points cannot diverge.
+  template <typename Kernel>
+  PictureSend step_on(Kernel& kernel);
+
   const lsm::trace::Trace& trace_;
   SmootherParams params_;
   const SizeEstimator& estimator_;
   Variant variant_;
+  fastpath::AnyKernel kernel_;
 
   int next_ = 1;        ///< picture index i of the next step
   Seconds depart_ = 0.0;  ///< d_{i-1}

@@ -32,6 +32,27 @@ struct DefaultSizes {
   Bits of(lsm::trace::PictureType type) const noexcept;
 };
 
+/// Identity of a concrete estimator for the compile-time-dispatched fast
+/// path (core/fastpath.h). kOther keeps engines on the virtual reference
+/// path, so user-defined estimators keep working unchanged.
+enum class EstimatorKind : std::uint8_t {
+  kOther,
+  kPattern,
+  kOracle,
+  kLastSameType,
+  kPhaseEwma,
+  kTypeMean,
+};
+
+/// What an engine needs to replace a concrete estimator with its sealed
+/// kernel. `trace` identifies the trace the estimator is bound to; the
+/// engine only trusts the kernel when it matches the trace being smoothed.
+struct FastPathInfo {
+  EstimatorKind kind = EstimatorKind::kOther;
+  const lsm::trace::Trace* trace = nullptr;
+  DefaultSizes defaults{};
+};
+
 /// Interface for size(j, t). Implementations are bound to one trace.
 class SizeEstimator {
  public:
@@ -43,6 +64,12 @@ class SizeEstimator {
 
   /// Human-readable estimator name for bench/report output.
   virtual std::string name() const = 0;
+
+  /// Fast-path identity; the default (kOther) opts out, keeping any
+  /// subclass on the reference path. Overriding with a concrete kind is a
+  /// promise that the estimator *is* that library type (the fast-path
+  /// factory downcasts accordingly).
+  virtual FastPathInfo fastpath_info() const { return {}; }
 
  protected:
   /// True iff picture j has completely arrived at time t.
@@ -60,6 +87,9 @@ class PatternEstimator final : public SizeEstimator {
                             DefaultSizes defaults = {});
   Bits size_at(int j, Seconds t) const override;
   std::string name() const override { return "pattern"; }
+  FastPathInfo fastpath_info() const override {
+    return {EstimatorKind::kPattern, &trace_, defaults_};
+  }
 
  private:
   const lsm::trace::Trace& trace_;
@@ -73,6 +103,9 @@ class OracleEstimator final : public SizeEstimator {
   explicit OracleEstimator(const lsm::trace::Trace& trace) : trace_(trace) {}
   Bits size_at(int j, Seconds t) const override;
   std::string name() const override { return "oracle"; }
+  FastPathInfo fastpath_info() const override {
+    return {EstimatorKind::kOracle, &trace_, DefaultSizes{}};
+  }
 
  private:
   const lsm::trace::Trace& trace_;
@@ -86,6 +119,9 @@ class LastSameTypeEstimator final : public SizeEstimator {
                                  DefaultSizes defaults = {});
   Bits size_at(int j, Seconds t) const override;
   std::string name() const override { return "last-same-type"; }
+  FastPathInfo fastpath_info() const override {
+    return {EstimatorKind::kLastSameType, &trace_, defaults_};
+  }
 
  private:
   const lsm::trace::Trace& trace_;
@@ -99,22 +135,33 @@ class LastSameTypeEstimator final : public SizeEstimator {
 /// the paper's estimator.
 class PhaseEwmaEstimator final : public SizeEstimator {
  public:
+  /// Per phase: the picture indices at that phase (ascending) and the EWMA
+  /// value after each of them, so a query is a binary search (reference
+  /// path) or a monotone cursor advance (fast-path kernel).
+  struct PhaseHistory {
+    std::vector<int> indices;
+    std::vector<double> ewma_after;
+  };
+
   /// Requires 0 < alpha <= 1.
   explicit PhaseEwmaEstimator(const lsm::trace::Trace& trace,
                               double alpha = 0.5, DefaultSizes defaults = {});
   Bits size_at(int j, Seconds t) const override;
   std::string name() const override { return "phase-ewma"; }
+  FastPathInfo fastpath_info() const override {
+    return {EstimatorKind::kPhaseEwma, &trace_, defaults_};
+  }
+
+  /// Precomputed histories, shared with the fast-path kernel so it never
+  /// re-derives (or risks diverging from) the EWMA arithmetic.
+  const std::vector<PhaseHistory>& by_phase() const noexcept {
+    return by_phase_;
+  }
 
  private:
   const lsm::trace::Trace& trace_;
   double alpha_;
   DefaultSizes defaults_;
-  /// Per phase: the picture indices at that phase (ascending) and the EWMA
-  /// value after each of them, so a query is a binary search.
-  struct PhaseHistory {
-    std::vector<int> indices;
-    std::vector<double> ewma_after;
-  };
   std::vector<PhaseHistory> by_phase_;
 };
 
@@ -126,6 +173,18 @@ class TypeMeanEstimator final : public SizeEstimator {
                              DefaultSizes defaults = {});
   Bits size_at(int j, Seconds t) const override;
   std::string name() const override { return "type-mean"; }
+  FastPathInfo fastpath_info() const override {
+    return {EstimatorKind::kTypeMean, &trace_, defaults_};
+  }
+
+  /// Precomputed per-type prefix tables, shared with the fast-path kernel
+  /// (same doubles, so the kernel's means are bitwise identical).
+  const std::vector<std::vector<double>>& prefix_sums() const noexcept {
+    return prefix_sums_;
+  }
+  const std::vector<std::vector<int>>& prefix_counts() const noexcept {
+    return prefix_counts_;
+  }
 
  private:
   const lsm::trace::Trace& trace_;

@@ -1,0 +1,87 @@
+#include "core/fastpath.h"
+
+namespace lsm::core::fastpath {
+
+KernelBase::KernelBase(const Trace& trace, DefaultSizes defaults)
+    : trace_(&trace),
+      sizes_(trace.sizes().data()),
+      defaults_(defaults),
+      tau_(trace.tau()),
+      picture_count_(trace.picture_count()),
+      next_threshold_(tau_ - 1e-12) {
+  prefix_.resize(static_cast<std::size_t>(picture_count_) + 1);
+  prefix_[0] = 0;
+  for (int k = 1; k <= picture_count_; ++k) {
+    prefix_[static_cast<std::size_t>(k)] =
+        prefix_[static_cast<std::size_t>(k - 1)] + size_of(k);
+  }
+}
+
+PatternKernel::PatternKernel(const Trace& trace, DefaultSizes defaults)
+    : KernelBase(trace, defaults), pattern_n_(trace.pattern().N()) {}
+
+OracleKernel::OracleKernel(const Trace& trace)
+    : KernelBase(trace, DefaultSizes{}) {}
+
+LastSameTypeKernel::LastSameTypeKernel(const Trace& trace,
+                                       DefaultSizes defaults)
+    : KernelBase(trace, defaults) {
+  const std::size_t n = static_cast<std::size_t>(picture_count_);
+  for (std::vector<int>& table : last_of_type_) table.assign(n + 1, 0);
+  for (std::size_t k = 1; k <= n; ++k) {
+    for (std::vector<int>& table : last_of_type_) table[k] = table[k - 1];
+    const std::size_t type = static_cast<std::size_t>(
+        trace.type_of(static_cast<int>(k)));
+    last_of_type_[type][k] = static_cast<int>(k);
+  }
+}
+
+PhaseEwmaKernel::PhaseEwmaKernel(const Trace& trace,
+                                 const PhaseEwmaEstimator& estimator,
+                                 DefaultSizes defaults)
+    : KernelBase(trace, defaults),
+      by_phase_(&estimator.by_phase()),
+      cursors_(estimator.by_phase().size(), 0) {}
+
+TypeMeanKernel::TypeMeanKernel(const Trace& trace,
+                               const TypeMeanEstimator& estimator,
+                               DefaultSizes defaults)
+    : KernelBase(trace, defaults),
+      prefix_sums_(&estimator.prefix_sums()),
+      prefix_counts_(&estimator.prefix_counts()) {}
+
+StreamingKernel::StreamingKernel(lsm::trace::GopPattern pattern, double tau,
+                                 DefaultSizes defaults)
+    : pattern_(pattern),
+      defaults_(defaults),
+      tau_(tau),
+      prefix_{0},
+      next_threshold_(tau - 1e-12) {}
+
+AnyKernel make_kernel(const Trace& trace, const SizeEstimator& estimator,
+                      ExecutionPath path) {
+  if (path == ExecutionPath::kReference) return {};
+  const FastPathInfo info = estimator.fastpath_info();
+  if (info.trace != &trace) return {};
+  switch (info.kind) {
+    case EstimatorKind::kPattern:
+      return PatternKernel(trace, info.defaults);
+    case EstimatorKind::kOracle:
+      return OracleKernel(trace);
+    case EstimatorKind::kLastSameType:
+      return LastSameTypeKernel(trace, info.defaults);
+    case EstimatorKind::kPhaseEwma:
+      return PhaseEwmaKernel(
+          trace, static_cast<const PhaseEwmaEstimator&>(estimator),
+          info.defaults);
+    case EstimatorKind::kTypeMean:
+      return TypeMeanKernel(
+          trace, static_cast<const TypeMeanEstimator&>(estimator),
+          info.defaults);
+    case EstimatorKind::kOther:
+      break;
+  }
+  return {};
+}
+
+}  // namespace lsm::core::fastpath

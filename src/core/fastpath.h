@@ -1,0 +1,304 @@
+// Devirtualized fast path for the Figure 2 inner loop.
+//
+// The rate-selection loop makes up to H size(j, t_i) queries per picture.
+// Through the virtual SizeEstimator interface each query re-derives the
+// arrival frontier floor(t/tau), re-checks index bounds, and (for the
+// pattern and last-same-type estimators) walks backwards through the trace
+// — O(n·H) virtual dispatch with per-call redundant work. This header
+// replaces that with one sealed kernel per concrete estimator:
+//
+//   * no virtual dispatch: engines hold a std::variant of kernel types and
+//     instantiate the loop per kernel (core/rate_select.h,
+//     select_rate_kernel), so every size lookup inlines;
+//   * per-step invariant hoisting: the arrival frontier — the largest k
+//     with t >= k*tau - eps, i.e. exactly the set the virtual estimators'
+//     arrived() predicate accepts — is advanced incrementally once per step
+//     (t_i is monotone across steps), never re-derived per query;
+//   * prefix-sum lookahead: a resolved-size prefix array over the arrived
+//     pictures makes the arrived part of every lookahead window sum one
+//     subtraction; the estimated tail is accumulated with O(1) per-picture
+//     estimates (closed-form chain arithmetic for the pattern walk-back,
+//     precomputed last-index tables for last-same-type, monotone cursors
+//     for phase-EWMA);
+//   * exactness: picture sizes are integral Bits, so every partial window
+//     sum is an integer far below 2^53 and the prefix-sum differences equal
+//     the reference path's sequential double accumulation bit for bit. The
+//     emitted schedules are bitwise identical to the virtual path
+//     (tests/core/fastpath_identity_test.cpp).
+//
+// The public virtual SizeEstimator API is unchanged; unknown estimator
+// subclasses (FastPathInfo kind == kOther) and engines constructed with
+// ExecutionPath::kReference run the original virtual loop, which is
+// retained as the differential-testing reference.
+#pragma once
+
+#include <cmath>
+#include <variant>
+#include <vector>
+
+#include "core/estimator.h"
+#include "core/params.h"
+
+namespace lsm::core {
+
+/// Which implementation of the Figure 2 inner loop an engine runs.
+enum class ExecutionPath {
+  kAuto,       ///< sealed kernel when the estimator is a known kind,
+               ///< virtual reference loop otherwise
+  kReference,  ///< always the virtual-dispatch reference loop
+};
+
+namespace fastpath {
+
+using lsm::trace::Trace;
+
+/// State shared by every trace-backed kernel: the resolved-size prefix-sum
+/// array and the per-step arrival frontiers.
+class KernelBase {
+ public:
+  KernelBase(const Trace& trace, DefaultSizes defaults);
+
+  /// Hoists the per-step invariant for decision time `t`: advances the
+  /// arrival frontier (largest k with t >= k*tau - eps, the exact arrived()
+  /// predicate of the virtual estimators). Decision times are monotone
+  /// across steps (t_i = max(d_{i-1}, ...) and d is increasing), so the
+  /// advance is amortized O(1). Kernels whose estimates also need the
+  /// floor(t/tau) frontier of the scan-back estimators shadow this with a
+  /// version that calls advance_latest() too — static dispatch in
+  /// select_rate_kernel picks the shadow, and the others skip the floor().
+  void begin_step(Seconds t) noexcept {
+    // next_threshold_ caches (arrived_+1)*tau - eps so the common no-advance
+    // case is one compare; it is rebuilt from the same expression on every
+    // advance, so the cached double equals evaluating it inline.
+    while (arrived_ < picture_count_ && t >= next_threshold_) {
+      ++arrived_;
+      next_threshold_ = static_cast<double>(arrived_ + 1) * tau_ - 1e-12;
+    }
+  }
+
+  /// Arrival frontier after begin_step: picture j has arrived iff
+  /// j <= arrived().
+  int arrived() const noexcept { return arrived_; }
+
+  /// Sum S_i + ... + S_j for a fully-arrived window (j <= arrived()).
+  Bits arrived_window(int i, int j) const noexcept {
+    return prefix_[static_cast<std::size_t>(j)] -
+           prefix_[static_cast<std::size_t>(i - 1)];
+  }
+
+  /// Sum of the arrived prefix of a window starting at i (empty when the
+  /// whole window is estimated).
+  Bits arrived_head(int i) const noexcept {
+    return arrived_ >= i ? arrived_window(i, arrived_) : 0;
+  }
+
+ protected:
+  /// Advances the floor(t/tau) frontier the scan-back estimators use; note
+  /// its epsilon differs from the arrival frontier's, so the two cannot be
+  /// merged without breaking bitwise identity.
+  void advance_latest(Seconds t) noexcept {
+    latest_ = static_cast<int>(std::floor(t / tau_ + 1e-9));
+    if (latest_ > picture_count_) latest_ = picture_count_;
+  }
+
+  Bits size_of(int j) const noexcept {
+    return sizes_[static_cast<std::size_t>(j - 1)];
+  }
+
+  const Trace* trace_;
+  const Bits* sizes_;  ///< trace sizes, 0-based
+  DefaultSizes defaults_;
+  double tau_;
+  int picture_count_;
+  int arrived_ = 0;  ///< largest k with t >= k*tau - 1e-12, in [0, n]
+  int latest_ = 0;   ///< min(floor(t/tau + 1e-9), n)
+  double next_threshold_;  ///< (arrived_+1)*tau - 1e-12
+
+ private:
+  std::vector<Bits> prefix_;  ///< prefix_[k] = S_1 + ... + S_k
+};
+
+/// PatternEstimator kernel: the S_{j-N} walk-back collapses to closed-form
+/// chain arithmetic against the arrival frontier.
+class PatternKernel : public KernelBase {
+ public:
+  PatternKernel(const Trace& trace, DefaultSizes defaults);
+
+  /// Estimate for an unarrived picture (j > arrived()): the newest arrived
+  /// picture one or more whole patterns back, else the per-type default.
+  /// The walk runs at most ceil(H/N) iterations and beats an integer
+  /// division at the small lookahead depths the paper recommends (H <= 2N).
+  Bits estimate(int j) noexcept {
+    int k = j - pattern_n_;
+    while (k > arrived_) k -= pattern_n_;
+    if (k >= 1) return size_of(k);
+    return defaults_.of(trace_->type_of(j));
+  }
+
+ private:
+  int pattern_n_;
+};
+
+/// OracleEstimator kernel: every size is known a priori.
+class OracleKernel : public KernelBase {
+ public:
+  explicit OracleKernel(const Trace& trace);
+
+  Bits estimate(int j) noexcept { return size_of(j); }
+};
+
+/// LastSameTypeEstimator kernel: the O(n) scan back from floor(t/tau) for a
+/// matching type becomes an O(1) lookup in precomputed last-same-type index
+/// tables.
+class LastSameTypeKernel : public KernelBase {
+ public:
+  LastSameTypeKernel(const Trace& trace, DefaultSizes defaults);
+
+  void begin_step(Seconds t) noexcept {
+    KernelBase::begin_step(t);
+    advance_latest(t);
+  }
+
+  Bits estimate(int j) noexcept {
+    const lsm::trace::PictureType type = trace_->type_of(j);
+    const int k = last_of_type_[static_cast<std::size_t>(type)]
+                               [static_cast<std::size_t>(latest_)];
+    if (k >= 1) return size_of(k);
+    return defaults_.of(type);
+  }
+
+ private:
+  /// last_of_type_[type][k]: largest index <= k with that type, else 0.
+  std::vector<int> last_of_type_[3];
+};
+
+/// PhaseEwmaEstimator kernel: borrows the estimator's precomputed per-phase
+/// EWMA histories (same doubles, hence bitwise-identical estimates) and
+/// replaces the per-query binary search with per-phase cursors that only
+/// ever advance, since the frontier is monotone.
+class PhaseEwmaKernel : public KernelBase {
+ public:
+  PhaseEwmaKernel(const Trace& trace, const PhaseEwmaEstimator& estimator,
+                  DefaultSizes defaults);
+
+  void begin_step(Seconds t) noexcept {
+    KernelBase::begin_step(t);
+    advance_latest(t);
+  }
+
+  Bits estimate(int j) noexcept {
+    const std::size_t phase =
+        static_cast<std::size_t>(trace_->pattern().phase_of(j));
+    const PhaseEwmaEstimator::PhaseHistory& history = (*by_phase_)[phase];
+    std::size_t& cursor = cursors_[phase];
+    while (cursor < history.indices.size() &&
+           history.indices[cursor] <= latest_) {
+      ++cursor;
+    }
+    if (cursor == 0) return defaults_.of(trace_->type_of(j));
+    return static_cast<Bits>(std::llround(history.ewma_after[cursor - 1]));
+  }
+
+ private:
+  const std::vector<PhaseEwmaEstimator::PhaseHistory>* by_phase_;
+  std::vector<std::size_t> cursors_;  ///< indices consumed per phase
+};
+
+/// TypeMeanEstimator kernel: borrows the estimator's per-type prefix tables
+/// (queries were already O(1); the win is dropping the virtual round trip
+/// and the per-call frontier/bounds work).
+class TypeMeanKernel : public KernelBase {
+ public:
+  TypeMeanKernel(const Trace& trace, const TypeMeanEstimator& estimator,
+                 DefaultSizes defaults);
+
+  void begin_step(Seconds t) noexcept {
+    KernelBase::begin_step(t);
+    advance_latest(t);
+  }
+
+  Bits estimate(int j) noexcept {
+    const std::size_t type =
+        static_cast<std::size_t>(trace_->type_of(j));
+    const std::size_t latest = static_cast<std::size_t>(latest_);
+    const int count = (*prefix_counts_)[type][latest];
+    if (count == 0) return defaults_.of(trace_->type_of(j));
+    const double mean = (*prefix_sums_)[type][latest] / count;
+    return static_cast<Bits>(std::llround(mean));
+  }
+
+ private:
+  const std::vector<std::vector<double>>* prefix_sums_;
+  const std::vector<std::vector<int>>* prefix_counts_;
+};
+
+/// StreamingSmoother kernel: same shape as PatternKernel, but over the
+/// growing pushed-size buffer — the prefix-sum array is extended
+/// incrementally on every push, and the frontier is additionally capped by
+/// how many pictures have been pushed.
+class StreamingKernel {
+ public:
+  StreamingKernel(lsm::trace::GopPattern pattern, double tau,
+                  DefaultSizes defaults);
+
+  /// Picture (pushed+1) finished encoding; extends the prefix-sum array.
+  void on_push(Bits size) {
+    sizes_.push_back(size);
+    prefix_.push_back(prefix_.back() + size);
+  }
+
+  void begin_step(Seconds t) noexcept {
+    // Same cached-threshold advance as KernelBase::begin_step, additionally
+    // capped by how many pictures have been pushed.
+    const int pushed = static_cast<int>(sizes_.size());
+    while (arrived_ < pushed && t >= next_threshold_) {
+      ++arrived_;
+      next_threshold_ = static_cast<double>(arrived_ + 1) * tau_ - 1e-12;
+    }
+  }
+
+  /// Frontier of pictures that are both pushed and arrived.
+  int arrived() const noexcept { return arrived_; }
+
+  Bits arrived_window(int i, int j) const noexcept {
+    return prefix_[static_cast<std::size_t>(j)] -
+           prefix_[static_cast<std::size_t>(i - 1)];
+  }
+
+  Bits arrived_head(int i) const noexcept {
+    return arrived_ >= i ? arrived_window(i, arrived_) : 0;
+  }
+
+  Bits estimate(int j) noexcept {
+    const int n = pattern_.N();
+    int k = j - n;
+    while (k > arrived_) k -= n;
+    if (k >= 1) return sizes_[static_cast<std::size_t>(k - 1)];
+    return defaults_.of(pattern_.type_of(j));
+  }
+
+ private:
+  lsm::trace::GopPattern pattern_;
+  DefaultSizes defaults_;
+  double tau_;
+  std::vector<Bits> sizes_;
+  std::vector<Bits> prefix_;
+  int arrived_ = 0;
+  double next_threshold_;  ///< (arrived_+1)*tau - 1e-12
+};
+
+/// One of the sealed trace-backed kernels, or monostate for the reference
+/// (virtual) path.
+using AnyKernel = std::variant<std::monostate, PatternKernel, OracleKernel,
+                               LastSameTypeKernel, PhaseEwmaKernel,
+                               TypeMeanKernel>;
+
+/// Builds the sealed kernel for `estimator` when it is a known concrete
+/// kind bound to `trace`; returns monostate (reference path) when `path` is
+/// kReference, the estimator kind is kOther, or the estimator is bound to a
+/// different trace.
+AnyKernel make_kernel(const Trace& trace, const SizeEstimator& estimator,
+                      ExecutionPath path);
+
+}  // namespace fastpath
+}  // namespace lsm::core

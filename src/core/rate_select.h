@@ -1,13 +1,37 @@
 // Internal: the rate-selection inner loop of Figure 2, shared by the batch
 // SmootherEngine and the StreamingSmoother so the two cannot diverge. See
 // engine.h for the algorithm documentation.
+//
+// The loop exists in two skins over one body:
+//
+//   select_rate()        — the reference path: a virtual-dispatch size(j, t)
+//                          callback per lookahead picture, exactly the
+//                          paper's formulation.
+//   select_rate_kernel() — the fast path: a sealed estimator kernel
+//                          (fastpath.h) supplies the lookahead window sums
+//                          from prefix-sum arrays with all per-call
+//                          invariants hoisted to once per step.
+//
+// Both delegate to select_rate_sums(), which owns every bound comparison and
+// the rate decision, so the two paths cannot diverge in logic. They also
+// cannot diverge in arithmetic: picture sizes are integral Bits, every
+// partial window sum is an integer far below 2^53, and a sequential double
+// accumulation of such integers is exact — so the prefix-sum differences the
+// kernel path feeds in are bit-for-bit the same doubles the reference path
+// accumulates, and the emitted schedules are bitwise identical (enforced by
+// tests/core/fastpath_identity_test.cpp).
 #pragma once
 
 #include <algorithm>
 #include <cmath>
 
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+
 #include "core/bounds.h"
 #include "core/engine.h"
+#include "core/fastpath.h"
 
 namespace lsm::core::detail {
 
@@ -16,43 +40,20 @@ struct RateDecision {
   StepDiagnostics diag{};
 };
 
-/// Selects r_i for picture i deciding at time `t_i`.
-///  - `last_picture` bounds the lookahead (i + h <= last_picture); pass a
-///    huge value for an unbounded (streaming, pre-finish) sequence.
-///  - `size_at(j, t)` is the paper's size function (actual or estimated).
-///  - `previous_rate` is r_{i-1} (ignored for i == 1).
-///  - `fallback_bits` is the value used to realize a rate if every bound is
-///    ill-defined (only reachable outside the Theorem 1 regime).
-template <typename SizeFn>
-RateDecision select_rate(int i, Seconds t_i, int last_picture,
-                         Rate previous_rate, const SmootherParams& params,
-                         int pattern_length, Variant variant,
-                         double fallback_bits, SizeFn&& size_at) {
-  const double tau = params.tau;
-  int h = 0;
-  double sum = 0.0;
-  Rate lower = 0.0;
-  Rate upper = kUnbounded;
-  Rate lower_old = 0.0;
-  Rate upper_old = kUnbounded;
-  bool early_exit = false;
-  while (true) {
-    if (i + h > last_picture) break;  // sequence end: nothing further
-    sum += static_cast<double>(size_at(i + h, t_i));
-    lower_old = lower;
-    upper_old = upper;
-    const Rate lo = lookahead_lower_bound(sum, i, h, t_i, params);
-    const Rate up = lookahead_upper_bound(sum, i, h, t_i, params);
-    lower = std::max(lo, lower_old);
-    upper = std::min(up, upper_old);
-    ++h;
-    if (lower > upper) {
-      early_exit = true;
-      break;
-    }
-    if (h >= params.H) break;
-  }
+/// Bound windows tracked on the stack by the lane-split loop below; lookahead
+/// depths beyond this run the plain sequential loop (identical results).
+inline constexpr int kMaxTrackedLookahead = 64;
 
+/// Turns the loop outcome into the rate decision (Figure 2's selection rule
+/// plus the Section 4.4 early-exit rule and the engine.h boundary
+/// refinements). Shared by both loop shapes below.
+inline RateDecision finish_decision(int i, int h, double sum, bool early_exit,
+                                    Rate lower, Rate upper, Rate lower_old,
+                                    Rate previous_rate,
+                                    const SmootherParams& params,
+                                    int pattern_length, Variant variant,
+                                    double fallback_bits) {
+  const double tau = params.tau;
   Rate rate = previous_rate;
   if (early_exit) {
     // Section 4.4: either the new lower bound rose above the standing
@@ -103,6 +104,217 @@ RateDecision select_rate(int i, Seconds t_i, int last_picture,
       i == 1 || std::abs(rate - previous_rate) >
                     1e-9 * std::max(std::abs(rate), 1.0);
   return decision;
+}
+
+/// The paper's sequential loop: one running intersection, abort on the
+/// first crossing. Used when the lookahead depth exceeds
+/// kMaxTrackedLookahead; select_rate_sums below is the common-case shape.
+template <typename WindowSumFn>
+RateDecision select_rate_sums_sequential(int i, Seconds t_i, int last_picture,
+                                         Rate previous_rate,
+                                         const SmootherParams& params,
+                                         int pattern_length, Variant variant,
+                                         double fallback_bits,
+                                         WindowSumFn&& window_sum) {
+  int h = 0;
+  // i-1+h and K+i+h as doubles, advanced by +1.0 per iteration; both are
+  // integers far below 2^53, so this matches the int conversion bit for
+  // bit while keeping the conversions out of the loop.
+  double pictures = static_cast<double>(i - 1);
+  double deadline_index = static_cast<double>(params.K + i);
+  double sum = 0.0;
+  Rate lower = 0.0;
+  Rate upper = kUnbounded;
+  Rate lower_old = 0.0;
+  bool early_exit = false;
+  while (true) {
+    if (i + h > last_picture) break;  // sequence end: nothing further
+    sum = window_sum(h);
+    lower_old = lower;
+    const Rate lo = lookahead_lower_bound_at(sum, pictures, t_i, params);
+    const Rate up = lookahead_upper_bound_at(sum, deadline_index, t_i, params);
+    lower = std::max(lo, lower_old);
+    upper = std::min(up, upper);
+    ++h;
+    pictures += 1.0;
+    deadline_index += 1.0;
+    if (lower > upper) {
+      early_exit = true;
+      break;
+    }
+    if (h >= params.H) break;
+  }
+  return finish_decision(i, h, sum, early_exit, lower, upper, lower_old,
+                         previous_rate, params, pattern_length, variant,
+                         fallback_bits);
+}
+
+/// Selects r_i for picture i deciding at time `t_i`.
+///  - `last_picture` bounds the lookahead (i + h <= last_picture); pass a
+///    huge value for an unbounded (streaming, pre-finish) sequence.
+///  - `window_sum(h)` is S_i + ... + S_{i+h} (estimates allowed for unarrived
+///    pictures), called with h = 0, 1, 2, ... strictly increasing.
+///  - `previous_rate` is r_{i-1} (ignored for i == 1).
+///  - `fallback_bits` is the value used to realize a rate if every bound is
+///    ill-defined (only reachable outside the Theorem 1 regime).
+///
+/// Loop shape: crossings (Section 4.4 aborts) are rare, so every bound is
+/// evaluated unconditionally and a crossing is detected with one compare at
+/// the end: the running intersection crosses at some step iff
+/// max(all lower) > min(all upper), since the running max (min) sits below
+/// (above) the global one at every step. Only on a crossing is the running
+/// intersection replayed over the recorded window sums to find the crossing
+/// step and the standing interval before it. Identical decisions and
+/// diagnostics to the sequential loop, in every case.
+///
+/// On x86-64 the two bounds ride one SIMD division per lookahead step: lane
+/// 0 tracks the lower-bound running max, lane 1 the negated upper-bound
+/// running max (min(x) == -max(-x), and negating a nonzero double is
+/// exact). divpd has the same throughput as one scalar division on modern
+/// cores, each SIMD lane is the same IEEE double op as its scalar
+/// counterpart, and max/min are associative over these values (never NaN,
+/// never -0.0), so splitting the running intersection into even/odd
+/// accumulator pairs and combining at the end is bit-identical to the
+/// sequential chain. Ill-defined bounds (denominator <= 0) select
+/// +/-infinity through a mask, exactly the scalar guards.
+template <typename WindowSumFn>
+RateDecision select_rate_sums(int i, Seconds t_i, int last_picture,
+                              Rate previous_rate, const SmootherParams& params,
+                              int pattern_length, Variant variant,
+                              double fallback_bits, WindowSumFn&& window_sum) {
+#if !defined(__SSE2__)
+  return select_rate_sums_sequential(i, t_i, last_picture, previous_rate,
+                                     params, pattern_length, variant,
+                                     fallback_bits, window_sum);
+#else
+  const int remaining = last_picture - i + 1;
+  const int h_lim = remaining < params.H ? remaining : params.H;
+  if (h_lim <= 0 || h_lim > kMaxTrackedLookahead) {
+    return select_rate_sums_sequential(i, t_i, last_picture, previous_rate,
+                                       params, pattern_length, variant,
+                                       fallback_bits, window_sum);
+  }
+  double sums[kMaxTrackedLookahead];
+  const __m128d tau2 = _mm_set1_pd(params.tau);
+  const __m128d t_i2 = _mm_set1_pd(t_i);
+  // Lane offsets so den = idx * tau + offset - t_i evaluates lane 0 as
+  // (i-1+h)*tau + D - t_i and lane 1 as (K+i+h)*tau + 0 - t_i; adding D
+  // first is commutative and adding 0.0 to a positive value is exact, so
+  // both lanes match the scalar expressions bit for bit.
+  const __m128d d_offset = _mm_set_pd(0.0, params.D);
+  const __m128d neg_high = _mm_set_pd(-0.0, 0.0);
+  const __m128d invalid = _mm_set_pd(-kUnbounded, kUnbounded);
+  const __m128d zero = _mm_setzero_pd();
+  // One lookahead step: both bounds for window sum `s` at picture/deadline
+  // indices `idx`, folded into the accumulator `run`.
+  const auto lane = [&](double s, __m128d idx, __m128d& run) {
+    const __m128d den =
+        _mm_sub_pd(_mm_add_pd(_mm_mul_pd(idx, tau2), d_offset), t_i2);
+    const __m128d v = _mm_xor_pd(_mm_div_pd(_mm_set1_pd(s), den), neg_high);
+    const __m128d ok = _mm_cmpgt_pd(den, zero);
+    run = _mm_max_pd(run,
+                     _mm_or_pd(_mm_and_pd(ok, v), _mm_andnot_pd(ok, invalid)));
+  };
+  const __m128d two = _mm_set1_pd(2.0);
+  // [i-1+h, K+i+h] as doubles, advanced by +2.0 per accumulator; integers
+  // far below 2^53, so identical to the int conversions they replace.
+  __m128d idx0 = _mm_set_pd(static_cast<double>(params.K + i),
+                            static_cast<double>(i - 1));
+  __m128d idx1 = _mm_add_pd(idx0, _mm_set1_pd(1.0));
+  __m128d run0 = _mm_set_pd(-kUnbounded, 0.0);  // [lower max, -upper min]
+  __m128d run1 = run0;
+  double sum = 0.0;
+  int h = 0;
+  for (; h + 1 < h_lim; h += 2) {
+    sum = window_sum(h);
+    sums[h] = sum;
+    lane(sum, idx0, run0);
+    idx0 = _mm_add_pd(idx0, two);
+    sum = window_sum(h + 1);
+    sums[h + 1] = sum;
+    lane(sum, idx1, run1);
+    idx1 = _mm_add_pd(idx1, two);
+  }
+  if (h < h_lim) {
+    sum = window_sum(h);
+    sums[h] = sum;
+    lane(sum, idx0, run0);
+    ++h;
+  }
+  alignas(16) double folded[2];
+  _mm_store_pd(folded, _mm_max_pd(run0, run1));
+  Rate lower = folded[0];
+  Rate upper = -folded[1];
+  Rate lower_old = 0.0;
+  bool early_exit = false;
+  if (__builtin_expect(lower > upper, 0)) {
+    // Rare: replay the running intersection to locate the crossing step and
+    // the standing interval just before it (Section 4.4 needs both).
+    Rate run_lower = 0.0;
+    Rate run_upper = kUnbounded;
+    for (int m = 0; m < h_lim; ++m) {
+      lower_old = run_lower;
+      run_lower = std::max(lookahead_lower_bound(sums[m], i, m, t_i, params),
+                           run_lower);
+      run_upper = std::min(lookahead_upper_bound(sums[m], i, m, t_i, params),
+                           run_upper);
+      if (run_lower > run_upper) {
+        lower = run_lower;
+        upper = run_upper;
+        h = m + 1;
+        early_exit = true;
+        break;
+      }
+    }
+  }
+  return finish_decision(i, h, sum, early_exit, lower, upper, lower_old,
+                         previous_rate, params, pattern_length, variant,
+                         fallback_bits);
+#endif
+}
+
+/// Reference path: `size_at(j, t)` is the paper's size function (actual or
+/// estimated), typically a virtual SizeEstimator::size_at round trip.
+template <typename SizeFn>
+RateDecision select_rate(int i, Seconds t_i, int last_picture,
+                         Rate previous_rate, const SmootherParams& params,
+                         int pattern_length, Variant variant,
+                         double fallback_bits, SizeFn&& size_at) {
+  double running = 0.0;
+  return select_rate_sums(
+      i, t_i, last_picture, previous_rate, params, pattern_length, variant,
+      fallback_bits, [&](int h) {
+        running += static_cast<double>(size_at(i + h, t_i));
+        return running;
+      });
+}
+
+/// Fast path: `kernel` is one of the sealed estimator kernels of fastpath.h
+/// (statically dispatched — no virtual calls anywhere in the loop). The
+/// kernel advances its arrival frontier once for the step, serves the
+/// arrived part of every window sum as a prefix-sum difference, and
+/// accumulates the estimated tail with O(1) per-picture estimates.
+template <typename Kernel>
+RateDecision select_rate_kernel(int i, Seconds t_i, int last_picture,
+                                Rate previous_rate,
+                                const SmootherParams& params,
+                                int pattern_length, Variant variant,
+                                double fallback_bits, Kernel& kernel) {
+  kernel.begin_step(t_i);
+  const int arrived = kernel.arrived();
+  const Bits head = kernel.arrived_head(i);  // per-step invariant, hoisted
+  Bits estimated = 0;
+  return select_rate_sums(
+      i, t_i, last_picture, previous_rate, params, pattern_length, variant,
+      fallback_bits, [&, i, arrived, head](int h) {
+        const int j = i + h;
+        if (j <= arrived) {
+          // Whole window arrived: one prefix-sum difference, exact.
+          return static_cast<double>(kernel.arrived_window(i, j));
+        }
+        estimated += kernel.estimate(j);
+        return static_cast<double>(head + estimated);
+      });
 }
 
 }  // namespace lsm::core::detail

@@ -18,16 +18,17 @@ int SmoothingResult::rate_change_count() const noexcept {
 
 SmoothingResult smooth(const lsm::trace::Trace& trace,
                        const SmootherParams& params,
-                       const SizeEstimator& estimator, Variant variant) {
+                       const SizeEstimator& estimator, Variant variant,
+                       ExecutionPath path) {
   SmoothingResult result;
-  smooth_into(trace, params, estimator, variant, result);
+  smooth_into(trace, params, estimator, variant, result, path);
   return result;
 }
 
 void smooth_into(const lsm::trace::Trace& trace, const SmootherParams& params,
                  const SizeEstimator& estimator, Variant variant,
-                 SmoothingResult& out) {
-  SmootherEngine engine(trace, params, estimator, variant);
+                 SmoothingResult& out, ExecutionPath path) {
+  SmootherEngine engine(trace, params, estimator, variant, path);
   out.params = params;
   out.variant = variant;
   out.estimator_name = estimator.name();
@@ -35,10 +36,7 @@ void smooth_into(const lsm::trace::Trace& trace, const SmootherParams& params,
   out.diagnostics.clear();
   out.sends.reserve(static_cast<std::size_t>(trace.picture_count()));
   out.diagnostics.reserve(static_cast<std::size_t>(trace.picture_count()));
-  while (!engine.done()) {
-    out.sends.push_back(engine.step());
-    out.diagnostics.push_back(engine.last_diagnostics());
-  }
+  engine.run_into(out.sends, out.diagnostics);
 }
 
 SmoothingResult smooth_basic(const lsm::trace::Trace& trace,

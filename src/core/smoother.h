@@ -29,18 +29,22 @@ struct SmoothingResult {
   int rate_change_count() const noexcept;
 };
 
-/// Runs `variant` of the algorithm over `trace` using `estimator`.
+/// Runs `variant` of the algorithm over `trace` using `estimator`. `path`
+/// selects the devirtualized fast path (kAuto, the default) or the virtual
+/// reference implementation (kReference); outputs are bitwise identical.
 SmoothingResult smooth(const lsm::trace::Trace& trace,
                        const SmootherParams& params,
                        const SizeEstimator& estimator,
-                       Variant variant = Variant::kBasic);
+                       Variant variant = Variant::kBasic,
+                       ExecutionPath path = ExecutionPath::kAuto);
 
 /// Same run, but written into `out`, whose sends/diagnostics capacity is
 /// reused — repeated runs into the same result do not allocate once the
 /// vectors have grown to the largest trace. The batch runtime's hot path.
 void smooth_into(const lsm::trace::Trace& trace, const SmootherParams& params,
                  const SizeEstimator& estimator, Variant variant,
-                 SmoothingResult& out);
+                 SmoothingResult& out,
+                 ExecutionPath path = ExecutionPath::kAuto);
 
 /// Convenience: basic algorithm with the paper's pattern estimator.
 SmoothingResult smooth_basic(const lsm::trace::Trace& trace,

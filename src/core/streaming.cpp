@@ -9,8 +9,13 @@ namespace lsm::core {
 
 StreamingSmoother::StreamingSmoother(lsm::trace::GopPattern pattern,
                                      SmootherParams params,
-                                     DefaultSizes defaults)
-    : pattern_(pattern), params_(params), defaults_(defaults) {
+                                     DefaultSizes defaults,
+                                     ExecutionPath path)
+    : pattern_(pattern),
+      params_(params),
+      defaults_(defaults),
+      kernel_(pattern, params.tau, defaults),
+      use_fast_path_(path != ExecutionPath::kReference) {
   params_.validate();
 }
 
@@ -22,6 +27,7 @@ void StreamingSmoother::push(Bits size) {
     throw std::invalid_argument("StreamingSmoother::push: size must be > 0");
   }
   sizes_.push_back(size);
+  if (use_fast_path_) kernel_.on_push(size);
 }
 
 void StreamingSmoother::finish() {
@@ -64,10 +70,17 @@ PictureSend StreamingSmoother::decide() {
   const Seconds time =
       std::max(depart_, static_cast<double>(last_required) * tau);
 
-  const detail::RateDecision decision = detail::select_rate(
-      i, time, last_picture, rate_, params_, pattern_.N(), Variant::kBasic,
-      static_cast<double>(sizes_[static_cast<std::size_t>(i - 1)]),
-      [this](int j, Seconds t) { return size_at(j, t); });
+  const double fallback =
+      static_cast<double>(sizes_[static_cast<std::size_t>(i - 1)]);
+  const detail::RateDecision decision =
+      use_fast_path_
+          ? detail::select_rate_kernel(i, time, last_picture, rate_, params_,
+                                       pattern_.N(), Variant::kBasic,
+                                       fallback, kernel_)
+          : detail::select_rate(
+                i, time, last_picture, rate_, params_, pattern_.N(),
+                Variant::kBasic, fallback,
+                [this](int j, Seconds t) { return size_at(j, t); });
   rate_ = decision.rate;
 
   PictureSend send;

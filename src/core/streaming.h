@@ -28,15 +28,21 @@
 #include <vector>
 
 #include "core/estimator.h"
+#include "core/fastpath.h"
 #include "core/schedule.h"
 
 namespace lsm::core {
 
 class StreamingSmoother {
  public:
-  /// Throws InvalidParams on invalid params.
+  /// Throws InvalidParams on invalid params. `path` selects the
+  /// devirtualized fast path (kAuto, default: decisions run on a
+  /// StreamingKernel whose prefix-sum array grows with every push) or the
+  /// walk-back reference implementation (kReference); outputs are bitwise
+  /// identical.
   StreamingSmoother(lsm::trace::GopPattern pattern, SmootherParams params,
-                    DefaultSizes defaults = {});
+                    DefaultSizes defaults = {},
+                    ExecutionPath path = ExecutionPath::kAuto);
 
   /// Picture (pushed_count()+1) finished encoding; its arrival completes at
   /// push_count * tau. Throws std::logic_error after finish().
@@ -66,6 +72,8 @@ class StreamingSmoother {
   SmootherParams params_;
   DefaultSizes defaults_;
   std::vector<Bits> sizes_;
+  fastpath::StreamingKernel kernel_;
+  bool use_fast_path_;
   bool finished_ = false;
 
   int next_ = 1;

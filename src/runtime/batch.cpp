@@ -1,6 +1,9 @@
 #include "runtime/batch.h"
 
+#include <algorithm>
+#include <functional>
 #include <stdexcept>
+#include <vector>
 
 #include "core/estimator.h"
 
@@ -25,25 +28,42 @@ void BatchSmoother::run_into(
     }
   }
   results.resize(jobs.size());
-  parallel_for(pool_, static_cast<int>(jobs.size()), [&](int i) {
-    const BatchJob& job = jobs[static_cast<std::size_t>(i)];
-    const std::uint64_t wall_start = wall_clock_ns();
-    const std::uint64_t cpu_start = thread_cpu_ns();
-    const lsm::core::PatternEstimator estimator(*job.trace);
-    lsm::core::SmoothingResult& result =
-        results[static_cast<std::size_t>(i)];
-    lsm::core::smooth_into(*job.trace, job.params, estimator, job.variant,
-                           result);
-    PerfCounters& slot = counters_.slot(pool_.index_of_current_thread());
-    slot.streams += 1;
-    slot.pictures += result.sends.size();
-    for (const lsm::core::StepDiagnostics& d : result.diagnostics) {
-      slot.rate_changes += d.rate_changed ? 1 : 0;
-      slot.early_exits += d.early_exit ? 1 : 0;
-    }
-    slot.wall_ns += wall_clock_ns() - wall_start;
-    slot.cpu_ns += thread_cpu_ns() - cpu_start;
-  });
+  const int n = static_cast<int>(jobs.size());
+  if (n == 0) return;
+  // Contiguous shards, one per worker (fewer when jobs run short): job i
+  // goes to shard i*shards/n, so adjacent jobs share a shard and the
+  // results writes of one worker land in adjacent slots.
+  const int shards = std::min(pool_.thread_count(), n);
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(static_cast<std::size_t>(shards));
+  int lo = 0;
+  for (int s = 0; s < shards; ++s) {
+    const int hi = lo + n / shards + (s < n % shards ? 1 : 0);
+    tasks.push_back([this, &jobs, &results, lo, hi] {
+      PerfCounters& slot = counters_.slot(pool_.index_of_current_thread());
+      const std::uint64_t wall_start = wall_clock_ns();
+      const std::uint64_t cpu_start = thread_cpu_ns();
+      for (int i = lo; i < hi; ++i) {
+        const BatchJob& job = jobs[static_cast<std::size_t>(i)];
+        const lsm::core::PatternEstimator estimator(*job.trace);
+        lsm::core::SmoothingResult& result =
+            results[static_cast<std::size_t>(i)];
+        lsm::core::smooth_into(*job.trace, job.params, estimator,
+                               job.variant, result, job.path);
+        slot.streams += 1;
+        slot.pictures += result.sends.size();
+        for (const lsm::core::StepDiagnostics& d : result.diagnostics) {
+          slot.rate_changes += d.rate_changed ? 1 : 0;
+          slot.early_exits += d.early_exit ? 1 : 0;
+        }
+      }
+      slot.wall_ns += wall_clock_ns() - wall_start;
+      slot.cpu_ns += thread_cpu_ns() - cpu_start;
+    });
+    lo = hi;
+  }
+  pool_.submit_batch(tasks);
+  pool_.wait_idle();
 }
 
 }  // namespace lsm::runtime

@@ -2,13 +2,18 @@
 // thread pool with deterministic output ordering.
 //
 // Each job is one lsm::core::smooth() run (trace + parameters + variant).
-// Jobs are sharded across the pool's workers; every worker writes its
-// result into the job's dedicated slot of the output vector, so the result
-// at index i always belongs to the job at index i and is bitwise identical
-// to what a serial smooth() call would have produced — smooth() is a pure
-// function of its inputs and the workers share nothing but the (const)
-// traces. Per-worker PerfCounters record what each worker did; a JSON
-// report aggregates them for scaling studies and CI artifacts.
+// Jobs are sharded across the pool's workers as contiguous chunks, one
+// chunk per worker: a whole smoothing run is already hundreds of
+// microseconds, so one pool task per job buys no balance and pays a queue
+// push, a wakeup, and two clock reads per job — coarse shards pay them per
+// shard, and work stealing still rebalances at shard granularity when a
+// worker stalls. Every job writes its result into its dedicated slot of the
+// output vector, so the result at index i always belongs to the job at
+// index i and is bitwise identical to what a serial smooth() call would
+// have produced — smooth() is a pure function of its inputs and the workers
+// share nothing but the (const) traces. Per-worker PerfCounters record what
+// each worker did; a JSON report aggregates them for scaling studies and CI
+// artifacts.
 #pragma once
 
 #include <string>
@@ -25,6 +30,9 @@ struct BatchJob {
   const lsm::trace::Trace* trace = nullptr;
   lsm::core::SmootherParams params;
   lsm::core::Variant variant = lsm::core::Variant::kBasic;
+  /// kReference forces the virtual-dispatch loop for this job — the batch
+  /// runtime's hook for differential A/B runs against the fast path.
+  lsm::core::ExecutionPath path = lsm::core::ExecutionPath::kAuto;
 };
 
 /// Uniform helper: one kBasic job per trace, parameters chosen per trace by

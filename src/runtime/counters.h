@@ -21,14 +21,23 @@ struct alignas(64) PerfCounters {
   std::uint64_t pictures = 0;      ///< pictures scheduled across those runs
   std::uint64_t rate_changes = 0;  ///< diagnostics with rate_changed
   std::uint64_t early_exits = 0;   ///< diagnostics with early_exit
-  std::uint64_t wall_ns = 0;       ///< wall-clock ns spent inside smooth()
-  std::uint64_t cpu_ns = 0;        ///< thread CPU ns spent inside smooth()
+  std::uint64_t wall_ns = 0;       ///< wall-clock ns executing batch shards
+  std::uint64_t cpu_ns = 0;        ///< thread CPU ns executing batch shards
 
   PerfCounters& operator+=(const PerfCounters& other) noexcept;
 
   /// Mean wall ns per stream; 0 when no streams were recorded.
   double wall_ns_per_stream() const noexcept;
 };
+
+// Each slot must own exactly one cache line: two workers' counters sharing a
+// line would false-share on every update, and a slot spilling onto a second
+// line would pad the registry for nothing. Revisit the field list if either
+// assert fires.
+static_assert(alignof(PerfCounters) == 64,
+              "PerfCounters slots must be cache-line aligned");
+static_assert(sizeof(PerfCounters) == 64,
+              "PerfCounters must fill exactly one cache line");
 
 /// One counter slot per pool worker plus one trailing slot for work done on
 /// non-pool threads (slot(-1)).

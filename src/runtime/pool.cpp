@@ -18,6 +18,8 @@ ThreadPool::ThreadPool(int threads) {
     threads = static_cast<int>(std::thread::hardware_concurrency());
     if (threads <= 0) threads = 1;
   }
+  max_active_ = std::thread::hardware_concurrency();
+  if (max_active_ == 0) max_active_ = static_cast<std::size_t>(threads);
   queues_.reserve(static_cast<std::size_t>(threads));
   for (int i = 0; i < threads; ++i) {
     queues_.push_back(std::make_unique<Queue>());
@@ -39,20 +41,44 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::submit(std::function<void()> task) {
   std::size_t target;
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  ++pending_;
+  ++queued_;
+  if (t_pool == this) {
+    // A worker fans out onto its own queue; thieves spread the load.
+    target = static_cast<std::size_t>(t_index);
+  } else {
+    target = next_queue_++ % queues_.size();
+  }
   {
-    std::lock_guard<std::mutex> lock(state_mutex_);
-    ++pending_;
-    ++queued_;
-    if (t_pool == this) {
-      // A worker fans out onto its own queue; thieves spread the load.
-      target = static_cast<std::size_t>(t_index);
-    } else {
-      target = next_queue_++ % queues_.size();
-    }
     std::lock_guard<std::mutex> queue_lock(queues_[target]->mutex);
     queues_[target]->tasks.push_back(std::move(task));
   }
-  work_ready_.notify_one();
+  maybe_wake_locked();
+}
+
+void ThreadPool::submit_batch(std::vector<std::function<void()>>& tasks) {
+  if (tasks.empty()) return;
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  for (std::function<void()>& task : tasks) {
+    ++pending_;
+    ++queued_;
+    const std::size_t target = t_pool == this
+                                   ? static_cast<std::size_t>(t_index)
+                                   : next_queue_++ % queues_.size();
+    std::lock_guard<std::mutex> queue_lock(queues_[target]->mutex);
+    queues_[target]->tasks.push_back(std::move(task));
+  }
+  tasks.clear();
+  maybe_wake_locked();
+}
+
+void ThreadPool::maybe_wake_locked() {
+  const std::size_t awake = workers_.size() - sleepers_ + signals_;
+  if (queued_ > 0 && sleepers_ > signals_ && awake < max_active_) {
+    ++signals_;
+    work_ready_.notify_one();
+  }
 }
 
 void ThreadPool::wait_idle() {
@@ -102,12 +128,23 @@ void ThreadPool::worker_loop(int index) {
       if (stopping_ && queued_ == 0) return;
       // queued_ may exceed the queues' visible contents for the instant
       // between a rival's pop and its decrement; the re-scan handles it.
-      work_ready_.wait(lock, [this] { return queued_ > 0 || stopping_; });
+      ++sleepers_;
+      while (!(queued_ > 0 || stopping_)) {
+        work_ready_.wait(lock);
+        // Consume whatever woke us (signals_ conservatively undercounts on
+        // spurious wakeups, which only ever costs an extra notify).
+        if (signals_ > 0) --signals_;
+      }
+      --sleepers_;
       continue;
     }
     {
       std::lock_guard<std::mutex> lock(state_mutex_);
       --queued_;
+      // Surplus work remains: wake the next worker (if the core budget
+      // allows) before running the task, so a multicore machine ramps to
+      // full width while the first task is still executing.
+      maybe_wake_locked();
     }
     task();
     task = nullptr;  // release captures before reporting completion

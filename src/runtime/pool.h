@@ -9,6 +9,16 @@
 // hundreds of microseconds, so queue overhead is noise, and mutexes keep
 // every access ThreadSanitizer-clean by construction.
 //
+// Workers are woken lazily, never keeping more of them runnable than the
+// machine has cores: a submit wakes at most one sleeper, and a worker that
+// pops a task while surplus work remains wakes the next (so a multicore
+// machine still ramps to full width in a chain of microsecond wakeups).
+// On a machine with fewer cores than workers this collapses a batch to the
+// few workers the OS could actually run, instead of making every worker
+// runnable and paying the scheduler's round-robin context switches. The
+// policy assumes tasks never block on one another — true here, where every
+// task is an independent smoothing run.
+//
 // wait_idle() blocks until every task submitted so far has finished; its
 // mutex handoff is what orders worker-private writes (e.g. PerfCounters
 // slots) before the caller's subsequent reads.
@@ -44,6 +54,12 @@ class ThreadPool {
   /// until another worker steals it).
   void submit(std::function<void()> task);
 
+  /// Enqueues a group of tasks as one submission: every task is pushed and
+  /// counted before any worker is woken, so a caller that immediately
+  /// blocks in wait_idle() hands the CPU to the first worker once instead
+  /// of racing it submission by submission. `tasks` is left empty.
+  void submit_batch(std::vector<std::function<void()>>& tasks);
+
   /// Blocks until every task submitted before this call has completed.
   /// Establishes happens-before between those tasks' writes and the caller.
   void wait_idle();
@@ -67,6 +83,11 @@ class ThreadPool {
   bool try_pop(int index, std::function<void()>& task);
   bool try_steal(int thief, std::function<void()>& task);
 
+  /// With state_mutex_ held: wakes one sleeping worker iff unclaimed work
+  /// exists, an unsignaled sleeper can take it, and waking keeps the
+  /// runnable-worker count within the core budget.
+  void maybe_wake_locked();
+
   std::vector<std::unique_ptr<Queue>> queues_;
   std::vector<std::thread> workers_;
 
@@ -76,6 +97,9 @@ class ThreadPool {
   std::size_t pending_ = 0;       // submitted but not yet finished
   std::size_t queued_ = 0;        // submitted but not yet popped by a worker
   std::size_t next_queue_ = 0;    // round-robin cursor for external submits
+  std::size_t sleepers_ = 0;      // workers blocked on work_ready_
+  std::size_t signals_ = 0;       // wakeups issued but not yet consumed
+  std::size_t max_active_ = 1;    // core budget for runnable workers
   bool stopping_ = false;
 };
 

@@ -1,0 +1,267 @@
+// Differential identity suite for the devirtualized fast path: for every
+// concrete estimator kind, both algorithm variants, and a grid of K/H/D
+// parameters (including the K=0 no-guarantee regime and lookahead windows
+// longer than the trace, which exercise end-of-sequence truncation), the
+// sealed-kernel path (ExecutionPath::kAuto) must reproduce the virtual
+// reference path (kReference) bit for bit — every PictureSend and every
+// StepDiagnostics field compared with exact equality, never a tolerance.
+// Seeded random traces keep the cases reproducible.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/smoother.h"
+#include "core/streaming.h"
+#include "trace/trace.h"
+
+namespace {
+
+using namespace lsm;
+using core::ExecutionPath;
+using core::SmootherParams;
+using core::Variant;
+
+trace::Trace random_trace(unsigned seed, int pictures, int pattern_n,
+                          int pattern_m) {
+  std::mt19937 rng(seed);
+  // Sizes spanning three orders of magnitude, always >= 1 bit.
+  std::uniform_int_distribution<trace::Bits> size(1'000, 900'000);
+  std::vector<trace::Bits> sizes;
+  sizes.reserve(static_cast<std::size_t>(pictures));
+  for (int i = 0; i < pictures; ++i) sizes.push_back(size(rng));
+  return trace::Trace("fastpath-identity", trace::GopPattern(pattern_n,
+                                                             pattern_m),
+                      std::move(sizes), 1.0 / 24.0);
+}
+
+std::vector<std::unique_ptr<core::SizeEstimator>> all_estimators(
+    const trace::Trace& t) {
+  std::vector<std::unique_ptr<core::SizeEstimator>> estimators;
+  estimators.push_back(std::make_unique<core::PatternEstimator>(t));
+  estimators.push_back(std::make_unique<core::OracleEstimator>(t));
+  estimators.push_back(std::make_unique<core::LastSameTypeEstimator>(t));
+  estimators.push_back(std::make_unique<core::PhaseEwmaEstimator>(t, 0.5));
+  estimators.push_back(std::make_unique<core::TypeMeanEstimator>(t));
+  return estimators;
+}
+
+std::string case_label(const std::string& estimator, Variant variant,
+                       const SmootherParams& params) {
+  std::ostringstream label;
+  label << estimator
+        << (variant == Variant::kBasic ? " basic" : " moving-average")
+        << " K=" << params.K << " H=" << params.H << " D=" << params.D;
+  return label.str();
+}
+
+/// Exact, field-by-field comparison — EXPECT_EQ on doubles is deliberate:
+/// the fast path promises bitwise-identical schedules, not close ones.
+void expect_identical(const core::SmoothingResult& fast,
+                      const core::SmoothingResult& reference,
+                      const std::string& label) {
+  ASSERT_EQ(fast.sends.size(), reference.sends.size()) << label;
+  ASSERT_EQ(fast.diagnostics.size(), reference.diagnostics.size()) << label;
+  for (std::size_t k = 0; k < fast.sends.size(); ++k) {
+    const core::PictureSend& a = fast.sends[k];
+    const core::PictureSend& b = reference.sends[k];
+    ASSERT_EQ(a.index, b.index) << label;
+    ASSERT_EQ(a.bits, b.bits) << label << " picture " << a.index;
+    ASSERT_EQ(a.start, b.start) << label << " picture " << a.index;
+    ASSERT_EQ(a.rate, b.rate) << label << " picture " << a.index;
+    ASSERT_EQ(a.depart, b.depart) << label << " picture " << a.index;
+    ASSERT_EQ(a.delay, b.delay) << label << " picture " << a.index;
+    const core::StepDiagnostics& da = fast.diagnostics[k];
+    const core::StepDiagnostics& db = reference.diagnostics[k];
+    ASSERT_EQ(da.lookahead_used, db.lookahead_used)
+        << label << " picture " << a.index;
+    ASSERT_EQ(da.early_exit, db.early_exit) << label << " picture "
+                                            << a.index;
+    ASSERT_EQ(da.lower, db.lower) << label << " picture " << a.index;
+    ASSERT_EQ(da.upper, db.upper) << label << " picture " << a.index;
+    ASSERT_EQ(da.rate_changed, db.rate_changed)
+        << label << " picture " << a.index;
+  }
+}
+
+/// The parameter grid: K spans the violated (0) and guaranteed regimes, H
+/// spans no-lookahead, sub-pattern, whole-pattern, and
+/// longer-than-two-patterns windows, D spans tight and loose delay bounds.
+std::vector<SmootherParams> parameter_grid(const trace::Trace& t) {
+  std::vector<SmootherParams> grid;
+  const int N = t.pattern().N();
+  for (const int K : {0, 1, 2}) {
+    for (const int H : {1, 3, N, 2 * N + 1}) {
+      for (const double D : {0.1, 0.25}) {
+        SmootherParams params;
+        params.tau = t.tau();
+        params.K = K;
+        params.H = H;
+        params.D = D;
+        grid.push_back(params);
+      }
+    }
+  }
+  return grid;
+}
+
+void run_identity_grid(const trace::Trace& t) {
+  const std::vector<std::unique_ptr<core::SizeEstimator>> estimators =
+      all_estimators(t);
+  for (const std::unique_ptr<core::SizeEstimator>& estimator : estimators) {
+    for (const Variant variant : {Variant::kBasic, Variant::kMovingAverage}) {
+      for (const SmootherParams& params : parameter_grid(t)) {
+        const std::string label =
+            case_label(estimator->name(), variant, params);
+        const core::SmoothingResult fast =
+            core::smooth(t, params, *estimator, variant,
+                         ExecutionPath::kAuto);
+        const core::SmoothingResult reference =
+            core::smooth(t, params, *estimator, variant,
+                         ExecutionPath::kReference);
+        expect_identical(fast, reference, label);
+      }
+    }
+  }
+}
+
+TEST(FastPathIdentity, KnownEstimatorsResolveToKernels) {
+  const trace::Trace t = random_trace(7u, 60, 9, 3);
+  SmootherParams params;
+  params.tau = t.tau();
+  for (const std::unique_ptr<core::SizeEstimator>& estimator :
+       all_estimators(t)) {
+    core::SmootherEngine fast(t, params, *estimator, Variant::kBasic,
+                              ExecutionPath::kAuto);
+    EXPECT_TRUE(fast.using_fast_path()) << estimator->name();
+    core::SmootherEngine reference(t, params, *estimator, Variant::kBasic,
+                                   ExecutionPath::kReference);
+    EXPECT_FALSE(reference.using_fast_path()) << estimator->name();
+  }
+}
+
+// An estimator bound to a different trace must fall back to the reference
+// path (its kernel tables would describe the wrong sizes).
+TEST(FastPathIdentity, ForeignTraceEstimatorFallsBack) {
+  const trace::Trace t = random_trace(11u, 60, 9, 3);
+  const trace::Trace other = random_trace(13u, 60, 9, 3);
+  const core::PatternEstimator foreign(other);
+  SmootherParams params;
+  params.tau = t.tau();
+  core::SmootherEngine engine(t, params, foreign, Variant::kBasic,
+                              ExecutionPath::kAuto);
+  EXPECT_FALSE(engine.using_fast_path());
+}
+
+TEST(FastPathIdentity, GridOverRandomTrace) {
+  run_identity_grid(random_trace(1u, 240, 9, 3));
+}
+
+// Picture count chosen not to divide the pattern length, so the final GOP
+// is truncated and every lookahead window near the end is shortened.
+TEST(FastPathIdentity, GridOverTruncatedEndTrace) {
+  run_identity_grid(random_trace(2u, 97, 9, 3));
+}
+
+// Pattern without B pictures (M = 1): phase and type tables degenerate
+// differently than in the default 9/3 pattern.
+TEST(FastPathIdentity, GridOverIOnlyPattern) {
+  run_identity_grid(random_trace(3u, 120, 6, 1));
+}
+
+// step()-at-a-time must agree with run_into() — both entry points share
+// step_on, but this pins the contract from the public API.
+TEST(FastPathIdentity, StepwiseMatchesRunInto) {
+  const trace::Trace t = random_trace(5u, 80, 9, 3);
+  const core::PatternEstimator estimator(t);
+  SmootherParams params;
+  params.tau = t.tau();
+  params.H = 18;
+  core::SmootherEngine stepper(t, params, estimator);
+  core::SmootherEngine runner(t, params, estimator);
+  std::vector<core::PictureSend> sends;
+  std::vector<core::StepDiagnostics> diags;
+  runner.run_into(sends, diags);
+  for (std::size_t k = 0; !stepper.done(); ++k) {
+    const core::PictureSend send = stepper.step();
+    ASSERT_LT(k, sends.size());
+    EXPECT_EQ(send.start, sends[k].start);
+    EXPECT_EQ(send.rate, sends[k].rate);
+    EXPECT_EQ(send.depart, sends[k].depart);
+    EXPECT_EQ(stepper.last_diagnostics().lower, diags[k].lower);
+    EXPECT_EQ(stepper.last_diagnostics().upper, diags[k].upper);
+  }
+  EXPECT_EQ(sends.size(), static_cast<std::size_t>(t.picture_count()));
+}
+
+// Streaming: pushes interleaved with drains, both execution paths, exact
+// send-for-send agreement including the post-finish() tail.
+TEST(FastPathIdentity, StreamingPathsAgree) {
+  const trace::Trace t = random_trace(4u, 150, 9, 3);
+  for (const int K : {0, 1, 2}) {
+    SmootherParams params;
+    params.tau = t.tau();
+    params.K = K;
+    params.H = 18;
+    core::StreamingSmoother fast(t.pattern(), params, core::DefaultSizes{},
+                                 ExecutionPath::kAuto);
+    core::StreamingSmoother reference(t.pattern(), params,
+                                      core::DefaultSizes{},
+                                      ExecutionPath::kReference);
+    std::vector<core::PictureSend> fast_sends;
+    std::vector<core::PictureSend> reference_sends;
+    for (int i = 1; i <= t.picture_count(); ++i) {
+      fast.push(t.size_of(i));
+      reference.push(t.size_of(i));
+      for (const core::PictureSend& send : fast.drain()) {
+        fast_sends.push_back(send);
+      }
+      for (const core::PictureSend& send : reference.drain()) {
+        reference_sends.push_back(send);
+      }
+    }
+    fast.finish();
+    reference.finish();
+    for (const core::PictureSend& send : fast.drain()) {
+      fast_sends.push_back(send);
+    }
+    for (const core::PictureSend& send : reference.drain()) {
+      reference_sends.push_back(send);
+    }
+    ASSERT_EQ(fast_sends.size(),
+              static_cast<std::size_t>(t.picture_count()));
+    ASSERT_EQ(fast_sends.size(), reference_sends.size());
+    for (std::size_t k = 0; k < fast_sends.size(); ++k) {
+      EXPECT_EQ(fast_sends[k].index, reference_sends[k].index) << "K=" << K;
+      EXPECT_EQ(fast_sends[k].start, reference_sends[k].start) << "K=" << K;
+      EXPECT_EQ(fast_sends[k].rate, reference_sends[k].rate) << "K=" << K;
+      EXPECT_EQ(fast_sends[k].depart, reference_sends[k].depart)
+          << "K=" << K;
+      EXPECT_EQ(fast_sends[k].delay, reference_sends[k].delay) << "K=" << K;
+    }
+  }
+}
+
+// Rate quantization happens after the bounds are settled; the snapping
+// arithmetic must not diverge between paths either.
+TEST(FastPathIdentity, QuantizedRatesAgree) {
+  const trace::Trace t = random_trace(6u, 120, 9, 3);
+  const core::PatternEstimator estimator(t);
+  SmootherParams params;
+  params.tau = t.tau();
+  params.H = 18;
+  params.rate_quantum = 64'000.0;
+  const core::SmoothingResult fast =
+      core::smooth(t, params, estimator, Variant::kBasic,
+                   ExecutionPath::kAuto);
+  const core::SmoothingResult reference =
+      core::smooth(t, params, estimator, Variant::kBasic,
+                   ExecutionPath::kReference);
+  expect_identical(fast, reference, "quantized");
+}
+
+}  // namespace

@@ -10,8 +10,13 @@ The CI bench-baseline job runs
 and fails when any benchmark's throughput (items_per_second; falls back to
 1/real_time for benchmarks without an items counter) drops more than
 --threshold (default 0.25) below the baseline. Benchmarks new in the
-current run pass with a notice; benchmarks that disappeared fail, so a
-deleted benchmark forces a deliberate baseline refresh.
+current run pass with a WARN (record them with the update subcommand);
+benchmarks that disappeared fail, so a deleted benchmark forces a
+deliberate baseline refresh.
+
+--summary-out FILE additionally writes the comparison as a markdown
+before/after delta table, the format GitHub renders when appended to
+$GITHUB_STEP_SUMMARY.
 
 Refresh the baseline from a trusted run with
 
@@ -19,6 +24,10 @@ Refresh the baseline from a trusted run with
         --baseline BENCH_BASELINE.json
 
 which rewrites the baseline as a minimal, diff-friendly document.
+
+`tools/check_bench.py selftest` exercises the compare/update logic against
+synthetic documents in a temporary directory (run by CI so a regression in
+this script cannot silently disable the perf gate).
 """
 
 from __future__ import annotations
@@ -55,28 +64,57 @@ def load_throughputs(path: str) -> dict[str, float]:
     return throughputs
 
 
+def write_summary(path: str, rows: list[tuple[str, str, str, str, str]],
+                  failures: list[str], threshold: float) -> None:
+    """Markdown before/after table in the $GITHUB_STEP_SUMMARY format."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("## Benchmark delta vs committed baseline\n\n")
+        handle.write("| Benchmark | Baseline | Current | Delta | Status |\n")
+        handle.write("|---|---:|---:|---:|---|\n")
+        for name, base, now, delta, status in rows:
+            handle.write(f"| `{name}` | {base} | {now} | {delta} "
+                         f"| {status} |\n")
+        if failures:
+            handle.write(f"\n**FAILED** — {len(failures)} benchmark(s) "
+                         f"regressed more than "
+                         f"{100.0 * threshold:.0f}% or went missing.\n")
+        else:
+            handle.write("\nAll baselined benchmarks within threshold "
+                         f"({100.0 * threshold:.0f}%).\n")
+
+
 def cmd_compare(args: argparse.Namespace) -> int:
     baseline = load_throughputs(args.baseline)
     current = load_throughputs(args.current)
     failures = []
+    rows: list[tuple[str, str, str, str, str]] = []
     for name, base in sorted(baseline.items()):
         now = current.get(name)
         if now is None:
             failures.append(f"{name}: present in baseline but missing from "
                             f"the current run (refresh the baseline if it "
                             f"was removed on purpose)")
+            print(f"FAIL  {name}: missing from the current run")
+            rows.append((name, f"{base:.3e}", "—", "—", "❌ missing"))
             continue
         ratio = now / base if base > 0 else float("inf")
+        delta = f"{100.0 * (ratio - 1.0):+.1f}%"
         marker = "FAIL" if ratio < 1.0 - args.threshold else "ok"
         print(f"{marker:>4}  {name}: {now:.3e} vs baseline {base:.3e} "
-              f"({100.0 * (ratio - 1.0):+.1f}%)")
+              f"({delta})")
+        rows.append((name, f"{base:.3e}", f"{now:.3e}", delta,
+                     "❌ regressed" if marker == "FAIL" else "✅"))
         if marker == "FAIL":
             failures.append(f"{name}: throughput regressed "
                             f"{100.0 * (1.0 - ratio):.1f}% "
                             f"(> {100.0 * args.threshold:.0f}% allowed)")
     for name in sorted(set(current) - set(baseline)):
-        print(f" new  {name}: {current[name]:.3e} (no baseline; "
-              f"run the update command to record one)")
+        print(f"WARN  {name}: {current[name]:.3e} (not in the baseline; "
+              f"run the update command to record it)")
+        rows.append((name, "—", f"{current[name]:.3e}", "—",
+                     "⚠️ no baseline"))
+    if args.summary_out:
+        write_summary(args.summary_out, rows, failures, args.threshold)
     if failures:
         print("\nbench regression check FAILED:", file=sys.stderr)
         for failure in failures:
@@ -108,6 +146,70 @@ def cmd_update(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_selftest(args: argparse.Namespace) -> int:
+    """End-to-end check of compare/update against synthetic documents."""
+    del args
+    import os
+    import tempfile
+
+    def bench_doc(values: dict[str, float]) -> dict:
+        return {"benchmarks": [
+            {"name": name, "run_type": "iteration",
+             "items_per_second": value}
+            for name, value in values.items()]}
+
+    def run_compare(baseline: dict[str, float], current: dict[str, float],
+                    tmp: str, summary: str | None = None) -> int:
+        baseline_path = os.path.join(tmp, "baseline.json")
+        current_path = os.path.join(tmp, "current.json")
+        with open(current_path, "w", encoding="utf-8") as handle:
+            json.dump(bench_doc(current), handle)
+        with open(os.path.join(tmp, "raw_base.json"), "w",
+                  encoding="utf-8") as handle:
+            json.dump(bench_doc(baseline), handle)
+        update_args = argparse.Namespace(
+            baseline=baseline_path,
+            current=os.path.join(tmp, "raw_base.json"))
+        assert cmd_update(update_args) == 0, "update must succeed"
+        compare_args = argparse.Namespace(
+            baseline=baseline_path, current=current_path, threshold=0.25,
+            summary_out=summary)
+        return cmd_compare(compare_args)
+
+    checks = 0
+    with tempfile.TemporaryDirectory() as tmp:
+        # Unchanged run passes.
+        assert run_compare({"BM_A": 100.0}, {"BM_A": 100.0}, tmp) == 0
+        checks += 1
+        # Regression beyond the threshold fails.
+        assert run_compare({"BM_A": 100.0}, {"BM_A": 60.0}, tmp) == 1
+        checks += 1
+        # Improvement passes.
+        assert run_compare({"BM_A": 100.0}, {"BM_A": 300.0}, tmp) == 0
+        checks += 1
+        # A baselined benchmark missing from the run fails.
+        assert run_compare({"BM_A": 100.0, "BM_B": 50.0},
+                           {"BM_A": 100.0}, tmp) == 1
+        checks += 1
+        # A new, unbaselined benchmark warns but passes.
+        assert run_compare({"BM_A": 100.0},
+                           {"BM_A": 100.0, "BM_NEW": 5.0}, tmp) == 0
+        checks += 1
+        # The summary table is written and mentions every benchmark.
+        summary_path = os.path.join(tmp, "summary.md")
+        assert run_compare({"BM_A": 100.0, "BM_B": 50.0},
+                           {"BM_A": 100.0, "BM_NEW": 5.0}, tmp,
+                           summary=summary_path) == 1
+        with open(summary_path, "r", encoding="utf-8") as handle:
+            summary = handle.read()
+        for expected in ("BM_A", "BM_B", "BM_NEW", "missing",
+                         "no baseline", "FAILED"):
+            assert expected in summary, f"summary lacks {expected!r}"
+        checks += 1
+    print(f"check_bench selftest passed ({checks} scenarios).")
+    return 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     subparsers = parser.add_subparsers(dest="command", required=True)
@@ -117,12 +219,19 @@ def main() -> int:
     compare.add_argument("--current", required=True)
     compare.add_argument("--threshold", type=float, default=0.25,
                          help="allowed fractional throughput drop")
+    compare.add_argument("--summary-out", default=None,
+                         help="write a markdown delta table here "
+                              "(append to $GITHUB_STEP_SUMMARY in CI)")
     compare.set_defaults(func=cmd_compare)
 
     update = subparsers.add_parser("update", help="rewrite the baseline")
     update.add_argument("--baseline", default="BENCH_BASELINE.json")
     update.add_argument("--current", required=True)
     update.set_defaults(func=cmd_update)
+
+    selftest = subparsers.add_parser(
+        "selftest", help="verify this script against synthetic documents")
+    selftest.set_defaults(func=cmd_selftest)
 
     args = parser.parse_args()
     try:
