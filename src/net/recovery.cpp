@@ -1,0 +1,136 @@
+#include "net/recovery.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace lsm::net {
+
+void RetryPolicy::validate() const {
+  if (max_retries < 0 || !(base_backoff > 0.0) ||
+      !std::isfinite(base_backoff) || !(backoff_multiplier >= 1.0) ||
+      !std::isfinite(backoff_multiplier) || !(max_backoff >= base_backoff) ||
+      !std::isfinite(max_backoff)) {
+    throw std::invalid_argument("RetryPolicy: bad field");
+  }
+}
+
+void RecoveryPolicy::validate() const {
+  retry.validate();
+  if (!(relax_factor >= 1.0) || !std::isfinite(relax_factor)) {
+    throw std::invalid_argument("RecoveryPolicy: relax_factor must be >= 1");
+  }
+}
+
+RetryOutcome resolve_with_backoff(double request_time,
+                                  const RetryPolicy& retry,
+                                  const sim::FaultPlan& plan) {
+  RetryOutcome outcome;
+  outcome.grant_time = request_time;
+  double backoff = retry.base_backoff;
+  while (plan.denial_active(outcome.grant_time)) {
+    if (outcome.denied >= retry.max_retries) {
+      // This refusal exhausts the budget: no further retry is issued.
+      ++outcome.denied;
+      outcome.granted = false;
+      return outcome;
+    }
+    ++outcome.denied;
+    outcome.grant_time += backoff;
+    backoff = std::min(backoff * retry.backoff_multiplier,
+                       retry.max_backoff);
+  }
+  return outcome;
+}
+
+FaultedReservationResult plan_reservation_faulted(
+    const core::RateSchedule& schedule, const RenegotiationPolicy& policy,
+    const RetryPolicy& retry, const sim::FaultPlan& plan) {
+  retry.validate();
+  const ReservationResult ideal = plan_reservation(schedule, policy);
+
+  FaultedReservationResult result;
+  result.renegotiations = ideal.renegotiations;
+
+  std::vector<core::RateSegment> honored;
+  core::Rate current_level = 0.0;
+  bool have_level = false;
+  for (const core::RateSegment& segment : ideal.reservation.segments()) {
+    const RetryOutcome outcome =
+        resolve_with_backoff(segment.begin, retry, plan);
+    // A grant that lands after the segment's span ended is moot: the level
+    // was never held while it mattered.
+    const bool gave_up =
+        !outcome.granted || outcome.grant_time >= segment.end;
+
+    GrantRecord record;
+    record.request_time = segment.begin;
+    record.grant_time = gave_up ? segment.begin : outcome.grant_time;
+    record.level = segment.rate;
+    record.denied_attempts = outcome.denied;
+    record.gave_up = gave_up;
+    result.grants.push_back(record);
+
+    result.denials += outcome.denied;
+    // Every refusal except a budget-exhausting final one triggered a retry.
+    result.retries += outcome.granted ? outcome.denied
+                                      : outcome.denied - 1;
+    result.giveups += gave_up ? 1 : 0;
+
+    if (gave_up) {
+      // Draw down the previous grant for the whole span (nothing reserved
+      // at all when setup itself was denied).
+      if (have_level) {
+        honored.push_back(
+            core::RateSegment{segment.begin, segment.end, current_level});
+      }
+      continue;
+    }
+    if (outcome.grant_time > segment.begin && have_level) {
+      honored.push_back(core::RateSegment{segment.begin, outcome.grant_time,
+                                          current_level});
+    }
+    honored.push_back(core::RateSegment{
+        std::max(segment.begin, outcome.grant_time), segment.end,
+        segment.rate});
+    current_level = segment.rate;
+    have_level = true;
+  }
+
+  // Merge adjacent equal-level spans (a grant that restores the previous
+  // level is not a distinct reservation interval).
+  std::vector<core::RateSegment> merged;
+  for (const core::RateSegment& segment : honored) {
+    if (!merged.empty() && merged.back().rate == segment.rate &&
+        merged.back().end == segment.begin) {
+      merged.back().end = segment.end;
+    } else {
+      merged.push_back(segment);
+    }
+  }
+  result.reservation = core::RateSchedule(std::move(merged));
+
+  const double start = schedule.start_time();
+  const double end = schedule.end_time();
+  const double used = schedule.integral(start, end);
+  const double booked = result.reservation.integral(start, end);
+  if (used > 0.0) result.over_reservation = booked / used - 1.0;
+
+  // Max shortfall r(t) - R(t): both functions are piecewise constant, so
+  // sampling each combined-breakpoint interval at its midpoint is exact.
+  std::vector<double> edges = schedule.breakpoints();
+  for (const double edge : result.reservation.breakpoints()) {
+    edges.push_back(edge);
+  }
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  for (std::size_t k = 0; k + 1 < edges.size(); ++k) {
+    const double mid = 0.5 * (edges[k] + edges[k + 1]);
+    const double gap =
+        schedule.rate_at(mid) - result.reservation.rate_at(mid);
+    if (gap > result.max_shortfall) result.max_shortfall = gap;
+  }
+  return result;
+}
+
+}  // namespace lsm::net

@@ -1,0 +1,102 @@
+// Graceful degradation for the transport pipeline: what the sender does
+// when the network says no.
+//
+// Two pieces live here. RetryPolicy/RecoveryPolicy parameterize the
+// response to a denied rate renegotiation — bounded retries with
+// exponential backoff, then either late-picture accounting (keep the old
+// grant and let delivery slip, the paper's delay ledger made explicit) or
+// controlled rate-bound relaxation (briefly request above the planned r_i,
+// mirroring the Section 4.4 r_i^U crossing, to drain the backlog a fault
+// created). plan_reservation_faulted() replays a plan_reservation()
+// schedule against a sim::FaultPlan's denial windows: every reservation
+// change is a signalling event the network may refuse; while a request is
+// denied the stream draws down its previous grant (whose headroom is the
+// over-reservation it already paid for), and a denied *release* simply
+// keeps paying for unused capacity. Everything is deterministic: the same
+// schedule, policy, and plan produce bitwise-identical results.
+#pragma once
+
+#include <vector>
+
+#include "net/renegotiation.h"
+#include "sim/fault.h"
+
+namespace lsm::net {
+
+/// Bounded retry with exponential backoff for denied renegotiations.
+struct RetryPolicy {
+  int max_retries = 4;             ///< re-requests after a denial (>= 0)
+  double base_backoff = 0.05;      ///< wait before the first retry, s (> 0)
+  double backoff_multiplier = 2.0; ///< growth per retry (>= 1)
+  double max_backoff = 1.0;        ///< backoff cap, s (>= base_backoff)
+
+  /// Throws std::invalid_argument on non-finite or out-of-range fields.
+  void validate() const;
+};
+
+/// What the pipeline does once recovery is exhausted or while it lags.
+enum class DegradationMode {
+  kLatePicture,      ///< hold the granted rate; account lateness explicitly
+  kRateRelaxation,   ///< request up to relax_factor * r_i to catch up
+};
+
+struct RecoveryPolicy {
+  RetryPolicy retry;
+  DegradationMode mode = DegradationMode::kLatePicture;
+  /// Max catch-up boost over the planned rate in kRateRelaxation (>= 1;
+  /// 1 makes the mode identical to kLatePicture).
+  double relax_factor = 1.25;
+
+  /// Throws std::invalid_argument on a bad retry policy or relax_factor.
+  void validate() const;
+};
+
+/// Outcome of resolving one request against denial windows with backoff.
+struct RetryOutcome {
+  double grant_time = 0.0;  ///< when the request succeeded (if granted)
+  int denied = 0;           ///< attempts the network refused
+  bool granted = true;      ///< false when max_retries was exhausted
+};
+
+/// Walks a request at `request_time` through `plan`'s denial windows under
+/// `retry`: each refusal waits the (exponentially growing, capped) backoff
+/// and asks again, at most max_retries times. Pure and deterministic.
+RetryOutcome resolve_with_backoff(double request_time,
+                                  const RetryPolicy& retry,
+                                  const sim::FaultPlan& plan);
+
+/// One renegotiation request in a faulted reservation replay.
+struct GrantRecord {
+  double request_time = 0.0;
+  double grant_time = 0.0;   ///< == request_time when granted instantly
+  core::Rate level = 0.0;    ///< requested reservation level
+  int denied_attempts = 0;
+  bool gave_up = false;      ///< level never granted within its segment
+};
+
+/// plan_reservation() result replayed against denial faults.
+struct FaultedReservationResult {
+  core::RateSchedule reservation;  ///< R(t) the network actually honored
+  std::vector<GrantRecord> grants; ///< one per ideal reservation segment
+  int renegotiations = 0;          ///< ideal signalling events attempted
+  int denials = 0;                 ///< refusals across all requests
+  int retries = 0;                 ///< backoff re-requests issued
+  int giveups = 0;                 ///< segments whose level never arrived
+  double over_reservation = 0.0;   ///< booked/used - 1 on the honored R(t)
+  /// Max over t of r(t) - R(t): capacity the stream needed but did not
+  /// hold, > 0 only while a grant was pending or given up.
+  double max_shortfall = 0.0;
+};
+
+/// Plans the ideal reservation for `schedule` (same contract as
+/// plan_reservation) and replays its renegotiations against `plan`'s
+/// denial windows under `retry`. After any granted renegotiation,
+/// R(t) >= r(t) holds until the next request instant; shortfalls can only
+/// open while a grant is pending or abandoned, and are reported. Throws
+/// std::invalid_argument on a bad policy, bad retry policy, or empty
+/// schedule.
+FaultedReservationResult plan_reservation_faulted(
+    const core::RateSchedule& schedule, const RenegotiationPolicy& policy,
+    const RetryPolicy& retry, const sim::FaultPlan& plan);
+
+}  // namespace lsm::net

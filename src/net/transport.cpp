@@ -1,6 +1,7 @@
 #include "net/transport.h"
 
 #include <algorithm>
+#include <cmath>
 #include <memory>
 #include <stdexcept>
 
@@ -8,23 +9,99 @@
 
 namespace lsm::net {
 
-PipelineReport run_live_pipeline(const lsm::trace::Trace& trace,
-                                 const PipelineConfig& config) {
+namespace {
+
+/// The delay bound holds only up to floating-point reassociation noise (the
+/// same tolerance the lateness check uses); excess below this is not a
+/// degradation signal.
+constexpr double kDelayTolerance = 1e-9;
+
+double delay_excess(double delay, double bound) {
+  return delay > bound + kDelayTolerance ? delay - bound : 0.0;
+}
+
+/// Validates the shared config fields and returns the effective playout
+/// offset (auto-selection uses the jitter *bound*, never a sampled value:
+/// Theorem 1's offset is D + latency + jitter).
+double validate_and_select_offset(const PipelineConfig& config) {
   if (config.network_latency < 0.0 || config.jitter < 0.0) {
     throw std::invalid_argument("run_live_pipeline: negative latency/jitter");
   }
+  if (!std::isfinite(config.playout_offset) || config.playout_offset < 0.0) {
+    throw std::invalid_argument(
+        "run_live_pipeline: playout_offset must be finite and >= 0");
+  }
   config.params.validate();
+  return config.playout_offset > 0.0
+             ? config.playout_offset
+             : config.params.D + config.network_latency + config.jitter;
+}
 
+/// Drains `bits` through the degraded channel starting at `start`: the
+/// granted rate is `rate_before` until `switch_time` (a pending
+/// renegotiation) and `rate_after` from then on, both scaled by the plan's
+/// fade factor, which is piecewise constant between fade breakpoints.
+struct DrainResult {
+  double depart = 0.0;
+  bool faded = false;  ///< some bits flowed at a factor < 1
+};
+DrainResult drain_through_faults(double start, double bits,
+                                 double rate_before, double switch_time,
+                                 double rate_after,
+                                 const sim::FaultPlan& plan) {
+  // All boundaries where the effective rate can change. Fades beyond the
+  // last event end, so a generous right edge covers every breakpoint.
+  double far_edge = start;
+  for (const sim::FaultEvent& event : plan.events()) {
+    far_edge = std::max(far_edge, event.end());
+  }
+  far_edge += 1.0;
+  std::vector<double> edges = plan.fade_breakpoints(start, far_edge);
+  if (switch_time > start) {
+    edges.push_back(switch_time);
+    std::sort(edges.begin(), edges.end());
+    edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  }
+
+  DrainResult result;
+  double t = start;
+  double remaining = bits;
+  std::size_t next_edge = 0;
+  for (;;) {
+    const double factor = plan.fade_factor_at(t);
+    const double granted = t < switch_time ? rate_before : rate_after;
+    const double effective = granted * factor;
+    const double boundary =
+        next_edge < edges.size() ? edges[next_edge] : -1.0;
+    if (effective > 0.0) {
+      if (factor < 1.0) result.faded = true;
+      const double finish = t + remaining / effective;
+      if (boundary < 0.0 || finish <= boundary) {
+        result.depart = finish;
+        return result;
+      }
+      remaining -= effective * (boundary - t);
+    } else if (boundary < 0.0) {
+      // Cannot happen for a valid plan: fades end and rate_after > 0.
+      throw std::logic_error("drain_through_faults: channel never drains");
+    }
+    t = boundary;
+    ++next_edge;
+  }
+}
+
+}  // namespace
+
+PipelineReport run_live_pipeline(const lsm::trace::Trace& trace,
+                                 const PipelineConfig& config) {
   PipelineReport report;
-  report.playout_offset =
-      config.playout_offset > 0.0
-          ? config.playout_offset
-          : config.params.D + config.network_latency + config.jitter;
+  report.playout_offset = validate_and_select_offset(config);
 
   sim::EventQueue queue;
   sim::Rng jitter_rng(config.jitter_seed);
   core::PatternEstimator estimator(trace);
-  core::SmootherEngine engine(trace, config.params, estimator);
+  core::SmootherEngine engine(trace, config.params, estimator,
+                              core::Variant::kBasic, config.execution_path);
 
   // Self-scheduling sender: each step computes the next picture's rate at
   // its decision instant t_i and schedules the following decision at d_i
@@ -51,6 +128,9 @@ PipelineReport run_live_pipeline(const lsm::trace::Trace& trace,
     report.deliveries.push_back(delivery);
     report.underflows += delivery.late ? 1 : 0;
     report.max_sender_delay = std::max(report.max_sender_delay, send.delay);
+    report.worst_delay_excess =
+        std::max(report.worst_delay_excess,
+                 delay_excess(send.delay, config.params.D));
     // Wake up at the departure instant to decide the next picture's rate.
     queue.schedule_at(send.depart, [send_next] { (*send_next)(); });
   };
@@ -64,6 +144,177 @@ PipelineReport run_live_pipeline(const lsm::trace::Trace& trace,
   // reference cycle explicitly once the simulation has drained.
   *send_next = nullptr;
   return report;
+}
+
+FaultedPipelineReport run_faulted_pipeline(const lsm::trace::Trace& trace,
+                                           const FaultedPipelineConfig& config,
+                                           const sim::FaultPlan& plan) {
+  config.recovery.validate();
+  FaultedPipelineReport out;
+  PipelineReport& report = out.report;
+  runtime::DegradationCounters& deg = out.degradation;
+  report.playout_offset = validate_and_select_offset(config.base);
+
+  sim::EventQueue queue;
+  sim::Rng jitter_rng(config.base.jitter_seed);
+  core::PatternEstimator estimator(trace);
+  core::SmootherEngine engine(trace, config.base.params, estimator,
+                              core::Variant::kBasic,
+                              config.base.execution_path);
+
+  // Every fault window opens as an event on the simulation queue; the
+  // injected tallies are therefore consistent with the plan by
+  // construction (the property suite pins this).
+  for (const sim::FaultEvent& event : plan.events()) {
+    queue.schedule_at(event.start, [&deg, cls = event.cls] {
+      switch (cls) {
+        case sim::FaultClass::kChannelFade: ++deg.fades_injected; break;
+        case sim::FaultClass::kBurstLoss: ++deg.losses_injected; break;
+        case sim::FaultClass::kEncoderStall: ++deg.stalls_injected; break;
+        case sim::FaultClass::kRenegotiationDenial:
+          ++deg.denial_windows_injected;
+          break;
+      }
+    });
+  }
+
+  const core::SmootherParams& params = config.base.params;
+  const int n = trace.picture_count();
+  double channel_free = 0.0;   // real instant the channel finishes a send
+  double granted_rate = -1.0;  // network-granted reservation; < 0 = none yet
+
+  auto send_next = std::make_shared<std::function<void()>>();
+  *send_next = [&, send_next]() {
+    if (engine.done()) return;
+    // The engine plans in ideal time — its decisions are the contract the
+    // sender negotiated. The real channel below may lag behind the plan,
+    // so (unlike the un-faulted loop) queue.now() can legitimately pass
+    // send.start.
+    const core::PictureSend send = engine.step();
+
+    // Encoder stall: sending picture i needs pictures i..i+K-1 on hand;
+    // the last gate picture nominally arrives at min(i-1+K, n) tau, and an
+    // active stall window delays it.
+    const double gate_nominal =
+        static_cast<double>(std::min(send.index - 1 + params.K, n)) *
+        params.tau;
+    const double stall = plan.stall_delay_at(gate_nominal);
+    double actual_start =
+        std::max(send.start, std::max(channel_free, gate_nominal + stall));
+
+    // Rate request: the planned r_i, optionally relaxed upward to catch up
+    // when the channel has fallen behind the plan (Section 4.4's
+    // controlled r_i^U crossing, here bounded by relax_factor).
+    double requested = send.rate;
+    bool relaxed = false;
+    if (config.recovery.mode == DegradationMode::kRateRelaxation &&
+        config.recovery.relax_factor > 1.0 &&
+        actual_start > send.start + 1e-12) {
+      requested = send.rate * config.recovery.relax_factor;
+      relaxed = true;
+    }
+
+    // Renegotiation: a rate increase (or initial setup) is a signalling
+    // event the network may deny; retry with bounded exponential backoff,
+    // drawing down the previous grant while waiting.
+    const double rate_before = granted_rate > 0.0 ? granted_rate : 0.0;
+    double switch_time = actual_start;
+    if (granted_rate < 0.0 || requested > granted_rate) {
+      const RetryOutcome outcome =
+          resolve_with_backoff(actual_start, config.recovery.retry, plan);
+      deg.denials += static_cast<std::uint64_t>(outcome.denied);
+      deg.retries += static_cast<std::uint64_t>(
+          outcome.granted ? outcome.denied
+                          : std::max(0, outcome.denied - 1));
+      if (outcome.granted) {
+        if (outcome.grant_time > actual_start) {
+          deg.recovery_latency.add(outcome.grant_time - actual_start);
+          switch_time = outcome.grant_time;
+        }
+        granted_rate = requested;
+      } else {
+        ++deg.giveups;
+        if (granted_rate <= 0.0) {
+          // A stream with no reservation at all cannot degrade gracefully;
+          // force the setup grant and account the failure.
+          granted_rate = requested;
+        } else {
+          // Keep drawing down the old grant; the request is abandoned.
+          requested = granted_rate;
+          relaxed = false;
+        }
+      }
+    } else {
+      // Decreases (and re-requests of the current level) are releases: the
+      // network always accepts capacity back, no signalling round-trip.
+      granted_rate = requested;
+    }
+
+    // Burst loss: the fraction lost per attempt is retransmitted until it
+    // lands, inflating the bits on the wire geometrically.
+    const double loss = plan.loss_fraction_at(actual_start);
+    const double nominal_bits = static_cast<double>(send.bits);
+    const double wire_bits = nominal_bits / (1.0 - loss);
+
+    // Untouched pictures reuse the engine's exact departure so a no-fault
+    // run is bitwise identical to run_live_pipeline().
+    double actual_depart;
+    double actual_delay;
+    bool faded = false;
+    const bool touched =
+        stall > 0.0 || loss > 0.0 || actual_start != send.start ||
+        switch_time != actual_start || requested != send.rate ||
+        plan.fade_factor_at(actual_start) < 1.0 ||
+        !plan.fade_breakpoints(actual_start, send.depart).empty();
+    if (!touched) {
+      actual_depart = send.depart;
+      actual_delay = send.delay;
+    } else {
+      const DrainResult drained = drain_through_faults(
+          actual_start, wire_bits, rate_before, switch_time, requested, plan);
+      actual_depart = drained.depart;
+      actual_delay =
+          actual_depart - static_cast<double>(send.index - 1) * params.tau;
+      faded = drained.faded;
+      deg.pictures_stalled += stall > 0.0 ? 1 : 0;
+      deg.pictures_retransmitted += loss > 0.0 ? 1 : 0;
+      deg.retransmitted_bits += wire_bits - nominal_bits;
+      deg.rate_relaxations += relaxed ? 1 : 0;
+    }
+    deg.pictures_faded += faded ? 1 : 0;
+
+    PictureDelivery delivery;
+    delivery.index = send.index;
+    delivery.sender_start = actual_start;
+    delivery.sender_done = actual_depart;
+    delivery.received = actual_depart + config.base.network_latency +
+                        (config.base.jitter > 0.0
+                             ? jitter_rng.uniform(0.0, config.base.jitter)
+                             : 0.0);
+    delivery.deadline =
+        report.playout_offset + (send.index - 1) * params.tau;
+    delivery.late = delivery.received > delivery.deadline + 1e-9;
+    report.deliveries.push_back(delivery);
+    report.underflows += delivery.late ? 1 : 0;
+    deg.late_pictures += delivery.late ? 1 : 0;
+    report.max_sender_delay =
+        std::max(report.max_sender_delay, actual_delay);
+    const double excess = delay_excess(actual_delay, params.D);
+    report.worst_delay_excess = std::max(report.worst_delay_excess, excess);
+    deg.worst_delay_excess = report.worst_delay_excess;
+
+    channel_free = actual_depart;
+    // Next decision when both the plan and the real channel allow it.
+    queue.schedule_at(std::max(send.depart, actual_depart),
+                      [send_next] { (*send_next)(); });
+  };
+
+  const double first_decision =
+      std::min(params.K, trace.picture_count()) * params.tau;
+  queue.schedule_at(first_decision, [send_next] { (*send_next)(); });
+  queue.run();
+  *send_next = nullptr;
+  return out;
 }
 
 }  // namespace lsm::net

@@ -11,24 +11,41 @@
 // engine is causal by construction). The receiver starts displaying picture
 // i at playout_offset + (i-1) tau and underflows if the picture's last bit
 // has not arrived by then. Theorem 1 guarantees zero underflows whenever
-// playout_offset >= D + network_latency + jitter (the jitter term bounds
-// the random per-picture delay component).
+// playout_offset >= D + network_latency + jitter (the jitter term is the
+// *bound* of the uniform[0, jitter) per-picture component, never a sampled
+// value — the auto-selected offset must cover the worst draw).
+//
+// run_faulted_pipeline() runs the same model against a sim::FaultPlan: the
+// engine still plans in ideal time (its grants are the contract), while the
+// channel underneath fades, loses bits, stalls arrivals, and denies rate
+// renegotiations; net/recovery.h decides how the sender degrades. A plan
+// with no events reproduces run_live_pipeline() bitwise — the differential
+// guard for the Theorem 1 path.
 #pragma once
 
 #include <functional>
 #include <vector>
 
+#include "core/fastpath.h"
 #include "core/smoother.h"
+#include "net/recovery.h"
+#include "runtime/counters.h"
 #include "sim/event_queue.h"
+#include "sim/fault.h"
 
 namespace lsm::net {
 
 struct PipelineConfig {
   core::SmootherParams params;
   double network_latency = 0.010;  ///< one-way base delay, seconds (>= 0)
-  double jitter = 0.0;             ///< extra uniform[0, jitter] per picture
+  double jitter = 0.0;             ///< extra uniform[0, jitter) per picture
   std::uint64_t jitter_seed = 1;   ///< deterministic jitter stream
-  double playout_offset = 0.0;     ///< 0 selects D + latency + jitter
+  /// 0 selects D + latency + jitter (the Theorem 1 bound); explicit values
+  /// must be finite and > 0 — negative offsets throw.
+  double playout_offset = 0.0;
+  /// Devirtualized fast path (kAuto) or the virtual reference loop
+  /// (kReference, the differential-testing flag).
+  core::ExecutionPath execution_path = core::ExecutionPath::kAuto;
 };
 
 struct PictureDelivery {
@@ -44,6 +61,9 @@ struct PipelineReport {
   std::vector<PictureDelivery> deliveries;
   int underflows = 0;
   double max_sender_delay = 0.0;  ///< max d_i - (i-1) tau
+  /// Max over pictures of (delay_i - D)+: 0 inside the Theorem 1 regime,
+  /// the worst-case overshoot of the delay bound under faults.
+  double worst_delay_excess = 0.0;
   double playout_offset = 0.0;
 
   bool clean() const noexcept { return underflows == 0; }
@@ -53,5 +73,25 @@ struct PipelineReport {
 /// inside simulated time via SmootherEngine.
 PipelineReport run_live_pipeline(const lsm::trace::Trace& trace,
                                  const PipelineConfig& config);
+
+struct FaultedPipelineConfig {
+  PipelineConfig base;
+  RecoveryPolicy recovery;
+};
+
+struct FaultedPipelineReport {
+  /// Same shape as the un-faulted output; sender times and lateness reflect
+  /// the degraded channel.
+  PipelineReport report;
+  runtime::DegradationCounters degradation;
+};
+
+/// Runs the pipeline with `plan`'s faults injected on the event queue and
+/// `config.recovery` governing the response. Deterministic: identical
+/// (trace, config, plan) yields a bitwise-identical report; an empty plan
+/// yields run_live_pipeline()'s report field-for-field.
+FaultedPipelineReport run_faulted_pipeline(const lsm::trace::Trace& trace,
+                                           const FaultedPipelineConfig& config,
+                                           const sim::FaultPlan& plan);
 
 }  // namespace lsm::net

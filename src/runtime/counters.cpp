@@ -84,6 +84,100 @@ std::string PerfRegistry::to_json() const {
   return out;
 }
 
+void LatencyHistogram::add(double seconds) noexcept {
+  if (!(seconds > 0.0)) seconds = 0.0;  // clamps negatives and NaN
+  int index = 0;
+  double bound = 0.001;
+  while (index < kBuckets - 1 && seconds >= bound) {
+    ++index;
+    bound *= 2.0;
+  }
+  ++buckets_[static_cast<std::size_t>(index)];
+  ++count_;
+  if (seconds > max_seconds_) max_seconds_ = seconds;
+}
+
+LatencyHistogram& LatencyHistogram::operator+=(
+    const LatencyHistogram& other) noexcept {
+  for (int i = 0; i < kBuckets; ++i) {
+    buckets_[static_cast<std::size_t>(i)] +=
+        other.buckets_[static_cast<std::size_t>(i)];
+  }
+  count_ += other.count_;
+  if (other.max_seconds_ > max_seconds_) max_seconds_ = other.max_seconds_;
+  return *this;
+}
+
+std::string LatencyHistogram::to_json() const {
+  char buffer[96];
+  std::snprintf(buffer, sizeof buffer,
+                "{\"count\": %" PRIu64 ", \"max_s\": %.6f, \"buckets\": [",
+                count_, max_seconds_);
+  std::string out = buffer;
+  for (int i = 0; i < kBuckets; ++i) {
+    if (i > 0) out += ", ";
+    std::snprintf(buffer, sizeof buffer, "%" PRIu64,
+                  buckets_[static_cast<std::size_t>(i)]);
+    out += buffer;
+  }
+  out += "]}";
+  return out;
+}
+
+DegradationCounters& DegradationCounters::operator+=(
+    const DegradationCounters& other) noexcept {
+  fades_injected += other.fades_injected;
+  losses_injected += other.losses_injected;
+  stalls_injected += other.stalls_injected;
+  denial_windows_injected += other.denial_windows_injected;
+  pictures_faded += other.pictures_faded;
+  pictures_retransmitted += other.pictures_retransmitted;
+  pictures_stalled += other.pictures_stalled;
+  late_pictures += other.late_pictures;
+  rate_relaxations += other.rate_relaxations;
+  denials += other.denials;
+  retries += other.retries;
+  giveups += other.giveups;
+  retransmitted_bits += other.retransmitted_bits;
+  if (other.worst_delay_excess > worst_delay_excess) {
+    worst_delay_excess = other.worst_delay_excess;
+  }
+  recovery_latency += other.recovery_latency;
+  return *this;
+}
+
+bool DegradationCounters::any_fault() const noexcept {
+  return fades_injected != 0 || losses_injected != 0 || stalls_injected != 0 ||
+         denial_windows_injected != 0 || pictures_faded != 0 ||
+         pictures_retransmitted != 0 || pictures_stalled != 0 ||
+         late_pictures != 0 || rate_relaxations != 0 || denials != 0 ||
+         retries != 0 || giveups != 0 || retransmitted_bits != 0.0 ||
+         worst_delay_excess != 0.0 || recovery_latency.count() != 0;
+}
+
+std::string DegradationCounters::to_json() const {
+  char buffer[512];
+  std::snprintf(
+      buffer, sizeof buffer,
+      "{\"fades_injected\": %" PRIu64 ", \"losses_injected\": %" PRIu64
+      ", \"stalls_injected\": %" PRIu64
+      ", \"denial_windows_injected\": %" PRIu64
+      ", \"pictures_faded\": %" PRIu64 ", \"pictures_retransmitted\": %" PRIu64
+      ", \"pictures_stalled\": %" PRIu64 ", \"late_pictures\": %" PRIu64
+      ", \"rate_relaxations\": %" PRIu64 ", \"denials\": %" PRIu64
+      ", \"retries\": %" PRIu64 ", \"giveups\": %" PRIu64
+      ", \"retransmitted_bits\": %.0f, \"worst_delay_excess\": %.6f"
+      ", \"recovery_latency\": ",
+      fades_injected, losses_injected, stalls_injected,
+      denial_windows_injected, pictures_faded, pictures_retransmitted,
+      pictures_stalled, late_pictures, rate_relaxations, denials, retries,
+      giveups, retransmitted_bits, worst_delay_excess);
+  std::string out = buffer;
+  out += recovery_latency.to_json();
+  out += "}";
+  return out;
+}
+
 std::uint64_t wall_clock_ns() noexcept {
   return static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(

@@ -9,6 +9,7 @@
 // how evenly the shards landed.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -67,6 +68,67 @@ class PerfRegistry {
  private:
   int workers_;
   std::vector<PerfCounters> slots_;
+};
+
+/// Fixed-bucket histogram of recovery latencies (seconds). Bucket i counts
+/// samples below 1 ms * 2^i; the last bucket is the overflow. Fixed bounds
+/// keep merged histograms exact and the JSON shape stable.
+class LatencyHistogram {
+ public:
+  static constexpr int kBuckets = 13;  ///< <1ms .. <4.096s, then overflow
+
+  /// Records one sample. Negative or non-finite samples are clamped to 0.
+  void add(double seconds) noexcept;
+
+  std::uint64_t count() const noexcept { return count_; }
+  std::uint64_t bucket(int index) const noexcept {
+    return buckets_[static_cast<std::size_t>(index)];
+  }
+  double max_seconds() const noexcept { return max_seconds_; }
+
+  LatencyHistogram& operator+=(const LatencyHistogram& other) noexcept;
+
+  /// {"count": N, "max_s": x, "buckets": [n0, n1, ...]}
+  std::string to_json() const;
+
+ private:
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  double max_seconds_ = 0.0;
+};
+
+/// Degradation telemetry for one faulted pipeline run (or one aggregated
+/// fleet, after +=). Split into plan-side "injected" counts — what the
+/// FaultPlan scheduled — and pipeline-side "observed" effects, so tests
+/// can check the two views against each other.
+struct DegradationCounters {
+  // Injected by the FaultPlan (bumped as each fault window opens).
+  std::uint64_t fades_injected = 0;
+  std::uint64_t losses_injected = 0;
+  std::uint64_t stalls_injected = 0;
+  std::uint64_t denial_windows_injected = 0;
+
+  // Observed effects on pictures and reservations.
+  std::uint64_t pictures_faded = 0;          ///< sends slowed by a fade
+  std::uint64_t pictures_retransmitted = 0;  ///< sends with loss inflation
+  std::uint64_t pictures_stalled = 0;        ///< sends gated by a stall
+  std::uint64_t late_pictures = 0;           ///< missed playout deadlines
+  std::uint64_t rate_relaxations = 0;        ///< kRateRelaxation boosts
+  std::uint64_t denials = 0;                 ///< renegotiation refusals
+  std::uint64_t retries = 0;                 ///< backoff re-requests
+  std::uint64_t giveups = 0;                 ///< retry budgets exhausted
+  double retransmitted_bits = 0.0;           ///< extra bits on the wire
+  double worst_delay_excess = 0.0;  ///< max over i of (delay_i - D)+, s
+  LatencyHistogram recovery_latency;  ///< request -> grant waits
+
+  DegradationCounters& operator+=(const DegradationCounters& other) noexcept;
+
+  /// True when any fault was injected or any degraded effect observed.
+  bool any_fault() const noexcept;
+
+  /// Flat JSON object in the PerfRegistry style, with the recovery
+  /// histogram nested under "recovery_latency".
+  std::string to_json() const;
 };
 
 /// Monotonic wall clock, ns.

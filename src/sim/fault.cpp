@@ -1,0 +1,179 @@
+#include "sim/fault.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "sim/rng.h"
+
+namespace lsm::sim {
+
+namespace {
+
+bool finite_nonneg(double v) noexcept { return std::isfinite(v) && v >= 0.0; }
+
+void validate_event(const FaultEvent& event) {
+  if (!finite_nonneg(event.start) || !std::isfinite(event.duration) ||
+      event.duration <= 0.0 || !std::isfinite(event.magnitude)) {
+    throw std::invalid_argument("FaultPlan: malformed event");
+  }
+  switch (event.cls) {
+    case FaultClass::kChannelFade:
+      if (event.magnitude <= 0.0 || event.magnitude > 1.0) {
+        throw std::invalid_argument("FaultPlan: fade factor outside (0, 1]");
+      }
+      break;
+    case FaultClass::kBurstLoss:
+      if (event.magnitude < 0.0 || event.magnitude > 0.9) {
+        throw std::invalid_argument(
+            "FaultPlan: loss fraction outside [0, 0.9]");
+      }
+      break;
+    case FaultClass::kEncoderStall:
+      if (event.magnitude <= 0.0) {
+        throw std::invalid_argument("FaultPlan: non-positive stall delay");
+      }
+      break;
+    case FaultClass::kRenegotiationDenial:
+      break;
+  }
+}
+
+bool active_at(const FaultEvent& event, double t) noexcept {
+  return event.start <= t && t < event.end();
+}
+
+}  // namespace
+
+void FaultSpec::validate() const {
+  if (!(horizon > 0.0) || !std::isfinite(horizon) ||
+      !finite_nonneg(intensity)) {
+    throw std::invalid_argument("FaultSpec: bad horizon/intensity");
+  }
+  if (!finite_nonneg(fade_rate) || !finite_nonneg(loss_rate) ||
+      !finite_nonneg(stall_rate) || !finite_nonneg(denial_rate)) {
+    throw std::invalid_argument("FaultSpec: negative class rate");
+  }
+  if (!(fade_mean_duration > 0.0) || !(loss_mean_duration > 0.0) ||
+      !(stall_mean_duration > 0.0) || !(denial_mean_duration > 0.0)) {
+    throw std::invalid_argument("FaultSpec: non-positive mean duration");
+  }
+  if (fade_min_factor <= 0.0 || fade_min_factor > 1.0 ||
+      loss_max_fraction < 0.0 || loss_max_fraction > 0.9 ||
+      !(stall_max_delay >= 0.0)) {
+    throw std::invalid_argument("FaultSpec: magnitude range out of bounds");
+  }
+}
+
+FaultPlan::FaultPlan(std::vector<FaultEvent> events)
+    : events_(std::move(events)) {
+  for (const FaultEvent& event : events_) validate_event(event);
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.start < b.start;
+                   });
+}
+
+FaultPlan FaultPlan::generate(const FaultSpec& spec) {
+  spec.validate();
+  Rng rng(spec.seed);
+  std::vector<FaultEvent> events;
+
+  // One class at a time, in a fixed order, so the draw sequence (and hence
+  // the plan) is a pure function of the spec.
+  const auto draw_class = [&](FaultClass cls, double rate_per_horizon,
+                              double mean_duration, auto&& draw_magnitude) {
+    const double events_per_second =
+        rate_per_horizon * spec.intensity / spec.horizon;
+    if (events_per_second <= 0.0) return;
+    double t = 0.0;
+    for (;;) {
+      t += rng.exponential(events_per_second);
+      if (t >= spec.horizon) break;
+      FaultEvent event;
+      event.cls = cls;
+      event.start = t;
+      event.duration = rng.exponential(1.0 / mean_duration);
+      event.magnitude = draw_magnitude();
+      events.push_back(event);
+    }
+  };
+
+  draw_class(FaultClass::kChannelFade, spec.fade_rate,
+             spec.fade_mean_duration,
+             [&] { return rng.uniform(spec.fade_min_factor, 1.0); });
+  draw_class(FaultClass::kBurstLoss, spec.loss_rate, spec.loss_mean_duration,
+             [&] { return rng.uniform(0.0, spec.loss_max_fraction); });
+  if (spec.stall_max_delay > 0.0) {  // a zero cap disables the class
+    draw_class(FaultClass::kEncoderStall, spec.stall_rate,
+               spec.stall_mean_duration, [&] {
+                 // Stall delays must be strictly positive: flip [0, max)
+                 // to (0, max].
+                 return spec.stall_max_delay -
+                        rng.uniform(0.0, spec.stall_max_delay);
+               });
+  }
+  draw_class(FaultClass::kRenegotiationDenial, spec.denial_rate,
+             spec.denial_mean_duration, [] { return 0.0; });
+  return FaultPlan(std::move(events));
+}
+
+int FaultPlan::count(FaultClass cls) const noexcept {
+  int n = 0;
+  for (const FaultEvent& event : events_) n += event.cls == cls ? 1 : 0;
+  return n;
+}
+
+double FaultPlan::fade_factor_at(double t) const noexcept {
+  double factor = 1.0;
+  for (const FaultEvent& event : events_) {
+    if (event.cls == FaultClass::kChannelFade && active_at(event, t)) {
+      factor = std::min(factor, event.magnitude);
+    }
+  }
+  return factor;
+}
+
+double FaultPlan::loss_fraction_at(double t) const noexcept {
+  double fraction = 0.0;
+  for (const FaultEvent& event : events_) {
+    if (event.cls == FaultClass::kBurstLoss && active_at(event, t)) {
+      fraction = std::max(fraction, event.magnitude);
+    }
+  }
+  return fraction;
+}
+
+double FaultPlan::stall_delay_at(double t) const noexcept {
+  double delay = 0.0;
+  for (const FaultEvent& event : events_) {
+    if (event.cls == FaultClass::kEncoderStall && active_at(event, t)) {
+      delay = std::max(delay, event.magnitude);
+    }
+  }
+  return delay;
+}
+
+bool FaultPlan::denial_active(double t) const noexcept {
+  for (const FaultEvent& event : events_) {
+    if (event.cls == FaultClass::kRenegotiationDenial &&
+        active_at(event, t)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<double> FaultPlan::fade_breakpoints(double a, double b) const {
+  std::vector<double> edges;
+  for (const FaultEvent& event : events_) {
+    if (event.cls != FaultClass::kChannelFade) continue;
+    if (event.start > a && event.start < b) edges.push_back(event.start);
+    if (event.end() > a && event.end() < b) edges.push_back(event.end());
+  }
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  return edges;
+}
+
+}  // namespace lsm::sim

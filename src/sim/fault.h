@@ -1,0 +1,120 @@
+// Deterministic fault injection for the transport pipeline.
+//
+// The paper's guarantees hold on an ideal channel; a production deployment
+// sees denied reservations, fading channels, bursty loss, and encoder
+// stalls. A FaultPlan is a *pre-materialized*, seedable schedule of such
+// faults: every event (class, onset, duration, magnitude) is drawn up
+// front from sim::Rng, so a run against a plan is bit-reproducible — the
+// property the fault/property test suites and the differential
+// zero-intensity gate are built on. Consumers (net/transport.h faulted
+// pipeline, net/recovery.h reservation client) only *query* the plan;
+// they never draw randomness of their own.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace lsm::sim {
+
+/// The four injectable fault classes.
+enum class FaultClass {
+  kChannelFade,          ///< channel throughput drops to a fraction
+  kBurstLoss,            ///< picture bits are lost and retransmitted
+  kEncoderStall,         ///< picture arrivals are delayed
+  kRenegotiationDenial,  ///< rate renegotiation requests are refused
+};
+
+/// One fault window. `magnitude` is class-specific:
+///   kChannelFade         fraction of the granted rate that still gets
+///                        through, in (0, 1]; overlapping fades compose by
+///                        minimum.
+///   kBurstLoss           fraction of a picture's bits lost per attempt,
+///                        in [0, 0.9]; geometric retransmission inflates
+///                        the bits on the wire by 1/(1 - magnitude).
+///   kEncoderStall        seconds added to the arrival instant of pictures
+///                        whose nominal arrival falls in the window;
+///                        overlapping stalls compose by maximum.
+///   kRenegotiationDenial unused (0); requests inside the window are
+///                        denied.
+struct FaultEvent {
+  FaultClass cls = FaultClass::kChannelFade;
+  double start = 0.0;     ///< onset, seconds of simulated time (>= 0)
+  double duration = 0.0;  ///< window length, seconds (> 0)
+  double magnitude = 0.0;
+
+  double end() const noexcept { return start + duration; }
+};
+
+/// Generation recipe: per-class mean event counts over `horizon` at
+/// intensity 1, scaled linearly by `intensity`. intensity == 0 produces an
+/// empty plan — the differential-test identity case.
+struct FaultSpec {
+  double horizon = 10.0;    ///< seconds of simulated time covered (> 0)
+  double intensity = 1.0;   ///< event-density scale (>= 0)
+  std::uint64_t seed = 1;   ///< deterministic stream selector
+
+  double fade_rate = 2.0;          ///< mean fades per horizon at intensity 1
+  double fade_mean_duration = 0.3; ///< seconds
+  double fade_min_factor = 0.25;   ///< magnitudes drawn in [min_factor, 1)
+
+  double loss_rate = 2.0;
+  double loss_mean_duration = 0.2;
+  double loss_max_fraction = 0.3;  ///< magnitudes drawn in [0, max_fraction]
+
+  double stall_rate = 1.0;
+  double stall_mean_duration = 0.2;
+  double stall_max_delay = 0.08;   ///< magnitudes drawn in (0, max_delay]
+
+  double denial_rate = 1.0;
+  double denial_mean_duration = 0.5;
+
+  /// Throws std::invalid_argument on non-finite or out-of-range fields.
+  void validate() const;
+};
+
+/// An immutable, queryable schedule of fault windows. Default-constructed
+/// plans are empty (the ideal channel).
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  /// Adopts explicit events (the unit-test constructor). Sorts by onset;
+  /// throws std::invalid_argument on invalid events (negative start,
+  /// non-positive duration, magnitude outside the class's documented
+  /// range, non-finite fields).
+  explicit FaultPlan(std::vector<FaultEvent> events);
+
+  /// Draws a plan from `spec` using sim::Rng — identical spec (including
+  /// seed) yields an identical plan on every platform.
+  static FaultPlan generate(const FaultSpec& spec);
+
+  const std::vector<FaultEvent>& events() const noexcept { return events_; }
+  bool empty() const noexcept { return events_.empty(); }
+
+  /// Number of events of one class.
+  int count(FaultClass cls) const noexcept;
+
+  /// Channel throughput factor at time t: min of active fade magnitudes,
+  /// 1 when no fade is active.
+  double fade_factor_at(double t) const noexcept;
+
+  /// Loss fraction at time t: max of active burst-loss magnitudes, 0 when
+  /// none is active.
+  double loss_fraction_at(double t) const noexcept;
+
+  /// Arrival delay at time t: max of active stall magnitudes, 0 when none
+  /// is active.
+  double stall_delay_at(double t) const noexcept;
+
+  /// True when a renegotiation request at time t would be denied.
+  bool denial_active(double t) const noexcept;
+
+  /// Sorted unique fade-window edges strictly inside (a, b) — the
+  /// breakpoints a drain integration must honor.
+  std::vector<double> fade_breakpoints(double a, double b) const;
+
+ private:
+  std::vector<FaultEvent> events_;  ///< sorted by (start, insertion order)
+};
+
+}  // namespace lsm::sim

@@ -1,0 +1,129 @@
+// The zero-intensity gate: a faulted pipeline run whose FaultPlan contains
+// no events must reproduce run_live_pipeline() field-for-field, bitwise —
+// the guard that the fault-injection layer cannot perturb the Theorem 1
+// path. Enforced in CI under ASan and TSan.
+#include "net/transport.h"
+
+#include <gtest/gtest.h>
+
+#include "trace/sequences.h"
+
+namespace lsm::net {
+namespace {
+
+using lsm::trace::Trace;
+
+PipelineConfig default_config(const Trace& trace) {
+  PipelineConfig config;
+  config.params.tau = trace.tau();
+  config.params.D = 0.2;
+  config.params.K = 1;
+  config.params.H = trace.pattern().N();
+  config.network_latency = 0.010;
+  return config;
+}
+
+void expect_bitwise_equal(const PipelineReport& faulted,
+                          const PipelineReport& base, const char* label) {
+  EXPECT_EQ(faulted.underflows, base.underflows) << label;
+  // Bitwise: EXPECT_EQ on doubles, not NEAR.
+  EXPECT_EQ(faulted.max_sender_delay, base.max_sender_delay) << label;
+  EXPECT_EQ(faulted.worst_delay_excess, base.worst_delay_excess) << label;
+  EXPECT_EQ(faulted.playout_offset, base.playout_offset) << label;
+  ASSERT_EQ(faulted.deliveries.size(), base.deliveries.size()) << label;
+  for (std::size_t k = 0; k < base.deliveries.size(); ++k) {
+    const PictureDelivery& f = faulted.deliveries[k];
+    const PictureDelivery& b = base.deliveries[k];
+    ASSERT_EQ(f.index, b.index) << label;
+    ASSERT_EQ(f.sender_start, b.sender_start) << label;
+    ASSERT_EQ(f.sender_done, b.sender_done) << label;
+    ASSERT_EQ(f.received, b.received) << label;
+    ASSERT_EQ(f.deadline, b.deadline) << label;
+    ASSERT_EQ(f.late, b.late) << label;
+  }
+}
+
+TEST(FaultDifferential, ZeroIntensityPlanMatchesBasePipelineBitwise) {
+  sim::FaultSpec spec;
+  spec.intensity = 0.0;
+  const sim::FaultPlan plan = sim::FaultPlan::generate(spec);
+  for (const Trace& t : lsm::trace::paper_sequences()) {
+    for (const double jitter : {0.0, 0.02}) {
+      PipelineConfig config = default_config(t);
+      config.jitter = jitter;
+      const PipelineReport base = run_live_pipeline(t, config);
+      FaultedPipelineConfig faulted_config;
+      faulted_config.base = config;
+      const FaultedPipelineReport faulted =
+          run_faulted_pipeline(t, faulted_config, plan);
+      expect_bitwise_equal(faulted.report, base, t.name().c_str());
+    }
+  }
+}
+
+TEST(FaultDifferential, ZeroIntensityMatchesUnderReferencePath) {
+  const sim::FaultPlan plan;  // default = empty
+  for (const Trace& t : lsm::trace::paper_sequences()) {
+    for (const core::ExecutionPath path :
+         {core::ExecutionPath::kAuto, core::ExecutionPath::kReference}) {
+      PipelineConfig config = default_config(t);
+      config.jitter = 0.015;
+      config.execution_path = path;
+      const PipelineReport base = run_live_pipeline(t, config);
+      FaultedPipelineConfig faulted_config;
+      faulted_config.base = config;
+      const FaultedPipelineReport faulted =
+          run_faulted_pipeline(t, faulted_config, plan);
+      expect_bitwise_equal(faulted.report, base, t.name().c_str());
+    }
+  }
+}
+
+TEST(FaultDifferential, ExecutionPathsAgreeInsideFaultedPipeline) {
+  // The devirtualized fast path and the virtual reference loop must stay
+  // bitwise interchangeable under faults too.
+  sim::FaultSpec spec;
+  spec.intensity = 2.0;
+  spec.seed = 7;
+  const sim::FaultPlan plan = sim::FaultPlan::generate(spec);
+  const Trace t = lsm::trace::driving1();
+  FaultedPipelineConfig config;
+  config.base = default_config(t);
+  config.base.jitter = 0.01;
+  config.base.execution_path = core::ExecutionPath::kAuto;
+  const FaultedPipelineReport fast = run_faulted_pipeline(t, config, plan);
+  config.base.execution_path = core::ExecutionPath::kReference;
+  const FaultedPipelineReport reference =
+      run_faulted_pipeline(t, config, plan);
+  expect_bitwise_equal(fast.report, reference.report, t.name().c_str());
+}
+
+TEST(FaultDifferential, ZeroIntensityCountersAreAllZero) {
+  const sim::FaultPlan plan;
+  const Trace t = lsm::trace::backyard();
+  FaultedPipelineConfig config;
+  config.base = default_config(t);
+  const FaultedPipelineReport faulted = run_faulted_pipeline(t, config, plan);
+  EXPECT_FALSE(faulted.degradation.any_fault());
+  EXPECT_EQ(faulted.degradation.recovery_latency.count(), 0u);
+  EXPECT_DOUBLE_EQ(faulted.degradation.worst_delay_excess, 0.0);
+}
+
+TEST(FaultDifferential, RelaxationModeIsInertWithoutFaults) {
+  // kRateRelaxation only engages when the channel falls behind the plan;
+  // on an ideal channel it must not perturb anything.
+  const sim::FaultPlan plan;
+  const Trace t = lsm::trace::tennis();
+  const PipelineConfig base_config = default_config(t);
+  const PipelineReport base = run_live_pipeline(t, base_config);
+  FaultedPipelineConfig config;
+  config.base = base_config;
+  config.recovery.mode = DegradationMode::kRateRelaxation;
+  config.recovery.relax_factor = 2.0;
+  const FaultedPipelineReport faulted = run_faulted_pipeline(t, config, plan);
+  expect_bitwise_equal(faulted.report, base, t.name().c_str());
+  EXPECT_FALSE(faulted.degradation.any_fault());
+}
+
+}  // namespace
+}  // namespace lsm::net

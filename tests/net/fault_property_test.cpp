@@ -1,0 +1,294 @@
+// Property suite for the fault-injection pipeline: invariants that must
+// survive arbitrary (seeded) fault plans across a grid of smoother
+// parameters — delivery monotonicity, counter/plan consistency, seed
+// determinism, and the tolerance-envelope no-underflow guarantee.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "net/transport.h"
+#include "trace/sequences.h"
+
+namespace lsm::net {
+namespace {
+
+using lsm::trace::Trace;
+
+struct GridPoint {
+  int K;
+  int H;
+  double D;
+  std::uint64_t seed;
+  double intensity;
+};
+
+std::vector<GridPoint> grid() {
+  std::vector<GridPoint> points;
+  for (const std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    for (const int K : {1, 2}) {
+      for (const double D : {0.2, 0.35}) {
+        for (const double intensity : {0.5, 2.0}) {
+          points.push_back(GridPoint{K, 9, D, seed, intensity});
+        }
+      }
+    }
+  }
+  return points;
+}
+
+FaultedPipelineConfig config_for(const Trace& trace, const GridPoint& p) {
+  FaultedPipelineConfig config;
+  config.base.params.tau = trace.tau();
+  config.base.params.D = p.D;
+  config.base.params.K = p.K;
+  config.base.params.H = p.H;
+  config.base.network_latency = 0.010;
+  config.base.jitter = 0.01;
+  return config;
+}
+
+sim::FaultPlan plan_for(const Trace& trace, const GridPoint& p) {
+  sim::FaultSpec spec;
+  spec.horizon = trace.duration();
+  spec.intensity = p.intensity;
+  spec.seed = p.seed;
+  return sim::FaultPlan::generate(spec);
+}
+
+TEST(FaultProperty, DeliveriesStayMonotoneUnderFaults) {
+  const Trace t = lsm::trace::driving1();
+  for (const GridPoint& p : grid()) {
+    const FaultedPipelineReport out =
+        run_faulted_pipeline(t, config_for(t, p), plan_for(t, p));
+    ASSERT_EQ(out.report.deliveries.size(),
+              static_cast<std::size_t>(t.picture_count()));
+    for (std::size_t k = 0; k < out.report.deliveries.size(); ++k) {
+      const PictureDelivery& d = out.report.deliveries[k];
+      EXPECT_EQ(d.index, static_cast<int>(k) + 1);
+      // The channel is serial: starts and departures never go backwards,
+      // and reception is causal.
+      EXPECT_LE(d.sender_start, d.sender_done);
+      EXPECT_GE(d.received, d.sender_done);
+      if (k > 0) {
+        const PictureDelivery& prev = out.report.deliveries[k - 1];
+        EXPECT_GE(d.sender_start, prev.sender_done - 1e-12);
+        EXPECT_GE(d.deadline, prev.deadline);
+      }
+    }
+  }
+}
+
+TEST(FaultProperty, IdenticalSeedsProduceBitwiseIdenticalReports) {
+  const Trace t = lsm::trace::backyard();
+  for (const GridPoint& p : grid()) {
+    const FaultedPipelineConfig config = config_for(t, p);
+    const sim::FaultPlan plan = plan_for(t, p);
+    const FaultedPipelineReport a = run_faulted_pipeline(t, config, plan);
+    const FaultedPipelineReport b = run_faulted_pipeline(t, config, plan);
+    ASSERT_EQ(a.report.deliveries.size(), b.report.deliveries.size());
+    for (std::size_t k = 0; k < a.report.deliveries.size(); ++k) {
+      ASSERT_EQ(a.report.deliveries[k].sender_start,
+                b.report.deliveries[k].sender_start);
+      ASSERT_EQ(a.report.deliveries[k].sender_done,
+                b.report.deliveries[k].sender_done);
+      ASSERT_EQ(a.report.deliveries[k].received,
+                b.report.deliveries[k].received);
+    }
+    EXPECT_EQ(a.report.underflows, b.report.underflows);
+    EXPECT_EQ(a.report.worst_delay_excess, b.report.worst_delay_excess);
+    EXPECT_EQ(a.degradation.denials, b.degradation.denials);
+    EXPECT_EQ(a.degradation.retries, b.degradation.retries);
+    EXPECT_EQ(a.degradation.recovery_latency.count(),
+              b.degradation.recovery_latency.count());
+    EXPECT_EQ(a.degradation.to_json(), b.degradation.to_json());
+  }
+}
+
+TEST(FaultProperty, InjectedCountersMatchThePlan) {
+  const Trace t = lsm::trace::driving2();
+  for (const GridPoint& p : grid()) {
+    const sim::FaultPlan plan = plan_for(t, p);
+    const FaultedPipelineReport out =
+        run_faulted_pipeline(t, config_for(t, p), plan);
+    EXPECT_EQ(out.degradation.fades_injected,
+              static_cast<std::uint64_t>(
+                  plan.count(sim::FaultClass::kChannelFade)));
+    EXPECT_EQ(out.degradation.losses_injected,
+              static_cast<std::uint64_t>(
+                  plan.count(sim::FaultClass::kBurstLoss)));
+    EXPECT_EQ(out.degradation.stalls_injected,
+              static_cast<std::uint64_t>(
+                  plan.count(sim::FaultClass::kEncoderStall)));
+    EXPECT_EQ(out.degradation.denial_windows_injected,
+              static_cast<std::uint64_t>(
+                  plan.count(sim::FaultClass::kRenegotiationDenial)));
+  }
+}
+
+TEST(FaultProperty, ObservedEffectCountersAreConsistent) {
+  const Trace t = lsm::trace::tennis();
+  for (const GridPoint& p : grid()) {
+    const FaultedPipelineReport out =
+        run_faulted_pipeline(t, config_for(t, p), plan_for(t, p));
+    const std::uint64_t pictures =
+        static_cast<std::uint64_t>(out.report.deliveries.size());
+    EXPECT_LE(out.degradation.pictures_faded, pictures);
+    EXPECT_LE(out.degradation.pictures_retransmitted, pictures);
+    EXPECT_LE(out.degradation.pictures_stalled, pictures);
+    EXPECT_LE(out.degradation.late_pictures, pictures);
+    // Lateness bookkeeping matches the delivery records exactly.
+    std::uint64_t late = 0;
+    for (const PictureDelivery& d : out.report.deliveries) {
+      late += d.late ? 1 : 0;
+    }
+    EXPECT_EQ(out.degradation.late_pictures, late);
+    EXPECT_EQ(out.report.underflows, static_cast<int>(late));
+    EXPECT_GE(out.degradation.retransmitted_bits, 0.0);
+    if (out.degradation.pictures_retransmitted > 0) {
+      EXPECT_GT(out.degradation.retransmitted_bits, 0.0);
+    }
+  }
+}
+
+TEST(FaultProperty, WorstDelayExcessMatchesDeliveries) {
+  const Trace t = lsm::trace::driving1();
+  for (const GridPoint& p : grid()) {
+    const FaultedPipelineConfig config = config_for(t, p);
+    const FaultedPipelineReport out =
+        run_faulted_pipeline(t, config, plan_for(t, p));
+    double worst = 0.0;
+    for (const PictureDelivery& d : out.report.deliveries) {
+      const double delay =
+          d.sender_done - (d.index - 1) * config.base.params.tau;
+      worst = std::max(worst, std::max(0.0, delay - config.base.params.D));
+    }
+    EXPECT_NEAR(out.report.worst_delay_excess, worst, 1e-9);
+    EXPECT_EQ(out.degradation.worst_delay_excess,
+              out.report.worst_delay_excess);
+  }
+}
+
+TEST(FaultProperty, OffsetCoveringWorstExcessEliminatesUnderflow) {
+  // The declared tolerance envelope: a playout offset of
+  // D + latency + jitter + worst_delay_excess covers every fault the plan
+  // injected, so a rerun with that offset never underflows.
+  const Trace t = lsm::trace::backyard();
+  for (const GridPoint& p : grid()) {
+    FaultedPipelineConfig config = config_for(t, p);
+    const sim::FaultPlan plan = plan_for(t, p);
+    const FaultedPipelineReport first = run_faulted_pipeline(t, config, plan);
+    config.base.playout_offset =
+        config.base.params.D + config.base.network_latency +
+        config.base.jitter + first.report.worst_delay_excess + 1e-6;
+    const FaultedPipelineReport covered =
+        run_faulted_pipeline(t, config, plan);
+    EXPECT_EQ(covered.report.underflows, 0)
+        << "seed " << p.seed << " intensity " << p.intensity;
+  }
+}
+
+TEST(FaultProperty, WithinEnvelopeFaultsKeepTheAutoOffsetClean) {
+  // Faults small enough to stay inside the Theorem 1 slack — a stall
+  // shorter than the headroom added on top of the auto offset — must not
+  // underflow.
+  const Trace t = lsm::trace::driving1();
+  std::vector<sim::FaultEvent> events;
+  sim::FaultEvent stall;
+  stall.cls = sim::FaultClass::kEncoderStall;
+  stall.start = 2.0;
+  stall.duration = 1.0;
+  stall.magnitude = 0.015;
+  events.push_back(stall);
+  const sim::FaultPlan plan(std::move(events));
+  FaultedPipelineConfig config;
+  config.base.params.tau = t.tau();
+  config.base.params.D = 0.2;
+  config.base.params.K = 1;
+  config.base.params.H = 9;
+  config.base.network_latency = 0.010;
+  // Headroom 0.02 s > the 0.015 s stall.
+  config.base.playout_offset = 0.2 + 0.010 + 0.02;
+  const FaultedPipelineReport out = run_faulted_pipeline(t, config, plan);
+  EXPECT_EQ(out.report.underflows, 0);
+  EXPECT_LE(out.report.worst_delay_excess, 0.015 + 1e-9);
+  EXPECT_GE(out.degradation.pictures_stalled, 1u);
+}
+
+TEST(FaultProperty, RelaxFactorOneEqualsLatePictureMode) {
+  // relax_factor == 1 makes kRateRelaxation request exactly the planned
+  // rates, so the two degradation modes must coincide bitwise.
+  const Trace t = lsm::trace::driving2();
+  for (const std::uint64_t seed : {11ull, 12ull}) {
+    sim::FaultSpec spec;
+    spec.horizon = t.duration();
+    spec.intensity = 2.0;
+    spec.seed = seed;
+    const sim::FaultPlan plan = sim::FaultPlan::generate(spec);
+    FaultedPipelineConfig config;
+    config.base.params.tau = t.tau();
+    config.base.params.H = 6;
+    config.recovery.mode = DegradationMode::kLatePicture;
+    const FaultedPipelineReport late = run_faulted_pipeline(t, config, plan);
+    config.recovery.mode = DegradationMode::kRateRelaxation;
+    config.recovery.relax_factor = 1.0;
+    const FaultedPipelineReport relaxed =
+        run_faulted_pipeline(t, config, plan);
+    ASSERT_EQ(late.report.deliveries.size(),
+              relaxed.report.deliveries.size());
+    for (std::size_t k = 0; k < late.report.deliveries.size(); ++k) {
+      ASSERT_EQ(late.report.deliveries[k].sender_done,
+                relaxed.report.deliveries[k].sender_done);
+    }
+    EXPECT_EQ(late.degradation.rate_relaxations, 0u);
+    EXPECT_EQ(relaxed.degradation.rate_relaxations, 0u);
+  }
+}
+
+TEST(FaultProperty, RetriesAreBoundedByPolicy) {
+  const Trace t = lsm::trace::tennis();
+  for (const GridPoint& p : grid()) {
+    FaultedPipelineConfig config = config_for(t, p);
+    config.recovery.retry.max_retries = 2;
+    const FaultedPipelineReport out =
+        run_faulted_pipeline(t, config, plan_for(t, p));
+    // Each picture issues at most one renegotiation request, each request
+    // at most max_retries retries (and one extra terminal denial).
+    const std::uint64_t pictures =
+        static_cast<std::uint64_t>(out.report.deliveries.size());
+    EXPECT_LE(out.degradation.retries,
+              pictures * static_cast<std::uint64_t>(
+                             config.recovery.retry.max_retries));
+    EXPECT_LE(out.degradation.denials,
+              pictures * static_cast<std::uint64_t>(
+                             config.recovery.retry.max_retries + 1));
+    EXPECT_LE(out.degradation.giveups, pictures);
+  }
+}
+
+TEST(FaultProperty, RecoveryLatencyHistogramTracksGrants) {
+  // Denial-heavy plan: grants that waited must land in the histogram.
+  const Trace t = lsm::trace::driving1();
+  sim::FaultSpec spec;
+  spec.horizon = t.duration();
+  spec.intensity = 3.0;
+  spec.seed = 21;
+  spec.fade_rate = 0.0;
+  spec.loss_rate = 0.0;
+  spec.stall_rate = 0.0;
+  spec.denial_rate = 6.0;
+  const sim::FaultPlan plan = sim::FaultPlan::generate(spec);
+  ASSERT_GT(plan.count(sim::FaultClass::kRenegotiationDenial), 0);
+  FaultedPipelineConfig config;
+  config.base.params.tau = t.tau();
+  const FaultedPipelineReport out = run_faulted_pipeline(t, config, plan);
+  if (out.degradation.denials > 0) {
+    EXPECT_GE(out.degradation.retries + out.degradation.giveups, 1u);
+  }
+  if (out.degradation.recovery_latency.count() > 0) {
+    EXPECT_GT(out.degradation.recovery_latency.max_seconds(), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace lsm::net

@@ -1,0 +1,275 @@
+// Fuzz-style robustness tests: random schedules x random policies x random
+// denial plans, all drawn from sim::Rng so every failure is reproducible
+// from the seed. Invariants: plan_reservation always covers demand,
+// faulted replays never leave a covered span short after a grant, retries
+// are bounded (no spinning), and invalid policies throw cleanly.
+#include "net/recovery.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "core/schedule.h"
+#include "sim/rng.h"
+
+namespace lsm::net {
+namespace {
+
+/// Random piecewise-constant demand r(t): contiguous segments, rates in
+/// [0.1, 10] Mb/s, spans in [0.05, 0.8] s.
+core::RateSchedule random_schedule(sim::Rng& rng) {
+  std::vector<core::RateSegment> segments;
+  double t = 0.0;
+  const int n = static_cast<int>(rng.uniform_int(3, 20));
+  for (int k = 0; k < n; ++k) {
+    const double span = rng.uniform(0.05, 0.8);
+    segments.push_back(
+        core::RateSegment{t, t + span, rng.uniform(0.1e6, 10e6)});
+    t += span;
+  }
+  return core::RateSchedule(std::move(segments));
+}
+
+RenegotiationPolicy random_policy(sim::Rng& rng) {
+  RenegotiationPolicy policy;
+  policy.min_hold = rng.uniform(0.05, 1.5);
+  policy.headroom = rng.uniform(1.0, 1.5);
+  policy.release_threshold = rng.uniform(0.0, 1.0);
+  return policy;
+}
+
+RetryPolicy random_retry(sim::Rng& rng) {
+  RetryPolicy retry;
+  retry.max_retries = static_cast<int>(rng.uniform_int(0, 6));
+  retry.base_backoff = rng.uniform(0.01, 0.2);
+  retry.backoff_multiplier = rng.uniform(1.0, 3.0);
+  retry.max_backoff = retry.base_backoff + rng.uniform(0.0, 1.0);
+  return retry;
+}
+
+sim::FaultPlan random_denials(sim::Rng& rng, double horizon) {
+  std::vector<sim::FaultEvent> events;
+  const int n = static_cast<int>(rng.uniform_int(0, 6));
+  for (int k = 0; k < n; ++k) {
+    sim::FaultEvent event;
+    event.cls = sim::FaultClass::kRenegotiationDenial;
+    event.start = rng.uniform(0.0, horizon);
+    event.duration = rng.uniform(0.05, horizon / 2.0);
+    events.push_back(event);
+  }
+  return sim::FaultPlan(std::move(events));
+}
+
+/// Max over combined-breakpoint midpoints of r(t) - R(t).
+double max_gap(const core::RateSchedule& demand,
+               const core::RateSchedule& reserved, double from, double to) {
+  std::vector<double> edges = demand.breakpoints();
+  for (const double edge : reserved.breakpoints()) edges.push_back(edge);
+  edges.push_back(from);
+  edges.push_back(to);
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  double gap = 0.0;
+  for (std::size_t k = 0; k + 1 < edges.size(); ++k) {
+    if (edges[k] < from || edges[k + 1] > to) continue;
+    const double mid = 0.5 * (edges[k] + edges[k + 1]);
+    gap = std::max(gap, demand.rate_at(mid) - reserved.rate_at(mid));
+  }
+  return gap;
+}
+
+TEST(RecoveryFuzz, PlanReservationAlwaysCoversDemand) {
+  sim::Rng rng(1001);
+  for (int iteration = 0; iteration < 100; ++iteration) {
+    const core::RateSchedule schedule = random_schedule(rng);
+    const RenegotiationPolicy policy = random_policy(rng);
+    const ReservationResult result = plan_reservation(schedule, policy);
+    EXPECT_LE(max_gap(schedule, result.reservation, schedule.start_time(),
+                      schedule.end_time()),
+              1e-6)
+        << "iteration " << iteration;
+    EXPECT_GE(result.renegotiations, 0);
+  }
+}
+
+TEST(RecoveryFuzz, FaultedReplayNeverShortAfterAGrant) {
+  sim::Rng rng(2002);
+  for (int iteration = 0; iteration < 100; ++iteration) {
+    const core::RateSchedule schedule = random_schedule(rng);
+    const RenegotiationPolicy policy = random_policy(rng);
+    const RetryPolicy retry = random_retry(rng);
+    const sim::FaultPlan plan = random_denials(rng, schedule.end_time());
+    const FaultedReservationResult result =
+        plan_reservation_faulted(schedule, policy, retry, plan);
+    // After every honored grant, the reservation covers demand until the
+    // next request instant (the end of the grant's ideal segment).
+    const ReservationResult ideal_result = plan_reservation(schedule, policy);
+    const std::vector<core::RateSegment>& ideal =
+        ideal_result.reservation.segments();
+    ASSERT_EQ(result.grants.size(), ideal.size());
+    for (std::size_t k = 0; k < result.grants.size(); ++k) {
+      const GrantRecord& grant = result.grants[k];
+      if (grant.gave_up) continue;
+      EXPECT_LE(max_gap(schedule, result.reservation, grant.grant_time,
+                        ideal[k].end),
+                1e-6)
+          << "iteration " << iteration << " grant " << k;
+    }
+  }
+}
+
+TEST(RecoveryFuzz, RetriesAreBoundedNoSpinning) {
+  sim::Rng rng(3003);
+  for (int iteration = 0; iteration < 100; ++iteration) {
+    const core::RateSchedule schedule = random_schedule(rng);
+    const RenegotiationPolicy policy = random_policy(rng);
+    const RetryPolicy retry = random_retry(rng);
+    const sim::FaultPlan plan = random_denials(rng, schedule.end_time());
+    const FaultedReservationResult result =
+        plan_reservation_faulted(schedule, policy, retry, plan);
+    const int requests = static_cast<int>(result.grants.size());
+    EXPECT_LE(result.retries, requests * retry.max_retries);
+    EXPECT_LE(result.denials, requests * (retry.max_retries + 1));
+    EXPECT_LE(result.giveups, requests);
+    for (const GrantRecord& grant : result.grants) {
+      EXPECT_LE(grant.denied_attempts, retry.max_retries + 1);
+      EXPECT_GE(grant.grant_time, grant.request_time);
+    }
+  }
+}
+
+TEST(RecoveryFuzz, ZeroDenialReplayMatchesIdealPlanExactly) {
+  sim::Rng rng(4004);
+  const sim::FaultPlan empty;
+  for (int iteration = 0; iteration < 50; ++iteration) {
+    const core::RateSchedule schedule = random_schedule(rng);
+    const RenegotiationPolicy policy = random_policy(rng);
+    const ReservationResult ideal = plan_reservation(schedule, policy);
+    const FaultedReservationResult faulted =
+        plan_reservation_faulted(schedule, policy, RetryPolicy{}, empty);
+    const std::vector<core::RateSegment>& a = ideal.reservation.segments();
+    const std::vector<core::RateSegment>& b =
+        faulted.reservation.segments();
+    ASSERT_EQ(a.size(), b.size()) << "iteration " << iteration;
+    for (std::size_t k = 0; k < a.size(); ++k) {
+      ASSERT_EQ(a[k].begin, b[k].begin);
+      ASSERT_EQ(a[k].end, b[k].end);
+      ASSERT_EQ(a[k].rate, b[k].rate);
+    }
+    EXPECT_EQ(faulted.renegotiations, ideal.renegotiations);
+    EXPECT_EQ(faulted.denials, 0);
+    EXPECT_EQ(faulted.retries, 0);
+    EXPECT_EQ(faulted.giveups, 0);
+    EXPECT_DOUBLE_EQ(faulted.over_reservation, ideal.over_reservation);
+    EXPECT_DOUBLE_EQ(faulted.max_shortfall, 0.0);
+  }
+}
+
+TEST(RecoveryFuzz, DeterministicForIdenticalInputs) {
+  sim::Rng rng(5005);
+  const core::RateSchedule schedule = random_schedule(rng);
+  const RenegotiationPolicy policy = random_policy(rng);
+  const RetryPolicy retry = random_retry(rng);
+  const sim::FaultPlan plan = random_denials(rng, schedule.end_time());
+  const FaultedReservationResult a =
+      plan_reservation_faulted(schedule, policy, retry, plan);
+  const FaultedReservationResult b =
+      plan_reservation_faulted(schedule, policy, retry, plan);
+  ASSERT_EQ(a.reservation.segments().size(),
+            b.reservation.segments().size());
+  for (std::size_t k = 0; k < a.reservation.segments().size(); ++k) {
+    ASSERT_EQ(a.reservation.segments()[k].rate,
+              b.reservation.segments()[k].rate);
+  }
+  EXPECT_EQ(a.denials, b.denials);
+  EXPECT_EQ(a.max_shortfall, b.max_shortfall);
+}
+
+TEST(RecoveryFuzz, GiveUpDrawsDownThePriorGrant) {
+  // A denial window swallowing a renegotiation with a tiny retry budget:
+  // the sender keeps the previous level and the shortfall is reported.
+  std::vector<core::RateSegment> demand;
+  demand.push_back(core::RateSegment{0.0, 1.0, 1e6});
+  demand.push_back(core::RateSegment{1.0, 2.0, 5e6});
+  const core::RateSchedule schedule(std::move(demand));
+  RenegotiationPolicy policy;
+  policy.min_hold = 0.5;
+  policy.headroom = 1.0;
+  policy.release_threshold = 0.0;
+  RetryPolicy retry;
+  retry.max_retries = 1;
+  retry.base_backoff = 0.05;
+  retry.max_backoff = 0.05;
+  std::vector<sim::FaultEvent> events;
+  sim::FaultEvent denial;
+  denial.cls = sim::FaultClass::kRenegotiationDenial;
+  denial.start = 0.9;
+  denial.duration = 1.5;
+  events.push_back(denial);
+  const FaultedReservationResult result = plan_reservation_faulted(
+      schedule, policy, retry, sim::FaultPlan(std::move(events)));
+  EXPECT_GE(result.giveups, 1);
+  EXPECT_GT(result.max_shortfall, 0.0);
+  // The honored reservation holds the old 1 Mb/s level through the denied
+  // span.
+  EXPECT_DOUBLE_EQ(result.reservation.rate_at(1.2), 1e6);
+}
+
+TEST(RecoveryFuzz, InvalidRetryPoliciesThrowCleanly) {
+  const sim::FaultPlan empty;
+  std::vector<core::RateSegment> demand;
+  demand.push_back(core::RateSegment{0.0, 1.0, 1e6});
+  const core::RateSchedule schedule(std::move(demand));
+  const RenegotiationPolicy policy;
+  RetryPolicy retry;
+  retry.max_retries = -1;
+  EXPECT_THROW(plan_reservation_faulted(schedule, policy, retry, empty),
+               std::invalid_argument);
+  retry = RetryPolicy{};
+  retry.base_backoff = 0.0;
+  EXPECT_THROW(plan_reservation_faulted(schedule, policy, retry, empty),
+               std::invalid_argument);
+  retry = RetryPolicy{};
+  retry.backoff_multiplier = 0.5;
+  EXPECT_THROW(plan_reservation_faulted(schedule, policy, retry, empty),
+               std::invalid_argument);
+  retry = RetryPolicy{};
+  retry.max_backoff = retry.base_backoff / 2.0;
+  EXPECT_THROW(plan_reservation_faulted(schedule, policy, retry, empty),
+               std::invalid_argument);
+}
+
+TEST(RecoveryFuzz, InvalidRecoveryPolicyThrows) {
+  RecoveryPolicy policy;
+  policy.relax_factor = 0.5;
+  EXPECT_THROW(policy.validate(), std::invalid_argument);
+  policy = RecoveryPolicy{};
+  policy.retry.max_retries = -3;
+  EXPECT_THROW(policy.validate(), std::invalid_argument);
+  policy = RecoveryPolicy{};
+  EXPECT_NO_THROW(policy.validate());
+}
+
+TEST(RecoveryFuzz, RandomInvalidRenegotiationPoliciesThrow) {
+  sim::Rng rng(6006);
+  std::vector<core::RateSegment> demand;
+  demand.push_back(core::RateSegment{0.0, 1.0, 1e6});
+  const core::RateSchedule schedule(std::move(demand));
+  for (int iteration = 0; iteration < 50; ++iteration) {
+    RenegotiationPolicy policy = random_policy(rng);
+    switch (rng.uniform_int(0, 2)) {
+      case 0: policy.min_hold = -rng.uniform(0.0, 1.0); break;
+      case 1: policy.headroom = rng.uniform(0.0, 0.99); break;
+      default: policy.release_threshold = 1.0 + rng.uniform(0.01, 1.0);
+    }
+    EXPECT_THROW(plan_reservation(schedule, policy), std::invalid_argument);
+    EXPECT_THROW(plan_reservation_faulted(schedule, policy, RetryPolicy{},
+                                          sim::FaultPlan{}),
+                 std::invalid_argument);
+  }
+}
+
+}  // namespace
+}  // namespace lsm::net

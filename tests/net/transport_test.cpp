@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <stdexcept>
 
 #include "core/smoother.h"
@@ -126,6 +127,64 @@ TEST(Pipeline, JitterIsDeterministicPerSeed) {
     }
   }
   EXPECT_TRUE(any_difference);
+}
+
+TEST(Pipeline, AutoOffsetPinsTheTheoremFormulaWithTheJitterBound) {
+  // Regression for the playout_offset = 0 auto-selection audit: the offset
+  // must be exactly D + latency + jitter where "jitter" is the declared
+  // bound of the uniform[0, jitter) component — never a sampled value, or
+  // the offset would vary run-to-run and undercover the worst draw.
+  const Trace t = lsm::trace::driving1();
+  for (const double jitter : {0.0, 0.02, 0.05}) {
+    PipelineConfig config = default_config(t);
+    config.jitter = jitter;
+    const PipelineReport a = run_live_pipeline(t, config);
+    EXPECT_DOUBLE_EQ(a.playout_offset,
+                     config.params.D + config.network_latency + jitter);
+    // The formula is a function of the config alone: a different jitter
+    // seed draws different samples but the same offset.
+    config.jitter_seed = 99;
+    const PipelineReport b = run_live_pipeline(t, config);
+    EXPECT_DOUBLE_EQ(b.playout_offset, a.playout_offset);
+    EXPECT_EQ(b.underflows, 0);
+  }
+}
+
+TEST(Pipeline, RejectsNegativeAndNonFinitePlayoutOffset) {
+  const Trace t = lsm::trace::backyard();
+  PipelineConfig config = default_config(t);
+  config.playout_offset = -0.1;
+  EXPECT_THROW(run_live_pipeline(t, config), std::invalid_argument);
+  config.playout_offset = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(run_live_pipeline(t, config), std::invalid_argument);
+  config.playout_offset = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(run_live_pipeline(t, config), std::invalid_argument);
+}
+
+TEST(Pipeline, WorstDelayExcessIsZeroInsideTheoremRegime) {
+  for (const Trace& t : lsm::trace::paper_sequences()) {
+    const PipelineConfig config = default_config(t);
+    ASSERT_TRUE(config.params.guarantees_delay_bound());
+    const PipelineReport report = run_live_pipeline(t, config);
+    EXPECT_DOUBLE_EQ(report.worst_delay_excess, 0.0) << t.name();
+    EXPECT_LE(report.max_sender_delay, config.params.D + 1e-9) << t.name();
+  }
+}
+
+TEST(Pipeline, ReferenceExecutionPathMatchesFastPath) {
+  const Trace t = lsm::trace::driving2();
+  PipelineConfig config = default_config(t);
+  config.jitter = 0.01;
+  const PipelineReport fast = run_live_pipeline(t, config);
+  config.execution_path = core::ExecutionPath::kReference;
+  const PipelineReport reference = run_live_pipeline(t, config);
+  ASSERT_EQ(fast.deliveries.size(), reference.deliveries.size());
+  for (std::size_t k = 0; k < fast.deliveries.size(); ++k) {
+    ASSERT_DOUBLE_EQ(fast.deliveries[k].sender_done,
+                     reference.deliveries[k].sender_done);
+    ASSERT_DOUBLE_EQ(fast.deliveries[k].received,
+                     reference.deliveries[k].received);
+  }
 }
 
 TEST(Pipeline, RejectsBadConfig) {

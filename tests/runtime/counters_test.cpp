@@ -79,6 +79,95 @@ TEST(PerfRegistry, JsonReportHasTotalsWorkersAndDerivedCost) {
   EXPECT_NE(json.find("\"external\""), std::string::npos);
 }
 
+TEST(LatencyHistogram, BucketsByPowerOfTwoMilliseconds) {
+  LatencyHistogram histogram;
+  histogram.add(0.0005);  // < 1 ms -> bucket 0
+  histogram.add(0.0015);  // < 2 ms -> bucket 1
+  histogram.add(0.1);     // < 128 ms -> bucket 7
+  histogram.add(100.0);   // overflow -> last bucket
+  EXPECT_EQ(histogram.count(), 4u);
+  EXPECT_EQ(histogram.bucket(0), 1u);
+  EXPECT_EQ(histogram.bucket(1), 1u);
+  EXPECT_EQ(histogram.bucket(7), 1u);
+  EXPECT_EQ(histogram.bucket(LatencyHistogram::kBuckets - 1), 1u);
+  EXPECT_DOUBLE_EQ(histogram.max_seconds(), 100.0);
+}
+
+TEST(LatencyHistogram, ClampsNegativeAndMergesExactly) {
+  LatencyHistogram a;
+  a.add(-1.0);  // clamped to 0 -> bucket 0
+  a.add(0.01);
+  LatencyHistogram b;
+  b.add(0.01);
+  b.add(3.0);
+  a += b;
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_EQ(a.bucket(0), 1u);
+  EXPECT_DOUBLE_EQ(a.max_seconds(), 3.0);
+}
+
+TEST(LatencyHistogram, JsonShape) {
+  LatencyHistogram histogram;
+  histogram.add(0.002);
+  const std::string json = histogram.to_json();
+  EXPECT_NE(json.find("\"count\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"max_s\": 0.002000"), std::string::npos);
+  EXPECT_NE(json.find("\"buckets\": ["), std::string::npos);
+}
+
+TEST(DegradationCounters, StartEmptyAndDetectAnyFault) {
+  DegradationCounters counters;
+  EXPECT_FALSE(counters.any_fault());
+  counters.denials = 1;
+  EXPECT_TRUE(counters.any_fault());
+  counters = DegradationCounters{};
+  counters.worst_delay_excess = 0.01;
+  EXPECT_TRUE(counters.any_fault());
+  counters = DegradationCounters{};
+  counters.recovery_latency.add(0.05);
+  EXPECT_TRUE(counters.any_fault());
+}
+
+TEST(DegradationCounters, AggregationSumsCountsAndMaxesExcess) {
+  DegradationCounters a;
+  a.fades_injected = 2;
+  a.late_pictures = 3;
+  a.retransmitted_bits = 1000.0;
+  a.worst_delay_excess = 0.02;
+  a.recovery_latency.add(0.01);
+  DegradationCounters b;
+  b.fades_injected = 1;
+  b.giveups = 4;
+  b.worst_delay_excess = 0.05;
+  b.recovery_latency.add(0.02);
+  a += b;
+  EXPECT_EQ(a.fades_injected, 3u);
+  EXPECT_EQ(a.late_pictures, 3u);
+  EXPECT_EQ(a.giveups, 4u);
+  EXPECT_DOUBLE_EQ(a.retransmitted_bits, 1000.0);
+  EXPECT_DOUBLE_EQ(a.worst_delay_excess, 0.05);  // max, not sum
+  EXPECT_EQ(a.recovery_latency.count(), 2u);
+}
+
+TEST(DegradationCounters, JsonCarriesEveryFaultClassAndHistogram) {
+  DegradationCounters counters;
+  counters.fades_injected = 1;
+  counters.losses_injected = 2;
+  counters.stalls_injected = 3;
+  counters.denial_windows_injected = 4;
+  counters.late_pictures = 5;
+  counters.recovery_latency.add(0.1);
+  const std::string json = counters.to_json();
+  EXPECT_NE(json.find("\"fades_injected\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"losses_injected\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"stalls_injected\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"denial_windows_injected\": 4"), std::string::npos);
+  EXPECT_NE(json.find("\"late_pictures\": 5"), std::string::npos);
+  EXPECT_NE(json.find("\"recovery_latency\": {"), std::string::npos);
+  EXPECT_NE(json.find("\"worst_delay_excess\": 0.000000"),
+            std::string::npos);
+}
+
 TEST(Clocks, MonotoneAndNonNegative) {
   const std::uint64_t a = wall_clock_ns();
   const std::uint64_t b = wall_clock_ns();

@@ -1,0 +1,212 @@
+#include "sim/fault.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace lsm::sim {
+namespace {
+
+FaultEvent make_event(FaultClass cls, double start, double duration,
+                      double magnitude) {
+  FaultEvent event;
+  event.cls = cls;
+  event.start = start;
+  event.duration = duration;
+  event.magnitude = magnitude;
+  return event;
+}
+
+TEST(FaultPlan, DefaultIsEmptyAndIdeal) {
+  const FaultPlan plan;
+  EXPECT_TRUE(plan.empty());
+  EXPECT_DOUBLE_EQ(plan.fade_factor_at(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(plan.loss_fraction_at(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(plan.stall_delay_at(1.0), 0.0);
+  EXPECT_FALSE(plan.denial_active(1.0));
+  EXPECT_TRUE(plan.fade_breakpoints(0.0, 100.0).empty());
+}
+
+TEST(FaultPlan, ZeroIntensityGeneratesNoEvents) {
+  FaultSpec spec;
+  spec.intensity = 0.0;
+  const FaultPlan plan = FaultPlan::generate(spec);
+  EXPECT_TRUE(plan.empty());
+}
+
+TEST(FaultPlan, GenerationIsDeterministicPerSeed) {
+  FaultSpec spec;
+  spec.seed = 42;
+  spec.intensity = 2.0;
+  const FaultPlan a = FaultPlan::generate(spec);
+  const FaultPlan b = FaultPlan::generate(spec);
+  ASSERT_EQ(a.events().size(), b.events().size());
+  for (std::size_t k = 0; k < a.events().size(); ++k) {
+    EXPECT_EQ(a.events()[k].cls, b.events()[k].cls);
+    EXPECT_DOUBLE_EQ(a.events()[k].start, b.events()[k].start);
+    EXPECT_DOUBLE_EQ(a.events()[k].duration, b.events()[k].duration);
+    EXPECT_DOUBLE_EQ(a.events()[k].magnitude, b.events()[k].magnitude);
+  }
+  spec.seed = 43;
+  const FaultPlan c = FaultPlan::generate(spec);
+  bool any_difference = a.events().size() != c.events().size();
+  for (std::size_t k = 0;
+       !any_difference && k < a.events().size() && k < c.events().size();
+       ++k) {
+    any_difference = a.events()[k].start != c.events()[k].start;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(FaultPlan, IntensityScalesEventCount) {
+  // With a single class enabled, the same seed's inter-arrival draws scale
+  // by 1/intensity, so the count is monotone in intensity.
+  FaultSpec spec;
+  spec.loss_rate = 0.0;
+  spec.stall_rate = 0.0;
+  spec.denial_rate = 0.0;
+  spec.fade_rate = 8.0;
+  spec.horizon = 50.0;
+  spec.intensity = 1.0;
+  const int at_one =
+      static_cast<int>(FaultPlan::generate(spec).events().size());
+  spec.intensity = 4.0;
+  const int at_four =
+      static_cast<int>(FaultPlan::generate(spec).events().size());
+  EXPECT_GT(at_one, 0);
+  EXPECT_GT(at_four, at_one);
+}
+
+TEST(FaultPlan, GeneratedMagnitudesStayInClassRanges) {
+  FaultSpec spec;
+  spec.intensity = 4.0;
+  spec.horizon = 30.0;
+  const FaultPlan plan = FaultPlan::generate(spec);
+  ASSERT_FALSE(plan.empty());
+  for (const FaultEvent& event : plan.events()) {
+    EXPECT_GE(event.start, 0.0);
+    EXPECT_GT(event.duration, 0.0);
+    switch (event.cls) {
+      case FaultClass::kChannelFade:
+        EXPECT_GT(event.magnitude, 0.0);
+        EXPECT_LE(event.magnitude, 1.0);
+        break;
+      case FaultClass::kBurstLoss:
+        EXPECT_GE(event.magnitude, 0.0);
+        EXPECT_LE(event.magnitude, 0.9);
+        break;
+      case FaultClass::kEncoderStall:
+        EXPECT_GT(event.magnitude, 0.0);
+        break;
+      case FaultClass::kRenegotiationDenial:
+        EXPECT_DOUBLE_EQ(event.magnitude, 0.0);
+        break;
+    }
+  }
+}
+
+TEST(FaultPlan, QueriesReflectExplicitEvents) {
+  const FaultPlan plan(std::vector<FaultEvent>{
+      make_event(FaultClass::kChannelFade, 1.0, 2.0, 0.5),
+      make_event(FaultClass::kBurstLoss, 2.0, 1.0, 0.2),
+      make_event(FaultClass::kEncoderStall, 4.0, 0.5, 0.03),
+      make_event(FaultClass::kRenegotiationDenial, 5.0, 1.0, 0.0),
+  });
+  EXPECT_DOUBLE_EQ(plan.fade_factor_at(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(plan.fade_factor_at(1.5), 0.5);
+  EXPECT_DOUBLE_EQ(plan.fade_factor_at(3.0), 1.0);  // half-open window
+  EXPECT_DOUBLE_EQ(plan.loss_fraction_at(2.5), 0.2);
+  EXPECT_DOUBLE_EQ(plan.loss_fraction_at(3.5), 0.0);
+  EXPECT_DOUBLE_EQ(plan.stall_delay_at(4.2), 0.03);
+  EXPECT_TRUE(plan.denial_active(5.5));
+  EXPECT_FALSE(plan.denial_active(6.5));
+}
+
+TEST(FaultPlan, OverlappingFadesComposeByMinStallsByMax) {
+  const FaultPlan plan(std::vector<FaultEvent>{
+      make_event(FaultClass::kChannelFade, 0.0, 4.0, 0.8),
+      make_event(FaultClass::kChannelFade, 1.0, 1.0, 0.3),
+      make_event(FaultClass::kEncoderStall, 0.0, 4.0, 0.02),
+      make_event(FaultClass::kEncoderStall, 1.0, 1.0, 0.05),
+  });
+  EXPECT_DOUBLE_EQ(plan.fade_factor_at(0.5), 0.8);
+  EXPECT_DOUBLE_EQ(plan.fade_factor_at(1.5), 0.3);
+  EXPECT_DOUBLE_EQ(plan.stall_delay_at(0.5), 0.02);
+  EXPECT_DOUBLE_EQ(plan.stall_delay_at(1.5), 0.05);
+}
+
+TEST(FaultPlan, FadeBreakpointsAreSortedUniqueAndInterior) {
+  const FaultPlan plan(std::vector<FaultEvent>{
+      make_event(FaultClass::kChannelFade, 1.0, 1.0, 0.5),
+      make_event(FaultClass::kChannelFade, 2.0, 1.0, 0.5),
+      make_event(FaultClass::kBurstLoss, 2.5, 1.0, 0.1),
+  });
+  // Edges at 1, 2 (shared), 3; only fade edges strictly inside (0.5, 2.5).
+  const std::vector<double> edges = plan.fade_breakpoints(0.5, 2.5);
+  ASSERT_EQ(edges.size(), 2u);
+  EXPECT_DOUBLE_EQ(edges[0], 1.0);
+  EXPECT_DOUBLE_EQ(edges[1], 2.0);
+}
+
+TEST(FaultPlan, CountByClass) {
+  const FaultPlan plan(std::vector<FaultEvent>{
+      make_event(FaultClass::kChannelFade, 0.0, 1.0, 0.5),
+      make_event(FaultClass::kChannelFade, 2.0, 1.0, 0.5),
+      make_event(FaultClass::kRenegotiationDenial, 0.0, 1.0, 0.0),
+  });
+  EXPECT_EQ(plan.count(FaultClass::kChannelFade), 2);
+  EXPECT_EQ(plan.count(FaultClass::kRenegotiationDenial), 1);
+  EXPECT_EQ(plan.count(FaultClass::kBurstLoss), 0);
+  EXPECT_EQ(plan.count(FaultClass::kEncoderStall), 0);
+}
+
+TEST(FaultPlan, RejectsMalformedEvents) {
+  EXPECT_THROW(FaultPlan(std::vector<FaultEvent>{
+                   make_event(FaultClass::kChannelFade, -1.0, 1.0, 0.5)}),
+               std::invalid_argument);
+  EXPECT_THROW(FaultPlan(std::vector<FaultEvent>{
+                   make_event(FaultClass::kChannelFade, 0.0, 0.0, 0.5)}),
+               std::invalid_argument);
+  EXPECT_THROW(FaultPlan(std::vector<FaultEvent>{
+                   make_event(FaultClass::kChannelFade, 0.0, 1.0, 0.0)}),
+               std::invalid_argument);
+  EXPECT_THROW(FaultPlan(std::vector<FaultEvent>{
+                   make_event(FaultClass::kBurstLoss, 0.0, 1.0, 0.95)}),
+               std::invalid_argument);
+  EXPECT_THROW(FaultPlan(std::vector<FaultEvent>{
+                   make_event(FaultClass::kEncoderStall, 0.0, 1.0, -0.1)}),
+               std::invalid_argument);
+}
+
+TEST(FaultPlan, RejectsBadSpec) {
+  FaultSpec spec;
+  spec.horizon = 0.0;
+  EXPECT_THROW(FaultPlan::generate(spec), std::invalid_argument);
+  spec = FaultSpec{};
+  spec.intensity = -1.0;
+  EXPECT_THROW(FaultPlan::generate(spec), std::invalid_argument);
+  spec = FaultSpec{};
+  spec.fade_min_factor = 0.0;
+  EXPECT_THROW(FaultPlan::generate(spec), std::invalid_argument);
+  spec = FaultSpec{};
+  spec.loss_max_fraction = 0.95;
+  EXPECT_THROW(FaultPlan::generate(spec), std::invalid_argument);
+  spec = FaultSpec{};
+  spec.denial_mean_duration = 0.0;
+  EXPECT_THROW(FaultPlan::generate(spec), std::invalid_argument);
+}
+
+TEST(FaultPlan, EventsSortedByOnset) {
+  const FaultPlan plan(std::vector<FaultEvent>{
+      make_event(FaultClass::kBurstLoss, 3.0, 1.0, 0.1),
+      make_event(FaultClass::kChannelFade, 1.0, 1.0, 0.5),
+      make_event(FaultClass::kEncoderStall, 2.0, 1.0, 0.01),
+  });
+  ASSERT_EQ(plan.events().size(), 3u);
+  EXPECT_DOUBLE_EQ(plan.events()[0].start, 1.0);
+  EXPECT_DOUBLE_EQ(plan.events()[1].start, 2.0);
+  EXPECT_DOUBLE_EQ(plan.events()[2].start, 3.0);
+}
+
+}  // namespace
+}  // namespace lsm::sim
