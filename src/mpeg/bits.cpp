@@ -12,14 +12,27 @@ void BitWriter::put_bits(std::uint32_t value, int count) {
   if (count < 32 && value >= (std::uint64_t{1} << count)) {
     throw std::invalid_argument("BitWriter::put_bits: value does not fit");
   }
-  for (int k = count - 1; k >= 0; --k) {
-    const bool bit = ((value >> k) & 1u) != 0;
-    if (bit_pos_ == 0) bytes_.push_back(0);
-    if (bit) {
-      bytes_.back() = static_cast<std::uint8_t>(
-          bytes_.back() | (0x80u >> bit_pos_));
-    }
-    bit_pos_ = (bit_pos_ + 1) % 8;
+  int remaining = count;
+  // Top up the trailing partial byte.
+  if (remaining > 0 && bit_pos_ != 0) {
+    const int take = remaining < 8 - bit_pos_ ? remaining : 8 - bit_pos_;
+    const std::uint32_t chunk =
+        (value >> (remaining - take)) & ((1u << take) - 1u);
+    bytes_.back() = static_cast<std::uint8_t>(
+        bytes_.back() | (chunk << (8 - bit_pos_ - take)));
+    bit_pos_ = (bit_pos_ + take) % 8;
+    remaining -= take;
+  }
+  // Whole bytes at once.
+  while (remaining >= 8) {
+    remaining -= 8;
+    bytes_.push_back(static_cast<std::uint8_t>((value >> remaining) & 0xFFu));
+  }
+  // Start a fresh partial byte with the tail bits.
+  if (remaining > 0) {
+    const std::uint32_t chunk = value & ((1u << remaining) - 1u);
+    bytes_.push_back(static_cast<std::uint8_t>(chunk << (8 - remaining)));
+    bit_pos_ = remaining;
   }
 }
 

@@ -11,6 +11,7 @@
 // DESIGN.md as a deviation.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -22,6 +23,11 @@ class BitWriter {
   /// Appends the `count` low bits of `value`, most significant first.
   /// Requires 0 <= count <= 32 and value < 2^count.
   void put_bits(std::uint32_t value, int count);
+
+  /// Pre-allocates the byte buffer (same semantics as vector::reserve).
+  /// Callers that know a likely output size — e.g. a slice writer sized
+  /// from the previous picture's slice — avoid growth reallocations.
+  void reserve(std::size_t byte_capacity) { bytes_.reserve(byte_capacity); }
 
   /// Appends a single bit.
   void put_bit(bool bit) { put_bits(bit ? 1u : 0u, 1); }

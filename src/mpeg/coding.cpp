@@ -91,6 +91,24 @@ Block reconstruct_inter(const Block& prediction, const CoeffBlock& levels,
   return out;
 }
 
+Block reconstruct_intra_fast(const CoeffBlock& levels, int quantizer_scale) {
+  const CoeffBlock coeffs = dequantize_intra(levels, quantizer_scale);
+  Block spatial = inverse_dct_fast(coeffs);
+  for (auto& s : spatial) s = clamp255(s + 128);
+  return spatial;
+}
+
+Block reconstruct_inter_fast(const Block& prediction, const CoeffBlock& levels,
+                             int quantizer_scale) {
+  const CoeffBlock coeffs = dequantize_inter(levels, quantizer_scale);
+  const Block residual = inverse_dct_fast(coeffs);
+  Block out{};
+  for (std::size_t k = 0; k < 64; ++k) {
+    out[k] = clamp255(prediction[k] + residual[k]);
+  }
+  return out;
+}
+
 void store_macroblock(Frame& frame, int mb_x, int mb_y,
                       const MacroblockPixels& mb) {
   for (int y = 0; y < 16; ++y) {

@@ -40,6 +40,14 @@ Block reconstruct_intra(const CoeffBlock& levels, int quantizer_scale);
 Block reconstruct_inter(const Block& prediction, const CoeffBlock& levels,
                         int quantizer_scale);
 
+/// Reconstructions on the SSE2 inverse DCT (inverse_dct_fast) — bitwise
+/// identical to reconstruct_intra / reconstruct_inter (see dct.h). The
+/// encoder's fast path uses these; the decoder keeps the reference path so
+/// encoder-vs-decoder identity is exercised rather than assumed.
+Block reconstruct_intra_fast(const CoeffBlock& levels, int quantizer_scale);
+Block reconstruct_inter_fast(const Block& prediction, const CoeffBlock& levels,
+                             int quantizer_scale);
+
 /// Copies a whole prediction macroblock into the reconstruction frame.
 void store_macroblock(Frame& frame, int mb_x, int mb_y,
                       const MacroblockPixels& mb);

@@ -2,20 +2,30 @@
 
 #include <cmath>
 
+#include "mpeg/fastpath.h"
+
+#if LSM_MPEG_SIMD
+#include <emmintrin.h>
+#endif
+
 namespace lsm::mpeg {
 
 namespace {
 
 /// basis[u][x] = c(u) * cos((2x+1) u pi / 16) with c(0) = sqrt(1/8),
-/// c(u>0) = sqrt(2/8) — the orthonormal DCT-II basis.
+/// c(u>0) = sqrt(2/8) — the orthonormal DCT-II basis. `transposed[x][u]`
+/// holds the same doubles transposed so the vector row pass can load
+/// adjacent-u pairs contiguously.
 struct BasisTable {
   double value[8][8];
+  alignas(16) double transposed[8][8];
   BasisTable() {
     const double pi = 3.14159265358979323846;
     for (int u = 0; u < 8; ++u) {
       const double c = u == 0 ? std::sqrt(1.0 / 8.0) : std::sqrt(2.0 / 8.0);
       for (int x = 0; x < 8; ++x) {
         value[u][x] = c * std::cos((2 * x + 1) * u * pi / 16.0);
+        transposed[x][u] = value[u][x];
       }
     }
   }
@@ -81,5 +91,108 @@ Block inverse_dct(const CoeffBlock& coeffs) {
   }
   return out;
 }
+
+#if LSM_MPEG_SIMD
+
+CoeffBlock forward_dct_fast(const Block& spatial) {
+  const BasisTable& b = basis();
+  // One int16 -> double conversion per sample, instead of one per use.
+  alignas(16) double sd[64];
+  for (int k = 0; k < 64; ++k) sd[k] = static_cast<double>(spatial[k]);
+
+  // Row pass: rows[y][u] = sum_x transposed[x][u] * sd[y*8+x]. Two adjacent
+  // u lanes accumulate over ascending x, exactly the scalar order per lane.
+  alignas(16) double rows[8][8];
+  for (int y = 0; y < 8; ++y) {
+    __m128d acc[4];
+    for (int p = 0; p < 4; ++p) acc[p] = _mm_setzero_pd();
+    for (int x = 0; x < 8; ++x) {
+      const __m128d s = _mm_set1_pd(sd[y * 8 + x]);
+      for (int p = 0; p < 4; ++p) {
+        acc[p] = _mm_add_pd(
+            acc[p], _mm_mul_pd(_mm_load_pd(&b.transposed[x][2 * p]), s));
+      }
+    }
+    for (int p = 0; p < 4; ++p) _mm_store_pd(&rows[y][2 * p], acc[p]);
+  }
+
+  // Column pass: out[v*8+u] = lround(sum_y value[v][y] * rows[y][u]), two
+  // adjacent u lanes per vector, ascending-y accumulation as in the scalar
+  // loop. lround (round half away from zero) must stay scalar: cvtpd_epi32
+  // rounds half to even.
+  CoeffBlock out{};
+  for (int v = 0; v < 8; ++v) {
+    for (int p = 0; p < 4; ++p) {
+      __m128d acc = _mm_setzero_pd();
+      for (int y = 0; y < 8; ++y) {
+        acc = _mm_add_pd(
+            acc, _mm_mul_pd(_mm_set1_pd(b.value[v][y]),
+                            _mm_load_pd(&rows[y][2 * p])));
+      }
+      alignas(16) double lanes[2];
+      _mm_store_pd(lanes, acc);
+      out[static_cast<std::size_t>(v * 8 + 2 * p)] =
+          static_cast<std::int16_t>(std::lround(lanes[0]));
+      out[static_cast<std::size_t>(v * 8 + 2 * p + 1)] =
+          static_cast<std::int16_t>(std::lround(lanes[1]));
+    }
+  }
+  return out;
+}
+
+Block inverse_dct_fast(const CoeffBlock& coeffs) {
+  const BasisTable& b = basis();
+  alignas(16) double cd[64];
+  for (int k = 0; k < 64; ++k) cd[k] = static_cast<double>(coeffs[k]);
+
+  // Column inverse: cols[y][u] = sum_v value[v][y] * cd[v*8+u], ascending v
+  // per lane (the scalar loop's order for every u).
+  alignas(16) double cols[8][8];
+  for (int y = 0; y < 8; ++y) {
+    __m128d acc[4];
+    for (int p = 0; p < 4; ++p) acc[p] = _mm_setzero_pd();
+    for (int v = 0; v < 8; ++v) {
+      const __m128d basis_vy = _mm_set1_pd(b.value[v][y]);
+      for (int p = 0; p < 4; ++p) {
+        acc[p] = _mm_add_pd(
+            acc[p], _mm_mul_pd(basis_vy, _mm_load_pd(&cd[v * 8 + 2 * p])));
+      }
+    }
+    for (int p = 0; p < 4; ++p) _mm_store_pd(&cols[y][2 * p], acc[p]);
+  }
+
+  // Row inverse: out[y*8+x] = lround(sum_u value[u][x] * cols[y][u]), two
+  // adjacent x lanes, ascending-u accumulation.
+  Block out{};
+  for (int y = 0; y < 8; ++y) {
+    for (int p = 0; p < 4; ++p) {
+      __m128d acc = _mm_setzero_pd();
+      for (int u = 0; u < 8; ++u) {
+        acc = _mm_add_pd(
+            acc, _mm_mul_pd(_mm_set1_pd(cols[y][u]),
+                            _mm_loadu_pd(&b.value[u][2 * p])));
+      }
+      alignas(16) double lanes[2];
+      _mm_store_pd(lanes, acc);
+      out[static_cast<std::size_t>(y * 8 + 2 * p)] =
+          static_cast<std::int16_t>(std::lround(lanes[0]));
+      out[static_cast<std::size_t>(y * 8 + 2 * p + 1)] =
+          static_cast<std::int16_t>(std::lround(lanes[1]));
+    }
+  }
+  return out;
+}
+
+#else  // !LSM_MPEG_SIMD
+
+CoeffBlock forward_dct_fast(const Block& spatial) {
+  return forward_dct(spatial);
+}
+
+Block inverse_dct_fast(const CoeffBlock& coeffs) {
+  return inverse_dct(coeffs);
+}
+
+#endif  // LSM_MPEG_SIMD
 
 }  // namespace lsm::mpeg

@@ -23,4 +23,14 @@ CoeffBlock forward_dct(const Block& spatial);
 /// Inverse DCT, rounding to nearest integer.
 Block inverse_dct(const CoeffBlock& coeffs);
 
+/// SSE2 forward DCT, bitwise identical to forward_dct: each lane performs
+/// the scalar loop's exact mul/add sequence (two lanes of adjacent outputs
+/// share the ascending-index accumulation order, and SSE2 has no FMA to
+/// contract it), so every double — and hence every rounded coefficient —
+/// matches the reference. Falls back to forward_dct without SSE2.
+CoeffBlock forward_dct_fast(const Block& spatial);
+
+/// SSE2 inverse DCT, bitwise identical to inverse_dct (same argument).
+Block inverse_dct_fast(const CoeffBlock& coeffs);
+
 }  // namespace lsm::mpeg

@@ -37,7 +37,9 @@ struct SliceState {
 
 /// Quantizes all 6 blocks of an inter residual; returns the coded-block
 /// pattern (bit 5-b set if block b has any nonzero level, matching MPEG's
-/// MSB-first CBP order Y0 Y1 Y2 Y3 Cb Cr).
+/// MSB-first CBP order Y0 Y1 Y2 Y3 Cb Cr). kFast selects the SIMD kernels,
+/// which are bitwise identical to the scalar ones (fastpath.h).
+template <bool kFast>
 std::uint32_t quantize_residual(const MacroblockPixels& current,
                                 const MacroblockPixels& prediction,
                                 int qscale,
@@ -51,7 +53,8 @@ std::uint32_t quantize_residual(const MacroblockPixels& current,
       residual[k] = static_cast<std::int16_t>(cur[k] - pred[k]);
     }
     levels[static_cast<std::size_t>(b)] =
-        quantize_inter(forward_dct(residual), qscale);
+        kFast ? quantize_inter_fast(forward_dct_fast(residual), qscale)
+              : quantize_inter(forward_dct(residual), qscale);
     const auto& lv = levels[static_cast<std::size_t>(b)];
     const bool coded = std::any_of(lv.begin(), lv.end(),
                                    [](std::int16_t v) { return v != 0; });
@@ -62,24 +65,29 @@ std::uint32_t quantize_residual(const MacroblockPixels& current,
 
 /// Writes an intracoded macroblock (blocks + differential DC) and stores its
 /// reconstruction.
+template <bool kFast>
 void code_intra_macroblock(BitWriter& writer, SliceState& state,
                            const MacroblockPixels& current, int qscale,
                            Frame& recon, int mb_x, int mb_y) {
   for (int b = 0; b < 6; ++b) {
     Block samples = detail::block_of(current, b);
     for (auto& s : samples) s = static_cast<std::int16_t>(s - 128);
-    const CoeffBlock levels = quantize_intra(forward_dct(samples), qscale);
+    const CoeffBlock levels =
+        kFast ? quantize_intra_fast(forward_dct_fast(samples), qscale)
+              : quantize_intra(forward_dct(samples), qscale);
     int& predictor = state.dc.of(b);
     const int dc_diff = levels[0] - predictor;
     predictor = levels[0];
     put_block(writer, static_cast<std::int16_t>(dc_diff),
               run_length_encode(levels));
     detail::store_block(recon, mb_x, mb_y, b,
-                        detail::reconstruct_intra(levels, qscale));
+                        kFast ? detail::reconstruct_intra_fast(levels, qscale)
+                              : detail::reconstruct_intra(levels, qscale));
   }
 }
 
 /// Writes CBP plus the coded residual blocks and stores the reconstruction.
+template <bool kFast>
 void code_inter_blocks(BitWriter& writer, std::uint32_t cbp,
                        const std::array<CoeffBlock, 6>& levels,
                        const MacroblockPixels& prediction, int qscale,
@@ -90,11 +98,174 @@ void code_inter_blocks(BitWriter& writer, std::uint32_t cbp,
     if (cbp & (1u << (5 - b))) {
       const auto& lv = levels[static_cast<std::size_t>(b)];
       put_block(writer, lv[0], run_length_encode(lv));
-      detail::store_block(recon, mb_x, mb_y, b,
-                          detail::reconstruct_inter(pred, lv, qscale));
+      detail::store_block(
+          recon, mb_x, mb_y, b,
+          kFast ? detail::reconstruct_inter_fast(pred, lv, qscale)
+                : detail::reconstruct_inter(pred, lv, qscale));
     } else {
       detail::store_block(recon, mb_x, mb_y, b, pred);
     }
+  }
+}
+
+/// Everything one slice row needs; shared read-only across rows except
+/// `recon`, whose writes are row-disjoint (store_block/store_macroblock
+/// touch only rows mb_y*16..mb_y*16+15 of luma and the matching chroma),
+/// so concurrent slice encoding is race-free.
+struct PictureContext {
+  const EncoderConfig& config;
+  const Frame& source;
+  const Anchor* forward_ref;
+  const Anchor* backward_ref;
+  PictureType type;
+  int qscale;
+  int mb_cols;
+  Frame& recon;
+};
+
+/// Encodes slice row `mb_y` into `writer`. The body is the former inline
+/// slice loop of Encoder::encode, verbatim except that every kernel call
+/// dispatches on kFast; with kFast = false the emitted bits are the
+/// reference bits, with kFast = true they are identical by the kernel
+/// identities (DESIGN.md §3.4).
+template <bool kFast>
+void encode_slice_row(const PictureContext& ctx, int mb_y, BitWriter& writer) {
+  writer.put_bits(static_cast<std::uint32_t>(ctx.qscale), 5);
+  SliceState state;
+  state.reset();
+  const int qscale = ctx.qscale;
+  Frame& recon = ctx.recon;
+
+  for (int mb_x = 0; mb_x < ctx.mb_cols; ++mb_x) {
+    const MacroblockPixels current =
+        extract_macroblock(ctx.source, mb_x, mb_y);
+
+    if (ctx.type == PictureType::I) {
+      code_intra_macroblock<kFast>(writer, state, current, qscale, recon,
+                                   mb_x, mb_y);
+      continue;
+    }
+
+    // All motion vectors below are in half-pel units (see motion.h).
+    auto search = [&](const Frame& reference) {
+      if (ctx.config.half_pel) {
+        return kFast ? search_motion_halfpel_fast(ctx.source, reference, mb_x,
+                                                  mb_y,
+                                                  ctx.config.search_range)
+                     : search_motion_halfpel(ctx.source, reference, mb_x,
+                                             mb_y, ctx.config.search_range);
+      }
+      MotionSearchResult full =
+          kFast ? search_motion_fast(ctx.source, reference, mb_x, mb_y,
+                                     ctx.config.search_range)
+                : search_motion(ctx.source, reference, mb_x, mb_y,
+                                ctx.config.search_range);
+      full.mv = MotionVector{2 * full.mv.dx, 2 * full.mv.dy};
+      return full;
+    };
+    auto extract_pred = [&](const Frame& reference, MotionVector mv) {
+      return kFast ? extract_macroblock_halfpel_fast(reference, mb_x, mb_y, mv)
+                   : extract_macroblock_halfpel(reference, mb_x, mb_y, mv);
+    };
+
+    if (ctx.type == PictureType::P) {
+      const MotionSearchResult best = search(ctx.forward_ref->recon);
+      if (best.sad > ctx.config.intra_sad_threshold) {
+        put_ue(writer, mb_mode::kPIntra);
+        code_intra_macroblock<kFast>(writer, state, current, qscale, recon,
+                                     mb_x, mb_y);
+        state.mv_pred_f = MotionVector{};
+        continue;
+      }
+      const MacroblockPixels prediction =
+          extract_pred(ctx.forward_ref->recon, best.mv);
+      std::array<CoeffBlock, 6> levels;
+      const std::uint32_t cbp =
+          quantize_residual<kFast>(current, prediction, qscale, levels);
+      state.dc.reset();
+      if (cbp == 0 && best.mv == MotionVector{}) {
+        put_ue(writer, mb_mode::kPSkip);
+        detail::store_macroblock(recon, mb_x, mb_y, prediction);
+        state.mv_pred_f = MotionVector{};
+        continue;
+      }
+      put_ue(writer, mb_mode::kPInter);
+      put_se(writer, best.mv.dx - state.mv_pred_f.dx);
+      put_se(writer, best.mv.dy - state.mv_pred_f.dy);
+      state.mv_pred_f = best.mv;
+      code_inter_blocks<kFast>(writer, cbp, levels, prediction, qscale, recon,
+                               mb_x, mb_y);
+      continue;
+    }
+
+    // B picture.
+    const MotionSearchResult fwd = search(ctx.forward_ref->recon);
+    MotionSearchResult bwd;
+    int interp_sad = std::numeric_limits<int>::max();
+    MacroblockPixels pred_f = extract_pred(ctx.forward_ref->recon, fwd.mv);
+    MacroblockPixels pred_b;
+    MacroblockPixels pred_i;
+    if (ctx.backward_ref != nullptr) {
+      bwd = search(ctx.backward_ref->recon);
+      pred_b = extract_pred(ctx.backward_ref->recon, bwd.mv);
+      if (kFast) {
+        pred_i = average_fast(pred_f, pred_b);
+        interp_sad = macroblock_luma_sad_fast(current, pred_i);
+      } else {
+        pred_i = average(pred_f, pred_b);
+        interp_sad = 0;
+        for (int y = 0; y < 16; ++y) {
+          for (int x = 0; x < 16; ++x) {
+            const int a = current.y[static_cast<std::size_t>(y * 16 + x)];
+            const int b = pred_i.y[static_cast<std::size_t>(y * 16 + x)];
+            interp_sad += std::abs(a - b);
+          }
+        }
+      }
+    }
+
+    std::uint32_t mode = mb_mode::kBForward;
+    int best_sad = fwd.sad;
+    if (ctx.backward_ref != nullptr) {
+      if (bwd.sad < best_sad) {
+        mode = mb_mode::kBBackward;
+        best_sad = bwd.sad;
+      }
+      if (interp_sad < best_sad) {
+        mode = mb_mode::kBInterpolated;
+        best_sad = interp_sad;
+      }
+    }
+    if (best_sad > ctx.config.intra_sad_threshold) {
+      put_ue(writer, mb_mode::kBIntra);
+      code_intra_macroblock<kFast>(writer, state, current, qscale, recon,
+                                   mb_x, mb_y);
+      state.mv_pred_f = MotionVector{};
+      state.mv_pred_b = MotionVector{};
+      continue;
+    }
+
+    const MacroblockPixels& prediction =
+        mode == mb_mode::kBForward    ? pred_f
+        : mode == mb_mode::kBBackward ? pred_b
+                                      : pred_i;
+    put_ue(writer, mode);
+    if (mode != mb_mode::kBBackward) {
+      put_se(writer, fwd.mv.dx - state.mv_pred_f.dx);
+      put_se(writer, fwd.mv.dy - state.mv_pred_f.dy);
+      state.mv_pred_f = fwd.mv;
+    }
+    if (mode != mb_mode::kBForward) {
+      put_se(writer, bwd.mv.dx - state.mv_pred_b.dx);
+      put_se(writer, bwd.mv.dy - state.mv_pred_b.dy);
+      state.mv_pred_b = bwd.mv;
+    }
+    std::array<CoeffBlock, 6> levels;
+    const std::uint32_t cbp =
+        quantize_residual<kFast>(current, prediction, qscale, levels);
+    state.dc.reset();
+    code_inter_blocks<kFast>(writer, cbp, levels, prediction, qscale, recon,
+                             mb_x, mb_y);
   }
 }
 
@@ -156,6 +327,13 @@ EncodeResult Encoder::encode(const std::vector<Frame>& display_frames) const {
   std::optional<Anchor> newer;
   int gop_counter = 0;
 
+  const bool fast = config_.path == EncoderPath::kAuto && simd_available();
+  // Per-row payload size of the previous picture — the reservation hint for
+  // the next picture's same-row writer (consecutive pictures have similar
+  // slice sizes; see bits.h BitWriter::reserve).
+  std::vector<std::size_t> prev_slice_bytes(static_cast<std::size_t>(mb_rows),
+                                            0);
+
   for (int ci = 0; ci < n; ++ci) {
     const int di = order[static_cast<std::size_t>(ci)];
     const PictureType type = types[static_cast<std::size_t>(di)];
@@ -211,134 +389,36 @@ EncodeResult Encoder::encode(const std::vector<Frame>& display_frames) const {
     }
 
     Frame recon(width, height);
-    for (int mb_y = 0; mb_y < mb_rows; ++mb_y) {
+    const PictureContext ctx{config_, source,  forward_ref, backward_ref,
+                             type,    qscale,  mb_cols,     recon};
+
+    // Each slice row encodes into a private writer (reserved from the
+    // previous picture's same-row payload size), possibly concurrently;
+    // payloads are then spliced in row order, so the stream bytes are
+    // independent of the executor and thread count.
+    std::vector<std::vector<std::uint8_t>> payloads(
+        static_cast<std::size_t>(mb_rows));
+    auto encode_row = [&](int mb_y) {
       BitWriter writer;
-      writer.put_bits(static_cast<std::uint32_t>(qscale), 5);
-      SliceState state;
-      state.reset();
-
-      for (int mb_x = 0; mb_x < mb_cols; ++mb_x) {
-        const MacroblockPixels current =
-            extract_macroblock(source, mb_x, mb_y);
-
-        if (type == PictureType::I) {
-          code_intra_macroblock(writer, state, current, qscale, recon, mb_x,
-                                mb_y);
-          continue;
-        }
-
-        // All motion vectors below are in half-pel units (see motion.h).
-        auto search = [&](const Frame& reference) {
-          if (config_.half_pel) {
-            return search_motion_halfpel(source, reference, mb_x, mb_y,
-                                         config_.search_range);
-          }
-          MotionSearchResult full = search_motion(source, reference, mb_x,
-                                                  mb_y, config_.search_range);
-          full.mv = MotionVector{2 * full.mv.dx, 2 * full.mv.dy};
-          return full;
-        };
-
-        if (type == PictureType::P) {
-          const MotionSearchResult best = search(forward_ref->recon);
-          if (best.sad > config_.intra_sad_threshold) {
-            put_ue(writer, mb_mode::kPIntra);
-            code_intra_macroblock(writer, state, current, qscale, recon,
-                                  mb_x, mb_y);
-            state.mv_pred_f = MotionVector{};
-            continue;
-          }
-          const MacroblockPixels prediction = extract_macroblock_halfpel(
-              forward_ref->recon, mb_x, mb_y, best.mv);
-          std::array<CoeffBlock, 6> levels;
-          const std::uint32_t cbp =
-              quantize_residual(current, prediction, qscale, levels);
-          state.dc.reset();
-          if (cbp == 0 && best.mv == MotionVector{}) {
-            put_ue(writer, mb_mode::kPSkip);
-            detail::store_macroblock(recon, mb_x, mb_y, prediction);
-            state.mv_pred_f = MotionVector{};
-            continue;
-          }
-          put_ue(writer, mb_mode::kPInter);
-          put_se(writer, best.mv.dx - state.mv_pred_f.dx);
-          put_se(writer, best.mv.dy - state.mv_pred_f.dy);
-          state.mv_pred_f = best.mv;
-          code_inter_blocks(writer, cbp, levels, prediction, qscale, recon,
-                            mb_x, mb_y);
-          continue;
-        }
-
-        // B picture.
-        const MotionSearchResult fwd = search(forward_ref->recon);
-        MotionSearchResult bwd;
-        int interp_sad = std::numeric_limits<int>::max();
-        MacroblockPixels pred_f = extract_macroblock_halfpel(
-            forward_ref->recon, mb_x, mb_y, fwd.mv);
-        MacroblockPixels pred_b;
-        MacroblockPixels pred_i;
-        if (backward_ref != nullptr) {
-          bwd = search(backward_ref->recon);
-          pred_b = extract_macroblock_halfpel(backward_ref->recon, mb_x, mb_y,
-                                              bwd.mv);
-          pred_i = average(pred_f, pred_b);
-          interp_sad = 0;
-          for (int y = 0; y < 16; ++y) {
-            for (int x = 0; x < 16; ++x) {
-              const int a = current.y[static_cast<std::size_t>(y * 16 + x)];
-              const int b = pred_i.y[static_cast<std::size_t>(y * 16 + x)];
-              interp_sad += std::abs(a - b);
-            }
-          }
-        }
-
-        std::uint32_t mode = mb_mode::kBForward;
-        int best_sad = fwd.sad;
-        if (backward_ref != nullptr) {
-          if (bwd.sad < best_sad) {
-            mode = mb_mode::kBBackward;
-            best_sad = bwd.sad;
-          }
-          if (interp_sad < best_sad) {
-            mode = mb_mode::kBInterpolated;
-            best_sad = interp_sad;
-          }
-        }
-        if (best_sad > config_.intra_sad_threshold) {
-          put_ue(writer, mb_mode::kBIntra);
-          code_intra_macroblock(writer, state, current, qscale, recon, mb_x,
-                                mb_y);
-          state.mv_pred_f = MotionVector{};
-          state.mv_pred_b = MotionVector{};
-          continue;
-        }
-
-        const MacroblockPixels& prediction =
-            mode == mb_mode::kBForward    ? pred_f
-            : mode == mb_mode::kBBackward ? pred_b
-                                          : pred_i;
-        put_ue(writer, mode);
-        if (mode != mb_mode::kBBackward) {
-          put_se(writer, fwd.mv.dx - state.mv_pred_f.dx);
-          put_se(writer, fwd.mv.dy - state.mv_pred_f.dy);
-          state.mv_pred_f = fwd.mv;
-        }
-        if (mode != mb_mode::kBForward) {
-          put_se(writer, bwd.mv.dx - state.mv_pred_b.dx);
-          put_se(writer, bwd.mv.dy - state.mv_pred_b.dy);
-          state.mv_pred_b = bwd.mv;
-        }
-        std::array<CoeffBlock, 6> levels;
-        const std::uint32_t cbp =
-            quantize_residual(current, prediction, qscale, levels);
-        state.dc.reset();
-        code_inter_blocks(writer, cbp, levels, prediction, qscale, recon,
-                          mb_x, mb_y);
+      writer.reserve(prev_slice_bytes[static_cast<std::size_t>(mb_y)] + 16);
+      if (fast) {
+        encode_slice_row<true>(ctx, mb_y, writer);
+      } else {
+        encode_slice_row<false>(ctx, mb_y, writer);
       }
-
+      payloads[static_cast<std::size_t>(mb_y)] = writer.take();
+    };
+    if (config_.slice_executor) {
+      config_.slice_executor(mb_rows, encode_row);
+    } else {
+      for (int mb_y = 0; mb_y < mb_rows; ++mb_y) encode_row(mb_y);
+    }
+    for (int mb_y = 0; mb_y < mb_rows; ++mb_y) {
+      auto& payload = payloads[static_cast<std::size_t>(mb_y)];
+      prev_slice_bytes[static_cast<std::size_t>(mb_y)] = payload.size();
       append_unit(result.stream,
                   static_cast<std::uint8_t>(startcode::kSliceFirst + mb_y),
-                  writer.take());
+                  std::move(payload));
     }
 
     EncodedPicture record;

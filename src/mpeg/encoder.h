@@ -18,13 +18,23 @@
 // reconstruction bit-exactly — tested in tests/mpeg/codec_test.cpp.
 #pragma once
 
+#include <functional>
 #include <vector>
 
+#include "mpeg/fastpath.h"
 #include "mpeg/frame.h"
 #include "mpeg/headers.h"
 #include "trace/trace.h"
 
 namespace lsm::mpeg {
+
+/// Runs `body(i)` for every i in [0, count), in any order and possibly
+/// concurrently. The encoder hands each picture's slice rows to one of
+/// these; rows are independent (per-slice predictors, disjoint
+/// reconstruction rows), so any execution order yields the same bytes.
+/// An empty function means "run serially in the calling thread".
+using SliceExecutor =
+    std::function<void(int count, const std::function<void(int)>& body)>;
 
 struct EncoderConfig {
   lsm::trace::GopPattern pattern{9, 3};
@@ -50,6 +60,15 @@ struct EncoderConfig {
   /// "no override for this picture". Non-empty overrides must match the
   /// frame count. Used by the lossy rate-shaping layer (ratecontrol.h).
   std::vector<int> per_picture_quant;
+  /// Kernel selection: kAuto takes the SIMD fast path when the build has
+  /// it, kReference forces the scalar kernels. Both produce byte-identical
+  /// streams (tests/mpeg/encoder_identity_test.cpp).
+  EncoderPath path = EncoderPath::kAuto;
+  /// Slice-row executor for intra-picture parallelism; empty = serial.
+  /// runtime::pool_slice_executor adapts a ThreadPool. Output bytes are
+  /// independent of the executor: slices encode into private writers and
+  /// are spliced in row order.
+  SliceExecutor slice_executor;
 };
 
 /// Macroblock coding modes as they appear in the bit stream.

@@ -1,0 +1,35 @@
+// Execution-path switch for the encoder's SIMD fast path, mirroring the
+// smoothing layer's core/fastpath.h design: every vector kernel (DCT,
+// quantization, packed-SAD motion search) is bitwise identical to the
+// scalar reference by construction — same IEEE double operations in the
+// same per-lane order, exact integer-division arguments, monotone SAD
+// early termination — and the scalar loops are retained behind
+// EncoderPath::kReference as the differential-testing reference
+// (tests/mpeg/encoder_identity_test.cpp). DESIGN.md §3.4 carries the
+// identity arguments.
+//
+// The kernels use SSE2 only, which is part of the x86-64 baseline, so no
+// per-file architecture flags (and no runtime dispatch) are needed; on
+// targets without SSE2 every *_fast entry point degrades to the scalar
+// reference and kAuto equals kReference.
+#pragma once
+
+#if defined(__SSE2__) || defined(_M_X64) || \
+    (defined(_M_IX86_FP) && _M_IX86_FP >= 2)
+#define LSM_MPEG_SIMD 1
+#else
+#define LSM_MPEG_SIMD 0
+#endif
+
+namespace lsm::mpeg {
+
+/// Which implementation of the block/search kernels the encoder runs.
+enum class EncoderPath {
+  kAuto,       ///< SIMD kernels where the target supports them
+  kReference,  ///< always the scalar reference loops
+};
+
+/// True when the *_fast kernels actually vectorize on this target.
+constexpr bool simd_available() noexcept { return LSM_MPEG_SIMD == 1; }
+
+}  // namespace lsm::mpeg

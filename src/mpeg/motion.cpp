@@ -1,6 +1,14 @@
 #include "mpeg/motion.h"
 
+#include <algorithm>
 #include <cstdlib>
+#include <cstring>
+
+#include "mpeg/fastpath.h"
+
+#if LSM_MPEG_SIMD
+#include <emmintrin.h>
+#endif
 
 namespace lsm::mpeg {
 
@@ -175,5 +183,410 @@ MotionSearchResult search_motion(const Frame& current, const Frame& reference,
   best.sad = luma_sad(current, reference, mb_x, mb_y, best.mv);
   return best;
 }
+
+#if LSM_MPEG_SIMD
+
+namespace {
+
+inline int horizontal_sum(__m128i sad_accumulator) noexcept {
+  return _mm_cvtsi128_si32(sad_accumulator) +
+         _mm_cvtsi128_si32(_mm_srli_si128(sad_accumulator, 8));
+}
+
+/// SAD of a 16x16 window with a row-group cutoff: checks the partial sum
+/// against `stop_at` every four rows, so a hopeless candidate costs a
+/// quarter of a full SAD on average.
+inline int sad_16x16(const std::uint8_t* cur, int cur_stride,
+                     const std::uint8_t* ref, int ref_stride,
+                     int stop_at) noexcept {
+  __m128i acc = _mm_setzero_si128();
+  for (int y = 0; y < 16; y += 4) {
+    for (int r = 0; r < 4; ++r) {
+      const __m128i a = _mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(cur + (y + r) * cur_stride));
+      const __m128i b = _mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(ref + (y + r) * ref_stride));
+      acc = _mm_add_epi64(acc, _mm_sad_epu8(a, b));
+    }
+    if (y < 12) {
+      const int partial = horizontal_sum(acc);
+      if (partial >= stop_at) return partial;
+    }
+  }
+  return horizontal_sum(acc);
+}
+
+/// One 16-sample half-pel interpolated reference row starting at `ref`
+/// (the top-left full-pel sample of the row's window).
+inline __m128i halfpel_row(const std::uint8_t* ref, int stride, bool frac_x,
+                           bool frac_y) noexcept {
+  const __m128i a =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(ref));
+  if (!frac_x && !frac_y) return a;
+  if (frac_x && !frac_y) {
+    const __m128i b =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(ref + 1));
+    return _mm_avg_epu8(a, b);  // (a + b + 1) / 2, as sample_halfpel
+  }
+  if (!frac_x && frac_y) {
+    const __m128i c =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(ref + stride));
+    return _mm_avg_epu8(a, c);
+  }
+  // Four-tap (a + b + c + d + 2) / 4 must widen: chained avg_epu8 rounds
+  // differently.
+  const __m128i b =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(ref + 1));
+  const __m128i c =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(ref + stride));
+  const __m128i d =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(ref + stride + 1));
+  const __m128i zero = _mm_setzero_si128();
+  const __m128i two = _mm_set1_epi16(2);
+  __m128i lo = _mm_add_epi16(
+      _mm_add_epi16(_mm_unpacklo_epi8(a, zero), _mm_unpacklo_epi8(b, zero)),
+      _mm_add_epi16(_mm_unpacklo_epi8(c, zero), _mm_unpacklo_epi8(d, zero)));
+  __m128i hi = _mm_add_epi16(
+      _mm_add_epi16(_mm_unpackhi_epi8(a, zero), _mm_unpackhi_epi8(b, zero)),
+      _mm_add_epi16(_mm_unpackhi_epi8(c, zero), _mm_unpackhi_epi8(d, zero)));
+  lo = _mm_srli_epi16(_mm_add_epi16(lo, two), 2);
+  hi = _mm_srli_epi16(_mm_add_epi16(hi, two), 2);
+  return _mm_packus_epi16(lo, hi);
+}
+
+/// Half-pel SAD over a prepared reference window (same cutoff contract as
+/// sad_16x16).
+inline int sad_16x16_halfpel(const std::uint8_t* cur, int cur_stride,
+                             const std::uint8_t* ref, int ref_stride,
+                             bool frac_x, bool frac_y, int stop_at) noexcept {
+  __m128i acc = _mm_setzero_si128();
+  for (int y = 0; y < 16; y += 4) {
+    for (int r = 0; r < 4; ++r) {
+      const __m128i a = _mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(cur + (y + r) * cur_stride));
+      const __m128i b =
+          halfpel_row(ref + (y + r) * ref_stride, ref_stride, frac_x, frac_y);
+      acc = _mm_add_epi64(acc, _mm_sad_epu8(a, b));
+    }
+    if (y < 12) {
+      const int partial = horizontal_sum(acc);
+      if (partial >= stop_at) return partial;
+    }
+  }
+  return horizontal_sum(acc);
+}
+
+/// A materialized at_clamped() window of the reference luma plane covering
+/// every candidate of one motion search: data[y*stride+x] equals
+/// at_clamped(origin_x + x, origin_y + y) by construction, so SADs taken
+/// from the patch equal the scalar clamped SADs exactly — which is what
+/// lets border macroblocks (where candidate windows hang off the frame)
+/// run the packed kernels instead of the per-pixel clamped fallback.
+struct SearchPatch {
+  static constexpr int kMaxSide = 2 * 64 + 18;  // max search range, halfpel
+  std::array<std::uint8_t, kMaxSide * kMaxSide> data;
+  int stride = 0;
+};
+
+void fill_patch(const Frame& reference, int origin_x, int origin_y, int side,
+                SearchPatch& patch) noexcept {
+  patch.stride = side;
+  const int w = reference.width();
+  const int h = reference.height();
+  const std::uint8_t* samples = reference.y.samples().data();
+  for (int y = 0; y < side; ++y) {
+    const int ry = std::clamp(origin_y + y, 0, h - 1);
+    const std::uint8_t* row = samples + ry * w;
+    std::uint8_t* out = patch.data.data() + y * side;
+    // Left clamp run, interior memcpy, right clamp run.
+    int x = std::min(side, std::max(0, -origin_x));
+    std::memset(out, row[0], static_cast<std::size_t>(x));
+    const int mid_end = std::max(x, std::min(side, w - origin_x));
+    if (mid_end > x) {
+      std::memcpy(out + x, row + origin_x + x,
+                  static_cast<std::size_t>(mid_end - x));
+      x = mid_end;
+    }
+    std::memset(out + x, row[w - 1], static_cast<std::size_t>(side - x));
+  }
+}
+
+}  // namespace
+
+int luma_sad_fast(const Frame& current, const Frame& reference, int mb_x,
+                  int mb_y, MotionVector mv, int stop_at) {
+  const int rx = mb_x * 16 + mv.dx;
+  const int ry = mb_y * 16 + mv.dy;
+  if (rx < 0 || ry < 0 || rx + 16 > reference.width() ||
+      ry + 16 > reference.height()) {
+    return luma_sad(current, reference, mb_x, mb_y, mv);  // clamped border
+  }
+  const int cw = current.width();
+  const int rw = reference.width();
+  const std::uint8_t* cur =
+      current.y.samples().data() + (mb_y * 16) * cw + mb_x * 16;
+  const std::uint8_t* ref = reference.y.samples().data() + ry * rw + rx;
+  return sad_16x16(cur, cw, ref, rw, stop_at);
+}
+
+int luma_sad_halfpel_fast(const Frame& current, const Frame& reference,
+                          int mb_x, int mb_y, MotionVector half_pel,
+                          int stop_at) {
+  const int x0 = floor_div2(mb_x * 32 + half_pel.dx);
+  const int y0 = floor_div2(mb_y * 32 + half_pel.dy);
+  const bool frac_x = ((mb_x * 32 + half_pel.dx) & 1) != 0;
+  const bool frac_y = ((mb_y * 32 + half_pel.dy) & 1) != 0;
+  const int margin_x = frac_x ? 1 : 0;
+  const int margin_y = frac_y ? 1 : 0;
+  if (x0 < 0 || y0 < 0 || x0 + 16 + margin_x > reference.width() ||
+      y0 + 16 + margin_y > reference.height()) {
+    return luma_sad_halfpel(current, reference, mb_x, mb_y, half_pel);
+  }
+  const int cw = current.width();
+  const int rw = reference.width();
+  const std::uint8_t* cur =
+      current.y.samples().data() + (mb_y * 16) * cw + mb_x * 16;
+  const std::uint8_t* ref = reference.y.samples().data() + y0 * rw + x0;
+  __m128i acc = _mm_setzero_si128();
+  for (int y = 0; y < 16; y += 4) {
+    for (int r = 0; r < 4; ++r) {
+      const __m128i a = _mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(cur + (y + r) * cw));
+      const __m128i b = halfpel_row(ref + (y + r) * rw, rw, frac_x, frac_y);
+      acc = _mm_add_epi64(acc, _mm_sad_epu8(a, b));
+    }
+    if (y < 12) {
+      const int partial = horizontal_sum(acc);
+      if (partial >= stop_at) return partial;
+    }
+  }
+  return horizontal_sum(acc);
+}
+
+int macroblock_luma_sad_fast(const MacroblockPixels& a,
+                             const MacroblockPixels& b) {
+  __m128i acc = _mm_setzero_si128();
+  for (int row = 0; row < 16; ++row) {
+    const __m128i pa = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(a.y.data() + row * 16));
+    const __m128i pb = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(b.y.data() + row * 16));
+    acc = _mm_add_epi64(acc, _mm_sad_epu8(pa, pb));
+  }
+  return horizontal_sum(acc);
+}
+
+MacroblockPixels average_fast(const MacroblockPixels& a,
+                              const MacroblockPixels& b) {
+  MacroblockPixels out;
+  for (int k = 0; k < 256; k += 16) {
+    const __m128i pa =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a.y.data() + k));
+    const __m128i pb =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b.y.data() + k));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out.y.data() + k),
+                     _mm_avg_epu8(pa, pb));
+  }
+  for (int k = 0; k < 64; k += 16) {
+    const __m128i cb_a =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a.cb.data() + k));
+    const __m128i cb_b =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b.cb.data() + k));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out.cb.data() + k),
+                     _mm_avg_epu8(cb_a, cb_b));
+    const __m128i cr_a =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a.cr.data() + k));
+    const __m128i cr_b =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b.cr.data() + k));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out.cr.data() + k),
+                     _mm_avg_epu8(cr_a, cr_b));
+  }
+  return out;
+}
+
+MacroblockPixels extract_macroblock_halfpel_fast(const Frame& frame,
+                                                 int mb_x, int mb_y,
+                                                 MotionVector half_pel) {
+  const int x0 = floor_div2(mb_x * 32 + half_pel.dx);
+  const int y0 = floor_div2(mb_y * 32 + half_pel.dy);
+  const bool frac_x = ((mb_x * 32 + half_pel.dx) & 1) != 0;
+  const bool frac_y = ((mb_y * 32 + half_pel.dy) & 1) != 0;
+  const int margin_x = frac_x ? 1 : 0;
+  const int margin_y = frac_y ? 1 : 0;
+  if (x0 < 0 || y0 < 0 || x0 + 16 + margin_x > frame.width() ||
+      y0 + 16 + margin_y > frame.height()) {
+    return extract_macroblock_halfpel(frame, mb_x, mb_y, half_pel);
+  }
+  MacroblockPixels out;
+  const int w = frame.width();
+  const std::uint8_t* ref = frame.y.samples().data() + y0 * w + x0;
+  for (int y = 0; y < 16; ++y) {
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out.y.data() + y * 16),
+                     halfpel_row(ref + y * w, w, frac_x, frac_y));
+  }
+  // Chroma: 8x8 per plane, scalar (same code path as the reference).
+  const int cy0 = mb_y * 16 + chroma_component(half_pel.dy);
+  const int cx0 = mb_x * 16 + chroma_component(half_pel.dx);
+  for (int y = 0; y < 8; ++y) {
+    for (int x = 0; x < 8; ++x) {
+      out.cb[static_cast<std::size_t>(y * 8 + x)] =
+          sample_halfpel(frame.cb, cx0 + 2 * x, cy0 + 2 * y);
+      out.cr[static_cast<std::size_t>(y * 8 + x)] =
+          sample_halfpel(frame.cr, cx0 + 2 * x, cy0 + 2 * y);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// The exhaustive full-pel stage over a filled patch. Candidate order,
+/// strict-< acceptance, the zero bias, and the final exact recompute mirror
+/// search_motion line for line; the patch makes every candidate's SAD the
+/// exact clamped SAD with the monotone cutoff available everywhere.
+#if LSM_MPEG_SIMD
+MotionSearchResult search_fullpel_on_patch(const std::uint8_t* cur,
+                                           int cur_stride,
+                                           const SearchPatch& patch,
+                                           int range,
+                                           int zero_bias) noexcept {
+  const auto patch_at = [&](int dx, int dy) {
+    return patch.data.data() + (dy + range + 1) * patch.stride +
+           (dx + range + 1);
+  };
+  MotionSearchResult best;
+  best.mv = MotionVector{0, 0};
+  best.sad = sad_16x16(cur, cur_stride, patch_at(0, 0), patch.stride,
+                       0x7FFFFFFF) -
+             zero_bias;
+  for (int dy = -range; dy <= range; ++dy) {
+    for (int dx = -range; dx <= range; ++dx) {
+      if (dx == 0 && dy == 0) continue;
+      const int sad = sad_16x16(cur, cur_stride, patch_at(dx, dy),
+                                patch.stride, best.sad);
+      if (sad < best.sad) {
+        best.mv = MotionVector{dx, dy};
+        best.sad = sad;
+      }
+    }
+  }
+  best.sad = sad_16x16(cur, cur_stride, patch_at(best.mv.dx, best.mv.dy),
+                       patch.stride, 0x7FFFFFFF);
+  return best;
+}
+#endif  // LSM_MPEG_SIMD
+
+}  // namespace
+
+MotionSearchResult search_motion_fast(const Frame& current,
+                                      const Frame& reference, int mb_x,
+                                      int mb_y, int range, int zero_bias) {
+  // The patch has a one-sample halo beyond the candidate windows (origin
+  // shifted by range+1, side 2*range+18) so the half-pel stage can reuse
+  // it; the full-pel stage only reads the inner 2*range+16 square.
+  const int side = 2 * range + 18;
+  SearchPatch patch;
+  fill_patch(reference, mb_x * 16 - range - 1, mb_y * 16 - range - 1, side,
+             patch);
+  const int cw = current.width();
+  const std::uint8_t* cur =
+      current.y.samples().data() + (mb_y * 16) * cw + mb_x * 16;
+  return search_fullpel_on_patch(cur, cw, patch, range, zero_bias);
+}
+
+MotionSearchResult search_motion_halfpel_fast(const Frame& current,
+                                              const Frame& reference,
+                                              int mb_x, int mb_y, int range,
+                                              int zero_bias) {
+  const int side = 2 * range + 18;
+  SearchPatch patch;
+  fill_patch(reference, mb_x * 16 - range - 1, mb_y * 16 - range - 1, side,
+             patch);
+  const int cw = current.width();
+  const std::uint8_t* cur =
+      current.y.samples().data() + (mb_y * 16) * cw + mb_x * 16;
+  const MotionSearchResult full =
+      search_fullpel_on_patch(cur, cw, patch, range, zero_bias);
+
+  // +-1 half-pel refinement around the full-pel winner, on the same patch:
+  // for a half-pel vector hp the scalar SAD reads sample_halfpel at
+  // full-pel origin mb*16 + floor(hp/2) with fractional bits hp & 1, and
+  // the patch halo guarantees those reads (including the +1 interpolation
+  // neighbors) are in bounds, so the kernels see the identical clamped
+  // samples.
+  MotionSearchResult best;
+  best.mv = MotionVector{2 * full.mv.dx, 2 * full.mv.dy};
+  best.sad = full.sad;
+  for (int dy = -1; dy <= 1; ++dy) {
+    for (int dx = -1; dx <= 1; ++dx) {
+      if (dx == 0 && dy == 0) continue;
+      const MotionVector candidate{2 * full.mv.dx + dx, 2 * full.mv.dy + dy};
+      const std::uint8_t* ref =
+          patch.data.data() +
+          (floor_div2(candidate.dy) + range + 1) * patch.stride +
+          (floor_div2(candidate.dx) + range + 1);
+      const int sad =
+          sad_16x16_halfpel(cur, cw, ref, patch.stride,
+                            (candidate.dx & 1) != 0, (candidate.dy & 1) != 0,
+                            best.sad);
+      if (sad < best.sad) {
+        best.mv = candidate;
+        best.sad = sad;
+      }
+    }
+  }
+  return best;
+}
+
+#else  // !LSM_MPEG_SIMD
+
+int luma_sad_fast(const Frame& current, const Frame& reference, int mb_x,
+                  int mb_y, MotionVector mv, int stop_at) {
+  (void)stop_at;
+  return luma_sad(current, reference, mb_x, mb_y, mv);
+}
+
+int luma_sad_halfpel_fast(const Frame& current, const Frame& reference,
+                          int mb_x, int mb_y, MotionVector half_pel,
+                          int stop_at) {
+  (void)stop_at;
+  return luma_sad_halfpel(current, reference, mb_x, mb_y, half_pel);
+}
+
+int macroblock_luma_sad_fast(const MacroblockPixels& a,
+                             const MacroblockPixels& b) {
+  int total = 0;
+  for (std::size_t k = 0; k < a.y.size(); ++k) {
+    total += std::abs(static_cast<int>(a.y[k]) - static_cast<int>(b.y[k]));
+  }
+  return total;
+}
+
+MacroblockPixels average_fast(const MacroblockPixels& a,
+                              const MacroblockPixels& b) {
+  return average(a, b);
+}
+
+MacroblockPixels extract_macroblock_halfpel_fast(const Frame& frame,
+                                                 int mb_x, int mb_y,
+                                                 MotionVector half_pel) {
+  return extract_macroblock_halfpel(frame, mb_x, mb_y, half_pel);
+}
+
+MotionSearchResult search_motion_fast(const Frame& current,
+                                      const Frame& reference, int mb_x,
+                                      int mb_y, int range, int zero_bias) {
+  return search_motion(current, reference, mb_x, mb_y, range, zero_bias);
+}
+
+MotionSearchResult search_motion_halfpel_fast(const Frame& current,
+                                              const Frame& reference,
+                                              int mb_x, int mb_y, int range,
+                                              int zero_bias) {
+  return search_motion_halfpel(current, reference, mb_x, mb_y, range,
+                               zero_bias);
+}
+
+#endif  // LSM_MPEG_SIMD
 
 }  // namespace lsm::mpeg

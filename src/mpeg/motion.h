@@ -26,6 +26,8 @@ struct MacroblockPixels {
   std::array<std::uint8_t, 256> y{};
   std::array<std::uint8_t, 64> cb{};
   std::array<std::uint8_t, 64> cr{};
+  friend bool operator==(const MacroblockPixels& a,
+                         const MacroblockPixels& b) = default;
 };
 
 /// Extracts the macroblock at grid position (mb_x, mb_y) from `frame`,
@@ -76,5 +78,54 @@ MotionSearchResult search_motion_halfpel(const Frame& current,
                                          const Frame& reference, int mb_x,
                                          int mb_y, int range,
                                          int zero_bias = 128);
+
+// ---- Packed-SAD fast path (SSE2; see mpeg/fastpath.h) ------------------
+//
+// Candidates whose reference window lies fully inside the frame — where
+// at_clamped never clamps — run on _mm_sad_epu8 row kernels; border
+// candidates fall back to the scalar loops, so results are identical
+// everywhere. The `stop_at` cutoff enables monotone early termination:
+// SAD is a sum of non-negative row terms, so once a partial sum reaches
+// `stop_at` the true SAD is >= stop_at and the function may return the
+// partial instead. A caller comparing `sad < best` and passing best as
+// stop_at therefore accepts exactly the candidates the scalar search
+// accepts, with exactly the scalar SAD values — argmin and the
+// zero-vector tie-break are preserved (DESIGN.md §3.4).
+
+/// Exact luma_sad when the cutoff is not reached; any value >= stop_at
+/// once it is. stop_at = INT_MAX computes the exact SAD unconditionally.
+int luma_sad_fast(const Frame& current, const Frame& reference, int mb_x,
+                  int mb_y, MotionVector mv, int stop_at = 0x7FFFFFFF);
+
+/// Half-pel counterpart of luma_sad_fast (same cutoff contract).
+int luma_sad_halfpel_fast(const Frame& current, const Frame& reference,
+                          int mb_x, int mb_y, MotionVector half_pel,
+                          int stop_at = 0x7FFFFFFF);
+
+/// SAD of two macroblocks' luma planes (B-interpolation cost), exact.
+int macroblock_luma_sad_fast(const MacroblockPixels& a,
+                             const MacroblockPixels& b);
+
+/// Pixel-wise average via _mm_avg_epu8 — identical rounding to average().
+MacroblockPixels average_fast(const MacroblockPixels& a,
+                              const MacroblockPixels& b);
+
+/// Same candidate order, tie-breaks, and returned (mv, sad) as
+/// search_motion / search_motion_halfpel, on the packed-SAD kernels with
+/// early termination.
+MotionSearchResult search_motion_fast(const Frame& current,
+                                      const Frame& reference, int mb_x,
+                                      int mb_y, int range,
+                                      int zero_bias = 128);
+MotionSearchResult search_motion_halfpel_fast(const Frame& current,
+                                              const Frame& reference,
+                                              int mb_x, int mb_y, int range,
+                                              int zero_bias = 128);
+
+/// extract_macroblock_halfpel with SSE2 bilinear rows for interior luma
+/// (borders and chroma use the scalar path); identical output everywhere.
+MacroblockPixels extract_macroblock_halfpel_fast(const Frame& frame,
+                                                 int mb_x, int mb_y,
+                                                 MotionVector half_pel);
 
 }  // namespace lsm::mpeg

@@ -3,6 +3,12 @@
 #include <cstdlib>
 #include <stdexcept>
 
+#include "mpeg/fastpath.h"
+
+#if LSM_MPEG_SIMD
+#include <emmintrin.h>
+#endif
+
 namespace lsm::mpeg {
 
 namespace {
@@ -63,6 +69,73 @@ CoeffBlock quantize_inter(const CoeffBlock& coeffs, int quantizer_scale) {
   }
   return levels;
 }
+
+#if LSM_MPEG_SIMD
+
+namespace {
+
+/// trunc((2*|value| + divisor) / (2*divisor)) for two lanes at once — the
+/// magnitude part of divide_round. Exact: see quant.h.
+inline __m128i round_half_away_pair(__m128d abs_value, __m128d divisor) {
+  const __m128d num =
+      _mm_add_pd(_mm_add_pd(abs_value, abs_value), divisor);
+  const __m128d den = _mm_add_pd(divisor, divisor);
+  return _mm_cvttpd_epi32(_mm_div_pd(num, den));
+}
+
+}  // namespace
+
+CoeffBlock quantize_intra_fast(const CoeffBlock& coeffs, int quantizer_scale) {
+  check_scale(quantizer_scale);
+  const auto& matrix = intra_quant_matrix();
+  CoeffBlock levels{};
+  levels[0] = static_cast<std::int16_t>(divide_round(coeffs[0], 8));
+  alignas(16) int lanes[4];
+  for (std::size_t k = 1; k + 1 < 64; k += 2) {
+    const int v0 = 8 * coeffs[k];
+    const int v1 = 8 * coeffs[k + 1];
+    const __m128d abs_value = _mm_set_pd(std::abs(v1), std::abs(v0));
+    const __m128d divisor =
+        _mm_set_pd(quantizer_scale * matrix[k + 1],
+                   quantizer_scale * matrix[k]);
+    _mm_store_si128(reinterpret_cast<__m128i*>(lanes),
+                    round_half_away_pair(abs_value, divisor));
+    levels[k] = static_cast<std::int16_t>(v0 < 0 ? -lanes[0] : lanes[0]);
+    levels[k + 1] = static_cast<std::int16_t>(v1 < 0 ? -lanes[1] : lanes[1]);
+  }
+  levels[63] = static_cast<std::int16_t>(
+      divide_round(8 * coeffs[63], quantizer_scale * matrix[63]));
+  return levels;
+}
+
+CoeffBlock quantize_inter_fast(const CoeffBlock& coeffs, int quantizer_scale) {
+  check_scale(quantizer_scale);
+  CoeffBlock levels{};
+  // C integer division truncates toward zero, exactly what cvttpd does, so
+  // the signed case needs no magnitude split.
+  const __m128d divisor = _mm_set1_pd(quantizer_scale * 16);
+  alignas(16) int lanes[4];
+  for (std::size_t k = 0; k < 64; k += 2) {
+    const __m128d num = _mm_set_pd(8 * coeffs[k + 1], 8 * coeffs[k]);
+    _mm_store_si128(reinterpret_cast<__m128i*>(lanes),
+                    _mm_cvttpd_epi32(_mm_div_pd(num, divisor)));
+    levels[k] = static_cast<std::int16_t>(lanes[0]);
+    levels[k + 1] = static_cast<std::int16_t>(lanes[1]);
+  }
+  return levels;
+}
+
+#else  // !LSM_MPEG_SIMD
+
+CoeffBlock quantize_intra_fast(const CoeffBlock& coeffs, int quantizer_scale) {
+  return quantize_intra(coeffs, quantizer_scale);
+}
+
+CoeffBlock quantize_inter_fast(const CoeffBlock& coeffs, int quantizer_scale) {
+  return quantize_inter(coeffs, quantizer_scale);
+}
+
+#endif  // LSM_MPEG_SIMD
 
 CoeffBlock dequantize_intra(const CoeffBlock& levels, int quantizer_scale) {
   check_scale(quantizer_scale);

@@ -20,6 +20,16 @@ const std::array<std::uint8_t, 64>& intra_quant_matrix() noexcept;
 CoeffBlock quantize_intra(const CoeffBlock& coeffs, int quantizer_scale);
 CoeffBlock quantize_inter(const CoeffBlock& coeffs, int quantizer_scale);
 
+/// SSE2 quantizers, bitwise identical to the scalar ones. The integer
+/// divisions become packed double divisions plus truncation, which is exact
+/// here: numerator and divisor are small integers (|num| <= 2^18), so when
+/// the true quotient is not an integer it sits at least 1/divisor >= 2^-13
+/// away from one — ten orders of magnitude more than the half-ulp error of
+/// a correctly rounded double division — and when it is an integer the
+/// division is exact. Fall back to the scalar versions without SSE2.
+CoeffBlock quantize_intra_fast(const CoeffBlock& coeffs, int quantizer_scale);
+CoeffBlock quantize_inter_fast(const CoeffBlock& coeffs, int quantizer_scale);
+
 /// Reconstructs coefficient values from levels.
 CoeffBlock dequantize_intra(const CoeffBlock& levels, int quantizer_scale);
 CoeffBlock dequantize_inter(const CoeffBlock& levels, int quantizer_scale);

@@ -56,6 +56,10 @@ class BatchSmoother {
 
   int thread_count() const noexcept { return pool_.thread_count(); }
 
+  /// The underlying pool, shareable with the encode side (encode_batch.h):
+  /// e.g. build a pool_slice_executor on it between smoothing batches.
+  ThreadPool& pool() noexcept { return pool_; }
+
   /// Runs every job and returns the results in job order. Blocks the
   /// calling thread; must not be called from this pool's own workers.
   /// Throws std::invalid_argument on a null trace.

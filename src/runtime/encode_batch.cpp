@@ -1,0 +1,87 @@
+#include "runtime/encode_batch.h"
+
+#include <algorithm>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+
+namespace lsm::runtime {
+
+lsm::mpeg::SliceExecutor pool_slice_executor(ThreadPool& pool) {
+  return [&pool](int count, const std::function<void(int)>& body) {
+    std::mutex error_mutex;
+    std::exception_ptr first_error;
+    parallel_for(pool, count, [&](int i) {
+      try {
+        body(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+    if (first_error) std::rethrow_exception(first_error);
+  };
+}
+
+BatchEncoder::BatchEncoder(int threads)
+    : pool_(threads), counters_(pool_.thread_count()) {}
+
+std::vector<lsm::mpeg::EncodeResult> BatchEncoder::run(
+    const std::vector<EncodeJob>& jobs) {
+  for (const EncodeJob& job : jobs) {
+    if (job.frames == nullptr) {
+      throw std::invalid_argument("EncodeJob with null frames");
+    }
+  }
+  std::vector<lsm::mpeg::EncodeResult> results(jobs.size());
+  const int n = static_cast<int>(jobs.size());
+  if (n == 0) return results;
+
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+
+  // Contiguous shards, one per worker, as in BatchSmoother: a whole encode
+  // is far coarser than the queue overhead, and stealing rebalances at
+  // shard granularity.
+  const int shards = std::min(pool_.thread_count(), n);
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(static_cast<std::size_t>(shards));
+  int lo = 0;
+  for (int s = 0; s < shards; ++s) {
+    const int hi = lo + n / shards + (s < n % shards ? 1 : 0);
+    tasks.push_back([this, &jobs, &results, &error_mutex, &first_error, lo,
+                     hi] {
+      PerfCounters& slot = counters_.slot(pool_.index_of_current_thread());
+      const std::uint64_t wall_start = wall_clock_ns();
+      const std::uint64_t cpu_start = thread_cpu_ns();
+      for (int i = lo; i < hi; ++i) {
+        const EncodeJob& job = jobs[static_cast<std::size_t>(i)];
+        try {
+          // Worker-run jobs must not fan slice rows back into this pool
+          // (nested wait_idle); encode serially within the job.
+          lsm::mpeg::EncoderConfig config = job.config;
+          config.slice_executor = {};
+          const lsm::mpeg::Encoder encoder(std::move(config));
+          results[static_cast<std::size_t>(i)] = encoder.encode(*job.frames);
+          slot.streams += 1;
+          slot.pictures +=
+              results[static_cast<std::size_t>(i)].pictures.size();
+        } catch (...) {
+          const std::lock_guard<std::mutex> lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+      }
+      slot.wall_ns += wall_clock_ns() - wall_start;
+      slot.cpu_ns += thread_cpu_ns() - cpu_start;
+    });
+    lo = hi;
+  }
+  pool_.submit_batch(tasks);
+  pool_.wait_idle();
+  if (first_error) std::rethrow_exception(first_error);
+  return results;
+}
+
+}  // namespace lsm::runtime

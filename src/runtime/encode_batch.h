@@ -1,0 +1,69 @@
+// BatchEncoder: run many independent MPEG encodes across the work-stealing
+// thread pool, plus the adapter that lets ONE encode spread its slice rows
+// over the same pool.
+//
+// Two axes of parallelism, used one at a time:
+//   - Across jobs (BatchEncoder::run): each job is a whole
+//     mpeg::Encoder::encode() call — seconds of work — sharded across the
+//     workers exactly like BatchSmoother shards smoothing runs. Jobs run
+//     with their slice_executor stripped: a pool worker must not call
+//     parallel_for on its own pool (wait_idle from a worker would deadlock),
+//     and job-level parallelism already saturates the machine.
+//   - Within a job (pool_slice_executor): a caller encoding a single
+//     sequence from outside the pool hands slice rows to the workers. The
+//     encoder splices per-slice writers in row order, so the stream is
+//     byte-identical at every thread count (mpeg/encoder.h).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mpeg/encoder.h"
+#include "runtime/counters.h"
+#include "runtime/pool.h"
+
+namespace lsm::runtime {
+
+/// Slice executor running bodies on `pool` via parallel_for. The pool must
+/// outlive the returned function. Must be invoked from outside the pool
+/// (parallel_for blocks in wait_idle). Exceptions thrown by a body are
+/// captured and the first one is rethrown to the caller.
+lsm::mpeg::SliceExecutor pool_slice_executor(ThreadPool& pool);
+
+/// One encoding run. The referenced frames must outlive the batch call.
+struct EncodeJob {
+  const std::vector<lsm::mpeg::Frame>* frames = nullptr;
+  lsm::mpeg::EncoderConfig config;
+};
+
+class BatchEncoder {
+ public:
+  /// `threads` == 0 picks the hardware concurrency.
+  explicit BatchEncoder(int threads = 0);
+
+  int thread_count() const noexcept { return pool_.thread_count(); }
+
+  /// The underlying pool — e.g. to build a pool_slice_executor for a
+  /// standalone encode between batches.
+  ThreadPool& pool() noexcept { return pool_; }
+
+  /// Runs every job and returns the results in job order. Blocks the
+  /// calling thread; must not be called from this pool's own workers.
+  /// Throws std::invalid_argument on a null frames pointer; the first
+  /// exception thrown inside a job is rethrown after the batch drains.
+  std::vector<lsm::mpeg::EncodeResult> run(const std::vector<EncodeJob>& jobs);
+
+  /// Counters accumulated since construction (or the last reset) across
+  /// every run() call. Safe to read between runs, not during one.
+  const PerfRegistry& counters() const noexcept { return counters_; }
+  PerfRegistry& counters() noexcept { return counters_; }
+
+  /// counters().to_json(), the CI-artifact report format.
+  std::string report_json() const { return counters_.to_json(); }
+
+ private:
+  ThreadPool pool_;
+  PerfRegistry counters_;
+};
+
+}  // namespace lsm::runtime

@@ -125,6 +125,66 @@ TEST(Escaping, TrailingZerosGetGuardByte) {
   EXPECT_EQ(at, static_cast<std::int64_t>(escaped.size()));
 }
 
+TEST(BitIo, ChunkedWritesMatchBitByBitWrites) {
+  // put_bits writes whole bytes at a time; a bit-by-bit shadow writer is
+  // the reference. Random widths at random alignments must agree exactly.
+  lsm::sim::Rng rng(31);
+  BitWriter chunked;
+  BitWriter reference;
+  for (int n = 0; n < 2000; ++n) {
+    const int count = rng.uniform_int(0, 32);
+    const std::uint32_t value =
+        count == 0 ? 0u
+        : count == 32
+            ? static_cast<std::uint32_t>(rng.uniform_int(0, 0x7FFFFFFF)) * 2u +
+                  static_cast<std::uint32_t>(rng.uniform_int(0, 1))
+            : static_cast<std::uint32_t>(rng.uniform_int(
+                  0, static_cast<int>((1u << count) - 1u)));
+    chunked.put_bits(value, count);
+    for (int k = count - 1; k >= 0; --k) {
+      reference.put_bit(((value >> k) & 1u) != 0);
+    }
+    ASSERT_EQ(chunked.bit_count(), reference.bit_count()) << "write " << n;
+  }
+  EXPECT_EQ(chunked.take(), reference.take());
+}
+
+TEST(BitIo, WritesStraddlingByteBoundariesRoundTrip) {
+  BitWriter writer;
+  writer.put_bits(0x1, 3);          // partial byte
+  writer.put_bits(0xABCDE, 20);     // straddles three bytes
+  writer.put_bits(0x0, 0);          // no-op
+  writer.put_bits(0xFFFFFFFF, 32);  // full word, unaligned
+  writer.put_bits(0x2A, 9);
+  BitReader reader(writer.take());
+  EXPECT_EQ(reader.get_bits(3), 0x1u);
+  EXPECT_EQ(reader.get_bits(20), 0xABCDEu);
+  EXPECT_EQ(reader.get_bits(32), 0xFFFFFFFFu);
+  EXPECT_EQ(reader.get_bits(9), 0x2Au);
+}
+
+TEST(BitIo, ReserveDoesNotAffectOutput) {
+  BitWriter plain;
+  BitWriter reserved;
+  reserved.reserve(1024);
+  for (int k = 0; k < 100; ++k) {
+    plain.put_bits(static_cast<std::uint32_t>(k), 7);
+    reserved.put_bits(static_cast<std::uint32_t>(k), 7);
+  }
+  EXPECT_EQ(reserved.bit_count(), plain.bit_count());
+  EXPECT_EQ(reserved.take(), plain.take());
+}
+
+TEST(BitIo, ChunkedWriterStillValidatesArguments) {
+  BitWriter writer;
+  writer.put_bits(0x7, 3);  // leave the writer mid-byte
+  EXPECT_THROW(writer.put_bits(0, -1), std::invalid_argument);
+  EXPECT_THROW(writer.put_bits(0, 33), std::invalid_argument);
+  EXPECT_THROW(writer.put_bits(0x8, 3), std::invalid_argument);
+  // The failed calls must not have written anything.
+  EXPECT_EQ(writer.bit_count(), 3);
+}
+
 TEST(StartCodes, FindLocatesAllCodes) {
   std::vector<std::uint8_t> stream;
   append_start_code(stream, startcode::kSequenceHeader);

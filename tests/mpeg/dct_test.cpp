@@ -96,5 +96,48 @@ TEST(Dct, HorizontalCosineHitsSingleCoefficient) {
   EXPECT_EQ(argmax, u);  // row 0, column u
 }
 
+TEST(Dct, FastForwardMatchesScalarBitwise) {
+  // The SIMD path claims bitwise identity, not approximate agreement
+  // (fastpath.h): every coefficient must be EQ, over blocks spanning the
+  // full level-shifted sample range.
+  lsm::sim::Rng rng(17);
+  for (int trial = 0; trial < 200; ++trial) {
+    Block block;
+    for (auto& s : block) {
+      s = static_cast<std::int16_t>(rng.uniform_int(-128, 127));
+    }
+    const CoeffBlock scalar = forward_dct(block);
+    const CoeffBlock fast = forward_dct_fast(block);
+    for (std::size_t k = 0; k < 64; ++k) {
+      ASSERT_EQ(fast[k], scalar[k]) << "trial " << trial << " k " << k;
+    }
+  }
+}
+
+TEST(Dct, FastInverseMatchesScalarBitwise) {
+  lsm::sim::Rng rng(18);
+  for (int trial = 0; trial < 200; ++trial) {
+    CoeffBlock coeffs;
+    for (auto& c : coeffs) {
+      c = static_cast<std::int16_t>(rng.uniform_int(-1024, 1024));
+    }
+    const Block scalar = inverse_dct(coeffs);
+    const Block fast = inverse_dct_fast(coeffs);
+    for (std::size_t k = 0; k < 64; ++k) {
+      ASSERT_EQ(fast[k], scalar[k]) << "trial " << trial << " k " << k;
+    }
+  }
+}
+
+TEST(Dct, FastRoundTripEqualsScalarRoundTrip) {
+  Block block;
+  for (int k = 0; k < 64; ++k) {
+    block[static_cast<std::size_t>(k)] =
+        static_cast<std::int16_t>((k * 37) % 255 - 128);
+  }
+  EXPECT_EQ(inverse_dct_fast(forward_dct_fast(block)),
+            inverse_dct(forward_dct(block)));
+}
+
 }  // namespace
 }  // namespace lsm::mpeg

@@ -147,5 +147,129 @@ TEST(Motion, AverageRoundsUp) {
   EXPECT_EQ(avg.cr[0], 200);
 }
 
+TEST(Motion, FastSadMatchesScalarForInteriorAndBorderVectors) {
+  const Frame current = textured_frame(41);
+  const Frame reference = textured_frame(42);
+  // Macroblock (0,0) forces border clamping for negative vectors; (1,1) is
+  // interior for small ones. Both must agree with the scalar loop exactly.
+  for (const auto& [mb_x, mb_y] :
+       std::initializer_list<std::pair<int, int>>{{0, 0}, {1, 1}}) {
+    for (int dy = -9; dy <= 9; dy += 3) {
+      for (int dx = -9; dx <= 9; dx += 3) {
+        const MotionVector mv{dx, dy};
+        EXPECT_EQ(luma_sad_fast(current, reference, mb_x, mb_y, mv),
+                  luma_sad(current, reference, mb_x, mb_y, mv))
+            << "mb (" << mb_x << "," << mb_y << ") mv (" << dx << "," << dy
+            << ")";
+      }
+    }
+  }
+}
+
+TEST(Motion, FastSadCutoffNeverUnderReportsBelowTheCutoff) {
+  // Contract (motion.h): exact below stop_at, and any value >= stop_at once
+  // the cutoff triggers — so a `sad < best` comparison decides identically.
+  const Frame current = textured_frame(43);
+  const Frame reference = textured_frame(44);
+  for (int dy = -4; dy <= 4; dy += 2) {
+    for (int dx = -4; dx <= 4; dx += 2) {
+      const MotionVector mv{dx, dy};
+      const int exact = luma_sad(current, reference, 1, 1, mv);
+      for (const int stop_at : {1, exact / 2, exact, exact + 1}) {
+        const int got = luma_sad_fast(current, reference, 1, 1, mv, stop_at);
+        if (got < stop_at) {
+          EXPECT_EQ(got, exact);
+        } else {
+          EXPECT_GE(exact, stop_at);
+        }
+      }
+    }
+  }
+}
+
+TEST(Motion, FastHalfpelSadMatchesScalarInAllFourPhases) {
+  const Frame current = textured_frame(45);
+  const Frame reference = textured_frame(46);
+  for (const auto& [mb_x, mb_y] :
+       std::initializer_list<std::pair<int, int>>{{0, 0}, {1, 1}}) {
+    for (int dy = -3; dy <= 3; ++dy) {    // odd and even: all four
+      for (int dx = -3; dx <= 3; ++dx) {  // interpolation phases
+        const MotionVector mv{dx, dy};
+        EXPECT_EQ(luma_sad_halfpel_fast(current, reference, mb_x, mb_y, mv),
+                  luma_sad_halfpel(current, reference, mb_x, mb_y, mv))
+            << "mb (" << mb_x << "," << mb_y << ") half-pel (" << dx << ","
+            << dy << ")";
+      }
+    }
+  }
+}
+
+TEST(Motion, FastSearchReturnsScalarSearchResult) {
+  const Frame base = textured_frame(47);
+  for (const auto& [dx, dy] : std::initializer_list<std::pair<int, int>>{
+           {0, 0}, {3, -2}, {-5, 4}}) {
+    const Frame current = shifted(base, dx, dy);
+    for (int mb_y = 0; mb_y < current.height() / 16; ++mb_y) {
+      for (int mb_x = 0; mb_x < current.width() / 16; ++mb_x) {
+        const MotionSearchResult scalar =
+            search_motion(current, base, mb_x, mb_y, 7);
+        const MotionSearchResult fast =
+            search_motion_fast(current, base, mb_x, mb_y, 7);
+        EXPECT_EQ(fast.mv, scalar.mv)
+            << "shift (" << dx << "," << dy << ") mb (" << mb_x << ","
+            << mb_y << ")";
+        EXPECT_EQ(fast.sad, scalar.sad);
+        const MotionSearchResult scalar_half =
+            search_motion_halfpel(current, base, mb_x, mb_y, 7);
+        const MotionSearchResult fast_half =
+            search_motion_halfpel_fast(current, base, mb_x, mb_y, 7);
+        EXPECT_EQ(fast_half.mv, scalar_half.mv);
+        EXPECT_EQ(fast_half.sad, scalar_half.sad);
+      }
+    }
+  }
+}
+
+TEST(Motion, FastSearchPreservesZeroVectorPreferenceOnStaticContent) {
+  // A static pair makes every candidate tie at SAD close to 0; the zero
+  // bias must hand the win to mv = (0,0) on both paths.
+  const Frame frame = textured_frame(48);
+  const MotionSearchResult scalar = search_motion(frame, frame, 1, 1, 7);
+  const MotionSearchResult fast = search_motion_fast(frame, frame, 1, 1, 7);
+  EXPECT_EQ(scalar.mv, (MotionVector{0, 0}));
+  EXPECT_EQ(fast.mv, (MotionVector{0, 0}));
+  EXPECT_EQ(fast.sad, scalar.sad);
+}
+
+TEST(Motion, FastAverageAndMacroblockSadMatchScalar) {
+  const Frame frame_a = textured_frame(49);
+  const Frame frame_b = textured_frame(50);
+  const MacroblockPixels a = extract_macroblock(frame_a, 1, 1);
+  const MacroblockPixels b = extract_macroblock(frame_b, 1, 1);
+  EXPECT_EQ(average_fast(a, b), average(a, b));
+  int scalar_sad = 0;
+  for (std::size_t k = 0; k < a.y.size(); ++k) {
+    scalar_sad += std::abs(static_cast<int>(a.y[k]) - static_cast<int>(b.y[k]));
+  }
+  EXPECT_EQ(macroblock_luma_sad_fast(a, b), scalar_sad);
+}
+
+TEST(Motion, FastHalfpelExtractMatchesScalarEverywhere) {
+  const Frame frame = textured_frame(51);
+  for (int mb_y = 0; mb_y < frame.height() / 16; ++mb_y) {
+    for (int mb_x = 0; mb_x < frame.width() / 16; ++mb_x) {
+      for (int dy = -3; dy <= 3; ++dy) {
+        for (int dx = -3; dx <= 3; ++dx) {
+          const MotionVector mv{dx, dy};
+          EXPECT_EQ(extract_macroblock_halfpel_fast(frame, mb_x, mb_y, mv),
+                    extract_macroblock_halfpel(frame, mb_x, mb_y, mv))
+              << "mb (" << mb_x << "," << mb_y << ") half-pel (" << dx << ","
+              << dy << ")";
+        }
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace lsm::mpeg

@@ -104,5 +104,33 @@ TEST(Quant, MatrixMatchesIsoDefaultCorners) {
   EXPECT_EQ(matrix[7], 34);
 }
 
+TEST(Quant, FastQuantizersMatchScalarBitwise) {
+  // The SIMD quantizers route the integer divisions through packed double
+  // division; quant.h argues the results are exact, this checks it across
+  // the DCT output range and every extreme scale, including the
+  // rounding-sensitive half-away (intra) and truncation (inter) cases.
+  lsm::sim::Rng rng(23);
+  for (const int scale : {1, 2, 7, 16, 31}) {
+    for (int trial = 0; trial < 100; ++trial) {
+      CoeffBlock coeffs;
+      for (auto& c : coeffs) {
+        c = static_cast<std::int16_t>(rng.uniform_int(-2048, 2048));
+      }
+      EXPECT_EQ(quantize_intra_fast(coeffs, scale),
+                quantize_intra(coeffs, scale))
+          << "intra scale " << scale << " trial " << trial;
+      EXPECT_EQ(quantize_inter_fast(coeffs, scale),
+                quantize_inter(coeffs, scale))
+          << "inter scale " << scale << " trial " << trial;
+    }
+  }
+}
+
+TEST(Quant, FastQuantizersValidateScaleLikeScalar) {
+  const CoeffBlock coeffs{};
+  EXPECT_THROW(quantize_intra_fast(coeffs, 0), std::invalid_argument);
+  EXPECT_THROW(quantize_inter_fast(coeffs, 32), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace lsm::mpeg

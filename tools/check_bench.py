@@ -9,10 +9,15 @@ The CI bench-baseline job runs
 
 and fails when any benchmark's throughput (items_per_second; falls back to
 1/real_time for benchmarks without an items counter) drops more than
---threshold (default 0.25) below the baseline. Benchmarks new in the
-current run pass with a WARN (record them with the update subcommand);
-benchmarks that disappeared fail, so a deleted benchmark forces a
-deliberate baseline refresh.
+--threshold (default 0.25) below the baseline. A baseline entry may carry
+its own "threshold" key, which overrides the global value for that one
+benchmark — use a looser override for noisy end-to-end benchmarks (e.g.
+threaded encoder throughput on shared CI runners) and a tighter one for
+stable microkernels. The update subcommand preserves per-benchmark
+overrides when it rewrites throughputs. Benchmarks new in the current run
+pass with a WARN (record them with the update subcommand); benchmarks that
+disappeared fail, so a deleted benchmark forces a deliberate baseline
+refresh.
 
 --summary-out FILE additionally writes the comparison as a markdown
 before/after delta table, the format GitHub renders when appended to
@@ -37,22 +42,32 @@ import json
 import sys
 
 
-def load_throughputs(path: str) -> dict[str, float]:
-    """Map benchmark name -> throughput from either a raw google-benchmark
-    JSON document or a previously reduced baseline document."""
+def load_entries(path: str) -> dict[str, dict[str, float]]:
+    """Map benchmark name -> {"throughput": ..., optional "threshold": ...}
+    from either a raw google-benchmark JSON document or a previously
+    reduced baseline document. Only reduced baselines carry thresholds."""
     with open(path, "r", encoding="utf-8") as handle:
         document = json.load(handle)
     benchmarks = document.get("benchmarks", [])
+    entries: dict[str, dict[str, float]] = {}
     if isinstance(benchmarks, dict):  # reduced baseline format
-        return {name: float(entry["throughput"])
-                for name, entry in benchmarks.items()}
-    throughputs: dict[str, float] = {}
+        for name, entry in benchmarks.items():
+            reduced = {"throughput": float(entry["throughput"])}
+            if "threshold" in entry:
+                threshold = float(entry["threshold"])
+                if not 0.0 <= threshold < 1.0:
+                    raise ValueError(
+                        f"{name}: per-benchmark threshold {threshold} must "
+                        f"be a fraction in [0, 1)")
+                reduced["threshold"] = threshold
+            entries[name] = reduced
+        return entries
     for entry in benchmarks:
         if entry.get("run_type", "iteration") != "iteration":
             continue  # skip aggregate rows (mean/median/stddev)
         name = entry["name"]
         if "items_per_second" in entry:
-            throughputs[name] = float(entry["items_per_second"])
+            entries[name] = {"throughput": float(entry["items_per_second"])}
         else:
             # real_time is reported in entry["time_unit"]; normalize to
             # runs/second so the ratio check still works.
@@ -60,8 +75,13 @@ def load_throughputs(path: str) -> dict[str, float]:
                 entry.get("time_unit", "ns")]
             real_time = float(entry["real_time"]) * unit
             if real_time > 0:
-                throughputs[name] = 1.0 / real_time
-    return throughputs
+                entries[name] = {"throughput": 1.0 / real_time}
+    return entries
+
+
+def load_throughputs(path: str) -> dict[str, float]:
+    return {name: entry["throughput"]
+            for name, entry in load_entries(path).items()}
 
 
 def write_summary(path: str, rows: list[tuple[str, str, str, str, str]],
@@ -84,11 +104,13 @@ def write_summary(path: str, rows: list[tuple[str, str, str, str, str]],
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
-    baseline = load_throughputs(args.baseline)
+    baseline = load_entries(args.baseline)
     current = load_throughputs(args.current)
     failures = []
     rows: list[tuple[str, str, str, str, str]] = []
-    for name, base in sorted(baseline.items()):
+    for name, entry in sorted(baseline.items()):
+        base = entry["throughput"]
+        threshold = entry.get("threshold", args.threshold)
         now = current.get(name)
         if now is None:
             failures.append(f"{name}: present in baseline but missing from "
@@ -99,15 +121,17 @@ def cmd_compare(args: argparse.Namespace) -> int:
             continue
         ratio = now / base if base > 0 else float("inf")
         delta = f"{100.0 * (ratio - 1.0):+.1f}%"
-        marker = "FAIL" if ratio < 1.0 - args.threshold else "ok"
+        marker = "FAIL" if ratio < 1.0 - threshold else "ok"
+        override = ("" if "threshold" not in entry
+                    else f" [threshold {100.0 * threshold:.0f}%]")
         print(f"{marker:>4}  {name}: {now:.3e} vs baseline {base:.3e} "
-              f"({delta})")
+              f"({delta}){override}")
         rows.append((name, f"{base:.3e}", f"{now:.3e}", delta,
                      "❌ regressed" if marker == "FAIL" else "✅"))
         if marker == "FAIL":
             failures.append(f"{name}: throughput regressed "
                             f"{100.0 * (1.0 - ratio):.1f}% "
-                            f"(> {100.0 * args.threshold:.0f}% allowed)")
+                            f"(> {100.0 * threshold:.0f}% allowed)")
     for name in sorted(set(current) - set(baseline)):
         print(f"WARN  {name}: {current[name]:.3e} (not in the baseline; "
               f"run the update command to record it)")
@@ -131,11 +155,25 @@ def cmd_update(args: argparse.Namespace) -> int:
         print("no benchmarks in the current run; refusing to write an "
               "empty baseline", file=sys.stderr)
         return 1
+    # A refresh rewrites throughputs but keeps per-benchmark threshold
+    # overrides from the previous baseline — they encode a judgment about
+    # benchmark noise, not a measurement.
+    import os
+    thresholds: dict[str, float] = {}
+    if os.path.exists(args.baseline):
+        thresholds = {
+            name: entry["threshold"]
+            for name, entry in load_entries(args.baseline).items()
+            if "threshold" in entry
+        }
     document = {
         "comment": "Throughput baseline for tools/check_bench.py; refresh "
-                   "with the update subcommand from a trusted run.",
+                   "with the update subcommand from a trusted run. A "
+                   "per-benchmark \"threshold\" key overrides the global "
+                   "--threshold for that benchmark and survives refreshes.",
         "benchmarks": {
-            name: {"throughput": value}
+            name: ({"throughput": value, "threshold": thresholds[name]}
+                   if name in thresholds else {"throughput": value})
             for name, value in sorted(current.items())
         },
     }
@@ -205,6 +243,65 @@ def cmd_selftest(args: argparse.Namespace) -> int:
         for expected in ("BM_A", "BM_B", "BM_NEW", "missing",
                          "no baseline", "FAILED"):
             assert expected in summary, f"summary lacks {expected!r}"
+        checks += 1
+
+        def write_baseline(path: str,
+                           entries: dict[str, dict[str, float]]) -> None:
+            with open(path, "w", encoding="utf-8") as handle:
+                json.dump({"benchmarks": entries}, handle)
+
+        def compare_against(baseline_path: str,
+                            current: dict[str, float]) -> int:
+            current_path = os.path.join(tmp, "override_current.json")
+            with open(current_path, "w", encoding="utf-8") as handle:
+                json.dump(bench_doc(current), handle)
+            return cmd_compare(argparse.Namespace(
+                baseline=baseline_path, current=current_path,
+                threshold=0.25, summary_out=None))
+
+        # A loose per-benchmark threshold admits a drop the global 25%
+        # would reject; a benchmark without an override still fails.
+        override_path = os.path.join(tmp, "override_baseline.json")
+        write_baseline(override_path, {
+            "BM_NOISY": {"throughput": 100.0, "threshold": 0.6},
+            "BM_STABLE": {"throughput": 100.0},
+        })
+        assert compare_against(override_path,
+                               {"BM_NOISY": 55.0, "BM_STABLE": 100.0}) == 0
+        assert compare_against(override_path,
+                               {"BM_NOISY": 55.0, "BM_STABLE": 70.0}) == 1
+        checks += 1
+        # A tight override rejects a drop the global threshold would allow.
+        write_baseline(override_path, {
+            "BM_KERNEL": {"throughput": 100.0, "threshold": 0.05},
+        })
+        assert compare_against(override_path, {"BM_KERNEL": 90.0}) == 1
+        assert compare_against(override_path, {"BM_KERNEL": 96.0}) == 0
+        checks += 1
+        # update preserves threshold overrides while rewriting throughputs.
+        write_baseline(override_path, {
+            "BM_NOISY": {"throughput": 100.0, "threshold": 0.6},
+            "BM_STABLE": {"throughput": 100.0},
+        })
+        refreshed_raw = os.path.join(tmp, "override_raw.json")
+        with open(refreshed_raw, "w", encoding="utf-8") as handle:
+            json.dump(bench_doc({"BM_NOISY": 200.0, "BM_STABLE": 150.0}),
+                      handle)
+        assert cmd_update(argparse.Namespace(
+            baseline=override_path, current=refreshed_raw)) == 0
+        refreshed = load_entries(override_path)
+        assert refreshed["BM_NOISY"] == {"throughput": 200.0,
+                                         "threshold": 0.6}
+        assert refreshed["BM_STABLE"] == {"throughput": 150.0}
+        checks += 1
+        # An out-of-range override is rejected as malformed.
+        write_baseline(override_path,
+                       {"BM_BAD": {"throughput": 1.0, "threshold": 1.5}})
+        try:
+            load_entries(override_path)
+            raise AssertionError("threshold 1.5 must be rejected")
+        except ValueError:
+            pass
         checks += 1
     print(f"check_bench selftest passed ({checks} scenarios).")
     return 0
