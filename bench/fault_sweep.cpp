@@ -10,6 +10,7 @@
 #include "bench_util.h"
 
 #include "net/transport.h"
+#include "obs/metrics.h"
 
 namespace {
 
@@ -94,8 +95,12 @@ int main() {
         }
       }
     }
-    std::printf("# intensity %.1f telemetry: %s\n", intensity,
-                aggregate.to_json().c_str());
+    // Per-intensity telemetry as a unified metrics snapshot (one line per
+    // intensity, each validated against tools/metrics_schema.json by CI).
+    lsm::obs::Registry registry;
+    registry.gauge("fault_sweep.intensity").set(intensity);
+    aggregate.export_metrics(registry, "fault_sweep");
+    std::printf("# metrics: %s\n", registry.to_json().c_str());
   }
 
   std::printf(

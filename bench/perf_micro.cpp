@@ -17,6 +17,7 @@
 #include "mpeg/videogen.h"
 #include "net/mux.h"
 #include "net/packetize.h"
+#include "obs/tracer.h"
 #include "runtime/batch.h"
 #include "runtime/encode_batch.h"
 #include "trace/sequences.h"
@@ -37,6 +38,30 @@ void BM_SmoothBasic(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * t.picture_count());
 }
 BENCHMARK(BM_SmoothBasic)->Arg(1)->Arg(9)->Arg(18);
+
+// The tracing-cost gate: the same BM_SmoothBasic loop with the global
+// tracer disabled (the shipped default: one relaxed load per picture) and
+// enabled (events land in the SPSC rings, drained each iteration so the
+// rings never fill). Baseline thresholds keep "tracing off" within noise
+// of BM_SmoothBasic/18 — instrumenting the engine must stay free.
+void BM_TraceOverhead(benchmark::State& state) {
+  const bool enabled = state.range(0) != 0;
+  const trace::Trace t = trace::driving1();
+  core::SmootherParams params;
+  params.tau = t.tau();
+  params.H = 18;
+  obs::Tracer& tracer = obs::Tracer::global();
+  tracer.clear();
+  tracer.set_enabled(enabled);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::smooth_basic(t, params));
+    if (enabled) tracer.clear();
+  }
+  tracer.set_enabled(false);
+  tracer.clear();
+  state.SetItemsProcessed(state.iterations() * t.picture_count());
+}
+BENCHMARK(BM_TraceOverhead)->ArgName("enabled")->Arg(0)->Arg(1);
 
 // A long scene-process trace (>= 50k pictures) so the per-picture cost is
 // measured with the estimator tables, prefix sums, and trace data far

@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "net/transport.h"
+#include "obs/metrics.h"
 #include "trace/sequences.h"
 
 int main() {
@@ -56,5 +57,16 @@ int main() {
                 d.sender_start, d.sender_done, d.received, d.deadline,
                 d.late ? "  LATE" : "");
   }
+
+  // The unified metrics snapshot — the line a deployment (or the CI
+  // metrics-schema gate) scrapes; see tools/metrics_schema.json.
+  lsm::obs::Registry registry;
+  registry.counter("live.pictures").add(safe.deliveries.size());
+  registry.counter("live.underflows")
+      .add(static_cast<std::uint64_t>(safe.underflows));
+  registry.gauge("live.max_sender_delay_s").set(safe.max_sender_delay);
+  registry.gauge("live.worst_delay_excess_s").set(safe.worst_delay_excess);
+  registry.gauge("live.playout_offset_s").set(safe.playout_offset);
+  std::printf("\n# metrics: %s\n", registry.to_json().c_str());
   return 0;
 }

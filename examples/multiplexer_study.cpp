@@ -12,6 +12,7 @@
 #include "core/smoother.h"
 #include "net/mux.h"
 #include "net/packetize.h"
+#include "obs/metrics.h"
 #include "runtime/batch.h"
 #include "trace/sequences.h"
 
@@ -90,7 +91,14 @@ int main() {
                 smooth_result.loss_ratio);
   }
 
-  std::printf("\nsmoothing runtime counters (%d workers):\n%s\n",
-              batch.thread_count(), batch.report_json().c_str());
+  // Batch runtime counters through the unified metrics snapshot (the same
+  // shape every emitter produces; tools/metrics_schema.json validates it).
+  lsm::obs::Registry registry;
+  batch.counters().export_metrics(registry, "batch");
+  registry.gauge("batch.workers")
+      .set(static_cast<double>(batch.thread_count()));
+  std::printf("\nsmoothing runtime counters (%d workers):\n",
+              batch.thread_count());
+  std::printf("# metrics: %s\n", registry.to_json().c_str());
   return 0;
 }

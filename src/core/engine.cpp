@@ -46,6 +46,7 @@ template <typename Kernel>
                                    trace_.pattern().N(), variant_, fallback,
                                    kernel);
   }
+  const Rate previous_rate = rate_;
   rate_ = decision.rate;
   diag_ = decision.diag;
 
@@ -56,6 +57,20 @@ template <typename Kernel>
   send.rate = rate_;
   send.depart = time + static_cast<double>(bits) / rate_;
   send.delay = send.depart - static_cast<double>(i - 1) * tau;
+
+  if (tracer_.on()) {
+    const std::uint32_t picture = static_cast<std::uint32_t>(i);
+    if (diag_.early_exit) {
+      tracer_.emit(obs::EventKind::kBoundCrossing, picture, time, diag_.lower,
+                   diag_.upper);
+    }
+    if (diag_.rate_changed) {
+      tracer_.emit(obs::EventKind::kRateChange, picture, time, rate_,
+                   previous_rate);
+    }
+    tracer_.emit(obs::EventKind::kPictureScheduled, picture, time, send.rate,
+                 send.delay, send.depart);
+  }
 
   depart_ = send.depart;
   ++next_;

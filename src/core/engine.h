@@ -31,6 +31,7 @@
 #include "core/fastpath.h"
 #include "core/params.h"
 #include "core/schedule.h"
+#include "obs/tracer.h"
 
 namespace lsm::core {
 
@@ -103,6 +104,13 @@ class SmootherEngine {
   const SizeEstimator& estimator_;
   Variant variant_;
   fastpath::AnyKernel kernel_;
+  /// Observability hook: binds the global Tracer and the ambient stream id
+  /// (obs::current_stream()) at construction. Emission is the taxonomy of
+  /// DESIGN.md §3.5 — bound crossing, rate change, picture scheduled — and
+  /// every emitted field is a deterministic function of the schedule, so
+  /// traces are byte-identical across execution paths (tracing observes,
+  /// never branches the schedule). Disabled cost: one relaxed load/step.
+  obs::StreamTracer tracer_;
 
   int next_ = 1;        ///< picture index i of the next step
   Seconds depart_ = 0.0;  ///< d_{i-1}

@@ -81,6 +81,7 @@ PictureSend StreamingSmoother::decide() {
                 i, time, last_picture, rate_, params_, pattern_.N(),
                 Variant::kBasic, fallback,
                 [this](int j, Seconds t) { return size_at(j, t); });
+  const Rate previous_rate = rate_;
   rate_ = decision.rate;
 
   PictureSend send;
@@ -90,6 +91,20 @@ PictureSend StreamingSmoother::decide() {
   send.rate = rate_;
   send.depart = time + static_cast<double>(send.bits) / rate_;
   send.delay = send.depart - static_cast<double>(i - 1) * tau;
+
+  if (tracer_.on()) {
+    const std::uint32_t picture = static_cast<std::uint32_t>(i);
+    if (decision.diag.early_exit) {
+      tracer_.emit(obs::EventKind::kBoundCrossing, picture, time,
+                   decision.diag.lower, decision.diag.upper);
+    }
+    if (decision.diag.rate_changed) {
+      tracer_.emit(obs::EventKind::kRateChange, picture, time, rate_,
+                   previous_rate);
+    }
+    tracer_.emit(obs::EventKind::kPictureScheduled, picture, time, send.rate,
+                 send.delay, send.depart);
+  }
 
   depart_ = send.depart;
   ++next_;

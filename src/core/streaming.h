@@ -30,6 +30,7 @@
 #include "core/estimator.h"
 #include "core/fastpath.h"
 #include "core/schedule.h"
+#include "obs/tracer.h"
 
 namespace lsm::core {
 
@@ -75,6 +76,9 @@ class StreamingSmoother {
   fastpath::StreamingKernel kernel_;
   bool use_fast_path_;
   bool finished_ = false;
+  /// Same emission taxonomy as SmootherEngine (DESIGN.md §3.5); the
+  /// decision values are bitwise-equal across paths, so so are the traces.
+  obs::StreamTracer tracer_;
 
   int next_ = 1;
   Seconds depart_ = 0.0;

@@ -4,6 +4,9 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/flight_recorder.h"
+#include "obs/tracer.h"
+
 namespace lsm::net {
 
 void RetryPolicy::validate() const {
@@ -55,13 +58,28 @@ FaultedReservationResult plan_reservation_faulted(
   std::vector<core::RateSegment> honored;
   core::Rate current_level = 0.0;
   bool have_level = false;
+  obs::StreamTracer tracer;
   for (const core::RateSegment& segment : ideal.reservation.segments()) {
+    tracer.emit(obs::EventKind::kRenegRequest, 0, segment.begin,
+                segment.rate);
     const RetryOutcome outcome =
         resolve_with_backoff(segment.begin, retry, plan);
     // A grant that lands after the segment's span ended is moot: the level
     // was never held while it mattered.
     const bool gave_up =
         !outcome.granted || outcome.grant_time >= segment.end;
+    if (outcome.denied > 0) {
+      tracer.emit(obs::EventKind::kRenegDenial, 0, segment.begin,
+                  segment.rate, static_cast<double>(outcome.denied));
+    }
+    if (gave_up) {
+      tracer.emit(obs::EventKind::kRenegGiveUp, 0, segment.begin,
+                  segment.rate, static_cast<double>(outcome.denied));
+      obs::FlightRecorder::global().trigger("reservation_giveup");
+    } else {
+      tracer.emit(obs::EventKind::kRenegGrant, 0, outcome.grant_time,
+                  segment.rate, static_cast<double>(outcome.denied));
+    }
 
     GrantRecord record;
     record.request_time = segment.begin;

@@ -5,6 +5,8 @@
 #include <memory>
 #include <stdexcept>
 
+#include "obs/flight_recorder.h"
+#include "obs/tracer.h"
 #include "sim/rng.h"
 
 namespace lsm::net {
@@ -143,6 +145,9 @@ PipelineReport run_live_pipeline(const lsm::trace::Trace& trace,
   // The self-scheduling closure captures its own shared_ptr; break the
   // reference cycle explicitly once the simulation has drained.
   *send_next = nullptr;
+  if (report.worst_delay_excess > 0.0) {
+    obs::FlightRecorder::global().trigger("worst_delay_excess");
+  }
   return report;
 }
 
@@ -162,12 +167,17 @@ FaultedPipelineReport run_faulted_pipeline(const lsm::trace::Trace& trace,
                               core::Variant::kBasic,
                               config.base.execution_path);
 
+  // The pipeline's observability handle: bound to the ambient stream id so
+  // batch drivers can attribute events per job. The engine shares the same
+  // binding (constructed above, same thread, same scope).
+  auto tracer = std::make_shared<obs::StreamTracer>();
+
   // Every fault window opens as an event on the simulation queue; the
   // injected tallies are therefore consistent with the plan by
   // construction (the property suite pins this).
   for (const sim::FaultEvent& event : plan.events()) {
-    queue.schedule_at(event.start, [&deg, cls = event.cls] {
-      switch (cls) {
+    queue.schedule_at(event.start, [&deg, tracer, event] {
+      switch (event.cls) {
         case sim::FaultClass::kChannelFade: ++deg.fades_injected; break;
         case sim::FaultClass::kBurstLoss: ++deg.losses_injected; break;
         case sim::FaultClass::kEncoderStall: ++deg.stalls_injected; break;
@@ -175,6 +185,13 @@ FaultedPipelineReport run_faulted_pipeline(const lsm::trace::Trace& trace,
           ++deg.denial_windows_injected;
           break;
       }
+      tracer->emit(obs::EventKind::kFaultWindowOpen, 0, event.start,
+                   static_cast<double>(event.cls), event.end(),
+                   event.magnitude);
+    });
+    queue.schedule_at(event.end(), [tracer, event] {
+      tracer->emit(obs::EventKind::kFaultWindowClose, 0, event.end(),
+                   static_cast<double>(event.cls));
     });
   }
 
@@ -220,13 +237,24 @@ FaultedPipelineReport run_faulted_pipeline(const lsm::trace::Trace& trace,
     const double rate_before = granted_rate > 0.0 ? granted_rate : 0.0;
     double switch_time = actual_start;
     if (granted_rate < 0.0 || requested > granted_rate) {
+      const std::uint32_t picture =
+          static_cast<std::uint32_t>(send.index);
+      tracer->emit(obs::EventKind::kRenegRequest, picture, actual_start,
+                   requested);
       const RetryOutcome outcome =
           resolve_with_backoff(actual_start, config.recovery.retry, plan);
       deg.denials += static_cast<std::uint64_t>(outcome.denied);
       deg.retries += static_cast<std::uint64_t>(
           outcome.granted ? outcome.denied
                           : std::max(0, outcome.denied - 1));
+      if (outcome.denied > 0) {
+        tracer->emit(obs::EventKind::kRenegDenial, picture, actual_start,
+                     requested, static_cast<double>(outcome.denied));
+      }
       if (outcome.granted) {
+        tracer->emit(obs::EventKind::kRenegGrant, picture,
+                     outcome.grant_time, requested,
+                     static_cast<double>(outcome.denied));
         if (outcome.grant_time > actual_start) {
           deg.recovery_latency.add(outcome.grant_time - actual_start);
           switch_time = outcome.grant_time;
@@ -234,6 +262,9 @@ FaultedPipelineReport run_faulted_pipeline(const lsm::trace::Trace& trace,
         granted_rate = requested;
       } else {
         ++deg.giveups;
+        tracer->emit(obs::EventKind::kRenegGiveUp, picture, actual_start,
+                     requested, static_cast<double>(outcome.denied));
+        obs::FlightRecorder::global().trigger("renegotiation_giveup");
         if (granted_rate <= 0.0) {
           // A stream with no reservation at all cannot degrade gracefully;
           // force the setup grant and account the failure.
@@ -314,6 +345,9 @@ FaultedPipelineReport run_faulted_pipeline(const lsm::trace::Trace& trace,
   queue.schedule_at(first_decision, [send_next] { (*send_next)(); });
   queue.run();
   *send_next = nullptr;
+  if (report.worst_delay_excess > 0.0) {
+    obs::FlightRecorder::global().trigger("worst_delay_excess");
+  }
   return out;
 }
 

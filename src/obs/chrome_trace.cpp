@@ -1,0 +1,74 @@
+#include "obs/chrome_trace.h"
+
+#include <algorithm>
+
+#include "obs/json.h"
+
+namespace lsm::obs {
+
+namespace {
+
+/// Seconds -> chrome's microsecond timebase.
+double to_us(double seconds) { return seconds * 1e6; }
+
+void write_common(JsonWriter& json, const TraceEvent& event,
+                  const char* phase) {
+  json.key("name").value(
+      event_kind_name(static_cast<EventKind>(event.kind)));
+  json.key("ph").value(phase);
+  json.key("ts").value(to_us(event.time));
+  json.key("pid").value(static_cast<std::uint64_t>(event.stream));
+  json.key("tid").value(std::uint64_t{0});
+}
+
+}  // namespace
+
+std::string to_chrome_trace_json(const std::vector<TraceEvent>& events) {
+  std::vector<TraceEvent> sorted = events;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const TraceEvent& x, const TraceEvent& y) {
+                     return x.time < y.time;
+                   });
+  JsonWriter json;
+  json.begin_object();
+  json.key("displayTimeUnit").value("ms");
+  json.key("traceEvents").begin_array();
+  for (const TraceEvent& event : sorted) {
+    const EventKind kind = static_cast<EventKind>(event.kind);
+    json.begin_object();
+    if (kind == EventKind::kPictureScheduled) {
+      // Complete slice from the decision instant t_i to the departure d_i.
+      write_common(json, event, "X");
+      json.key("dur").value(
+          to_us(event.c > event.time ? event.c - event.time : 0.0));
+      json.key("args").begin_object();
+      json.key("picture").value(static_cast<std::uint64_t>(event.picture));
+      json.key("rate_bps").value(event.a);
+      json.key("delay_s").value(event.b);
+      json.end_object();
+    } else if (kind == EventKind::kShardStart ||
+               kind == EventKind::kShardEnd) {
+      write_common(json, event, "i");
+      json.key("s").value("g");
+      json.key("args").begin_object();
+      json.key("first_job").value(event.a);
+      json.key("last_job").value(event.b);
+      json.end_object();
+    } else {
+      write_common(json, event, "i");
+      json.key("s").value("t");
+      json.key("args").begin_object();
+      json.key("picture").value(static_cast<std::uint64_t>(event.picture));
+      json.key("a").value(event.a);
+      json.key("b").value(event.b);
+      json.key("c").value(event.c);
+      json.end_object();
+    }
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  return json.take();
+}
+
+}  // namespace lsm::obs

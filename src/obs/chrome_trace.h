@@ -1,0 +1,19 @@
+// Chrome trace_event exporter: converts a binary event stream into the
+// JSON Array Format chrome://tracing (or Perfetto's legacy importer)
+// loads directly. Picture sends become complete ("X") slices spanning
+// t_i .. d_i on the stream's track; everything else becomes a
+// thread-scoped instant ("i") mark, so bound crossings, renegotiation
+// round-trips, and fault windows line up visually against the schedule.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/event.h"
+
+namespace lsm::obs {
+
+/// The full chrome://tracing JSON document for `events`.
+std::string to_chrome_trace_json(const std::vector<TraceEvent>& events);
+
+}  // namespace lsm::obs

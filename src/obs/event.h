@@ -1,0 +1,78 @@
+// The structured trace event: one fixed-size binary record per observable
+// action in the smoothing runtime (event taxonomy in DESIGN.md §3.5).
+//
+// Events are designed for the determinism gate first and dashboards
+// second: every field of a schedule-level event is a pure function of the
+// inputs (trace, parameters, seed), so the byte stream is identical across
+// execution paths and thread counts once sorted by (stream, picture, seq).
+// Runtime-level events (shard start/end) carry wall-clock time and are
+// excluded from that comparison by kind — see deterministic_kind().
+#pragma once
+
+#include <cstdint>
+#include <type_traits>
+
+namespace lsm::obs {
+
+/// What happened. Payload layout of TraceEvent::{a, b, c} per kind below.
+enum class EventKind : std::uint16_t {
+  kNone = 0,
+  /// Picture i scheduled: a = rate r_i (bps), b = delay d_i - (i-1)tau (s),
+  /// c = departure d_i (s). time = decision instant t_i.
+  kPictureScheduled = 1,
+  /// r_i differs from r_{i-1}: a = new rate, b = previous rate.
+  kRateChange = 2,
+  /// Figure 2 early exit — the Section 4.4 Theorem-1 bound crossing
+  /// (lower > upper): a = clamped lower bound, b = clamped upper bound.
+  kBoundCrossing = 3,
+  /// Renegotiation request issued: a = requested rate (bps).
+  kRenegRequest = 4,
+  /// Request granted: a = granted rate, b = denied attempts before the
+  /// grant. time = grant instant.
+  kRenegGrant = 5,
+  /// Request denied at least once: a = requested rate, b = denials so far.
+  kRenegDenial = 6,
+  /// Retry budget exhausted: a = requested rate, b = denied attempts.
+  kRenegGiveUp = 7,
+  /// Fault window opens: a = sim::FaultClass as double, b = window end
+  /// time, c = magnitude.
+  kFaultWindowOpen = 8,
+  /// Fault window closes: a = sim::FaultClass as double.
+  kFaultWindowClose = 9,
+  /// Batch shard starts on a worker: a = first job index, b = one past the
+  /// last job index. time = wall seconds (nondeterministic).
+  kShardStart = 10,
+  /// Batch shard finished: a = first job index, b = one past the last.
+  kShardEnd = 11,
+};
+
+/// Human-readable kind name (chrome exporter, flight-recorder dumps).
+const char* event_kind_name(EventKind kind) noexcept;
+
+/// True for kinds whose every field is deterministic given the inputs;
+/// false for runtime-timing kinds (shards), which the determinism
+/// differential excludes before comparing.
+constexpr bool deterministic_kind(EventKind kind) noexcept {
+  return kind != EventKind::kShardStart && kind != EventKind::kShardEnd;
+}
+
+/// One fixed-size binary trace record. Plain data, 48 bytes, memcpy-safe:
+/// the binary trace file format is the in-memory layout.
+struct TraceEvent {
+  std::uint32_t stream = 0;   ///< stream/job id (obs::current_stream())
+  std::uint32_t picture = 0;  ///< 1-based picture index, 0 when n/a
+  std::uint16_t kind = 0;     ///< EventKind
+  std::uint16_t flags = 0;    ///< reserved (always 0 today)
+  std::uint32_t seq = 0;      ///< per-stream emission order
+  double time = 0.0;          ///< simulated seconds (wall for shard events)
+  double a = 0.0;             ///< payload, see EventKind
+  double b = 0.0;
+  double c = 0.0;
+};
+
+static_assert(sizeof(TraceEvent) == 48,
+              "TraceEvent is the on-disk record; keep it exactly 48 bytes");
+static_assert(std::is_trivially_copyable_v<TraceEvent>,
+              "TraceEvent must stay memcpy-safe for binary trace io");
+
+}  // namespace lsm::obs

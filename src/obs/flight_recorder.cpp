@@ -1,0 +1,108 @@
+#include "obs/flight_recorder.h"
+
+#include <cstdio>
+
+namespace lsm::obs {
+
+FlightRecorder& FlightRecorder::global() noexcept {
+  static FlightRecorder recorder;
+  return recorder;
+}
+
+void FlightRecorder::arm(std::size_t per_stream, Tracer* tracer) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  tracer_ = tracer != nullptr ? tracer : &Tracer::global();
+  per_stream_ = per_stream > 0 ? per_stream : 1;
+  armed_ = true;
+  dumps_ = 0;
+  rings_.clear();
+  tracer_->set_enabled(true);
+}
+
+void FlightRecorder::disarm() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  armed_ = false;
+  rings_.clear();
+  tracer_ = nullptr;
+}
+
+bool FlightRecorder::armed() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return armed_;
+}
+
+void FlightRecorder::set_dump_path(std::string path) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  dump_path_ = std::move(path);
+}
+
+void FlightRecorder::capture() {
+  std::vector<TraceEvent> events;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (!armed_) return;
+    events = tracer_->drain();
+    for (const TraceEvent& event : events) {
+      std::deque<TraceEvent>& ring = rings_[event.stream];
+      ring.push_back(event);
+      while (ring.size() > per_stream_) ring.pop_front();
+    }
+  }
+}
+
+bool FlightRecorder::trigger(std::string_view reason) {
+  if (!armed()) return false;
+  capture();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (!armed_) return false;
+  write_dump(reason);
+  ++dumps_;
+  return true;
+}
+
+std::uint64_t FlightRecorder::dump_count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return dumps_;
+}
+
+std::vector<TraceEvent> FlightRecorder::retained(
+    std::uint32_t stream) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = rings_.find(stream);
+  if (it == rings_.end()) return {};
+  return std::vector<TraceEvent>(it->second.begin(), it->second.end());
+}
+
+void FlightRecorder::write_dump(std::string_view reason) {
+  std::FILE* out = stderr;
+  bool close = false;
+  if (!dump_path_.empty()) {
+    std::FILE* file = std::fopen(dump_path_.c_str(), "a");
+    if (file != nullptr) {
+      out = file;
+      close = true;
+    }
+  }
+  std::fprintf(out,
+               "=== lsm flight recorder dump (reason: %.*s) ===\n",
+               static_cast<int>(reason.size()), reason.data());
+  for (const auto& [stream, ring] : rings_) {
+    std::fprintf(out, "stream %u: last %zu events\n", stream, ring.size());
+    for (const TraceEvent& event : ring) {
+      std::fprintf(
+          out,
+          "  t=%.6f %-18s picture=%u seq=%u a=%.6g b=%.6g c=%.6g\n",
+          event.time,
+          event_kind_name(static_cast<EventKind>(event.kind)),
+          event.picture, event.seq, event.a, event.b, event.c);
+    }
+  }
+  std::fprintf(out, "=== end of dump ===\n");
+  if (close) {
+    std::fclose(out);
+  } else {
+    std::fflush(out);
+  }
+}
+
+}  // namespace lsm::obs

@@ -1,0 +1,71 @@
+// Flight recorder: bounded retention of the last N trace events per
+// stream, dumped automatically when something goes wrong — a delay bound
+// overshoot (worst_delay_excess > 0), a renegotiation give-up in
+// net/recovery, or a differential identity mismatch. The dump turns "one
+// test failed" into a postmortem: the exact event sequence leading into
+// the failure, per stream, with kind names and payloads.
+//
+// The recorder is disarmed by default and costs nothing until armed: it
+// is a *consumer* of the Tracer's buffers (capture() drains them into the
+// retention rings), never a hot-path participant. Arm it, run, and either
+// trigger() fires on a fault or the retained events are simply discarded.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/event.h"
+#include "obs/tracer.h"
+
+namespace lsm::obs {
+
+class FlightRecorder {
+ public:
+  FlightRecorder() = default;
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// The process-wide recorder the built-in triggers fire.
+  static FlightRecorder& global() noexcept;
+
+  /// Starts retaining (and enables the tracer feeding it). `per_stream`
+  /// is the ring depth: how many trailing events each stream keeps.
+  void arm(std::size_t per_stream = 256, Tracer* tracer = nullptr);
+  void disarm();
+  bool armed() const;
+
+  /// Dump destination: a file path (appended), or empty for stderr.
+  void set_dump_path(std::string path);
+
+  /// Pulls new events from the tracer into the retention rings.
+  void capture();
+
+  /// capture() + write a postmortem dump. No-op when disarmed. Returns
+  /// true when a dump was written.
+  bool trigger(std::string_view reason);
+
+  /// Dumps written since arm() (tests assert on this).
+  std::uint64_t dump_count() const;
+
+  /// The retained trailing events of one stream, oldest first.
+  std::vector<TraceEvent> retained(std::uint32_t stream) const;
+
+ private:
+  void write_dump(std::string_view reason);
+
+  mutable std::mutex mutex_;
+  Tracer* tracer_ = nullptr;
+  bool armed_ = false;
+  std::size_t per_stream_ = 256;
+  std::string dump_path_;
+  std::uint64_t dumps_ = 0;
+  std::map<std::uint32_t, std::deque<TraceEvent>> rings_;
+};
+
+}  // namespace lsm::obs

@@ -1,0 +1,185 @@
+// Minimal JSON writer: the single serialization path for every JSON blob
+// the library emits (metrics snapshots, counter reports, chrome traces).
+//
+// Two properties the hand-rolled snprintf emitters it replaces did not
+// have:
+//
+//   * Strings are escaped (quotes, backslashes, control characters), so a
+//     trace name like `ad"hoc` can no longer corrupt a report.
+//   * Doubles are formatted with std::to_chars shortest round-trip form:
+//     parsing the output recovers the exact bit pattern, and the text is
+//     as short as possible. Non-finite values (which JSON cannot
+//     represent) serialize as null.
+//
+// The writer is a plain append-only builder over std::string with explicit
+// begin/end calls; it does not validate nesting beyond comma placement.
+// tools/validate_json.py parses every emitter's output with python's
+// json.loads under ctest, which is the real conformance gate.
+#pragma once
+
+#include <charconv>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <system_error>
+
+namespace lsm::obs {
+
+/// Appends `text` JSON-escaped (without surrounding quotes) to `out`.
+inline void append_json_escaped(std::string& out, std::string_view text) {
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          const char* hex = "0123456789abcdef";
+          out += "\\u00";
+          out += hex[(c >> 4) & 0xf];
+          out += hex[c & 0xf];
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+/// Shortest round-trip-exact decimal form of `value`; "null" when the
+/// value is not finite (NaN or infinity have no JSON representation).
+inline std::string json_double(double value) {
+  if (!(value == value) || value > 1.7976931348623157e308 ||
+      value < -1.7976931348623157e308) {
+    return "null";
+  }
+  char buffer[32];
+  const std::to_chars_result result =
+      std::to_chars(buffer, buffer + sizeof buffer, value);
+  return std::string(buffer, result.ptr);
+}
+
+/// Streaming JSON builder with automatic comma placement.
+class JsonWriter {
+ public:
+  JsonWriter& begin_object() {
+    separate();
+    out_ += '{';
+    push(false);
+    return *this;
+  }
+  JsonWriter& end_object() {
+    out_ += '}';
+    pop();
+    return *this;
+  }
+  JsonWriter& begin_array() {
+    separate();
+    out_ += '[';
+    push(false);
+    return *this;
+  }
+  JsonWriter& end_array() {
+    out_ += ']';
+    pop();
+    return *this;
+  }
+
+  /// Object key; the next value call supplies its value.
+  JsonWriter& key(std::string_view name) {
+    separate();
+    out_ += '"';
+    append_json_escaped(out_, name);
+    out_ += "\": ";
+    pending_value_ = true;
+    return *this;
+  }
+
+  JsonWriter& value(std::string_view text) {
+    separate();
+    out_ += '"';
+    append_json_escaped(out_, text);
+    out_ += '"';
+    return *this;
+  }
+  JsonWriter& value(const char* text) {
+    return value(std::string_view(text));
+  }
+  JsonWriter& value(double number) {
+    separate();
+    out_ += json_double(number);
+    return *this;
+  }
+  JsonWriter& value(std::uint64_t number) {
+    separate();
+    out_ += std::to_string(number);
+    return *this;
+  }
+  JsonWriter& value(std::int64_t number) {
+    separate();
+    out_ += std::to_string(number);
+    return *this;
+  }
+  JsonWriter& value(int number) {
+    return value(static_cast<std::int64_t>(number));
+  }
+  JsonWriter& value(bool flag) {
+    separate();
+    out_ += flag ? "true" : "false";
+    return *this;
+  }
+  JsonWriter& null() {
+    separate();
+    out_ += "null";
+    return *this;
+  }
+
+  const std::string& str() const noexcept { return out_; }
+  std::string take() { return std::move(out_); }
+
+ private:
+  /// Emits ", " before the second and later members of the current scope;
+  /// a value directly following key() never takes a comma.
+  void separate() {
+    if (pending_value_) {
+      pending_value_ = false;
+      return;
+    }
+    if (depth_ > 0) {
+      if ((need_comma_ >> (depth_ - 1)) & 1u) {
+        out_ += ", ";
+      } else {
+        need_comma_ |= 1ull << (depth_ - 1);
+      }
+    }
+  }
+  void push(bool need_comma) {
+    ++depth_;
+    if (need_comma) {
+      need_comma_ |= 1ull << (depth_ - 1);
+    } else {
+      need_comma_ &= ~(1ull << (depth_ - 1));
+    }
+  }
+  void pop() {
+    if (depth_ > 0) --depth_;
+  }
+
+  std::string out_;
+  std::uint64_t need_comma_ = 0;  ///< one bit per nesting level (max 64)
+  int depth_ = 0;
+  bool pending_value_ = false;
+};
+
+}  // namespace lsm::obs

@@ -1,0 +1,185 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+
+#include "obs/json.h"
+
+namespace lsm::obs {
+
+void HistogramMetric::observe(double seconds) noexcept {
+  const bool faulty = !std::isfinite(seconds) || seconds < 0.0;
+  if (faulty) seconds = 0.0;
+  int index = 0;
+  double bound = 0.001;
+  while (index < kBuckets - 1 && seconds >= bound) {
+    ++index;
+    bound *= 2.0;
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++data_.buckets[static_cast<std::size_t>(index)];
+  ++data_.count;
+  data_.clamped += faulty ? 1 : 0;
+  if (seconds > data_.max_seconds) data_.max_seconds = seconds;
+}
+
+void HistogramMetric::merge(const std::uint64_t* buckets,
+                            std::uint64_t count, std::uint64_t clamped,
+                            double max_seconds) noexcept {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (int i = 0; i < kBuckets; ++i) {
+    data_.buckets[static_cast<std::size_t>(i)] +=
+        buckets[static_cast<std::size_t>(i)];
+  }
+  data_.count += count;
+  data_.clamped += clamped;
+  if (max_seconds > data_.max_seconds) data_.max_seconds = max_seconds;
+}
+
+HistogramMetric::Data HistogramMetric::data() const noexcept {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return data_;
+}
+
+Registry& Registry::global() noexcept {
+  static Registry registry;
+  return registry;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+HistogramMetric& Registry::histogram(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name), std::make_unique<HistogramMetric>())
+             .first;
+  }
+  return *it->second;
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  MetricsSnapshot snap;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.emplace_back(name, counter->value());
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.emplace_back(name, gauge->value());
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    snap.histograms.push_back(
+        MetricsSnapshot::Histogram{name, histogram->data()});
+  }
+  return snap;
+}
+
+std::string MetricsSnapshot::to_json() const {
+  JsonWriter json;
+  json.begin_object();
+  json.key("counters").begin_object();
+  for (const auto& [name, value] : counters) {
+    json.key(name).value(value);
+  }
+  json.end_object();
+  json.key("gauges").begin_object();
+  for (const auto& [name, value] : gauges) {
+    json.key(name).value(value);
+  }
+  json.end_object();
+  json.key("histograms").begin_object();
+  for (const Histogram& histogram : histograms) {
+    json.key(histogram.name).begin_object();
+    json.key("count").value(histogram.data.count);
+    json.key("clamped").value(histogram.data.clamped);
+    json.key("max_s").value(histogram.data.max_seconds);
+    json.key("buckets").begin_array();
+    for (const std::uint64_t bucket : histogram.data.buckets) {
+      json.value(bucket);
+    }
+    json.end_array();
+    json.end_object();
+  }
+  json.end_object();
+  json.end_object();
+  return json.take();
+}
+
+namespace {
+
+/// Prometheus metric names allow [a-zA-Z0-9_:]; dots become underscores.
+std::string prometheus_name(std::string_view name) {
+  std::string out = "lsm_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+std::string prometheus_double(double value) {
+  if (std::isnan(value)) return "NaN";
+  if (std::isinf(value)) return value > 0 ? "+Inf" : "-Inf";
+  return json_double(value);
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::to_prometheus() const {
+  std::string out;
+  for (const auto& [name, value] : counters) {
+    const std::string prom = prometheus_name(name);
+    out += "# TYPE " + prom + " counter\n";
+    out += prom + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : gauges) {
+    const std::string prom = prometheus_name(name);
+    out += "# TYPE " + prom + " gauge\n";
+    out += prom + " " + prometheus_double(value) + "\n";
+  }
+  for (const Histogram& histogram : histograms) {
+    const std::string prom = prometheus_name(histogram.name);
+    out += "# TYPE " + prom + " histogram\n";
+    double bound = 0.001;
+    std::uint64_t cumulative = 0;
+    for (int i = 0; i < HistogramMetric::kBuckets; ++i) {
+      cumulative += histogram.data.buckets[static_cast<std::size_t>(i)];
+      const std::string le =
+          i < HistogramMetric::kBuckets - 1 ? prometheus_double(bound)
+                                            : "+Inf";
+      out += prom + "_bucket{le=\"" + le +
+             "\"} " + std::to_string(cumulative) + "\n";
+      bound *= 2.0;
+    }
+    out += prom + "_count " + std::to_string(histogram.data.count) + "\n";
+    // The histogram tracks max and clamp counts, not a sum of samples:
+    // expose them as companion gauges rather than faking a _sum.
+    out += "# TYPE " + prom + "_max_seconds gauge\n";
+    out += prom + "_max_seconds " +
+           prometheus_double(histogram.data.max_seconds) + "\n";
+    out += "# TYPE " + prom + "_clamped counter\n";
+    out += prom + "_clamped " + std::to_string(histogram.data.clamped) +
+           "\n";
+  }
+  return out;
+}
+
+}  // namespace lsm::obs

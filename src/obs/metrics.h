@@ -1,0 +1,128 @@
+// Metrics registry: named counters, gauges, and fixed-bucket histograms
+// with a stable snapshot API and two expositions (JSON and Prometheus
+// text). This is the one place metric values become text — the runtime's
+// PerfRegistry / DegradationCounters reports and the benches' telemetry
+// lines all export into a Registry (or go through obs/json.h directly),
+// so there is exactly one JSON-emission path in the codebase.
+//
+// Handles returned by counter()/gauge()/histogram() have stable addresses
+// for the registry's lifetime and are safe to update from any thread;
+// name lookup takes a mutex (do it once, keep the handle), updates are a
+// single atomic or a short critical section.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lsm::obs {
+
+/// Monotonic counter (Prometheus "counter").
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins double (Prometheus "gauge").
+class Gauge {
+ public:
+  void set(double value) noexcept {
+    value_.store(value, std::memory_order_relaxed);
+  }
+  double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket latency histogram, same bucket geometry as the runtime's
+/// LatencyHistogram: bucket i counts samples below 1 ms * 2^i, the last
+/// bucket is the overflow. Negative or non-finite samples are clamped to
+/// zero and counted separately so faulty inputs stay visible.
+class HistogramMetric {
+ public:
+  static constexpr int kBuckets = 13;
+
+  void observe(double seconds) noexcept;
+
+  /// Adds pre-binned data (the LatencyHistogram export path). `buckets`
+  /// must hold kBuckets entries.
+  void merge(const std::uint64_t* buckets, std::uint64_t count,
+             std::uint64_t clamped, double max_seconds) noexcept;
+
+  struct Data {
+    std::array<std::uint64_t, kBuckets> buckets{};
+    std::uint64_t count = 0;
+    std::uint64_t clamped = 0;
+    double max_seconds = 0.0;
+  };
+  Data data() const noexcept;
+
+ private:
+  mutable std::mutex mutex_;
+  Data data_;
+};
+
+/// Point-in-time copy of every metric, sorted by name — the stable shape
+/// both expositions and tools/metrics_schema.json describe.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  struct Histogram {
+    std::string name;
+    HistogramMetric::Data data;
+  };
+  std::vector<Histogram> histograms;
+
+  /// {"counters": {...}, "gauges": {...}, "histograms": {...}}.
+  std::string to_json() const;
+
+  /// Prometheus text exposition ('.' in names becomes '_', each metric
+  /// prefixed with lsm_).
+  std::string to_prometheus() const;
+};
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// The process-wide registry (long-running deployments scrape this one).
+  static Registry& global() noexcept;
+
+  /// Finds or creates. The returned reference stays valid for the
+  /// registry's lifetime.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  HistogramMetric& histogram(std::string_view name);
+
+  MetricsSnapshot snapshot() const;
+  std::string to_json() const { return snapshot().to_json(); }
+  std::string to_prometheus() const { return snapshot().to_prometheus(); }
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<HistogramMetric>, std::less<>>
+      histograms_;
+};
+
+}  // namespace lsm::obs

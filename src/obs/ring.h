@@ -1,0 +1,77 @@
+// Lock-free single-producer/single-consumer ring buffer of TraceEvents.
+//
+// Each tracing thread owns exactly one TraceBuffer (the producer side);
+// the draining thread is the single consumer. Memory ordering argument
+// (DESIGN.md §3.5): the producer publishes a slot by storing tail_ with
+// release order after writing the slot, and the consumer acquires tail_
+// before reading, so slot contents are never read before they are fully
+// written; symmetrically the consumer releases head_ after copying a slot
+// out and the producer acquires head_ before overwriting, so a slot is
+// never clobbered while the consumer still reads it. A full ring drops the
+// new event (never blocks, never tears an old one) and counts the drop.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "obs/event.h"
+
+namespace lsm::obs {
+
+class TraceBuffer {
+ public:
+  /// `capacity` is rounded up to a power of two (minimum 64).
+  explicit TraceBuffer(std::size_t capacity) {
+    std::size_t rounded = 64;
+    while (rounded < capacity) rounded *= 2;
+    slots_.resize(rounded);
+    mask_ = rounded - 1;
+  }
+
+  TraceBuffer(const TraceBuffer&) = delete;
+  TraceBuffer& operator=(const TraceBuffer&) = delete;
+
+  std::size_t capacity() const noexcept { return slots_.size(); }
+
+  /// Producer side. Returns false (and counts a drop) when full.
+  bool try_push(const TraceEvent& event) noexcept {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    if (tail - head > mask_) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    slots_[static_cast<std::size_t>(tail) & mask_] = event;
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side: appends every buffered event to `out` and frees the
+  /// slots. Returns the number of events drained.
+  std::size_t drain_into(std::vector<TraceEvent>& out) {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+    for (std::uint64_t k = head; k != tail; ++k) {
+      out.push_back(slots_[static_cast<std::size_t>(k) & mask_]);
+    }
+    head_.store(tail, std::memory_order_release);
+    return static_cast<std::size_t>(tail - head);
+  }
+
+  /// Events rejected because the ring was full. Producer-written, safe to
+  /// read from any thread (monotonic, relaxed).
+  std::uint64_t dropped() const noexcept {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::vector<TraceEvent> slots_;
+  std::size_t mask_ = 0;
+  alignas(64) std::atomic<std::uint64_t> head_{0};  ///< consumer cursor
+  alignas(64) std::atomic<std::uint64_t> tail_{0};  ///< producer cursor
+  alignas(64) std::atomic<std::uint64_t> dropped_{0};
+};
+
+}  // namespace lsm::obs

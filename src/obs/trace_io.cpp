@@ -1,0 +1,100 @@
+#include "obs/trace_io.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+namespace lsm::obs {
+
+namespace {
+
+constexpr char kMagic[8] = {'L', 'S', 'M', 'T', 'R', 'C', '0', '1'};
+
+struct FileHeader {
+  char magic[8];
+  std::uint32_t record_size;
+  std::uint32_t count;
+};
+static_assert(sizeof(FileHeader) == 16, "header layout is the format");
+
+}  // namespace
+
+void canonical_sort(std::vector<TraceEvent>& events) {
+  std::sort(events.begin(), events.end(),
+            [](const TraceEvent& x, const TraceEvent& y) {
+              if (x.stream != y.stream) return x.stream < y.stream;
+              if (x.picture != y.picture) return x.picture < y.picture;
+              if (x.seq != y.seq) return x.seq < y.seq;
+              if (x.kind != y.kind) return x.kind < y.kind;
+              return x.time < y.time;
+            });
+}
+
+std::vector<TraceEvent> deterministic_events(
+    const std::vector<TraceEvent>& events) {
+  std::vector<TraceEvent> out;
+  out.reserve(events.size());
+  for (const TraceEvent& event : events) {
+    if (deterministic_kind(static_cast<EventKind>(event.kind))) {
+      out.push_back(event);
+    }
+  }
+  return out;
+}
+
+std::string serialize(const std::vector<TraceEvent>& events) {
+  std::string bytes;
+  bytes.resize(events.size() * sizeof(TraceEvent));
+  if (!events.empty()) {
+    std::memcpy(bytes.data(), events.data(), bytes.size());
+  }
+  return bytes;
+}
+
+void save_trace_file(const std::string& path,
+                     const std::vector<TraceEvent>& events) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    throw std::runtime_error("save_trace_file: cannot open " + path);
+  }
+  FileHeader header{};
+  std::memcpy(header.magic, kMagic, sizeof kMagic);
+  header.record_size = sizeof(TraceEvent);
+  header.count = static_cast<std::uint32_t>(events.size());
+  bool ok = std::fwrite(&header, sizeof header, 1, file) == 1;
+  if (ok && !events.empty()) {
+    ok = std::fwrite(events.data(), sizeof(TraceEvent), events.size(),
+                     file) == events.size();
+  }
+  const bool closed = std::fclose(file) == 0;
+  if (!ok || !closed) {
+    throw std::runtime_error("save_trace_file: short write to " + path);
+  }
+}
+
+std::vector<TraceEvent> load_trace_file(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    throw std::runtime_error("load_trace_file: cannot open " + path);
+  }
+  FileHeader header{};
+  std::vector<TraceEvent> events;
+  bool ok = std::fread(&header, sizeof header, 1, file) == 1 &&
+            std::memcmp(header.magic, kMagic, sizeof kMagic) == 0 &&
+            header.record_size == sizeof(TraceEvent);
+  if (ok) {
+    events.resize(header.count);
+    if (header.count > 0) {
+      ok = std::fread(events.data(), sizeof(TraceEvent), events.size(),
+                      file) == events.size();
+    }
+  }
+  std::fclose(file);
+  if (!ok) {
+    throw std::runtime_error("load_trace_file: bad trace file " + path);
+  }
+  return events;
+}
+
+}  // namespace lsm::obs

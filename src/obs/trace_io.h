@@ -1,0 +1,42 @@
+// Binary trace persistence and canonical ordering.
+//
+// The on-disk format is deliberately dumb: a 16-byte header (magic,
+// version, record size, count) followed by raw TraceEvent records in
+// memory layout. It exists so a run's trace can be saved cheaply and
+// post-processed offline (tools/lsm_trace converts it to chrome://tracing
+// JSON or a per-picture timeline), and so the determinism differential
+// can compare two runs byte-for-byte.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/event.h"
+
+namespace lsm::obs {
+
+/// Sorts events into the canonical comparison order: (stream, picture,
+/// seq, kind, time). Within one stream the per-stream seq already encodes
+/// emission order; the sort makes multi-thread drains reproducible.
+void canonical_sort(std::vector<TraceEvent>& events);
+
+/// Events whose kinds are deterministic functions of the inputs (drops
+/// shard start/end, whose timestamps are wall-clock). The determinism
+/// differential compares exactly this subset.
+std::vector<TraceEvent> deterministic_events(
+    const std::vector<TraceEvent>& events);
+
+/// The raw bytes of `events` back-to-back — the byte-identity comparison
+/// form (and the file payload).
+std::string serialize(const std::vector<TraceEvent>& events);
+
+/// Writes header + records. Throws std::runtime_error on io failure.
+void save_trace_file(const std::string& path,
+                     const std::vector<TraceEvent>& events);
+
+/// Reads a file written by save_trace_file. Throws std::runtime_error on
+/// io failure, bad magic, or a record-size mismatch.
+std::vector<TraceEvent> load_trace_file(const std::string& path);
+
+}  // namespace lsm::obs

@@ -1,0 +1,128 @@
+#include "obs/tracer.h"
+
+namespace lsm::obs {
+
+namespace {
+
+/// Cache of the calling thread's buffer in its owning tracer. The epoch
+/// invalidates every thread's cache when any Tracer is destroyed, so a new
+/// Tracer reusing the same address can never inherit a stale buffer.
+struct ThreadCache {
+  const Tracer* owner = nullptr;
+  std::uint64_t epoch = 0;
+  TraceBuffer* buffer = nullptr;
+};
+
+std::atomic<std::uint64_t> g_tracer_epoch{1};
+thread_local ThreadCache t_cache;
+thread_local std::uint32_t t_stream = 0;
+
+}  // namespace
+
+Tracer::Tracer() = default;
+
+Tracer::~Tracer() {
+  g_tracer_epoch.fetch_add(1, std::memory_order_relaxed);
+}
+
+Tracer& Tracer::global() noexcept {
+  static Tracer tracer;
+  return tracer;
+}
+
+void Tracer::set_buffer_capacity(std::size_t events) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  capacity_ = events > 0 ? events : 1;
+}
+
+TraceBuffer* Tracer::local_buffer() noexcept {
+  const std::uint64_t epoch = g_tracer_epoch.load(std::memory_order_relaxed);
+  if (t_cache.owner == this && t_cache.epoch == epoch) {
+    return t_cache.buffer;
+  }
+  // Cold path: first emission from this thread into this tracer (or a
+  // tracer was destroyed since). Register a fresh buffer.
+  TraceBuffer* buffer = nullptr;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    buffers_.push_back(std::make_unique<TraceBuffer>(capacity_));
+    buffer = buffers_.back().get();
+  }
+  t_cache.owner = this;
+  t_cache.epoch = epoch;
+  t_cache.buffer = buffer;
+  return buffer;
+}
+
+void Tracer::emit(const TraceEvent& event) noexcept {
+  if (!enabled()) return;
+  local_buffer()->try_push(event);
+}
+
+std::vector<TraceEvent> Tracer::drain() {
+  std::vector<TraceEvent> events;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const std::unique_ptr<TraceBuffer>& buffer : buffers_) {
+    buffer->drain_into(events);
+  }
+  return events;
+}
+
+std::uint64_t Tracer::dropped() const {
+  std::uint64_t total = 0;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const std::unique_ptr<TraceBuffer>& buffer : buffers_) {
+    total += buffer->dropped();
+  }
+  return total;
+}
+
+void Tracer::clear() {
+  std::vector<TraceEvent> discard;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const std::unique_ptr<TraceBuffer>& buffer : buffers_) {
+    discard.clear();
+    buffer->drain_into(discard);
+  }
+}
+
+std::uint32_t current_stream() noexcept { return t_stream; }
+
+StreamScope::StreamScope(std::uint32_t stream) noexcept
+    : previous_(t_stream) {
+  t_stream = stream;
+}
+
+StreamScope::~StreamScope() { t_stream = previous_; }
+
+const char* event_kind_name(EventKind kind) noexcept {
+  switch (kind) {
+    case EventKind::kNone:
+      return "none";
+    case EventKind::kPictureScheduled:
+      return "picture_scheduled";
+    case EventKind::kRateChange:
+      return "rate_change";
+    case EventKind::kBoundCrossing:
+      return "bound_crossing";
+    case EventKind::kRenegRequest:
+      return "reneg_request";
+    case EventKind::kRenegGrant:
+      return "reneg_grant";
+    case EventKind::kRenegDenial:
+      return "reneg_denial";
+    case EventKind::kRenegGiveUp:
+      return "reneg_giveup";
+    case EventKind::kFaultWindowOpen:
+      return "fault_window_open";
+    case EventKind::kFaultWindowClose:
+      return "fault_window_close";
+    case EventKind::kShardStart:
+      return "shard_start";
+    case EventKind::kShardEnd:
+      return "shard_end";
+  }
+  return "unknown";
+}
+
+}  // namespace lsm::obs

@@ -1,0 +1,129 @@
+// Tracer: the always-compiled structured-tracing handle.
+//
+// Instrumentation sites construct a StreamTracer (engine, streaming
+// smoother, transport pipeline) and call emit(); when tracing is disabled
+// — the default — emit() is a single relaxed atomic load and a predictable
+// branch, cheap enough to live inside the per-picture scheduling loop
+// (BM_TraceOverhead pins the cost, the CI baseline gates it). When
+// enabled, events land in a lock-free per-thread SPSC TraceBuffer owned by
+// the Tracer; drain() gathers every thread's events.
+//
+// Stream identity is ambient: the batch runtime wraps each job in a
+// StreamScope(job_index), and any engine constructed inside picks the id
+// up via current_stream(). That keeps core's constructors unchanged while
+// making multi-stream traces attributable — and deterministic, because the
+// scope is set by job, not by thread.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "obs/event.h"
+#include "obs/ring.h"
+
+namespace lsm::obs {
+
+class Tracer {
+ public:
+  Tracer();
+  ~Tracer();
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// The process-wide tracer every default StreamTracer binds to.
+  static Tracer& global() noexcept;
+
+  /// The disabled check on the hot path: one relaxed load.
+  bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  void set_enabled(bool on) noexcept {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  /// Capacity (events) of per-thread buffers created after this call.
+  void set_buffer_capacity(std::size_t events);
+
+  /// Records one event into the calling thread's buffer. No-op when
+  /// disabled.
+  void emit(const TraceEvent& event) noexcept;
+
+  /// Gathers (and removes) every buffered event from every thread. Call
+  /// after the producing work has been ordered before this thread (e.g.
+  /// ThreadPool::wait_idle()); events emitted concurrently with drain()
+  /// land in this or a later drain.
+  std::vector<TraceEvent> drain();
+
+  /// Total events dropped on full rings since construction.
+  std::uint64_t dropped() const;
+
+  /// Discards all buffered events.
+  void clear();
+
+ private:
+  TraceBuffer* local_buffer() noexcept;
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mutex_;
+  std::size_t capacity_ = 1u << 16;
+  std::vector<std::unique_ptr<TraceBuffer>> buffers_;
+};
+
+/// Ambient stream id for the calling thread (0 outside any StreamScope).
+std::uint32_t current_stream() noexcept;
+
+/// RAII ambient stream id: engines constructed inside the scope attribute
+/// their events to `stream`. Nestable; restores the previous id on exit.
+class StreamScope {
+ public:
+  explicit StreamScope(std::uint32_t stream) noexcept;
+  ~StreamScope();
+  StreamScope(const StreamScope&) = delete;
+  StreamScope& operator=(const StreamScope&) = delete;
+
+ private:
+  std::uint32_t previous_;
+};
+
+/// Per-component emission handle: binds a tracer, a stream id, and the
+/// per-stream sequence counter that makes event order reconstructible
+/// after a multi-thread drain.
+class StreamTracer {
+ public:
+  /// Binds to the global tracer and the ambient stream id.
+  StreamTracer() noexcept
+      : tracer_(&Tracer::global()), stream_(current_stream()) {}
+  StreamTracer(Tracer* tracer, std::uint32_t stream) noexcept
+      : tracer_(tracer), stream_(stream) {}
+
+  /// True when emit() will record. The disabled path of emit() is exactly
+  /// this check.
+  bool on() const noexcept { return tracer_->enabled(); }
+
+  std::uint32_t stream() const noexcept { return stream_; }
+
+  void emit(EventKind kind, std::uint32_t picture, double time,
+            double a = 0.0, double b = 0.0, double c = 0.0) noexcept {
+    if (!on()) return;
+    TraceEvent event;
+    event.stream = stream_;
+    event.picture = picture;
+    event.kind = static_cast<std::uint16_t>(kind);
+    event.seq = seq_++;
+    event.time = time;
+    event.a = a;
+    event.b = b;
+    event.c = c;
+    tracer_->emit(event);
+  }
+
+ private:
+  Tracer* tracer_;
+  std::uint32_t stream_;
+  std::uint32_t seq_ = 0;
+};
+
+}  // namespace lsm::obs

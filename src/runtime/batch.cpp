@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/estimator.h"
+#include "obs/tracer.h"
 
 namespace lsm::runtime {
 
@@ -41,9 +42,18 @@ void BatchSmoother::run_into(
     const int hi = lo + n / shards + (s < n % shards ? 1 : 0);
     tasks.push_back([this, &jobs, &results, lo, hi] {
       PerfCounters& slot = counters_.slot(pool_.index_of_current_thread());
+      // Shard events carry wall-clock time (runtime visibility in a chrome
+      // trace); they are excluded from the determinism differential by
+      // kind. Job streams below are attributed by job index, not worker,
+      // so per-stream traces stay identical at every thread count.
+      obs::StreamTracer shard_tracer(&obs::Tracer::global(),
+                                     static_cast<std::uint32_t>(lo));
       const std::uint64_t wall_start = wall_clock_ns();
+      shard_tracer.emit(obs::EventKind::kShardStart, 0,
+                        static_cast<double>(wall_start) * 1e-9, lo, hi);
       const std::uint64_t cpu_start = thread_cpu_ns();
       for (int i = lo; i < hi; ++i) {
+        const obs::StreamScope stream_scope(static_cast<std::uint32_t>(i));
         const BatchJob& job = jobs[static_cast<std::size_t>(i)];
         const lsm::core::PatternEstimator estimator(*job.trace);
         lsm::core::SmoothingResult& result =
@@ -59,6 +69,8 @@ void BatchSmoother::run_into(
       }
       slot.wall_ns += wall_clock_ns() - wall_start;
       slot.cpu_ns += thread_cpu_ns() - cpu_start;
+      shard_tracer.emit(obs::EventKind::kShardEnd, 0,
+                        static_cast<double>(wall_clock_ns()) * 1e-9, lo, hi);
     });
     lo = hi;
   }

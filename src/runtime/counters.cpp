@@ -1,8 +1,10 @@
 #include "runtime/counters.h"
 
 #include <chrono>
-#include <cinttypes>
-#include <cstdio>
+#include <cmath>
+#include <string>
+
+#include "obs/json.h"
 
 #if defined(__linux__) || defined(__APPLE__)
 #include <time.h>
@@ -52,40 +54,63 @@ void PerfRegistry::reset() noexcept {
 
 namespace {
 
-void append_counters(std::string& out, const PerfCounters& c) {
-  char buffer[256];
-  std::snprintf(buffer, sizeof buffer,
-                "{\"streams\": %" PRIu64 ", \"pictures\": %" PRIu64
-                ", \"rate_changes\": %" PRIu64 ", \"early_exits\": %" PRIu64
-                ", \"wall_ns\": %" PRIu64 ", \"cpu_ns\": %" PRIu64 "}",
-                c.streams, c.pictures, c.rate_changes, c.early_exits,
-                c.wall_ns, c.cpu_ns);
-  out += buffer;
+void write_counters(obs::JsonWriter& json, const PerfCounters& c) {
+  json.begin_object();
+  json.key("streams").value(c.streams);
+  json.key("pictures").value(c.pictures);
+  json.key("rate_changes").value(c.rate_changes);
+  json.key("early_exits").value(c.early_exits);
+  json.key("wall_ns").value(c.wall_ns);
+  json.key("cpu_ns").value(c.cpu_ns);
+  json.end_object();
+}
+
+std::string metric_name(std::string_view prefix, std::string_view field) {
+  std::string name(prefix);
+  name += '.';
+  name += field;
+  return name;
 }
 
 }  // namespace
 
 std::string PerfRegistry::to_json() const {
   const PerfCounters sum = total();
-  std::string out = "{\"total\": ";
-  append_counters(out, sum);
-  char buffer[96];
-  std::snprintf(buffer, sizeof buffer, ", \"wall_ns_per_stream\": %.1f",
-                sum.wall_ns_per_stream());
-  out += buffer;
-  out += ", \"workers\": [";
-  for (int i = 0; i < workers_; ++i) {
-    if (i > 0) out += ", ";
-    append_counters(out, slot(i));
-  }
-  out += "], \"external\": ";
-  append_counters(out, slots_.back());
-  out += "}";
-  return out;
+  obs::JsonWriter json;
+  json.begin_object();
+  json.key("total");
+  write_counters(json, sum);
+  json.key("wall_ns_per_stream").value(sum.wall_ns_per_stream());
+  json.key("workers").begin_array();
+  for (int i = 0; i < workers_; ++i) write_counters(json, slot(i));
+  json.end_array();
+  json.key("external");
+  write_counters(json, slots_.back());
+  json.end_object();
+  return json.take();
+}
+
+void PerfRegistry::export_metrics(obs::Registry& registry,
+                                  std::string_view prefix) const {
+  const PerfCounters sum = total();
+  registry.counter(metric_name(prefix, "streams")).add(sum.streams);
+  registry.counter(metric_name(prefix, "pictures")).add(sum.pictures);
+  registry.counter(metric_name(prefix, "rate_changes"))
+      .add(sum.rate_changes);
+  registry.counter(metric_name(prefix, "early_exits")).add(sum.early_exits);
+  registry.counter(metric_name(prefix, "wall_ns")).add(sum.wall_ns);
+  registry.counter(metric_name(prefix, "cpu_ns")).add(sum.cpu_ns);
+  registry.gauge(metric_name(prefix, "wall_ns_per_stream"))
+      .set(sum.wall_ns_per_stream());
 }
 
 void LatencyHistogram::add(double seconds) noexcept {
-  if (!(seconds > 0.0)) seconds = 0.0;  // clamps negatives and NaN
+  if (seconds < 0.0 || !std::isfinite(seconds)) {
+    // Negative and non-finite samples are measurement bugs, not latencies;
+    // clamp to 0 but keep them countable.
+    seconds = 0.0;
+    ++clamped_;
+  }
   int index = 0;
   double bound = 0.001;
   while (index < kBuckets - 1 && seconds >= bound) {
@@ -104,24 +129,30 @@ LatencyHistogram& LatencyHistogram::operator+=(
         other.buckets_[static_cast<std::size_t>(i)];
   }
   count_ += other.count_;
+  clamped_ += other.clamped_;
   if (other.max_seconds_ > max_seconds_) max_seconds_ = other.max_seconds_;
   return *this;
 }
 
 std::string LatencyHistogram::to_json() const {
-  char buffer[96];
-  std::snprintf(buffer, sizeof buffer,
-                "{\"count\": %" PRIu64 ", \"max_s\": %.6f, \"buckets\": [",
-                count_, max_seconds_);
-  std::string out = buffer;
+  obs::JsonWriter json;
+  json.begin_object();
+  json.key("count").value(count_);
+  json.key("clamped").value(clamped_);
+  json.key("max_s").value(max_seconds_);
+  json.key("buckets").begin_array();
   for (int i = 0; i < kBuckets; ++i) {
-    if (i > 0) out += ", ";
-    std::snprintf(buffer, sizeof buffer, "%" PRIu64,
-                  buckets_[static_cast<std::size_t>(i)]);
-    out += buffer;
+    json.value(buckets_[static_cast<std::size_t>(i)]);
   }
-  out += "]}";
-  return out;
+  json.end_array();
+  json.end_object();
+  return json.take();
+}
+
+void LatencyHistogram::export_metrics(obs::Registry& registry,
+                                      std::string_view name) const {
+  registry.histogram(name).merge(buckets_.data(), count_, clamped_,
+                                 max_seconds_);
 }
 
 DegradationCounters& DegradationCounters::operator+=(
@@ -156,26 +187,52 @@ bool DegradationCounters::any_fault() const noexcept {
 }
 
 std::string DegradationCounters::to_json() const {
-  char buffer[512];
-  std::snprintf(
-      buffer, sizeof buffer,
-      "{\"fades_injected\": %" PRIu64 ", \"losses_injected\": %" PRIu64
-      ", \"stalls_injected\": %" PRIu64
-      ", \"denial_windows_injected\": %" PRIu64
-      ", \"pictures_faded\": %" PRIu64 ", \"pictures_retransmitted\": %" PRIu64
-      ", \"pictures_stalled\": %" PRIu64 ", \"late_pictures\": %" PRIu64
-      ", \"rate_relaxations\": %" PRIu64 ", \"denials\": %" PRIu64
-      ", \"retries\": %" PRIu64 ", \"giveups\": %" PRIu64
-      ", \"retransmitted_bits\": %.0f, \"worst_delay_excess\": %.6f"
-      ", \"recovery_latency\": ",
-      fades_injected, losses_injected, stalls_injected,
-      denial_windows_injected, pictures_faded, pictures_retransmitted,
-      pictures_stalled, late_pictures, rate_relaxations, denials, retries,
-      giveups, retransmitted_bits, worst_delay_excess);
-  std::string out = buffer;
+  obs::JsonWriter json;
+  json.begin_object();
+  json.key("fades_injected").value(fades_injected);
+  json.key("losses_injected").value(losses_injected);
+  json.key("stalls_injected").value(stalls_injected);
+  json.key("denial_windows_injected").value(denial_windows_injected);
+  json.key("pictures_faded").value(pictures_faded);
+  json.key("pictures_retransmitted").value(pictures_retransmitted);
+  json.key("pictures_stalled").value(pictures_stalled);
+  json.key("late_pictures").value(late_pictures);
+  json.key("rate_relaxations").value(rate_relaxations);
+  json.key("denials").value(denials);
+  json.key("retries").value(retries);
+  json.key("giveups").value(giveups);
+  json.key("retransmitted_bits").value(retransmitted_bits);
+  json.key("worst_delay_excess").value(worst_delay_excess);
+  json.key("recovery_latency");
+  std::string out = json.take();
   out += recovery_latency.to_json();
   out += "}";
   return out;
+}
+
+void DegradationCounters::export_metrics(obs::Registry& registry,
+                                         std::string_view prefix) const {
+  obs::Registry& r = registry;
+  r.counter(metric_name(prefix, "fades_injected")).add(fades_injected);
+  r.counter(metric_name(prefix, "losses_injected")).add(losses_injected);
+  r.counter(metric_name(prefix, "stalls_injected")).add(stalls_injected);
+  r.counter(metric_name(prefix, "denial_windows_injected"))
+      .add(denial_windows_injected);
+  r.counter(metric_name(prefix, "pictures_faded")).add(pictures_faded);
+  r.counter(metric_name(prefix, "pictures_retransmitted"))
+      .add(pictures_retransmitted);
+  r.counter(metric_name(prefix, "pictures_stalled")).add(pictures_stalled);
+  r.counter(metric_name(prefix, "late_pictures")).add(late_pictures);
+  r.counter(metric_name(prefix, "rate_relaxations")).add(rate_relaxations);
+  r.counter(metric_name(prefix, "denials")).add(denials);
+  r.counter(metric_name(prefix, "retries")).add(retries);
+  r.counter(metric_name(prefix, "giveups")).add(giveups);
+  r.gauge(metric_name(prefix, "retransmitted_bits"))
+      .set(retransmitted_bits);
+  r.gauge(metric_name(prefix, "worst_delay_excess"))
+      .set(worst_delay_excess);
+  recovery_latency.export_metrics(
+      r, metric_name(prefix, "recovery_latency_seconds"));
 }
 
 std::uint64_t wall_clock_ns() noexcept {

@@ -12,7 +12,10 @@
 #include <array>
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
+
+#include "obs/metrics.h"
 
 namespace lsm::runtime {
 
@@ -65,6 +68,11 @@ class PerfRegistry {
   ///   {"streams": 8, "pictures": 2640, ..., "workers": [{...}, ...]}
   std::string to_json() const;
 
+  /// Publishes the aggregated totals into `registry` as counters named
+  /// `<prefix>.streams`, `<prefix>.pictures`, ... plus the
+  /// `<prefix>.wall_ns_per_stream` gauge.
+  void export_metrics(obs::Registry& registry, std::string_view prefix) const;
+
  private:
   int workers_;
   std::vector<PerfCounters> slots_;
@@ -77,7 +85,9 @@ class LatencyHistogram {
  public:
   static constexpr int kBuckets = 13;  ///< <1ms .. <4.096s, then overflow
 
-  /// Records one sample. Negative or non-finite samples are clamped to 0.
+  /// Records one sample. Negative or non-finite samples (NaN, ±inf) are
+  /// clamped to 0 and tallied in clamped() so faulty inputs stay visible
+  /// instead of silently landing in the first bucket.
   void add(double seconds) noexcept;
 
   std::uint64_t count() const noexcept { return count_; }
@@ -85,15 +95,20 @@ class LatencyHistogram {
     return buckets_[static_cast<std::size_t>(index)];
   }
   double max_seconds() const noexcept { return max_seconds_; }
+  std::uint64_t clamped() const noexcept { return clamped_; }
 
   LatencyHistogram& operator+=(const LatencyHistogram& other) noexcept;
 
-  /// {"count": N, "max_s": x, "buckets": [n0, n1, ...]}
+  /// {"count": N, "clamped": M, "max_s": x, "buckets": [n0, n1, ...]}
   std::string to_json() const;
+
+  /// Merges this histogram into the named HistogramMetric in `registry`.
+  void export_metrics(obs::Registry& registry, std::string_view name) const;
 
  private:
   std::array<std::uint64_t, kBuckets> buckets_{};
   std::uint64_t count_ = 0;
+  std::uint64_t clamped_ = 0;
   double max_seconds_ = 0.0;
 };
 
@@ -129,6 +144,11 @@ struct DegradationCounters {
   /// Flat JSON object in the PerfRegistry style, with the recovery
   /// histogram nested under "recovery_latency".
   std::string to_json() const;
+
+  /// Publishes every field into `registry` under `<prefix>.` — integer
+  /// tallies as counters, retransmitted_bits / worst_delay_excess as
+  /// gauges, and recovery_latency as `<prefix>.recovery_latency_seconds`.
+  void export_metrics(obs::Registry& registry, std::string_view prefix) const;
 };
 
 /// Monotonic wall clock, ns.

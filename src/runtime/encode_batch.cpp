@@ -7,6 +7,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/tracer.h"
+
 namespace lsm::runtime {
 
 lsm::mpeg::SliceExecutor pool_slice_executor(ThreadPool& pool) {
@@ -54,7 +56,11 @@ std::vector<lsm::mpeg::EncodeResult> BatchEncoder::run(
     tasks.push_back([this, &jobs, &results, &error_mutex, &first_error, lo,
                      hi] {
       PerfCounters& slot = counters_.slot(pool_.index_of_current_thread());
+      obs::StreamTracer shard_tracer(&obs::Tracer::global(),
+                                     static_cast<std::uint32_t>(lo));
       const std::uint64_t wall_start = wall_clock_ns();
+      shard_tracer.emit(obs::EventKind::kShardStart, 0,
+                        static_cast<double>(wall_start) * 1e-9, lo, hi);
       const std::uint64_t cpu_start = thread_cpu_ns();
       for (int i = lo; i < hi; ++i) {
         const EncodeJob& job = jobs[static_cast<std::size_t>(i)];
@@ -75,6 +81,8 @@ std::vector<lsm::mpeg::EncodeResult> BatchEncoder::run(
       }
       slot.wall_ns += wall_clock_ns() - wall_start;
       slot.cpu_ns += thread_cpu_ns() - cpu_start;
+      shard_tracer.emit(obs::EventKind::kShardEnd, 0,
+                        static_cast<double>(wall_clock_ns()) * 1e-9, lo, hi);
     });
     lo = hi;
   }

@@ -1,0 +1,103 @@
+// FlightRecorder: retention rings, trigger/dump accounting, and the
+// disarmed-is-free contract.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/flight_recorder.h"
+#include "obs/tracer.h"
+
+namespace lsm::obs {
+namespace {
+
+std::string temp_path(const char* name) {
+  return std::string(::testing::TempDir()) + name;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(FlightRecorder, DisarmedTriggerIsANoOp) {
+  FlightRecorder recorder;
+  EXPECT_FALSE(recorder.armed());
+  EXPECT_FALSE(recorder.trigger("nothing"));
+  EXPECT_EQ(recorder.dump_count(), 0u);
+}
+
+TEST(FlightRecorder, ArmEnablesTheTracerItConsumes) {
+  Tracer tracer;
+  FlightRecorder recorder;
+  EXPECT_FALSE(tracer.enabled());
+  recorder.arm(16, &tracer);
+  EXPECT_TRUE(recorder.armed());
+  EXPECT_TRUE(tracer.enabled());
+  recorder.disarm();
+  EXPECT_FALSE(recorder.armed());
+}
+
+TEST(FlightRecorder, RetainsOnlyTheTrailingEventsPerStream) {
+  Tracer tracer;
+  FlightRecorder recorder;
+  recorder.arm(4, &tracer);
+  StreamTracer stream0(&tracer, 0);
+  StreamTracer stream1(&tracer, 1);
+  for (std::uint32_t i = 1; i <= 10; ++i) {
+    stream0.emit(EventKind::kPictureScheduled, i, i * 0.1);
+  }
+  stream1.emit(EventKind::kRateChange, 1, 0.5);
+  recorder.capture();
+  const std::vector<TraceEvent> kept = recorder.retained(0);
+  ASSERT_EQ(kept.size(), 4u);  // ring depth, oldest first
+  EXPECT_EQ(kept.front().picture, 7u);
+  EXPECT_EQ(kept.back().picture, 10u);
+  EXPECT_EQ(recorder.retained(1).size(), 1u);
+  EXPECT_TRUE(recorder.retained(9).empty());
+}
+
+TEST(FlightRecorder, TriggerWritesAReadableDump) {
+  Tracer tracer;
+  FlightRecorder recorder;
+  const std::string path = temp_path("flight_dump.txt");
+  std::remove(path.c_str());
+  recorder.set_dump_path(path);
+  recorder.arm(8, &tracer);
+  StreamTracer stream(&tracer, 2);
+  stream.emit(EventKind::kPictureScheduled, 1, 0.1, 1e6, 0.05, 0.15);
+  stream.emit(EventKind::kBoundCrossing, 2, 0.2, 5e5, 4e5);
+  EXPECT_TRUE(recorder.trigger("worst_delay_excess"));
+  EXPECT_EQ(recorder.dump_count(), 1u);
+  const std::string dump = slurp(path);
+  EXPECT_NE(dump.find("worst_delay_excess"), std::string::npos);
+  EXPECT_NE(dump.find("picture_scheduled"), std::string::npos);
+  EXPECT_NE(dump.find("bound_crossing"), std::string::npos);
+  EXPECT_TRUE(recorder.trigger("second_fault"));
+  EXPECT_EQ(recorder.dump_count(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(FlightRecorder, RearmResetsDumpCountAndRings) {
+  Tracer tracer;
+  FlightRecorder recorder;
+  const std::string path = temp_path("flight_rearm.txt");
+  recorder.set_dump_path(path);
+  recorder.arm(8, &tracer);
+  StreamTracer stream(&tracer, 0);
+  stream.emit(EventKind::kRateChange, 1, 0.0);
+  EXPECT_TRUE(recorder.trigger("first"));
+  recorder.arm(8, &tracer);
+  EXPECT_EQ(recorder.dump_count(), 0u);
+  EXPECT_TRUE(recorder.retained(0).empty());
+  recorder.disarm();
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace lsm::obs

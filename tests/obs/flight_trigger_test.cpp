@@ -1,0 +1,100 @@
+// The ISSUE-mandated integration check: with the global flight recorder
+// armed, a faulted pipeline run whose worst_delay_excess ends up positive
+// must write a postmortem dump without any manual trigger() call.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "net/transport.h"
+#include "obs/flight_recorder.h"
+#include "obs/tracer.h"
+#include "trace/sequences.h"
+
+namespace lsm::obs {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(FlightTrigger, FaultedRunWithDelayExcessDumpsAutomatically) {
+  const lsm::trace::Trace trace = lsm::trace::driving1();
+  lsm::net::FaultedPipelineConfig config;
+  config.base.params.tau = trace.tau();
+  config.base.params.D = 0.2;
+  config.base.params.K = 1;
+  config.base.params.H = trace.pattern().N();
+  config.base.network_latency = 0.010;
+
+  // Find a seed whose plan actually pushes a picture past the delay bound;
+  // high intensity makes this quick.
+  sim::FaultPlan biting_plan;
+  bool found = false;
+  for (std::uint64_t seed = 1; seed <= 64 && !found; ++seed) {
+    sim::FaultSpec spec;
+    spec.horizon = trace.duration();
+    spec.intensity = 4.0;
+    spec.seed = seed;
+    const sim::FaultPlan plan = sim::FaultPlan::generate(spec);
+    const lsm::net::FaultedPipelineReport probe =
+        lsm::net::run_faulted_pipeline(trace, config, plan);
+    if (probe.report.worst_delay_excess > 0.0) {
+      biting_plan = plan;
+      found = true;
+    }
+  }
+  ASSERT_TRUE(found) << "no fault plan produced a delay-bound overshoot";
+
+  const std::string path =
+      std::string(::testing::TempDir()) + "flight_trigger_dump.txt";
+  std::remove(path.c_str());
+  FlightRecorder& recorder = FlightRecorder::global();
+  recorder.set_dump_path(path);
+  recorder.arm(64);
+  const lsm::net::FaultedPipelineReport out =
+      lsm::net::run_faulted_pipeline(trace, config, biting_plan);
+  EXPECT_GT(out.report.worst_delay_excess, 0.0);
+  EXPECT_GE(recorder.dump_count(), 1u);
+  recorder.disarm();
+  Tracer::global().set_enabled(false);
+  Tracer::global().clear();
+
+  const std::string dump = slurp(path);
+  EXPECT_NE(dump.find("flight recorder dump"), std::string::npos);
+  EXPECT_NE(dump.find("worst_delay_excess"), std::string::npos);
+  EXPECT_NE(dump.find("picture_scheduled"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(FlightTrigger, CleanRunWritesNoDump) {
+  const lsm::trace::Trace trace = lsm::trace::driving1();
+  lsm::net::PipelineConfig config;
+  config.params.tau = trace.tau();
+  config.params.D = 0.2;
+  config.params.K = 1;
+  config.params.H = trace.pattern().N();
+
+  const std::string path =
+      std::string(::testing::TempDir()) + "flight_clean_dump.txt";
+  std::remove(path.c_str());
+  FlightRecorder& recorder = FlightRecorder::global();
+  recorder.set_dump_path(path);
+  recorder.arm(64);
+  const lsm::net::PipelineReport report =
+      lsm::net::run_live_pipeline(trace, config);
+  EXPECT_EQ(report.worst_delay_excess, 0.0);
+  EXPECT_EQ(recorder.dump_count(), 0u);
+  recorder.disarm();
+  Tracer::global().set_enabled(false);
+  Tracer::global().clear();
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace lsm::obs

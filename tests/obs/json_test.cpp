@@ -1,0 +1,65 @@
+// JsonWriter: escaping, round-trip-exact doubles, comma placement, and the
+// non-finite -> null rule.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <limits>
+#include <string>
+
+#include "obs/json.h"
+
+namespace lsm::obs {
+namespace {
+
+TEST(JsonWriter, EscapesQuotesBackslashesAndControls) {
+  JsonWriter json;
+  json.begin_object();
+  json.key("na\"me").value("a\\b\n\t\x01z");
+  json.end_object();
+  EXPECT_EQ(json.str(), "{\"na\\\"me\": \"a\\\\b\\n\\t\\u0001z\"}");
+}
+
+TEST(JsonWriter, CommaPlacementAcrossNestedScopes) {
+  JsonWriter json;
+  json.begin_object();
+  json.key("a").value(std::uint64_t{1});
+  json.key("b").begin_array();
+  json.value(std::uint64_t{2});
+  json.begin_object();
+  json.key("c").value(true);
+  json.end_object();
+  json.null();
+  json.end_array();
+  json.key("d").value(-5);
+  json.end_object();
+  EXPECT_EQ(json.str(),
+            "{\"a\": 1, \"b\": [2, {\"c\": true}, null], \"d\": -5}");
+}
+
+TEST(JsonDouble, RoundTripsExactly) {
+  for (const double value :
+       {0.1, 1.0 / 3.0, 1e-300, 12345.6789, 2.5e17, -0.0078125}) {
+    const std::string text = json_double(value);
+    EXPECT_EQ(std::strtod(text.c_str(), nullptr), value) << text;
+  }
+  EXPECT_EQ(json_double(0.0), "0");
+  EXPECT_EQ(json_double(250.0), "250");
+}
+
+TEST(JsonDouble, NonFiniteBecomesNull) {
+  EXPECT_EQ(json_double(std::numeric_limits<double>::quiet_NaN()), "null");
+  EXPECT_EQ(json_double(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(json_double(-std::numeric_limits<double>::infinity()), "null");
+}
+
+TEST(JsonWriter, TakeMovesTheDocumentOut) {
+  JsonWriter json;
+  json.begin_array();
+  json.value("x");
+  json.end_array();
+  const std::string doc = json.take();
+  EXPECT_EQ(doc, "[\"x\"]");
+}
+
+}  // namespace
+}  // namespace lsm::obs

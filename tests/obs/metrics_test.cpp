@@ -1,0 +1,109 @@
+// Metrics registry: handle stability, histogram clamping, snapshot
+// ordering, and both exposition formats.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace lsm::obs {
+namespace {
+
+TEST(Registry, HandlesAreStableAndSharedByName) {
+  Registry registry;
+  Counter& a = registry.counter("runs");
+  Counter& b = registry.counter("runs");
+  EXPECT_EQ(&a, &b);
+  a.add(2);
+  b.add(3);
+  EXPECT_EQ(registry.counter("runs").value(), 5u);
+}
+
+TEST(Registry, CountersAreThreadSafe) {
+  Registry registry;
+  Counter& counter = registry.counter("hits");
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < 10000; ++i) counter.add();
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(counter.value(), 40000u);
+}
+
+TEST(HistogramMetric, ObserveClampsFaultyInputsAndCountsThem) {
+  HistogramMetric histogram;
+  histogram.observe(0.0005);
+  histogram.observe(std::numeric_limits<double>::quiet_NaN());
+  histogram.observe(std::numeric_limits<double>::infinity());
+  histogram.observe(-1.0);
+  const HistogramMetric::Data data = histogram.data();
+  EXPECT_EQ(data.count, 4u);
+  EXPECT_EQ(data.clamped, 3u);
+  EXPECT_EQ(data.buckets[0], 4u);
+  EXPECT_DOUBLE_EQ(data.max_seconds, 0.0005);
+}
+
+TEST(HistogramMetric, MergeAddsPreBinnedData) {
+  HistogramMetric histogram;
+  std::uint64_t buckets[HistogramMetric::kBuckets] = {};
+  buckets[2] = 5;
+  buckets[12] = 1;
+  histogram.merge(buckets, 6, 2, 9.5);
+  const HistogramMetric::Data data = histogram.data();
+  EXPECT_EQ(data.count, 6u);
+  EXPECT_EQ(data.clamped, 2u);
+  EXPECT_EQ(data.buckets[2], 5u);
+  EXPECT_EQ(data.buckets[12], 1u);
+  EXPECT_DOUBLE_EQ(data.max_seconds, 9.5);
+}
+
+TEST(MetricsSnapshot, JsonHasSortedStableShape) {
+  Registry registry;
+  registry.counter("b.count").add(2);
+  registry.counter("a.count").add(1);
+  registry.gauge("load").set(0.5);
+  registry.histogram("lat").observe(0.002);
+  const std::string json = registry.to_json();
+  // std::map ordering: a.count before b.count.
+  EXPECT_LT(json.find("\"a.count\": 1"), json.find("\"b.count\": 2"));
+  EXPECT_NE(json.find("\"gauges\": {\"load\": 0.5}"), std::string::npos);
+  EXPECT_NE(json.find("\"lat\": {\"count\": 1, \"clamped\": 0"),
+            std::string::npos);
+}
+
+TEST(MetricsSnapshot, PrometheusExposition) {
+  Registry registry;
+  registry.counter("batch.streams").add(4);
+  registry.gauge("queue.depth").set(1.5);
+  registry.histogram("recovery.latency").observe(0.0015);
+  registry.histogram("recovery.latency").observe(-1.0);
+  const std::string text = registry.to_prometheus();
+  EXPECT_NE(text.find("# TYPE lsm_batch_streams counter\n"
+                      "lsm_batch_streams 4\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("lsm_queue_depth 1.5"), std::string::npos);
+  // Cumulative buckets: the -1 clamp lands in le="0.001" and the 1.5 ms
+  // sample joins it in le="0.002".
+  EXPECT_NE(text.find("lsm_recovery_latency_bucket{le=\"0.001\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("lsm_recovery_latency_bucket{le=\"0.002\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("lsm_recovery_latency_bucket{le=\"+Inf\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("lsm_recovery_latency_count 2"), std::string::npos);
+  EXPECT_NE(text.find("lsm_recovery_latency_clamped 1"), std::string::npos);
+  EXPECT_NE(text.find("lsm_recovery_latency_max_seconds 0.0015"),
+            std::string::npos);
+}
+
+TEST(Registry, GlobalIsASingleton) {
+  EXPECT_EQ(&Registry::global(), &Registry::global());
+}
+
+}  // namespace
+}  // namespace lsm::obs

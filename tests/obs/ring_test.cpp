@@ -1,0 +1,99 @@
+// TraceBuffer: SPSC ring semantics — ordering, wrap-around, drop-on-full,
+// and a producer/consumer thread exercise (meaningful under TSan).
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "obs/ring.h"
+
+namespace lsm::obs {
+namespace {
+
+TraceEvent make(std::uint32_t picture) {
+  TraceEvent event;
+  event.stream = 1;
+  event.picture = picture;
+  event.kind = static_cast<std::uint16_t>(EventKind::kPictureScheduled);
+  event.time = picture * 0.5;
+  return event;
+}
+
+TEST(TraceBuffer, RoundsCapacityUpToPowerOfTwo) {
+  EXPECT_EQ(TraceBuffer(1).capacity(), 64u);
+  EXPECT_EQ(TraceBuffer(64).capacity(), 64u);
+  EXPECT_EQ(TraceBuffer(65).capacity(), 128u);
+  EXPECT_EQ(TraceBuffer(1000).capacity(), 1024u);
+}
+
+TEST(TraceBuffer, DrainsInFifoOrder) {
+  TraceBuffer buffer(64);
+  for (std::uint32_t i = 1; i <= 10; ++i) {
+    EXPECT_TRUE(buffer.try_push(make(i)));
+  }
+  std::vector<TraceEvent> out;
+  EXPECT_EQ(buffer.drain_into(out), 10u);
+  ASSERT_EQ(out.size(), 10u);
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(out[i].picture, i + 1);
+  }
+  out.clear();
+  EXPECT_EQ(buffer.drain_into(out), 0u);
+}
+
+TEST(TraceBuffer, DropsNewEventsWhenFullAndCounts) {
+  TraceBuffer buffer(64);
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    EXPECT_TRUE(buffer.try_push(make(i)));
+  }
+  EXPECT_FALSE(buffer.try_push(make(999)));
+  EXPECT_FALSE(buffer.try_push(make(998)));
+  EXPECT_EQ(buffer.dropped(), 2u);
+  std::vector<TraceEvent> out;
+  buffer.drain_into(out);
+  ASSERT_EQ(out.size(), 64u);
+  EXPECT_EQ(out.back().picture, 63u);  // dropped events never overwrite
+  // Draining frees the slots for the producer again.
+  EXPECT_TRUE(buffer.try_push(make(7)));
+}
+
+TEST(TraceBuffer, WrapsAroundManyTimes) {
+  TraceBuffer buffer(64);
+  std::vector<TraceEvent> out;
+  std::uint32_t next = 0;
+  for (int round = 0; round < 10; ++round) {
+    for (int i = 0; i < 48; ++i) {
+      ASSERT_TRUE(buffer.try_push(make(next++)));
+    }
+    buffer.drain_into(out);
+  }
+  ASSERT_EQ(out.size(), 480u);
+  for (std::uint32_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i].picture, i);
+  }
+  EXPECT_EQ(buffer.dropped(), 0u);
+}
+
+TEST(TraceBuffer, ConcurrentProducerAndConsumerLoseNothingInOrder) {
+  TraceBuffer buffer(256);
+  constexpr std::uint32_t kTotal = 20000;
+  std::vector<TraceEvent> out;
+  std::thread producer([&buffer] {
+    for (std::uint32_t i = 0; i < kTotal; ++i) {
+      while (!buffer.try_push(make(i))) {
+        std::this_thread::yield();
+      }
+    }
+  });
+  while (out.size() < kTotal) {
+    if (buffer.drain_into(out) == 0) std::this_thread::yield();
+  }
+  producer.join();
+  ASSERT_EQ(out.size(), kTotal);
+  for (std::uint32_t i = 0; i < kTotal; ++i) {
+    ASSERT_EQ(out[i].picture, i);  // FIFO and untorn across threads
+  }
+}
+
+}  // namespace
+}  // namespace lsm::obs

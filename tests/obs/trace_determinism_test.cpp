@@ -1,0 +1,132 @@
+// Trace determinism differentials: the binary event stream must be
+// byte-identical across execution paths (kReference vs the devirtualized
+// fast path) and across BatchSmoother thread counts, once shard events —
+// the only wall-clock kinds — are filtered and the stream is put into
+// canonical (stream, picture, seq) order. Tracing observes the schedule;
+// it must never depend on how the schedule was computed.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/smoother.h"
+#include "core/streaming.h"
+#include "obs/trace_io.h"
+#include "obs/tracer.h"
+#include "runtime/batch.h"
+#include "trace/sequences.h"
+
+namespace lsm::obs {
+namespace {
+
+using lsm::core::ExecutionPath;
+using lsm::core::SmootherParams;
+using lsm::trace::Trace;
+
+SmootherParams params_for(const Trace& trace) {
+  SmootherParams params;
+  params.K = 1;
+  params.H = trace.pattern().N();
+  params.D = 0.2;
+  params.tau = trace.tau();
+  return params;
+}
+
+/// Runs every paper sequence through smooth() on `path` with tracing on
+/// and returns the canonical deterministic byte stream.
+std::string engine_trace_bytes(ExecutionPath path) {
+  Tracer& tracer = Tracer::global();
+  tracer.clear();
+  tracer.set_enabled(true);
+  const std::vector<Trace> traces = lsm::trace::paper_sequences();
+  for (std::size_t s = 0; s < traces.size(); ++s) {
+    const StreamScope scope(static_cast<std::uint32_t>(s));
+    const lsm::core::PatternEstimator estimator(traces[s]);
+    lsm::core::smooth(traces[s], params_for(traces[s]), estimator,
+                      lsm::core::Variant::kBasic, path);
+  }
+  tracer.set_enabled(false);
+  std::vector<TraceEvent> events =
+      deterministic_events(tracer.drain());
+  canonical_sort(events);
+  return serialize(events);
+}
+
+TEST(TraceDeterminism, ExecutionPathsEmitByteIdenticalTraces) {
+  const std::string reference = engine_trace_bytes(ExecutionPath::kReference);
+  const std::string fast = engine_trace_bytes(ExecutionPath::kAuto);
+  ASSERT_FALSE(reference.empty());
+  EXPECT_EQ(reference.size(), fast.size());
+  EXPECT_TRUE(reference == fast)
+      << "fast-path trace diverges from the reference trace";
+}
+
+TEST(TraceDeterminism, StreamingSmootherMatchesItselfAcrossPaths) {
+  std::string bytes[2];
+  const Trace trace = lsm::trace::driving1();
+  const ExecutionPath paths[2] = {ExecutionPath::kReference,
+                                  ExecutionPath::kAuto};
+  for (int run = 0; run < 2; ++run) {
+    Tracer& tracer = Tracer::global();
+    tracer.clear();
+    tracer.set_enabled(true);
+    lsm::core::StreamingSmoother smoother(trace.pattern(), params_for(trace),
+                                          lsm::core::DefaultSizes{},
+                                          paths[run]);
+    for (int i = 1; i <= trace.picture_count(); ++i) {
+      smoother.push(trace.size_of(i));
+      smoother.drain();
+    }
+    smoother.finish();
+    smoother.drain();
+    tracer.set_enabled(false);
+    std::vector<TraceEvent> events =
+        deterministic_events(tracer.drain());
+    canonical_sort(events);
+    bytes[run] = serialize(events);
+  }
+  ASSERT_FALSE(bytes[0].empty());
+  EXPECT_TRUE(bytes[0] == bytes[1]);
+}
+
+/// Runs the paper sequences (repeated to get a meaningful job count)
+/// through a BatchSmoother with `threads` workers; returns canonical
+/// deterministic bytes.
+std::string batch_trace_bytes(int threads) {
+  const std::vector<Trace> traces = lsm::trace::paper_sequences();
+  std::vector<lsm::runtime::BatchJob> jobs;
+  for (int repeat = 0; repeat < 4; ++repeat) {
+    for (const Trace& trace : traces) {
+      jobs.push_back(lsm::runtime::BatchJob{&trace, params_for(trace),
+                                            lsm::core::Variant::kBasic});
+    }
+  }
+  Tracer& tracer = Tracer::global();
+  tracer.clear();
+  tracer.set_enabled(true);
+  lsm::runtime::BatchSmoother smoother(threads);
+  smoother.run(jobs);
+  tracer.set_enabled(false);
+  std::vector<TraceEvent> events = deterministic_events(tracer.drain());
+  canonical_sort(events);
+  return serialize(events);
+}
+
+TEST(TraceDeterminism, BatchThreadCountsEmitByteIdenticalTraces) {
+  const std::string one = batch_trace_bytes(1);
+  const std::string four = batch_trace_bytes(4);
+  ASSERT_FALSE(one.empty());
+  EXPECT_EQ(one.size(), four.size());
+  EXPECT_TRUE(one == four)
+      << "batch trace depends on worker count; stream attribution must be "
+         "by job index, not by thread";
+}
+
+TEST(TraceDeterminism, RepeatedRunsAreByteIdentical) {
+  const std::string a = engine_trace_bytes(ExecutionPath::kAuto);
+  const std::string b = engine_trace_bytes(ExecutionPath::kAuto);
+  EXPECT_TRUE(a == b);
+}
+
+}  // namespace
+}  // namespace lsm::obs

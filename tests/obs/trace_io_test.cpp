@@ -1,0 +1,102 @@
+// Binary trace persistence: save/load round trip, corruption detection,
+// canonical ordering, and the deterministic-subset filter.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "obs/trace_io.h"
+
+namespace lsm::obs {
+namespace {
+
+TraceEvent make(std::uint32_t stream, std::uint32_t picture,
+                std::uint32_t seq, EventKind kind, double time) {
+  TraceEvent event;
+  event.stream = stream;
+  event.picture = picture;
+  event.seq = seq;
+  event.kind = static_cast<std::uint16_t>(kind);
+  event.time = time;
+  event.a = time * 2;
+  return event;
+}
+
+std::string temp_path(const char* name) {
+  return std::string(::testing::TempDir()) + name;
+}
+
+TEST(TraceIo, SaveLoadRoundTripsBytes) {
+  std::vector<TraceEvent> events;
+  events.push_back(make(0, 1, 0, EventKind::kPictureScheduled, 0.1));
+  events.push_back(make(1, 2, 1, EventKind::kRateChange, 0.2));
+  const std::string path = temp_path("roundtrip.lsmtrc");
+  save_trace_file(path, events);
+  const std::vector<TraceEvent> loaded = load_trace_file(path);
+  ASSERT_EQ(loaded.size(), events.size());
+  EXPECT_EQ(serialize(loaded), serialize(events));
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, LoadRejectsBadMagic) {
+  const std::string path = temp_path("badmagic.lsmtrc");
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(file, nullptr);
+  const char junk[32] = "NOTATRACEFILE";
+  std::fwrite(junk, 1, sizeof junk, file);
+  std::fclose(file);
+  EXPECT_THROW(load_trace_file(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, LoadRejectsMissingFile) {
+  EXPECT_THROW(load_trace_file(temp_path("does_not_exist.lsmtrc")),
+               std::runtime_error);
+}
+
+TEST(TraceIo, SerializeIsTheRawRecordBytes) {
+  std::vector<TraceEvent> events;
+  events.push_back(make(3, 4, 5, EventKind::kBoundCrossing, 1.5));
+  const std::string bytes = serialize(events);
+  ASSERT_EQ(bytes.size(), sizeof(TraceEvent));
+  TraceEvent back;
+  std::memcpy(&back, bytes.data(), sizeof back);
+  EXPECT_EQ(back.stream, 3u);
+  EXPECT_EQ(back.picture, 4u);
+  EXPECT_DOUBLE_EQ(back.time, 1.5);
+}
+
+TEST(TraceIo, CanonicalSortOrdersByStreamPictureSeq) {
+  std::vector<TraceEvent> events;
+  events.push_back(make(1, 1, 0, EventKind::kPictureScheduled, 0.3));
+  events.push_back(make(0, 2, 2, EventKind::kPictureScheduled, 0.2));
+  events.push_back(make(0, 1, 1, EventKind::kPictureScheduled, 0.1));
+  events.push_back(make(0, 1, 0, EventKind::kRateChange, 0.1));
+  canonical_sort(events);
+  EXPECT_EQ(events[0].stream, 0u);
+  EXPECT_EQ(events[0].picture, 1u);
+  EXPECT_EQ(events[0].seq, 0u);
+  EXPECT_EQ(events[1].seq, 1u);
+  EXPECT_EQ(events[2].picture, 2u);
+  EXPECT_EQ(events[3].stream, 1u);
+}
+
+TEST(TraceIo, DeterministicEventsDropShardKinds) {
+  std::vector<TraceEvent> events;
+  events.push_back(make(0, 1, 0, EventKind::kPictureScheduled, 0.1));
+  events.push_back(make(0, 0, 1, EventKind::kShardStart, 123.0));
+  events.push_back(make(0, 0, 2, EventKind::kShardEnd, 124.0));
+  events.push_back(make(0, 2, 3, EventKind::kRenegGrant, 0.2));
+  const std::vector<TraceEvent> filtered = deterministic_events(events);
+  ASSERT_EQ(filtered.size(), 2u);
+  EXPECT_EQ(filtered[0].kind,
+            static_cast<std::uint16_t>(EventKind::kPictureScheduled));
+  EXPECT_EQ(filtered[1].kind,
+            static_cast<std::uint16_t>(EventKind::kRenegGrant));
+}
+
+}  // namespace
+}  // namespace lsm::obs

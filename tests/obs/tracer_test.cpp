@@ -1,0 +1,118 @@
+// Tracer / StreamTracer / StreamScope: disabled no-op, per-thread buffers,
+// multi-thread drain, ambient stream attribution, and drop accounting.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "obs/trace_io.h"
+#include "obs/tracer.h"
+
+namespace lsm::obs {
+namespace {
+
+TEST(Tracer, DisabledEmitRecordsNothing) {
+  Tracer tracer;
+  StreamTracer handle(&tracer, 3);
+  EXPECT_FALSE(handle.on());
+  handle.emit(EventKind::kPictureScheduled, 1, 0.1);
+  EXPECT_TRUE(tracer.drain().empty());
+}
+
+TEST(Tracer, EmitDrainRoundTrip) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  StreamTracer handle(&tracer, 7);
+  handle.emit(EventKind::kPictureScheduled, 1, 0.1, 100.0, 0.2, 0.3);
+  handle.emit(EventKind::kRateChange, 2, 0.2, 200.0, 100.0);
+  const std::vector<TraceEvent> events = tracer.drain();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].stream, 7u);
+  EXPECT_EQ(events[0].picture, 1u);
+  EXPECT_EQ(events[0].kind,
+            static_cast<std::uint16_t>(EventKind::kPictureScheduled));
+  EXPECT_EQ(events[0].seq, 0u);
+  EXPECT_EQ(events[1].seq, 1u);  // per-stream emission order
+  EXPECT_DOUBLE_EQ(events[1].a, 200.0);
+  EXPECT_TRUE(tracer.drain().empty());  // drain removes
+}
+
+TEST(Tracer, DrainGathersEventsFromEveryThread) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  constexpr int kThreads = 4;
+  constexpr std::uint32_t kPerThread = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&tracer, t] {
+      StreamTracer handle(&tracer, static_cast<std::uint32_t>(t));
+      for (std::uint32_t i = 1; i <= kPerThread; ++i) {
+        handle.emit(EventKind::kPictureScheduled, i, i * 0.01);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  std::vector<TraceEvent> events = tracer.drain();
+  ASSERT_EQ(events.size(), kThreads * kPerThread);
+  canonical_sort(events);
+  for (int t = 0; t < kThreads; ++t) {
+    for (std::uint32_t i = 0; i < kPerThread; ++i) {
+      const TraceEvent& event =
+          events[static_cast<std::size_t>(t) * kPerThread + i];
+      EXPECT_EQ(event.stream, static_cast<std::uint32_t>(t));
+      EXPECT_EQ(event.picture, i + 1);
+      EXPECT_EQ(event.seq, i);
+    }
+  }
+  EXPECT_EQ(tracer.dropped(), 0u);
+}
+
+TEST(Tracer, FullBuffersCountDrops) {
+  Tracer tracer;
+  tracer.set_buffer_capacity(64);
+  tracer.set_enabled(true);
+  StreamTracer handle(&tracer, 0);
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    handle.emit(EventKind::kPictureScheduled, i, 0.0);
+  }
+  EXPECT_EQ(tracer.drain().size(), 64u);
+  EXPECT_EQ(tracer.dropped(), 36u);
+}
+
+TEST(Tracer, ClearDiscardsBufferedEvents) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  StreamTracer handle(&tracer, 0);
+  handle.emit(EventKind::kRateChange, 1, 0.0);
+  tracer.clear();
+  EXPECT_TRUE(tracer.drain().empty());
+}
+
+TEST(StreamScope, SetsAndRestoresAmbientStream) {
+  EXPECT_EQ(current_stream(), 0u);
+  {
+    const StreamScope outer(5);
+    EXPECT_EQ(current_stream(), 5u);
+    EXPECT_EQ(StreamTracer().stream(), 5u);  // default ctor picks it up
+    {
+      const StreamScope inner(9);
+      EXPECT_EQ(current_stream(), 9u);
+    }
+    EXPECT_EQ(current_stream(), 5u);
+  }
+  EXPECT_EQ(current_stream(), 0u);
+}
+
+TEST(Tracer, EventKindNamesAreStable) {
+  EXPECT_STREQ(event_kind_name(EventKind::kPictureScheduled),
+               "picture_scheduled");
+  EXPECT_STREQ(event_kind_name(EventKind::kRateChange), "rate_change");
+  EXPECT_STREQ(event_kind_name(EventKind::kBoundCrossing),
+               "bound_crossing");
+  EXPECT_STREQ(event_kind_name(EventKind::kRenegGiveUp), "reneg_giveup");
+  EXPECT_STREQ(event_kind_name(EventKind::kShardStart), "shard_start");
+}
+
+}  // namespace
+}  // namespace lsm::obs

@@ -2,6 +2,7 @@
 // and the JSON report shape consumed by the CI bench artifacts.
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <string>
 
 #include "runtime/counters.h"
@@ -74,7 +75,7 @@ TEST(PerfRegistry, JsonReportHasTotalsWorkersAndDerivedCost) {
   EXPECT_NE(json.find("\"total\""), std::string::npos);
   EXPECT_NE(json.find("\"streams\": 2"), std::string::npos);
   EXPECT_NE(json.find("\"pictures\": 33"), std::string::npos);
-  EXPECT_NE(json.find("\"wall_ns_per_stream\": 250.0"), std::string::npos);
+  EXPECT_NE(json.find("\"wall_ns_per_stream\": 250"), std::string::npos);
   EXPECT_NE(json.find("\"workers\": ["), std::string::npos);
   EXPECT_NE(json.find("\"external\""), std::string::npos);
 }
@@ -95,7 +96,7 @@ TEST(LatencyHistogram, BucketsByPowerOfTwoMilliseconds) {
 
 TEST(LatencyHistogram, ClampsNegativeAndMergesExactly) {
   LatencyHistogram a;
-  a.add(-1.0);  // clamped to 0 -> bucket 0
+  a.add(-1.0);  // clamped to 0 -> bucket 0, counted
   a.add(0.01);
   LatencyHistogram b;
   b.add(0.01);
@@ -103,7 +104,43 @@ TEST(LatencyHistogram, ClampsNegativeAndMergesExactly) {
   a += b;
   EXPECT_EQ(a.count(), 4u);
   EXPECT_EQ(a.bucket(0), 1u);
+  EXPECT_EQ(a.clamped(), 1u);
   EXPECT_DOUBLE_EQ(a.max_seconds(), 3.0);
+}
+
+TEST(LatencyHistogram, ClampsNanAndInfinityAndCountsThem) {
+  LatencyHistogram histogram;
+  histogram.add(std::numeric_limits<double>::quiet_NaN());
+  histogram.add(std::numeric_limits<double>::infinity());
+  histogram.add(-std::numeric_limits<double>::infinity());
+  histogram.add(-0.5);
+  histogram.add(0.25);  // the one genuine sample
+  EXPECT_EQ(histogram.count(), 5u);
+  EXPECT_EQ(histogram.clamped(), 4u);
+  EXPECT_EQ(histogram.bucket(0), 4u);  // every clamp lands in bucket 0
+  EXPECT_DOUBLE_EQ(histogram.max_seconds(), 0.25);
+}
+
+TEST(LatencyHistogram, MergePreservesClampedCounts) {
+  LatencyHistogram a;
+  a.add(std::numeric_limits<double>::quiet_NaN());
+  a.add(0.001);
+  LatencyHistogram b;
+  b.add(std::numeric_limits<double>::infinity());
+  b.add(-2.0);
+  a += b;
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_EQ(a.clamped(), 3u);
+  const std::string json = a.to_json();
+  EXPECT_NE(json.find("\"clamped\": 3"), std::string::npos);
+}
+
+TEST(LatencyHistogram, ZeroIsAValidSampleNotAClamp) {
+  LatencyHistogram histogram;
+  histogram.add(0.0);
+  EXPECT_EQ(histogram.count(), 1u);
+  EXPECT_EQ(histogram.clamped(), 0u);
+  EXPECT_EQ(histogram.bucket(0), 1u);
 }
 
 TEST(LatencyHistogram, JsonShape) {
@@ -111,7 +148,8 @@ TEST(LatencyHistogram, JsonShape) {
   histogram.add(0.002);
   const std::string json = histogram.to_json();
   EXPECT_NE(json.find("\"count\": 1"), std::string::npos);
-  EXPECT_NE(json.find("\"max_s\": 0.002000"), std::string::npos);
+  EXPECT_NE(json.find("\"clamped\": 0"), std::string::npos);
+  EXPECT_NE(json.find("\"max_s\": 0.002"), std::string::npos);
   EXPECT_NE(json.find("\"buckets\": ["), std::string::npos);
 }
 
@@ -164,8 +202,35 @@ TEST(DegradationCounters, JsonCarriesEveryFaultClassAndHistogram) {
   EXPECT_NE(json.find("\"denial_windows_injected\": 4"), std::string::npos);
   EXPECT_NE(json.find("\"late_pictures\": 5"), std::string::npos);
   EXPECT_NE(json.find("\"recovery_latency\": {"), std::string::npos);
-  EXPECT_NE(json.find("\"worst_delay_excess\": 0.000000"),
+  EXPECT_NE(json.find("\"worst_delay_excess\": 0"), std::string::npos);
+}
+
+TEST(ExportMetrics, RegistrySnapshotCarriesCountersAndHistogram) {
+  PerfRegistry perf(2);
+  perf.slot(0).streams = 3;
+  perf.slot(0).pictures = 90;
+  DegradationCounters degradation;
+  degradation.denials = 2;
+  degradation.worst_delay_excess = 0.125;
+  degradation.recovery_latency.add(0.01);
+  degradation.recovery_latency.add(
+      std::numeric_limits<double>::quiet_NaN());
+
+  obs::Registry registry;
+  perf.export_metrics(registry, "batch");
+  degradation.export_metrics(registry, "faults");
+  const obs::MetricsSnapshot snapshot = registry.snapshot();
+
+  const std::string json = snapshot.to_json();
+  EXPECT_NE(json.find("\"batch.streams\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"batch.pictures\": 90"), std::string::npos);
+  EXPECT_NE(json.find("\"faults.denials\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"faults.worst_delay_excess\": 0.125"),
             std::string::npos);
+  ASSERT_EQ(snapshot.histograms.size(), 1u);
+  EXPECT_EQ(snapshot.histograms[0].name, "faults.recovery_latency_seconds");
+  EXPECT_EQ(snapshot.histograms[0].data.count, 2u);
+  EXPECT_EQ(snapshot.histograms[0].data.clamped, 1u);
 }
 
 TEST(Clocks, MonotoneAndNonNegative) {

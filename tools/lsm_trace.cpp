@@ -1,0 +1,167 @@
+// lsm_trace: record and inspect binary schedule traces.
+//
+//   lsm_trace record <out.bin> [sequence]   run the smoother over a paper
+//                                           sequence (default driving1,
+//                                           or "all" for the four paper
+//                                           streams) with tracing on and
+//                                           save the binary trace
+//   lsm_trace chrome <in.bin> <out.json>    convert to chrome://tracing
+//                                           JSON (load via chrome://tracing
+//                                           or ui.perfetto.dev)
+//   lsm_trace timeline <in.bin> [stream]    print events in canonical
+//                                           order, optionally one stream
+//   lsm_trace summary <in.bin>              per-kind and per-stream counts
+//
+// The binary format is obs/trace_io.h's header + raw TraceEvent records;
+// any run with Tracer::global() enabled can produce one.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/smoother.h"
+#include "obs/chrome_trace.h"
+#include "obs/event.h"
+#include "obs/trace_io.h"
+#include "obs/tracer.h"
+#include "trace/sequences.h"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: lsm_trace record <out.bin> [sequence|all]\n"
+               "       lsm_trace chrome <in.bin> <out.json>\n"
+               "       lsm_trace timeline <in.bin> [stream]\n"
+               "       lsm_trace summary <in.bin>\n"
+               "sequences: driving1 driving2 tennis backyard\n");
+  return 2;
+}
+
+std::vector<lsm::trace::Trace> pick_sequences(const std::string& name) {
+  if (name == "all") return lsm::trace::paper_sequences();
+  if (name == "driving1") return {lsm::trace::driving1()};
+  if (name == "driving2") return {lsm::trace::driving2()};
+  if (name == "tennis") return {lsm::trace::tennis()};
+  if (name == "backyard") return {lsm::trace::backyard()};
+  throw std::runtime_error("unknown sequence: " + name);
+}
+
+int cmd_record(const std::string& out_path, const std::string& sequence) {
+  const std::vector<lsm::trace::Trace> traces = pick_sequences(sequence);
+  lsm::obs::Tracer& tracer = lsm::obs::Tracer::global();
+  tracer.clear();
+  tracer.set_enabled(true);
+  for (std::size_t s = 0; s < traces.size(); ++s) {
+    const lsm::obs::StreamScope scope(static_cast<std::uint32_t>(s));
+    const lsm::trace::Trace& trace = traces[s];
+    lsm::core::SmootherParams params;
+    params.K = 1;
+    params.H = trace.pattern().N();
+    params.D = 0.2;
+    params.tau = trace.tau();
+    lsm::core::smooth_basic(trace, params);
+  }
+  tracer.set_enabled(false);
+  std::vector<lsm::obs::TraceEvent> events = tracer.drain();
+  lsm::obs::canonical_sort(events);
+  lsm::obs::save_trace_file(out_path, events);
+  std::printf("recorded %zu events (%zu streams) -> %s\n", events.size(),
+              traces.size(), out_path.c_str());
+  return 0;
+}
+
+int cmd_chrome(const std::string& in_path, const std::string& out_path) {
+  const std::vector<lsm::obs::TraceEvent> events =
+      lsm::obs::load_trace_file(in_path);
+  const std::string json = lsm::obs::to_chrome_trace_json(events);
+  std::FILE* file = std::fopen(out_path.c_str(), "wb");
+  if (file == nullptr) {
+    throw std::runtime_error("cannot open " + out_path);
+  }
+  std::fwrite(json.data(), 1, json.size(), file);
+  std::fclose(file);
+  std::printf("%zu events -> %s (load in chrome://tracing)\n", events.size(),
+              out_path.c_str());
+  return 0;
+}
+
+int cmd_timeline(const std::string& in_path, const char* stream_arg) {
+  std::vector<lsm::obs::TraceEvent> events =
+      lsm::obs::load_trace_file(in_path);
+  lsm::obs::canonical_sort(events);
+  const bool filter = stream_arg != nullptr;
+  const std::uint32_t only =
+      filter ? static_cast<std::uint32_t>(std::strtoul(stream_arg, nullptr, 10))
+             : 0;
+  for (const lsm::obs::TraceEvent& event : events) {
+    if (filter && event.stream != only) continue;
+    std::printf("s%-3u p%-5u t=%-12.6f %-18s a=%-14g b=%-14g c=%g\n",
+                event.stream, event.picture, event.time,
+                lsm::obs::event_kind_name(
+                    static_cast<lsm::obs::EventKind>(event.kind)),
+                event.a, event.b, event.c);
+  }
+  return 0;
+}
+
+int cmd_summary(const std::string& in_path) {
+  const std::vector<lsm::obs::TraceEvent> events =
+      lsm::obs::load_trace_file(in_path);
+  std::map<std::uint16_t, std::uint64_t> by_kind;
+  std::map<std::uint32_t, std::uint64_t> by_stream;
+  double first = 0.0;
+  double last = 0.0;
+  for (const lsm::obs::TraceEvent& event : events) {
+    ++by_kind[event.kind];
+    ++by_stream[event.stream];
+    if (lsm::obs::deterministic_kind(
+            static_cast<lsm::obs::EventKind>(event.kind))) {
+      if (first == 0.0 || event.time < first) first = event.time;
+      if (event.time > last) last = event.time;
+    }
+  }
+  std::printf("%zu events, %zu streams, span %.6f .. %.6f s\n", events.size(),
+              by_stream.size(), first, last);
+  for (const auto& [kind, count] : by_kind) {
+    std::printf("  %-18s %llu\n",
+                lsm::obs::event_kind_name(
+                    static_cast<lsm::obs::EventKind>(kind)),
+                static_cast<unsigned long long>(count));
+  }
+  for (const auto& [stream, count] : by_stream) {
+    std::printf("  stream %-3u %llu events\n", stream,
+                static_cast<unsigned long long>(count));
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string command = argv[1];
+  try {
+    if (command == "record") {
+      return cmd_record(argv[2], argc > 3 ? argv[3] : "driving1");
+    }
+    if (command == "chrome") {
+      if (argc < 4) return usage();
+      return cmd_chrome(argv[2], argv[3]);
+    }
+    if (command == "timeline") {
+      return cmd_timeline(argv[2], argc > 3 ? argv[3] : nullptr);
+    }
+    if (command == "summary") {
+      return cmd_summary(argv[2]);
+    }
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "lsm_trace: %s\n", error.what());
+    return 1;
+  }
+  return usage();
+}

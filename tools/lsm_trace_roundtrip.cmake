@@ -1,0 +1,30 @@
+# ctest script: lsm_trace record -> summary -> chrome must all succeed and
+# the chrome JSON must be non-trivial.
+set(bin "${WORK_DIR}/roundtrip.bin")
+set(json "${WORK_DIR}/roundtrip.json")
+
+execute_process(COMMAND ${LSM_TRACE} record ${bin} all
+                RESULT_VARIABLE status)
+if(NOT status EQUAL 0)
+  message(FATAL_ERROR "lsm_trace record failed: ${status}")
+endif()
+
+execute_process(COMMAND ${LSM_TRACE} summary ${bin}
+                RESULT_VARIABLE status OUTPUT_VARIABLE summary)
+if(NOT status EQUAL 0)
+  message(FATAL_ERROR "lsm_trace summary failed: ${status}")
+endif()
+if(NOT summary MATCHES "picture_scheduled")
+  message(FATAL_ERROR "summary missing picture_scheduled: ${summary}")
+endif()
+
+execute_process(COMMAND ${LSM_TRACE} chrome ${bin} ${json}
+                RESULT_VARIABLE status)
+if(NOT status EQUAL 0)
+  message(FATAL_ERROR "lsm_trace chrome failed: ${status}")
+endif()
+file(READ ${json} chrome_json)
+string(LENGTH "${chrome_json}" chrome_length)
+if(chrome_length LESS 100 OR NOT chrome_json MATCHES "traceEvents")
+  message(FATAL_ERROR "chrome export looks empty (${chrome_length} bytes)")
+endif()

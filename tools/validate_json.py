@@ -1,0 +1,149 @@
+#!/usr/bin/env python3
+"""Run binaries and validate their JSON output.
+
+Contract enforced on every binary's stdout:
+  * every line whose first non-space character is '{' must parse with
+    json.loads (the single-JSON-path conformance gate), and
+  * every line starting with '# metrics: ' must parse AND validate
+    against the schema given with --schema (tools/metrics_schema.json,
+    the obs::MetricsSnapshot shape).
+
+The validator implements the subset of JSON Schema the schema file uses
+(type / required / properties / values / items / length / minimum), so
+no third-party jsonschema package is needed.
+
+Usage: validate_json.py [--schema SCHEMA] BINARY [ARG...] [-- BINARY2 ...]
+Each '--'-separated group is one command; a bare list of paths runs each
+as a single-argument command.
+"""
+
+import json
+import subprocess
+import sys
+
+METRICS_PREFIX = "# metrics: "
+
+
+def validate(instance, schema, path="$"):
+    """Returns a list of error strings (empty when valid)."""
+    errors = []
+    expected = schema.get("type")
+    if expected is not None:
+        allowed = expected if isinstance(expected, list) else [expected]
+        checks = {
+            "object": lambda v: isinstance(v, dict),
+            "array": lambda v: isinstance(v, list),
+            "string": lambda v: isinstance(v, str),
+            "integer": lambda v: isinstance(v, int)
+            and not isinstance(v, bool),
+            "number": lambda v: isinstance(v, (int, float))
+            and not isinstance(v, bool),
+            "boolean": lambda v: isinstance(v, bool),
+            "null": lambda v: v is None,
+        }
+        if not any(checks[t](instance) for t in allowed):
+            return ["%s: expected %s, got %r" % (path, allowed, instance)]
+    for key in schema.get("required", []):
+        if key not in instance:
+            errors.append("%s: missing required key %r" % (path, key))
+    for key, sub in schema.get("properties", {}).items():
+        if isinstance(instance, dict) and key in instance:
+            errors += validate(instance[key], sub, "%s.%s" % (path, key))
+    values_schema = schema.get("values")
+    if values_schema is not None and isinstance(instance, dict):
+        for key, value in instance.items():
+            errors += validate(value, values_schema, "%s.%s" % (path, key))
+    items_schema = schema.get("items")
+    if items_schema is not None and isinstance(instance, list):
+        for index, item in enumerate(instance):
+            errors += validate(item, items_schema,
+                               "%s[%d]" % (path, index))
+    length = schema.get("length")
+    if length is not None and isinstance(instance, list):
+        if len(instance) != length:
+            errors.append("%s: expected %d items, got %d"
+                          % (path, length, len(instance)))
+    minimum = schema.get("minimum")
+    if minimum is not None and isinstance(instance, (int, float)) \
+            and not isinstance(instance, bool):
+        if instance < minimum:
+            errors.append("%s: %r below minimum %r"
+                          % (path, instance, minimum))
+    return errors
+
+
+def check_command(command, schema):
+    result = subprocess.run(command, stdout=subprocess.PIPE,
+                            stderr=subprocess.DEVNULL, timeout=600)
+    if result.returncode != 0:
+        return ["%s exited with %d" % (command[0], result.returncode)]
+    errors = []
+    metrics_lines = 0
+    for number, raw in enumerate(result.stdout.decode().splitlines(), 1):
+        line = raw.strip()
+        payload = None
+        if raw.startswith(METRICS_PREFIX):
+            payload = raw[len(METRICS_PREFIX):]
+        elif line.startswith("{"):
+            payload = line
+        if payload is None:
+            continue
+        try:
+            parsed = json.loads(payload)
+        except ValueError as error:
+            errors.append("%s line %d: not JSON (%s)"
+                          % (command[0], number, error))
+            continue
+        if raw.startswith(METRICS_PREFIX):
+            metrics_lines += 1
+            if schema is not None:
+                errors += ["%s line %d %s" % (command[0], number, e)
+                           for e in validate(parsed, schema)]
+    if schema is not None and metrics_lines == 0:
+        errors.append("%s: no '%s' snapshot line found"
+                      % (command[0], METRICS_PREFIX.strip()))
+    return errors
+
+
+def main():
+    # Parsed by hand: argparse swallows the first "--" separator.
+    argv = sys.argv[1:]
+    schema = None
+    if argv and argv[0] == "--schema":
+        if len(argv) < 2:
+            print(__doc__, file=sys.stderr)
+            return 2
+        with open(argv[1]) as handle:
+            schema = json.load(handle)
+        argv = argv[2:]
+    if not argv:
+        print(__doc__, file=sys.stderr)
+        return 2
+
+    commands = []
+    if "--" in argv:
+        group = []
+        for token in argv + ["--"]:
+            if token == "--":
+                if group:
+                    commands.append(group)
+                group = []
+            else:
+                group.append(token)
+    else:
+        commands = [[path] for path in argv]
+
+    failures = []
+    for command in commands:
+        failures += check_command(command, schema)
+    for failure in failures:
+        print("FAIL:", failure, file=sys.stderr)
+    if failures:
+        return 1
+    print("validated %d command(s): JSON parses and metrics match schema"
+          % len(commands))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
