@@ -236,6 +236,12 @@ class TypeMeanKernel : public KernelBase {
 /// growing pushed-size buffer — the prefix-sum array is extended
 /// incrementally on every push, and the frontier is additionally capped by
 /// how many pictures have been pushed.
+///
+/// The buffers are windowed: trim_to() drops pictures older than the
+/// caller's retention bound (logical index base_ maps to vector slot 0).
+/// Retained prefix entries keep their ABSOLUTE values — a window sum after
+/// a trim subtracts exactly the same integers as before it — so trimming
+/// cannot perturb a single emitted bit.
 class StreamingKernel {
  public:
   StreamingKernel(lsm::trace::GopPattern pattern, double tau,
@@ -245,13 +251,23 @@ class StreamingKernel {
   void on_push(Bits size) {
     sizes_.push_back(size);
     prefix_.push_back(prefix_.back() + size);
+    ++pushed_;
+  }
+
+  /// Drops pictures below logical index `keep_from` (amortized by the
+  /// caller; requires base_ <= keep_from <= arrived frontier).
+  void trim_to(int keep_from) {
+    const auto dead = static_cast<std::ptrdiff_t>(keep_from - base_);
+    if (dead <= 0) return;
+    sizes_.erase(sizes_.begin(), sizes_.begin() + dead);
+    prefix_.erase(prefix_.begin(), prefix_.begin() + dead);
+    base_ = keep_from;
   }
 
   void begin_step(Seconds t) noexcept {
     // Same cached-threshold advance as KernelBase::begin_step, additionally
     // capped by how many pictures have been pushed.
-    const int pushed = static_cast<int>(sizes_.size());
-    while (arrived_ < pushed && t >= next_threshold_) {
+    while (arrived_ < pushed_ && t >= next_threshold_) {
       ++arrived_;
       next_threshold_ = static_cast<double>(arrived_ + 1) * tau_ - 1e-12;
     }
@@ -261,8 +277,8 @@ class StreamingKernel {
   int arrived() const noexcept { return arrived_; }
 
   Bits arrived_window(int i, int j) const noexcept {
-    return prefix_[static_cast<std::size_t>(j)] -
-           prefix_[static_cast<std::size_t>(i - 1)];
+    return prefix_[static_cast<std::size_t>(j - base_ + 1)] -
+           prefix_[static_cast<std::size_t>(i - base_)];
   }
 
   Bits arrived_head(int i) const noexcept {
@@ -273,7 +289,7 @@ class StreamingKernel {
     const int n = pattern_.N();
     int k = j - n;
     while (k > arrived_) k -= n;
-    if (k >= 1) return sizes_[static_cast<std::size_t>(k - 1)];
+    if (k >= 1) return sizes_[static_cast<std::size_t>(k - base_)];
     return defaults_.of(pattern_.type_of(j));
   }
 
@@ -281,8 +297,10 @@ class StreamingKernel {
   lsm::trace::GopPattern pattern_;
   DefaultSizes defaults_;
   double tau_;
-  std::vector<Bits> sizes_;
-  std::vector<Bits> prefix_;
+  std::vector<Bits> sizes_;   ///< sizes_[k] = S_{base_ + k}
+  std::vector<Bits> prefix_;  ///< prefix_[k] = S_1 + ... + S_{base_ - 1 + k}
+  int pushed_ = 0;            ///< total pushed (logical, survives trims)
+  int base_ = 1;              ///< logical index of sizes_[0]
   int arrived_ = 0;
   double next_threshold_;  ///< (arrived_+1)*tau - 1e-12
 };

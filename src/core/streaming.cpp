@@ -7,6 +7,13 @@
 
 namespace lsm::core {
 
+namespace {
+/// Trims are batched: only once this many pictures have become unreachable
+/// is the dead prefix erased, so the per-push cost stays amortized O(1)
+/// while an endless stream retains O(kTrimChunk + N) pictures.
+constexpr int kTrimChunk = 64;
+}  // namespace
+
 StreamingSmoother::StreamingSmoother(lsm::trace::GopPattern pattern,
                                      SmootherParams params,
                                      DefaultSizes defaults,
@@ -27,22 +34,28 @@ void StreamingSmoother::push(Bits size) {
     throw std::invalid_argument("StreamingSmoother::push: size must be > 0");
   }
   sizes_.push_back(size);
+  ++pushed_;
   if (use_fast_path_) kernel_.on_push(size);
+  dirty_ = true;
 }
 
 void StreamingSmoother::finish() {
   finished_ = true;
+  dirty_ = true;
 }
 
 Bits StreamingSmoother::size_at(int j, Seconds t) const {
   if (j < 1) throw std::out_of_range("StreamingSmoother: bad picture index");
   // Walk back one pattern at a time until a pushed-and-arrived picture.
+  // The first hit lies at most one pattern below the arrival frontier,
+  // which never trails the decision frontier by more than a pattern — so
+  // it is always a retained index (>= base_, see maybe_trim).
   int k = j;
   while (k >= 1) {
-    const bool pushed = k <= pushed_count();
+    const bool pushed = k <= pushed_;
     const bool arrived = t >= static_cast<double>(k) * params_.tau - 1e-12;
     if (pushed && arrived) {
-      return sizes_[static_cast<std::size_t>(k - 1)];
+      return sizes_[static_cast<std::size_t>(k - base_)];
     }
     k -= pattern_.N();
   }
@@ -51,27 +64,27 @@ Bits StreamingSmoother::size_at(int j, Seconds t) const {
 
 bool StreamingSmoother::can_decide() const {
   const int i = next_;
-  if (i > pushed_count()) return false;  // S_i itself not yet known
+  if (i > pushed_) return false;  // S_i itself not yet known
   if (finished_) return true;
   // Pre-finish: decide only once every picture that has *arrived* by t_i
   // has been pushed, so size_at reads exactly what the paper's size(j, t_i)
   // would.
   const Seconds t_i = std::max(
       depart_, static_cast<double>(i - 1 + params_.K) * params_.tau);
-  return t_i <= static_cast<double>(pushed_count()) * params_.tau + 1e-12;
+  return t_i <= static_cast<double>(pushed_) * params_.tau + 1e-12;
 }
 
 PictureSend StreamingSmoother::decide() {
   const int i = next_;
   const double tau = params_.tau;
   const int last_picture =
-      finished_ ? pushed_count() : std::numeric_limits<int>::max() / 2;
+      finished_ ? pushed_ : std::numeric_limits<int>::max() / 2;
   const int last_required = std::min(i - 1 + params_.K, last_picture);
   const Seconds time =
       std::max(depart_, static_cast<double>(last_required) * tau);
 
   const double fallback =
-      static_cast<double>(sizes_[static_cast<std::size_t>(i - 1)]);
+      static_cast<double>(sizes_[static_cast<std::size_t>(i - base_)]);
   const detail::RateDecision decision =
       use_fast_path_
           ? detail::select_rate_kernel(i, time, last_picture, rate_, params_,
@@ -86,7 +99,7 @@ PictureSend StreamingSmoother::decide() {
 
   PictureSend send;
   send.index = i;
-  send.bits = sizes_[static_cast<std::size_t>(i - 1)];
+  send.bits = sizes_[static_cast<std::size_t>(i - base_)];
   send.start = time;
   send.rate = rate_;
   send.depart = time + static_cast<double>(send.bits) / rate_;
@@ -111,10 +124,34 @@ PictureSend StreamingSmoother::decide() {
   return send;
 }
 
+void StreamingSmoother::maybe_trim() {
+  // Lowest logical index any future read can touch: window sums start at
+  // the decision frontier (prefix index next_ - 1), and estimates land at
+  // most one pattern below an arrival frontier that never trails next_ - 1
+  // (decisions wait for t_i within pushed time). One extra pattern of slack
+  // keeps the bound comfortably conservative.
+  const int keep_from = next_ - 1 - 2 * pattern_.N();
+  if (keep_from - base_ < kTrimChunk) return;
+  sizes_.erase(sizes_.begin(), sizes_.begin() + (keep_from - base_));
+  if (use_fast_path_) kernel_.trim_to(keep_from);
+  base_ = keep_from;
+}
+
 std::vector<PictureSend> StreamingSmoother::drain() {
   std::vector<PictureSend> sends;
-  while (can_decide()) sends.push_back(decide());
+  drain_into(sends);
   return sends;
+}
+
+int StreamingSmoother::drain_into(std::vector<PictureSend>& out) {
+  int appended = 0;
+  while (can_decide()) {
+    out.push_back(decide());
+    ++appended;
+  }
+  dirty_ = false;
+  maybe_trim();
+  return appended;
 }
 
 }  // namespace lsm::core

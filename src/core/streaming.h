@@ -23,6 +23,24 @@
 // After finish(), remaining decisions use the batch engine's sequence-end
 // semantics, so push-all / finish / drain-all reproduces SmootherEngine's
 // output exactly (tested).
+//
+// Two properties make the smoother a building block for a long-running
+// multiplexer (net/statmux.h) rather than just a study harness:
+//
+//   * Dirty tracking. The arrival frontier only moves on push()/finish(),
+//     so those set a dirty flag and a drain that leaves nothing decidable
+//     clears it. A scheduler owning many smoothers skips the clean ones in
+//     O(1) — per-epoch cost scales with the streams whose frontier moved,
+//     not with the total stream count.
+//   * Bounded retention. No future decision can read a picture more than
+//     ~2N behind the decision frontier (window sums start at the frontier;
+//     estimates walk back at most one pattern below the arrival frontier),
+//     so drain trims the prefix of pushed sizes that has become
+//     unreachable. Prefix sums keep their ABSOLUTE values across a trim —
+//     the same integers are subtracted — so trimmed output stays bitwise
+//     identical to untrimmed (tested on multi-thousand-picture streams),
+//     while an endless stream holds O(trim chunk + N) state instead of its
+//     whole history.
 #pragma once
 
 #include <vector>
@@ -52,15 +70,32 @@ class StreamingSmoother {
   /// Marks the end of the sequence. Idempotent.
   void finish();
 
-  int pushed_count() const noexcept {
-    return static_cast<int>(sizes_.size());
-  }
+  int pushed_count() const noexcept { return pushed_; }
   /// Index of the next picture to be decided (1-based).
   int next_picture() const noexcept { return next_; }
   bool finished() const noexcept { return finished_; }
+  /// True once finish() was called and every picture has been decided.
+  bool done() const noexcept { return finished_ && next_ > pushed_; }
+
+  /// True when the frontier may have moved since the last drain: set by
+  /// push()/finish(), cleared by a drain that leaves nothing decidable.
+  /// O(1) — the skip test for dirty-set schedulers (net/statmux).
+  bool dirty() const noexcept { return dirty_; }
+
+  /// True when the next picture is decidable right now. O(1).
+  bool decision_ready() const { return can_decide(); }
+
+  /// 1-based index of the oldest pushed picture still retained (see the
+  /// bounded-retention note above); everything older has been trimmed.
+  int first_retained() const noexcept { return base_; }
 
   /// All send records whose decisions are now determined (possibly empty).
   std::vector<PictureSend> drain();
+
+  /// Appends every currently-determined send to `out` (capacity reused by
+  /// the caller — the allocation-free steady-state path) and returns the
+  /// number appended. Clears the dirty flag.
+  int drain_into(std::vector<PictureSend>& out);
 
  private:
   /// The size(j, t) function over the growing buffer.
@@ -68,14 +103,19 @@ class StreamingSmoother {
   /// True when picture `next_` can be decided now.
   bool can_decide() const;
   PictureSend decide();
+  /// Drops retained pictures no future decision can read (amortized O(1)).
+  void maybe_trim();
 
   lsm::trace::GopPattern pattern_;
   SmootherParams params_;
   DefaultSizes defaults_;
-  std::vector<Bits> sizes_;
+  std::vector<Bits> sizes_;  ///< sizes_[k] = S_{base_ + k}
   fastpath::StreamingKernel kernel_;
   bool use_fast_path_;
   bool finished_ = false;
+  bool dirty_ = false;
+  int pushed_ = 0;  ///< total pictures pushed (logical, survives trims)
+  int base_ = 1;    ///< logical index of sizes_[0]
   /// Same emission taxonomy as SmootherEngine (DESIGN.md §3.5); the
   /// decision values are bitwise-equal across paths, so so are the traces.
   obs::StreamTracer tracer_;

@@ -1,0 +1,424 @@
+#include "net/statmux.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <queue>
+#include <stdexcept>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/streaming.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
+#include "runtime/mpsc_ring.h"
+#include "runtime/pool.h"
+#include "sim/rng.h"
+
+namespace lsm::net {
+
+using lsm::trace::Bits;
+using lsm::trace::GopPattern;
+using lsm::trace::PictureType;
+
+Bits synthetic_picture_size(std::uint64_t seed, int index, PictureType type,
+                            const core::DefaultSizes& defaults) {
+  // One splitmix64 step over (seed, index): a pure hash, so the feed can
+  // be replayed anywhere without carrying generator state.
+  std::uint64_t state =
+      seed ^ (0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(index));
+  const std::uint64_t word = sim::splitmix64(state);
+  // ±25% modulation from the top 53 bits.
+  const double unit =
+      static_cast<double>(word >> 11) * (1.0 / 9007199254740992.0);
+  const double modulated =
+      static_cast<double>(defaults.of(type)) * (0.75 + 0.5 * unit);
+  const Bits size = static_cast<Bits>(modulated);
+  return size < 1 ? 1 : size;
+}
+
+double StreamSpec::nominal_rate() const {
+  const GopPattern pattern(gop_n, gop_m);
+  Bits per_pattern = 0;
+  for (int i = 1; i <= pattern.N(); ++i) {
+    per_pattern += defaults.of(pattern.type_of(i));
+  }
+  return static_cast<double>(per_pattern) /
+         (static_cast<double>(pattern.N()) * params.tau);
+}
+
+void StatmuxConfig::validate() const {
+  if (shards < 1) throw std::invalid_argument("statmux: shards must be >= 1");
+  if (ring_capacity < 1) {
+    throw std::invalid_argument("statmux: ring_capacity must be >= 1");
+  }
+  if (max_streams_per_shard < 1) {
+    throw std::invalid_argument("statmux: shard capacity must be >= 1");
+  }
+  if (link_rate_bps <= 0) {
+    throw std::invalid_argument("statmux: link rate must be > 0");
+  }
+  if (bucket_sigma_bits < 0) {
+    throw std::invalid_argument("statmux: bucket depth must be >= 0");
+  }
+  if (tick_seconds <= 0) {
+    throw std::invalid_argument("statmux: tick must be > 0");
+  }
+  if (threads < 0) {
+    throw std::invalid_argument("statmux: threads must be >= 0");
+  }
+}
+
+namespace {
+
+struct Command {
+  enum class Kind : std::uint8_t { kAdmit = 0, kDepart = 1 };
+  Kind kind = Kind::kAdmit;
+  StreamSpec spec;  ///< depart uses spec.id only
+};
+
+/// Cheap spec screening done on the admitting thread, so shard tasks never
+/// see a spec whose GopPattern construction or params validation throws.
+bool spec_is_valid(const StreamSpec& spec) {
+  if (spec.id == 0) return false;
+  if (spec.gop_n < 1 || spec.gop_m < 1 || spec.gop_m > spec.gop_n ||
+      spec.gop_n % spec.gop_m != 0) {
+    return false;
+  }
+  if (spec.period_ticks < 1 || spec.phase_ticks < 0 ||
+      spec.picture_count < 0) {
+    return false;
+  }
+  try {
+    spec.params.validate();
+  } catch (const std::exception&) {
+    return false;
+  }
+  return true;
+}
+
+struct CalendarEntry {
+  std::int64_t due = 0;
+  std::uint32_t id = 0;
+  std::uint64_t generation = 0;
+
+  /// Total order (due, id, generation): the pop sequence within one tick
+  /// is the canonical advance order, independent of insertion history.
+  bool operator>(const CalendarEntry& other) const noexcept {
+    if (due != other.due) return due > other.due;
+    if (id != other.id) return id > other.id;
+    return generation > other.generation;
+  }
+};
+
+struct StreamState {
+  StreamState(const StreamSpec& spec_in, std::uint64_t generation_in)
+      : spec(spec_in),
+        pattern(spec_in.gop_n, spec_in.gop_m),
+        smoother(pattern, spec_in.params, spec_in.defaults),
+        nominal(spec_in.nominal_rate()),
+        generation(generation_in) {}
+
+  StreamSpec spec;
+  GopPattern pattern;
+  core::StreamingSmoother smoother;
+  int next_push = 1;    ///< next picture index to feed
+  double rate = 0.0;    ///< currently reserved rate (last decision)
+  double nominal = 0.0;
+  std::uint64_t generation = 0;  ///< matches live calendar entries
+};
+
+}  // namespace
+
+struct StatmuxService::Shard {
+  Shard(int index_in, const StatmuxConfig& config)
+      : index(index_in),
+        ring(config.ring_capacity),
+        epoch_tracer(&obs::Tracer::global(), 0) {}
+
+  const int index;
+  runtime::MpscRing<Command> ring;
+
+  std::unordered_map<std::uint32_t, StreamState> streams;
+  std::priority_queue<CalendarEntry, std::vector<CalendarEntry>,
+                      std::greater<CalendarEntry>>
+      calendar;
+  std::uint64_t next_generation = 1;
+
+  double reserved_rate = 0.0;    ///< sum of resident streams' current rates
+  double nominal_reserved = 0.0; ///< sum of resident streams' nominal rates
+
+  // Monotone shard-local tallies; read by the driver between epochs
+  // (ordered by the pool's wait_idle handoff).
+  std::int64_t admitted = 0;
+  std::int64_t rejected_duplicate = 0;
+  std::int64_t rejected_capacity = 0;
+  std::int64_t rejected_rate = 0;
+  std::int64_t departed = 0;
+  std::int64_t finished = 0;
+  std::int64_t pictures = 0;
+  std::int64_t decisions = 0;
+  std::int64_t dirty_last = 0;
+
+  // Reused scratch: the steady-state epoch loop allocates nothing.
+  std::vector<Command> commands;
+  std::vector<core::PictureSend> sends_scratch;
+  std::vector<StreamSend> collected;
+
+  /// Persistent per-shard tracer (stream 0, picture = shard index): its
+  /// seq counter makes successive epoch events distinct.
+  obs::StreamTracer epoch_tracer;
+};
+
+StatmuxService::StatmuxService(StatmuxConfig config,
+                               runtime::ThreadPool* pool)
+    : config_(config) {
+  config_.validate();
+  shards_.reserve(static_cast<std::size_t>(config_.shards));
+  for (int s = 0; s < config_.shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>(s, config_));
+  }
+  if (pool != nullptr) {
+    pool_ = pool;
+  } else {
+    int threads = config_.threads;
+    if (threads == 0) {
+      const int cores =
+          static_cast<int>(std::thread::hardware_concurrency());
+      threads = std::min(config_.shards, cores < 1 ? 1 : cores);
+    }
+    owned_pool_ = std::make_unique<runtime::ThreadPool>(threads);
+    pool_ = owned_pool_.get();
+  }
+  bucket_tokens_ = config_.bucket_sigma_bits > 0
+                       ? config_.bucket_sigma_bits
+                       : config_.link_rate_bps * config_.tick_seconds;
+}
+
+StatmuxService::~StatmuxService() = default;
+
+int StatmuxService::shard_count() const noexcept {
+  return static_cast<int>(shards_.size());
+}
+
+bool StatmuxService::admit(const StreamSpec& spec) {
+  if (!spec_is_valid(spec)) return false;
+  Command command;
+  command.kind = Command::Kind::kAdmit;
+  command.spec = spec;
+  Shard& shard = *shards_[spec.id % shards_.size()];
+  return shard.ring.try_push(command);
+}
+
+bool StatmuxService::depart(std::uint32_t id) {
+  if (id == 0) return false;
+  Command command;
+  command.kind = Command::Kind::kDepart;
+  command.spec.id = id;
+  Shard& shard = *shards_[id % shards_.size()];
+  return shard.ring.try_push(command);
+}
+
+void StatmuxService::run_shard_epoch(Shard& shard) {
+  const std::int64_t now = tick_;
+  const double budget =
+      config_.link_rate_bps / static_cast<double>(config_.shards);
+
+  // 1. Drain the admission ring and canonicalize: sort by (id, kind with
+  //    admit < depart). Any producer interleaving that delivered the same
+  //    commands collapses to the same applied sequence (DESIGN.md §3.6).
+  //    Two admits of the same id in one drain are unspecified beyond
+  //    "exactly one is applied".
+  shard.commands.clear();
+  Command command;
+  while (shard.ring.try_pop(command)) shard.commands.push_back(command);
+  std::sort(shard.commands.begin(), shard.commands.end(),
+            [](const Command& x, const Command& y) {
+              if (x.spec.id != y.spec.id) return x.spec.id < y.spec.id;
+              return static_cast<int>(x.kind) < static_cast<int>(y.kind);
+            });
+
+  for (const Command& cmd : shard.commands) {
+    const std::uint32_t id = cmd.spec.id;
+    if (cmd.kind == Command::Kind::kAdmit) {
+      if (shard.streams.find(id) != shard.streams.end()) {
+        ++shard.rejected_duplicate;
+        continue;
+      }
+      if (static_cast<int>(shard.streams.size()) >=
+          config_.max_streams_per_shard) {
+        ++shard.rejected_capacity;
+        continue;
+      }
+      const double nominal = cmd.spec.nominal_rate();
+      if (shard.nominal_reserved + nominal > budget) {
+        ++shard.rejected_rate;
+        continue;
+      }
+      const std::uint64_t generation = shard.next_generation++;
+      // The ambient scope attributes the smoother's own trace events
+      // (picture scheduled, rate change, ...) to this stream id.
+      const obs::StreamScope scope(id);
+      auto [it, inserted] =
+          shard.streams.try_emplace(id, cmd.spec, generation);
+      (void)inserted;
+      shard.nominal_reserved += nominal;
+      ++shard.admitted;
+      // First arrival: the earliest tick >= now on the stream's cadence.
+      std::int64_t due = cmd.spec.phase_ticks;
+      if (due < now) {
+        const std::int64_t period = cmd.spec.period_ticks;
+        due += (now - due + period - 1) / period * period;
+      }
+      shard.calendar.push(CalendarEntry{due, id, generation});
+      obs::StreamTracer(&obs::Tracer::global(), id)
+          .emit(obs::EventKind::kStreamAdmit, 0,
+                static_cast<double>(now), static_cast<double>(shard.index),
+                it->second.nominal);
+    } else {
+      auto it = shard.streams.find(id);
+      if (it == shard.streams.end()) continue;  // unknown id: no-op
+      shard.reserved_rate -= it->second.rate;
+      shard.nominal_reserved -= it->second.nominal;
+      shard.streams.erase(it);  // calendar entries go stale (skipped)
+      ++shard.departed;
+      obs::StreamTracer(&obs::Tracer::global(), id)
+          .emit(obs::EventKind::kStreamDepart, 0,
+                static_cast<double>(now), static_cast<double>(shard.index),
+                0.0);
+    }
+  }
+
+  // 2. Advance exactly the streams due this tick, in calendar order —
+  //    the dirty set. Resident streams with no arrival cost nothing.
+  std::int64_t dirty = 0;
+  while (!shard.calendar.empty() && shard.calendar.top().due <= now) {
+    const CalendarEntry entry = shard.calendar.top();
+    shard.calendar.pop();
+    auto it = shard.streams.find(entry.id);
+    if (it == shard.streams.end() ||
+        it->second.generation != entry.generation) {
+      continue;  // departed (possibly readmitted) while scheduled: stale
+    }
+    StreamState& state = it->second;
+    ++dirty;
+
+    state.smoother.push(synthetic_picture_size(
+        state.spec.feed_seed, state.next_push,
+        state.pattern.type_of(state.next_push), state.spec.defaults));
+    ++shard.pictures;
+    const bool last_picture = state.spec.picture_count > 0 &&
+                              state.next_push >= state.spec.picture_count;
+    ++state.next_push;
+    if (last_picture) state.smoother.finish();
+
+    shard.sends_scratch.clear();
+    const int released = state.smoother.drain_into(shard.sends_scratch);
+    shard.decisions += released;
+    for (const core::PictureSend& send : shard.sends_scratch) {
+      // Same deltas, same order as the stream's own schedule: the shard
+      // total stays a fixed-order double sum.
+      shard.reserved_rate += send.rate - state.rate;
+      state.rate = send.rate;
+      if (config_.collect_sends) {
+        shard.collected.push_back(StreamSend{entry.id, send});
+      }
+    }
+
+    if (state.smoother.done()) {
+      shard.reserved_rate -= state.rate;
+      shard.nominal_reserved -= state.nominal;
+      ++shard.finished;
+      obs::StreamTracer(&obs::Tracer::global(), entry.id)
+          .emit(obs::EventKind::kStreamDepart, 0,
+                static_cast<double>(now),
+                static_cast<double>(shard.index), 1.0);
+      shard.streams.erase(it);
+    } else {
+      shard.calendar.push(CalendarEntry{now + state.spec.period_ticks,
+                                        entry.id, entry.generation});
+    }
+  }
+  shard.dirty_last = dirty;
+
+  shard.epoch_tracer.emit(obs::EventKind::kMuxEpoch,
+                          static_cast<std::uint32_t>(shard.index),
+                          static_cast<double>(now),
+                          static_cast<double>(dirty), shard.reserved_rate,
+                          static_cast<double>(shard.streams.size()));
+}
+
+void StatmuxService::run_epoch() {
+  runtime::parallel_for(*pool_, shard_count(),
+                        [this](int s) { run_shard_epoch(*shards_[s]); });
+
+  // Reduce in shard-index order: a fixed-order double sum, bitwise
+  // reproducible for any thread count.
+  double total = 0.0;
+  for (const auto& shard : shards_) total += shard->reserved_rate;
+  rate_series_.push_back(total);
+
+  // Link policer: charge this epoch's reserved bits against the bucket.
+  const double sigma = config_.bucket_sigma_bits > 0
+                           ? config_.bucket_sigma_bits
+                           : config_.link_rate_bps * config_.tick_seconds;
+  bucket_tokens_ = std::min(
+      sigma, bucket_tokens_ + config_.link_rate_bps * config_.tick_seconds);
+  const double bits = total * config_.tick_seconds;
+  if (bits <= bucket_tokens_) {
+    bucket_tokens_ -= bits;
+  } else {
+    ++overshoot_epochs_;
+  }
+
+  ++tick_;
+
+  obs::Registry& registry = obs::Registry::global();
+  registry.counter("statmux.epochs").add(1);
+  registry.gauge("statmux.streams.active")
+      .set(static_cast<double>(active_streams()));
+  registry.gauge("statmux.reserved_rate_bps").set(total);
+  registry.gauge("statmux.dirty_streams")
+      .set(static_cast<double>(last_dirty_streams()));
+}
+
+std::int64_t StatmuxService::active_streams() const noexcept {
+  std::int64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += static_cast<std::int64_t>(shard->streams.size());
+  }
+  return total;
+}
+
+double StatmuxService::reserved_rate() const noexcept {
+  return rate_series_.empty() ? 0.0 : rate_series_.back();
+}
+
+std::int64_t StatmuxService::last_dirty_streams() const noexcept {
+  std::int64_t total = 0;
+  for (const auto& shard : shards_) total += shard->dirty_last;
+  return total;
+}
+
+StatmuxStats StatmuxService::stats() const {
+  StatmuxStats stats;
+  for (const auto& shard : shards_) {
+    stats.admitted += shard->admitted;
+    stats.rejected_duplicate += shard->rejected_duplicate;
+    stats.rejected_capacity += shard->rejected_capacity;
+    stats.rejected_rate += shard->rejected_rate;
+    stats.departed += shard->departed;
+    stats.finished += shard->finished;
+    stats.pictures += shard->pictures;
+    stats.decisions += shard->decisions;
+  }
+  stats.overshoot_epochs = overshoot_epochs_;
+  return stats;
+}
+
+const std::vector<StreamSend>& StatmuxService::collected_sends(
+    int shard) const {
+  return shards_[static_cast<std::size_t>(shard)]->collected;
+}
+
+}  // namespace lsm::net

@@ -1,0 +1,203 @@
+// StatmuxService: a sharded statistical multiplexer of smoothed VBR
+// streams — the paper's §6 reservation model grown from a study harness
+// into a long-running service sustaining O(100k–1M) concurrent streams.
+//
+// Architecture (DESIGN.md §3.6):
+//
+//   * Shard-per-core ownership. Streams are partitioned over a FIXED
+//     number of logical shards (id % shards); each shard's state is
+//     touched only by that shard's epoch task, so shard-local work needs
+//     no locks and no atomics. The shard count is configuration, not
+//     hardware: running the same config on 1 thread or N threads executes
+//     the same per-shard programs, only scheduled differently.
+//
+//   * Lock-free admission. Any thread admits or departs a stream by
+//     pushing a command into the owning shard's bounded MPSC ring
+//     (runtime/mpsc_ring.h); a full ring rejects with explicit
+//     back-pressure. At epoch start the shard drains its ring and sorts
+//     the batch by (stream id, kind) — the canonical admission order —
+//     so the applied sequence is independent of how producer CASes
+//     interleaved. That sort is the whole determinism argument for
+//     admission: any interleaving drains to the same multiset, and the
+//     same multiset applies in the same order.
+//
+//   * Epoch-driven advance with dirty-set recomputation. Each epoch
+//     (tick) a shard advances ONLY the streams whose arrival frontier
+//     moves this tick — a calendar heap keyed by (due tick, id,
+//     generation) yields them in deterministic order; everyone else is
+//     untouched. Per-epoch cost scales with the dirty set, not with the
+//     resident stream count. Departures during an in-flight schedule are
+//     lazy: the calendar entry's generation goes stale and is skipped
+//     when popped.
+//
+//   * Reservation aggregation. Each decided picture re-reserves its
+//     stream's rate; the shard maintains its reserved-rate total by
+//     applying the same deltas the schedule does, in schedule order.
+//     After the parallel shard phase, totals reduce in shard-index order
+//     into the link model: a token-bucket policer (sigma, link rate)
+//     charges each epoch's reserved bits and counts overshoot epochs.
+//     All of it is fixed-order double arithmetic — bitwise reproducible.
+//
+// Determinism contract (enforced by StatmuxDifferential under TSan):
+// schedules, the aggregate rate series, and deterministic trace bytes are
+// identical for 1 vs N pool threads and for any admission interleaving
+// that delivers the same commands by the same epoch.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/estimator.h"
+#include "core/schedule.h"
+#include "trace/pattern.h"
+
+namespace lsm::runtime {
+class ThreadPool;
+}
+
+namespace lsm::net {
+
+/// Deterministic synthetic picture feed: the size of picture `index`
+/// (1-based) for a stream seeded with `seed`. Pure function of its
+/// arguments — both the service and differential tests call it, so a
+/// stream's statmux schedule can be replayed on a standalone
+/// StreamingSmoother. Sizes follow the per-type default with a ±25%
+/// hash-derived modulation, always >= 1 bit.
+lsm::trace::Bits synthetic_picture_size(std::uint64_t seed, int index,
+                                        lsm::trace::PictureType type,
+                                        const core::DefaultSizes& defaults);
+
+/// Everything the service needs to run one stream: identity, smoothing
+/// parameters, and the deterministic feed that stands in for a live
+/// encoder. Copied into the owning shard through the admission ring.
+struct StreamSpec {
+  /// Stream id; must be nonzero (0 is the service's own trace stream) and
+  /// unique among resident streams of its shard.
+  std::uint32_t id = 0;
+
+  int gop_n = 9;  ///< GOP pattern N (pattern length)
+  int gop_m = 3;  ///< GOP pattern M (reference distance)
+  core::SmootherParams params;
+  core::DefaultSizes defaults;
+
+  std::uint64_t feed_seed = 1;  ///< seeds synthetic_picture_size
+  int picture_count = 0;        ///< pictures until finish(); 0 = endless
+  int period_ticks = 1;         ///< one picture arrives every this many epochs
+  int phase_ticks = 0;          ///< tick of the first arrival
+
+  /// Declared average rate (bps): mean default picture size over one
+  /// pattern divided by tau. The admission rate check reserves this.
+  double nominal_rate() const;
+};
+
+struct StatmuxConfig {
+  int shards = 1;    ///< logical shards; FIXES the deterministic partition
+  int threads = 0;   ///< pool workers; 0 = one per shard (capped at cores)
+  std::size_t ring_capacity = 1024;  ///< per-shard admission ring slots
+  int max_streams_per_shard = 1 << 20;
+  double link_rate_bps = 10e9;   ///< shared link capacity
+  double bucket_sigma_bits = 0;  ///< policer depth; 0 = one tick at link rate
+  double tick_seconds = 1.0 / 30.0;  ///< epoch duration for the link model
+  /// When true every shard keeps its decided sends (in decision order) for
+  /// differential comparison; leave off at scale.
+  bool collect_sends = false;
+
+  /// Throws std::invalid_argument on a non-positive shard count, ring
+  /// capacity, capacity, link rate, or tick.
+  void validate() const;
+};
+
+/// One decided picture, attributed to its stream: the schedule unit the
+/// differential suite compares bitwise.
+struct StreamSend {
+  std::uint32_t stream = 0;
+  core::PictureSend send;
+};
+
+/// Monotone service-wide totals (sums over shards; exact integers).
+struct StatmuxStats {
+  std::int64_t admitted = 0;
+  std::int64_t rejected_duplicate = 0;
+  std::int64_t rejected_capacity = 0;
+  std::int64_t rejected_rate = 0;
+  std::int64_t departed = 0;   ///< explicit departures applied
+  std::int64_t finished = 0;   ///< streams that completed their sequence
+  std::int64_t pictures = 0;   ///< pictures pushed into smoothers
+  std::int64_t decisions = 0;  ///< schedule decisions released
+  std::int64_t overshoot_epochs = 0;  ///< epochs the policer rejected
+};
+
+class StatmuxService {
+ public:
+  /// `pool` may be shared with other subsystems; when null the service
+  /// owns a pool with config.threads workers. Throws on invalid config.
+  explicit StatmuxService(StatmuxConfig config,
+                          runtime::ThreadPool* pool = nullptr);
+  ~StatmuxService();
+
+  StatmuxService(const StatmuxService&) = delete;
+  StatmuxService& operator=(const StatmuxService&) = delete;
+
+  /// Enqueues an admission on the owning shard's ring. Returns false when
+  /// the ring is full (retry after an epoch drains) or the spec is
+  /// trivially invalid (id 0, non-positive cadence or pattern); admission
+  /// checks proper (duplicate id, shard capacity, rate budget) happen on
+  /// the shard at the next epoch and are reported through stats().
+  /// Thread-safe: any thread, any time.
+  bool admit(const StreamSpec& spec);
+
+  /// Enqueues a departure for `id`. Returns false when the ring is full.
+  /// Departing an unknown id is a no-op. Thread-safe.
+  bool depart(std::uint32_t id);
+
+  /// Runs one epoch: every shard drains its ring, applies admissions in
+  /// canonical order, advances the streams due this tick, and the service
+  /// reduces reserved rates into the link model. Call from one thread
+  /// (the epoch driver); admit()/depart() may race freely against it.
+  void run_epoch();
+
+  void run_epochs(int count) {
+    for (int i = 0; i < count; ++i) run_epoch();
+  }
+
+  int shard_count() const noexcept;
+  std::int64_t tick() const noexcept { return tick_; }
+
+  /// Resident streams after the last epoch.
+  std::int64_t active_streams() const noexcept;
+
+  /// Total reserved rate (bps) after the last epoch.
+  double reserved_rate() const noexcept;
+
+  /// Reserved-rate total after each epoch, in epoch order — the aggregate
+  /// rate series the differential suite compares bitwise.
+  const std::vector<double>& rate_series() const noexcept {
+    return rate_series_;
+  }
+
+  /// Streams advanced in the last epoch (the dirty-set size).
+  std::int64_t last_dirty_streams() const noexcept;
+
+  StatmuxStats stats() const;
+
+  /// Decided sends of `shard` in decision order; empty unless
+  /// config.collect_sends. Valid between epochs.
+  const std::vector<StreamSend>& collected_sends(int shard) const;
+
+ private:
+  struct Shard;
+  void run_shard_epoch(Shard& shard);
+
+  StatmuxConfig config_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::unique_ptr<runtime::ThreadPool> owned_pool_;
+  runtime::ThreadPool* pool_;  ///< the pool epochs run on
+
+  std::int64_t tick_ = 0;
+  std::vector<double> rate_series_;
+  double bucket_tokens_ = 0.0;  ///< link policer fill (bits)
+  std::int64_t overshoot_epochs_ = 0;
+};
+
+}  // namespace lsm::net

@@ -44,6 +44,19 @@ enum class EventKind : std::uint16_t {
   kShardStart = 10,
   /// Batch shard finished: a = first job index, b = one past the last.
   kShardEnd = 11,
+  /// Statmux stream admitted to a shard: a = shard index, b = nominal
+  /// reserved rate (bps). time = admission epoch tick.
+  kStreamAdmit = 12,
+  /// Statmux stream departed (explicit or end-of-sequence): a = shard
+  /// index, b = 1.0 when the stream finished its sequence, 0.0 on an
+  /// explicit departure. time = departure epoch tick.
+  kStreamDepart = 13,
+  /// Statmux shard epoch completed: a = streams advanced this epoch
+  /// (dirty set size), b = shard reserved rate after the epoch (bps),
+  /// c = active streams on the shard. stream = 0, picture = shard index,
+  /// time = epoch tick. Deterministic: every field is a function of the
+  /// admission/feed inputs, never of thread timing.
+  kMuxEpoch = 14,
 };
 
 /// Human-readable kind name (chrome exporter, flight-recorder dumps).

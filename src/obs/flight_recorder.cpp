@@ -1,6 +1,7 @@
 #include "obs/flight_recorder.h"
 
 #include <cstdio>
+#include <cstdlib>
 
 namespace lsm::obs {
 
@@ -76,8 +77,16 @@ std::vector<TraceEvent> FlightRecorder::retained(
 void FlightRecorder::write_dump(std::string_view reason) {
   std::FILE* out = stderr;
   bool close = false;
-  if (!dump_path_.empty()) {
-    std::FILE* file = std::fopen(dump_path_.c_str(), "a");
+  // Explicit path wins; otherwise LSM_FLIGHT_DUMP redirects dumps to a
+  // file — CI sets it so dumps from any test process land somewhere an
+  // artifact upload can collect on failure.
+  const char* path = dump_path_.c_str();
+  if (dump_path_.empty()) {
+    const char* env = std::getenv("LSM_FLIGHT_DUMP");
+    path = (env != nullptr && env[0] != '\0') ? env : nullptr;
+  }
+  if (path != nullptr) {
+    std::FILE* file = std::fopen(path, "a");
     if (file != nullptr) {
       out = file;
       close = true;

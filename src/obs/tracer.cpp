@@ -121,6 +121,12 @@ const char* event_kind_name(EventKind kind) noexcept {
       return "shard_start";
     case EventKind::kShardEnd:
       return "shard_end";
+    case EventKind::kStreamAdmit:
+      return "stream_admit";
+    case EventKind::kStreamDepart:
+      return "stream_depart";
+    case EventKind::kMuxEpoch:
+      return "mux_epoch";
   }
   return "unknown";
 }

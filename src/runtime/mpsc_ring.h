@@ -1,0 +1,120 @@
+// Bounded lock-free multi-producer / single-consumer ring.
+//
+// The statmux service (net/statmux.h) gives every shard one of these as its
+// admission/departure mailbox: any thread may enqueue a command at any time,
+// and the shard's epoch task — the only consumer — drains the ring at epoch
+// start. The queue is the Vyukov bounded-MPMC design restricted to one
+// consumer: each slot carries an atomic sequence number; a producer claims a
+// slot by CAS-advancing the head and publishes the payload by bumping the
+// slot's sequence (release), which is exactly the edge the consumer
+// acquires. No slot is ever written by two producers, no payload is read
+// before its publish, and neither side takes a lock — a full ring fails the
+// push instead of blocking, so admission back-pressure is explicit and the
+// caller can retry after the next epoch drains.
+//
+// Determinism note: the ring preserves *claim* order (the order producer
+// CASes won), which under concurrent producers is a race — deliberately so.
+// Consumers that need an interleaving-independent result (StatmuxService
+// does) must canonicalize the drained batch themselves, e.g. by sorting on
+// a payload key; see DESIGN.md §3.6.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+
+namespace lsm::runtime {
+
+/// Bounded MPSC ring holding trivially-copyable-ish values of type T.
+/// Capacity is rounded up to a power of two. Not copyable or movable:
+/// producers and the consumer hold references to it.
+template <typename T>
+class MpscRing {
+ public:
+  explicit MpscRing(std::size_t capacity)
+      : mask_(round_up_pow2(capacity) - 1),
+        slots_(std::make_unique<Slot[]>(mask_ + 1)) {
+    for (std::size_t i = 0; i <= mask_; ++i) {
+      slots_[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  MpscRing(const MpscRing&) = delete;
+  MpscRing& operator=(const MpscRing&) = delete;
+
+  std::size_t capacity() const noexcept { return mask_ + 1; }
+
+  /// Enqueues `value`. Returns false when the ring is full (the value is
+  /// untouched). Safe to call from any number of threads concurrently.
+  bool try_push(const T& value) {
+    std::size_t pos = head_.load(std::memory_order_relaxed);
+    for (;;) {
+      Slot& slot = slots_[pos & mask_];
+      const std::size_t seq = slot.seq.load(std::memory_order_acquire);
+      const std::ptrdiff_t diff =
+          static_cast<std::ptrdiff_t>(seq) - static_cast<std::ptrdiff_t>(pos);
+      if (diff == 0) {
+        // Slot free at this position: try to claim it.
+        if (head_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          slot.value = value;
+          slot.seq.store(pos + 1, std::memory_order_release);
+          return true;
+        }
+        // CAS failure reloaded pos; retry with the new position.
+      } else if (diff < 0) {
+        // Slot still holds an unconsumed value from a lap ago: full.
+        return false;
+      } else {
+        // Another producer claimed this position; chase the head.
+        pos = head_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  /// Dequeues into `out`. Returns false when the ring is empty. Must only
+  /// ever be called from one thread at a time (the single consumer).
+  bool try_pop(T& out) {
+    const std::size_t pos = tail_;
+    Slot& slot = slots_[pos & mask_];
+    const std::size_t seq = slot.seq.load(std::memory_order_acquire);
+    const std::ptrdiff_t diff = static_cast<std::ptrdiff_t>(seq) -
+                                static_cast<std::ptrdiff_t>(pos + 1);
+    if (diff < 0) return false;  // slot not yet published: empty
+    out = slot.value;
+    // Mark the slot free for the producer one lap ahead.
+    slot.seq.store(pos + mask_ + 1, std::memory_order_release);
+    tail_ = pos + 1;
+    return true;
+  }
+
+  /// True when a pop would currently fail. Consumer-side only (producers
+  /// racing concurrently can invalidate the answer immediately).
+  bool empty() const {
+    const Slot& slot = slots_[tail_ & mask_];
+    return static_cast<std::ptrdiff_t>(
+               slot.seq.load(std::memory_order_acquire)) -
+               static_cast<std::ptrdiff_t>(tail_ + 1) <
+           0;
+  }
+
+ private:
+  struct Slot {
+    std::atomic<std::size_t> seq;
+    T value;
+  };
+
+  static std::size_t round_up_pow2(std::size_t n) {
+    std::size_t p = 1;
+    while (p < n) p <<= 1;
+    return p < 2 ? 2 : p;
+  }
+
+  const std::size_t mask_;
+  std::unique_ptr<Slot[]> slots_;
+  /// Producers CAS head_ to claim slots; consumer owns tail_ exclusively.
+  alignas(64) std::atomic<std::size_t> head_{0};
+  alignas(64) std::size_t tail_ = 0;
+};
+
+}  // namespace lsm::runtime

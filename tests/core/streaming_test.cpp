@@ -158,5 +158,89 @@ TEST(StreamingSmoother, FinishIsIdempotent) {
   EXPECT_TRUE(streaming.drain().empty());
 }
 
+/// Deterministic synthetic size for the long-stream trimming tests: a
+/// per-type base with a wobble, always positive.
+lsm::trace::Bits wobble_size(int i, const GopPattern& pattern) {
+  const lsm::trace::Bits base =
+      DefaultSizes{}.of(pattern.type_of(i));
+  return base / 2 + (base / 4) * ((i * 2654435761u >> 8) % 3);
+}
+
+TEST(StreamingSmoother, BoundedTrimmingKeepsScheduleBitwiseIdentical) {
+  // Per-push draining trims the retained prefix thousands of times over a
+  // 3000-picture stream; the schedule must stay bitwise equal to the
+  // drain-once-at-the-end run (whose window only trims at the very end)
+  // on both execution paths.
+  const GopPattern pattern(9, 3);
+  SmootherParams params;
+  params.H = pattern.N();
+  constexpr int kPictures = 3000;
+
+  for (const ExecutionPath path :
+       {ExecutionPath::kAuto, ExecutionPath::kReference}) {
+    StreamingSmoother incremental(pattern, params, DefaultSizes{}, path);
+    std::vector<PictureSend> trimmed;
+    for (int i = 1; i <= kPictures; ++i) {
+      incremental.push(wobble_size(i, pattern));
+      incremental.drain_into(trimmed);
+    }
+    incremental.finish();
+    incremental.drain_into(trimmed);
+    // Trimming actually happened: only a bounded window is retained.
+    EXPECT_GT(incremental.first_retained(),
+              kPictures - 2 * pattern.N() - 128);
+
+    StreamingSmoother oneshot(pattern, params, DefaultSizes{}, path);
+    for (int i = 1; i <= kPictures; ++i) {
+      oneshot.push(wobble_size(i, pattern));
+    }
+    oneshot.finish();
+    const std::vector<PictureSend> full = oneshot.drain();
+
+    ASSERT_EQ(trimmed.size(), full.size());
+    for (std::size_t k = 0; k < full.size(); ++k) {
+      ASSERT_EQ(trimmed[k].bits, full[k].bits) << "picture " << k + 1;
+      ASSERT_EQ(trimmed[k].rate, full[k].rate) << "picture " << k + 1;
+      ASSERT_EQ(trimmed[k].start, full[k].start);
+      ASSERT_EQ(trimmed[k].depart, full[k].depart);
+      ASSERT_EQ(trimmed[k].delay, full[k].delay);
+    }
+  }
+}
+
+TEST(StreamingSmoother, DirtyFlagTracksFrontierMovement) {
+  StreamingSmoother streaming(GopPattern(3, 3), SmootherParams{});
+  EXPECT_FALSE(streaming.dirty());
+  streaming.push(5000);
+  EXPECT_TRUE(streaming.dirty());
+  std::vector<PictureSend> out;
+  streaming.drain_into(out);
+  EXPECT_FALSE(streaming.dirty());  // drained clean
+  streaming.finish();
+  EXPECT_TRUE(streaming.dirty());
+  streaming.drain_into(out);
+  EXPECT_FALSE(streaming.dirty());
+  EXPECT_TRUE(streaming.done());
+  EXPECT_EQ(out.size(), 1u);
+}
+
+TEST(StreamingSmoother, DrainIntoReusesCapacityAndCounts) {
+  const GopPattern pattern(3, 3);
+  SmootherParams params;
+  params.H = pattern.N();
+  StreamingSmoother streaming(pattern, params);
+  std::vector<PictureSend> out;
+  int total = 0;
+  for (int i = 1; i <= 50; ++i) {
+    streaming.push(10000 + 100 * (i % 7));
+    total += streaming.drain_into(out);
+  }
+  streaming.finish();
+  total += streaming.drain_into(out);
+  EXPECT_EQ(total, 50);
+  EXPECT_EQ(out.size(), 50u);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(out[i].index, i + 1);
+}
+
 }  // namespace
 }  // namespace lsm::core

@@ -83,6 +83,25 @@ TEST(FlightRecorder, TriggerWritesAReadableDump) {
   std::remove(path.c_str());
 }
 
+TEST(FlightRecorder, EnvironmentVariableRedirectsDumpsWhenPathUnset) {
+  // CI exports LSM_FLIGHT_DUMP so dumps from any test process land in a
+  // file the workflow uploads as a failure artifact.
+  Tracer tracer;
+  FlightRecorder recorder;
+  const std::string path = temp_path("flight_env_dump.txt");
+  std::remove(path.c_str());
+  ASSERT_EQ(setenv("LSM_FLIGHT_DUMP", path.c_str(), 1), 0);
+  recorder.arm(8, &tracer);
+  StreamTracer stream(&tracer, 1);
+  stream.emit(EventKind::kRateChange, 3, 0.3, 2e6, 1e6);
+  EXPECT_TRUE(recorder.trigger("env_redirect"));
+  ASSERT_EQ(unsetenv("LSM_FLIGHT_DUMP"), 0);
+  const std::string dump = slurp(path);
+  EXPECT_NE(dump.find("env_redirect"), std::string::npos);
+  EXPECT_NE(dump.find("rate_change"), std::string::npos);
+  std::remove(path.c_str());
+}
+
 TEST(FlightRecorder, RearmResetsDumpCountAndRings) {
   Tracer tracer;
   FlightRecorder recorder;
