@@ -6,6 +6,7 @@
 #include <benchmark/benchmark.h>
 
 #include "core/ideal.h"
+#include "core/simd_dispatch.h"
 #include "core/optimal.h"
 #include "core/smoother.h"
 #include "core/streaming.h"
@@ -18,6 +19,8 @@
 #include "net/mux.h"
 #include "net/packetize.h"
 #include "net/statmux.h"
+#include "obs/alloc_hook.h"
+#include "obs/metrics.h"
 #include "obs/tracer.h"
 #include "runtime/batch.h"
 #include "runtime/encode_batch.h"
@@ -451,6 +454,143 @@ BENCHMARK(BM_MuxScale)
     ->Args({100000, 8})
     ->UseRealTime();
 
+// ---------------------------------------------------------------------------
+// Steady-state allocation audits. perf_micro links lsm_allochook, so every
+// global operator new ticks obs::alloc_count(); each audit warms its
+// subsystem past every high-water mark, measures allocations across a
+// handful of un-timed iterations (OUTSIDE the benchmark timing loop, so
+// the framework's own bookkeeping cannot leak into the number), and
+// reports the per-iteration average as the `allocs_steady` counter.
+// BENCH_BASELINE.json gates these at zero via max_counters — the hot loops
+// must not touch the heap once warm. The timed loop still runs so the
+// audits double as throughput benchmarks of the reuse paths.
+
+/// Allocations per call of `body` after `warmup` warm calls, averaged over
+/// `audited` calls.
+template <typename Body>
+double audit_steady_allocs(int warmup, int audited, Body&& body) {
+  for (int r = 0; r < warmup; ++r) body();
+  const std::int64_t before = obs::alloc_count();
+  for (int r = 0; r < audited; ++r) body();
+  return static_cast<double>(obs::alloc_count() - before) /
+         static_cast<double>(audited);
+}
+
+// One endless smoothing stream: push/drain_into against a single
+// StreamingSmoother whose bounded retention and send buffer have reached
+// capacity. The steady state of every resident statmux stream.
+void BM_SmoothSteadyAllocs(benchmark::State& state) {
+  const trace::Trace t = trace::driving1();
+  core::SmootherParams params;
+  params.tau = t.tau();
+  params.H = 9;
+  core::StreamingSmoother streaming(t.pattern(), params);
+  std::vector<core::PictureSend> sends;
+  sends.reserve(1024);
+  int next = 1;
+  const auto push_chunk = [&] {
+    for (int k = 0; k < 256; ++k) {
+      streaming.push(t.size_of(next));
+      next = next % t.picture_count() + 1;
+      sends.clear();
+      streaming.drain_into(sends);
+      benchmark::DoNotOptimize(sends.data());
+    }
+  };
+  const double allocs = audit_steady_allocs(4, 4, push_chunk);
+  std::int64_t pictures = 0;
+  for (auto _ : state) {
+    push_chunk();
+    pictures += 256;
+  }
+  state.SetItemsProcessed(pictures);
+  state.counters["allocs_steady"] = allocs;
+  obs::publish_steady_allocs(obs::Registry::global(), "smooth",
+                             static_cast<std::int64_t>(allocs));
+}
+BENCHMARK(BM_SmoothSteadyAllocs);
+
+// encode_into against a warm EncodeWorkspace: recon frames, slice
+// writers, stream buffer, and picture records all at high-water capacity.
+void BM_EncodeSteadyAllocs(benchmark::State& state) {
+  const std::vector<mpeg::Frame>& video = cif_video();
+  mpeg::EncoderConfig config;
+  config.pattern = trace::GopPattern(9, 3);
+  const mpeg::Encoder encoder(config);
+  mpeg::EncodeResult result;
+  mpeg::EncodeWorkspace workspace;
+  const auto encode_once = [&] {
+    encoder.encode_into(video, result, workspace);
+    benchmark::DoNotOptimize(result.stream.data());
+  };
+  const double allocs = audit_steady_allocs(2, 4, encode_once);
+  for (auto _ : state) encode_once();
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(video.size()));
+  state.counters["allocs_steady"] = allocs;
+  obs::publish_steady_allocs(obs::Registry::global(), "encode",
+                             static_cast<std::int64_t>(allocs));
+}
+BENCHMARK(BM_EncodeSteadyAllocs)->Unit(benchmark::kMillisecond);
+
+// Warmed statmux epochs with a bounded rate history: shard scratch, task
+// ring, smoother retention, and the rate ring are all at capacity, so a
+// long-running service's epoch loop never allocates.
+void BM_MuxSteadyAllocs(benchmark::State& state) {
+  constexpr int kStreams = 1000;
+  net::StatmuxConfig config;
+  config.shards = 4;
+  config.ring_capacity = kStreams * 2 + 64;
+  config.max_streams_per_shard = kStreams;
+  config.link_rate_bps = 1e15;
+  config.rate_history_limit = 128;
+  net::StatmuxService service(config);
+  for (int id = 1; id <= kStreams; ++id) {
+    net::StreamSpec spec;
+    spec.id = static_cast<std::uint32_t>(id);
+    spec.gop_n = 9;
+    spec.gop_m = 3;
+    spec.params.tau = 1.0 / 30.0;
+    spec.params.D = 0.2;
+    spec.params.H = spec.gop_n;
+    spec.feed_seed = 0xbe9c0000ULL + static_cast<std::uint64_t>(id);
+    spec.picture_count = 0;  // endless
+    spec.period_ticks = 1;
+    spec.phase_ticks = 0;
+    if (!service.admit(spec)) {
+      state.SkipWithError("admission ring rejected setup stream");
+      return;
+    }
+  }
+  const auto epoch = [&] { service.run_epoch(); };
+  // 140 warm epochs push every stream past the smoother trim threshold
+  // (~84 pictures) and fill the 128-slot rate-history ring.
+  const double allocs = audit_steady_allocs(140, 8, epoch);
+  const std::int64_t before = service.stats().pictures;
+  for (auto _ : state) epoch();
+  state.SetItemsProcessed(service.stats().pictures - before);
+  state.counters["allocs_steady"] = allocs;
+  obs::publish_steady_allocs(obs::Registry::global(), "mux",
+                             static_cast<std::int64_t>(allocs));
+}
+BENCHMARK(BM_MuxSteadyAllocs)->UseRealTime();
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): stamp the SIMD dispatch
+// decision into the benchmark context, so every JSON/console report (and
+// the CI bench_summary.md built from it) records which kernel tier
+// produced the numbers.
+int main(int argc, char** argv) {
+  benchmark::AddCustomContext(
+      "lsm_simd_detected",
+      lsm::simd::simd_level_name(lsm::simd::detected_simd_level()));
+  benchmark::AddCustomContext(
+      "lsm_simd_active",
+      lsm::simd::simd_level_name(lsm::simd::active_simd_level()));
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

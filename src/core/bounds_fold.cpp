@@ -1,0 +1,114 @@
+#include "core/bounds_fold.h"
+
+#include <algorithm>
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+
+#include "core/bounds.h"
+#include "core/simd_dispatch.h"
+
+namespace lsm::core::detail {
+
+BoundsFoldResult fold_bounds_scalar(const double* sums, int n, int i,
+                                    Seconds t_i,
+                                    const SmootherParams& params) noexcept {
+  // The paper's running intersection verbatim: one rounded quotient per
+  // bound per step, folded sequentially. This is the tier every wider
+  // fold must reproduce bit for bit.
+  double pictures = static_cast<double>(i - 1);
+  double deadline_index = static_cast<double>(params.K + i);
+  Rate lower = 0.0;
+  Rate upper = kUnbounded;
+  for (int h = 0; h < n; ++h) {
+    lower = std::max(lookahead_lower_bound_at(sums[h], pictures, t_i, params),
+                     lower);
+    upper = std::min(
+        lookahead_upper_bound_at(sums[h], deadline_index, t_i, params), upper);
+    pictures += 1.0;
+    deadline_index += 1.0;
+  }
+  return {lower, upper};
+}
+
+#if defined(__SSE2__)
+BoundsFoldResult fold_bounds_sse2(const double* sums, int n, int i,
+                                  Seconds t_i,
+                                  const SmootherParams& params) noexcept {
+  const __m128d tau2 = _mm_set1_pd(params.tau);
+  const __m128d t_i2 = _mm_set1_pd(t_i);
+  // Lane offsets so den = idx * tau + offset - t_i evaluates lane 0 as
+  // (i-1+h)*tau + D - t_i and lane 1 as (K+i+h)*tau + 0 - t_i; adding D
+  // first is commutative and adding 0.0 to a positive value is exact, so
+  // both lanes match the scalar expressions bit for bit.
+  const __m128d d_offset = _mm_set_pd(0.0, params.D);
+  const __m128d neg_high = _mm_set_pd(-0.0, 0.0);
+  const __m128d invalid = _mm_set_pd(-kUnbounded, kUnbounded);
+  const __m128d zero = _mm_setzero_pd();
+  // One lookahead step: both bounds for window sum `s` at picture/deadline
+  // indices `idx`, folded into the accumulator `run`.
+  const auto lane = [&](double s, __m128d idx, __m128d& run) {
+    const __m128d den =
+        _mm_sub_pd(_mm_add_pd(_mm_mul_pd(idx, tau2), d_offset), t_i2);
+    const __m128d v = _mm_xor_pd(_mm_div_pd(_mm_set1_pd(s), den), neg_high);
+    const __m128d ok = _mm_cmpgt_pd(den, zero);
+    run = _mm_max_pd(run,
+                     _mm_or_pd(_mm_and_pd(ok, v), _mm_andnot_pd(ok, invalid)));
+  };
+  const __m128d two = _mm_set1_pd(2.0);
+  // [i-1+h, K+i+h] as doubles, advanced by +2.0 per accumulator; integers
+  // far below 2^53, so identical to the int conversions they replace.
+  __m128d idx0 = _mm_set_pd(static_cast<double>(params.K + i),
+                            static_cast<double>(i - 1));
+  __m128d idx1 = _mm_add_pd(idx0, _mm_set1_pd(1.0));
+  __m128d run0 = _mm_set_pd(-kUnbounded, 0.0);  // [lower max, -upper min]
+  __m128d run1 = run0;
+  int h = 0;
+  for (; h + 1 < n; h += 2) {
+    lane(sums[h], idx0, run0);
+    idx0 = _mm_add_pd(idx0, two);
+    lane(sums[h + 1], idx1, run1);
+    idx1 = _mm_add_pd(idx1, two);
+  }
+  if (h < n) {
+    lane(sums[h], idx0, run0);
+  }
+  alignas(16) double folded[2];
+  _mm_store_pd(folded, _mm_max_pd(run0, run1));
+  return {folded[0], -folded[1]};
+}
+#else
+BoundsFoldResult fold_bounds_sse2(const double* sums, int n, int i,
+                                  Seconds t_i,
+                                  const SmootherParams& params) noexcept {
+  return fold_bounds_scalar(sums, n, i, t_i, params);
+}
+#endif
+
+BoundsFoldResult fold_bounds(const double* sums, int n, int i, Seconds t_i,
+                             const SmootherParams& params) noexcept {
+  switch (simd::active_simd_level()) {
+    case simd::SimdLevel::kScalar:
+      return fold_bounds_scalar(sums, n, i, t_i, params);
+    case simd::SimdLevel::kSse2:
+      return fold_bounds_sse2(sums, n, i, t_i, params);
+    case simd::SimdLevel::kAvx2:
+#if defined(LSM_CORE_HAVE_AVX2)
+      return fold_bounds_avx2(sums, n, i, t_i, params);
+#else
+      return fold_bounds_sse2(sums, n, i, t_i, params);
+#endif
+    case simd::SimdLevel::kAvx512:
+#if defined(LSM_CORE_HAVE_AVX512)
+      return fold_bounds_avx512(sums, n, i, t_i, params);
+#elif defined(LSM_CORE_HAVE_AVX2)
+      return fold_bounds_avx2(sums, n, i, t_i, params);
+#else
+      return fold_bounds_sse2(sums, n, i, t_i, params);
+#endif
+  }
+  return fold_bounds_scalar(sums, n, i, t_i, params);
+}
+
+}  // namespace lsm::core::detail

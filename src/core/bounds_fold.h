@@ -1,0 +1,74 @@
+// Internal: the dual-bound fold of the rate-selection loop, split out of
+// rate_select.h so it can be runtime-dispatched (core/simd_dispatch.h)
+// across per-file-compiled SIMD tiers.
+//
+// Given the lookahead window sums S_i..S_{i+h} for h = 0..n-1, the fold
+// computes
+//
+//   lower = max_h  lookahead_lower_bound(sums[h], i, h, t_i, params)
+//   upper = min_h  lookahead_upper_bound(sums[h], i, h, t_i, params)
+//
+// exactly as the paper's sequential running intersection would, and the
+// caller (select_rate_sums) detects a Section 4.4 crossing post hoc from
+// lower > upper. Every tier must return bitwise-identical doubles:
+//
+// Every tier evaluates the same rounded quotient per step that the
+// sequential loop computes — each vector lane performs the identical
+// sequence of IEEE operations as the scalar expressions (operand-order
+// notes in the kernels) — and folds with max/min, which are associative
+// and commutative over these values (never NaN: denominators are
+// compared against zero before dividing; never -0.0: sums >= 0 and only
+// positive denominators are divided). So ANY assignment of steps to
+// lanes and accumulators gives the identical double, and each wider tier
+// is bit-for-bit the SSE2 fold with more steps in flight:
+//
+//   * sse2    one step  per __m128d: lanes [lower(h), -upper(h)]
+//   * avx2    two steps per __m256d: one vdivpd retires both steps'
+//             divisions
+//   * avx512  four steps per __m512d, lane predicates in opmasks
+//
+// The payoff depends on the divider width. On cores with a 256/512-bit
+// FP divider (Intel Ice Lake and later, AMD Zen 2 and later) vdivpd
+// ymm/zmm has roughly the same instruction throughput as divpd xmm, so
+// the division cost per step drops ~2x/~4x, and the surrounding
+// mul/sub/cmp/blend/max work shrinks with it. On older cores that crack
+// wide divides into 128-bit halves the wide tiers degrade to ~SSE2
+// division throughput but still save the non-division instructions.
+#pragma once
+
+#include "core/params.h"
+
+namespace lsm::core::detail {
+
+struct BoundsFoldResult {
+  Rate lower;
+  Rate upper;
+};
+
+/// Per-tier folds. All take the window sums for h = 0..n-1 (n >= 1), the
+/// picture index i, and the decision time t_i, and return the identical
+/// {lower, upper} pair. The avx2/avx512 entry points exist only when the
+/// toolchain can compile the tier (LSM_CORE_HAVE_AVX2/LSM_CORE_HAVE_AVX512
+/// are defined for lsm_core's own translation units by CMake); the
+/// dispatcher degrades to the widest compiled tier below the active level.
+BoundsFoldResult fold_bounds_scalar(const double* sums, int n, int i,
+                                    Seconds t_i,
+                                    const SmootherParams& params) noexcept;
+BoundsFoldResult fold_bounds_sse2(const double* sums, int n, int i,
+                                  Seconds t_i,
+                                  const SmootherParams& params) noexcept;
+BoundsFoldResult fold_bounds_avx2(const double* sums, int n, int i,
+                                  Seconds t_i,
+                                  const SmootherParams& params) noexcept;
+BoundsFoldResult fold_bounds_avx512(const double* sums, int n, int i,
+                                    Seconds t_i,
+                                    const SmootherParams& params) noexcept;
+
+/// Runtime-dispatched fold: one relaxed load of the active SIMD level
+/// (simd::active_simd_level()), then the widest compiled tier at or below
+/// it. Called once per smoothing step — the load is noise next to the
+/// fold itself.
+BoundsFoldResult fold_bounds(const double* sums, int n, int i, Seconds t_i,
+                             const SmootherParams& params) noexcept;
+
+}  // namespace lsm::core::detail

@@ -1,0 +1,110 @@
+// AVX2 tier of the dual-bound fold. Compiled with -mavx2 for THIS
+// translation unit only (src/core/CMakeLists.txt); it is reached solely
+// through fold_bounds() after the dispatcher has checked the active SIMD
+// level, so no wide instruction can execute on a host (or under a forced
+// LSM_SIMD_LEVEL) below avx2.
+//
+// The algorithm is the SSE2 fold widened: each 256-bit vector carries TWO
+// lookahead steps in the [lower, -upper, lower, -upper] lane layout, so
+// one vdivpd retires two steps' worth of bound divisions. On every core
+// with a 256-bit divider (Ice Lake and later, Zen 2 and later) vdivpd ymm
+// has the same instruction throughput as divpd xmm, which halves the
+// division cost per step — and the surrounding mul/sub/cmp/blend/max work
+// halves with it. Each lane performs exactly the scalar sequence of IEEE
+// operations, and the running max/min fold is associative over these
+// values (never NaN, never -0.0), so any lane-to-accumulator assignment
+// is bit-identical to the sequential chain (see bounds_fold.h).
+#include "core/bounds_fold.h"
+
+#if defined(LSM_CORE_HAVE_AVX2)
+
+#include <immintrin.h>
+
+#include "core/bounds.h"
+
+namespace lsm::core::detail {
+
+BoundsFoldResult fold_bounds_avx2(const double* sums, int n, int i,
+                                  Seconds t_i,
+                                  const SmootherParams& params) noexcept {
+  if (n < 4) {
+    // Too shallow to fill even one two-accumulator round; the 128-bit
+    // loop is equally identical and has no width to waste.
+    return fold_bounds_sse2(sums, n, i, t_i, params);
+  }
+  const __m256d tau4 = _mm256_set1_pd(params.tau);
+  const __m256d t_i4 = _mm256_set1_pd(t_i);
+  // Lane layout (low lane first): [lower(h), -upper(h), lower(h+1),
+  // -upper(h+1)]. den = idx * tau + offset - t_i evaluates the lower
+  // lanes as (i-1+h)*tau + D - t_i and the upper lanes as
+  // (K+i+h)*tau + 0 - t_i; adding D first is commutative and adding 0.0
+  // to a positive value is exact, so every lane matches the scalar
+  // expressions bit for bit.
+  const __m256d d_offset = _mm256_set_pd(0.0, params.D, 0.0, params.D);
+  const __m256d neg_up = _mm256_set_pd(-0.0, 0.0, -0.0, 0.0);
+  const __m256d invalid =
+      _mm256_set_pd(-kUnbounded, kUnbounded, -kUnbounded, kUnbounded);
+  const __m256d zero = _mm256_setzero_pd();
+  const __m256d four = _mm256_set1_pd(4.0);
+  // [i-1+h, K+i+h, i-1+h+1, K+i+h+1], advanced by +4.0 per accumulator;
+  // integers far below 2^53, identical to the int conversions they
+  // replace.
+  const double low0 = static_cast<double>(i - 1);
+  const double up0 = static_cast<double>(params.K + i);
+  __m256d idx0 = _mm256_set_pd(up0 + 1.0, low0 + 1.0, up0, low0);
+  __m256d idx1 = _mm256_add_pd(idx0, _mm256_set1_pd(2.0));
+  const __m256d init = _mm256_set_pd(-kUnbounded, 0.0, -kUnbounded, 0.0);
+  __m256d run0 = init;
+  __m256d run1 = init;
+  // Two steps per vector: duplicate [s(h), s(h+1)] into
+  // [s(h), s(h), s(h+1), s(h+1)], divide by both steps' denominators at
+  // once, route ill-defined bounds to +/-infinity exactly like the
+  // scalar guards, and fold into the running accumulator.
+  const auto block = [&](const double* s2, __m256d idx, __m256d& run) {
+    const __m256d pair = _mm256_castpd128_pd256(_mm_loadu_pd(s2));
+    const __m256d s = _mm256_permute4x64_pd(pair, 0x50);  // [s0,s0,s1,s1]
+    const __m256d den =
+        _mm256_sub_pd(_mm256_add_pd(_mm256_mul_pd(idx, tau4), d_offset),
+                      t_i4);
+    const __m256d v = _mm256_xor_pd(_mm256_div_pd(s, den), neg_up);
+    const __m256d ok = _mm256_cmp_pd(den, zero, _CMP_GT_OQ);
+    run = _mm256_max_pd(run, _mm256_blendv_pd(invalid, v, ok));
+  };
+  int h = 0;
+  for (; h + 3 < n; h += 4) {
+    block(sums + h, idx0, run0);
+    idx0 = _mm256_add_pd(idx0, four);
+    block(sums + h + 2, idx1, run1);
+    idx1 = _mm256_add_pd(idx1, four);
+  }
+  if (h + 1 < n) {
+    block(sums + h, idx0, run0);
+    h += 2;
+  }
+  // Fold the accumulators down to one [lower max, -upper min] pair; the
+  // odd tail step (if any) rides the 128-bit lane shape.
+  const __m256d both = _mm256_max_pd(run0, run1);
+  __m128d run = _mm_max_pd(_mm256_castpd256_pd128(both),
+                           _mm256_extractf128_pd(both, 1));
+  if (h < n) {
+    const __m128d tau2 = _mm_set1_pd(params.tau);
+    const __m128d t_i2 = _mm_set1_pd(t_i);
+    const __m128d idx = _mm_set_pd(up0 + static_cast<double>(h),
+                                   low0 + static_cast<double>(h));
+    const __m128d den = _mm_sub_pd(
+        _mm_add_pd(_mm_mul_pd(idx, tau2), _mm_set_pd(0.0, params.D)), t_i2);
+    const __m128d v = _mm_xor_pd(_mm_div_pd(_mm_set1_pd(sums[h]), den),
+                                 _mm_set_pd(-0.0, 0.0));
+    const __m128d ok = _mm_cmpgt_pd(den, _mm_setzero_pd());
+    const __m128d inv2 = _mm_set_pd(-kUnbounded, kUnbounded);
+    run = _mm_max_pd(
+        run, _mm_or_pd(_mm_and_pd(ok, v), _mm_andnot_pd(ok, inv2)));
+  }
+  alignas(16) double folded[2];
+  _mm_store_pd(folded, run);
+  return {folded[0], -folded[1]};
+}
+
+}  // namespace lsm::core::detail
+
+#endif  // LSM_CORE_HAVE_AVX2

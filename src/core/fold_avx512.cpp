@@ -1,0 +1,107 @@
+// AVX-512F tier of the dual-bound fold: the AVX2 kernel (fold_avx2.cpp)
+// widened again — each 512-bit vector carries FOUR lookahead steps in the
+// [lower, -upper, ...] lane layout, so one vdivpd zmm retires four steps'
+// worth of bound divisions, and the lane predicates move into opmask
+// registers. Compiled with -mavx512f for THIS translation unit only and
+// reached solely through fold_bounds() after the dispatcher has checked
+// the active level. CMake only compiles this tier when the AVX2 tier is
+// also available, so the shallow-fold fallback below always links. The
+// bitwise-identity argument is the same per-lane-IEEE-ops + max/min
+// associativity one as for SSE2/AVX2 (see bounds_fold.h).
+#include "core/bounds_fold.h"
+
+#if defined(LSM_CORE_HAVE_AVX512)
+
+#include <immintrin.h>
+
+#include "core/bounds.h"
+
+namespace lsm::core::detail {
+
+BoundsFoldResult fold_bounds_avx512(const double* sums, int n, int i,
+                                    Seconds t_i,
+                                    const SmootherParams& params) noexcept {
+  if (n < 16) {
+    // Below two full vectors the 256-bit tier amortizes its fixed costs
+    // better; results are identical either way.
+    return fold_bounds_avx2(sums, n, i, t_i, params);
+  }
+  const __m512d tau8 = _mm512_set1_pd(params.tau);
+  const __m512d t_i8 = _mm512_set1_pd(t_i);
+  const __m512d d_offset = _mm512_set_pd(0.0, params.D, 0.0, params.D,
+                                         0.0, params.D, 0.0, params.D);
+  const __m512d neg_up = _mm512_set_pd(-0.0, 0.0, -0.0, 0.0,
+                                       -0.0, 0.0, -0.0, 0.0);
+  const __m512d invalid =
+      _mm512_set_pd(-kUnbounded, kUnbounded, -kUnbounded, kUnbounded,
+                    -kUnbounded, kUnbounded, -kUnbounded, kUnbounded);
+  const __m512d zero = _mm512_setzero_pd();
+  const __m512d eight = _mm512_set1_pd(8.0);
+  // Lane k holds step h + k/2: even lanes [i-1+h+k/2]*tau + D - t_i for
+  // the lower bound, odd lanes [K+i+h+k/2]*tau - t_i for the upper.
+  const double low0 = static_cast<double>(i - 1);
+  const double up0 = static_cast<double>(params.K + i);
+  __m512d idx0 = _mm512_set_pd(up0 + 3.0, low0 + 3.0, up0 + 2.0, low0 + 2.0,
+                               up0 + 1.0, low0 + 1.0, up0, low0);
+  __m512d idx1 = _mm512_add_pd(idx0, _mm512_set1_pd(4.0));
+  const __m512d init = _mm512_set_pd(-kUnbounded, 0.0, -kUnbounded, 0.0,
+                                     -kUnbounded, 0.0, -kUnbounded, 0.0);
+  __m512d run0 = init;
+  __m512d run1 = init;
+  // Duplicates [s(h) .. s(h+3)] into [s(h), s(h), .. s(h+3), s(h+3)].
+  const __m512i dup = _mm512_set_epi64(3, 3, 2, 2, 1, 1, 0, 0);
+  const auto block = [&](const double* s4, __m512d idx, __m512d& run) {
+    const __m512d quad = _mm512_castpd256_pd512(_mm256_loadu_pd(s4));
+    const __m512d s = _mm512_permutexvar_pd(dup, quad);
+    const __m512d den = _mm512_sub_pd(
+        _mm512_add_pd(_mm512_mul_pd(idx, tau8), d_offset), t_i8);
+    // _mm512_xor_pd needs AVX512DQ; the integer xor is plain AVX512F and
+    // the bit-casts are free.
+    const __m512d v = _mm512_castsi512_pd(
+        _mm512_xor_si512(_mm512_castpd_si512(_mm512_div_pd(s, den)),
+                         _mm512_castpd_si512(neg_up)));
+    const __mmask8 ok = _mm512_cmp_pd_mask(den, zero, _CMP_GT_OQ);
+    run = _mm512_max_pd(run, _mm512_mask_blend_pd(ok, invalid, v));
+  };
+  int h = 0;
+  for (; h + 7 < n; h += 8) {
+    block(sums + h, idx0, run0);
+    idx0 = _mm512_add_pd(idx0, eight);
+    block(sums + h + 4, idx1, run1);
+    idx1 = _mm512_add_pd(idx1, eight);
+  }
+  // Fold the accumulators down to one [lower max, -upper min] pair, then
+  // finish the up-to-seven tail steps at 128-bit width (exact SSE2 lane).
+  const __m512d both = _mm512_max_pd(run0, run1);
+  const __m256d half = _mm256_max_pd(_mm512_castpd512_pd256(both),
+                                     _mm512_extractf64x4_pd(both, 1));
+  __m128d run = _mm_max_pd(_mm256_castpd256_pd128(half),
+                           _mm256_extractf128_pd(half, 1));
+  if (h < n) {
+    const __m128d tau2 = _mm_set1_pd(params.tau);
+    const __m128d t_i2 = _mm_set1_pd(t_i);
+    const __m128d off2 = _mm_set_pd(0.0, params.D);
+    const __m128d neg2 = _mm_set_pd(-0.0, 0.0);
+    const __m128d inv2 = _mm_set_pd(-kUnbounded, kUnbounded);
+    const __m128d one2 = _mm_set1_pd(1.0);
+    __m128d idx = _mm_set_pd(up0 + static_cast<double>(h),
+                             low0 + static_cast<double>(h));
+    for (; h < n; ++h) {
+      const __m128d den =
+          _mm_sub_pd(_mm_add_pd(_mm_mul_pd(idx, tau2), off2), t_i2);
+      const __m128d v =
+          _mm_xor_pd(_mm_div_pd(_mm_set1_pd(sums[h]), den), neg2);
+      const __m128d ok = _mm_cmpgt_pd(den, _mm_setzero_pd());
+      run = _mm_max_pd(
+          run, _mm_or_pd(_mm_and_pd(ok, v), _mm_andnot_pd(ok, inv2)));
+      idx = _mm_add_pd(idx, one2);
+    }
+  }
+  alignas(16) double folded[2];
+  _mm_store_pd(folded, run);
+  return {folded[0], -folded[1]};
+}
+
+}  // namespace lsm::core::detail
+
+#endif  // LSM_CORE_HAVE_AVX512

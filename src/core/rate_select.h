@@ -25,11 +25,8 @@
 #include <algorithm>
 #include <cmath>
 
-#if defined(__SSE2__)
-#include <emmintrin.h>
-#endif
-
 #include "core/bounds.h"
+#include "core/bounds_fold.h"
 #include "core/engine.h"
 #include "core/fastpath.h"
 
@@ -167,26 +164,22 @@ RateDecision select_rate_sums_sequential(int i, Seconds t_i, int last_picture,
 /// step and the standing interval before it. Identical decisions and
 /// diagnostics to the sequential loop, in every case.
 ///
-/// On x86-64 the two bounds ride one SIMD division per lookahead step: lane
-/// 0 tracks the lower-bound running max, lane 1 the negated upper-bound
-/// running max (min(x) == -max(-x), and negating a nonzero double is
-/// exact). divpd has the same throughput as one scalar division on modern
-/// cores, each SIMD lane is the same IEEE double op as its scalar
-/// counterpart, and max/min are associative over these values (never NaN,
-/// never -0.0), so splitting the running intersection into even/odd
-/// accumulator pairs and combining at the end is bit-identical to the
-/// sequential chain. Ill-defined bounds (denominator <= 0) select
-/// +/-infinity through a mask, exactly the scalar guards.
-template <typename WindowSumFn>
-RateDecision select_rate_sums(int i, Seconds t_i, int last_picture,
-                              Rate previous_rate, const SmootherParams& params,
-                              int pattern_length, Variant variant,
-                              double fallback_bits, WindowSumFn&& window_sum) {
-#if !defined(__SSE2__)
-  return select_rate_sums_sequential(i, t_i, last_picture, previous_rate,
-                                     params, pattern_length, variant,
-                                     fallback_bits, window_sum);
-#else
+/// The window sums are recorded first (window_sum is stateful and must see
+/// h strictly increasing), then both global bounds come from the
+/// runtime-dispatched fold_bounds() (bounds_fold.h): every tier folds the
+/// same rounded quotient per step the sequential loop computes — max/min
+/// are associative over these values (never NaN, never -0.0), so any fold
+/// order is bit-identical to the sequential chain; the wide tiers just
+/// retire 2 (AVX2) or 4 (AVX-512) steps per vector division. Every tier
+/// is pinned bitwise against kReference and against every other tier by
+/// tests/core/simd_dispatch_identity_test.cpp.
+template <typename FillFn, typename WindowSumFn>
+RateDecision select_rate_sums_filled(int i, Seconds t_i, int last_picture,
+                                     Rate previous_rate,
+                                     const SmootherParams& params,
+                                     int pattern_length, Variant variant,
+                                     double fallback_bits, FillFn&& fill,
+                                     WindowSumFn&& window_sum) {
   const int remaining = last_picture - i + 1;
   const int h_lim = remaining < params.H ? remaining : params.H;
   if (h_lim <= 0 || h_lim > kMaxTrackedLookahead) {
@@ -195,56 +188,12 @@ RateDecision select_rate_sums(int i, Seconds t_i, int last_picture,
                                        fallback_bits, window_sum);
   }
   double sums[kMaxTrackedLookahead];
-  const __m128d tau2 = _mm_set1_pd(params.tau);
-  const __m128d t_i2 = _mm_set1_pd(t_i);
-  // Lane offsets so den = idx * tau + offset - t_i evaluates lane 0 as
-  // (i-1+h)*tau + D - t_i and lane 1 as (K+i+h)*tau + 0 - t_i; adding D
-  // first is commutative and adding 0.0 to a positive value is exact, so
-  // both lanes match the scalar expressions bit for bit.
-  const __m128d d_offset = _mm_set_pd(0.0, params.D);
-  const __m128d neg_high = _mm_set_pd(-0.0, 0.0);
-  const __m128d invalid = _mm_set_pd(-kUnbounded, kUnbounded);
-  const __m128d zero = _mm_setzero_pd();
-  // One lookahead step: both bounds for window sum `s` at picture/deadline
-  // indices `idx`, folded into the accumulator `run`.
-  const auto lane = [&](double s, __m128d idx, __m128d& run) {
-    const __m128d den =
-        _mm_sub_pd(_mm_add_pd(_mm_mul_pd(idx, tau2), d_offset), t_i2);
-    const __m128d v = _mm_xor_pd(_mm_div_pd(_mm_set1_pd(s), den), neg_high);
-    const __m128d ok = _mm_cmpgt_pd(den, zero);
-    run = _mm_max_pd(run,
-                     _mm_or_pd(_mm_and_pd(ok, v), _mm_andnot_pd(ok, invalid)));
-  };
-  const __m128d two = _mm_set1_pd(2.0);
-  // [i-1+h, K+i+h] as doubles, advanced by +2.0 per accumulator; integers
-  // far below 2^53, so identical to the int conversions they replace.
-  __m128d idx0 = _mm_set_pd(static_cast<double>(params.K + i),
-                            static_cast<double>(i - 1));
-  __m128d idx1 = _mm_add_pd(idx0, _mm_set1_pd(1.0));
-  __m128d run0 = _mm_set_pd(-kUnbounded, 0.0);  // [lower max, -upper min]
-  __m128d run1 = run0;
-  double sum = 0.0;
-  int h = 0;
-  for (; h + 1 < h_lim; h += 2) {
-    sum = window_sum(h);
-    sums[h] = sum;
-    lane(sum, idx0, run0);
-    idx0 = _mm_add_pd(idx0, two);
-    sum = window_sum(h + 1);
-    sums[h + 1] = sum;
-    lane(sum, idx1, run1);
-    idx1 = _mm_add_pd(idx1, two);
-  }
-  if (h < h_lim) {
-    sum = window_sum(h);
-    sums[h] = sum;
-    lane(sum, idx0, run0);
-    ++h;
-  }
-  alignas(16) double folded[2];
-  _mm_store_pd(folded, _mm_max_pd(run0, run1));
-  Rate lower = folded[0];
-  Rate upper = -folded[1];
+  fill(sums, h_lim);
+  const double sum = sums[h_lim - 1];
+  int h = h_lim;
+  const BoundsFoldResult fold = fold_bounds(sums, h_lim, i, t_i, params);
+  Rate lower = fold.lower;
+  Rate upper = fold.upper;
   Rate lower_old = 0.0;
   bool early_exit = false;
   if (__builtin_expect(lower > upper, 0)) {
@@ -270,7 +219,25 @@ RateDecision select_rate_sums(int i, Seconds t_i, int last_picture,
   return finish_decision(i, h, sum, early_exit, lower, upper, lower_old,
                          previous_rate, params, pattern_length, variant,
                          fallback_bits);
-#endif
+}
+
+/// Generic shape: the tracked sums array is filled by calling window_sum(m)
+/// once per step. select_rate_kernel below supplies a flat bulk fill
+/// instead; the values (and hence the decision) are identical either way.
+template <typename WindowSumFn>
+RateDecision select_rate_sums(int i, Seconds t_i, int last_picture,
+                              Rate previous_rate, const SmootherParams& params,
+                              int pattern_length, Variant variant,
+                              double fallback_bits, WindowSumFn&& window_sum) {
+  return select_rate_sums_filled(
+      i, t_i, last_picture, previous_rate, params, pattern_length, variant,
+      fallback_bits,
+      [&](double* sums, int count) {
+        for (int m = 0; m < count; ++m) {
+          sums[m] = window_sum(m);
+        }
+      },
+      window_sum);
 }
 
 /// Reference path: `size_at(j, t)` is the paper's size function (actual or
@@ -294,6 +261,12 @@ RateDecision select_rate(int i, Seconds t_i, int last_picture,
 /// kernel advances its arrival frontier once for the step, serves the
 /// arrived part of every window sum as a prefix-sum difference, and
 /// accumulates the estimated tail with O(1) per-picture estimates.
+///
+/// The tracked-depth shape fills the sums array with two flat loops —
+/// the arrived prefix diffs, then the estimated tail — instead of a
+/// branch per step; the per-window values are the exact same integers
+/// (converted once to double each), so the decision is bit-identical to
+/// the per-step lambda the sequential fallback still uses.
 template <typename Kernel>
 RateDecision select_rate_kernel(int i, Seconds t_i, int last_picture,
                                 Rate previous_rate,
@@ -304,9 +277,23 @@ RateDecision select_rate_kernel(int i, Seconds t_i, int last_picture,
   const int arrived = kernel.arrived();
   const Bits head = kernel.arrived_head(i);  // per-step invariant, hoisted
   Bits estimated = 0;
-  return select_rate_sums(
+  return select_rate_sums_filled(
       i, t_i, last_picture, previous_rate, params, pattern_length, variant,
-      fallback_bits, [&, i, arrived, head](int h) {
+      fallback_bits,
+      [&, i, arrived, head](double* sums, int count) {
+        const int arrived_count = arrived - i + 1;
+        const int split = arrived_count < count ? arrived_count : count;
+        int m = 0;
+        for (; m < split; ++m) {
+          sums[m] = static_cast<double>(kernel.arrived_window(i, i + m));
+        }
+        Bits tail = 0;
+        for (; m < count; ++m) {
+          tail += kernel.estimate(i + m);
+          sums[m] = static_cast<double>(head + tail);
+        }
+      },
+      [&, i, arrived, head](int h) {
         const int j = i + h;
         if (j <= arrived) {
           // Whole window arrived: one prefix-sum difference, exact.

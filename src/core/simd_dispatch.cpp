@@ -1,0 +1,177 @@
+#include "core/simd_dispatch.h"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "obs/metrics.h"
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <cpuid.h>
+#define LSM_SIMD_X86 1
+#else
+#define LSM_SIMD_X86 0
+#endif
+
+namespace lsm::simd {
+namespace {
+
+#if LSM_SIMD_X86
+// XCR0 state-component bits the OS must have enabled before the matching
+// instructions are usable: SSE+AVX ymm state for AVX2, plus the opmask /
+// upper-zmm / hi16-zmm trio for AVX-512.
+constexpr unsigned kXcr0AvxMask = 0x6;        // bits 1 (SSE) and 2 (AVX)
+constexpr unsigned kXcr0Avx512Mask = 0xE0;    // bits 5..7
+
+unsigned read_xcr0() noexcept {
+  unsigned eax = 0;
+  unsigned edx = 0;
+  __asm__ volatile("xgetbv" : "=a"(eax), "=d"(edx) : "c"(0));
+  return eax;
+}
+
+SimdLevel probe_hardware() noexcept {
+  unsigned eax = 0;
+  unsigned ebx = 0;
+  unsigned ecx = 0;
+  unsigned edx = 0;
+  if (__get_cpuid(1, &eax, &ebx, &ecx, &edx) == 0) {
+    return SimdLevel::kScalar;
+  }
+  // SSE2 is architecturally guaranteed on x86-64, but check anyway so the
+  // probe never claims more than cpuid states.
+  if ((edx & bit_SSE2) == 0) {
+    return SimdLevel::kScalar;
+  }
+  // AVX and beyond need OSXSAVE (the OS exposes xgetbv) and the ymm state
+  // components enabled in XCR0; cpuid alone only says the silicon exists.
+  const bool osxsave = (ecx & bit_OSXSAVE) != 0;
+  const bool avx = (ecx & bit_AVX) != 0;
+  if (!osxsave || !avx) {
+    return SimdLevel::kSse2;
+  }
+  const unsigned xcr0 = read_xcr0();
+  if ((xcr0 & kXcr0AvxMask) != kXcr0AvxMask) {
+    return SimdLevel::kSse2;
+  }
+  unsigned eax7 = 0;
+  unsigned ebx7 = 0;
+  unsigned ecx7 = 0;
+  unsigned edx7 = 0;
+  // The kAvx2 tier requires FMA as well, treating it as part of the
+  // platform generation: every AVX2 part ever shipped has FMA, and gating
+  // on both keeps the door open for kernels that use explicit FMA
+  // intrinsics without a second feature check. A hypothetical AVX2-only
+  // CPU just stays on the SSE2 tier.
+  const bool fma = (ecx & bit_FMA) != 0;
+  if (__get_cpuid_count(7, 0, &eax7, &ebx7, &ecx7, &edx7) == 0 ||
+      (ebx7 & bit_AVX2) == 0 || !fma) {
+    return SimdLevel::kSse2;
+  }
+  if ((ebx7 & bit_AVX512F) == 0 ||
+      (xcr0 & kXcr0Avx512Mask) != kXcr0Avx512Mask) {
+    return SimdLevel::kAvx2;
+  }
+  return SimdLevel::kAvx512;
+}
+#else
+SimdLevel probe_hardware() noexcept { return SimdLevel::kScalar; }
+#endif
+
+SimdLevel clamp_to_detected(SimdLevel level) noexcept {
+  const SimdLevel detected = detected_simd_level();
+  return level > detected ? detected : level;
+}
+
+void publish_to_global() {
+  publish_simd_level(obs::Registry::global());
+}
+
+// -1 = not yet initialized; otherwise a SimdLevel value. The env override
+// is folded in exactly once, on the first active_simd_level() call, so
+// set_active_simd_level() wins over the environment afterwards.
+std::atomic<int>& active_state() noexcept {
+  static std::atomic<int> state{-1};
+  return state;
+}
+
+SimdLevel initial_level() noexcept {
+  SimdLevel level = detected_simd_level();
+  if (const char* env = std::getenv("LSM_SIMD_LEVEL")) {
+    if (const auto forced = parse_simd_level(env)) {
+      level = clamp_to_detected(*forced);
+    }
+  }
+  return level;
+}
+
+}  // namespace
+
+SimdLevel detected_simd_level() noexcept {
+  static const SimdLevel detected = probe_hardware();
+  return detected;
+}
+
+SimdLevel active_simd_level() noexcept {
+  std::atomic<int>& state = active_state();
+  int raw = state.load(std::memory_order_relaxed);
+  if (raw < 0) {
+    const SimdLevel level = initial_level();
+    // First caller wins; a concurrent set_active_simd_level() that landed
+    // between the load and this exchange is preserved.
+    int expected = -1;
+    if (state.compare_exchange_strong(expected, static_cast<int>(level),
+                                      std::memory_order_relaxed)) {
+      publish_to_global();
+      return level;
+    }
+    raw = expected;
+  }
+  return static_cast<SimdLevel>(raw);
+}
+
+SimdLevel set_active_simd_level(SimdLevel level) noexcept {
+  const SimdLevel installed = clamp_to_detected(level);
+  active_state().store(static_cast<int>(installed),
+                       std::memory_order_relaxed);
+  publish_to_global();
+  return installed;
+}
+
+const char* simd_level_name(SimdLevel level) noexcept {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return "scalar";
+    case SimdLevel::kSse2:
+      return "sse2";
+    case SimdLevel::kAvx2:
+      return "avx2";
+    case SimdLevel::kAvx512:
+      return "avx512";
+  }
+  return "scalar";
+}
+
+std::optional<SimdLevel> parse_simd_level(std::string_view name) noexcept {
+  if (name == "scalar") {
+    return SimdLevel::kScalar;
+  }
+  if (name == "sse2") {
+    return SimdLevel::kSse2;
+  }
+  if (name == "avx2") {
+    return SimdLevel::kAvx2;
+  }
+  if (name == "avx512") {
+    return SimdLevel::kAvx512;
+  }
+  return std::nullopt;
+}
+
+void publish_simd_level(obs::Registry& registry) {
+  registry.gauge("runtime.simd_level")
+      .set(static_cast<double>(active_simd_level()));
+  registry.gauge("runtime.simd_level_detected")
+      .set(static_cast<double>(detected_simd_level()));
+}
+
+}  // namespace lsm::simd

@@ -1,0 +1,82 @@
+// Runtime CPU-feature dispatch for the SIMD kernels.
+//
+// Until this layer existed every vector kernel was selected at compile
+// time against the x86-64 baseline (SSE2), so a binary built for the
+// baseline could never use the AVX2/AVX-512 units present on essentially
+// every deployment host. Dispatch is now a runtime decision made once per
+// process:
+//
+//   * detected_simd_level() probes the hardware with cpuid/xgetbv: AVX2
+//     and AVX-512 each require the CPU feature flags AND the OS to have
+//     enabled the corresponding XSAVE state components (XCR0 bits), so a
+//     kernel that masks AVX-512 state demotes the level even when cpuid
+//     advertises the instructions.
+//   * active_simd_level() is what kernels dispatch on. It starts at
+//     min(detected, LSM_SIMD_LEVEL env override) and can be moved at run
+//     time with set_active_simd_level() — the hook the differential test
+//     suites use to pin schedules/bitstreams bitwise-identical across
+//     every level inside one process. It can never exceed the detected
+//     level, so forcing "avx512" on an SSE2-only host degrades instead of
+//     faulting.
+//
+// Kernels read the level through one relaxed atomic load per coarse call
+// (a whole bounds fold, a whole 8x8 DCT, a whole motion search), which is
+// noise next to the work dispatched. AVX2/AVX-512 kernel bodies live in
+// dedicated translation units compiled with per-file -mavx2/-mavx512f
+// flags (see src/core/CMakeLists.txt); no other object is ever compiled
+// with wide-vector flags, so illegal instructions cannot leak into the
+// baseline paths that run when the level says scalar or SSE2.
+//
+// The selected level and the steady-state allocation audit results are
+// surfaced through obs::Registry (runtime.simd_level*, *.allocs_steady)
+// so every metrics snapshot records which kernels actually ran.
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+namespace lsm::obs {
+class Registry;
+}
+
+namespace lsm::simd {
+
+/// Instruction-set tiers the kernels are specialized for, in strictly
+/// increasing order of capability (comparisons rely on the ordering).
+enum class SimdLevel : int {
+  kScalar = 0,  ///< no vector kernels; the differential reference tier
+  kSse2 = 1,    ///< x86-64 baseline (128-bit)
+  kAvx2 = 2,    ///< 256-bit integer + FMA-era doubles (we use no FMA)
+  kAvx512 = 3,  ///< 512-bit foundation subset (F)
+};
+
+/// Highest level this machine can execute, probed once with cpuid/xgetbv
+/// and cached. Non-x86 builds report kScalar.
+SimdLevel detected_simd_level() noexcept;
+
+/// The level kernels dispatch on: min(detected, LSM_SIMD_LEVEL override)
+/// at first use, adjustable afterwards with set_active_simd_level(). One
+/// relaxed atomic load.
+SimdLevel active_simd_level() noexcept;
+
+/// Moves the active level (clamped to the detected level — requesting
+/// more capability than the hardware has selects the detected level).
+/// Returns the level actually installed. Test hook and ops override; the
+/// kernels pick it up on their next call.
+SimdLevel set_active_simd_level(SimdLevel level) noexcept;
+
+/// Canonical lowercase names: "scalar", "sse2", "avx2", "avx512".
+const char* simd_level_name(SimdLevel level) noexcept;
+
+/// Parses a canonical name (as accepted in LSM_SIMD_LEVEL). Returns
+/// nullopt for anything else.
+std::optional<SimdLevel> parse_simd_level(std::string_view name) noexcept;
+
+/// Records the dispatch decision in `registry`:
+///   runtime.simd_level          — active level as its numeric tier
+///   runtime.simd_level_detected — what the hardware supports
+/// Called automatically whenever the active level is (re)computed, against
+/// the global registry; callable directly for private registries in tests.
+void publish_simd_level(obs::Registry& registry);
+
+}  // namespace lsm::simd

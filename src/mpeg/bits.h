@@ -44,6 +44,15 @@ class BitWriter {
   /// Finishes (aligns) and returns the bytes.
   std::vector<std::uint8_t> take();
 
+  /// Rewinds to empty, KEEPING the byte buffer's capacity — a writer held
+  /// across pictures reaches its high-water size once and then never
+  /// reallocates (the encoder's steady-state path, encoder.h
+  /// EncodeWorkspace).
+  void clear() noexcept {
+    bytes_.clear();
+    bit_pos_ = 0;
+  }
+
   const std::vector<std::uint8_t>& bytes() const noexcept { return bytes_; }
 
  private:

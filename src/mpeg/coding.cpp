@@ -1,6 +1,7 @@
 #include "mpeg/coding.h"
 
 #include <algorithm>
+#include <cstring>
 #include <stdexcept>
 
 namespace lsm::mpeg::detail {
@@ -31,10 +32,10 @@ Block block_of(const MacroblockPixels& mb, int b) {
     int x0 = 0, y0 = 0;
     block_origin(b, x0, y0);
     for (int y = 0; y < 8; ++y) {
-      for (int x = 0; x < 8; ++x) {
-        out[static_cast<std::size_t>(y * 8 + x)] = static_cast<std::int16_t>(
-            mb.y[static_cast<std::size_t>((y0 + y) * 16 + (x0 + x))]);
-      }
+      const std::uint8_t* in =
+          mb.y.data() + static_cast<std::size_t>((y0 + y) * 16 + x0);
+      std::int16_t* row = out.data() + static_cast<std::size_t>(y * 8);
+      for (int x = 0; x < 8; ++x) row[x] = static_cast<std::int16_t>(in[x]);
     }
   } else {
     const auto& plane = b == 4 ? mb.cb : mb.cr;
@@ -47,29 +48,26 @@ Block block_of(const MacroblockPixels& mb, int b) {
 
 void store_block(Frame& frame, int mb_x, int mb_y, int b,
                  const Block& samples) {
+  // Block coordinates come off the macroblock grid, so the 8x8 window is
+  // in-bounds by construction; write row-wise through raw row pointers.
+  Plane* plane = nullptr;
+  int fx = 0;
+  int fy = 0;
   if (b < 4) {
     int x0 = 0, y0 = 0;
     block_origin(b, x0, y0);
-    const int fx = mb_x * 16 + x0;
-    const int fy = mb_y * 16 + y0;
-    for (int y = 0; y < 8; ++y) {
-      for (int x = 0; x < 8; ++x) {
-        frame.y.set(fx + x, fy + y,
-                    static_cast<std::uint8_t>(
-                        samples[static_cast<std::size_t>(y * 8 + x)]));
-      }
-    }
+    plane = &frame.y;
+    fx = mb_x * 16 + x0;
+    fy = mb_y * 16 + y0;
   } else {
-    Plane& plane = b == 4 ? frame.cb : frame.cr;
-    const int fx = mb_x * 8;
-    const int fy = mb_y * 8;
-    for (int y = 0; y < 8; ++y) {
-      for (int x = 0; x < 8; ++x) {
-        plane.set(fx + x, fy + y,
-                  static_cast<std::uint8_t>(
-                      samples[static_cast<std::size_t>(y * 8 + x)]));
-      }
-    }
+    plane = b == 4 ? &frame.cb : &frame.cr;
+    fx = mb_x * 8;
+    fy = mb_y * 8;
+  }
+  for (int y = 0; y < 8; ++y) {
+    std::uint8_t* out = plane->row(fy + y) + fx;
+    const std::int16_t* in = samples.data() + static_cast<std::size_t>(y * 8);
+    for (int x = 0; x < 8; ++x) out[x] = static_cast<std::uint8_t>(in[x]);
   }
 }
 
@@ -112,18 +110,14 @@ Block reconstruct_inter_fast(const Block& prediction, const CoeffBlock& levels,
 void store_macroblock(Frame& frame, int mb_x, int mb_y,
                       const MacroblockPixels& mb) {
   for (int y = 0; y < 16; ++y) {
-    for (int x = 0; x < 16; ++x) {
-      frame.y.set(mb_x * 16 + x, mb_y * 16 + y,
-                  mb.y[static_cast<std::size_t>(y * 16 + x)]);
-    }
+    std::memcpy(frame.y.row(mb_y * 16 + y) + mb_x * 16,
+                mb.y.data() + static_cast<std::size_t>(y * 16), 16);
   }
   for (int y = 0; y < 8; ++y) {
-    for (int x = 0; x < 8; ++x) {
-      frame.cb.set(mb_x * 8 + x, mb_y * 8 + y,
-                   mb.cb[static_cast<std::size_t>(y * 8 + x)]);
-      frame.cr.set(mb_x * 8 + x, mb_y * 8 + y,
-                   mb.cr[static_cast<std::size_t>(y * 8 + x)]);
-    }
+    std::memcpy(frame.cb.row(mb_y * 8 + y) + mb_x * 8,
+                mb.cb.data() + static_cast<std::size_t>(y * 8), 8);
+    std::memcpy(frame.cr.row(mb_y * 8 + y) + mb_x * 8,
+                mb.cr.data() + static_cast<std::size_t>(y * 8), 8);
   }
 }
 

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "mpeg/fastpath.h"
+#include "mpeg/simd_kernels.h"
 
 #if LSM_MPEG_SIMD
 #include <emmintrin.h>
@@ -10,36 +11,21 @@
 
 namespace lsm::mpeg {
 
-namespace {
-
-/// basis[u][x] = c(u) * cos((2x+1) u pi / 16) with c(0) = sqrt(1/8),
-/// c(u>0) = sqrt(2/8) — the orthonormal DCT-II basis. `transposed[x][u]`
-/// holds the same doubles transposed so the vector row pass can load
-/// adjacent-u pairs contiguously.
-struct BasisTable {
-  double value[8][8];
-  alignas(16) double transposed[8][8];
-  BasisTable() {
-    const double pi = 3.14159265358979323846;
-    for (int u = 0; u < 8; ++u) {
-      const double c = u == 0 ? std::sqrt(1.0 / 8.0) : std::sqrt(2.0 / 8.0);
-      for (int x = 0; x < 8; ++x) {
-        value[u][x] = c * std::cos((2 * x + 1) * u * pi / 16.0);
-        transposed[x][u] = value[u][x];
-      }
-    }
-  }
-};
-
-const BasisTable& basis() {
-  static const BasisTable table;
+/// Defined here, declared in simd_kernels.h: one table instance shared by
+/// every tier, so the AVX2 translation unit reads the identical doubles.
+const DctBasisTable& dct_basis() noexcept {
+  static const DctBasisTable table;
   return table;
 }
+
+namespace {
+
+const DctBasisTable& basis() { return dct_basis(); }
 
 }  // namespace
 
 CoeffBlock forward_dct(const Block& spatial) {
-  const BasisTable& b = basis();
+  const DctBasisTable& b = basis();
   double rows[8][8];
   // 1-D DCT over rows.
   for (int y = 0; y < 8; ++y) {
@@ -66,7 +52,7 @@ CoeffBlock forward_dct(const Block& spatial) {
 }
 
 Block inverse_dct(const CoeffBlock& coeffs) {
-  const BasisTable& b = basis();
+  const DctBasisTable& b = basis();
   double cols[8][8];
   // Inverse over columns.
   for (int u = 0; u < 8; ++u) {
@@ -95,7 +81,10 @@ Block inverse_dct(const CoeffBlock& coeffs) {
 #if LSM_MPEG_SIMD
 
 CoeffBlock forward_dct_fast(const Block& spatial) {
-  const BasisTable& b = basis();
+#if defined(LSM_MPEG_HAVE_AVX2)
+  if (use_avx2_kernels()) return avx2::forward_dct(spatial);
+#endif
+  const DctBasisTable& b = basis();
   // One int16 -> double conversion per sample, instead of one per use.
   alignas(16) double sd[64];
   for (int k = 0; k < 64; ++k) sd[k] = static_cast<double>(spatial[k]);
@@ -141,7 +130,10 @@ CoeffBlock forward_dct_fast(const Block& spatial) {
 }
 
 Block inverse_dct_fast(const CoeffBlock& coeffs) {
-  const BasisTable& b = basis();
+#if defined(LSM_MPEG_HAVE_AVX2)
+  if (use_avx2_kernels()) return avx2::inverse_dct(coeffs);
+#endif
+  const DctBasisTable& b = basis();
   alignas(16) double cd[64];
   for (int k = 0; k < 64; ++k) cd[k] = static_cast<double>(coeffs[k]);
 

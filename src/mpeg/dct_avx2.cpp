@@ -1,0 +1,223 @@
+// AVX2 tier of the 8x8 DCT kernels, plus the fused DCT+quantization
+// entries. Compiled with -mavx2 (and -ffp-contract=off: the FP identity
+// depends on the mul/add sequences staying separately rounded) for THIS
+// translation unit only; reached solely through the *_fast dispatchers
+// after use_avx2_kernels() has checked the active runtime level.
+//
+// Bitwise identity: the SSE2 kernels (dct.cpp) accumulate two adjacent
+// output lanes per vector in ascending input order, each lane performing
+// exactly the scalar loop's mul/add sequence. These kernels are the same
+// loops at four lanes per __m256d — the per-lane operation sequence is
+// unchanged, only the number of independent lanes in one register grows,
+// so every double (and every rounded coefficient) still matches the
+// scalar reference bit for bit. Rounding (lround, round half away from
+// zero) stays scalar per lane, as in the SSE2 tier.
+#include "mpeg/simd_kernels.h"
+
+#if defined(LSM_MPEG_HAVE_AVX2)
+
+#include <immintrin.h>
+
+#include <cmath>
+#include <cstdlib>
+
+#include "mpeg/quant.h"
+
+namespace lsm::mpeg::avx2 {
+
+namespace {
+
+/// Row pass shared by the plain and fused forward kernels:
+/// rows[y][u] = sum_x transposed[x][u] * spatial[y*8+x], ascending x per
+/// lane (the scalar order for every u).
+inline void forward_rows(const Block& spatial, const DctBasisTable& b,
+                         double rows[8][8]) noexcept {
+  alignas(32) double sd[64];
+  for (int k = 0; k < 64; ++k) sd[k] = static_cast<double>(spatial[k]);
+  for (int y = 0; y < 8; ++y) {
+    __m256d acc0 = _mm256_setzero_pd();
+    __m256d acc1 = _mm256_setzero_pd();
+    for (int x = 0; x < 8; ++x) {
+      const __m256d s = _mm256_broadcast_sd(&sd[y * 8 + x]);
+      acc0 = _mm256_add_pd(
+          acc0, _mm256_mul_pd(_mm256_load_pd(&b.transposed[x][0]), s));
+      acc1 = _mm256_add_pd(
+          acc1, _mm256_mul_pd(_mm256_load_pd(&b.transposed[x][4]), s));
+    }
+    _mm256_store_pd(&rows[y][0], acc0);
+    _mm256_store_pd(&rows[y][4], acc1);
+  }
+}
+
+/// Column pass for output row v, lane group p (u = 4p..4p+3):
+/// sum_y value[v][y] * rows[y][u], ascending y per lane.
+inline __m256d forward_cols(const DctBasisTable& b,
+                            const double rows[8][8], int v,
+                            int p) noexcept {
+  __m256d acc = _mm256_setzero_pd();
+  for (int y = 0; y < 8; ++y) {
+    acc = _mm256_add_pd(
+        acc, _mm256_mul_pd(_mm256_broadcast_sd(&b.value[v][y]),
+                           _mm256_load_pd(&rows[y][4 * p])));
+  }
+  return acc;
+}
+
+/// trunc((2*|value| + divisor) / (2*divisor)) for four lanes — the
+/// magnitude part of divide_round; exactness argument in quant.h.
+inline __m128i round_half_away_quad(__m256d abs_value,
+                                    __m256d divisor) noexcept {
+  const __m256d num = _mm256_add_pd(_mm256_add_pd(abs_value, abs_value),
+                                    divisor);
+  const __m256d den = _mm256_add_pd(divisor, divisor);
+  return _mm256_cvttpd_epi32(_mm256_div_pd(num, den));
+}
+
+int divide_round(int value, int divisor) noexcept {
+  const int sign = value < 0 ? -1 : 1;
+  return sign * ((std::abs(value) * 2 + divisor) / (2 * divisor));
+}
+
+}  // namespace
+
+CoeffBlock forward_dct(const Block& spatial) {
+  const DctBasisTable& b = dct_basis();
+  alignas(32) double rows[8][8];
+  forward_rows(spatial, b, rows);
+  CoeffBlock out{};
+  for (int v = 0; v < 8; ++v) {
+    for (int p = 0; p < 2; ++p) {
+      alignas(32) double lanes[4];
+      _mm256_store_pd(lanes, forward_cols(b, rows, v, p));
+      for (int l = 0; l < 4; ++l) {
+        out[static_cast<std::size_t>(v * 8 + 4 * p + l)] =
+            static_cast<std::int16_t>(std::lround(lanes[l]));
+      }
+    }
+  }
+  return out;
+}
+
+Block inverse_dct(const CoeffBlock& coeffs) {
+  const DctBasisTable& b = dct_basis();
+  alignas(32) double cd[64];
+  for (int k = 0; k < 64; ++k) cd[k] = static_cast<double>(coeffs[k]);
+
+  // Column inverse: cols[y][u] = sum_v value[v][y] * cd[v*8+u], ascending
+  // v per lane.
+  alignas(32) double cols[8][8];
+  for (int y = 0; y < 8; ++y) {
+    __m256d acc0 = _mm256_setzero_pd();
+    __m256d acc1 = _mm256_setzero_pd();
+    for (int v = 0; v < 8; ++v) {
+      const __m256d basis_vy = _mm256_broadcast_sd(&b.value[v][y]);
+      acc0 = _mm256_add_pd(
+          acc0, _mm256_mul_pd(basis_vy, _mm256_load_pd(&cd[v * 8])));
+      acc1 = _mm256_add_pd(
+          acc1, _mm256_mul_pd(basis_vy, _mm256_load_pd(&cd[v * 8 + 4])));
+    }
+    _mm256_store_pd(&cols[y][0], acc0);
+    _mm256_store_pd(&cols[y][4], acc1);
+  }
+
+  // Row inverse: out[y*8+x] = lround(sum_u value[u][x] * cols[y][u]),
+  // four adjacent x lanes, ascending-u accumulation.
+  Block out{};
+  for (int y = 0; y < 8; ++y) {
+    for (int p = 0; p < 2; ++p) {
+      __m256d acc = _mm256_setzero_pd();
+      for (int u = 0; u < 8; ++u) {
+        acc = _mm256_add_pd(
+            acc, _mm256_mul_pd(_mm256_broadcast_sd(&cols[y][u]),
+                               _mm256_loadu_pd(&b.value[u][4 * p])));
+      }
+      alignas(32) double lanes[4];
+      _mm256_store_pd(lanes, acc);
+      for (int l = 0; l < 4; ++l) {
+        out[static_cast<std::size_t>(y * 8 + 4 * p + l)] =
+            static_cast<std::int16_t>(std::lround(lanes[l]));
+      }
+    }
+  }
+  return out;
+}
+
+CoeffBlock dct_quantize_intra(const Block& spatial, int quantizer_scale) {
+  const DctBasisTable& b = dct_basis();
+  const auto& matrix = intra_quant_matrix();
+  alignas(32) double rows[8][8];
+  forward_rows(spatial, b, rows);
+  CoeffBlock levels{};
+  const double scale = static_cast<double>(quantizer_scale);
+  int dc = 0;
+  for (int v = 0; v < 8; ++v) {
+    for (int p = 0; p < 2; ++p) {
+      alignas(32) double lanes[4];
+      _mm256_store_pd(lanes, forward_cols(b, rows, v, p));
+      const int k0 = v * 8 + 4 * p;
+      // The rounded coefficients never leave registers as int16: quantize
+      // the 8*|coeff| magnitudes directly (the int16 round trip the
+      // unfused path takes is value-preserving — |coeff| <= 8*1024 — so
+      // skipping it cannot change a level).
+      alignas(32) double mags[4];
+      bool neg[4];
+      for (int l = 0; l < 4; ++l) {
+        const long c = std::lround(lanes[l]);
+        if (k0 + l == 0) dc = static_cast<int>(c);
+        neg[l] = c < 0;
+        mags[l] = static_cast<double>(8 * std::labs(c));
+      }
+      const __m256d divisor = _mm256_set_pd(scale * matrix[k0 + 3],
+                                            scale * matrix[k0 + 2],
+                                            scale * matrix[k0 + 1],
+                                            scale * matrix[k0]);
+      alignas(16) int q[4];
+      _mm_store_si128(reinterpret_cast<__m128i*>(q),
+                      round_half_away_quad(_mm256_load_pd(mags), divisor));
+      for (int l = 0; l < 4; ++l) {
+        levels[static_cast<std::size_t>(k0 + l)] =
+            static_cast<std::int16_t>(neg[l] ? -q[l] : q[l]);
+      }
+    }
+  }
+  // DC: fixed divisor of 8, independent of the scale (MPEG-1 semantics);
+  // recomputed scalar over the saved coefficient, replacing the generic
+  // lane result.
+  levels[0] = static_cast<std::int16_t>(divide_round(dc, 8));
+  return levels;
+}
+
+CoeffBlock dct_quantize_inter(const Block& spatial, int quantizer_scale) {
+  const DctBasisTable& b = dct_basis();
+  alignas(32) double rows[8][8];
+  forward_rows(spatial, b, rows);
+  CoeffBlock levels{};
+  // C integer division truncates toward zero, exactly what cvttpd does
+  // (exactness argument in quant.h), so the signed case needs no
+  // magnitude split.
+  const __m256d divisor = _mm256_set1_pd(quantizer_scale * 16);
+  for (int v = 0; v < 8; ++v) {
+    for (int p = 0; p < 2; ++p) {
+      alignas(32) double lanes[4];
+      _mm256_store_pd(lanes, forward_cols(b, rows, v, p));
+      alignas(32) double nums[4];
+      for (int l = 0; l < 4; ++l) {
+        nums[l] = static_cast<double>(8 * std::lround(lanes[l]));
+      }
+      const __m128i q = _mm256_cvttpd_epi32(
+          _mm256_div_pd(_mm256_load_pd(nums), divisor));
+      alignas(16) int qi[4];
+      _mm_store_si128(reinterpret_cast<__m128i*>(qi), q);
+      const int k0 = v * 8 + 4 * p;
+      for (int l = 0; l < 4; ++l) {
+        levels[static_cast<std::size_t>(k0 + l)] =
+            static_cast<std::int16_t>(qi[l]);
+      }
+    }
+  }
+  return levels;
+}
+
+}  // namespace lsm::mpeg::avx2
+
+#endif  // LSM_MPEG_HAVE_AVX2

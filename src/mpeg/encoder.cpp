@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cstdlib>
 #include <limits>
-#include <optional>
 #include <stdexcept>
 
 #include "mpeg/coding.h"
@@ -16,12 +15,6 @@ namespace {
 
 using detail::DcPredictors;
 using lsm::trace::PictureType;
-
-/// An encoded reference picture (reconstruction plus display position).
-struct Anchor {
-  Frame recon;
-  int display_index = -1;
-};
 
 /// Per-slice mutable coding state.
 struct SliceState {
@@ -49,11 +42,20 @@ std::uint32_t quantize_residual(const MacroblockPixels& current,
     const Block cur = detail::block_of(current, b);
     const Block pred = detail::block_of(prediction, b);
     Block residual{};
+    std::int16_t nonzero = 0;
     for (std::size_t k = 0; k < 64; ++k) {
       residual[k] = static_cast<std::int16_t>(cur[k] - pred[k]);
+      nonzero = static_cast<std::int16_t>(nonzero | residual[k]);
+    }
+    if (nonzero == 0) {
+      // DCT of the zero block is exactly zero and quantization maps zero
+      // levels to zero, so the kernel call can be skipped outright; the
+      // coded-block-pattern bit stays clear either way.
+      levels[static_cast<std::size_t>(b)] = CoeffBlock{};
+      continue;
     }
     levels[static_cast<std::size_t>(b)] =
-        kFast ? quantize_inter_fast(forward_dct_fast(residual), qscale)
+        kFast ? dct_quantize_inter_fast(residual, qscale)
               : quantize_inter(forward_dct(residual), qscale);
     const auto& lv = levels[static_cast<std::size_t>(b)];
     const bool coded = std::any_of(lv.begin(), lv.end(),
@@ -73,13 +75,14 @@ void code_intra_macroblock(BitWriter& writer, SliceState& state,
     Block samples = detail::block_of(current, b);
     for (auto& s : samples) s = static_cast<std::int16_t>(s - 128);
     const CoeffBlock levels =
-        kFast ? quantize_intra_fast(forward_dct_fast(samples), qscale)
+        kFast ? dct_quantize_intra_fast(samples, qscale)
               : quantize_intra(forward_dct(samples), qscale);
     int& predictor = state.dc.of(b);
     const int dc_diff = levels[0] - predictor;
     predictor = levels[0];
-    put_block(writer, static_cast<std::int16_t>(dc_diff),
-              run_length_encode(levels));
+    RunLevel ac[kMaxRunLevels];
+    put_block(writer, static_cast<std::int16_t>(dc_diff), ac,
+              run_length_encode_into(levels, ac));
     detail::store_block(recon, mb_x, mb_y, b,
                         kFast ? detail::reconstruct_intra_fast(levels, qscale)
                               : detail::reconstruct_intra(levels, qscale));
@@ -97,7 +100,8 @@ void code_inter_blocks(BitWriter& writer, std::uint32_t cbp,
     const Block pred = detail::block_of(prediction, b);
     if (cbp & (1u << (5 - b))) {
       const auto& lv = levels[static_cast<std::size_t>(b)];
-      put_block(writer, lv[0], run_length_encode(lv));
+      RunLevel ac[kMaxRunLevels];
+      put_block(writer, lv[0], ac, run_length_encode_into(lv, ac));
       detail::store_block(
           recon, mb_x, mb_y, b,
           kFast ? detail::reconstruct_inter_fast(pred, lv, qscale)
@@ -115,8 +119,8 @@ void code_inter_blocks(BitWriter& writer, std::uint32_t cbp,
 struct PictureContext {
   const EncoderConfig& config;
   const Frame& source;
-  const Anchor* forward_ref;
-  const Anchor* backward_ref;
+  const Frame* forward_ref;
+  const Frame* backward_ref;
   PictureType type;
   int qscale;
   int mb_cols;
@@ -169,7 +173,7 @@ void encode_slice_row(const PictureContext& ctx, int mb_y, BitWriter& writer) {
     };
 
     if (ctx.type == PictureType::P) {
-      const MotionSearchResult best = search(ctx.forward_ref->recon);
+      const MotionSearchResult best = search(*ctx.forward_ref);
       if (best.sad > ctx.config.intra_sad_threshold) {
         put_ue(writer, mb_mode::kPIntra);
         code_intra_macroblock<kFast>(writer, state, current, qscale, recon,
@@ -178,7 +182,7 @@ void encode_slice_row(const PictureContext& ctx, int mb_y, BitWriter& writer) {
         continue;
       }
       const MacroblockPixels prediction =
-          extract_pred(ctx.forward_ref->recon, best.mv);
+          extract_pred(*ctx.forward_ref, best.mv);
       std::array<CoeffBlock, 6> levels;
       const std::uint32_t cbp =
           quantize_residual<kFast>(current, prediction, qscale, levels);
@@ -199,15 +203,15 @@ void encode_slice_row(const PictureContext& ctx, int mb_y, BitWriter& writer) {
     }
 
     // B picture.
-    const MotionSearchResult fwd = search(ctx.forward_ref->recon);
+    const MotionSearchResult fwd = search(*ctx.forward_ref);
     MotionSearchResult bwd;
     int interp_sad = std::numeric_limits<int>::max();
-    MacroblockPixels pred_f = extract_pred(ctx.forward_ref->recon, fwd.mv);
+    MacroblockPixels pred_f = extract_pred(*ctx.forward_ref, fwd.mv);
     MacroblockPixels pred_b;
     MacroblockPixels pred_i;
     if (ctx.backward_ref != nullptr) {
-      bwd = search(ctx.backward_ref->recon);
-      pred_b = extract_pred(ctx.backward_ref->recon, bwd.mv);
+      bwd = search(*ctx.backward_ref);
+      pred_b = extract_pred(*ctx.backward_ref, bwd.mv);
       if (kFast) {
         pred_i = average_fast(pred_f, pred_b);
         interp_sad = macroblock_luma_sad_fast(current, pred_i);
@@ -291,6 +295,15 @@ Encoder::Encoder(EncoderConfig config) : config_(std::move(config)) {
 }
 
 EncodeResult Encoder::encode(const std::vector<Frame>& display_frames) const {
+  EncodeResult result;
+  EncodeWorkspace workspace;
+  encode_into(display_frames, result, workspace);
+  return result;
+}
+
+void Encoder::encode_into(const std::vector<Frame>& display_frames,
+                          EncodeResult& result,
+                          EncodeWorkspace& ws) const {
   if (display_frames.empty()) {
     throw std::invalid_argument("Encoder::encode: no frames");
   }
@@ -308,31 +321,56 @@ EncodeResult Encoder::encode(const std::vector<Frame>& display_frames) const {
   }
 
   const int n = static_cast<int>(display_frames.size());
-  std::vector<PictureType> types;
-  types.reserve(static_cast<std::size_t>(n));
-  for (int i = 1; i <= n; ++i) types.push_back(config_.pattern.type_of(i));
-  const std::vector<int> order =
-      lsm::trace::display_to_coded_permutation(types);
+  // The type sequence and coded-order permutation depend only on (n,
+  // pattern); a warm workspace skips recomputing them (the permutation
+  // helper returns a fresh vector, the one allocation this path can't
+  // reuse).
+  if (ws.cached_count != n || ws.cached_gop_n != config_.pattern.N() ||
+      ws.cached_gop_m != config_.pattern.M()) {
+    ws.types.clear();
+    ws.types.reserve(static_cast<std::size_t>(n));
+    for (int i = 1; i <= n; ++i) {
+      ws.types.push_back(config_.pattern.type_of(i));
+    }
+    ws.order = lsm::trace::display_to_coded_permutation(ws.types);
+    ws.cached_count = n;
+    ws.cached_gop_n = config_.pattern.N();
+    ws.cached_gop_m = config_.pattern.M();
+  }
+  const std::vector<PictureType>& types = ws.types;
+  const std::vector<int>& order = ws.order;
 
-  EncodeResult result;
-  result.sequence_header = SequenceHeader{
-      width, height, config_.fps, config_.pattern.N(), config_.pattern.M()};
-  {
-    BitWriter writer;
-    write_fields(writer, result.sequence_header);
-    append_unit(result.stream, startcode::kSequenceHeader, writer.take());
+  // Reconstruction slots: the forward anchor, the backward anchor, and the
+  // picture being coded rotate through three persistent frames — every
+  // macroblock path stores its reconstruction, so a reused frame is fully
+  // overwritten before anything reads it.
+  for (Frame& frame : ws.recon) {
+    if (frame.width() != width || frame.height() != height) {
+      frame = Frame(width, height);
+    }
+  }
+  if (static_cast<int>(ws.slice_writers.size()) < mb_rows) {
+    ws.slice_writers.resize(static_cast<std::size_t>(mb_rows));
   }
 
-  std::optional<Anchor> older;
-  std::optional<Anchor> newer;
+  result.stream.clear();
+  result.pictures.clear();
+  result.pictures.reserve(static_cast<std::size_t>(n));
+  result.sequence_header = SequenceHeader{
+      width, height, config_.fps, config_.pattern.N(), config_.pattern.M()};
+  BitWriter& header_writer = ws.header_writer;
+  header_writer.clear();
+  write_fields(header_writer, result.sequence_header);
+  header_writer.align();
+  append_unit(result.stream, startcode::kSequenceHeader,
+              header_writer.bytes());
+
+  int older_slot = -1;  // forward anchor for B, previous-previous reference
+  int newer_slot = -1;  // most recent reference; its display index below
+  int newer_display = -1;
   int gop_counter = 0;
 
   const bool fast = config_.path == EncoderPath::kAuto && simd_available();
-  // Per-row payload size of the previous picture — the reservation hint for
-  // the next picture's same-row writer (consecutive pictures have similar
-  // slice sizes; see bits.h BitWriter::reserve).
-  std::vector<std::size_t> prev_slice_bytes(static_cast<std::size_t>(mb_rows),
-                                            0);
 
   for (int ci = 0; ci < n; ++ci) {
     const int di = order[static_cast<std::size_t>(ci)];
@@ -340,9 +378,10 @@ EncodeResult Encoder::encode(const std::vector<Frame>& display_frames) const {
     const Frame& source = display_frames[static_cast<std::size_t>(di)];
 
     if (type == PictureType::I) {
-      BitWriter writer;
-      write_fields(writer, GroupHeader{gop_counter++ & 0xFFFF, true});
-      append_unit(result.stream, startcode::kGroup, writer.take());
+      header_writer.clear();
+      write_fields(header_writer, GroupHeader{gop_counter++ & 0xFFFF, true});
+      header_writer.align();
+      append_unit(result.stream, startcode::kGroup, header_writer.bytes());
     }
 
     int qscale = type == PictureType::I   ? config_.i_quant
@@ -359,54 +398,67 @@ EncodeResult Encoder::encode(const std::vector<Frame>& display_frames) const {
     }
     const std::int64_t offset_before =
         static_cast<std::int64_t>(result.stream.size());
-    {
-      BitWriter writer;
-      write_fields(writer, PictureHeader{di & 0xFFFF, type, qscale});
-      append_unit(result.stream, startcode::kPicture, writer.take());
-    }
+    header_writer.clear();
+    write_fields(header_writer, PictureHeader{di & 0xFFFF, type, qscale});
+    header_writer.align();
+    append_unit(result.stream, startcode::kPicture, header_writer.bytes());
 
     // Reference selection for this picture.
-    const Anchor* forward_ref = nullptr;
-    const Anchor* backward_ref = nullptr;
+    const Frame* forward_ref = nullptr;
+    const Frame* backward_ref = nullptr;
     if (type == PictureType::P) {
-      if (!newer) {
+      if (newer_slot < 0) {
         throw std::invalid_argument(
             "Encoder::encode: P picture without a reference (sequence must "
             "start with I)");
       }
-      forward_ref = &*newer;
+      forward_ref = &ws.recon[static_cast<std::size_t>(newer_slot)];
     } else if (type == PictureType::B) {
-      if (!newer) {
+      if (newer_slot < 0) {
         throw std::invalid_argument(
             "Encoder::encode: B picture without any reference");
       }
-      if (di > newer->display_index) {
-        forward_ref = &*newer;  // trailing B: forward prediction only
+      const Frame& newer = ws.recon[static_cast<std::size_t>(newer_slot)];
+      if (di > newer_display) {
+        forward_ref = &newer;  // trailing B: forward prediction only
       } else {
-        forward_ref = older ? &*older : &*newer;
-        backward_ref = &*newer;
+        forward_ref = older_slot >= 0
+                          ? &ws.recon[static_cast<std::size_t>(older_slot)]
+                          : &newer;
+        backward_ref = &newer;
       }
     }
 
-    Frame recon(width, height);
+    // The slot neither anchor occupies receives this picture.
+    int recon_slot = 0;
+    while (recon_slot == older_slot || recon_slot == newer_slot) {
+      ++recon_slot;
+    }
+    Frame& recon = ws.recon[static_cast<std::size_t>(recon_slot)];
     const PictureContext ctx{config_, source,  forward_ref, backward_ref,
                              type,    qscale,  mb_cols,     recon};
 
-    // Each slice row encodes into a private writer (reserved from the
-    // previous picture's same-row payload size), possibly concurrently;
-    // payloads are then spliced in row order, so the stream bytes are
-    // independent of the executor and thread count.
-    std::vector<std::vector<std::uint8_t>> payloads(
-        static_cast<std::size_t>(mb_rows));
-    auto encode_row = [&](int mb_y) {
-      BitWriter writer;
-      writer.reserve(prev_slice_bytes[static_cast<std::size_t>(mb_y)] + 16);
-      if (fast) {
-        encode_slice_row<true>(ctx, mb_y, writer);
+    // Each slice row encodes into its persistent writer (cleared, so the
+    // high-water capacity from earlier pictures is reused), possibly
+    // concurrently; payloads are then spliced in row order, so the stream
+    // bytes are independent of the executor and thread count. The job
+    // indirection keeps the row closure to one captured pointer — small
+    // enough for std::function's inline storage on the executor hop.
+    struct RowJob {
+      const PictureContext* ctx;
+      BitWriter* writers;
+      bool fast;
+    };
+    const RowJob job{&ctx, ws.slice_writers.data(), fast};
+    auto encode_row = [&job](int mb_y) {
+      BitWriter& writer = job.writers[mb_y];
+      writer.clear();
+      if (job.fast) {
+        encode_slice_row<true>(*job.ctx, mb_y, writer);
       } else {
-        encode_slice_row<false>(ctx, mb_y, writer);
+        encode_slice_row<false>(*job.ctx, mb_y, writer);
       }
-      payloads[static_cast<std::size_t>(mb_y)] = writer.take();
+      writer.align();
     };
     if (config_.slice_executor) {
       config_.slice_executor(mb_rows, encode_row);
@@ -414,11 +466,9 @@ EncodeResult Encoder::encode(const std::vector<Frame>& display_frames) const {
       for (int mb_y = 0; mb_y < mb_rows; ++mb_y) encode_row(mb_y);
     }
     for (int mb_y = 0; mb_y < mb_rows; ++mb_y) {
-      auto& payload = payloads[static_cast<std::size_t>(mb_y)];
-      prev_slice_bytes[static_cast<std::size_t>(mb_y)] = payload.size();
       append_unit(result.stream,
                   static_cast<std::uint8_t>(startcode::kSliceFirst + mb_y),
-                  std::move(payload));
+                  ws.slice_writers[static_cast<std::size_t>(mb_y)].bytes());
     }
 
     EncodedPicture record;
@@ -433,13 +483,13 @@ EncodeResult Encoder::encode(const std::vector<Frame>& display_frames) const {
     result.pictures.push_back(record);
 
     if (type != PictureType::B) {
-      older = std::move(newer);
-      newer = Anchor{std::move(recon), di};
+      older_slot = newer_slot;
+      newer_slot = recon_slot;
+      newer_display = di;
     }
   }
 
   append_start_code(result.stream, startcode::kSequenceEnd);
-  return result;
 }
 
 lsm::trace::Trace EncodeResult::display_trace(const std::string& name) const {

@@ -18,6 +18,7 @@
 // reconstruction bit-exactly — tested in tests/mpeg/codec_test.cpp.
 #pragma once
 
+#include <array>
 #include <functional>
 #include <vector>
 
@@ -102,6 +103,32 @@ struct EncodeResult {
   lsm::trace::Trace coded_trace(const std::string& name) const;
 };
 
+/// Reusable buffers for Encoder::encode_into. Everything encode() used to
+/// allocate per call or per picture lives here: three reconstruction
+/// frames (the forward/backward anchors plus the picture being coded,
+/// rotated in place), one persistent BitWriter per slice row (cleared, not
+/// reconstructed, so each keeps its high-water capacity), and the cached
+/// display-to-coded permutation. A warm workspace makes repeated
+/// encode_into calls of same-shaped input allocation-free — the property
+/// BM_EncodeSteadyAllocs gates at zero.
+///
+/// A workspace may be reused across Encoder instances and input shapes;
+/// mismatches just repopulate the buffers (allocating once). Not
+/// thread-safe: one workspace per concurrent encode.
+struct EncodeWorkspace {
+  std::array<Frame, 3> recon;          ///< anchor/anchor/current rotation
+  std::vector<BitWriter> slice_writers;  ///< one per slice row, persistent
+  BitWriter header_writer;
+
+  /// Cached picture-type sequence and coded-order permutation, valid for
+  /// (cached_count, cached_gop_n, cached_gop_m).
+  std::vector<lsm::trace::PictureType> types;
+  std::vector<int> order;
+  int cached_count = -1;
+  int cached_gop_n = 0;
+  int cached_gop_m = 0;
+};
+
 class Encoder {
  public:
   /// Throws std::invalid_argument on a structurally bad config.
@@ -110,6 +137,13 @@ class Encoder {
   /// Encodes `display_frames` (all same dimensions, multiples of 16,
   /// non-empty). Returns the stream plus bookkeeping.
   EncodeResult encode(const std::vector<Frame>& display_frames) const;
+
+  /// encode() into caller-owned result and workspace buffers. `result` is
+  /// cleared (capacity kept) and refilled; bytes are identical to
+  /// encode()'s. Steady state — same frame count and dimensions against a
+  /// warm workspace — performs no heap allocation.
+  void encode_into(const std::vector<Frame>& display_frames,
+                   EncodeResult& result, EncodeWorkspace& workspace) const;
 
  private:
   EncoderConfig config_;

@@ -8,10 +8,15 @@
 // (tests/mpeg/encoder_identity_test.cpp). DESIGN.md §3.4 carries the
 // identity arguments.
 //
-// The kernels use SSE2 only, which is part of the x86-64 baseline, so no
-// per-file architecture flags (and no runtime dispatch) are needed; on
+// The baseline kernels use SSE2, which is part of the x86-64 baseline; on
 // targets without SSE2 every *_fast entry point degrades to the scalar
-// reference and kAuto equals kReference.
+// reference and kAuto equals kReference. Above the baseline the *_fast
+// entry points runtime-dispatch (core/simd_dispatch.h) to AVX2 kernels —
+// wider DCT/quant lanes, two-row vpsadbw motion search, and fused
+// DCT+quant (quant.h) — compiled per-file with -mavx2 so no wide
+// instruction can leak into the baseline objects (simd_kernels.h). Every
+// tier stays bitwise identical; LSM_SIMD_LEVEL pins the tier for
+// differential testing (tests/mpeg/simd_level_identity_test.cpp).
 #pragma once
 
 #if defined(__SSE2__) || defined(_M_X64) || \

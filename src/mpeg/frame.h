@@ -5,11 +5,15 @@
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
 #include <vector>
 
 namespace lsm::mpeg {
 
-/// One sample plane. Samples are 8-bit; indexing is row-major.
+/// One sample plane. Samples are 8-bit; indexing is row-major. The
+/// accessors are defined inline: motion compensation and block store/load
+/// touch tens of millions of samples per encoded sequence, and an
+/// out-of-line call per sample dominated the encoder profile.
 class Plane {
  public:
   Plane() = default;
@@ -19,12 +23,35 @@ class Plane {
   int width() const noexcept { return width_; }
   int height() const noexcept { return height_; }
 
-  std::uint8_t at(int x, int y) const;
-  void set(int x, int y, std::uint8_t value);
+  std::uint8_t at(int x, int y) const {
+    if (x < 0 || y < 0 || x >= width_ || y >= height_) {
+      throw std::out_of_range("Plane::at: coordinates out of range");
+    }
+    return data_[index(x, y)];
+  }
+  void set(int x, int y, std::uint8_t value) {
+    if (x < 0 || y < 0 || x >= width_ || y >= height_) {
+      throw std::out_of_range("Plane::set: coordinates out of range");
+    }
+    data_[index(x, y)] = value;
+  }
 
   /// Clamped read: coordinates outside the plane are clamped to the border
   /// (used by motion compensation near edges).
-  std::uint8_t at_clamped(int x, int y) const noexcept;
+  std::uint8_t at_clamped(int x, int y) const noexcept {
+    x = x < 0 ? 0 : (x >= width_ ? width_ - 1 : x);
+    y = y < 0 ? 0 : (y >= height_ ? height_ - 1 : y);
+    return data_[index(x, y)];
+  }
+
+  /// Raw pointer to row `y` (caller guarantees 0 <= y < height()). The
+  /// in-bounds fast paths of block extraction/store run row-wise off these.
+  const std::uint8_t* row(int y) const noexcept {
+    return data_.data() + static_cast<std::size_t>(y) * width_;
+  }
+  std::uint8_t* row(int y) noexcept {
+    return data_.data() + static_cast<std::size_t>(y) * width_;
+  }
 
   const std::vector<std::uint8_t>& samples() const noexcept { return data_; }
   std::vector<std::uint8_t>& samples() noexcept { return data_; }
@@ -32,6 +59,11 @@ class Plane {
   friend bool operator==(const Plane& a, const Plane& b) = default;
 
  private:
+  std::size_t index(int x, int y) const noexcept {
+    return static_cast<std::size_t>(y) * static_cast<std::size_t>(width_) +
+           static_cast<std::size_t>(x);
+  }
+
   int width_ = 0;
   int height_ = 0;
   std::vector<std::uint8_t> data_;

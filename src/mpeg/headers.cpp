@@ -74,9 +74,22 @@ PictureHeader read_picture_header(BitReader& reader) {
 
 void append_unit(std::vector<std::uint8_t>& out, std::uint8_t code,
                  const std::vector<std::uint8_t>& payload) {
+  // Escape directly into `out` (same byte-pair rule as escape_payload, and
+  // the same trailing guard) instead of materializing a temporary escaped
+  // vector: the stream buffer amortizes to its high-water capacity, so the
+  // per-unit hot path stops allocating.
   append_start_code(out, code);
-  const std::vector<std::uint8_t> escaped = escape_payload(payload);
-  out.insert(out.end(), escaped.begin(), escaped.end());
+  out.reserve(out.size() + payload.size() + payload.size() / 64 + 4);
+  int zeros = 0;
+  for (const std::uint8_t byte : payload) {
+    if (zeros >= 2 && byte <= 0x03) {
+      out.push_back(0x03);
+      zeros = 0;
+    }
+    out.push_back(byte);
+    zeros = (byte == 0x00) ? zeros + 1 : 0;
+  }
+  if (zeros >= 2) out.push_back(0x03);
 }
 
 }  // namespace lsm::mpeg

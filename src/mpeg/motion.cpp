@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "mpeg/fastpath.h"
+#include "mpeg/simd_kernels.h"
 
 #if LSM_MPEG_SIMD
 #include <emmintrin.h>
@@ -49,14 +50,29 @@ MacroblockPixels extract_macroblock(const Frame& frame, int mb_x, int mb_y,
   MacroblockPixels out;
   const int y0 = mb_y * 16 + mv.dy;
   const int x0 = mb_x * 16 + mv.dx;
+  const int cy0 = mb_y * 8 + mv.dy / 2;
+  const int cx0 = mb_x * 8 + mv.dx / 2;
+  // Interior windows (the overwhelming majority at typical search ranges)
+  // copy row-wise; clamping is the identity there, so the bytes match the
+  // clamped loops below exactly.
+  if (x0 >= 0 && y0 >= 0 && x0 + 16 <= frame.y.width() &&
+      y0 + 16 <= frame.y.height() && cx0 >= 0 && cy0 >= 0 &&
+      cx0 + 8 <= frame.cb.width() && cy0 + 8 <= frame.cb.height()) {
+    for (int y = 0; y < 16; ++y) {
+      std::memcpy(out.y.data() + y * 16, frame.y.row(y0 + y) + x0, 16);
+    }
+    for (int y = 0; y < 8; ++y) {
+      std::memcpy(out.cb.data() + y * 8, frame.cb.row(cy0 + y) + cx0, 8);
+      std::memcpy(out.cr.data() + y * 8, frame.cr.row(cy0 + y) + cx0, 8);
+    }
+    return out;
+  }
   for (int y = 0; y < 16; ++y) {
     for (int x = 0; x < 16; ++x) {
       out.y[static_cast<std::size_t>(y * 16 + x)] =
           frame.y.at_clamped(x0 + x, y0 + y);
     }
   }
-  const int cy0 = mb_y * 8 + mv.dy / 2;
-  const int cx0 = mb_x * 8 + mv.dx / 2;
   for (int y = 0; y < 8; ++y) {
     for (int x = 0; x < 8; ++x) {
       out.cb[static_cast<std::size_t>(y * 8 + x)] =
@@ -254,6 +270,39 @@ inline __m128i halfpel_row(const std::uint8_t* ref, int stride, bool frac_x,
   return _mm_packus_epi16(lo, hi);
 }
 
+/// 8-sample variant of halfpel_row for the chroma planes: identical
+/// formulas lane for lane ((a+b+1)/2 averages, widened four-tap), only the
+/// register's low 8 bytes are meaningful.
+inline __m128i halfpel_row8(const std::uint8_t* ref, int stride, bool frac_x,
+                            bool frac_y) noexcept {
+  const __m128i a =
+      _mm_loadl_epi64(reinterpret_cast<const __m128i*>(ref));
+  if (!frac_x && !frac_y) return a;
+  if (frac_x && !frac_y) {
+    const __m128i b =
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(ref + 1));
+    return _mm_avg_epu8(a, b);
+  }
+  if (!frac_x && frac_y) {
+    const __m128i c =
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(ref + stride));
+    return _mm_avg_epu8(a, c);
+  }
+  const __m128i b =
+      _mm_loadl_epi64(reinterpret_cast<const __m128i*>(ref + 1));
+  const __m128i c =
+      _mm_loadl_epi64(reinterpret_cast<const __m128i*>(ref + stride));
+  const __m128i d =
+      _mm_loadl_epi64(reinterpret_cast<const __m128i*>(ref + stride + 1));
+  const __m128i zero = _mm_setzero_si128();
+  const __m128i two = _mm_set1_epi16(2);
+  __m128i lo = _mm_add_epi16(
+      _mm_add_epi16(_mm_unpacklo_epi8(a, zero), _mm_unpacklo_epi8(b, zero)),
+      _mm_add_epi16(_mm_unpacklo_epi8(c, zero), _mm_unpacklo_epi8(d, zero)));
+  lo = _mm_srli_epi16(_mm_add_epi16(lo, two), 2);
+  return _mm_packus_epi16(lo, zero);
+}
+
 /// Half-pel SAD over a prepared reference window (same cutoff contract as
 /// sad_16x16).
 inline int sad_16x16_halfpel(const std::uint8_t* cur, int cur_stride,
@@ -326,6 +375,9 @@ int luma_sad_fast(const Frame& current, const Frame& reference, int mb_x,
   const std::uint8_t* cur =
       current.y.samples().data() + (mb_y * 16) * cw + mb_x * 16;
   const std::uint8_t* ref = reference.y.samples().data() + ry * rw + rx;
+#if defined(LSM_MPEG_HAVE_AVX2)
+  if (use_avx2_kernels()) return avx2::sad_16x16(cur, cw, ref, rw, stop_at);
+#endif
   return sad_16x16(cur, cw, ref, rw, stop_at);
 }
 
@@ -365,6 +417,9 @@ int luma_sad_halfpel_fast(const Frame& current, const Frame& reference,
 
 int macroblock_luma_sad_fast(const MacroblockPixels& a,
                              const MacroblockPixels& b) {
+#if defined(LSM_MPEG_HAVE_AVX2)
+  if (use_avx2_kernels()) return avx2::macroblock_luma_sad(a, b);
+#endif
   __m128i acc = _mm_setzero_si128();
   for (int row = 0; row < 16; ++row) {
     const __m128i pa = _mm_loadu_si128(
@@ -378,6 +433,9 @@ int macroblock_luma_sad_fast(const MacroblockPixels& a,
 
 MacroblockPixels average_fast(const MacroblockPixels& a,
                               const MacroblockPixels& b) {
+#if defined(LSM_MPEG_HAVE_AVX2)
+  if (use_avx2_kernels()) return avx2::average(a, b);
+#endif
   MacroblockPixels out;
   for (int k = 0; k < 256; k += 16) {
     const __m128i pa =
@@ -424,9 +482,30 @@ MacroblockPixels extract_macroblock_halfpel_fast(const Frame& frame,
     _mm_storeu_si128(reinterpret_cast<__m128i*>(out.y.data() + y * 16),
                      halfpel_row(ref + y * w, w, frac_x, frac_y));
   }
-  // Chroma: 8x8 per plane, scalar (same code path as the reference).
+  // Chroma: the sampled positions share one fractional phase (adding 2x
+  // keeps half-pel parity), so interior blocks interpolate row-wise with
+  // halfpel_row8; border blocks fall back to the per-sample clamped path.
   const int cy0 = mb_y * 16 + chroma_component(half_pel.dy);
   const int cx0 = mb_x * 16 + chroma_component(half_pel.dx);
+  const int cfx0 = floor_div2(cx0);
+  const int cfy0 = floor_div2(cy0);
+  const bool cfrac_x = (cx0 & 1) != 0;
+  const bool cfrac_y = (cy0 & 1) != 0;
+  const int cmargin_x = cfrac_x ? 1 : 0;
+  const int cmargin_y = cfrac_y ? 1 : 0;
+  if (cfx0 >= 0 && cfy0 >= 0 && cfx0 + 8 + cmargin_x <= frame.cb.width() &&
+      cfy0 + 8 + cmargin_y <= frame.cb.height()) {
+    const int cw = frame.cb.width();
+    const std::uint8_t* cb = frame.cb.row(cfy0) + cfx0;
+    const std::uint8_t* cr = frame.cr.row(cfy0) + cfx0;
+    for (int y = 0; y < 8; ++y) {
+      _mm_storel_epi64(reinterpret_cast<__m128i*>(out.cb.data() + y * 8),
+                       halfpel_row8(cb + y * cw, cw, cfrac_x, cfrac_y));
+      _mm_storel_epi64(reinterpret_cast<__m128i*>(out.cr.data() + y * 8),
+                       halfpel_row8(cr + y * cw, cw, cfrac_x, cfrac_y));
+    }
+    return out;
+  }
   for (int y = 0; y < 8; ++y) {
     for (int x = 0; x < 8; ++x) {
       out.cb[static_cast<std::size_t>(y * 8 + x)] =
@@ -450,6 +529,12 @@ MotionSearchResult search_fullpel_on_patch(const std::uint8_t* cur,
                                            const SearchPatch& patch,
                                            int range,
                                            int zero_bias) noexcept {
+#if defined(LSM_MPEG_HAVE_AVX2)
+  if (use_avx2_kernels()) {
+    return avx2::search_fullpel(cur, cur_stride, patch.data.data(),
+                                patch.stride, range, zero_bias);
+  }
+#endif
   const auto patch_at = [&](int dx, int dy) {
     return patch.data.data() + (dy + range + 1) * patch.stride +
            (dx + range + 1);

@@ -1,0 +1,166 @@
+// AVX2 tier of the motion-search kernels: vpsadbw over 32 lanes — two
+// 16-pixel macroblock rows per instruction — instead of one row per
+// _mm_sad_epu8. Compiled with -mavx2 for THIS translation unit only;
+// reached solely through the *_fast dispatchers after use_avx2_kernels()
+// has checked the active runtime level.
+//
+// Identity: a SAD is an exact integer sum, so lane grouping cannot change
+// it; what CAN change search decisions is the early-termination cutoff.
+// The SSE2 sad_16x16 compares its partial sum against stop_at after rows
+// 0-3, 0-7, and 0-11 — these kernels accumulate two rows per add but
+// compare at the very same row boundaries, so every (partial, stop_at)
+// comparison sees the identical value and the candidate walk of
+// search_fullpel takes the identical branches as the SSE2/scalar stages.
+#include "mpeg/simd_kernels.h"
+
+#if defined(LSM_MPEG_HAVE_AVX2)
+
+#include <immintrin.h>
+
+namespace lsm::mpeg::avx2 {
+
+namespace {
+
+/// Two stride-separated 16-byte rows in one register, low lane first.
+inline __m256i load_rows(const std::uint8_t* p, int stride) noexcept {
+  const __m128i lo = _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+  const __m128i hi =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + stride));
+  return _mm256_inserti128_si256(_mm256_castsi128_si256(lo), hi, 1);
+}
+
+inline int horizontal_sum(__m256i sad_accumulator) noexcept {
+  const __m128i both = _mm_add_epi64(
+      _mm256_castsi256_si128(sad_accumulator),
+      _mm256_extracti128_si256(sad_accumulator, 1));
+  return _mm_cvtsi128_si32(both) +
+         _mm_cvtsi128_si32(_mm_srli_si128(both, 8));
+}
+
+/// The current macroblock's 16 rows preloaded as eight row pairs — they
+/// are invariant across every candidate of a search, so search_fullpel
+/// loads them once instead of per candidate.
+struct CurrentRows {
+  __m256i pair[8];
+};
+
+inline CurrentRows load_current(const std::uint8_t* cur,
+                                int cur_stride) noexcept {
+  CurrentRows rows;
+  for (int y = 0; y < 16; y += 2) {
+    rows.pair[y / 2] = load_rows(cur + y * cur_stride, cur_stride);
+  }
+  return rows;
+}
+
+/// SAD of the preloaded current block against a reference window, with the
+/// same rows-0-3 / 0-7 / 0-11 cutoff boundaries as the SSE2 sad_16x16 —
+/// every (partial, stop_at) comparison sees the identical value.
+inline int sad_preloaded(const CurrentRows& cur, const std::uint8_t* ref,
+                         int ref_stride, int stop_at) noexcept {
+  __m256i acc = _mm256_setzero_si256();
+  for (int y = 0; y < 16; y += 4) {
+    for (int r = 0; r < 4; r += 2) {
+      const __m256i b = load_rows(ref + (y + r) * ref_stride, ref_stride);
+      acc = _mm256_add_epi64(acc,
+                             _mm256_sad_epu8(cur.pair[(y + r) / 2], b));
+    }
+    if (y < 12) {
+      const int partial = horizontal_sum(acc);
+      if (partial >= stop_at) return partial;
+    }
+  }
+  return horizontal_sum(acc);
+}
+
+}  // namespace
+
+int sad_16x16(const std::uint8_t* cur, int cur_stride,
+              const std::uint8_t* ref, int ref_stride, int stop_at) noexcept {
+  __m256i acc = _mm256_setzero_si256();
+  for (int y = 0; y < 16; y += 4) {
+    for (int r = 0; r < 4; r += 2) {
+      const __m256i a = load_rows(cur + (y + r) * cur_stride, cur_stride);
+      const __m256i b = load_rows(ref + (y + r) * ref_stride, ref_stride);
+      acc = _mm256_add_epi64(acc, _mm256_sad_epu8(a, b));
+    }
+    if (y < 12) {
+      const int partial = horizontal_sum(acc);
+      if (partial >= stop_at) return partial;
+    }
+  }
+  return horizontal_sum(acc);
+}
+
+MotionSearchResult search_fullpel(const std::uint8_t* cur, int cur_stride,
+                                  const std::uint8_t* patch, int patch_stride,
+                                  int range, int zero_bias) noexcept {
+  const auto patch_at = [&](int dx, int dy) {
+    return patch + (dy + range + 1) * patch_stride + (dx + range + 1);
+  };
+  const CurrentRows rows = load_current(cur, cur_stride);
+  MotionSearchResult best;
+  best.mv = MotionVector{0, 0};
+  best.sad =
+      sad_preloaded(rows, patch_at(0, 0), patch_stride, 0x7FFFFFFF) -
+      zero_bias;
+  for (int dy = -range; dy <= range; ++dy) {
+    for (int dx = -range; dx <= range; ++dx) {
+      if (dx == 0 && dy == 0) continue;
+      const int sad =
+          sad_preloaded(rows, patch_at(dx, dy), patch_stride, best.sad);
+      if (sad < best.sad) {
+        best.mv = MotionVector{dx, dy};
+        best.sad = sad;
+      }
+    }
+  }
+  best.sad = sad_preloaded(rows, patch_at(best.mv.dx, best.mv.dy),
+                           patch_stride, 0x7FFFFFFF);
+  return best;
+}
+
+int macroblock_luma_sad(const MacroblockPixels& a,
+                        const MacroblockPixels& b) noexcept {
+  __m256i acc = _mm256_setzero_si256();
+  for (int k = 0; k < 256; k += 32) {
+    const __m256i pa =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a.y.data() + k));
+    const __m256i pb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b.y.data() + k));
+    acc = _mm256_add_epi64(acc, _mm256_sad_epu8(pa, pb));
+  }
+  return horizontal_sum(acc);
+}
+
+MacroblockPixels average(const MacroblockPixels& a,
+                         const MacroblockPixels& b) noexcept {
+  MacroblockPixels out;
+  for (int k = 0; k < 256; k += 32) {
+    const __m256i pa =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a.y.data() + k));
+    const __m256i pb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b.y.data() + k));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out.y.data() + k),
+                        _mm256_avg_epu8(pa, pb));
+  }
+  for (int k = 0; k < 64; k += 32) {
+    const __m256i cb_a =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a.cb.data() + k));
+    const __m256i cb_b =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b.cb.data() + k));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out.cb.data() + k),
+                        _mm256_avg_epu8(cb_a, cb_b));
+    const __m256i cr_a =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a.cr.data() + k));
+    const __m256i cr_b =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b.cr.data() + k));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out.cr.data() + k),
+                        _mm256_avg_epu8(cr_a, cr_b));
+  }
+  return out;
+}
+
+}  // namespace lsm::mpeg::avx2
+
+#endif  // LSM_MPEG_HAVE_AVX2

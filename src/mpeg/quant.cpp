@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "mpeg/fastpath.h"
+#include "mpeg/simd_kernels.h"
 
 #if LSM_MPEG_SIMD
 #include <emmintrin.h>
@@ -87,6 +88,9 @@ inline __m128i round_half_away_pair(__m128d abs_value, __m128d divisor) {
 
 CoeffBlock quantize_intra_fast(const CoeffBlock& coeffs, int quantizer_scale) {
   check_scale(quantizer_scale);
+#if defined(LSM_MPEG_HAVE_AVX2)
+  if (use_avx2_kernels()) return avx2::quantize_intra(coeffs, quantizer_scale);
+#endif
   const auto& matrix = intra_quant_matrix();
   CoeffBlock levels{};
   levels[0] = static_cast<std::int16_t>(divide_round(coeffs[0], 8));
@@ -110,6 +114,9 @@ CoeffBlock quantize_intra_fast(const CoeffBlock& coeffs, int quantizer_scale) {
 
 CoeffBlock quantize_inter_fast(const CoeffBlock& coeffs, int quantizer_scale) {
   check_scale(quantizer_scale);
+#if defined(LSM_MPEG_HAVE_AVX2)
+  if (use_avx2_kernels()) return avx2::quantize_inter(coeffs, quantizer_scale);
+#endif
   CoeffBlock levels{};
   // C integer division truncates toward zero, exactly what cvttpd does, so
   // the signed case needs no magnitude split.
@@ -136,6 +143,28 @@ CoeffBlock quantize_inter_fast(const CoeffBlock& coeffs, int quantizer_scale) {
 }
 
 #endif  // LSM_MPEG_SIMD
+
+CoeffBlock dct_quantize_intra_fast(const Block& spatial,
+                                   int quantizer_scale) {
+  check_scale(quantizer_scale);
+#if defined(LSM_MPEG_HAVE_AVX2)
+  if (use_avx2_kernels()) {
+    return avx2::dct_quantize_intra(spatial, quantizer_scale);
+  }
+#endif
+  return quantize_intra_fast(forward_dct_fast(spatial), quantizer_scale);
+}
+
+CoeffBlock dct_quantize_inter_fast(const Block& spatial,
+                                   int quantizer_scale) {
+  check_scale(quantizer_scale);
+#if defined(LSM_MPEG_HAVE_AVX2)
+  if (use_avx2_kernels()) {
+    return avx2::dct_quantize_inter(spatial, quantizer_scale);
+  }
+#endif
+  return quantize_inter_fast(forward_dct_fast(spatial), quantizer_scale);
+}
 
 CoeffBlock dequantize_intra(const CoeffBlock& levels, int quantizer_scale) {
   check_scale(quantizer_scale);

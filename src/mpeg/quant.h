@@ -30,6 +30,15 @@ CoeffBlock quantize_inter(const CoeffBlock& coeffs, int quantizer_scale);
 CoeffBlock quantize_intra_fast(const CoeffBlock& coeffs, int quantizer_scale);
 CoeffBlock quantize_inter_fast(const CoeffBlock& coeffs, int quantizer_scale);
 
+/// Fused forward DCT + quantization, bitwise identical to
+/// quantize_*(forward_dct(spatial), scale) at every dispatch level. On the
+/// AVX2 tier the rounded coefficients are quantized in-register without
+/// the intermediate int16 block (value-preserving: |coeff| <= 8 * 1024,
+/// so the skipped narrowing loses nothing); below it the call decomposes
+/// into the unfused *_fast kernels. The encoder's block loops call these.
+CoeffBlock dct_quantize_intra_fast(const Block& spatial, int quantizer_scale);
+CoeffBlock dct_quantize_inter_fast(const Block& spatial, int quantizer_scale);
+
 /// Reconstructs coefficient values from levels.
 CoeffBlock dequantize_intra(const CoeffBlock& levels, int quantizer_scale);
 CoeffBlock dequantize_inter(const CoeffBlock& levels, int quantizer_scale);

@@ -1,0 +1,89 @@
+// AVX2 tier of the block quantizers: the SSE2 kernels (quant.cpp) at four
+// lanes per __m256d instead of two. Compiled with -mavx2 for THIS
+// translation unit only; reached solely through the *_fast dispatchers
+// after use_avx2_kernels() has checked the active runtime level. The
+// packed-division exactness argument is unchanged from quant.h — lane
+// count does not enter it.
+#include "mpeg/simd_kernels.h"
+
+#if defined(LSM_MPEG_HAVE_AVX2)
+
+#include <immintrin.h>
+
+#include <cstdlib>
+
+#include "mpeg/quant.h"
+
+namespace lsm::mpeg::avx2 {
+
+namespace {
+
+inline __m128i round_half_away_quad(__m256d abs_value,
+                                    __m256d divisor) noexcept {
+  const __m256d num = _mm256_add_pd(_mm256_add_pd(abs_value, abs_value),
+                                    divisor);
+  const __m256d den = _mm256_add_pd(divisor, divisor);
+  return _mm256_cvttpd_epi32(_mm256_div_pd(num, den));
+}
+
+int divide_round(int value, int divisor) noexcept {
+  const int sign = value < 0 ? -1 : 1;
+  return sign * ((std::abs(value) * 2 + divisor) / (2 * divisor));
+}
+
+}  // namespace
+
+CoeffBlock quantize_intra(const CoeffBlock& coeffs, int quantizer_scale) {
+  const auto& matrix = intra_quant_matrix();
+  CoeffBlock levels{};
+  levels[0] = static_cast<std::int16_t>(divide_round(coeffs[0], 8));
+  const double scale = static_cast<double>(quantizer_scale);
+  alignas(16) int q[4];
+  // k = 1..60 in quads, 61..63 scalar; any grouping of the element-wise
+  // operation gives the same levels.
+  for (std::size_t k = 1; k + 3 < 64; k += 4) {
+    int v[4];
+    alignas(32) double mags[4];
+    for (int l = 0; l < 4; ++l) {
+      v[l] = 8 * coeffs[k + static_cast<std::size_t>(l)];
+      mags[l] = static_cast<double>(std::abs(v[l]));
+    }
+    const __m256d divisor =
+        _mm256_set_pd(scale * matrix[k + 3], scale * matrix[k + 2],
+                      scale * matrix[k + 1], scale * matrix[k]);
+    _mm_store_si128(reinterpret_cast<__m128i*>(q),
+                    round_half_away_quad(_mm256_load_pd(mags), divisor));
+    for (int l = 0; l < 4; ++l) {
+      levels[k + static_cast<std::size_t>(l)] =
+          static_cast<std::int16_t>(v[l] < 0 ? -q[l] : q[l]);
+    }
+  }
+  for (std::size_t k = 61; k < 64; ++k) {
+    levels[k] = static_cast<std::int16_t>(
+        divide_round(8 * coeffs[k], quantizer_scale * matrix[k]));
+  }
+  return levels;
+}
+
+CoeffBlock quantize_inter(const CoeffBlock& coeffs, int quantizer_scale) {
+  CoeffBlock levels{};
+  const __m256d divisor = _mm256_set1_pd(quantizer_scale * 16);
+  alignas(16) int q[4];
+  for (std::size_t k = 0; k < 64; k += 4) {
+    alignas(32) double nums[4];
+    for (int l = 0; l < 4; ++l) {
+      nums[l] = static_cast<double>(8 * coeffs[k + static_cast<std::size_t>(l)]);
+    }
+    _mm_store_si128(
+        reinterpret_cast<__m128i*>(q),
+        _mm256_cvttpd_epi32(_mm256_div_pd(_mm256_load_pd(nums), divisor)));
+    for (int l = 0; l < 4; ++l) {
+      levels[k + static_cast<std::size_t>(l)] = static_cast<std::int16_t>(q[l]);
+    }
+  }
+  return levels;
+}
+
+}  // namespace lsm::mpeg::avx2
+
+#endif  // LSM_MPEG_HAVE_AVX2

@@ -1,0 +1,97 @@
+// Internal: declarations shared between the baseline (SSE2) kernel
+// translation units and the AVX2 ones (dct_avx2.cpp, quant_avx2.cpp,
+// motion_avx2.cpp), plus the runtime-dispatch predicate the *_fast entry
+// points use. Not installed; include only from src/mpeg.
+//
+// The AVX2 kernels live in dedicated translation units compiled with
+// -mavx2 (see src/mpeg/CMakeLists.txt) so the architecture flags stay
+// per-file and the baseline objects never contain 256-bit instructions;
+// LSM_MPEG_HAVE_AVX2 tells the dispatchers the tier was compiled at all.
+// Every kernel here is bitwise identical to its scalar reference — the
+// per-lane identity arguments live with each implementation; the SAD
+// kernels additionally preserve the row-group cutoff boundaries of the
+// SSE2 versions so early termination fires at the identical partial sums.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+
+#include "core/simd_dispatch.h"
+#include "mpeg/dct.h"
+#include "mpeg/motion.h"
+
+namespace lsm::mpeg {
+
+/// basis[u][x] = c(u) * cos((2x+1) u pi / 16) with c(0) = sqrt(1/8),
+/// c(u>0) = sqrt(2/8) — the orthonormal DCT-II basis. `transposed[x][u]`
+/// holds the same doubles transposed so the vector row passes can load
+/// adjacent-u groups contiguously.
+struct DctBasisTable {
+  double value[8][8];
+  alignas(32) double transposed[8][8];
+  DctBasisTable() {
+    const double pi = 3.14159265358979323846;
+    for (int u = 0; u < 8; ++u) {
+      const double c = u == 0 ? std::sqrt(1.0 / 8.0) : std::sqrt(2.0 / 8.0);
+      for (int x = 0; x < 8; ++x) {
+        value[u][x] = c * std::cos((2 * x + 1) * u * pi / 16.0);
+        transposed[x][u] = value[u][x];
+      }
+    }
+  }
+};
+
+/// The process-wide basis table (defined in dct.cpp; shared with the AVX2
+/// translation unit so both tiers read the identical doubles).
+const DctBasisTable& dct_basis() noexcept;
+
+/// True when the *_fast dispatchers should take the AVX2 kernels: the
+/// active runtime level (detected, or forced via LSM_SIMD_LEVEL /
+/// lsm::simd::set_active_simd_level) admits them. kAvx512 also lands here:
+/// the MPEG block kernels are int16/uint8-bound and gain nothing from
+/// 512-bit lanes that would justify the extra tier.
+inline bool use_avx2_kernels() noexcept {
+  return lsm::simd::active_simd_level() >= lsm::simd::SimdLevel::kAvx2;
+}
+
+#if defined(LSM_MPEG_HAVE_AVX2)
+namespace avx2 {
+
+CoeffBlock forward_dct(const Block& spatial);
+Block inverse_dct(const CoeffBlock& coeffs);
+
+/// Fused forward DCT + quantization: the column pass's rounded
+/// coefficients are quantized in-register instead of round-tripping
+/// through a packed int16 block. Identical levels to
+/// quantize_*(forward_dct(spatial), scale).
+CoeffBlock dct_quantize_intra(const Block& spatial, int quantizer_scale);
+CoeffBlock dct_quantize_inter(const Block& spatial, int quantizer_scale);
+
+CoeffBlock quantize_intra(const CoeffBlock& coeffs, int quantizer_scale);
+CoeffBlock quantize_inter(const CoeffBlock& coeffs, int quantizer_scale);
+
+/// 16x16 SAD with the same every-4-rows cutoff contract as the SSE2
+/// sad_16x16 (motion.cpp): partial sums are compared at the identical row
+/// boundaries, so search decisions cannot diverge.
+int sad_16x16(const std::uint8_t* cur, int cur_stride,
+              const std::uint8_t* ref, int ref_stride, int stop_at) noexcept;
+
+/// Exhaustive full-pel stage over a materialized search patch; candidate
+/// order, strict-< acceptance, zero bias, and final exact recompute mirror
+/// search_motion line for line (patch layout as motion.cpp's SearchPatch:
+/// candidate (dx,dy) starts at patch[(dy+range+1)*stride + dx+range+1]).
+MotionSearchResult search_fullpel(const std::uint8_t* cur, int cur_stride,
+                                  const std::uint8_t* patch, int patch_stride,
+                                  int range, int zero_bias) noexcept;
+
+int macroblock_luma_sad(const MacroblockPixels& a,
+                        const MacroblockPixels& b) noexcept;
+
+MacroblockPixels average(const MacroblockPixels& a,
+                         const MacroblockPixels& b) noexcept;
+
+}  // namespace avx2
+#endif  // LSM_MPEG_HAVE_AVX2
+
+}  // namespace lsm::mpeg

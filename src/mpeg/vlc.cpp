@@ -43,13 +43,18 @@ std::int32_t get_se(BitReader& reader) {
 
 void put_block(BitWriter& writer, std::int16_t dc,
                const std::vector<RunLevel>& ac) {
+  put_block(writer, dc, ac.data(), ac.size());
+}
+
+void put_block(BitWriter& writer, std::int16_t dc, const RunLevel* ac,
+               std::size_t count) {
   put_se(writer, dc);
-  for (const RunLevel& pair : ac) {
-    if (pair.level == 0) {
+  for (std::size_t k = 0; k < count; ++k) {
+    if (ac[k].level == 0) {
       throw std::invalid_argument("put_block: zero AC level");
     }
-    put_ue(writer, pair.run);
-    put_se(writer, pair.level);
+    put_ue(writer, ac[k].run);
+    put_se(writer, ac[k].level);
   }
   put_ue(writer, kEndOfBlockRun);
 }

@@ -37,6 +37,11 @@ std::int32_t get_se(BitReader& reader);
 void put_block(BitWriter& writer, std::int16_t dc,
                const std::vector<RunLevel>& ac);
 
+/// Same, over a raw (pointer, count) pair — the encoder feeds the stack
+/// buffer run_length_encode_into fills, so block coding never allocates.
+void put_block(BitWriter& writer, std::int16_t dc, const RunLevel* ac,
+               std::size_t count);
+
 /// Reads one block written by put_block.
 struct DecodedBlock {
   std::int16_t dc = 0;

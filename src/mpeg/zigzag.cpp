@@ -18,19 +18,25 @@ const std::array<std::uint8_t, 64>& zigzag_scan() noexcept {
 }
 
 std::vector<RunLevel> run_length_encode(const CoeffBlock& block) {
+  RunLevel buffer[kMaxRunLevels];
+  const std::size_t count = run_length_encode_into(block, buffer);
+  return std::vector<RunLevel>(buffer, buffer + count);
+}
+
+std::size_t run_length_encode_into(const CoeffBlock& block, RunLevel* out) {
   const auto& scan = zigzag_scan();
-  std::vector<RunLevel> pairs;
+  std::size_t count = 0;
   int run = 0;
   for (std::size_t k = 1; k < 64; ++k) {
     const std::int16_t value = block[scan[k]];
     if (value == 0) {
       ++run;
     } else {
-      pairs.push_back(RunLevel{static_cast<std::uint8_t>(run), value});
+      out[count++] = RunLevel{static_cast<std::uint8_t>(run), value};
       run = 0;
     }
   }
-  return pairs;
+  return count;
 }
 
 CoeffBlock run_length_decode(std::int16_t dc,

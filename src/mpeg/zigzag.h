@@ -23,6 +23,15 @@ struct RunLevel {
 /// coefficient (position 0) is NOT included — it is coded separately.
 std::vector<RunLevel> run_length_encode(const CoeffBlock& block);
 
+/// A block has at most 63 AC coefficients, so any caller can hold the
+/// pairs in a fixed stack buffer of this size.
+inline constexpr std::size_t kMaxRunLevels = 63;
+
+/// run_length_encode into a caller-provided buffer of at least
+/// kMaxRunLevels entries; returns the number of pairs written. The
+/// encoder's per-block hot path — no allocation per block.
+std::size_t run_length_encode_into(const CoeffBlock& block, RunLevel* out);
+
 /// Rebuilds a coefficient block from `dc` and the AC run/level pairs.
 /// Throws std::invalid_argument if the pairs overflow the block or contain
 /// a zero level.

@@ -356,7 +356,14 @@ void StatmuxService::run_epoch() {
   // reproducible for any thread count.
   double total = 0.0;
   for (const auto& shard : shards_) total += shard->reserved_rate;
-  rate_series_.push_back(total);
+  if (config_.rate_history_limit == 0 ||
+      rate_series_.size() < config_.rate_history_limit) {
+    rate_series_.push_back(total);
+  } else {
+    rate_series_[static_cast<std::size_t>(tick_) %
+                 config_.rate_history_limit] = total;
+  }
+  last_rate_ = total;
 
   // Link policer: charge this epoch's reserved bits against the bucket.
   const double sigma = config_.bucket_sigma_bits > 0
@@ -390,8 +397,22 @@ std::int64_t StatmuxService::active_streams() const noexcept {
   return total;
 }
 
-double StatmuxService::reserved_rate() const noexcept {
-  return rate_series_.empty() ? 0.0 : rate_series_.back();
+double StatmuxService::reserved_rate() const noexcept { return last_rate_; }
+
+void StatmuxService::rate_history(std::vector<double>& out) const {
+  out.clear();
+  const std::size_t limit = config_.rate_history_limit;
+  if (limit == 0 || rate_series_.size() < limit) {
+    out.assign(rate_series_.begin(), rate_series_.end());
+    return;
+  }
+  // The ring is full: the slot the next epoch would overwrite is the
+  // oldest retained total.
+  const std::size_t start = static_cast<std::size_t>(tick_) % limit;
+  out.reserve(limit);
+  for (std::size_t k = 0; k < limit; ++k) {
+    out.push_back(rate_series_[(start + k) % limit]);
+  }
 }
 
 std::int64_t StatmuxService::last_dirty_streams() const noexcept {

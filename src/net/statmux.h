@@ -102,6 +102,13 @@ struct StatmuxConfig {
   /// When true every shard keeps its decided sends (in decision order) for
   /// differential comparison; leave off at scale.
   bool collect_sends = false;
+  /// Epochs of reserved-rate history to retain. 0 keeps the full series
+  /// (one push per epoch, unbounded — fine for tests and short studies);
+  /// a positive limit turns the series into a ring of the most recent
+  /// `rate_history_limit` totals, so a long-running service allocates its
+  /// history once and then runs epoch after epoch without touching the
+  /// heap (BM_MuxSteadyAllocs gates this at zero).
+  std::size_t rate_history_limit = 0;
 
   /// Throws std::invalid_argument on a non-positive shard count, ring
   /// capacity, capacity, link rate, or tick.
@@ -170,11 +177,18 @@ class StatmuxService {
   /// Total reserved rate (bps) after the last epoch.
   double reserved_rate() const noexcept;
 
-  /// Reserved-rate total after each epoch, in epoch order — the aggregate
-  /// rate series the differential suite compares bitwise.
+  /// Reserved-rate totals, one per epoch — the aggregate rate series the
+  /// differential suite compares bitwise. With rate_history_limit == 0
+  /// (the default) entries are in epoch order; with a limit the vector is
+  /// the underlying ring (rotated, most recent `limit` epochs) — use
+  /// rate_history() when order matters.
   const std::vector<double>& rate_series() const noexcept {
     return rate_series_;
   }
+
+  /// Copies the retained reserved-rate history into `out` in chronological
+  /// order (oldest first), regardless of rate_history_limit.
+  void rate_history(std::vector<double>& out) const;
 
   /// Streams advanced in the last epoch (the dirty-set size).
   std::int64_t last_dirty_streams() const noexcept;
@@ -196,6 +210,7 @@ class StatmuxService {
 
   std::int64_t tick_ = 0;
   std::vector<double> rate_series_;
+  double last_rate_ = 0.0;  ///< most recent epoch total (ring-independent)
   double bucket_tokens_ = 0.0;  ///< link policer fill (bits)
   std::int64_t overshoot_epochs_ = 0;
 };

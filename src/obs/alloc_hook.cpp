@@ -1,0 +1,109 @@
+#include "obs/alloc_hook.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace {
+
+std::atomic<std::int64_t> g_alloc_count{0};
+
+void* counted_malloc(std::size_t size) noexcept {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size != 0 ? size : 1);
+}
+
+void* counted_aligned(std::size_t size, std::size_t alignment) noexcept {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  // Aligned operator new is only selected for over-aligned types, so
+  // `alignment` is a power of two >= the default; posix_memalign
+  // additionally wants a multiple of sizeof(void*), which such alignments
+  // always are. free() releases posix_memalign storage, so the delete
+  // overloads need no alignment bookkeeping.
+  void* pointer = nullptr;
+  if (posix_memalign(&pointer, alignment, size != 0 ? size : alignment) != 0) {
+    return nullptr;
+  }
+  return pointer;
+}
+
+}  // namespace
+
+namespace lsm::obs {
+
+std::int64_t alloc_count() noexcept {
+  return g_alloc_count.load(std::memory_order_relaxed);
+}
+
+}  // namespace lsm::obs
+
+void* operator new(std::size_t size) {
+  if (void* pointer = counted_malloc(size)) return pointer;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  if (void* pointer = counted_malloc(size)) return pointer;
+  throw std::bad_alloc();
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_malloc(size);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_malloc(size);
+}
+
+void* operator new(std::size_t size, std::align_val_t alignment) {
+  if (void* pointer =
+          counted_aligned(size, static_cast<std::size_t>(alignment))) {
+    return pointer;
+  }
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size, std::align_val_t alignment) {
+  if (void* pointer =
+          counted_aligned(size, static_cast<std::size_t>(alignment))) {
+    return pointer;
+  }
+  throw std::bad_alloc();
+}
+
+void* operator new(std::size_t size, std::align_val_t alignment,
+                   const std::nothrow_t&) noexcept {
+  return counted_aligned(size, static_cast<std::size_t>(alignment));
+}
+
+void* operator new[](std::size_t size, std::align_val_t alignment,
+                     const std::nothrow_t&) noexcept {
+  return counted_aligned(size, static_cast<std::size_t>(alignment));
+}
+
+void operator delete(void* pointer) noexcept { std::free(pointer); }
+void operator delete[](void* pointer) noexcept { std::free(pointer); }
+void operator delete(void* pointer, std::size_t) noexcept {
+  std::free(pointer);
+}
+void operator delete[](void* pointer, std::size_t) noexcept {
+  std::free(pointer);
+}
+void operator delete(void* pointer, const std::nothrow_t&) noexcept {
+  std::free(pointer);
+}
+void operator delete[](void* pointer, const std::nothrow_t&) noexcept {
+  std::free(pointer);
+}
+void operator delete(void* pointer, std::align_val_t) noexcept {
+  std::free(pointer);
+}
+void operator delete[](void* pointer, std::align_val_t) noexcept {
+  std::free(pointer);
+}
+void operator delete(void* pointer, std::size_t, std::align_val_t) noexcept {
+  std::free(pointer);
+}
+void operator delete[](void* pointer, std::size_t, std::align_val_t) noexcept {
+  std::free(pointer);
+}

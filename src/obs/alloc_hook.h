@@ -1,0 +1,27 @@
+// Counting global allocator for steady-state allocation audits.
+//
+// The zero-alloc guarantees of the hot paths (Encoder::encode_into against
+// a warm workspace, StatmuxService::run_epoch with a bounded rate history,
+// StreamingSmoother::drain_into) are enforced, not assumed: binaries that
+// link the `lsm_allochook` library get global operator new/delete
+// replacements that count every allocation, and the perf_micro
+// BM_*SteadyAllocs benchmarks plus tests/obs/alloc_steady_test.cpp assert
+// the count stays at zero across warmed iterations. The counter is a
+// single relaxed atomic increment per allocation, cheap enough that the
+// hook never distorts what it measures.
+//
+// alloc_count() is DEFINED only in lsm_allochook — a binary that calls it
+// must link that library, and linking it is exactly what installs the
+// counting operator new/delete (the reference pulls the hook object out of
+// the archive). Regular binaries stay on the default allocator.
+#pragma once
+
+#include <cstdint>
+
+namespace lsm::obs {
+
+/// Number of global operator new calls (all forms: array, nothrow,
+/// aligned) since process start. Monotone; never decremented by delete.
+std::int64_t alloc_count() noexcept;
+
+}  // namespace lsm::obs

@@ -182,4 +182,11 @@ std::string MetricsSnapshot::to_prometheus() const {
   return out;
 }
 
+void publish_steady_allocs(Registry& registry, std::string_view subsystem,
+                           std::int64_t count) {
+  std::string name(subsystem);
+  name += ".allocs_steady";
+  registry.gauge(name).set(static_cast<double>(count));
+}
+
 }  // namespace lsm::obs

@@ -125,4 +125,13 @@ class Registry {
       histograms_;
 };
 
+/// Records a steady-state allocation audit result as the gauge
+/// "<subsystem>.allocs_steady" — the number of heap allocations one warmed
+/// iteration of the subsystem's hot loop performed (0 is the contract for
+/// smooth/encode/mux; the perf_micro BM_*SteadyAllocs harness measures it
+/// under the lsm_allochook counting allocator and BENCH_BASELINE.json
+/// gates it).
+void publish_steady_allocs(Registry& registry, std::string_view subsystem,
+                           std::int64_t count);
+
 }  // namespace lsm::obs

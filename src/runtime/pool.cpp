@@ -13,6 +13,16 @@ thread_local int t_index = -1;
 
 }  // namespace
 
+void TaskRing::grow() {
+  const std::size_t capacity = slots_.empty() ? 8 : slots_.size() * 2;
+  std::vector<std::function<void()>> bigger(capacity);
+  for (std::size_t k = 0; k < size_; ++k) {
+    bigger[k] = std::move(slots_[(head_ + k) & (slots_.size() - 1)]);
+  }
+  slots_ = std::move(bigger);
+  head_ = 0;
+}
+
 ThreadPool::ThreadPool(int threads) {
   if (threads <= 0) {
     threads = static_cast<int>(std::thread::hardware_concurrency());
@@ -98,8 +108,7 @@ bool ThreadPool::try_pop(int index, std::function<void()>& task) {
   Queue& queue = *queues_[static_cast<std::size_t>(index)];
   std::lock_guard<std::mutex> lock(queue.mutex);
   if (queue.tasks.empty()) return false;
-  task = std::move(queue.tasks.back());
-  queue.tasks.pop_back();
+  task = queue.tasks.pop_back();
   return true;
 }
 
@@ -111,8 +120,7 @@ bool ThreadPool::try_steal(int thief, std::function<void()>& task) {
     Queue& queue = *queues_[victim];
     std::lock_guard<std::mutex> lock(queue.mutex);
     if (queue.tasks.empty()) continue;
-    task = std::move(queue.tasks.front());
-    queue.tasks.pop_front();
+    task = queue.tasks.pop_front();
     return true;
   }
   return false;

@@ -26,13 +26,51 @@
 
 #include <condition_variable>
 #include <cstddef>
-#include <deque>
 #include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 namespace lsm::runtime {
+
+/// Grow-only circular task buffer: the owning worker pushes and pops at the
+/// back, thieves pop at the front. Vector storage doubles to its high-water
+/// size once and is then reused forever — unlike the std::deque it
+/// replaced, which allocated and freed a block node every few tasks and was
+/// the pool's only steady-state allocation (BM_MuxSteadyAllocs gates the
+/// zero).
+class TaskRing {
+ public:
+  bool empty() const noexcept { return size_ == 0; }
+
+  void push_back(std::function<void()> task) {
+    if (size_ == slots_.size()) grow();
+    slots_[(head_ + size_) & (slots_.size() - 1)] = std::move(task);
+    ++size_;
+  }
+
+  /// Requires !empty().
+  std::function<void()> pop_back() {
+    --size_;
+    return std::move(slots_[(head_ + size_) & (slots_.size() - 1)]);
+  }
+
+  /// Requires !empty().
+  std::function<void()> pop_front() {
+    std::function<void()> task = std::move(slots_[head_]);
+    head_ = (head_ + 1) & (slots_.size() - 1);
+    --size_;
+    return task;
+  }
+
+ private:
+  /// Doubles the power-of-two slot array, unwrapping the ring.
+  void grow();
+
+  std::vector<std::function<void()>> slots_;
+  std::size_t head_ = 0;  ///< index of the front element
+  std::size_t size_ = 0;
+};
 
 class ThreadPool {
  public:
@@ -76,7 +114,7 @@ class ThreadPool {
  private:
   struct Queue {
     std::mutex mutex;
-    std::deque<std::function<void()>> tasks;
+    TaskRing tasks;
   };
 
   void worker_loop(int index);

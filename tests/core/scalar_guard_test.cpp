@@ -1,0 +1,62 @@
+// Guard for the LSM_SIMD_LEVEL environment override: ctest runs this
+// binary (and only this binary) with LSM_SIMD_LEVEL=scalar in its
+// environment (see tests/CMakeLists.txt), so the first
+// active_simd_level() call in the process must fold the override in and
+// land on the scalar tier — the path the in-process
+// set_active_simd_level() differentials cannot cover. When the variable
+// is absent (someone running the binary by hand) the test skips rather
+// than asserting a level it has no reason to expect.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "core/simd_dispatch.h"
+#include "core/smoother.h"
+#include "trace/trace.h"
+
+namespace {
+
+using namespace lsm;
+
+TEST(ScalarGuard, EnvOverridePinsTheScalarTier) {
+  const char* env = std::getenv("LSM_SIMD_LEVEL");
+  if (env == nullptr || std::string(env) != "scalar") {
+    GTEST_SKIP() << "LSM_SIMD_LEVEL=scalar not set; this is the "
+                    "ctest-driven env-override guard";
+  }
+  // First (and only) read of the active level in this process: the env
+  // override must have taken effect without any set_active call.
+  EXPECT_EQ(simd::active_simd_level(), simd::SimdLevel::kScalar);
+
+  // And the forced-scalar fast path must still match the virtual
+  // reference bitwise — the same identity the per-level differentials
+  // pin, but reached through the environment instead of the API.
+  std::mt19937 rng(3u);
+  std::uniform_int_distribution<trace::Bits> size(1'000, 900'000);
+  std::vector<trace::Bits> sizes;
+  for (int i = 0; i < 120; ++i) sizes.push_back(size(rng));
+  const trace::Trace t("scalar-guard", trace::GopPattern(9, 3),
+                       std::move(sizes), 1.0 / 24.0);
+  const core::PatternEstimator estimator(t);
+  core::SmootherParams params;
+  params.tau = t.tau();
+  params.H = 18;
+  params.D = 0.2;
+  const core::SmoothingResult fast =
+      core::smooth(t, params, estimator, core::Variant::kBasic,
+                   core::ExecutionPath::kAuto);
+  const core::SmoothingResult reference =
+      core::smooth(t, params, estimator, core::Variant::kBasic,
+                   core::ExecutionPath::kReference);
+  ASSERT_EQ(fast.sends.size(), reference.sends.size());
+  for (std::size_t k = 0; k < fast.sends.size(); ++k) {
+    EXPECT_EQ(fast.sends[k].start, reference.sends[k].start) << "k=" << k;
+    EXPECT_EQ(fast.sends[k].rate, reference.sends[k].rate) << "k=" << k;
+    EXPECT_EQ(fast.sends[k].depart, reference.sends[k].depart) << "k=" << k;
+  }
+}
+
+}  // namespace

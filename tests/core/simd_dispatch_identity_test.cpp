@@ -1,0 +1,195 @@
+// Cross-tier differential for the runtime-dispatched bounds fold
+// (core/bounds_fold.h): for every SIMD level the host can execute, the
+// smoothing schedules — every PictureSend field and every diagnostic —
+// must be bitwise identical to the scalar tier's, which in turn must be
+// bitwise identical to the virtual reference path. Levels the host lacks
+// skip with a message instead of silently passing, so a CI matrix over
+// LSM_SIMD_LEVEL shows exactly which tiers each leg exercised.
+//
+// EXPECT_EQ on doubles is deliberate throughout: the dispatch layer
+// promises identical bits, not close ones (see the fold-order argument in
+// bounds_fold.h).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/simd_dispatch.h"
+#include "core/smoother.h"
+#include "core/streaming.h"
+#include "trace/trace.h"
+
+namespace {
+
+using namespace lsm;
+using core::ExecutionPath;
+using core::SmootherParams;
+using core::Variant;
+using simd::SimdLevel;
+
+/// Restores the active level on scope exit.
+class ActiveLevelGuard {
+ public:
+  ActiveLevelGuard() : saved_(simd::active_simd_level()) {}
+  ~ActiveLevelGuard() { simd::set_active_simd_level(saved_); }
+
+ private:
+  SimdLevel saved_;
+};
+
+trace::Trace random_trace(unsigned seed, int pictures) {
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<trace::Bits> size(1'000, 900'000);
+  std::vector<trace::Bits> sizes;
+  sizes.reserve(static_cast<std::size_t>(pictures));
+  for (int i = 0; i < pictures; ++i) sizes.push_back(size(rng));
+  return trace::Trace("simd-identity", trace::GopPattern(9, 3),
+                      std::move(sizes), 1.0 / 24.0);
+}
+
+void expect_identical(const core::SmoothingResult& a,
+                      const core::SmoothingResult& b,
+                      const std::string& label) {
+  ASSERT_EQ(a.sends.size(), b.sends.size()) << label;
+  ASSERT_EQ(a.diagnostics.size(), b.diagnostics.size()) << label;
+  for (std::size_t k = 0; k < a.sends.size(); ++k) {
+    ASSERT_EQ(a.sends[k].index, b.sends[k].index) << label;
+    ASSERT_EQ(a.sends[k].bits, b.sends[k].bits) << label << " k=" << k;
+    ASSERT_EQ(a.sends[k].start, b.sends[k].start) << label << " k=" << k;
+    ASSERT_EQ(a.sends[k].rate, b.sends[k].rate) << label << " k=" << k;
+    ASSERT_EQ(a.sends[k].depart, b.sends[k].depart) << label << " k=" << k;
+    ASSERT_EQ(a.sends[k].delay, b.sends[k].delay) << label << " k=" << k;
+    ASSERT_EQ(a.diagnostics[k].lower, b.diagnostics[k].lower)
+        << label << " k=" << k;
+    ASSERT_EQ(a.diagnostics[k].upper, b.diagnostics[k].upper)
+        << label << " k=" << k;
+    ASSERT_EQ(a.diagnostics[k].early_exit, b.diagnostics[k].early_exit)
+        << label << " k=" << k;
+    ASSERT_EQ(a.diagnostics[k].lookahead_used, b.diagnostics[k].lookahead_used)
+        << label << " k=" << k;
+  }
+}
+
+/// The case grid: lookahead windows spanning fold depths below, at, and
+/// above each tier's vector width (1 step for scalar, 2 per AVX2 vector,
+/// 4 per AVX-512 vector), both variants, and the K=0 regime where
+/// crossings occur and the fold's post-hoc replay must agree too.
+std::vector<SmootherParams> parameter_grid(const trace::Trace& t) {
+  std::vector<SmootherParams> grid;
+  for (const int K : {0, 2}) {
+    for (const int H : {1, 2, 3, 4, 5, 7, 9, 16, 19}) {
+      SmootherParams params;
+      params.tau = t.tau();
+      params.K = K;
+      params.H = H;
+      params.D = 0.2;
+      grid.push_back(params);
+    }
+  }
+  return grid;
+}
+
+core::SmoothingResult run_batch(const trace::Trace& t,
+                                const SmootherParams& params,
+                                Variant variant) {
+  const core::PatternEstimator estimator(t);
+  return core::smooth(t, params, estimator, variant, ExecutionPath::kAuto);
+}
+
+std::vector<core::PictureSend> run_streaming(const trace::Trace& t,
+                                             const SmootherParams& params) {
+  core::StreamingSmoother streaming(t.pattern(), params);
+  std::vector<core::PictureSend> sends;
+  for (int i = 1; i <= t.picture_count(); ++i) {
+    streaming.push(t.size_of(i));
+    for (const core::PictureSend& send : streaming.drain()) {
+      sends.push_back(send);
+    }
+  }
+  streaming.finish();
+  for (const core::PictureSend& send : streaming.drain()) {
+    sends.push_back(send);
+  }
+  return sends;
+}
+
+/// Runs the whole grid at `level` and compares bitwise against the same
+/// grid at kScalar — and anchors the scalar tier itself against the
+/// virtual reference path so "all tiers agree" can never mean "all tiers
+/// drifted together".
+void run_level_identity(SimdLevel level) {
+  const ActiveLevelGuard guard;
+  const trace::Trace t = random_trace(21u, 160);
+  for (const Variant variant : {Variant::kBasic, Variant::kMovingAverage}) {
+    for (const SmootherParams& params : parameter_grid(t)) {
+      const std::string label =
+          std::string(simd::simd_level_name(level)) + " H=" +
+          std::to_string(params.H) + " K=" + std::to_string(params.K) +
+          (variant == Variant::kBasic ? " basic" : " moving-average");
+      simd::set_active_simd_level(SimdLevel::kScalar);
+      const core::SmoothingResult scalar = run_batch(t, params, variant);
+      const core::PatternEstimator estimator(t);
+      const core::SmoothingResult reference = core::smooth(
+          t, params, estimator, variant, ExecutionPath::kReference);
+      expect_identical(scalar, reference, label + " (scalar vs reference)");
+      const std::vector<core::PictureSend> scalar_stream =
+          run_streaming(t, params);
+
+      simd::set_active_simd_level(level);
+      const core::SmoothingResult wide = run_batch(t, params, variant);
+      expect_identical(wide, scalar, label);
+      const std::vector<core::PictureSend> wide_stream =
+          run_streaming(t, params);
+      ASSERT_EQ(wide_stream.size(), scalar_stream.size()) << label;
+      for (std::size_t k = 0; k < wide_stream.size(); ++k) {
+        ASSERT_EQ(wide_stream[k].start, scalar_stream[k].start)
+            << label << " k=" << k;
+        ASSERT_EQ(wide_stream[k].rate, scalar_stream[k].rate)
+            << label << " k=" << k;
+        ASSERT_EQ(wide_stream[k].depart, scalar_stream[k].depart)
+            << label << " k=" << k;
+      }
+    }
+  }
+}
+
+#define LSM_REQUIRE_LEVEL(level)                                        \
+  if (simd::detected_simd_level() < (level)) {                          \
+    GTEST_SKIP() << "host supports only "                               \
+                 << simd::simd_level_name(simd::detected_simd_level()); \
+  }
+
+TEST(SimdDispatchIdentity, Sse2MatchesScalar) {
+  LSM_REQUIRE_LEVEL(SimdLevel::kSse2);
+  run_level_identity(SimdLevel::kSse2);
+}
+
+TEST(SimdDispatchIdentity, Avx2MatchesScalar) {
+  LSM_REQUIRE_LEVEL(SimdLevel::kAvx2);
+  run_level_identity(SimdLevel::kAvx2);
+}
+
+TEST(SimdDispatchIdentity, Avx512MatchesScalar) {
+  LSM_REQUIRE_LEVEL(SimdLevel::kAvx512);
+  run_level_identity(SimdLevel::kAvx512);
+}
+
+// The dispatch decision is made per fold call, so a level change between
+// two engine runs must take effect without rebuilding anything.
+TEST(SimdDispatchIdentity, LevelChangeTakesEffectBetweenRuns) {
+  const ActiveLevelGuard guard;
+  const trace::Trace t = random_trace(5u, 80);
+  SmootherParams params;
+  params.tau = t.tau();
+  params.H = 18;
+  simd::set_active_simd_level(SimdLevel::kScalar);
+  const core::SmoothingResult before = run_batch(t, params, Variant::kBasic);
+  simd::set_active_simd_level(simd::detected_simd_level());
+  const core::SmoothingResult after = run_batch(t, params, Variant::kBasic);
+  expect_identical(before, after, "level change mid-process");
+}
+
+}  // namespace

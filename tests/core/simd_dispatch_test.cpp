@@ -1,0 +1,99 @@
+// Unit coverage for the runtime SIMD dispatch layer (core/simd_dispatch.h):
+// name/parse round-trips, the clamp-to-detected contract of
+// set_active_simd_level, and the metrics publication into a private
+// obs::Registry. The cross-tier bitwise differentials live in
+// simd_dispatch_identity_test.cpp; this file only pins the plumbing.
+#include "core/simd_dispatch.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace lsm::simd {
+namespace {
+
+/// Restores the active level on scope exit so these tests cannot poison
+/// the tier another test in the same binary runs under.
+class ActiveLevelGuard {
+ public:
+  ActiveLevelGuard() : saved_(active_simd_level()) {}
+  ~ActiveLevelGuard() { set_active_simd_level(saved_); }
+
+ private:
+  SimdLevel saved_;
+};
+
+TEST(SimdDispatch, NamesRoundTripThroughParse) {
+  for (const SimdLevel level :
+       {SimdLevel::kScalar, SimdLevel::kSse2, SimdLevel::kAvx2,
+        SimdLevel::kAvx512}) {
+    const char* name = simd_level_name(level);
+    const auto parsed = parse_simd_level(name);
+    ASSERT_TRUE(parsed.has_value()) << name;
+    EXPECT_EQ(*parsed, level) << name;
+  }
+}
+
+TEST(SimdDispatch, ParseRejectsUnknownNames) {
+  EXPECT_FALSE(parse_simd_level("").has_value());
+  EXPECT_FALSE(parse_simd_level("AVX2").has_value());  // canonical is lower
+  EXPECT_FALSE(parse_simd_level("avx").has_value());
+  EXPECT_FALSE(parse_simd_level("sse4.2").has_value());
+  EXPECT_FALSE(parse_simd_level("avx512vl").has_value());
+}
+
+TEST(SimdDispatch, DetectedLevelIsStable) {
+  // The probe is cached; two calls must agree (and x86-64 guarantees at
+  // least SSE2, but non-x86 builds legitimately report scalar, so only
+  // the lower bound every platform satisfies is asserted).
+  EXPECT_EQ(detected_simd_level(), detected_simd_level());
+  EXPECT_GE(detected_simd_level(), SimdLevel::kScalar);
+#if defined(__x86_64__) || defined(_M_X64)
+  EXPECT_GE(detected_simd_level(), SimdLevel::kSse2);
+#endif
+}
+
+TEST(SimdDispatch, SetActiveClampsToDetected) {
+  const ActiveLevelGuard guard;
+  // Requesting more capability than the hardware has must degrade to the
+  // detected level, never install an unexecutable tier.
+  const SimdLevel installed = set_active_simd_level(SimdLevel::kAvx512);
+  EXPECT_LE(installed, detected_simd_level());
+  EXPECT_EQ(installed, active_simd_level());
+  // Every level at or below detected installs exactly.
+  for (int raw = 0; raw <= static_cast<int>(detected_simd_level()); ++raw) {
+    const SimdLevel level = static_cast<SimdLevel>(raw);
+    EXPECT_EQ(set_active_simd_level(level), level);
+    EXPECT_EQ(active_simd_level(), level);
+  }
+}
+
+TEST(SimdDispatch, PublishRecordsLevelsAsGauges) {
+  const ActiveLevelGuard guard;
+  set_active_simd_level(SimdLevel::kScalar);
+  obs::Registry registry;
+  publish_simd_level(registry);
+  EXPECT_EQ(registry.gauge("runtime.simd_level").value(), 0.0);
+  EXPECT_EQ(registry.gauge("runtime.simd_level_detected").value(),
+            static_cast<double>(detected_simd_level()));
+  // Moving the level and republishing overwrites the gauge (last write
+  // wins, matching the metrics contract).
+  if (detected_simd_level() >= SimdLevel::kSse2) {
+    set_active_simd_level(SimdLevel::kSse2);
+    publish_simd_level(registry);
+    EXPECT_EQ(registry.gauge("runtime.simd_level").value(), 1.0);
+  }
+}
+
+TEST(SimdDispatch, PublishSteadyAllocsGaugeName) {
+  obs::Registry registry;
+  obs::publish_steady_allocs(registry, "encode", 3);
+  EXPECT_EQ(registry.gauge("encode.allocs_steady").value(), 3.0);
+  obs::publish_steady_allocs(registry, "encode", 0);
+  EXPECT_EQ(registry.gauge("encode.allocs_steady").value(), 0.0);
+}
+
+}  // namespace
+}  // namespace lsm::simd

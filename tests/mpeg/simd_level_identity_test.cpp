@@ -1,0 +1,179 @@
+// Cross-tier differential for the runtime-dispatched encoder kernels
+// (mpeg/fastpath.h, core/simd_dispatch.h): for every SIMD level the host
+// can execute, the coded bit stream must be byte-identical to the scalar
+// tier's, which is itself anchored against the kReference path. Levels
+// the host lacks skip with a message. Also pins the encode_into /
+// EncodeWorkspace reuse contract: a warm workspace must reproduce
+// encode()'s bytes across repeated calls, input-shape changes, and
+// slice-parallel executors.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/simd_dispatch.h"
+#include "mpeg/decoder.h"
+#include "mpeg/encoder.h"
+#include "mpeg/videogen.h"
+#include "runtime/pool.h"
+#include "runtime/encode_batch.h"
+
+namespace lsm::mpeg {
+namespace {
+
+using simd::SimdLevel;
+
+class ActiveLevelGuard {
+ public:
+  ActiveLevelGuard() : saved_(simd::active_simd_level()) {}
+  ~ActiveLevelGuard() { simd::set_active_simd_level(saved_); }
+
+ private:
+  SimdLevel saved_;
+};
+
+std::vector<Frame> level_video(int frames = 12, double motion = 0.6,
+                               std::uint64_t seed = 7) {
+  VideoConfig config;
+  config.width = 96;
+  config.height = 64;
+  config.scenes = {VideoScene{frames, 1.0, motion}};
+  config.seed = seed;
+  return generate_video(config);
+}
+
+EncoderConfig level_config() {
+  EncoderConfig config;
+  config.pattern = lsm::trace::GopPattern(9, 3);
+  config.search_range = 7;
+  return config;
+}
+
+void expect_identical(const EncodeResult& a, const EncodeResult& b,
+                      const std::string& label) {
+  ASSERT_EQ(a.stream.size(), b.stream.size()) << label;
+  EXPECT_EQ(a.stream, b.stream) << label;
+  ASSERT_EQ(a.pictures.size(), b.pictures.size()) << label;
+  for (std::size_t k = 0; k < a.pictures.size(); ++k) {
+    EXPECT_EQ(a.pictures[k].display_index, b.pictures[k].display_index)
+        << label << " picture " << k;
+    EXPECT_EQ(a.pictures[k].bits, b.pictures[k].bits)
+        << label << " picture " << k;
+    // Exact double equality: the PSNR accumulation is integer-exact and
+    // must not depend on the kernel tier.
+    EXPECT_EQ(a.pictures[k].psnr_y, b.pictures[k].psnr_y)
+        << label << " picture " << k;
+  }
+}
+
+/// Encodes the same inputs at `level` and at kScalar and compares byte
+/// for byte; the scalar tier is anchored against kReference so agreement
+/// can't hide a collective drift.
+void run_level_identity(SimdLevel level) {
+  const ActiveLevelGuard guard;
+  const std::string label = simd::simd_level_name(level);
+  // Moving and static scenes: the static one makes nearly every SAD a
+  // tie, the regime where search-order or cutoff drift between tiers
+  // would first change the stream.
+  for (const double motion : {0.6, 0.0}) {
+    const std::vector<Frame> video = level_video(12, motion);
+    simd::set_active_simd_level(SimdLevel::kScalar);
+    const EncodeResult scalar = Encoder(level_config()).encode(video);
+    EncoderConfig reference_config = level_config();
+    reference_config.path = EncoderPath::kReference;
+    const EncodeResult reference = Encoder(reference_config).encode(video);
+    expect_identical(scalar, reference,
+                     label + " (scalar vs reference), motion=" +
+                         std::to_string(motion));
+
+    simd::set_active_simd_level(level);
+    const EncodeResult wide = Encoder(level_config()).encode(video);
+    expect_identical(wide, scalar,
+                     label + " motion=" + std::to_string(motion));
+    const DecodeResult decoded = decode_stream(wide.stream);
+    EXPECT_EQ(decoded.display_frames().size(), video.size()) << label;
+  }
+}
+
+#define LSM_REQUIRE_LEVEL(level)                                        \
+  if (simd::detected_simd_level() < (level)) {                          \
+    GTEST_SKIP() << "host supports only "                               \
+                 << simd::simd_level_name(simd::detected_simd_level()); \
+  }
+
+TEST(SimdLevelIdentity, Sse2StreamMatchesScalar) {
+  LSM_REQUIRE_LEVEL(SimdLevel::kSse2);
+  run_level_identity(SimdLevel::kSse2);
+}
+
+TEST(SimdLevelIdentity, Avx2StreamMatchesScalar) {
+  LSM_REQUIRE_LEVEL(SimdLevel::kAvx2);
+  run_level_identity(SimdLevel::kAvx2);
+}
+
+TEST(SimdLevelIdentity, Avx512StreamMatchesScalar) {
+  LSM_REQUIRE_LEVEL(SimdLevel::kAvx512);
+  run_level_identity(SimdLevel::kAvx512);
+}
+
+// encode() is a thin wrapper over encode_into(); a fresh workspace must
+// reproduce its bytes exactly.
+TEST(EncodeWorkspace, FreshWorkspaceMatchesEncode) {
+  const std::vector<Frame> video = level_video();
+  const Encoder encoder(level_config());
+  const EncodeResult fresh = encoder.encode(video);
+  EncodeResult result;
+  EncodeWorkspace workspace;
+  encoder.encode_into(video, result, workspace);
+  expect_identical(result, fresh, "fresh workspace");
+}
+
+// The zero-alloc contract rests on reuse being invisible: a workspace
+// warmed by previous encodes — including encodes of differently shaped
+// inputs — must still produce byte-identical streams.
+TEST(EncodeWorkspace, WarmWorkspaceSurvivesReuseAndShapeChanges) {
+  const std::vector<Frame> video_a = level_video(12, 0.6, 7);
+  const std::vector<Frame> video_b = level_video(9, 0.3, 11);  // new count
+  const Encoder encoder(level_config());
+  EncodeResult result;
+  EncodeWorkspace workspace;
+  // a -> b -> a: the second 'a' runs against buffers dirtied by both
+  // previous encodes and a repopulated type/order cache.
+  encoder.encode_into(video_a, result, workspace);
+  expect_identical(result, encoder.encode(video_a), "first a");
+  encoder.encode_into(video_b, result, workspace);
+  expect_identical(result, encoder.encode(video_b), "b after a");
+  encoder.encode_into(video_a, result, workspace);
+  expect_identical(result, encoder.encode(video_a), "a after b");
+}
+
+TEST(EncodeWorkspace, SharedAcrossEncoderInstancesAndPatterns) {
+  const std::vector<Frame> video = level_video(10, 0.5, 13);
+  EncoderConfig other = level_config();
+  other.pattern = lsm::trace::GopPattern(6, 1);  // I/P only
+  EncodeResult result;
+  EncodeWorkspace workspace;
+  Encoder(level_config()).encode_into(video, result, workspace);
+  expect_identical(result, Encoder(level_config()).encode(video), "9/3");
+  Encoder(other).encode_into(video, result, workspace);
+  expect_identical(result, Encoder(other).encode(video), "6/1 reuse");
+}
+
+TEST(EncodeWorkspace, ParallelSlicesWithWarmWorkspaceMatchSerial) {
+  const std::vector<Frame> video = level_video();
+  const EncodeResult serial = Encoder(level_config()).encode(video);
+  lsm::runtime::ThreadPool pool(4);
+  EncoderConfig config = level_config();
+  config.slice_executor = lsm::runtime::pool_slice_executor(pool);
+  const Encoder encoder(config);
+  EncodeResult result;
+  EncodeWorkspace workspace;
+  for (int round = 0; round < 3; ++round) {
+    encoder.encode_into(video, result, workspace);
+    expect_identical(result, serial,
+                     "parallel round " + std::to_string(round));
+  }
+}
+
+}  // namespace
+}  // namespace lsm::mpeg

@@ -236,6 +236,54 @@ TEST(Statmux, PolicerCountsOvershootEpochs) {
   EXPECT_GT(service.stats().overshoot_epochs, 0);
 }
 
+TEST(Statmux, RateHistoryRingKeepsTheMostRecentEpochs) {
+  // Identical deterministic feeds, one unbounded history, one ring of 4:
+  // after any number of epochs the ring must hold exactly the last 4
+  // totals of the unbounded series, bitwise, and rate_history() must
+  // return them oldest-first.
+  StatmuxConfig unbounded_config = config_for(2);
+  StatmuxConfig ring_config = config_for(2);
+  ring_config.rate_history_limit = 4;
+  StatmuxService unbounded(unbounded_config);
+  StatmuxService ringed(ring_config);
+  for (std::uint32_t id = 1; id <= 3; ++id) {
+    ASSERT_TRUE(unbounded.admit(spec_for(id)));
+    ASSERT_TRUE(ringed.admit(spec_for(id)));
+  }
+  unbounded.run_epochs(11);
+  ringed.run_epochs(11);
+  const std::vector<double>& full = unbounded.rate_series();
+  ASSERT_EQ(full.size(), 11u);
+  EXPECT_EQ(ringed.rate_series().size(), 4u);  // storage stays bounded
+  std::vector<double> history;
+  ringed.rate_history(history);
+  ASSERT_EQ(history.size(), 4u);
+  for (std::size_t k = 0; k < history.size(); ++k) {
+    EXPECT_EQ(history[k], full[full.size() - 4 + k]) << "epoch " << k;
+  }
+  // reserved_rate() reports the newest total in both modes.
+  EXPECT_EQ(ringed.reserved_rate(), full.back());
+  EXPECT_EQ(unbounded.reserved_rate(), full.back());
+}
+
+TEST(Statmux, RateHistoryBelowLimitAndUnboundedAreChronological) {
+  StatmuxConfig ring_config = config_for(1);
+  ring_config.rate_history_limit = 8;
+  StatmuxService ringed(ring_config);
+  ASSERT_TRUE(ringed.admit(spec_for(1)));
+  ringed.run_epochs(5);  // fewer epochs than the limit: no wrap yet
+  std::vector<double> history;
+  ringed.rate_history(history);
+  ASSERT_EQ(history.size(), 5u);
+  EXPECT_EQ(history, ringed.rate_series());
+  // Unbounded services return the full series unchanged.
+  StatmuxService unbounded(config_for(1));
+  ASSERT_TRUE(unbounded.admit(spec_for(1)));
+  unbounded.run_epochs(5);
+  unbounded.rate_history(history);
+  EXPECT_EQ(history, unbounded.rate_series());
+}
+
 TEST(Statmux, ConfigValidationThrows) {
   StatmuxConfig bad;
   bad.shards = 0;

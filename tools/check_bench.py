@@ -19,6 +19,20 @@ pass with a WARN (record them with the update subcommand); benchmarks that
 disappeared fail, so a deleted benchmark forces a deliberate baseline
 refresh.
 
+A baseline entry may also carry a "max_counters" object mapping user
+counter names to hard ceilings, checked with no tolerance: the run fails
+if the counter exceeds the ceiling OR is missing from the current run.
+This is how the steady-state allocation audits are gated —
+{"max_counters": {"allocs_steady": 0}} means "one warmed iteration of
+this benchmark performs zero heap allocations", and any nonzero count is
+a regression regardless of throughput. max_counters survives the update
+subcommand just like threshold.
+
+Context keys the benchmark binary stamps with AddCustomContext (the
+lsm_simd_detected / lsm_simd_active dispatch decision from perf_micro)
+are echoed into the markdown summary so every CI run records which
+kernels produced its numbers.
+
 --summary-out FILE additionally writes the comparison as a markdown
 before/after delta table, the format GitHub renders when appended to
 $GITHUB_STEP_SUMMARY.
@@ -42,14 +56,27 @@ import json
 import sys
 
 
-def load_entries(path: str) -> dict[str, dict[str, float]]:
-    """Map benchmark name -> {"throughput": ..., optional "threshold": ...}
-    from either a raw google-benchmark JSON document or a previously
-    reduced baseline document. Only reduced baselines carry thresholds."""
+# Benchmark entry fields that are measurements or metadata, never user
+# counters; everything else numeric in a raw entry is a user counter.
+_STANDARD_FIELDS = frozenset({
+    "name", "run_name", "run_type", "family_index",
+    "per_family_instance_index", "repetitions", "repetition_index",
+    "threads", "iterations", "real_time", "cpu_time", "time_unit",
+    "items_per_second", "bytes_per_second", "label",
+    "aggregate_name", "aggregate_unit",
+})
+
+
+def load_entries(path: str) -> dict[str, dict]:
+    """Map benchmark name -> {"throughput": ..., optional "threshold": ...,
+    optional "max_counters": {...}, optional "counters": {...}} from either
+    a raw google-benchmark JSON document or a previously reduced baseline
+    document. Only reduced baselines carry thresholds and max_counters;
+    only raw runs carry measured counters."""
     with open(path, "r", encoding="utf-8") as handle:
         document = json.load(handle)
     benchmarks = document.get("benchmarks", [])
-    entries: dict[str, dict[str, float]] = {}
+    entries: dict[str, dict] = {}
     if isinstance(benchmarks, dict):  # reduced baseline format
         for name, entry in benchmarks.items():
             reduced = {"throughput": float(entry["throughput"])}
@@ -60,14 +87,33 @@ def load_entries(path: str) -> dict[str, dict[str, float]]:
                         f"{name}: per-benchmark threshold {threshold} must "
                         f"be a fraction in [0, 1)")
                 reduced["threshold"] = threshold
+            if "max_counters" in entry:
+                limits = entry["max_counters"]
+                if not isinstance(limits, dict) or not limits:
+                    raise ValueError(
+                        f"{name}: max_counters must be a non-empty object "
+                        f"of counter-name -> ceiling")
+                reduced["max_counters"] = {
+                    counter: float(limit)
+                    for counter, limit in limits.items()
+                }
             entries[name] = reduced
         return entries
     for entry in benchmarks:
         if entry.get("run_type", "iteration") != "iteration":
             continue  # skip aggregate rows (mean/median/stddev)
         name = entry["name"]
+        counters = {
+            key: float(value)
+            for key, value in entry.items()
+            if key not in _STANDARD_FIELDS
+            and isinstance(value, (int, float))
+        }
         if "items_per_second" in entry:
-            entries[name] = {"throughput": float(entry["items_per_second"])}
+            entries[name] = {
+                "throughput": float(entry["items_per_second"]),
+                "counters": counters,
+            }
         else:
             # real_time is reported in entry["time_unit"]; normalize to
             # runs/second so the ratio check still works.
@@ -75,8 +121,20 @@ def load_entries(path: str) -> dict[str, dict[str, float]]:
                 entry.get("time_unit", "ns")]
             real_time = float(entry["real_time"]) * unit
             if real_time > 0:
-                entries[name] = {"throughput": 1.0 / real_time}
+                entries[name] = {"throughput": 1.0 / real_time,
+                                 "counters": counters}
     return entries
+
+
+def load_context(path: str, keys: tuple[str, ...] = (
+        "lsm_simd_detected", "lsm_simd_active")) -> dict[str, str]:
+    """Custom AddCustomContext keys from a raw run (empty for baselines)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    context = document.get("context", {})
+    if not isinstance(context, dict):
+        return {}
+    return {key: str(context[key]) for key in keys if key in context}
 
 
 def load_throughputs(path: str) -> dict[str, float]:
@@ -85,10 +143,15 @@ def load_throughputs(path: str) -> dict[str, float]:
 
 
 def write_summary(path: str, rows: list[tuple[str, str, str, str, str]],
-                  failures: list[str], threshold: float) -> None:
+                  failures: list[str], threshold: float,
+                  context: dict[str, str] | None = None) -> None:
     """Markdown before/after table in the $GITHUB_STEP_SUMMARY format."""
     with open(path, "w", encoding="utf-8") as handle:
         handle.write("## Benchmark delta vs committed baseline\n\n")
+        if context:
+            for key, value in sorted(context.items()):
+                handle.write(f"- `{key}`: {value}\n")
+            handle.write("\n")
         handle.write("| Benchmark | Baseline | Current | Delta | Status |\n")
         handle.write("|---|---:|---:|---:|---|\n")
         for name, base, now, delta, status in rows:
@@ -97,15 +160,22 @@ def write_summary(path: str, rows: list[tuple[str, str, str, str, str]],
         if failures:
             handle.write(f"\n**FAILED** — {len(failures)} benchmark(s) "
                          f"regressed more than "
-                         f"{100.0 * threshold:.0f}% or went missing.\n")
+                         f"{100.0 * threshold:.0f}%, went missing, or "
+                         f"exceeded a counter ceiling.\n")
         else:
             handle.write("\nAll baselined benchmarks within threshold "
-                         f"({100.0 * threshold:.0f}%).\n")
+                         f"({100.0 * threshold:.0f}%) and counter "
+                         f"ceilings.\n")
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
     baseline = load_entries(args.baseline)
-    current = load_throughputs(args.current)
+    current_entries = load_entries(args.current)
+    current = {name: entry["throughput"]
+               for name, entry in current_entries.items()}
+    context = load_context(args.current)
+    for key, value in sorted(context.items()):
+        print(f"ctx   {key}: {value}")
     failures = []
     rows: list[tuple[str, str, str, str, str]] = []
     for name, entry in sorted(baseline.items()):
@@ -126,19 +196,40 @@ def cmd_compare(args: argparse.Namespace) -> int:
                     else f" [threshold {100.0 * threshold:.0f}%]")
         print(f"{marker:>4}  {name}: {now:.3e} vs baseline {base:.3e} "
               f"({delta}){override}")
-        rows.append((name, f"{base:.3e}", f"{now:.3e}", delta,
-                     "❌ regressed" if marker == "FAIL" else "✅"))
+        status = "❌ regressed" if marker == "FAIL" else "✅"
         if marker == "FAIL":
             failures.append(f"{name}: throughput regressed "
                             f"{100.0 * (1.0 - ratio):.1f}% "
                             f"(> {100.0 * threshold:.0f}% allowed)")
+        # Counter ceilings are hard limits with no tolerance: the
+        # zero-alloc contract is exact, so one allocation is a failure.
+        measured = current_entries[name].get("counters", {})
+        for counter, limit in sorted(entry.get("max_counters", {}).items()):
+            value = measured.get(counter)
+            if value is None:
+                failures.append(f"{name}: counter {counter!r} gated at "
+                                f"<= {limit:g} but absent from the run")
+                print(f"FAIL  {name}: counter {counter} missing "
+                      f"(ceiling {limit:g})")
+                status = f"❌ {counter} missing"
+            elif value > limit:
+                failures.append(f"{name}: counter {counter} = {value:g} "
+                                f"exceeds ceiling {limit:g}")
+                print(f"FAIL  {name}: counter {counter} = {value:g} "
+                      f"(ceiling {limit:g})")
+                status = f"❌ {counter} {value:g} > {limit:g}"
+            else:
+                print(f"  ok  {name}: counter {counter} = {value:g} "
+                      f"(ceiling {limit:g})")
+        rows.append((name, f"{base:.3e}", f"{now:.3e}", delta, status))
     for name in sorted(set(current) - set(baseline)):
         print(f"WARN  {name}: {current[name]:.3e} (not in the baseline; "
               f"run the update command to record it)")
         rows.append((name, "—", f"{current[name]:.3e}", "—",
                      "⚠️ no baseline"))
     if args.summary_out:
-        write_summary(args.summary_out, rows, failures, args.threshold)
+        write_summary(args.summary_out, rows, failures, args.threshold,
+                      context)
     if failures:
         print("\nbench regression check FAILED:", file=sys.stderr)
         for failure in failures:
@@ -156,24 +247,36 @@ def cmd_update(args: argparse.Namespace) -> int:
               "empty baseline", file=sys.stderr)
         return 1
     # A refresh rewrites throughputs but keeps per-benchmark threshold
-    # overrides from the previous baseline — they encode a judgment about
-    # benchmark noise, not a measurement.
+    # overrides and max_counters ceilings from the previous baseline —
+    # they encode contracts and noise judgments, not measurements.
     import os
     thresholds: dict[str, float] = {}
+    ceilings: dict[str, dict[str, float]] = {}
     if os.path.exists(args.baseline):
-        thresholds = {
-            name: entry["threshold"]
-            for name, entry in load_entries(args.baseline).items()
-            if "threshold" in entry
-        }
+        for name, entry in load_entries(args.baseline).items():
+            if "threshold" in entry:
+                thresholds[name] = entry["threshold"]
+            if "max_counters" in entry:
+                ceilings[name] = entry["max_counters"]
+
+    def reduced_entry(name: str, value: float) -> dict:
+        entry: dict = {"throughput": value}
+        if name in thresholds:
+            entry["threshold"] = thresholds[name]
+        if name in ceilings:
+            entry["max_counters"] = ceilings[name]
+        return entry
+
     document = {
         "comment": "Throughput baseline for tools/check_bench.py; refresh "
                    "with the update subcommand from a trusted run. A "
                    "per-benchmark \"threshold\" key overrides the global "
-                   "--threshold for that benchmark and survives refreshes.",
+                   "--threshold for that benchmark; a \"max_counters\" "
+                   "object gates user counters with hard ceilings (the "
+                   "allocs_steady zero-alloc contract). Both survive "
+                   "refreshes.",
         "benchmarks": {
-            name: ({"throughput": value, "threshold": thresholds[name]}
-                   if name in thresholds else {"throughput": value})
+            name: reduced_entry(name, value)
             for name, value in sorted(current.items())
         },
     }
@@ -300,6 +403,76 @@ def cmd_selftest(args: argparse.Namespace) -> int:
         try:
             load_entries(override_path)
             raise AssertionError("threshold 1.5 must be rejected")
+        except ValueError:
+            pass
+        checks += 1
+
+        def bench_doc_counters(
+                values: dict[str, tuple[float, dict[str, float]]],
+                context: dict[str, str] | None = None) -> dict:
+            document = {"benchmarks": [
+                dict({"name": name, "run_type": "iteration",
+                      "items_per_second": throughput}, **counters)
+                for name, (throughput, counters) in values.items()]}
+            if context:
+                document["context"] = context
+            return document
+
+        def compare_doc(baseline_path: str, document: dict,
+                        summary: str | None = None) -> int:
+            current_path = os.path.join(tmp, "counter_current.json")
+            with open(current_path, "w", encoding="utf-8") as handle:
+                json.dump(document, handle)
+            return cmd_compare(argparse.Namespace(
+                baseline=baseline_path, current=current_path,
+                threshold=0.25, summary_out=summary))
+
+        # Counter ceilings are zero-tolerance: at the ceiling passes, one
+        # over fails even when throughput is fine, and a gated counter
+        # missing from the run fails (a renamed counter must not silently
+        # disable the gate).
+        gate_path = os.path.join(tmp, "counter_baseline.json")
+        write_baseline(gate_path, {
+            "BM_ALLOC": {"throughput": 100.0,
+                         "max_counters": {"allocs_steady": 0.0}},
+        })
+        assert compare_doc(gate_path, bench_doc_counters(
+            {"BM_ALLOC": (100.0, {"allocs_steady": 0.0})})) == 0
+        assert compare_doc(gate_path, bench_doc_counters(
+            {"BM_ALLOC": (100.0, {"allocs_steady": 1.0})})) == 1
+        assert compare_doc(gate_path, bench_doc_counters(
+            {"BM_ALLOC": (100.0, {})})) == 1
+        checks += 1
+        # update preserves max_counters alongside thresholds.
+        refreshed_counters = os.path.join(tmp, "counter_raw.json")
+        with open(refreshed_counters, "w", encoding="utf-8") as handle:
+            json.dump(bench_doc_counters(
+                {"BM_ALLOC": (250.0, {"allocs_steady": 0.0})}), handle)
+        assert cmd_update(argparse.Namespace(
+            baseline=gate_path, current=refreshed_counters)) == 0
+        refreshed = load_entries(gate_path)
+        assert refreshed["BM_ALLOC"] == {
+            "throughput": 250.0, "max_counters": {"allocs_steady": 0.0}}
+        checks += 1
+        # SIMD dispatch context from the run is echoed into the summary.
+        context_summary = os.path.join(tmp, "context_summary.md")
+        assert compare_doc(gate_path, bench_doc_counters(
+            {"BM_ALLOC": (250.0, {"allocs_steady": 0.0})},
+            context={"lsm_simd_detected": "avx512",
+                     "lsm_simd_active": "avx2"}),
+            summary=context_summary) == 0
+        with open(context_summary, "r", encoding="utf-8") as handle:
+            summary = handle.read()
+        for expected in ("lsm_simd_detected", "avx512",
+                         "lsm_simd_active", "avx2"):
+            assert expected in summary, f"summary lacks {expected!r}"
+        checks += 1
+        # A malformed max_counters object is rejected.
+        write_baseline(override_path, {
+            "BM_BAD": {"throughput": 1.0, "max_counters": []}})
+        try:
+            load_entries(override_path)
+            raise AssertionError("non-object max_counters must be rejected")
         except ValueError:
             pass
         checks += 1
