@@ -1,0 +1,290 @@
+#include "net/layered.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+#include "core/estimator.h"
+#include "obs/flight_recorder.h"
+#include "obs/tracer.h"
+
+namespace lsm::net {
+
+namespace {
+
+/// Cap comparisons tolerate summation noise: a prefix that fits the cap
+/// up to this slack is admitted rather than shed on a rounding artifact.
+constexpr double kCapSlack = 1e-9;
+
+bool fits(double demand, double cap) {
+  return demand <= cap * (1.0 + 1e-12) + kCapSlack;
+}
+
+std::vector<double> layer_weights(const LayeredConfig& config) {
+  const std::size_t n = config.layers.size();
+  std::vector<double> weights(n);
+  const bool explicit_weights = config.layers.front().weight > 0.0;
+  double sum = 0.0;
+  for (std::size_t l = 0; l < n; ++l) {
+    weights[l] = explicit_weights ? config.layers[l].weight
+                                  : std::ldexp(1.0, -static_cast<int>(l));
+    sum += weights[l];
+  }
+  for (double& w : weights) w /= sum;
+  return weights;
+}
+
+}  // namespace
+
+void LayeredConfig::validate() const {
+  if (layers.empty() || static_cast<int>(layers.size()) > kMaxLayers) {
+    throw std::invalid_argument(
+        "LayeredConfig: layer count outside [1, kMaxLayers]");
+  }
+  const bool explicit_weights = layers.front().weight > 0.0;
+  int previous_priority = -1;
+  for (const LayerSpec& layer : layers) {
+    // SmootherParams::validate rejects non-positive D/tau, negative K,
+    // H < 1, and (via the > comparisons) NaN fields; the explicit finite
+    // checks make the NaN contract independent of that phrasing.
+    if (!std::isfinite(layer.params.D) || !std::isfinite(layer.params.tau)) {
+      throw std::invalid_argument("LayeredConfig: non-finite layer D/tau");
+    }
+    layer.params.validate();
+    if (layer.priority <= previous_priority) {
+      throw std::invalid_argument(
+          "LayeredConfig: layer priorities must be strictly increasing");
+    }
+    if (layer.priority < 0) {
+      throw std::invalid_argument("LayeredConfig: negative layer priority");
+    }
+    previous_priority = layer.priority;
+    if (!std::isfinite(layer.relax_factor) || layer.relax_factor < 1.0) {
+      throw std::invalid_argument("LayeredConfig: relax_factor < 1");
+    }
+    if (std::isnan(layer.weight) || layer.weight < 0.0 ||
+        !std::isfinite(std::max(layer.weight, 0.0))) {
+      throw std::invalid_argument("LayeredConfig: malformed layer weight");
+    }
+    if ((layer.weight > 0.0) != explicit_weights) {
+      throw std::invalid_argument(
+          "LayeredConfig: either every layer sets a weight or none does");
+    }
+    if (layer.params.tau != layers.front().params.tau) {
+      throw std::invalid_argument(
+          "LayeredConfig: layers must share one picture period");
+    }
+  }
+  if (!std::isfinite(channel_cap) || channel_cap < 0.0) {
+    throw std::invalid_argument("LayeredConfig: bad channel_cap");
+  }
+  if (!std::isfinite(network_latency) || network_latency < 0.0 ||
+      !std::isfinite(jitter) || jitter < 0.0) {
+    throw std::invalid_argument("LayeredConfig: bad latency/jitter");
+  }
+  if (!std::isfinite(playout_offset) || playout_offset < 0.0) {
+    throw std::invalid_argument("LayeredConfig: bad playout_offset");
+  }
+  if (!std::isfinite(channel_outage_threshold)) {
+    throw std::invalid_argument("LayeredConfig: bad outage threshold");
+  }
+  retry.validate();
+}
+
+std::vector<lsm::trace::Trace> split_layers(const lsm::trace::Trace& trace,
+                                            const LayeredConfig& config) {
+  config.validate();
+  const int n = static_cast<int>(config.layers.size());
+  if (n == 1) return {trace};  // verbatim: the identity case
+
+  const std::vector<double> weights = layer_weights(config);
+  const int pictures = trace.picture_count();
+  std::vector<std::vector<lsm::trace::Bits>> sizes(
+      static_cast<std::size_t>(n));
+  for (auto& layer_sizes : sizes) {
+    layer_sizes.reserve(static_cast<std::size_t>(pictures));
+  }
+  for (int i = 1; i <= pictures; ++i) {
+    const lsm::trace::Bits total = trace.size_of(i);
+    lsm::trace::Bits assigned = 0;
+    // Enhancement layers take their weighted floor (at least one bit);
+    // the base absorbs the rounding so the partition is exact.
+    for (int l = n - 1; l >= 1; --l) {
+      const lsm::trace::Bits share = std::max<lsm::trace::Bits>(
+          1, static_cast<lsm::trace::Bits>(
+                 std::floor(static_cast<double>(total) *
+                            weights[static_cast<std::size_t>(l)])));
+      sizes[static_cast<std::size_t>(l)].push_back(share);
+      assigned += share;
+    }
+    const lsm::trace::Bits base = total - assigned;
+    if (base < 1) {
+      throw std::invalid_argument(
+          "split_layers: picture too small for the layer count");
+    }
+    sizes[0].push_back(base);
+  }
+
+  std::vector<lsm::trace::Trace> layers;
+  layers.reserve(static_cast<std::size_t>(n));
+  for (int l = 0; l < n; ++l) {
+    layers.emplace_back(trace.name() + ".L" + std::to_string(l),
+                        trace.pattern(),
+                        std::move(sizes[static_cast<std::size_t>(l)]),
+                        trace.types(), trace.tau(), trace.width(),
+                        trace.height());
+  }
+  return layers;
+}
+
+LayeredReport run_layered_pipeline(const lsm::trace::Trace& trace,
+                                   const LayeredConfig& config,
+                                   const sim::FaultPlan& plan,
+                                   const sim::ChannelPlan& channel) {
+  const std::vector<lsm::trace::Trace> layer_traces =
+      split_layers(trace, config);
+  const int n = static_cast<int>(layer_traces.size());
+  const bool multilayer = n > 1;
+
+  LayeredReport report;
+  report.layers.resize(static_cast<std::size_t>(n));
+  report.min_active_layers = n;
+
+  // Joint admission pass (capped runs only): smooth every layer, walk the
+  // merged breakpoint timeline, and keep the largest decodable prefix
+  // that fits the channel-scaled cap on each interval. Uncapped runs skip
+  // the pass entirely, which keeps the single-layer uncapped case a pure
+  // delegation to run_faulted_pipeline() (the trace-byte identity).
+  if (config.channel_cap > 0.0) {
+    std::vector<core::RateSchedule> schedules;
+    schedules.reserve(static_cast<std::size_t>(n));
+    double span_end = 0.0;
+    for (int l = 0; l < n; ++l) {
+      obs::StreamScope scope(static_cast<std::uint32_t>(l + 1));
+      const trace::Trace& layer_trace =
+          layer_traces[static_cast<std::size_t>(l)];
+      core::PatternEstimator estimator(layer_trace);
+      const core::SmoothingResult result = core::smooth(
+          layer_trace,
+          config.layers[static_cast<std::size_t>(l)].params, estimator,
+          core::Variant::kBasic, config.execution_path);
+      schedules.push_back(result.schedule());
+      span_end = std::max(span_end, schedules.back().end_time());
+    }
+
+    std::vector<double> edges{0.0};
+    for (const core::RateSchedule& schedule : schedules) {
+      const std::vector<double> b = schedule.breakpoints();
+      edges.insert(edges.end(), b.begin(), b.end());
+    }
+    const std::vector<double> fade_edges =
+        plan.fade_breakpoints(0.0, span_end);
+    const std::vector<double> channel_edges =
+        channel.factor_breakpoints(0.0, span_end);
+    edges.insert(edges.end(), fade_edges.begin(), fade_edges.end());
+    edges.insert(edges.end(), channel_edges.begin(), channel_edges.end());
+    std::sort(edges.begin(), edges.end());
+    edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+
+    for (std::size_t k = 0; k + 1 < edges.size(); ++k) {
+      const double t0 = edges[k];
+      const double t1 = edges[k + 1];
+      double joint = 0.0;
+      for (const core::RateSchedule& schedule : schedules) {
+        joint += schedule.rate_at(t0);
+      }
+      if (joint <= 0.0) continue;
+      report.joint_peak_demand = std::max(report.joint_peak_demand, joint);
+      const double factor =
+          std::min(plan.fade_factor_at(t0), channel.factor_at(t0));
+      const double cap = config.channel_cap * factor;
+
+      double cumulative = schedules[0].rate_at(t0);
+      if (!fits(cumulative, cap)) report.base_overloaded = true;
+      int active = 1;  // the base layer always stays
+      for (int l = 1; l < n; ++l) {
+        cumulative += schedules[static_cast<std::size_t>(l)].rate_at(t0);
+        if (!fits(cumulative, cap)) break;
+        active = l + 1;
+      }
+      report.min_active_layers = std::min(report.min_active_layers, active);
+      for (int l = active; l < n; ++l) {
+        std::vector<ShedWindow>& shed =
+            report.layers[static_cast<std::size_t>(l)].shed;
+        if (!shed.empty() && shed.back().end == t0) {
+          shed.back().end = t1;
+          shed.back().demand = std::max(shed.back().demand, joint);
+        } else {
+          shed.push_back(ShedWindow{t0, t1, joint});
+        }
+      }
+    }
+
+    bool any_shed = false;
+    for (int l = 0; l < n; ++l) {
+      LayerOutcome& outcome = report.layers[static_cast<std::size_t>(l)];
+      obs::StreamTracer tracer(&obs::Tracer::global(),
+                               static_cast<std::uint32_t>(l + 1));
+      for (const ShedWindow& window : outcome.shed) {
+        outcome.shed_time += window.duration();
+        ++report.shed_events;
+        any_shed = true;
+        tracer.emit(obs::EventKind::kLayerShed, 0, window.start,
+                    static_cast<double>(l), window.end, window.demand);
+      }
+    }
+    if (any_shed) obs::FlightRecorder::global().trigger("layer_shed");
+    if (report.base_overloaded) {
+      obs::FlightRecorder::global().trigger("base_layer_overload");
+    }
+  }
+
+  // Per-layer delivery through the faulted pipeline: each layer gets its
+  // own params and Section 4.4 degradation mode, the shared signalling
+  // policy, and the same fault/channel plans.
+  for (int l = 0; l < n; ++l) {
+    const LayerSpec& spec = config.layers[static_cast<std::size_t>(l)];
+    FaultedPipelineConfig pipeline_config;
+    pipeline_config.base.params = spec.params;
+    pipeline_config.base.network_latency = config.network_latency;
+    pipeline_config.base.jitter = config.jitter;
+    pipeline_config.base.jitter_seed = config.jitter_seed;
+    pipeline_config.base.playout_offset = config.playout_offset;
+    pipeline_config.base.execution_path = config.execution_path;
+    pipeline_config.recovery.retry = config.retry;
+    pipeline_config.recovery.mode = spec.mode;
+    pipeline_config.recovery.relax_factor = spec.relax_factor;
+    pipeline_config.channel = channel;
+    pipeline_config.channel_outage_threshold = config.channel_outage_threshold;
+
+    LayerOutcome& outcome = report.layers[static_cast<std::size_t>(l)];
+    FaultedPipelineReport result;
+    if (multilayer) {
+      // Per-layer ambient stream ids keep multi-layer traces attributable;
+      // the single-layer run stays in the caller's scope so its trace
+      // bytes match run_live_pipeline() exactly.
+      obs::StreamScope scope(static_cast<std::uint32_t>(l + 1));
+      result = run_faulted_pipeline(layer_traces[static_cast<std::size_t>(l)],
+                                    pipeline_config, plan);
+    } else {
+      result = run_faulted_pipeline(layer_traces[static_cast<std::size_t>(l)],
+                                    pipeline_config, plan);
+    }
+    outcome.report = std::move(result.report);
+    outcome.degradation = result.degradation;
+    for (const PictureDelivery& delivery : outcome.report.deliveries) {
+      for (const ShedWindow& window : outcome.shed) {
+        if (window.start <= delivery.sender_start &&
+            delivery.sender_start < window.end) {
+          ++outcome.pictures_shed;
+          break;
+        }
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace lsm::net

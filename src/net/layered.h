@@ -1,0 +1,126 @@
+// Layered joint smoothing: one video as K dependent sub-streams under a
+// shared channel cap.
+//
+// Scalable content ships as a base layer plus enhancement layers that are
+// only decodable when every lower layer arrived (PAPERS.MD's P2P layered
+// playout smoothing and SVC QoE work). This module splits one picture
+// trace into K sub-streams by an exact per-picture bit partition, smooths
+// every layer with its own (D, K, H) — the paper's algorithm per layer —
+// and runs a joint admission pass over the combined rate demand: whenever
+// the shared cap (scaled by the block-fading channel and any fade
+// windows, min rule) cannot carry all layers, enhancement layers are shed
+// highest-priority-index first, preserving the decodability prefix. The
+// base layer is never shed; if the cap cannot even carry the base, each
+// layer's own Section 4.4 DegradationMode governs how its delivery
+// degrades inside the faulted pipeline.
+//
+// Identity contract (the differential suites pin it): a single-layer,
+// uncapped config with an empty FaultPlan and an empty ChannelPlan
+// reproduces run_live_pipeline() bitwise — schedule, report fields, and
+// canonical trace bytes — because split_layers() returns the input trace
+// verbatim and the run delegates to run_faulted_pipeline(), whose own
+// zero-intensity identity closes the argument (DESIGN.md §3.8).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/transport.h"
+#include "sim/channel.h"
+#include "sim/fault.h"
+
+namespace lsm::net {
+
+/// Hard upper bound on layers per video: real SVC deployments use 2-4;
+/// anything past 8 is a configuration error, not ambition.
+inline constexpr int kMaxLayers = 8;
+
+/// One sub-stream's smoothing and degradation parameters.
+struct LayerSpec {
+  /// Per-layer smoothing parameters (D, K, H; tau must match the trace).
+  core::SmootherParams params;
+  /// Decodability priority: 0 is the base layer; must be strictly
+  /// increasing across LayeredConfig::layers (the shed order).
+  int priority = 0;
+  /// Section 4.4 response of this layer when the channel lags its plan.
+  DegradationMode mode = DegradationMode::kLatePicture;
+  double relax_factor = 1.25;  ///< kRateRelaxation boost cap (>= 1)
+  /// Relative bit share of the layer; <= 0 selects the default geometric
+  /// split (layer l gets weight 2^-l before normalization). Either every
+  /// layer sets a positive weight or none does.
+  double weight = 0.0;
+};
+
+/// Joint configuration for one layered video.
+struct LayeredConfig {
+  std::vector<LayerSpec> layers;  ///< size in [1, kMaxLayers]
+  /// Shared channel cap in bits/s for the *sum* of layer rates; 0 means
+  /// uncapped (no joint admission pass, nothing is ever shed).
+  double channel_cap = 0.0;
+  double network_latency = 0.010;
+  double jitter = 0.0;
+  std::uint64_t jitter_seed = 1;
+  double playout_offset = 0.0;  ///< 0 selects each layer's Theorem 1 bound
+  core::ExecutionPath execution_path = core::ExecutionPath::kAuto;
+  RetryPolicy retry;  ///< shared signalling policy for every layer
+  double channel_outage_threshold = 0.0;
+
+  /// Throws std::invalid_argument on an invalid layer count, non-monotone
+  /// priorities, invalid per-layer D/K/H/tau (including NaN or negative
+  /// values), bad weights (NaN, negative, or mixed set/unset), bad
+  /// relax_factor, or bad shared fields.
+  void validate() const;
+};
+
+/// Splits `trace` into one sub-trace per configured layer: every
+/// picture's bits are partitioned exactly (sum of layer sizes equals the
+/// original size, every layer gets >= 1 bit), deterministically from the
+/// weights alone. Layer traces share the input's pattern, types, and tau;
+/// names gain a ".L<index>" suffix. Throws std::invalid_argument (via
+/// validate(), or when a picture has fewer bits than there are layers).
+std::vector<lsm::trace::Trace> split_layers(const lsm::trace::Trace& trace,
+                                            const LayeredConfig& config);
+
+/// One interval during which joint admission shed a layer.
+struct ShedWindow {
+  double start = 0.0;
+  double end = 0.0;
+  double demand = 0.0;  ///< peak joint demand (bps) over the window
+
+  double duration() const noexcept { return end - start; }
+};
+
+/// Per-layer outcome: the layer's own faulted-pipeline result plus what
+/// joint admission did to it.
+struct LayerOutcome {
+  PipelineReport report;
+  runtime::DegradationCounters degradation;
+  std::vector<ShedWindow> shed;     ///< merged maximal shed windows
+  std::uint64_t pictures_shed = 0;  ///< sends starting inside a shed window
+  double shed_time = 0.0;           ///< total seconds the layer was shed
+};
+
+struct LayeredReport {
+  std::vector<LayerOutcome> layers;  ///< one per configured layer
+  /// Max over time of the summed per-layer planned rates (bps).
+  double joint_peak_demand = 0.0;
+  /// Smallest decodable prefix the admission pass ever kept (== layer
+  /// count when nothing was shed or the run is uncapped).
+  int min_active_layers = 0;
+  std::uint64_t shed_events = 0;  ///< maximal shed windows across layers
+  /// True when the effective cap dropped below even the base layer's
+  /// demand somewhere (the base still runs; its DegradationMode absorbs
+  /// the shortfall inside the pipeline).
+  bool base_overloaded = false;
+};
+
+/// Smooths and delivers every layer of `trace` under `config`, with
+/// `plan`'s faults and `channel`'s block fading injected into each
+/// layer's pipeline and the joint admission pass. Deterministic:
+/// identical inputs yield a bitwise-identical report.
+LayeredReport run_layered_pipeline(const lsm::trace::Trace& trace,
+                                   const LayeredConfig& config,
+                                   const sim::FaultPlan& plan = {},
+                                   const sim::ChannelPlan& channel = {});
+
+}  // namespace lsm::net

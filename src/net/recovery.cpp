@@ -28,10 +28,29 @@ void RecoveryPolicy::validate() const {
 RetryOutcome resolve_with_backoff(double request_time,
                                   const RetryPolicy& retry,
                                   const sim::FaultPlan& plan) {
+  return resolve_with_backoff(request_time, retry, plan, sim::ChannelPlan(),
+                              0.0);
+}
+
+RetryOutcome resolve_with_backoff(double request_time,
+                                  const RetryPolicy& retry,
+                                  const sim::FaultPlan& plan,
+                                  const sim::ChannelPlan& channel,
+                                  double outage_threshold,
+                                  int* outage_denials) {
+  const auto refused = [&](double t) {
+    if (plan.denial_active(t)) return true;
+    if (outage_threshold > 0.0 &&
+        channel.factor_at(t) <= outage_threshold) {
+      if (outage_denials != nullptr) ++*outage_denials;
+      return true;
+    }
+    return false;
+  };
   RetryOutcome outcome;
   outcome.grant_time = request_time;
   double backoff = retry.base_backoff;
-  while (plan.denial_active(outcome.grant_time)) {
+  while (refused(outcome.grant_time)) {
     if (outcome.denied >= retry.max_retries) {
       // This refusal exhausts the budget: no further retry is issued.
       ++outcome.denied;

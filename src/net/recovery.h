@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "net/renegotiation.h"
+#include "sim/channel.h"
 #include "sim/fault.h"
 
 namespace lsm::net {
@@ -64,6 +65,21 @@ struct RetryOutcome {
 RetryOutcome resolve_with_backoff(double request_time,
                                   const RetryPolicy& retry,
                                   const sim::FaultPlan& plan);
+
+/// Channel-aware variant: in addition to `plan`'s denial windows, a
+/// request is refused while the block-fading channel sits in an outage
+/// state — factor_at(t) <= outage_threshold — because the signalling
+/// round-trip shares the faded link with the data. A threshold <= 0
+/// disables the coupling; an empty channel plan makes this identical to
+/// the three-argument overload. `outage_denials`, when non-null, tallies
+/// the refusals attributable to the channel alone (denial windows take
+/// precedence in the attribution).
+RetryOutcome resolve_with_backoff(double request_time,
+                                  const RetryPolicy& retry,
+                                  const sim::FaultPlan& plan,
+                                  const sim::ChannelPlan& channel,
+                                  double outage_threshold,
+                                  int* outage_denials = nullptr);
 
 /// One renegotiation request in a faulted reservation replay.
 struct GrantRecord {

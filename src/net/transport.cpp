@@ -41,26 +41,34 @@ double validate_and_select_offset(const PipelineConfig& config) {
 
 /// Drains `bits` through the degraded channel starting at `start`: the
 /// granted rate is `rate_before` until `switch_time` (a pending
-/// renegotiation) and `rate_after` from then on, both scaled by the plan's
-/// fade factor, which is piecewise constant between fade breakpoints.
+/// renegotiation) and `rate_after` from then on, both scaled by the
+/// effective throughput factor min(fade, channel state factor), which is
+/// piecewise constant between the fade and channel breakpoints.
 struct DrainResult {
   double depart = 0.0;
-  bool faded = false;  ///< some bits flowed at a factor < 1
+  bool faded = false;          ///< some bits flowed under a fade window
+  bool channel_faded = false;  ///< some bits flowed in a degraded state
 };
 DrainResult drain_through_faults(double start, double bits,
                                  double rate_before, double switch_time,
                                  double rate_after,
-                                 const sim::FaultPlan& plan) {
-  // All boundaries where the effective rate can change. Fades beyond the
-  // last event end, so a generous right edge covers every breakpoint.
-  double far_edge = start;
+                                 const sim::FaultPlan& plan,
+                                 const sim::ChannelPlan& channel) {
+  // All boundaries where the effective rate can change. Fades end after
+  // the last event and the chain is ideal beyond its horizon, so a
+  // generous right edge covers every breakpoint.
+  double far_edge = std::max(start, channel.horizon());
   for (const sim::FaultEvent& event : plan.events()) {
     far_edge = std::max(far_edge, event.end());
   }
   far_edge += 1.0;
   std::vector<double> edges = plan.fade_breakpoints(start, far_edge);
-  if (switch_time > start) {
-    edges.push_back(switch_time);
+  const std::vector<double> channel_edges =
+      channel.factor_breakpoints(start, far_edge);
+  const bool had_extra = !channel_edges.empty() || switch_time > start;
+  edges.insert(edges.end(), channel_edges.begin(), channel_edges.end());
+  if (switch_time > start) edges.push_back(switch_time);
+  if (had_extra) {
     std::sort(edges.begin(), edges.end());
     edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
   }
@@ -70,13 +78,16 @@ DrainResult drain_through_faults(double start, double bits,
   double remaining = bits;
   std::size_t next_edge = 0;
   for (;;) {
-    const double factor = plan.fade_factor_at(t);
+    const double fade_factor = plan.fade_factor_at(t);
+    const double channel_factor = channel.factor_at(t);
+    const double factor = std::min(fade_factor, channel_factor);
     const double granted = t < switch_time ? rate_before : rate_after;
     const double effective = granted * factor;
     const double boundary =
         next_edge < edges.size() ? edges[next_edge] : -1.0;
     if (effective > 0.0) {
-      if (factor < 1.0) result.faded = true;
+      if (fade_factor < 1.0) result.faded = true;
+      if (channel_factor < 1.0) result.channel_faded = true;
       const double finish = t + remaining / effective;
       if (boundary < 0.0 || finish <= boundary) {
         result.depart = finish;
@@ -195,6 +206,31 @@ FaultedPipelineReport run_faulted_pipeline(const lsm::trace::Trace& trace,
     });
   }
 
+  // Channel state entries ride the queue the same way: one event per
+  // sojourn, counting actual transitions (every segment after the first)
+  // so the injected tally matches ChannelPlan::transition_count(). An
+  // empty plan schedules nothing — the differential identity case.
+  const double outage_threshold = config.channel_outage_threshold;
+  for (std::size_t k = 0; k < config.channel.segments().size(); ++k) {
+    const sim::ChannelSegment segment = config.channel.segments()[k];
+    const bool is_transition = k > 0;
+    const bool outage =
+        outage_threshold > 0.0 && segment.factor <= outage_threshold;
+    queue.schedule_at(segment.start,
+                      [&deg, tracer, segment, is_transition, outage] {
+                        deg.channel_transitions +=
+                            is_transition ? 1u : 0u;
+                        tracer->emit(obs::EventKind::kChannelState, 0,
+                                     segment.start,
+                                     static_cast<double>(segment.state),
+                                     segment.factor, segment.end());
+                        if (outage) {
+                          obs::FlightRecorder::global().trigger(
+                              "channel_outage");
+                        }
+                      });
+  }
+
   const core::SmootherParams& params = config.base.params;
   const int n = trace.picture_count();
   double channel_free = 0.0;   // real instant the channel finishes a send
@@ -239,10 +275,22 @@ FaultedPipelineReport run_faulted_pipeline(const lsm::trace::Trace& trace,
     if (granted_rate < 0.0 || requested > granted_rate) {
       const std::uint32_t picture =
           static_cast<std::uint32_t>(send.index);
-      tracer->emit(obs::EventKind::kRenegRequest, picture, actual_start,
-                   requested);
-      const RetryOutcome outcome =
-          resolve_with_backoff(actual_start, config.recovery.retry, plan);
+      int outage_denials = 0;
+      const RetryOutcome outcome = resolve_with_backoff(
+          actual_start, config.recovery.retry, plan, config.channel,
+          outage_threshold, &outage_denials);
+      // A clean instant grant is the ideal-world no-op the live pipeline
+      // models implicitly; tracing it would break the zero-intensity
+      // canonical-byte identity. Only eventful exchanges (denial, grant
+      // latency, give-up) reach the trace.
+      const bool eventful = outcome.denied > 0 ||
+                            (outcome.granted &&
+                             outcome.grant_time > actual_start);
+      if (eventful) {
+        tracer->emit(obs::EventKind::kRenegRequest, picture, actual_start,
+                     requested);
+      }
+      deg.outage_denials += static_cast<std::uint64_t>(outage_denials);
       deg.denials += static_cast<std::uint64_t>(outcome.denied);
       deg.retries += static_cast<std::uint64_t>(
           outcome.granted ? outcome.denied
@@ -252,9 +300,11 @@ FaultedPipelineReport run_faulted_pipeline(const lsm::trace::Trace& trace,
                      requested, static_cast<double>(outcome.denied));
       }
       if (outcome.granted) {
-        tracer->emit(obs::EventKind::kRenegGrant, picture,
-                     outcome.grant_time, requested,
-                     static_cast<double>(outcome.denied));
+        if (eventful) {
+          tracer->emit(obs::EventKind::kRenegGrant, picture,
+                       outcome.grant_time, requested,
+                       static_cast<double>(outcome.denied));
+        }
         if (outcome.grant_time > actual_start) {
           deg.recovery_latency.add(outcome.grant_time - actual_start);
           switch_time = outcome.grant_time;
@@ -292,27 +342,34 @@ FaultedPipelineReport run_faulted_pipeline(const lsm::trace::Trace& trace,
     double actual_depart;
     double actual_delay;
     bool faded = false;
+    bool channel_faded = false;
     const bool touched =
         stall > 0.0 || loss > 0.0 || actual_start != send.start ||
         switch_time != actual_start || requested != send.rate ||
         plan.fade_factor_at(actual_start) < 1.0 ||
-        !plan.fade_breakpoints(actual_start, send.depart).empty();
+        config.channel.factor_at(actual_start) < 1.0 ||
+        !plan.fade_breakpoints(actual_start, send.depart).empty() ||
+        !config.channel.factor_breakpoints(actual_start, send.depart)
+             .empty();
     if (!touched) {
       actual_depart = send.depart;
       actual_delay = send.delay;
     } else {
-      const DrainResult drained = drain_through_faults(
-          actual_start, wire_bits, rate_before, switch_time, requested, plan);
+      const DrainResult drained =
+          drain_through_faults(actual_start, wire_bits, rate_before,
+                               switch_time, requested, plan, config.channel);
       actual_depart = drained.depart;
       actual_delay =
           actual_depart - static_cast<double>(send.index - 1) * params.tau;
       faded = drained.faded;
+      channel_faded = drained.channel_faded;
       deg.pictures_stalled += stall > 0.0 ? 1 : 0;
       deg.pictures_retransmitted += loss > 0.0 ? 1 : 0;
       deg.retransmitted_bits += wire_bits - nominal_bits;
       deg.rate_relaxations += relaxed ? 1 : 0;
     }
     deg.pictures_faded += faded ? 1 : 0;
+    deg.pictures_channel_faded += channel_faded ? 1 : 0;
 
     PictureDelivery delivery;
     delivery.index = send.index;

@@ -15,12 +15,15 @@
 // *bound* of the uniform[0, jitter) per-picture component, never a sampled
 // value — the auto-selected offset must cover the worst draw).
 //
-// run_faulted_pipeline() runs the same model against a sim::FaultPlan: the
-// engine still plans in ideal time (its grants are the contract), while the
-// channel underneath fades, loses bits, stalls arrivals, and denies rate
-// renegotiations; net/recovery.h decides how the sender degrades. A plan
-// with no events reproduces run_live_pipeline() bitwise — the differential
-// guard for the Theorem 1 path.
+// run_faulted_pipeline() runs the same model against a sim::FaultPlan and
+// an optional sim::ChannelPlan (Markov block-fading): the engine still
+// plans in ideal time (its grants are the contract), while the channel
+// underneath fades — via ad-hoc fade windows and/or the Markov chain's
+// state factors, composed by min — loses bits, stalls arrivals, and
+// denies rate renegotiations; net/recovery.h decides how the sender
+// degrades. A plan with no events plus an empty channel plan reproduces
+// run_live_pipeline() bitwise — the differential guard for the Theorem 1
+// path.
 #pragma once
 
 #include <functional>
@@ -30,6 +33,7 @@
 #include "core/smoother.h"
 #include "net/recovery.h"
 #include "runtime/counters.h"
+#include "sim/channel.h"
 #include "sim/event_queue.h"
 #include "sim/fault.h"
 
@@ -77,6 +81,16 @@ PipelineReport run_live_pipeline(const lsm::trace::Trace& trace,
 struct FaultedPipelineConfig {
   PipelineConfig base;
   RecoveryPolicy recovery;
+  /// Block-fading channel underneath the granted rates; composes with
+  /// FaultPlan fades by the min rule. The default (empty) plan is the
+  /// ideal channel and preserves the zero-intensity bitwise identity.
+  sim::ChannelPlan channel;
+  /// When > 0, renegotiation signalling shares the faded link: requests
+  /// issued while channel.factor_at(t) <= threshold are refused like
+  /// denial-window hits (tallied in DegradationCounters::outage_denials),
+  /// and entering such a state arms a "channel_outage" flight-recorder
+  /// trigger. <= 0 disables the coupling.
+  double channel_outage_threshold = 0.0;
 };
 
 struct FaultedPipelineReport {

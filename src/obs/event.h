@@ -57,6 +57,14 @@ enum class EventKind : std::uint16_t {
   /// time = epoch tick. Deterministic: every field is a function of the
   /// admission/feed inputs, never of thread timing.
   kMuxEpoch = 14,
+  /// Block-fading channel entered a new state: a = state index, b =
+  /// throughput factor of the state, c = sojourn end time. time =
+  /// segment start.
+  kChannelState = 15,
+  /// Layered joint admission shed a layer for an interval: a = layer
+  /// index, b = interval end time, c = joint demand (bps) that exceeded
+  /// the cap. time = interval start, picture = 0.
+  kLayerShed = 16,
 };
 
 /// Human-readable kind name (chrome exporter, flight-recorder dumps).

@@ -127,6 +127,10 @@ const char* event_kind_name(EventKind kind) noexcept {
       return "stream_depart";
     case EventKind::kMuxEpoch:
       return "mux_epoch";
+    case EventKind::kChannelState:
+      return "channel_state";
+    case EventKind::kLayerShed:
+      return "layer_shed";
   }
   return "unknown";
 }

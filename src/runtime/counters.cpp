@@ -161,7 +161,10 @@ DegradationCounters& DegradationCounters::operator+=(
   losses_injected += other.losses_injected;
   stalls_injected += other.stalls_injected;
   denial_windows_injected += other.denial_windows_injected;
+  channel_transitions += other.channel_transitions;
   pictures_faded += other.pictures_faded;
+  pictures_channel_faded += other.pictures_channel_faded;
+  outage_denials += other.outage_denials;
   pictures_retransmitted += other.pictures_retransmitted;
   pictures_stalled += other.pictures_stalled;
   late_pictures += other.late_pictures;
@@ -179,7 +182,9 @@ DegradationCounters& DegradationCounters::operator+=(
 
 bool DegradationCounters::any_fault() const noexcept {
   return fades_injected != 0 || losses_injected != 0 || stalls_injected != 0 ||
-         denial_windows_injected != 0 || pictures_faded != 0 ||
+         denial_windows_injected != 0 || channel_transitions != 0 ||
+         pictures_faded != 0 || pictures_channel_faded != 0 ||
+         outage_denials != 0 ||
          pictures_retransmitted != 0 || pictures_stalled != 0 ||
          late_pictures != 0 || rate_relaxations != 0 || denials != 0 ||
          retries != 0 || giveups != 0 || retransmitted_bits != 0.0 ||
@@ -193,7 +198,10 @@ std::string DegradationCounters::to_json() const {
   json.key("losses_injected").value(losses_injected);
   json.key("stalls_injected").value(stalls_injected);
   json.key("denial_windows_injected").value(denial_windows_injected);
+  json.key("channel_transitions").value(channel_transitions);
   json.key("pictures_faded").value(pictures_faded);
+  json.key("pictures_channel_faded").value(pictures_channel_faded);
+  json.key("outage_denials").value(outage_denials);
   json.key("pictures_retransmitted").value(pictures_retransmitted);
   json.key("pictures_stalled").value(pictures_stalled);
   json.key("late_pictures").value(late_pictures);
@@ -218,7 +226,12 @@ void DegradationCounters::export_metrics(obs::Registry& registry,
   r.counter(metric_name(prefix, "stalls_injected")).add(stalls_injected);
   r.counter(metric_name(prefix, "denial_windows_injected"))
       .add(denial_windows_injected);
+  r.counter(metric_name(prefix, "channel_transitions"))
+      .add(channel_transitions);
   r.counter(metric_name(prefix, "pictures_faded")).add(pictures_faded);
+  r.counter(metric_name(prefix, "pictures_channel_faded"))
+      .add(pictures_channel_faded);
+  r.counter(metric_name(prefix, "outage_denials")).add(outage_denials);
   r.counter(metric_name(prefix, "pictures_retransmitted"))
       .add(pictures_retransmitted);
   r.counter(metric_name(prefix, "pictures_stalled")).add(pictures_stalled);

@@ -117,14 +117,18 @@ class LatencyHistogram {
 /// FaultPlan scheduled — and pipeline-side "observed" effects, so tests
 /// can check the two views against each other.
 struct DegradationCounters {
-  // Injected by the FaultPlan (bumped as each fault window opens).
+  // Injected by the FaultPlan (bumped as each fault window opens) and the
+  // block-fading ChannelPlan (one tick per state transition).
   std::uint64_t fades_injected = 0;
   std::uint64_t losses_injected = 0;
   std::uint64_t stalls_injected = 0;
   std::uint64_t denial_windows_injected = 0;
+  std::uint64_t channel_transitions = 0;
 
   // Observed effects on pictures and reservations.
   std::uint64_t pictures_faded = 0;          ///< sends slowed by a fade
+  std::uint64_t pictures_channel_faded = 0;  ///< sends slowed by the chain
+  std::uint64_t outage_denials = 0;          ///< requests refused in outage
   std::uint64_t pictures_retransmitted = 0;  ///< sends with loss inflation
   std::uint64_t pictures_stalled = 0;        ///< sends gated by a stall
   std::uint64_t late_pictures = 0;           ///< missed playout deadlines

@@ -1,0 +1,301 @@
+#include "sim/channel.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "sim/rng.h"
+
+namespace lsm::sim {
+
+namespace {
+
+constexpr double kRowSumTolerance = 1e-9;
+
+/// The intensity-scaled transition row: off-diagonal entries scale by
+/// `intensity`, the diagonal absorbs the remainder. validate() guarantees
+/// the result is still a probability row.
+std::vector<double> scaled_row(const MarkovChannelSpec& spec, int row) {
+  const std::vector<double>& p = spec.transition[static_cast<std::size_t>(row)];
+  std::vector<double> out(p.size());
+  double off_diagonal = 0.0;
+  for (std::size_t j = 0; j < p.size(); ++j) {
+    if (static_cast<int>(j) == row) continue;
+    out[j] = p[j] * spec.intensity;
+    off_diagonal += out[j];
+  }
+  out[static_cast<std::size_t>(row)] = 1.0 - off_diagonal;
+  return out;
+}
+
+}  // namespace
+
+MarkovChannelSpec MarkovChannelSpec::gilbert_elliott(double p, double r,
+                                                     double bad_factor) {
+  MarkovChannelSpec spec;
+  spec.factors = {1.0, bad_factor};
+  spec.transition = {{1.0 - p, p}, {r, 1.0 - r}};
+  spec.validate();
+  return spec;
+}
+
+void MarkovChannelSpec::validate() const {
+  if (!(horizon > 0.0) || !std::isfinite(horizon) || !(block > 0.0) ||
+      !std::isfinite(block)) {
+    throw std::invalid_argument("MarkovChannelSpec: bad horizon/block");
+  }
+  if (!std::isfinite(intensity) || intensity < 0.0) {
+    throw std::invalid_argument("MarkovChannelSpec: bad intensity");
+  }
+  const int n = state_count();
+  if (n < 1) {
+    throw std::invalid_argument("MarkovChannelSpec: no states");
+  }
+  if (initial_state < 0 || initial_state >= n) {
+    throw std::invalid_argument(
+        "MarkovChannelSpec: initial state out of range");
+  }
+  for (const double factor : factors) {
+    if (!std::isfinite(factor) || factor <= 0.0 || factor > 1.0) {
+      throw std::invalid_argument(
+          "MarkovChannelSpec: state factor outside (0, 1]");
+    }
+  }
+  if (static_cast<int>(transition.size()) != n) {
+    throw std::invalid_argument("MarkovChannelSpec: transition matrix not NxN");
+  }
+  for (int i = 0; i < n; ++i) {
+    const std::vector<double>& row = transition[static_cast<std::size_t>(i)];
+    if (static_cast<int>(row.size()) != n) {
+      throw std::invalid_argument(
+          "MarkovChannelSpec: transition matrix not NxN");
+    }
+    double sum = 0.0;
+    for (const double p : row) {
+      if (!std::isfinite(p) || p < 0.0 || p > 1.0) {
+        throw std::invalid_argument(
+            "MarkovChannelSpec: transition probability outside [0, 1]");
+      }
+      sum += p;
+    }
+    if (std::abs(sum - 1.0) > kRowSumTolerance) {
+      throw std::invalid_argument(
+          "MarkovChannelSpec: transition row does not sum to 1");
+    }
+    // The intensity-scaled row must stay stochastic: the diagonal absorbs
+    // 1 - intensity * (off-diagonal mass) and may not go negative.
+    const double off = sum - row[static_cast<std::size_t>(i)];
+    if (off * intensity > 1.0 + kRowSumTolerance) {
+      throw std::invalid_argument(
+          "MarkovChannelSpec: intensity pushes a transition row out of "
+          "stochasticity");
+    }
+  }
+}
+
+std::vector<double> MarkovChannelSpec::stationary() const {
+  validate();
+  const int n = state_count();
+  // Solve pi (P - I) = 0 with the normalization sum pi = 1: build the
+  // transpose system A x = b where A = (P - I)^T with its last row
+  // replaced by ones, b = (0, ..., 0, 1). Plain Gaussian elimination with
+  // partial pivoting — N is small by construction.
+  std::vector<std::vector<double>> a(
+      static_cast<std::size_t>(n),
+      std::vector<double>(static_cast<std::size_t>(n) + 1, 0.0));
+  for (int i = 0; i < n; ++i) {
+    const std::vector<double> row = scaled_row(*this, i);
+    for (int j = 0; j < n; ++j) {
+      a[static_cast<std::size_t>(j)][static_cast<std::size_t>(i)] =
+          row[static_cast<std::size_t>(j)] - (i == j ? 1.0 : 0.0);
+    }
+  }
+  // Normalization row: sum pi = 1 (coefficients all 1, rhs 1).
+  for (int j = 0; j <= n; ++j) {
+    a[static_cast<std::size_t>(n) - 1][static_cast<std::size_t>(j)] = 1.0;
+  }
+  for (int col = 0; col < n; ++col) {
+    int pivot = col;
+    for (int row = col + 1; row < n; ++row) {
+      if (std::abs(a[static_cast<std::size_t>(row)]
+                    [static_cast<std::size_t>(col)]) >
+          std::abs(a[static_cast<std::size_t>(pivot)]
+                    [static_cast<std::size_t>(col)])) {
+        pivot = row;
+      }
+    }
+    std::swap(a[static_cast<std::size_t>(col)],
+              a[static_cast<std::size_t>(pivot)]);
+    const double lead =
+        a[static_cast<std::size_t>(col)][static_cast<std::size_t>(col)];
+    if (std::abs(lead) < 1e-14) {
+      throw std::invalid_argument(
+          "MarkovChannelSpec: singular chain, no unique stationary "
+          "distribution");
+    }
+    for (int row = 0; row < n; ++row) {
+      if (row == col) continue;
+      const double factor = a[static_cast<std::size_t>(row)]
+                             [static_cast<std::size_t>(col)] /
+                            lead;
+      for (int j = col; j <= n; ++j) {
+        a[static_cast<std::size_t>(row)][static_cast<std::size_t>(j)] -=
+            factor *
+            a[static_cast<std::size_t>(col)][static_cast<std::size_t>(j)];
+      }
+    }
+  }
+  std::vector<double> pi(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    pi[static_cast<std::size_t>(i)] =
+        a[static_cast<std::size_t>(i)][static_cast<std::size_t>(n)] /
+        a[static_cast<std::size_t>(i)][static_cast<std::size_t>(i)];
+    // Clamp elimination noise; the suite checks the distribution sums to 1.
+    pi[static_cast<std::size_t>(i)] =
+        std::max(0.0, pi[static_cast<std::size_t>(i)]);
+  }
+  return pi;
+}
+
+double MarkovChannelSpec::mean_sojourn(int state) const {
+  validate();
+  if (state < 0 || state >= state_count()) {
+    throw std::out_of_range("MarkovChannelSpec: sojourn state out of range");
+  }
+  const std::vector<double> row = scaled_row(*this, state);
+  const double stay = row[static_cast<std::size_t>(state)];
+  if (stay >= 1.0) return std::numeric_limits<double>::infinity();
+  // Geometric sojourn in blocks with success probability (1 - stay):
+  // mean block count 1 / (1 - stay).
+  return block / (1.0 - stay);
+}
+
+double MarkovChannelSpec::mean_factor() const {
+  const std::vector<double> pi = stationary();
+  double mean = 0.0;
+  for (int i = 0; i < state_count(); ++i) {
+    mean +=
+        pi[static_cast<std::size_t>(i)] * factors[static_cast<std::size_t>(i)];
+  }
+  return mean;
+}
+
+ChannelPlan::ChannelPlan(std::vector<ChannelSegment> segments)
+    : segments_(std::move(segments)) {
+  double expected_start = 0.0;
+  bool any_fading = false;
+  for (const ChannelSegment& segment : segments_) {
+    if (!std::isfinite(segment.start) || !std::isfinite(segment.duration) ||
+        segment.duration <= 0.0 || segment.start != expected_start ||
+        !std::isfinite(segment.factor) || segment.factor <= 0.0 ||
+        segment.factor > 1.0 || segment.state < 0) {
+      throw std::invalid_argument("ChannelPlan: malformed segment list");
+    }
+    expected_start = segment.end();
+    any_fading = any_fading || segment.factor < 1.0;
+  }
+  // An all-good realization *is* the ideal channel: collapse it so the
+  // empty() fast paths (and the zero-intensity differential identity)
+  // apply to it too.
+  if (!any_fading) segments_.clear();
+}
+
+ChannelPlan ChannelPlan::generate(const MarkovChannelSpec& spec) {
+  spec.validate();
+  Rng rng(spec.seed);
+  // Pre-resolve the scaled rows once; the chain steps once per block.
+  std::vector<std::vector<double>> rows;
+  rows.reserve(static_cast<std::size_t>(spec.state_count()));
+  for (int i = 0; i < spec.state_count(); ++i) {
+    rows.push_back(scaled_row(spec, i));
+  }
+
+  std::vector<ChannelSegment> segments;
+  int state = spec.initial_state;
+  // Two clocks: `t` steps block by block and drives the chain; `cursor`
+  // accumulates the emitted durations, so each segment's start is exactly
+  // the previous segment's end() — `start + duration` need not reproduce
+  // a block-stepped sum bitwise, and the plan constructor checks
+  // contiguity exactly.
+  double t = 0.0;
+  double cursor = 0.0;
+  while (t < spec.horizon) {
+    const double segment_start = t;
+    // Extend the sojourn block by block while the chain stays put. The
+    // uniform draw happens once per block regardless of outcome, so the
+    // draw sequence is a pure function of the spec.
+    int current = state;
+    while (t < spec.horizon && state == current) {
+      t += spec.block;
+      const double u = rng.uniform();
+      const std::vector<double>& row =
+          rows[static_cast<std::size_t>(current)];
+      double cumulative = 0.0;
+      int next = current;
+      for (int j = 0; j < spec.state_count(); ++j) {
+        cumulative += row[static_cast<std::size_t>(j)];
+        if (u < cumulative) {
+          next = j;
+          break;
+        }
+      }
+      state = next;
+    }
+    ChannelSegment segment;
+    segment.start = cursor;
+    double duration = std::min(t, spec.horizon) - segment_start;
+    if (cursor + duration > spec.horizon) duration = spec.horizon - cursor;
+    if (duration <= 0.0) break;  // clock drift exhausted the horizon
+    segment.duration = duration;
+    segment.state = current;
+    segment.factor = spec.factors[static_cast<std::size_t>(current)];
+    segments.push_back(segment);
+    cursor += duration;
+  }
+  return ChannelPlan(std::move(segments));
+}
+
+double ChannelPlan::factor_at(double t) const noexcept {
+  for (const ChannelSegment& segment : segments_) {
+    if (segment.start <= t && t < segment.end()) return segment.factor;
+  }
+  return 1.0;
+}
+
+int ChannelPlan::state_at(double t) const noexcept {
+  for (const ChannelSegment& segment : segments_) {
+    if (segment.start <= t && t < segment.end()) return segment.state;
+  }
+  return -1;
+}
+
+std::vector<double> ChannelPlan::factor_breakpoints(double a, double b) const {
+  std::vector<double> edges;
+  if (!(a < b)) return edges;
+  double previous_factor = 1.0;  // the implicit ideal channel before t = 0
+  for (const ChannelSegment& segment : segments_) {
+    if (segment.factor != previous_factor && segment.start > a &&
+        segment.start < b) {
+      edges.push_back(segment.start);
+    }
+    previous_factor = segment.factor;
+  }
+  // The channel is ideal beyond the horizon; a fading final segment makes
+  // that edge a real rate change.
+  if (!segments_.empty() && previous_factor != 1.0) {
+    const double edge = segments_.back().end();
+    if (edge > a && edge < b) edges.push_back(edge);
+  }
+  return edges;
+}
+
+double ChannelPlan::occupancy(int state) const noexcept {
+  double total = 0.0;
+  for (const ChannelSegment& segment : segments_) {
+    if (segment.state == state) total += segment.duration;
+  }
+  return total;
+}
+
+}  // namespace lsm::sim

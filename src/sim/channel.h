@@ -1,0 +1,152 @@
+// Seeded Markov block-fading channel model (Gilbert–Elliott and general
+// N-state chains).
+//
+// The paper assumes the network honors any granted rate in [r^L, r^U];
+// real wireless channels fade in correlated bursts. The standard model
+// (PAPERS.md "Throughput and Delay Analysis in Video Streaming over
+// Block-Fading Channels") divides time into fixed-length blocks and runs a
+// discrete-time Markov chain over channel states, each scaling the granted
+// rate by a factor in (0, 1] — the two-state instance with a Good and a
+// Bad state is the classic Gilbert–Elliott channel.
+//
+// Like sim::FaultPlan, the realization is *pre-materialized*: every state
+// sojourn over the horizon is drawn up front from one sim::Rng stream, so
+// a run against a ChannelPlan is bit-reproducible per seed, and consumers
+// only query. The spec carries the *analytic* model — stationary
+// distribution, mean sojourn times, mean rate factor — against which the
+// statistical property suite checks the empirical realization. A plan
+// whose realization never leaves factor-1 states collapses to the empty
+// (ideal) plan, which is the zero-intensity differential identity: an
+// ideal ChannelPlan leaves run_faulted_pipeline() bitwise equal to
+// run_live_pipeline().
+//
+// Composition with FaultPlan fades follows the fade rule: the effective
+// throughput factor at time t is min(fade_factor_at(t), factor_at(t)).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace lsm::sim {
+
+/// Generation recipe for a block-fading channel realization: an N-state
+/// discrete-time Markov chain stepped once per block.
+struct MarkovChannelSpec {
+  double horizon = 10.0;  ///< seconds of simulated time covered (> 0)
+  double block = 0.02;    ///< block (coherence-time) length, seconds (> 0)
+  /// Scales the off-diagonal transition probabilities: P'(i,j) =
+  /// intensity * P(i,j) for i != j, diagonal absorbing the remainder.
+  /// 0 pins the chain to its initial state — when that state has factor
+  /// 1, the generated plan is empty (the differential identity case);
+  /// values > 1 sharpen fading as long as every row stays stochastic
+  /// (validate() throws otherwise).
+  double intensity = 1.0;
+  std::uint64_t seed = 1;  ///< deterministic stream selector
+  int initial_state = 0;   ///< chain state at t = 0
+
+  /// Per-state throughput factors in (0, 1]; factors.size() is the state
+  /// count N (>= 1). State 0 is conventionally the best state.
+  std::vector<double> factors{1.0};
+
+  /// Row-stochastic N x N per-block transition matrix (rows sum to 1
+  /// within 1e-9; entries in [0, 1]).
+  std::vector<std::vector<double>> transition{{1.0}};
+
+  /// The classic two-state Gilbert–Elliott channel: Good (factor 1) and
+  /// Bad (factor `bad_factor`), with per-block transition probabilities
+  /// p = P(Good -> Bad) and r = P(Bad -> Good).
+  static MarkovChannelSpec gilbert_elliott(double p, double r,
+                                           double bad_factor);
+
+  int state_count() const noexcept { return static_cast<int>(factors.size()); }
+
+  /// Throws std::invalid_argument on non-finite, out-of-range, or
+  /// non-stochastic fields (including an intensity that would push any
+  /// scaled row out of stochasticity).
+  void validate() const;
+
+  /// Analytic stationary distribution pi of the *intensity-scaled* chain
+  /// (pi P = pi, sum pi = 1), by direct elimination. For a reducible
+  /// chain this is the stationary vector the elimination selects for the
+  /// recurrent class reachable per the matrix structure; the spec suites
+  /// use irreducible chains. Throws via validate().
+  std::vector<double> stationary() const;
+
+  /// Analytic mean sojourn time in `state`, seconds: block / (1 - P'(s,s))
+  /// for the intensity-scaled chain; +infinity for an absorbing state.
+  /// Throws std::out_of_range on a bad index, std::invalid_argument via
+  /// validate().
+  double mean_sojourn(int state) const;
+
+  /// Analytic long-run mean throughput factor: sum_i pi_i * factor_i.
+  double mean_factor() const;
+};
+
+/// One maximal sojourn: the chain sits in `state` over [start, start +
+/// duration) — half-open, like FaultEvent windows. Consecutive segments of
+/// a plan are contiguous and alternate state.
+struct ChannelSegment {
+  double start = 0.0;
+  double duration = 0.0;
+  int state = 0;
+  double factor = 1.0;  ///< throughput factor of `state`, in (0, 1]
+
+  double end() const noexcept { return start + duration; }
+};
+
+/// An immutable, queryable block-fading realization. Default-constructed
+/// plans are empty — the ideal channel (factor 1 everywhere). Outside the
+/// covered horizon the channel is ideal by definition.
+class ChannelPlan {
+ public:
+  ChannelPlan() = default;
+
+  /// Adopts explicit segments (the unit-test constructor). Segments must
+  /// be contiguous from start 0, with positive durations and factors in
+  /// (0, 1]; throws std::invalid_argument otherwise. A segment list whose
+  /// factors are all exactly 1 collapses to the empty plan.
+  explicit ChannelPlan(std::vector<ChannelSegment> segments);
+
+  /// Draws a realization from `spec` using sim::Rng — identical spec
+  /// (including seed) yields an identical plan on every platform.
+  /// Realizations that never leave factor-1 states return empty().
+  static ChannelPlan generate(const MarkovChannelSpec& spec);
+
+  const std::vector<ChannelSegment>& segments() const noexcept {
+    return segments_;
+  }
+  bool empty() const noexcept { return segments_.empty(); }
+
+  /// End of the covered horizon (0 for the empty plan); the channel is
+  /// ideal from there on.
+  double horizon() const noexcept {
+    return segments_.empty() ? 0.0 : segments_.back().end();
+  }
+
+  /// Throughput factor at time t: the covering segment's factor, 1
+  /// outside [0, horizon()). Segment windows are half-open [start, end).
+  double factor_at(double t) const noexcept;
+
+  /// State index at time t, -1 outside the covered horizon.
+  int state_at(double t) const noexcept;
+
+  /// Sorted unique instants strictly inside (a, b) where factor_at()
+  /// changes — the breakpoints a drain integration must honor (the
+  /// horizon edge is included when the last segment's factor is not 1).
+  /// Degenerate ranges (a >= b) yield no breakpoints.
+  std::vector<double> factor_breakpoints(double a, double b) const;
+
+  /// Number of state *transitions* in the realization (segment count - 1,
+  /// 0 for empty plans).
+  int transition_count() const noexcept {
+    return segments_.empty() ? 0 : static_cast<int>(segments_.size()) - 1;
+  }
+
+  /// Total time spent in `state` across the realization, seconds.
+  double occupancy(int state) const noexcept;
+
+ private:
+  std::vector<ChannelSegment> segments_;  ///< contiguous, start 0
+};
+
+}  // namespace lsm::sim

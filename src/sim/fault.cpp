@@ -166,6 +166,7 @@ bool FaultPlan::denial_active(double t) const noexcept {
 
 std::vector<double> FaultPlan::fade_breakpoints(double a, double b) const {
   std::vector<double> edges;
+  if (!(a < b)) return edges;  // degenerate or reversed range
   for (const FaultEvent& event : events_) {
     if (event.cls != FaultClass::kChannelFade) continue;
     if (event.start > a && event.start < b) edges.push_back(event.start);

@@ -24,7 +24,11 @@ enum class FaultClass {
   kRenegotiationDenial,  ///< rate renegotiation requests are refused
 };
 
-/// One fault window. `magnitude` is class-specific:
+/// One fault window, active over the half-open interval [start, end()):
+/// a query at exactly `start` sees the fault, a query at exactly `end()`
+/// does not. Two windows sharing an endpoint therefore hand off without
+/// overlap or gap — the edge-coincidence regression tests pin this.
+/// `magnitude` is class-specific:
 ///   kChannelFade         fraction of the granted rate that still gets
 ///                        through, in (0, 1]; overlapping fades compose by
 ///                        minimum.
@@ -95,22 +99,30 @@ class FaultPlan {
   int count(FaultClass cls) const noexcept;
 
   /// Channel throughput factor at time t: min of active fade magnitudes,
-  /// 1 when no fade is active.
+  /// 1 when no fade is active. Windows are half-open [start, end()): at a
+  /// shared endpoint exactly one window is active, so the factor is the
+  /// incoming window's — never the min of both.
   double fade_factor_at(double t) const noexcept;
 
   /// Loss fraction at time t: max of active burst-loss magnitudes, 0 when
-  /// none is active.
+  /// none is active. Half-open [start, end()) windows.
   double loss_fraction_at(double t) const noexcept;
 
   /// Arrival delay at time t: max of active stall magnitudes, 0 when none
-  /// is active.
+  /// is active. Half-open [start, end()) windows.
   double stall_delay_at(double t) const noexcept;
 
   /// True when a renegotiation request at time t would be denied.
+  /// Half-open [start, end()) windows: a request at exactly end() goes
+  /// through.
   bool denial_active(double t) const noexcept;
 
-  /// Sorted unique fade-window edges strictly inside (a, b) — the
-  /// breakpoints a drain integration must honor.
+  /// Sorted unique fade-window edges strictly inside the open interval
+  /// (a, b) — the breakpoints a drain integration must honor. Edges at
+  /// exactly a or b are excluded by design: fade_factor_at(a) already
+  /// reflects a window opening at a (half-open semantics), and an edge at
+  /// b belongs to the next drain segment. An edge shared by two fades
+  /// appears once. Degenerate ranges (a >= b) yield no breakpoints.
   std::vector<double> fade_breakpoints(double a, double b) const;
 
  private:

@@ -1,0 +1,167 @@
+#include "sim/plan_io.h"
+
+#include <bit>
+#include <cstdint>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace lsm::sim {
+
+namespace {
+
+constexpr std::string_view kMagic = "lsmplan";
+constexpr std::string_view kVersion = "v1";
+
+std::string hex_double(double value) {
+  char buffer[17];
+  std::snprintf(buffer, sizeof(buffer), "%016llx",
+                static_cast<unsigned long long>(
+                    std::bit_cast<std::uint64_t>(value)));
+  return std::string(buffer);
+}
+
+double parse_hex_double(const std::string& token) {
+  if (token.size() != 16 ||
+      token.find_first_not_of("0123456789abcdef") != std::string::npos) {
+    throw std::invalid_argument("plan_io: malformed double token");
+  }
+  return std::bit_cast<double>(
+      static_cast<std::uint64_t>(std::stoull(token, nullptr, 16)));
+}
+
+const char* fault_class_name(FaultClass cls) {
+  switch (cls) {
+    case FaultClass::kChannelFade:
+      return "fade";
+    case FaultClass::kBurstLoss:
+      return "loss";
+    case FaultClass::kEncoderStall:
+      return "stall";
+    case FaultClass::kRenegotiationDenial:
+      return "denial";
+  }
+  return "unknown";
+}
+
+FaultClass parse_fault_class(const std::string& name) {
+  if (name == "fade") return FaultClass::kChannelFade;
+  if (name == "loss") return FaultClass::kBurstLoss;
+  if (name == "stall") return FaultClass::kEncoderStall;
+  if (name == "denial") return FaultClass::kRenegotiationDenial;
+  throw std::invalid_argument("plan_io: unknown fault class");
+}
+
+/// Consumes and checks the "lsmplan v1 <kind>" header; returns the body
+/// line stream.
+std::istringstream open_body(std::string_view text, std::string_view kind) {
+  std::istringstream lines{std::string(text)};
+  std::string magic;
+  std::string version;
+  std::string found_kind;
+  if (!(lines >> magic >> version >> found_kind) || magic != kMagic ||
+      version != kVersion || found_kind != kind) {
+    throw std::invalid_argument("plan_io: bad header");
+  }
+  return lines;
+}
+
+}  // namespace
+
+std::string serialize_fault_plan(const FaultPlan& plan) {
+  std::string out;
+  out += kMagic;
+  out += ' ';
+  out += kVersion;
+  out += " fault\n";
+  for (const FaultEvent& event : plan.events()) {
+    out += "event ";
+    out += fault_class_name(event.cls);
+    out += ' ';
+    out += hex_double(event.start);
+    out += ' ';
+    out += hex_double(event.duration);
+    out += ' ';
+    out += hex_double(event.magnitude);
+    out += '\n';
+  }
+  out += "end\n";
+  return out;
+}
+
+std::string serialize_channel_plan(const ChannelPlan& plan) {
+  std::string out;
+  out += kMagic;
+  out += ' ';
+  out += kVersion;
+  out += " channel\n";
+  for (const ChannelSegment& segment : plan.segments()) {
+    out += "segment ";
+    out += std::to_string(segment.state);
+    out += ' ';
+    out += hex_double(segment.start);
+    out += ' ';
+    out += hex_double(segment.duration);
+    out += ' ';
+    out += hex_double(segment.factor);
+    out += '\n';
+  }
+  out += "end\n";
+  return out;
+}
+
+FaultPlan parse_fault_plan(std::string_view text) {
+  std::istringstream lines = open_body(text, "fault");
+  std::vector<FaultEvent> events;
+  std::string keyword;
+  while (lines >> keyword) {
+    if (keyword == "end") return FaultPlan(std::move(events));
+    if (keyword != "event") {
+      throw std::invalid_argument("plan_io: unexpected fault record");
+    }
+    std::string cls;
+    std::string start;
+    std::string duration;
+    std::string magnitude;
+    if (!(lines >> cls >> start >> duration >> magnitude)) {
+      throw std::invalid_argument("plan_io: truncated fault record");
+    }
+    FaultEvent event;
+    event.cls = parse_fault_class(cls);
+    event.start = parse_hex_double(start);
+    event.duration = parse_hex_double(duration);
+    event.magnitude = parse_hex_double(magnitude);
+    events.push_back(event);
+  }
+  throw std::invalid_argument("plan_io: missing end marker");
+}
+
+ChannelPlan parse_channel_plan(std::string_view text) {
+  std::istringstream lines = open_body(text, "channel");
+  std::vector<ChannelSegment> segments;
+  std::string keyword;
+  while (lines >> keyword) {
+    if (keyword == "end") return ChannelPlan(std::move(segments));
+    if (keyword != "segment") {
+      throw std::invalid_argument("plan_io: unexpected channel record");
+    }
+    std::string state;
+    std::string start;
+    std::string duration;
+    std::string factor;
+    if (!(lines >> state >> start >> duration >> factor)) {
+      throw std::invalid_argument("plan_io: truncated channel record");
+    }
+    ChannelSegment segment;
+    segment.state = std::stoi(state);
+    segment.start = parse_hex_double(start);
+    segment.duration = parse_hex_double(duration);
+    segment.factor = parse_hex_double(factor);
+    segments.push_back(segment);
+  }
+  throw std::invalid_argument("plan_io: missing end marker");
+}
+
+}  // namespace lsm::sim

@@ -1,0 +1,42 @@
+// Byte-exact plan serialization for the golden-seed regression corpus.
+//
+// FaultPlan and ChannelPlan generation is a pure function of (spec, seed),
+// and every downstream differential leans on that. The statistical suites
+// catch gross drift, but a subtle RNG or event-ordering change can move a
+// realization without moving its statistics. The corpus under tests/data/
+// pins a handful of seeds as committed text dumps; the golden test
+// regenerates each plan and compares the serialized form byte-for-byte,
+// so drift shows up as a reviewable diff instead of a flaky statistic.
+//
+// Doubles are serialized as the 16-hex-digit IEEE-754 bit pattern — exact
+// on every platform, immune to printf shortest-round-trip differences —
+// with the format versioned in the header line ("lsmplan v1 <kind>").
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "sim/channel.h"
+#include "sim/fault.h"
+
+namespace lsm::sim {
+
+/// Canonical text form of a FaultPlan: header line, one "event <class>
+/// <start> <duration> <magnitude>" line per event in plan order, "end".
+std::string serialize_fault_plan(const FaultPlan& plan);
+
+/// Canonical text form of a ChannelPlan: header line, one "segment
+/// <state> <start> <duration> <factor>" line per segment, "end".
+std::string serialize_channel_plan(const ChannelPlan& plan);
+
+/// Parses serialize_fault_plan() output (round-trip exact). Throws
+/// std::invalid_argument on malformed input, wrong kind, or an
+/// unsupported version.
+FaultPlan parse_fault_plan(std::string_view text);
+
+/// Parses serialize_channel_plan() output (round-trip exact). Throws
+/// std::invalid_argument on malformed input, wrong kind, or an
+/// unsupported version.
+ChannelPlan parse_channel_plan(std::string_view text);
+
+}  // namespace lsm::sim

@@ -1,0 +1,235 @@
+// Channel-model differential gates:
+//  1. An empty / zero-intensity ChannelPlan must leave run_faulted_pipeline
+//     bitwise equal to run_live_pipeline — schedules, report fields, and
+//     canonical trace bytes — on both ExecutionPaths (enforced in CI under
+//     ASan and TSan, like the FaultPlan zero-intensity gate).
+//  2. A channel fade must be indistinguishable from the equivalent
+//     FaultPlan fade window (the min-rule composition collapses to the
+//     single active factor), and real fading must surface in the channel
+//     counters.
+#include "net/transport.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/flight_recorder.h"
+#include "obs/trace_io.h"
+#include "obs/tracer.h"
+#include "sim/channel.h"
+#include "trace/sequences.h"
+
+namespace lsm::net {
+namespace {
+
+using lsm::trace::Trace;
+
+PipelineConfig default_config(const Trace& trace) {
+  PipelineConfig config;
+  config.params.tau = trace.tau();
+  config.params.D = 0.2;
+  config.params.K = 1;
+  config.params.H = trace.pattern().N();
+  config.network_latency = 0.010;
+  return config;
+}
+
+void expect_bitwise_equal(const PipelineReport& faulted,
+                          const PipelineReport& base, const char* label) {
+  EXPECT_EQ(faulted.underflows, base.underflows) << label;
+  EXPECT_EQ(faulted.max_sender_delay, base.max_sender_delay) << label;
+  EXPECT_EQ(faulted.worst_delay_excess, base.worst_delay_excess) << label;
+  EXPECT_EQ(faulted.playout_offset, base.playout_offset) << label;
+  ASSERT_EQ(faulted.deliveries.size(), base.deliveries.size()) << label;
+  for (std::size_t k = 0; k < base.deliveries.size(); ++k) {
+    const PictureDelivery& f = faulted.deliveries[k];
+    const PictureDelivery& b = base.deliveries[k];
+    ASSERT_EQ(f.index, b.index) << label;
+    ASSERT_EQ(f.sender_start, b.sender_start) << label;
+    ASSERT_EQ(f.sender_done, b.sender_done) << label;
+    ASSERT_EQ(f.received, b.received) << label;
+    ASSERT_EQ(f.deadline, b.deadline) << label;
+    ASSERT_EQ(f.late, b.late) << label;
+  }
+}
+
+sim::ChannelPlan zero_intensity_plan() {
+  sim::MarkovChannelSpec spec =
+      sim::MarkovChannelSpec::gilbert_elliott(0.1, 0.3, 0.4);
+  spec.intensity = 0.0;
+  return sim::ChannelPlan::generate(spec);
+}
+
+TEST(ChannelDifferential, ZeroIntensityChannelMatchesBasePipelineBitwise) {
+  const sim::ChannelPlan channel = zero_intensity_plan();
+  ASSERT_TRUE(channel.empty());
+  for (const Trace& t : lsm::trace::paper_sequences()) {
+    for (const core::ExecutionPath path :
+         {core::ExecutionPath::kAuto, core::ExecutionPath::kReference}) {
+      PipelineConfig config = default_config(t);
+      config.jitter = 0.015;
+      config.execution_path = path;
+      const PipelineReport base = run_live_pipeline(t, config);
+      FaultedPipelineConfig faulted_config;
+      faulted_config.base = config;
+      faulted_config.channel = channel;
+      const FaultedPipelineReport faulted =
+          run_faulted_pipeline(t, faulted_config, sim::FaultPlan());
+      expect_bitwise_equal(faulted.report, base, t.name().c_str());
+      EXPECT_FALSE(faulted.degradation.any_fault()) << t.name();
+      EXPECT_EQ(faulted.degradation.channel_transitions, 0u) << t.name();
+      EXPECT_EQ(faulted.degradation.pictures_channel_faded, 0u) << t.name();
+      EXPECT_EQ(faulted.degradation.outage_denials, 0u) << t.name();
+    }
+  }
+}
+
+TEST(ChannelDifferential, ZeroIntensityChannelTraceBytesMatchBasePipeline) {
+  const Trace t = lsm::trace::driving1();
+  const PipelineConfig config = default_config(t);
+  obs::Tracer& tracer = obs::Tracer::global();
+
+  tracer.clear();
+  tracer.set_enabled(true);
+  run_live_pipeline(t, config);
+  tracer.set_enabled(false);
+  std::vector<obs::TraceEvent> base_events =
+      obs::deterministic_events(tracer.drain());
+  obs::canonical_sort(base_events);
+  const std::string base_bytes = obs::serialize(base_events);
+
+  FaultedPipelineConfig faulted_config;
+  faulted_config.base = config;
+  faulted_config.channel = zero_intensity_plan();
+  tracer.clear();
+  tracer.set_enabled(true);
+  run_faulted_pipeline(t, faulted_config, sim::FaultPlan());
+  tracer.set_enabled(false);
+  std::vector<obs::TraceEvent> faulted_events =
+      obs::deterministic_events(tracer.drain());
+  obs::canonical_sort(faulted_events);
+  const std::string faulted_bytes = obs::serialize(faulted_events);
+
+  ASSERT_FALSE(base_bytes.empty());
+  EXPECT_TRUE(base_bytes == faulted_bytes)
+      << "ideal channel perturbs the canonical trace bytes";
+}
+
+TEST(ChannelDifferential, ChannelFadeEqualsEquivalentFaultPlanFade) {
+  // One bad-state sojourn [1, 3) at factor 0.5 must degrade delivery
+  // exactly like a FaultPlan fade window of the same span and magnitude.
+  const Trace t = lsm::trace::tennis();
+  const PipelineConfig base_config = default_config(t);
+
+  std::vector<sim::ChannelSegment> segments(2);
+  segments[0].start = 0.0;
+  segments[0].duration = 1.0;
+  segments[0].state = 0;
+  segments[0].factor = 1.0;
+  segments[1].start = 1.0;
+  segments[1].duration = 2.0;
+  segments[1].state = 1;
+  segments[1].factor = 0.5;
+  FaultedPipelineConfig channel_config;
+  channel_config.base = base_config;
+  channel_config.channel = sim::ChannelPlan(std::move(segments));
+  const FaultedPipelineReport via_channel =
+      run_faulted_pipeline(t, channel_config, sim::FaultPlan());
+
+  sim::FaultEvent fade;
+  fade.cls = sim::FaultClass::kChannelFade;
+  fade.start = 1.0;
+  fade.duration = 2.0;
+  fade.magnitude = 0.5;
+  FaultedPipelineConfig fault_config;
+  fault_config.base = base_config;
+  const FaultedPipelineReport via_fault = run_faulted_pipeline(
+      t, fault_config, sim::FaultPlan(std::vector<sim::FaultEvent>{fade}));
+
+  expect_bitwise_equal(via_channel.report, via_fault.report, t.name().c_str());
+  EXPECT_GT(via_channel.degradation.pictures_channel_faded, 0u);
+  EXPECT_EQ(via_channel.degradation.channel_transitions, 1u);
+}
+
+TEST(ChannelDifferential, GeneratedChannelDegradesAndCountsTransitions) {
+  sim::MarkovChannelSpec spec =
+      sim::MarkovChannelSpec::gilbert_elliott(0.3, 0.3, 0.2);
+  spec.horizon = 8.0;
+  spec.seed = 5;
+  const sim::ChannelPlan channel = sim::ChannelPlan::generate(spec);
+  ASSERT_FALSE(channel.empty());
+  const Trace t = lsm::trace::backyard();
+  const PipelineConfig base_config = default_config(t);
+  const PipelineReport base = run_live_pipeline(t, base_config);
+  FaultedPipelineConfig config;
+  config.base = base_config;
+  config.channel = channel;
+  const FaultedPipelineReport faulted =
+      run_faulted_pipeline(t, config, sim::FaultPlan());
+  EXPECT_EQ(faulted.degradation.channel_transitions,
+            static_cast<std::uint64_t>(channel.transition_count()));
+  EXPECT_GT(faulted.degradation.pictures_channel_faded, 0u);
+  EXPECT_GE(faulted.report.max_sender_delay, base.max_sender_delay);
+  // Determinism: the same (trace, config, plan, channel) run twice is
+  // bitwise identical.
+  const FaultedPipelineReport again =
+      run_faulted_pipeline(t, config, sim::FaultPlan());
+  expect_bitwise_equal(again.report, faulted.report, t.name().c_str());
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(ChannelDifferential, OutageThresholdDeniesRenegotiationsAndTriggers) {
+  // A deep outage below the threshold refuses renegotiation signalling
+  // (tallied as outage_denials) and fires the channel_outage
+  // flight-recorder trigger.
+  std::vector<sim::ChannelSegment> segments(2);
+  segments[0].start = 0.0;
+  segments[0].duration = 0.5;
+  segments[0].state = 0;
+  segments[0].factor = 1.0;
+  segments[1].start = 0.5;
+  segments[1].duration = 6.0;
+  segments[1].state = 1;
+  segments[1].factor = 0.05;
+  const sim::ChannelPlan channel(std::move(segments));
+  const Trace t = lsm::trace::driving2();
+  FaultedPipelineConfig config;
+  config.base = default_config(t);
+  config.channel = channel;
+  config.channel_outage_threshold = 0.10;
+
+  const std::string path =
+      std::string(::testing::TempDir()) + "channel_outage_dump.txt";
+  std::remove(path.c_str());
+  obs::FlightRecorder& recorder = obs::FlightRecorder::global();
+  recorder.set_dump_path(path);
+  recorder.arm(64);
+  const FaultedPipelineReport faulted =
+      run_faulted_pipeline(t, config, sim::FaultPlan());
+  EXPECT_GT(faulted.degradation.outage_denials, 0u);
+  EXPECT_GE(recorder.dump_count(), 1u);
+  recorder.disarm();
+  obs::Tracer::global().set_enabled(false);
+  obs::Tracer::global().clear();
+  EXPECT_NE(slurp(path).find("channel_outage"), std::string::npos);
+  std::remove(path.c_str());
+
+  // Threshold 0 disables the coupling: no denials from the same outage.
+  config.channel_outage_threshold = 0.0;
+  const FaultedPipelineReport open =
+      run_faulted_pipeline(t, config, sim::FaultPlan());
+  EXPECT_EQ(open.degradation.outage_denials, 0u);
+}
+
+}  // namespace
+}  // namespace lsm::net

@@ -1,0 +1,187 @@
+// Deterministic fuzz over layered-config and degradation-priority
+// handling: seeded random configs are corrupted one field at a time —
+// invalid layer counts, non-monotone priorities, NaN or negative
+// per-layer D/K/H, malformed weights and caps — and every corruption
+// must throw std::invalid_argument from validate() (and thus from
+// split_layers / run_layered_pipeline) instead of smoothing garbage.
+// Uncorrupted configs from the same generator must validate cleanly.
+#include "net/layered.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/rng.h"
+#include "trace/sequences.h"
+
+namespace lsm::net {
+namespace {
+
+using lsm::trace::Trace;
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+LayeredConfig random_valid_config(sim::Rng& rng, double tau) {
+  LayeredConfig config;
+  const int n = static_cast<int>(rng.uniform_int(1, kMaxLayers));
+  const bool explicit_weights = rng.bernoulli(0.5);
+  int priority = 0;
+  for (int l = 0; l < n; ++l) {
+    LayerSpec layer;
+    layer.params.tau = tau;
+    layer.params.D = rng.uniform(0.05, 0.5);
+    layer.params.K = static_cast<int>(rng.uniform_int(0, 3));
+    layer.params.H = static_cast<int>(rng.uniform_int(1, 12));
+    layer.priority = priority;
+    priority += static_cast<int>(rng.uniform_int(1, 3));
+    layer.relax_factor = rng.uniform(1.0, 2.0);
+    layer.weight = explicit_weights ? rng.uniform(0.1, 4.0) : 0.0;
+    config.layers.push_back(layer);
+  }
+  config.channel_cap = rng.bernoulli(0.5) ? 0.0 : rng.uniform(1e5, 1e7);
+  config.network_latency = rng.uniform(0.0, 0.05);
+  config.jitter = rng.uniform(0.0, 0.02);
+  return config;
+}
+
+TEST(LayeredFuzz, GeneratedConfigsValidate) {
+  sim::Rng rng(2026);
+  for (int round = 0; round < 200; ++round) {
+    const LayeredConfig config = random_valid_config(rng, 1.0 / 30.0);
+    EXPECT_NO_THROW(config.validate()) << "round " << round;
+  }
+}
+
+TEST(LayeredFuzz, CorruptedConfigsAlwaysThrow) {
+  sim::Rng rng(4094);
+  int corruptions_exercised = 0;
+  for (int round = 0; round < 400; ++round) {
+    LayeredConfig config = random_valid_config(rng, 1.0 / 30.0);
+    const auto layer =
+        static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(config.layers.size()) - 1));
+    switch (rng.uniform_int(0, 11)) {
+      case 0:
+        config.layers.clear();  // no layers at all
+        break;
+      case 1:
+        // Blow past kMaxLayers with copies of a valid layer.
+        while (static_cast<int>(config.layers.size()) <= kMaxLayers) {
+          LayerSpec extra = config.layers.back();
+          extra.priority += 1 + static_cast<int>(config.layers.size());
+          config.layers.push_back(extra);
+        }
+        break;
+      case 2:
+        config.layers[layer].priority = -1 - config.layers[layer].priority;
+        break;
+      case 3:
+        // Duplicate or inverted priority breaks strict monotonicity.
+        if (config.layers.size() > 1 && layer > 0) {
+          config.layers[layer].priority = config.layers[layer - 1].priority;
+        } else {
+          config.layers[layer].priority = -5;
+        }
+        break;
+      case 4:
+        config.layers[layer].params.D =
+            rng.bernoulli(0.5) ? kNaN : -rng.uniform(0.01, 1.0);
+        break;
+      case 5:
+        config.layers[layer].params.K =
+            -1 - static_cast<int>(rng.uniform_int(0, 5));
+        break;
+      case 6:
+        config.layers[layer].params.H = 0;
+        break;
+      case 7:
+        config.layers[layer].params.tau = rng.bernoulli(0.5) ? kNaN : 0.0;
+        break;
+      case 8:
+        config.layers[layer].relax_factor =
+            rng.bernoulli(0.5) ? 0.5 : kNaN;
+        break;
+      case 9:
+        config.layers[layer].weight = rng.bernoulli(0.5) ? kNaN : -1.0;
+        break;
+      case 10:
+        config.channel_cap = rng.bernoulli(0.5) ? -1e6 : kInf;
+        break;
+      default:
+        config.network_latency = rng.bernoulli(0.5) ? kNaN : -0.01;
+        break;
+    }
+    ++corruptions_exercised;
+    EXPECT_THROW(config.validate(), std::invalid_argument)
+        << "round " << round;
+  }
+  EXPECT_EQ(corruptions_exercised, 400);
+}
+
+TEST(LayeredFuzz, MixedWeightSettingsThrow) {
+  LayeredConfig config;
+  for (int l = 0; l < 3; ++l) {
+    LayerSpec layer;
+    layer.params.tau = 1.0 / 30.0;
+    layer.params.D = 0.2;
+    layer.params.K = 1;
+    layer.params.H = 6;
+    layer.priority = l;
+    layer.weight = l == 1 ? 2.0 : 0.0;  // only the middle layer weighted
+    config.layers.push_back(layer);
+  }
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+}
+
+TEST(LayeredFuzz, MismatchedLayerTauThrows) {
+  LayeredConfig config;
+  for (int l = 0; l < 2; ++l) {
+    LayerSpec layer;
+    layer.params.tau = l == 0 ? 1.0 / 30.0 : 1.0 / 25.0;
+    layer.params.D = 0.2;
+    layer.params.K = 1;
+    layer.params.H = 6;
+    layer.priority = l;
+    config.layers.push_back(layer);
+  }
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+}
+
+TEST(LayeredFuzz, RunAndSplitRejectInvalidConfigsToo) {
+  // The entry points funnel through validate(): a corrupted config must
+  // throw before any smoothing or event scheduling happens.
+  const Trace t = lsm::trace::driving1();
+  LayeredConfig config;
+  LayerSpec layer;
+  layer.params.tau = t.tau();
+  layer.params.D = kNaN;
+  layer.params.K = 1;
+  layer.params.H = 6;
+  config.layers.push_back(layer);
+  EXPECT_THROW(split_layers(t, config), std::invalid_argument);
+  EXPECT_THROW(run_layered_pipeline(t, config), std::invalid_argument);
+}
+
+TEST(LayeredFuzz, PictureSmallerThanLayerCountThrows) {
+  // An 8-way split of a 4-bit picture cannot give every layer a bit.
+  std::vector<lsm::trace::Bits> sizes(12, 4);
+  const Trace tiny("tiny", lsm::trace::GopPattern(3, 3), sizes, 1.0 / 30.0);
+  LayeredConfig config;
+  for (int l = 0; l < kMaxLayers; ++l) {
+    LayerSpec layer;
+    layer.params.tau = tiny.tau();
+    layer.params.D = 0.2;
+    layer.params.K = 1;
+    layer.params.H = 4;
+    layer.priority = l;
+    config.layers.push_back(layer);
+  }
+  EXPECT_THROW(split_layers(tiny, config), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lsm::net

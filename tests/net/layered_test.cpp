@@ -1,0 +1,276 @@
+// Layered joint-smoothing suite: exact bit partition, the single-layer
+// identity (uncapped one-layer configs reproduce run_live_pipeline
+// bitwise, canonical trace bytes included), priority-ordered shedding
+// under a shared cap, and channel/fault composition into the admission
+// pass.
+#include "net/layered.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/trace_io.h"
+#include "obs/tracer.h"
+#include "trace/sequences.h"
+
+namespace lsm::net {
+namespace {
+
+using lsm::trace::Trace;
+
+LayerSpec layer_for(const Trace& trace, int priority) {
+  LayerSpec layer;
+  layer.params.tau = trace.tau();
+  layer.params.D = 0.2;
+  layer.params.K = 1;
+  layer.params.H = trace.pattern().N();
+  layer.priority = priority;
+  return layer;
+}
+
+LayeredConfig config_for(const Trace& trace, int layers) {
+  LayeredConfig config;
+  for (int l = 0; l < layers; ++l) {
+    config.layers.push_back(layer_for(trace, l));
+  }
+  return config;
+}
+
+TEST(SplitLayers, PartitionsEveryPictureExactly) {
+  const Trace t = lsm::trace::driving1();
+  const LayeredConfig config = config_for(t, 3);
+  const std::vector<Trace> layers = split_layers(t, config);
+  ASSERT_EQ(layers.size(), 3u);
+  for (int l = 0; l < 3; ++l) {
+    EXPECT_EQ(layers[static_cast<std::size_t>(l)].name(),
+              t.name() + ".L" + std::to_string(l));
+    EXPECT_EQ(layers[static_cast<std::size_t>(l)].picture_count(),
+              t.picture_count());
+    EXPECT_EQ(layers[static_cast<std::size_t>(l)].tau(), t.tau());
+    EXPECT_EQ(layers[static_cast<std::size_t>(l)].types(), t.types());
+  }
+  for (int i = 1; i <= t.picture_count(); ++i) {
+    lsm::trace::Bits sum = 0;
+    for (const Trace& layer : layers) {
+      EXPECT_GE(layer.size_of(i), 1);
+      sum += layer.size_of(i);
+    }
+    EXPECT_EQ(sum, t.size_of(i)) << "picture " << i;
+  }
+  // Default geometric split: the base carries the biggest share.
+  EXPECT_GT(layers[0].size_of(1), layers[1].size_of(1));
+  EXPECT_GT(layers[1].size_of(1), layers[2].size_of(1));
+}
+
+TEST(SplitLayers, SingleLayerReturnsTheTraceVerbatim) {
+  const Trace t = lsm::trace::tennis();
+  const std::vector<Trace> layers = split_layers(t, config_for(t, 1));
+  ASSERT_EQ(layers.size(), 1u);
+  EXPECT_EQ(layers[0].name(), t.name());  // no suffix: the identity case
+  EXPECT_EQ(layers[0].sizes(), t.sizes());
+}
+
+TEST(SplitLayers, ExplicitWeightsSteerTheShares) {
+  const Trace t = lsm::trace::driving2();
+  LayeredConfig config = config_for(t, 2);
+  config.layers[0].weight = 1.0;
+  config.layers[1].weight = 3.0;
+  const std::vector<Trace> layers = split_layers(t, config);
+  // Layer 1 gets ~3/4 of each picture under the explicit weights.
+  EXPECT_GT(layers[1].size_of(1), layers[0].size_of(1));
+}
+
+TEST(LayeredPipeline, SingleLayerUncappedMatchesLivePipelineBitwise) {
+  for (const Trace& t : lsm::trace::paper_sequences()) {
+    for (const core::ExecutionPath path :
+         {core::ExecutionPath::kAuto, core::ExecutionPath::kReference}) {
+      LayeredConfig config = config_for(t, 1);
+      config.jitter = 0.015;
+      config.execution_path = path;
+      PipelineConfig base_config;
+      base_config.params = config.layers[0].params;
+      base_config.network_latency = config.network_latency;
+      base_config.jitter = config.jitter;
+      base_config.jitter_seed = config.jitter_seed;
+      base_config.execution_path = path;
+      const PipelineReport base = run_live_pipeline(t, base_config);
+      const LayeredReport layered = run_layered_pipeline(t, config);
+      ASSERT_EQ(layered.layers.size(), 1u);
+      const PipelineReport& report = layered.layers[0].report;
+      EXPECT_EQ(report.underflows, base.underflows) << t.name();
+      EXPECT_EQ(report.max_sender_delay, base.max_sender_delay) << t.name();
+      EXPECT_EQ(report.worst_delay_excess, base.worst_delay_excess)
+          << t.name();
+      EXPECT_EQ(report.playout_offset, base.playout_offset) << t.name();
+      ASSERT_EQ(report.deliveries.size(), base.deliveries.size()) << t.name();
+      for (std::size_t k = 0; k < base.deliveries.size(); ++k) {
+        ASSERT_EQ(report.deliveries[k].sender_start,
+                  base.deliveries[k].sender_start)
+            << t.name();
+        ASSERT_EQ(report.deliveries[k].received, base.deliveries[k].received)
+            << t.name();
+        ASSERT_EQ(report.deliveries[k].late, base.deliveries[k].late)
+            << t.name();
+      }
+      EXPECT_EQ(layered.min_active_layers, 1);
+      EXPECT_EQ(layered.shed_events, 0u);
+      EXPECT_FALSE(layered.base_overloaded);
+      EXPECT_FALSE(layered.layers[0].degradation.any_fault());
+    }
+  }
+}
+
+TEST(LayeredPipeline, SingleLayerUncappedTraceBytesMatchLivePipeline) {
+  const Trace t = lsm::trace::driving1();
+  PipelineConfig base_config;
+  LayeredConfig config = config_for(t, 1);
+  base_config.params = config.layers[0].params;
+  obs::Tracer& tracer = obs::Tracer::global();
+
+  tracer.clear();
+  tracer.set_enabled(true);
+  run_live_pipeline(t, base_config);
+  tracer.set_enabled(false);
+  std::vector<obs::TraceEvent> base_events =
+      obs::deterministic_events(tracer.drain());
+  obs::canonical_sort(base_events);
+  const std::string base_bytes = obs::serialize(base_events);
+
+  tracer.clear();
+  tracer.set_enabled(true);
+  run_layered_pipeline(t, config);
+  tracer.set_enabled(false);
+  std::vector<obs::TraceEvent> layered_events =
+      obs::deterministic_events(tracer.drain());
+  obs::canonical_sort(layered_events);
+  const std::string layered_bytes = obs::serialize(layered_events);
+
+  ASSERT_FALSE(base_bytes.empty());
+  EXPECT_TRUE(base_bytes == layered_bytes)
+      << "single-layer layered run perturbs the canonical trace bytes";
+}
+
+TEST(LayeredPipeline, GenerousCapShedsNothing) {
+  const Trace t = lsm::trace::backyard();
+  LayeredConfig config = config_for(t, 3);
+  config.channel_cap = 1e12;
+  const LayeredReport report = run_layered_pipeline(t, config);
+  EXPECT_GT(report.joint_peak_demand, 0.0);
+  EXPECT_EQ(report.min_active_layers, 3);
+  EXPECT_EQ(report.shed_events, 0u);
+  EXPECT_FALSE(report.base_overloaded);
+  for (const LayerOutcome& layer : report.layers) {
+    EXPECT_TRUE(layer.shed.empty());
+    EXPECT_EQ(layer.pictures_shed, 0u);
+  }
+}
+
+TEST(LayeredPipeline, TightCapShedsEnhancementLayersNeverTheBase) {
+  const Trace t = lsm::trace::backyard();
+  LayeredConfig probe = config_for(t, 3);
+  probe.channel_cap = 1e12;
+  const double peak = run_layered_pipeline(t, probe).joint_peak_demand;
+
+  LayeredConfig config = config_for(t, 3);
+  config.channel_cap = 0.80 * peak;
+  const LayeredReport report = run_layered_pipeline(t, config);
+  EXPECT_GT(report.shed_events, 0u);
+  EXPECT_LT(report.min_active_layers, 3);
+  EXPECT_GE(report.min_active_layers, 1);
+  // The base layer is never shed, whatever the cap does.
+  EXPECT_TRUE(report.layers[0].shed.empty());
+  EXPECT_EQ(report.layers[0].pictures_shed, 0u);
+  // Priority order: the top layer sheds at least as much as the middle.
+  EXPECT_GE(report.layers[2].shed_time, report.layers[1].shed_time);
+  for (const LayerOutcome& layer : report.layers) {
+    for (const ShedWindow& window : layer.shed) {
+      EXPECT_GT(window.duration(), 0.0);
+      EXPECT_GT(window.demand, config.channel_cap);
+    }
+  }
+}
+
+TEST(LayeredPipeline, CapBelowBaseDemandFlagsBaseOverload) {
+  const Trace t = lsm::trace::driving2();
+  LayeredConfig config = config_for(t, 2);
+  config.channel_cap = 1.0;  // 1 bit/s: below any base-layer demand
+  const LayeredReport report = run_layered_pipeline(t, config);
+  EXPECT_TRUE(report.base_overloaded);
+  EXPECT_EQ(report.min_active_layers, 1);
+  EXPECT_TRUE(report.layers[0].shed.empty());
+  EXPECT_FALSE(report.layers[1].shed.empty());
+  EXPECT_GT(report.layers[1].pictures_shed, 0u);
+}
+
+TEST(LayeredPipeline, RepeatedRunsAreBitwiseIdentical) {
+  const Trace t = lsm::trace::tennis();
+  LayeredConfig config = config_for(t, 3);
+  config.channel_cap = 2e6;
+  sim::MarkovChannelSpec spec =
+      sim::MarkovChannelSpec::gilbert_elliott(0.2, 0.3, 0.5);
+  spec.horizon = t.duration();
+  const sim::ChannelPlan channel = sim::ChannelPlan::generate(spec);
+  const LayeredReport a = run_layered_pipeline(t, config, {}, channel);
+  const LayeredReport b = run_layered_pipeline(t, config, {}, channel);
+  EXPECT_EQ(a.joint_peak_demand, b.joint_peak_demand);
+  EXPECT_EQ(a.min_active_layers, b.min_active_layers);
+  EXPECT_EQ(a.shed_events, b.shed_events);
+  ASSERT_EQ(a.layers.size(), b.layers.size());
+  for (std::size_t l = 0; l < a.layers.size(); ++l) {
+    EXPECT_EQ(a.layers[l].shed_time, b.layers[l].shed_time);
+    EXPECT_EQ(a.layers[l].pictures_shed, b.layers[l].pictures_shed);
+    ASSERT_EQ(a.layers[l].report.deliveries.size(),
+              b.layers[l].report.deliveries.size());
+    for (std::size_t k = 0; k < a.layers[l].report.deliveries.size(); ++k) {
+      EXPECT_EQ(a.layers[l].report.deliveries[k].received,
+                b.layers[l].report.deliveries[k].received);
+    }
+  }
+}
+
+TEST(LayeredPipeline, ChannelFadingScalesTheSharedCap) {
+  // With the cap calibrated to just fit the joint demand, a half-rate
+  // channel state must force shedding that the ideal channel avoids.
+  const Trace t = lsm::trace::driving1();
+  LayeredConfig probe = config_for(t, 2);
+  probe.channel_cap = 1e12;
+  const double peak = run_layered_pipeline(t, probe).joint_peak_demand;
+
+  LayeredConfig config = config_for(t, 2);
+  config.channel_cap = 1.05 * peak;
+  const LayeredReport ideal = run_layered_pipeline(t, config);
+  EXPECT_EQ(ideal.shed_events, 0u);
+
+  std::vector<sim::ChannelSegment> segments(1);
+  segments[0].start = 0.0;
+  segments[0].duration = t.duration();
+  segments[0].state = 1;
+  segments[0].factor = 0.5;
+  const sim::ChannelPlan faded(std::move(segments));
+  const LayeredReport degraded = run_layered_pipeline(t, config, {}, faded);
+  EXPECT_GT(degraded.shed_events, 0u);
+  EXPECT_GT(degraded.layers[1].shed_time, 0.0);
+  // The per-layer pipelines saw the same fading channel.
+  EXPECT_GT(degraded.layers[0].degradation.pictures_channel_faded, 0u);
+}
+
+TEST(LayeredPipeline, PerLayerDegradationModesArePassedThrough) {
+  const Trace t = lsm::trace::backyard();
+  LayeredConfig config = config_for(t, 2);
+  config.layers[0].mode = DegradationMode::kRateRelaxation;
+  config.layers[0].relax_factor = 2.0;
+  config.layers[1].mode = DegradationMode::kLatePicture;
+  sim::FaultSpec spec;
+  spec.intensity = 2.0;
+  spec.seed = 9;
+  spec.horizon = t.duration();
+  const sim::FaultPlan plan = sim::FaultPlan::generate(spec);
+  const LayeredReport report = run_layered_pipeline(t, config, plan);
+  // Both layers ran against the same plan and recorded its faults.
+  EXPECT_TRUE(report.layers[0].degradation.any_fault());
+  EXPECT_TRUE(report.layers[1].degradation.any_fault());
+}
+
+}  // namespace
+}  // namespace lsm::net

@@ -1,0 +1,145 @@
+// Statistical property suite for the Markov block-fading channel: the
+// empirical behaviour of generated realizations must converge to the
+// spec's *analytic* accessors (stationary distribution, mean sojourn
+// times, mean factor). Every check runs on fixed seeds, so the suite is
+// deterministic — the tolerances are convergence bounds chosen with wide
+// margin for the configured horizons, not flaky confidence intervals.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "sim/channel.h"
+
+namespace lsm::sim {
+namespace {
+
+struct EmpiricalStats {
+  std::vector<double> occupancy_fraction;  ///< time share per state
+  std::vector<double> mean_sojourn;        ///< seconds per maximal visit
+  double mean_factor = 0.0;                ///< time-weighted factor
+};
+
+EmpiricalStats measure(const ChannelPlan& plan, int states) {
+  EmpiricalStats stats;
+  stats.occupancy_fraction.assign(static_cast<std::size_t>(states), 0.0);
+  stats.mean_sojourn.assign(static_cast<std::size_t>(states), 0.0);
+  std::vector<int> visits(static_cast<std::size_t>(states), 0);
+  double total = 0.0;
+  for (const ChannelSegment& segment : plan.segments()) {
+    const auto s = static_cast<std::size_t>(segment.state);
+    stats.occupancy_fraction[s] += segment.duration;
+    ++visits[s];
+    stats.mean_factor += segment.factor * segment.duration;
+    total += segment.duration;
+  }
+  for (std::size_t s = 0; s < stats.occupancy_fraction.size(); ++s) {
+    stats.mean_sojourn[s] =
+        visits[s] > 0 ? stats.occupancy_fraction[s] / visits[s] : 0.0;
+    stats.occupancy_fraction[s] /= total;
+  }
+  stats.mean_factor /= total;
+  return stats;
+}
+
+MarkovChannelSpec long_gilbert_elliott(std::uint64_t seed) {
+  MarkovChannelSpec spec =
+      MarkovChannelSpec::gilbert_elliott(0.05, 0.25, 0.3);
+  spec.horizon = 4000.0;  // 200k blocks at the default 20 ms block
+  spec.seed = seed;
+  return spec;
+}
+
+TEST(ChannelStatistics, EmpiricalStationaryMatchesAnalytic) {
+  const MarkovChannelSpec spec = long_gilbert_elliott(11);
+  const std::vector<double> pi = spec.stationary();
+  const ChannelPlan plan = ChannelPlan::generate(spec);
+  ASSERT_FALSE(plan.empty());
+  const EmpiricalStats stats = measure(plan, spec.state_count());
+  // Occupancy share converges at O(1/sqrt(blocks)) with a correlation
+  // penalty; 200k blocks leave ample room for a 0.02 absolute bound.
+  for (int s = 0; s < spec.state_count(); ++s) {
+    EXPECT_NEAR(stats.occupancy_fraction[static_cast<std::size_t>(s)],
+                pi[static_cast<std::size_t>(s)], 0.02)
+        << "state " << s;
+  }
+  EXPECT_NEAR(stats.mean_factor, spec.mean_factor(), 0.02);
+}
+
+TEST(ChannelStatistics, EmpiricalMeanSojournMatchesAnalytic) {
+  const MarkovChannelSpec spec = long_gilbert_elliott(17);
+  const ChannelPlan plan = ChannelPlan::generate(spec);
+  ASSERT_FALSE(plan.empty());
+  const EmpiricalStats stats = measure(plan, spec.state_count());
+  // Mean sojourns: Good = 0.02/0.05 = 0.4 s, Bad = 0.02/0.25 = 0.08 s.
+  // ~10k visits each; allow 10% relative error.
+  for (int s = 0; s < spec.state_count(); ++s) {
+    const double analytic = spec.mean_sojourn(s);
+    EXPECT_NEAR(stats.mean_sojourn[static_cast<std::size_t>(s)], analytic,
+                0.10 * analytic)
+        << "state " << s;
+  }
+}
+
+TEST(ChannelStatistics, ThreeStateChainConvergesToStationary) {
+  MarkovChannelSpec spec;
+  spec.factors = {1.0, 0.6, 0.2};
+  spec.transition = {
+      {0.95, 0.04, 0.01},
+      {0.20, 0.70, 0.10},
+      {0.05, 0.25, 0.70},
+  };
+  spec.horizon = 4000.0;
+  spec.seed = 23;
+  const std::vector<double> pi = spec.stationary();
+  const ChannelPlan plan = ChannelPlan::generate(spec);
+  ASSERT_FALSE(plan.empty());
+  const EmpiricalStats stats = measure(plan, spec.state_count());
+  for (int s = 0; s < spec.state_count(); ++s) {
+    EXPECT_NEAR(stats.occupancy_fraction[static_cast<std::size_t>(s)],
+                pi[static_cast<std::size_t>(s)], 0.03)
+        << "state " << s;
+  }
+  EXPECT_NEAR(stats.mean_factor, spec.mean_factor(), 0.03);
+}
+
+TEST(ChannelStatistics, IntensitySharpensFadingMonotonically) {
+  MarkovChannelSpec spec =
+      MarkovChannelSpec::gilbert_elliott(0.04, 0.40, 0.3);
+  spec.horizon = 2000.0;
+  spec.seed = 29;
+  spec.intensity = 1.0;
+  const ChannelPlan at_one = ChannelPlan::generate(spec);
+  spec.intensity = 2.0;
+  const ChannelPlan at_two = ChannelPlan::generate(spec);
+  ASSERT_FALSE(at_one.empty());
+  ASSERT_FALSE(at_two.empty());
+  // Doubling the off-diagonals doubles the transition pressure: more
+  // state changes, and (here) a larger bad-state share since p grows
+  // relative to the p + r mix shift.
+  EXPECT_GT(at_two.transition_count(), at_one.transition_count());
+  const EmpiricalStats one = measure(at_one, 2);
+  const EmpiricalStats two = measure(at_two, 2);
+  const std::vector<double> pi_two = spec.stationary();
+  EXPECT_NEAR(two.occupancy_fraction[1], pi_two[1], 0.02);
+  EXPECT_GT(two.occupancy_fraction[1], one.occupancy_fraction[1] - 0.02);
+}
+
+TEST(ChannelStatistics, IdenticalSeedsYieldIdenticalEventStreams) {
+  // The statistical layer's reproducibility contract: realizations are a
+  // pure function of the spec, segment for segment, bit for bit.
+  const MarkovChannelSpec spec = long_gilbert_elliott(31);
+  const ChannelPlan a = ChannelPlan::generate(spec);
+  const ChannelPlan b = ChannelPlan::generate(spec);
+  ASSERT_EQ(a.segments().size(), b.segments().size());
+  for (std::size_t k = 0; k < a.segments().size(); ++k) {
+    EXPECT_EQ(a.segments()[k].state, b.segments()[k].state);
+    EXPECT_EQ(a.segments()[k].start, b.segments()[k].start);
+    EXPECT_EQ(a.segments()[k].duration, b.segments()[k].duration);
+    EXPECT_EQ(a.segments()[k].factor, b.segments()[k].factor);
+  }
+}
+
+}  // namespace
+}  // namespace lsm::sim

@@ -1,0 +1,276 @@
+#include "sim/channel.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+namespace lsm::sim {
+namespace {
+
+ChannelSegment make_segment(double start, double duration, int state,
+                            double factor) {
+  ChannelSegment segment;
+  segment.start = start;
+  segment.duration = duration;
+  segment.state = state;
+  segment.factor = factor;
+  return segment;
+}
+
+TEST(MarkovChannelSpec, DefaultIsValidSingleGoodState) {
+  const MarkovChannelSpec spec;
+  EXPECT_NO_THROW(spec.validate());
+  EXPECT_EQ(spec.state_count(), 1);
+  const std::vector<double> pi = spec.stationary();
+  ASSERT_EQ(pi.size(), 1u);
+  EXPECT_DOUBLE_EQ(pi[0], 1.0);
+  EXPECT_DOUBLE_EQ(spec.mean_factor(), 1.0);
+  EXPECT_TRUE(std::isinf(spec.mean_sojourn(0)));
+}
+
+TEST(MarkovChannelSpec, GilbertElliottStationaryMatchesClosedForm) {
+  // Two-state chain: pi_bad = p / (p + r), pi_good = r / (p + r).
+  const double p = 0.05;
+  const double r = 0.40;
+  const MarkovChannelSpec spec =
+      MarkovChannelSpec::gilbert_elliott(p, r, 0.25);
+  const std::vector<double> pi = spec.stationary();
+  ASSERT_EQ(pi.size(), 2u);
+  EXPECT_NEAR(pi[0], r / (p + r), 1e-12);
+  EXPECT_NEAR(pi[1], p / (p + r), 1e-12);
+  EXPECT_NEAR(spec.mean_factor(), pi[0] * 1.0 + pi[1] * 0.25, 1e-12);
+}
+
+TEST(MarkovChannelSpec, MeanSojournMatchesGeometricHoldingTime) {
+  const MarkovChannelSpec spec =
+      MarkovChannelSpec::gilbert_elliott(0.05, 0.40, 0.25);
+  // Sojourn in Good is geometric with leave probability p: block / p.
+  EXPECT_NEAR(spec.mean_sojourn(0), spec.block / 0.05, 1e-12);
+  EXPECT_NEAR(spec.mean_sojourn(1), spec.block / 0.40, 1e-12);
+  EXPECT_THROW(spec.mean_sojourn(-1), std::out_of_range);
+  EXPECT_THROW(spec.mean_sojourn(2), std::out_of_range);
+}
+
+TEST(MarkovChannelSpec, IntensityScalesOffDiagonals) {
+  MarkovChannelSpec spec =
+      MarkovChannelSpec::gilbert_elliott(0.05, 0.40, 0.25);
+  spec.intensity = 2.0;
+  // Scaled chain has p' = 0.10, r' = 0.80.
+  EXPECT_NEAR(spec.mean_sojourn(0), spec.block / 0.10, 1e-12);
+  const std::vector<double> pi = spec.stationary();
+  EXPECT_NEAR(pi[1], 0.10 / 0.90, 1e-12);
+}
+
+TEST(MarkovChannelSpec, ThreeStateStationarySolvesBalance) {
+  MarkovChannelSpec spec;
+  spec.factors = {1.0, 0.6, 0.2};
+  spec.transition = {
+      {0.90, 0.08, 0.02},
+      {0.30, 0.60, 0.10},
+      {0.10, 0.30, 0.60},
+  };
+  const std::vector<double> pi = spec.stationary();
+  ASSERT_EQ(pi.size(), 3u);
+  double sum = 0.0;
+  for (int j = 0; j < 3; ++j) {
+    double balance = 0.0;
+    for (int i = 0; i < 3; ++i) balance += pi[i] * spec.transition[i][j];
+    EXPECT_NEAR(balance, pi[j], 1e-12);
+    sum += pi[j];
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(MarkovChannelSpec, ValidateRejectsMalformedSpecs) {
+  MarkovChannelSpec spec;
+  spec.horizon = 0.0;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+
+  spec = MarkovChannelSpec{};
+  spec.block = -0.01;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+
+  spec = MarkovChannelSpec{};
+  spec.factors = {1.0, 1.5};  // factor > 1
+  spec.transition = {{0.9, 0.1}, {0.5, 0.5}};
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+
+  spec = MarkovChannelSpec{};
+  spec.factors = {1.0, 0.0};  // factor must be > 0
+  spec.transition = {{0.9, 0.1}, {0.5, 0.5}};
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+
+  spec = MarkovChannelSpec{};
+  spec.factors = {1.0, 0.5};
+  spec.transition = {{0.8, 0.1}, {0.5, 0.5}};  // row 0 sums to 0.9
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+
+  spec = MarkovChannelSpec{};
+  spec.factors = {1.0, 0.5};
+  spec.transition = {{0.9, 0.1}};  // not N x N
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+
+  spec = MarkovChannelSpec::gilbert_elliott(0.6, 0.4, 0.5);
+  spec.intensity = 2.0;  // scaled p = 1.2 breaks stochasticity
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+
+  spec = MarkovChannelSpec{};
+  spec.initial_state = 1;  // out of range for 1 state
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+
+  spec = MarkovChannelSpec{};
+  spec.intensity = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+}
+
+TEST(ChannelPlan, DefaultIsEmptyAndIdeal) {
+  const ChannelPlan plan;
+  EXPECT_TRUE(plan.empty());
+  EXPECT_DOUBLE_EQ(plan.horizon(), 0.0);
+  EXPECT_DOUBLE_EQ(plan.factor_at(1.0), 1.0);
+  EXPECT_EQ(plan.state_at(1.0), -1);
+  EXPECT_TRUE(plan.factor_breakpoints(0.0, 100.0).empty());
+  EXPECT_EQ(plan.transition_count(), 0);
+}
+
+TEST(ChannelPlan, ZeroIntensityRealizationIsEmpty) {
+  MarkovChannelSpec spec =
+      MarkovChannelSpec::gilbert_elliott(0.2, 0.3, 0.5);
+  spec.intensity = 0.0;
+  const ChannelPlan plan = ChannelPlan::generate(spec);
+  EXPECT_TRUE(plan.empty());
+}
+
+TEST(ChannelPlan, AllGoodExplicitSegmentsCollapseToEmpty) {
+  const ChannelPlan plan(std::vector<ChannelSegment>{
+      make_segment(0.0, 1.0, 0, 1.0),
+      make_segment(1.0, 2.0, 0, 1.0),
+  });
+  EXPECT_TRUE(plan.empty());
+}
+
+TEST(ChannelPlan, GenerationIsDeterministicPerSeed) {
+  MarkovChannelSpec spec =
+      MarkovChannelSpec::gilbert_elliott(0.10, 0.30, 0.4);
+  spec.horizon = 20.0;
+  spec.seed = 7;
+  const ChannelPlan a = ChannelPlan::generate(spec);
+  const ChannelPlan b = ChannelPlan::generate(spec);
+  ASSERT_EQ(a.segments().size(), b.segments().size());
+  ASSERT_FALSE(a.empty());
+  for (std::size_t k = 0; k < a.segments().size(); ++k) {
+    EXPECT_EQ(a.segments()[k].state, b.segments()[k].state);
+    EXPECT_DOUBLE_EQ(a.segments()[k].start, b.segments()[k].start);
+    EXPECT_DOUBLE_EQ(a.segments()[k].duration, b.segments()[k].duration);
+    EXPECT_DOUBLE_EQ(a.segments()[k].factor, b.segments()[k].factor);
+  }
+  spec.seed = 8;
+  const ChannelPlan c = ChannelPlan::generate(spec);
+  bool any_difference = a.segments().size() != c.segments().size();
+  for (std::size_t k = 0;
+       !any_difference && k < a.segments().size() && k < c.segments().size();
+       ++k) {
+    any_difference = a.segments()[k].duration != c.segments()[k].duration ||
+                     a.segments()[k].state != c.segments()[k].state;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(ChannelPlan, RealizationIsContiguousAlternatingAndClipped) {
+  MarkovChannelSpec spec =
+      MarkovChannelSpec::gilbert_elliott(0.15, 0.35, 0.3);
+  spec.horizon = 12.0;
+  spec.seed = 3;
+  const ChannelPlan plan = ChannelPlan::generate(spec);
+  ASSERT_FALSE(plan.empty());
+  double cursor = 0.0;
+  for (std::size_t k = 0; k < plan.segments().size(); ++k) {
+    const ChannelSegment& segment = plan.segments()[k];
+    EXPECT_DOUBLE_EQ(segment.start, cursor);
+    EXPECT_GT(segment.duration, 0.0);
+    if (k > 0) {
+      EXPECT_NE(segment.state, plan.segments()[k - 1].state);
+    }
+    cursor = segment.end();
+  }
+  EXPECT_LE(plan.horizon(), spec.horizon + 1e-12);
+  EXPECT_EQ(plan.transition_count(),
+            static_cast<int>(plan.segments().size()) - 1);
+}
+
+TEST(ChannelPlan, QueriesAreHalfOpenAtSegmentEdges) {
+  const ChannelPlan plan(std::vector<ChannelSegment>{
+      make_segment(0.0, 1.0, 0, 1.0),
+      make_segment(1.0, 1.0, 1, 0.5),
+      make_segment(2.0, 1.0, 0, 1.0),
+  });
+  EXPECT_DOUBLE_EQ(plan.factor_at(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(plan.factor_at(1.0), 0.5);  // [1, 2) owns its start
+  EXPECT_DOUBLE_EQ(plan.factor_at(2.0), 1.0);  // and not its end
+  EXPECT_DOUBLE_EQ(plan.factor_at(3.0), 1.0);  // ideal past the horizon
+  EXPECT_EQ(plan.state_at(1.5), 1);
+  EXPECT_EQ(plan.state_at(2.0), 0);
+  EXPECT_EQ(plan.state_at(3.0), -1);
+  EXPECT_EQ(plan.state_at(-0.5), -1);
+  EXPECT_DOUBLE_EQ(plan.occupancy(0), 2.0);
+  EXPECT_DOUBLE_EQ(plan.occupancy(1), 1.0);
+}
+
+TEST(ChannelPlan, FactorBreakpointsAreInteriorFactorChangesOnly) {
+  const ChannelPlan plan(std::vector<ChannelSegment>{
+      make_segment(0.0, 1.0, 0, 1.0),
+      make_segment(1.0, 1.0, 1, 0.5),
+      make_segment(2.0, 1.0, 2, 0.5),  // state change, same factor
+      make_segment(3.0, 1.0, 0, 1.0),
+  });
+  // Factor changes at 1 and 3 only; 2 is a state flip at constant factor.
+  const std::vector<double> edges = plan.factor_breakpoints(0.0, 10.0);
+  ASSERT_EQ(edges.size(), 2u);
+  EXPECT_DOUBLE_EQ(edges[0], 1.0);
+  EXPECT_DOUBLE_EQ(edges[1], 3.0);
+  // Edges exactly at a or b are excluded (open interval).
+  EXPECT_TRUE(plan.factor_breakpoints(1.0, 3.0).empty());
+  EXPECT_TRUE(plan.factor_breakpoints(5.0, 2.0).empty());  // degenerate
+}
+
+TEST(ChannelPlan, HorizonEdgeIsABreakpointWhenEndingFaded) {
+  const ChannelPlan plan(std::vector<ChannelSegment>{
+      make_segment(0.0, 1.0, 0, 1.0),
+      make_segment(1.0, 1.0, 1, 0.5),
+  });
+  // The channel snaps back to ideal at t = 2 (horizon), so a drain
+  // integration crossing it must break there.
+  const std::vector<double> edges = plan.factor_breakpoints(0.0, 5.0);
+  ASSERT_EQ(edges.size(), 2u);
+  EXPECT_DOUBLE_EQ(edges[0], 1.0);
+  EXPECT_DOUBLE_EQ(edges[1], 2.0);
+}
+
+TEST(ChannelPlan, RejectsMalformedSegmentLists) {
+  // Gap between segments.
+  EXPECT_THROW(ChannelPlan(std::vector<ChannelSegment>{
+                   make_segment(0.0, 1.0, 0, 1.0),
+                   make_segment(1.5, 1.0, 1, 0.5)}),
+               std::invalid_argument);
+  // First segment not at 0.
+  EXPECT_THROW(ChannelPlan(std::vector<ChannelSegment>{
+                   make_segment(0.5, 1.0, 0, 1.0)}),
+               std::invalid_argument);
+  // Non-positive duration.
+  EXPECT_THROW(ChannelPlan(std::vector<ChannelSegment>{
+                   make_segment(0.0, 0.0, 0, 1.0)}),
+               std::invalid_argument);
+  // Factor out of (0, 1].
+  EXPECT_THROW(ChannelPlan(std::vector<ChannelSegment>{
+                   make_segment(0.0, 1.0, 0, 0.0)}),
+               std::invalid_argument);
+  EXPECT_THROW(ChannelPlan(std::vector<ChannelSegment>{
+                   make_segment(0.0, 1.0, 0, 1.5)}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lsm::sim

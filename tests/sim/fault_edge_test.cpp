@@ -1,0 +1,112 @@
+// Boundary-semantics pin for FaultPlan windows: every event owns the
+// half-open interval [start, end()), so queries at an exact edge belong
+// to the *starting* window, two windows sharing an endpoint hand off
+// without overlap or gap, and fade_breakpoints() reports edges strictly
+// inside the open query range only. These are regression tests for the
+// documented contract in sim/fault.h — drain integration in net/ composes
+// factors interval-by-interval and double-counts (or drops) bits if an
+// edge is attributed to both sides or neither.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/fault.h"
+
+namespace lsm::sim {
+namespace {
+
+FaultEvent make_event(FaultClass cls, double start, double duration,
+                      double magnitude) {
+  FaultEvent event;
+  event.cls = cls;
+  event.start = start;
+  event.duration = duration;
+  event.magnitude = magnitude;
+  return event;
+}
+
+TEST(FaultEdges, QueryAtExactStartIsInsideTheWindow) {
+  const FaultPlan plan(std::vector<FaultEvent>{
+      make_event(FaultClass::kChannelFade, 1.0, 2.0, 0.5),
+      make_event(FaultClass::kBurstLoss, 1.0, 2.0, 0.2),
+      make_event(FaultClass::kEncoderStall, 1.0, 2.0, 0.03),
+      make_event(FaultClass::kRenegotiationDenial, 1.0, 2.0, 0.0),
+  });
+  EXPECT_DOUBLE_EQ(plan.fade_factor_at(1.0), 0.5);
+  EXPECT_DOUBLE_EQ(plan.loss_fraction_at(1.0), 0.2);
+  EXPECT_DOUBLE_EQ(plan.stall_delay_at(1.0), 0.03);
+  EXPECT_TRUE(plan.denial_active(1.0));
+}
+
+TEST(FaultEdges, QueryAtExactEndIsOutsideTheWindow) {
+  const FaultPlan plan(std::vector<FaultEvent>{
+      make_event(FaultClass::kChannelFade, 1.0, 2.0, 0.5),
+      make_event(FaultClass::kBurstLoss, 1.0, 2.0, 0.2),
+      make_event(FaultClass::kEncoderStall, 1.0, 2.0, 0.03),
+      make_event(FaultClass::kRenegotiationDenial, 1.0, 2.0, 0.0),
+  });
+  EXPECT_DOUBLE_EQ(plan.fade_factor_at(3.0), 1.0);
+  EXPECT_DOUBLE_EQ(plan.loss_fraction_at(3.0), 0.0);
+  EXPECT_DOUBLE_EQ(plan.stall_delay_at(3.0), 0.0);
+  EXPECT_FALSE(plan.denial_active(3.0));
+}
+
+TEST(FaultEdges, TwoFadesSharingAnEndpointHandOffExactly) {
+  // [1, 2) at 0.5, then [2, 3) at 0.25: at t = 2 only the second window
+  // is active — no instant where both (min would give 0.25 early) or
+  // neither (factor 1 gap) applies.
+  const FaultPlan plan(std::vector<FaultEvent>{
+      make_event(FaultClass::kChannelFade, 1.0, 1.0, 0.5),
+      make_event(FaultClass::kChannelFade, 2.0, 1.0, 0.25),
+  });
+  EXPECT_DOUBLE_EQ(plan.fade_factor_at(1.5), 0.5);
+  EXPECT_DOUBLE_EQ(plan.fade_factor_at(2.0), 0.25);
+  EXPECT_DOUBLE_EQ(plan.fade_factor_at(2.999999), 0.25);
+  EXPECT_DOUBLE_EQ(plan.fade_factor_at(3.0), 1.0);
+  // The shared edge is one breakpoint, not two.
+  const std::vector<double> edges = plan.fade_breakpoints(0.0, 10.0);
+  ASSERT_EQ(edges.size(), 3u);
+  EXPECT_DOUBLE_EQ(edges[0], 1.0);
+  EXPECT_DOUBLE_EQ(edges[1], 2.0);
+  EXPECT_DOUBLE_EQ(edges[2], 3.0);
+}
+
+TEST(FaultEdges, BreakpointsExcludeTheQueryRangeEdges) {
+  const FaultPlan plan(std::vector<FaultEvent>{
+      make_event(FaultClass::kChannelFade, 1.0, 2.0, 0.5),
+  });
+  // Window edges at 1 and 3. A query range starting or ending exactly on
+  // an edge excludes it: the caller already integrates from/to there.
+  EXPECT_EQ(plan.fade_breakpoints(0.0, 10.0).size(), 2u);
+  const std::vector<double> from_edge = plan.fade_breakpoints(1.0, 10.0);
+  ASSERT_EQ(from_edge.size(), 1u);
+  EXPECT_DOUBLE_EQ(from_edge[0], 3.0);
+  const std::vector<double> to_edge = plan.fade_breakpoints(0.0, 3.0);
+  ASSERT_EQ(to_edge.size(), 1u);
+  EXPECT_DOUBLE_EQ(to_edge[0], 1.0);
+  EXPECT_TRUE(plan.fade_breakpoints(1.0, 3.0).empty());
+}
+
+TEST(FaultEdges, DegenerateBreakpointRangesAreEmpty) {
+  const FaultPlan plan(std::vector<FaultEvent>{
+      make_event(FaultClass::kChannelFade, 1.0, 2.0, 0.5),
+  });
+  EXPECT_TRUE(plan.fade_breakpoints(2.0, 2.0).empty());
+  EXPECT_TRUE(plan.fade_breakpoints(5.0, 1.0).empty());  // reversed
+}
+
+TEST(FaultEdges, AbuttingOppositeSeverityFadesComposeByMinPerInstant) {
+  // An enclosing mild fade [0, 4) at 0.8 with a deep inner fade [1, 2) at
+  // 0.3: min composition must flip exactly at 1 and 2.
+  const FaultPlan plan(std::vector<FaultEvent>{
+      make_event(FaultClass::kChannelFade, 0.0, 4.0, 0.8),
+      make_event(FaultClass::kChannelFade, 1.0, 1.0, 0.3),
+  });
+  EXPECT_DOUBLE_EQ(plan.fade_factor_at(0.0), 0.8);
+  EXPECT_DOUBLE_EQ(plan.fade_factor_at(1.0), 0.3);
+  EXPECT_DOUBLE_EQ(plan.fade_factor_at(2.0), 0.8);
+  EXPECT_DOUBLE_EQ(plan.fade_factor_at(4.0), 1.0);
+}
+
+}  // namespace
+}  // namespace lsm::sim

@@ -1,0 +1,144 @@
+// Golden-seed regression corpus for plan generation: the committed dumps
+// under tests/data/ pin the exact FaultPlan / ChannelPlan realizations a
+// handful of seeds produce. Serialization is byte-exact (IEEE-754 bit
+// patterns), so any RNG, ordering, or generation change shows up as a
+// reviewable text diff instead of silent drift under the differentials.
+//
+// Regenerate after an *intentional* change with:
+//   LSM_REGEN_GOLDEN=1 ./test_sim --gtest_filter='GoldenPlan*'
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "sim/channel.h"
+#include "sim/fault.h"
+#include "sim/plan_io.h"
+
+namespace lsm::sim {
+namespace {
+
+std::string data_dir() {
+  const char* dir = std::getenv("LSM_SOURCE_DIR");
+  return dir != nullptr ? std::string(dir) + "/tests/data" : "../tests/data";
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) ADD_FAILURE() << "cannot open " << path;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+void check_golden(const std::string& name, const std::string& serialized) {
+  const std::string path = data_dir() + "/" + name + ".lsmplan";
+  if (std::getenv("LSM_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::binary);
+    out << serialized;
+    GTEST_SKIP() << "regenerated " << path;
+  }
+  EXPECT_EQ(read_file(path), serialized) << name << " drifted";
+}
+
+FaultSpec corpus_fault_spec(std::uint64_t seed) {
+  FaultSpec spec;
+  spec.seed = seed;
+  spec.horizon = 30.0;
+  spec.intensity = 2.0;
+  return spec;
+}
+
+MarkovChannelSpec corpus_channel_spec(std::uint64_t seed) {
+  MarkovChannelSpec spec =
+      MarkovChannelSpec::gilbert_elliott(0.10, 0.30, 0.4);
+  spec.seed = seed;
+  spec.horizon = 30.0;
+  return spec;
+}
+
+class GoldenPlan : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GoldenPlan, FaultDumpMatchesGenerator) {
+  const FaultPlan plan = FaultPlan::generate(corpus_fault_spec(GetParam()));
+  ASSERT_FALSE(plan.empty());
+  check_golden("fault_seed" + std::to_string(GetParam()),
+               serialize_fault_plan(plan));
+}
+
+TEST_P(GoldenPlan, ChannelDumpMatchesGenerator) {
+  const ChannelPlan plan =
+      ChannelPlan::generate(corpus_channel_spec(GetParam()));
+  ASSERT_FALSE(plan.empty());
+  check_golden("channel_seed" + std::to_string(GetParam()),
+               serialize_channel_plan(plan));
+}
+
+TEST_P(GoldenPlan, FaultSerializationRoundTripsExactly) {
+  const FaultPlan plan = FaultPlan::generate(corpus_fault_spec(GetParam()));
+  const std::string text = serialize_fault_plan(plan);
+  const FaultPlan parsed = parse_fault_plan(text);
+  ASSERT_EQ(parsed.events().size(), plan.events().size());
+  for (std::size_t k = 0; k < plan.events().size(); ++k) {
+    EXPECT_EQ(parsed.events()[k].cls, plan.events()[k].cls);
+    // Bitwise, not approximate: EQ on the doubles themselves.
+    EXPECT_EQ(parsed.events()[k].start, plan.events()[k].start);
+    EXPECT_EQ(parsed.events()[k].duration, plan.events()[k].duration);
+    EXPECT_EQ(parsed.events()[k].magnitude, plan.events()[k].magnitude);
+  }
+  EXPECT_EQ(serialize_fault_plan(parsed), text);
+}
+
+TEST_P(GoldenPlan, ChannelSerializationRoundTripsExactly) {
+  const ChannelPlan plan =
+      ChannelPlan::generate(corpus_channel_spec(GetParam()));
+  const std::string text = serialize_channel_plan(plan);
+  const ChannelPlan parsed = parse_channel_plan(text);
+  ASSERT_EQ(parsed.segments().size(), plan.segments().size());
+  for (std::size_t k = 0; k < plan.segments().size(); ++k) {
+    EXPECT_EQ(parsed.segments()[k].state, plan.segments()[k].state);
+    EXPECT_EQ(parsed.segments()[k].start, plan.segments()[k].start);
+    EXPECT_EQ(parsed.segments()[k].duration, plan.segments()[k].duration);
+    EXPECT_EQ(parsed.segments()[k].factor, plan.segments()[k].factor);
+  }
+  EXPECT_EQ(serialize_channel_plan(parsed), text);
+}
+
+INSTANTIATE_TEST_SUITE_P(CorpusSeeds, GoldenPlan,
+                         testing::Values(std::uint64_t{1}, std::uint64_t{42},
+                                         std::uint64_t{1994}),
+                         [](const auto& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+TEST(GoldenPlan, ParserRejectsMalformedInput) {
+  EXPECT_THROW(parse_fault_plan(""), std::invalid_argument);
+  EXPECT_THROW(parse_fault_plan("lsmplan v2 fault\nend\n"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_fault_plan("lsmplan v1 channel\nend\n"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_fault_plan("lsmplan v1 fault\n"),  // missing end
+               std::invalid_argument);
+  EXPECT_THROW(
+      parse_fault_plan("lsmplan v1 fault\nevent fade deadbeef 0 0\nend\n"),
+      std::invalid_argument);
+  EXPECT_THROW(parse_channel_plan("lsmplan v1 fault\nend\n"),
+               std::invalid_argument);
+  EXPECT_THROW(
+      parse_channel_plan("lsmplan v1 channel\nsegment x 0 0 0\nend\n"),
+      std::invalid_argument);
+}
+
+TEST(GoldenPlan, EmptyPlansSerializeToHeaderAndEnd) {
+  EXPECT_EQ(serialize_fault_plan(FaultPlan()), "lsmplan v1 fault\nend\n");
+  EXPECT_EQ(serialize_channel_plan(ChannelPlan()),
+            "lsmplan v1 channel\nend\n");
+  EXPECT_TRUE(parse_fault_plan("lsmplan v1 fault\nend\n").empty());
+  EXPECT_TRUE(parse_channel_plan("lsmplan v1 channel\nend\n").empty());
+}
+
+}  // namespace
+}  // namespace lsm::sim
