@@ -9,10 +9,12 @@
 #include "bench_util.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <new>
+#include <vector>
 
 #include "net/statmux.h"
 #include "obs/metrics.h"
@@ -52,6 +54,11 @@ struct SweepRow {
   double dirty_per_epoch = 0.0;
   double allocs_per_epoch = 0.0;
   double alloc_bytes_per_epoch = 0.0;
+  /// Load-skew axes over the measured window, both max/mean across shards
+  /// (1.0 = perfectly balanced): resident stream population, and the wall
+  /// time each shard spent running its epochs.
+  double count_imbalance = 1.0;
+  double busy_imbalance = 1.0;
 };
 
 SweepRow run_point(int streams, int shards) {
@@ -80,12 +87,18 @@ SweepRow run_point(int streams, int shards) {
   }
   // Warm to true steady state: every stream must push past the smoother's
   // bounded-window trim threshold (~84 pictures) so its retained buffers
-  // reach their high-water capacity and stop reallocating.
-  service.run_epochs(period * 110 + 1);
+  // reach their high-water capacity, plus one full level-0 lap of the
+  // timing wheel (256 ticks) so every calendar bucket has grown to its
+  // peak population and stopped reallocating.
+  service.run_epochs(period * 110 + 1 + 256);
   bench::require(service.active_streams() == streams,
                  "mux_scale residency after warmup");
 
   const int measured = 2 * period < 64 ? 64 : 2 * period;
+  std::vector<double> busy_before(static_cast<std::size_t>(shards));
+  for (int s = 0; s < shards; ++s) {
+    busy_before[static_cast<std::size_t>(s)] = service.shard_busy_seconds(s);
+  }
   const std::int64_t pictures_before = service.stats().pictures;
   const std::uint64_t ops_before =
       g_alloc_ops.load(std::memory_order_relaxed);
@@ -115,6 +128,27 @@ SweepRow run_point(int streams, int shards) {
       static_cast<double>(ops) / static_cast<double>(measured);
   row.alloc_bytes_per_epoch =
       static_cast<double>(bytes) / static_cast<double>(measured);
+
+  // Load-skew axes: hash-sharding should spread both the resident
+  // population and the per-shard epoch wall time close to evenly; a
+  // max/mean drifting from 1.0 means one shard carries the sweep point.
+  double max_count = 0.0, sum_count = 0.0;
+  double max_busy = 0.0, sum_busy = 0.0;
+  for (int s = 0; s < shards; ++s) {
+    const double count = static_cast<double>(service.shard_stream_count(s));
+    const double busy = service.shard_busy_seconds(s) -
+                        busy_before[static_cast<std::size_t>(s)];
+    max_count = count > max_count ? count : max_count;
+    max_busy = busy > max_busy ? busy : max_busy;
+    sum_count += count;
+    sum_busy += busy;
+  }
+  const double mean_count = sum_count / shards;
+  const double mean_busy = sum_busy / shards;
+  row.count_imbalance = mean_count > 0.0 ? max_count / mean_count : 1.0;
+  row.busy_imbalance = mean_busy > 0.0 ? max_busy / mean_busy : 1.0;
+  obs::publish_shard_occupancy(obs::Registry::global(), "mux_scale",
+                               max_count, mean_count);
   return row;
 }
 
@@ -124,9 +158,9 @@ int main(int argc, char** argv) {
   const int max_streams = argc > 1 ? std::atoi(argv[1]) : 100000;
   bench::require(max_streams >= 1000, "mux_scale max streams >= 1000");
   bench::banner("statmux scale sweep: steady-state epoch cost vs residency");
-  std::printf("%10s %12s %14s %12s %14s %16s\n", "streams", "epochs_per_s",
-              "pictures_per_s", "dirty_epoch", "allocs_epoch",
-              "alloc_KiB_epoch");
+  std::printf("%10s %12s %14s %12s %14s %16s %12s %12s\n", "streams",
+              "epochs_per_s", "pictures_per_s", "dirty_epoch", "allocs_epoch",
+              "alloc_KiB_epoch", "count_imbal", "busy_imbal");
 
   SweepRow first;
   SweepRow last;
@@ -135,9 +169,11 @@ int main(int argc, char** argv) {
     const SweepRow row = run_point(streams, shards);
     if (streams == 1000) first = row;
     last = row;
-    std::printf("%10d %12.1f %14.1f %12.1f %14.1f %16.2f\n", row.streams,
-                row.epochs_per_s, row.pictures_per_s, row.dirty_per_epoch,
-                row.allocs_per_epoch, row.alloc_bytes_per_epoch / 1024.0);
+    std::printf("%10d %12.1f %14.1f %12.1f %14.1f %16.2f %12.3f %12.3f\n",
+                row.streams, row.epochs_per_s, row.pictures_per_s,
+                row.dirty_per_epoch, row.allocs_per_epoch,
+                row.alloc_bytes_per_epoch / 1024.0, row.count_imbalance,
+                row.busy_imbalance);
   }
 
   // The scaling claim: heap traffic of a steady epoch must not grow with

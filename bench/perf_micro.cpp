@@ -16,6 +16,7 @@
 #include "mpeg/motion.h"
 #include "mpeg/systems.h"
 #include "mpeg/videogen.h"
+#include "net/layered.h"
 #include "net/mux.h"
 #include "net/packetize.h"
 #include "net/statmux.h"
@@ -398,6 +399,31 @@ void BM_CellMux(benchmark::State& state) {
 }
 BENCHMARK(BM_CellMux);
 
+// Full layered pipeline (split, per-layer smoothing, joint admission
+// against a shared channel cap) over driving1 with three geometric
+// layers. Exercises the merged-breakpoint edge build and the joint
+// admission scan, the hot path of net/layered.cpp.
+void BM_LayeredSmooth(benchmark::State& state) {
+  const trace::Trace t = trace::driving1();
+  net::LayeredConfig config;
+  for (int l = 0; l < 3; ++l) {
+    net::LayerSpec layer;
+    layer.params.tau = t.tau();
+    layer.params.D = 0.2;
+    layer.params.K = 1;
+    layer.params.H = t.pattern().N();
+    layer.priority = l;
+    config.layers.push_back(layer);
+  }
+  config.channel_cap = t.mean_rate() * 1.2;  // tight enough to shed
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::run_layered_pipeline(t, config));
+  }
+  state.SetItemsProcessed(state.iterations() * 3 *
+                          static_cast<std::int64_t>(t.picture_count()));
+}
+BENCHMARK(BM_LayeredSmooth);
+
 // Sharded statmux at scale: `streams` resident endless streams over
 // `shards` shards, with arrival cadences staggered so roughly 1024
 // streams are dirty each epoch regardless of the resident count. The
@@ -436,9 +462,10 @@ void BM_MuxScale(benchmark::State& state) {
   }
   // Warm to steady state: every stream pushes past the smoother's
   // bounded-window trim threshold (~84 pictures), so retained buffers sit
-  // at their high-water capacity and the timed epochs do no per-stream
-  // reallocation.
-  service.run_epochs(period * 110 + 1);
+  // at their high-water capacity, plus one full level-0 lap of the timing
+  // wheel (256 ticks) so every calendar bucket has seen its peak
+  // population and the timed epochs do no per-stream reallocation.
+  service.run_epochs(period * 110 + 1 + 256);
 
   const std::int64_t before = service.stats().pictures;
   for (auto _ : state) {
@@ -446,12 +473,22 @@ void BM_MuxScale(benchmark::State& state) {
   }
   state.SetItemsProcessed(service.stats().pictures - before);
   state.counters["resident"] = static_cast<double>(service.active_streams());
+  // Deterministic health counters, ceiling-gated via max_counters in
+  // BENCH_BASELINE.json: wheel_entries above `resident` means stale
+  // calendar entries are accumulating (a leak — every resident stream owns
+  // exactly one live entry here), and dirty_set above ceil(streams/period)
+  // means the staggered cadence degraded into thundering herds.
+  state.counters["dirty_set"] =
+      static_cast<double>(service.last_dirty_streams());
+  state.counters["wheel_entries"] =
+      static_cast<double>(service.wheel_entries());
 }
 BENCHMARK(BM_MuxScale)
     ->ArgNames({"streams", "shards"})
     ->Args({1000, 4})
     ->Args({10000, 8})
     ->Args({100000, 8})
+    ->Args({1000000, 8})
     ->UseRealTime();
 
 // ---------------------------------------------------------------------------
@@ -563,9 +600,11 @@ void BM_MuxSteadyAllocs(benchmark::State& state) {
     }
   }
   const auto epoch = [&] { service.run_epoch(); };
-  // 140 warm epochs push every stream past the smoother trim threshold
-  // (~84 pictures) and fill the 128-slot rate-history ring.
-  const double allocs = audit_steady_allocs(140, 8, epoch);
+  // Warm epochs push every stream past the smoother trim threshold (~84
+  // pictures), fill the 128-slot rate-history ring, AND complete a full
+  // level-0 lap of the timing wheel (256 ticks) so every calendar bucket
+  // holds its high-water capacity before the audit starts.
+  const double allocs = audit_steady_allocs(140 + 256, 8, epoch);
   const std::int64_t before = service.stats().pictures;
   for (auto _ : state) epoch();
   state.SetItemsProcessed(service.stats().pictures - before);

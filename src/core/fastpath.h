@@ -247,6 +247,24 @@ class StreamingKernel {
   StreamingKernel(lsm::trace::GopPattern pattern, double tau,
                   DefaultSizes defaults);
 
+  /// Rebinds the kernel to a fresh stream without releasing buffer
+  /// capacity — the slab-arena reuse path (net/statmux): a recycled slot's
+  /// kernel starts the new stream with the old stream's high-water
+  /// vectors, so steady-state admit/depart churn allocates nothing.
+  void reset(lsm::trace::GopPattern pattern, double tau,
+             DefaultSizes defaults) {
+    pattern_ = pattern;
+    defaults_ = defaults;
+    tau_ = tau;
+    sizes_.clear();
+    prefix_.clear();
+    prefix_.push_back(0);
+    pushed_ = 0;
+    base_ = 1;
+    arrived_ = 0;
+    next_threshold_ = tau - 1e-12;
+  }
+
   /// Picture (pushed+1) finished encoding; extends the prefix-sum array.
   void on_push(Bits size) {
     sizes_.push_back(size);

@@ -1,0 +1,27 @@
+// AVX2 tier of add_series. Compiled with -mavx2 in its own translation
+// unit (see core/CMakeLists.txt); only reached when runtime dispatch says
+// the CPU has AVX2. Element-wise adds only — lanes never combine, so the
+// result is trivially bit-identical to the scalar tier (series_ops.h).
+#include <immintrin.h>
+
+#include "core/series_ops.h"
+
+namespace lsm::core::detail {
+
+void add_series_avx2(double* dst, const double* src, std::size_t n) noexcept {
+  std::size_t k = 0;
+  for (; k + 8 <= n; k += 8) {
+    _mm256_storeu_pd(dst + k, _mm256_add_pd(_mm256_loadu_pd(dst + k),
+                                            _mm256_loadu_pd(src + k)));
+    _mm256_storeu_pd(dst + k + 4,
+                     _mm256_add_pd(_mm256_loadu_pd(dst + k + 4),
+                                   _mm256_loadu_pd(src + k + 4)));
+  }
+  for (; k + 4 <= n; k += 4) {
+    _mm256_storeu_pd(dst + k, _mm256_add_pd(_mm256_loadu_pd(dst + k),
+                                            _mm256_loadu_pd(src + k)));
+  }
+  for (; k < n; ++k) dst[k] += src[k];
+}
+
+}  // namespace lsm::core::detail

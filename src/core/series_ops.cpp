@@ -1,0 +1,48 @@
+#include "core/series_ops.h"
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+
+#include "core/simd_dispatch.h"
+
+namespace lsm::core::detail {
+
+void add_series_scalar(double* dst, const double* src,
+                       std::size_t n) noexcept {
+  for (std::size_t k = 0; k < n; ++k) dst[k] += src[k];
+}
+
+#if defined(__SSE2__)
+void add_series_sse2(double* dst, const double* src, std::size_t n) noexcept {
+  std::size_t k = 0;
+  for (; k + 2 <= n; k += 2) {
+    _mm_storeu_pd(dst + k, _mm_add_pd(_mm_loadu_pd(dst + k),
+                                      _mm_loadu_pd(src + k)));
+  }
+  for (; k < n; ++k) dst[k] += src[k];
+}
+#else
+void add_series_sse2(double* dst, const double* src, std::size_t n) noexcept {
+  add_series_scalar(dst, src, n);
+}
+#endif
+
+void add_series(double* dst, const double* src, std::size_t n) noexcept {
+  switch (simd::active_simd_level()) {
+    case simd::SimdLevel::kScalar:
+      return add_series_scalar(dst, src, n);
+    case simd::SimdLevel::kSse2:
+      return add_series_sse2(dst, src, n);
+    case simd::SimdLevel::kAvx2:
+    case simd::SimdLevel::kAvx512:  // no 512-bit tier: add is load-bound
+#if defined(LSM_CORE_HAVE_AVX2)
+      return add_series_avx2(dst, src, n);
+#else
+      return add_series_sse2(dst, src, n);
+#endif
+  }
+  return add_series_scalar(dst, src, n);
+}
+
+}  // namespace lsm::core::detail

@@ -1,0 +1,45 @@
+// Element-wise double-series accumulation, runtime-dispatched across SIMD
+// tiers (core/simd_dispatch.h). This is the vector half of the statmux
+// batched-epoch reduction (net/statmux.cpp): each shard records its
+// per-epoch rate totals into a contiguous batch buffer, and the driver
+// merges the shards in shard-index order with
+//
+//   for each shard s (ascending):  add_series(totals, shard[s].batch, n)
+//
+// The bit-exactness argument is by construction, not by care: add_series
+// computes dst[k] += src[k] independently per element, so element k of the
+// merged series sees exactly the additions
+//
+//   ((0 + shard0[k]) + shard1[k]) + ... + shardS-1[k]
+//
+// in shard-index order — the same IEEE-754 operation sequence, in the same
+// order, as the pre-existing scalar per-epoch loop `for s: total +=
+// shard[s].rate`. Vector lanes hold DIFFERENT elements k, never partial
+// sums of one element, so no tier changes any element's association or
+// rounding; scalar, SSE2, and AVX2 results are identical to the last bit
+// at every level, and the 1-vs-N-thread / batch-vs-single identities of
+// the statmux rate series follow. (Compare core/bounds_fold.h, where the
+// same discipline needs a max/min-associativity argument — here the lanes
+// never interact at all.)
+//
+// The AVX2 tier lives in series_avx2.cpp so -mavx2 stays per-file; the
+// dispatcher degrades to the widest compiled tier at or below the active
+// level, exactly like fold_bounds.
+#pragma once
+
+#include <cstddef>
+
+namespace lsm::core::detail {
+
+/// dst[k] += src[k] for k in [0, n). Per-tier entry points — every tier
+/// returns bit-identical dst contents (element-wise, no cross-lane math).
+void add_series_scalar(double* dst, const double* src,
+                       std::size_t n) noexcept;
+void add_series_sse2(double* dst, const double* src, std::size_t n) noexcept;
+void add_series_avx2(double* dst, const double* src, std::size_t n) noexcept;
+
+/// Runtime-dispatched element-wise accumulate: one relaxed load of the
+/// active SIMD level, then the widest compiled tier at or below it.
+void add_series(double* dst, const double* src, std::size_t n) noexcept;
+
+}  // namespace lsm::core::detail

@@ -26,6 +26,26 @@ StreamingSmoother::StreamingSmoother(lsm::trace::GopPattern pattern,
   params_.validate();
 }
 
+void StreamingSmoother::reset(lsm::trace::GopPattern pattern,
+                              SmootherParams params, DefaultSizes defaults,
+                              ExecutionPath path) {
+  params.validate();
+  pattern_ = pattern;
+  params_ = params;
+  defaults_ = defaults;
+  sizes_.clear();  // capacity retained: the point of resetting in place
+  kernel_.reset(pattern, params.tau, defaults);
+  use_fast_path_ = path != ExecutionPath::kReference;
+  finished_ = false;
+  dirty_ = false;
+  pushed_ = 0;
+  base_ = 1;
+  tracer_ = obs::StreamTracer();  // re-binds to the ambient StreamScope
+  next_ = 1;
+  depart_ = 0.0;
+  rate_ = 0.0;
+}
+
 void StreamingSmoother::push(Bits size) {
   if (finished_) {
     throw std::logic_error("StreamingSmoother::push after finish");

@@ -63,6 +63,17 @@ class StreamingSmoother {
                     DefaultSizes defaults = {},
                     ExecutionPath path = ExecutionPath::kAuto);
 
+  /// Rebinds this smoother to a brand-new stream, keeping every buffer's
+  /// capacity — the slab-arena reuse path (net/statmux recycles smoother
+  /// slots across admit/depart churn without allocating). Equivalent to
+  /// assigning a freshly-constructed smoother, except no heap traffic and
+  /// the tracer re-binds to the CURRENT ambient obs::StreamScope (call it
+  /// inside the new stream's scope). Throws InvalidParams before touching
+  /// any state if `params` is invalid.
+  void reset(lsm::trace::GopPattern pattern, SmootherParams params,
+             DefaultSizes defaults = {},
+             ExecutionPath path = ExecutionPath::kAuto);
+
   /// Picture (pushed_count()+1) finished encoding; its arrival completes at
   /// push_count * tau. Throws std::logic_error after finish().
   void push(Bits size);

@@ -1,6 +1,7 @@
 #include "net/layered.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <limits>
 #include <stdexcept>
@@ -22,9 +23,11 @@ bool fits(double demand, double cap) {
   return demand <= cap * (1.0 + 1e-12) + kCapSlack;
 }
 
-std::vector<double> layer_weights(const LayeredConfig& config) {
+/// Normalized layer weights into a fixed-size array (layer count is capped
+/// at kMaxLayers): no heap traffic, the values land in the caller's frame.
+std::array<double, kMaxLayers> layer_weights(const LayeredConfig& config) {
   const std::size_t n = config.layers.size();
-  std::vector<double> weights(n);
+  std::array<double, kMaxLayers> weights{};
   const bool explicit_weights = config.layers.front().weight > 0.0;
   double sum = 0.0;
   for (std::size_t l = 0; l < n; ++l) {
@@ -32,7 +35,7 @@ std::vector<double> layer_weights(const LayeredConfig& config) {
                                   : std::ldexp(1.0, -static_cast<int>(l));
     sum += weights[l];
   }
-  for (double& w : weights) w /= sum;
+  for (std::size_t l = 0; l < n; ++l) weights[l] /= sum;
   return weights;
 }
 
@@ -99,7 +102,7 @@ std::vector<lsm::trace::Trace> split_layers(const lsm::trace::Trace& trace,
   const int n = static_cast<int>(config.layers.size());
   if (n == 1) return {trace};  // verbatim: the identity case
 
-  const std::vector<double> weights = layer_weights(config);
+  const std::array<double, kMaxLayers> weights = layer_weights(config);
   const int pictures = trace.picture_count();
   std::vector<std::vector<lsm::trace::Bits>> sizes(
       static_cast<std::size_t>(n));
@@ -174,15 +177,24 @@ LayeredReport run_layered_pipeline(const lsm::trace::Trace& trace,
       span_end = std::max(span_end, schedules.back().end_time());
     }
 
-    std::vector<double> edges{0.0};
-    for (const core::RateSchedule& schedule : schedules) {
-      const std::vector<double> b = schedule.breakpoints();
-      edges.insert(edges.end(), b.begin(), b.end());
-    }
+    // Merge every edge source into one pre-sized vector: fetching the
+    // fade/channel edges first lets the reserve cover the exact total, so
+    // the inserts below never reallocate mid-merge.
     const std::vector<double> fade_edges =
         plan.fade_breakpoints(0.0, span_end);
     const std::vector<double> channel_edges =
         channel.factor_breakpoints(0.0, span_end);
+    std::size_t edge_count = 1 + fade_edges.size() + channel_edges.size();
+    for (const core::RateSchedule& schedule : schedules) {
+      edge_count += schedule.segments().size() + 1;
+    }
+    std::vector<double> edges;
+    edges.reserve(edge_count);
+    edges.push_back(0.0);
+    for (const core::RateSchedule& schedule : schedules) {
+      const std::vector<double> b = schedule.breakpoints();
+      edges.insert(edges.end(), b.begin(), b.end());
+    }
     edges.insert(edges.end(), fade_edges.begin(), fade_edges.end());
     edges.insert(edges.end(), channel_edges.begin(), channel_edges.end());
     std::sort(edges.begin(), edges.end());

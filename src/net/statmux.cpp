@@ -1,18 +1,22 @@
 #include "net/statmux.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstddef>
-#include <queue>
+#include <optional>
 #include <stdexcept>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
+#include "core/series_ops.h"
 #include "core/streaming.h"
 #include "obs/metrics.h"
 #include "obs/tracer.h"
 #include "runtime/mpsc_ring.h"
 #include "runtime/pool.h"
+#include "runtime/slab_arena.h"
+#include "runtime/timing_wheel.h"
 #include "sim/rng.h"
 
 namespace lsm::net {
@@ -97,35 +101,105 @@ bool spec_is_valid(const StreamSpec& spec) {
   return true;
 }
 
-struct CalendarEntry {
+/// Calendar token in a shard's timing wheel. Carries the stream's arena
+/// slot so the advance loop never touches the id->slot map, and the
+/// generation current when the entry was filed (mismatch == stale: the
+/// stream departed — and the slot possibly got recycled — while this entry
+/// was in flight). `due` is required by TimingWheel for cascades; `id` is
+/// the canonical sort key of the per-tick advance order.
+struct WheelEntry {
   std::int64_t due = 0;
   std::uint32_t id = 0;
+  std::uint32_t slot = 0;
   std::uint64_t generation = 0;
-
-  /// Total order (due, id, generation): the pop sequence within one tick
-  /// is the canonical advance order, independent of insertion history.
-  bool operator>(const CalendarEntry& other) const noexcept {
-    if (due != other.due) return due > other.due;
-    if (id != other.id) return id > other.id;
-    return generation > other.generation;
-  }
 };
 
-struct StreamState {
-  StreamState(const StreamSpec& spec_in, std::uint64_t generation_in)
-      : spec(spec_in),
-        pattern(spec_in.gop_n, spec_in.gop_m),
-        smoother(pattern, spec_in.params, spec_in.defaults),
-        nominal(spec_in.nominal_rate()),
-        generation(generation_in) {}
+void prefetch(const void* address) {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(address);
+#else
+  (void)address;
+#endif
+}
 
-  StreamSpec spec;
-  GopPattern pattern;
-  core::StreamingSmoother smoother;
-  int next_push = 1;    ///< next picture index to feed
-  double rate = 0.0;    ///< currently reserved rate (last decision)
-  double nominal = 0.0;
-  std::uint64_t generation = 0;  ///< matches live calendar entries
+/// Per-stream feed metadata the advance loop reads on every arrival,
+/// grouped into ONE slab record so advancing a stream touches one
+/// metadata cache line instead of one per field.
+struct StreamMeta {
+  std::uint64_t feed_seed = 0;
+  std::int32_t next_push = 1;  ///< next picture index to feed
+  std::int32_t period_ticks = 1;
+  std::int32_t picture_count = 0;
+  GopPattern pattern{1, 1};
+  core::DefaultSizes defaults;
+};
+
+/// Slab-backed structure-of-arrays stream state (DESIGN.md §3.9). Dense
+/// slots come from a LIFO free-list; the hot fields form contiguous lanes
+/// indexed by slot — the stale-check generations, the reservation rates,
+/// the per-arrival StreamMeta records — and the StreamingSmoother objects
+/// live in a parallel slab that is reset IN PLACE on slot reuse: a
+/// recycled stream inherits the previous occupant's buffer capacity, so
+/// steady-state admit/depart churn allocates nothing beyond the cold
+/// id->slot map node.
+///
+/// Liveness is the generation lane: generations are unique per shard and
+/// start at 1, a released slot's generation is set to 0, so a wheel
+/// entry is live iff generation[slot] == entry.generation — one load, no
+/// separate flag, correct across slot recycling.
+struct StreamArena {
+  runtime::SlotAllocator slots;
+
+  std::vector<std::uint64_t> generation;  ///< 0 = slot free
+  std::vector<double> rate;               ///< currently reserved (last send)
+  std::vector<double> nominal;            ///< cold: admit/depart/finish only
+  std::vector<StreamMeta> meta;
+  std::vector<std::optional<core::StreamingSmoother>> smoothers;
+
+  /// Cold path only (admission / departure); the advance loop is keyed by
+  /// slot and never looks in here.
+  std::unordered_map<std::uint32_t, std::uint32_t> id_to_slot;
+
+  /// Binds a slot to `spec`. Caller has already passed the admission
+  /// checks, computed `nominal_in`, and — because the smoother's tracer
+  /// binds the ambient stream — entered the stream's obs::StreamScope.
+  std::uint32_t admit(const StreamSpec& spec, double nominal_in,
+                      std::uint64_t generation_in) {
+    const std::uint32_t slot = slots.acquire();
+    const GopPattern pat(spec.gop_n, spec.gop_m);
+    StreamMeta m;
+    m.feed_seed = spec.feed_seed;
+    m.next_push = 1;
+    m.period_ticks = spec.period_ticks;
+    m.picture_count = spec.picture_count;
+    m.pattern = pat;
+    m.defaults = spec.defaults;
+    if (static_cast<std::size_t>(slot) == generation.size()) {
+      // Fresh high water: grow every lane together.
+      generation.push_back(generation_in);
+      rate.push_back(0.0);
+      nominal.push_back(nominal_in);
+      meta.push_back(m);
+      smoothers.emplace_back(std::in_place, pat, spec.params, spec.defaults);
+    } else {
+      // Recycled slot: reset in place, keeping buffer capacity.
+      generation[slot] = generation_in;
+      rate[slot] = 0.0;
+      nominal[slot] = nominal_in;
+      meta[slot] = m;
+      smoothers[slot]->reset(pat, spec.params, spec.defaults);
+    }
+    id_to_slot.emplace(spec.id, slot);
+    return slot;
+  }
+
+  /// Frees `slot`; in-flight wheel entries for it go stale (their
+  /// generation can never equal 0 or a future admission's generation).
+  void release(std::uint32_t id, std::uint32_t slot) {
+    generation[slot] = 0;
+    id_to_slot.erase(id);
+    slots.release(slot);
+  }
 };
 
 }  // namespace
@@ -139,10 +213,8 @@ struct StatmuxService::Shard {
   const int index;
   runtime::MpscRing<Command> ring;
 
-  std::unordered_map<std::uint32_t, StreamState> streams;
-  std::priority_queue<CalendarEntry, std::vector<CalendarEntry>,
-                      std::greater<CalendarEntry>>
-      calendar;
+  StreamArena arena;
+  runtime::TimingWheel<WheelEntry> wheel;
   std::uint64_t next_generation = 1;
 
   double reserved_rate = 0.0;    ///< sum of resident streams' current rates
@@ -159,11 +231,14 @@ struct StatmuxService::Shard {
   std::int64_t pictures = 0;
   std::int64_t decisions = 0;
   std::int64_t dirty_last = 0;
+  double busy_seconds = 0.0;  ///< cumulative epoch-task wall time
 
   // Reused scratch: the steady-state epoch loop allocates nothing.
   std::vector<Command> commands;
+  std::vector<WheelEntry> due_scratch;
   std::vector<core::PictureSend> sends_scratch;
   std::vector<StreamSend> collected;
+  std::vector<double> rate_batch;  ///< per-epoch totals within one batch
 
   /// Persistent per-shard tracer (stream 0, picture = shard index): its
   /// seq counter makes successive epoch events distinct.
@@ -193,6 +268,16 @@ StatmuxService::StatmuxService(StatmuxConfig config,
   bucket_tokens_ = config_.bucket_sigma_bits > 0
                        ? config_.bucket_sigma_bits
                        : config_.link_rate_bps * config_.tick_seconds;
+
+  obs::Registry& registry = obs::Registry::global();
+  epochs_counter_ = &registry.counter("statmux.epochs");
+  active_gauge_ = &registry.gauge("statmux.streams.active");
+  rate_gauge_ = &registry.gauge("statmux.reserved_rate_bps");
+  dirty_gauge_ = &registry.gauge("statmux.dirty_streams");
+  wheel_gauge_ = &registry.gauge("statmux.wheel.entries");
+  occupancy_max_gauge_ = &registry.gauge("statmux.shard.occupancy.max");
+  occupancy_imbalance_gauge_ =
+      &registry.gauge("statmux.shard.occupancy.imbalance");
 }
 
 StatmuxService::~StatmuxService() = default;
@@ -219,19 +304,18 @@ bool StatmuxService::depart(std::uint32_t id) {
   return shard.ring.try_push(command);
 }
 
-void StatmuxService::run_shard_epoch(Shard& shard) {
-  const std::int64_t now = tick_;
+void StatmuxService::run_shard_epoch(Shard& shard, std::int64_t now) {
   const double budget =
       config_.link_rate_bps / static_cast<double>(config_.shards);
+  StreamArena& arena = shard.arena;
 
-  // 1. Drain the admission ring and canonicalize: sort by (id, kind with
-  //    admit < depart). Any producer interleaving that delivered the same
-  //    commands collapses to the same applied sequence (DESIGN.md §3.6).
-  //    Two admits of the same id in one drain are unspecified beyond
-  //    "exactly one is applied".
+  // 1. Batch-drain the admission ring and canonicalize: sort by (id, kind
+  //    with admit < depart). Any producer interleaving that delivered the
+  //    same commands collapses to the same applied sequence (DESIGN.md
+  //    §3.6). Two admits of the same id in one drain are unspecified
+  //    beyond "exactly one is applied".
   shard.commands.clear();
-  Command command;
-  while (shard.ring.try_pop(command)) shard.commands.push_back(command);
+  shard.ring.drain_into(shard.commands);
   std::sort(shard.commands.begin(), shard.commands.end(),
             [](const Command& x, const Command& y) {
               if (x.spec.id != y.spec.id) return x.spec.id < y.spec.id;
@@ -241,11 +325,11 @@ void StatmuxService::run_shard_epoch(Shard& shard) {
   for (const Command& cmd : shard.commands) {
     const std::uint32_t id = cmd.spec.id;
     if (cmd.kind == Command::Kind::kAdmit) {
-      if (shard.streams.find(id) != shard.streams.end()) {
+      if (arena.id_to_slot.find(id) != arena.id_to_slot.end()) {
         ++shard.rejected_duplicate;
         continue;
       }
-      if (static_cast<int>(shard.streams.size()) >=
+      if (static_cast<int>(arena.slots.live()) >=
           config_.max_streams_per_shard) {
         ++shard.rejected_capacity;
         continue;
@@ -259,9 +343,7 @@ void StatmuxService::run_shard_epoch(Shard& shard) {
       // The ambient scope attributes the smoother's own trace events
       // (picture scheduled, rate change, ...) to this stream id.
       const obs::StreamScope scope(id);
-      auto [it, inserted] =
-          shard.streams.try_emplace(id, cmd.spec, generation);
-      (void)inserted;
+      const std::uint32_t slot = arena.admit(cmd.spec, nominal, generation);
       shard.nominal_reserved += nominal;
       ++shard.admitted;
       // First arrival: the earliest tick >= now on the stream's cadence.
@@ -270,17 +352,18 @@ void StatmuxService::run_shard_epoch(Shard& shard) {
         const std::int64_t period = cmd.spec.period_ticks;
         due += (now - due + period - 1) / period * period;
       }
-      shard.calendar.push(CalendarEntry{due, id, generation});
+      shard.wheel.schedule(due, WheelEntry{due, id, slot, generation});
       obs::StreamTracer(&obs::Tracer::global(), id)
           .emit(obs::EventKind::kStreamAdmit, 0,
                 static_cast<double>(now), static_cast<double>(shard.index),
-                it->second.nominal);
+                nominal);
     } else {
-      auto it = shard.streams.find(id);
-      if (it == shard.streams.end()) continue;  // unknown id: no-op
-      shard.reserved_rate -= it->second.rate;
-      shard.nominal_reserved -= it->second.nominal;
-      shard.streams.erase(it);  // calendar entries go stale (skipped)
+      auto it = arena.id_to_slot.find(id);
+      if (it == arena.id_to_slot.end()) continue;  // unknown id: no-op
+      const std::uint32_t slot = it->second;
+      shard.reserved_rate -= arena.rate[slot];
+      shard.nominal_reserved -= arena.nominal[slot];
+      arena.release(id, slot);  // wheel entries go stale (skipped)
       ++shard.departed;
       obs::StreamTracer(&obs::Tracer::global(), id)
           .emit(obs::EventKind::kStreamDepart, 0,
@@ -289,54 +372,84 @@ void StatmuxService::run_shard_epoch(Shard& shard) {
     }
   }
 
-  // 2. Advance exactly the streams due this tick, in calendar order —
-  //    the dirty set. Resident streams with no arrival cost nothing.
+  // 2. Advance exactly the streams due this tick — the dirty set. The
+  //    wheel yields this tick's bucket; sorting it by (id, generation)
+  //    reproduces the former heap's canonical (due, id, generation) pop
+  //    order exactly, since every collected entry has due == now. The
+  //    walk itself is slot-indexed lane reads — no hashing — with the
+  //    next stream prefetched while the current one decides.
+  shard.due_scratch.clear();
+  shard.wheel.collect(now, shard.due_scratch);
+  // In steady state the bucket comes back already canonical (it was
+  // filled in last period's advance order, which was sorted); the
+  // is_sorted probe turns the per-tick sort into a linear scan then.
+  const auto canonical_order = [](const WheelEntry& x, const WheelEntry& y) {
+    if (x.id != y.id) return x.id < y.id;
+    return x.generation < y.generation;
+  };
+  if (!std::is_sorted(shard.due_scratch.begin(), shard.due_scratch.end(),
+                      canonical_order)) {
+    std::sort(shard.due_scratch.begin(), shard.due_scratch.end(),
+              canonical_order);
+  }
+
   std::int64_t dirty = 0;
-  while (!shard.calendar.empty() && shard.calendar.top().due <= now) {
-    const CalendarEntry entry = shard.calendar.top();
-    shard.calendar.pop();
-    auto it = shard.streams.find(entry.id);
-    if (it == shard.streams.end() ||
-        it->second.generation != entry.generation) {
+  const std::size_t due_count = shard.due_scratch.size();
+  for (std::size_t k = 0; k < due_count; ++k) {
+    if (k + 1 < due_count) {
+      const std::uint32_t ahead = shard.due_scratch[k + 1].slot;
+      prefetch(&arena.generation[ahead]);
+      prefetch(&arena.meta[ahead]);
+      prefetch(&arena.smoothers[ahead]);
+    }
+    if (k + 3 < due_count) {
+      prefetch(&arena.generation[shard.due_scratch[k + 3].slot]);
+    }
+    const WheelEntry entry = shard.due_scratch[k];
+    const std::uint32_t slot = entry.slot;
+    if (arena.generation[slot] != entry.generation) {
       continue;  // departed (possibly readmitted) while scheduled: stale
     }
-    StreamState& state = it->second;
     ++dirty;
 
-    state.smoother.push(synthetic_picture_size(
-        state.spec.feed_seed, state.next_push,
-        state.pattern.type_of(state.next_push), state.spec.defaults));
+    core::StreamingSmoother& smoother = *arena.smoothers[slot];
+    StreamMeta& meta = arena.meta[slot];
+    const int index = meta.next_push;
+    smoother.push(synthetic_picture_size(meta.feed_seed, index,
+                                         meta.pattern.type_of(index),
+                                         meta.defaults));
     ++shard.pictures;
-    const bool last_picture = state.spec.picture_count > 0 &&
-                              state.next_push >= state.spec.picture_count;
-    ++state.next_push;
-    if (last_picture) state.smoother.finish();
+    const bool last_picture =
+        meta.picture_count > 0 && index >= meta.picture_count;
+    meta.next_push = index + 1;
+    if (last_picture) smoother.finish();
 
     shard.sends_scratch.clear();
-    const int released = state.smoother.drain_into(shard.sends_scratch);
+    const int released = smoother.drain_into(shard.sends_scratch);
     shard.decisions += released;
     for (const core::PictureSend& send : shard.sends_scratch) {
       // Same deltas, same order as the stream's own schedule: the shard
       // total stays a fixed-order double sum.
-      shard.reserved_rate += send.rate - state.rate;
-      state.rate = send.rate;
+      shard.reserved_rate += send.rate - arena.rate[slot];
+      arena.rate[slot] = send.rate;
       if (config_.collect_sends) {
         shard.collected.push_back(StreamSend{entry.id, send});
       }
     }
 
-    if (state.smoother.done()) {
-      shard.reserved_rate -= state.rate;
-      shard.nominal_reserved -= state.nominal;
+    if (smoother.done()) {
+      shard.reserved_rate -= arena.rate[slot];
+      shard.nominal_reserved -= arena.nominal[slot];
       ++shard.finished;
       obs::StreamTracer(&obs::Tracer::global(), entry.id)
           .emit(obs::EventKind::kStreamDepart, 0,
                 static_cast<double>(now),
                 static_cast<double>(shard.index), 1.0);
-      shard.streams.erase(it);
+      arena.release(entry.id, slot);
     } else {
-      shard.calendar.push(CalendarEntry{now + state.spec.period_ticks,
-                                        entry.id, entry.generation});
+      const std::int64_t due = now + meta.period_ticks;
+      shard.wheel.schedule(due, WheelEntry{due, entry.id, slot,
+                                           entry.generation});
     }
   }
   shard.dirty_last = dirty;
@@ -345,54 +458,99 @@ void StatmuxService::run_shard_epoch(Shard& shard) {
                           static_cast<std::uint32_t>(shard.index),
                           static_cast<double>(now),
                           static_cast<double>(dirty), shard.reserved_rate,
-                          static_cast<double>(shard.streams.size()));
+                          static_cast<double>(arena.slots.live()));
 }
 
-void StatmuxService::run_epoch() {
-  runtime::parallel_for(*pool_, shard_count(),
-                        [this](int s) { run_shard_epoch(*shards_[s]); });
+void StatmuxService::run_epoch() { run_epochs(1); }
 
-  // Reduce in shard-index order: a fixed-order double sum, bitwise
-  // reproducible for any thread count.
-  double total = 0.0;
-  for (const auto& shard : shards_) total += shard->reserved_rate;
-  if (config_.rate_history_limit == 0 ||
-      rate_series_.size() < config_.rate_history_limit) {
-    rate_series_.push_back(total);
-  } else {
-    rate_series_[static_cast<std::size_t>(tick_) %
-                 config_.rate_history_limit] = total;
+void StatmuxService::run_epochs(int count) {
+  if (count <= 0) return;
+  batch_count_ = count;  // shard tasks read these; tick_ advances after
+
+  // Parallel phase: each shard runs its WHOLE batch in one pool task —
+  // pool dispatch is paid once per batch, not once per epoch — recording
+  // its per-epoch reserved-rate totals for the reduction below. The task
+  // captures only `this` (batch bounds travel via batch_count_/tick_):
+  // a one-word closure stays inside std::function's inline buffer, which
+  // keeps the steady-state epoch loop allocation-free.
+  runtime::parallel_for(*pool_, shard_count(), [this](int s) {
+    Shard& shard = *shards_[static_cast<std::size_t>(s)];
+    const auto begin = std::chrono::steady_clock::now();
+    shard.rate_batch.clear();
+    for (int e = 0; e < batch_count_; ++e) {
+      run_shard_epoch(shard, tick_ + e);
+      shard.rate_batch.push_back(shard.reserved_rate);
+    }
+    shard.busy_seconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      begin)
+            .count();
+  });
+
+  // Reduce in shard-index order with the element-wise SIMD accumulate:
+  // element e receives ((0 + shard0[e]) + shard1[e]) + ... — the
+  // identical IEEE operation sequence the scalar per-epoch loop computed,
+  // at every SIMD tier (core/series_ops.h), so the series is bitwise
+  // reproducible for any thread count, tier, and batch size.
+  totals_scratch_.assign(static_cast<std::size_t>(count), 0.0);
+  for (const auto& shard : shards_) {
+    core::detail::add_series(totals_scratch_.data(),
+                             shard->rate_batch.data(),
+                             static_cast<std::size_t>(count));
   }
-  last_rate_ = total;
 
-  // Link policer: charge this epoch's reserved bits against the bucket.
   const double sigma = config_.bucket_sigma_bits > 0
                            ? config_.bucket_sigma_bits
                            : config_.link_rate_bps * config_.tick_seconds;
-  bucket_tokens_ = std::min(
-      sigma, bucket_tokens_ + config_.link_rate_bps * config_.tick_seconds);
-  const double bits = total * config_.tick_seconds;
-  if (bits <= bucket_tokens_) {
-    bucket_tokens_ -= bits;
-  } else {
-    ++overshoot_epochs_;
+  for (int e = 0; e < count; ++e) {
+    const double total = totals_scratch_[static_cast<std::size_t>(e)];
+    if (config_.rate_history_limit == 0 ||
+        rate_series_.size() < config_.rate_history_limit) {
+      rate_series_.push_back(total);
+    } else {
+      rate_series_[static_cast<std::size_t>(tick_) %
+                   config_.rate_history_limit] = total;
+    }
+    last_rate_ = total;
+
+    // Link policer: charge this epoch's reserved bits against the bucket.
+    bucket_tokens_ = std::min(
+        sigma,
+        bucket_tokens_ + config_.link_rate_bps * config_.tick_seconds);
+    const double bits = total * config_.tick_seconds;
+    if (bits <= bucket_tokens_) {
+      bucket_tokens_ -= bits;
+    } else {
+      ++overshoot_epochs_;
+    }
+
+    ++tick_;
   }
 
-  ++tick_;
-
-  obs::Registry& registry = obs::Registry::global();
-  registry.counter("statmux.epochs").add(1);
-  registry.gauge("statmux.streams.active")
-      .set(static_cast<double>(active_streams()));
-  registry.gauge("statmux.reserved_rate_bps").set(total);
-  registry.gauge("statmux.dirty_streams")
-      .set(static_cast<double>(last_dirty_streams()));
+  // Telemetry reflects the batch's final epoch — identical to what
+  // epoch-at-a-time execution leaves behind. All handles are pre-resolved
+  // (constructor), so this is a handful of atomic stores.
+  epochs_counter_->add(static_cast<std::uint64_t>(count));
+  const double active = static_cast<double>(active_streams());
+  active_gauge_->set(active);
+  rate_gauge_->set(last_rate_);
+  dirty_gauge_->set(static_cast<double>(last_dirty_streams()));
+  wheel_gauge_->set(static_cast<double>(wheel_entries()));
+  std::int64_t max_occupancy = 0;
+  for (const auto& shard : shards_) {
+    max_occupancy = std::max(
+        max_occupancy, static_cast<std::int64_t>(shard->arena.slots.live()));
+  }
+  const double mean = active / static_cast<double>(shard_count());
+  occupancy_max_gauge_->set(static_cast<double>(max_occupancy));
+  occupancy_imbalance_gauge_->set(
+      mean > 0.0 ? static_cast<double>(max_occupancy) / mean : 1.0);
 }
 
 std::int64_t StatmuxService::active_streams() const noexcept {
   std::int64_t total = 0;
   for (const auto& shard : shards_) {
-    total += static_cast<std::int64_t>(shard->streams.size());
+    total += static_cast<std::int64_t>(shard->arena.slots.live());
   }
   return total;
 }
@@ -419,6 +577,21 @@ std::int64_t StatmuxService::last_dirty_streams() const noexcept {
   std::int64_t total = 0;
   for (const auto& shard : shards_) total += shard->dirty_last;
   return total;
+}
+
+std::int64_t StatmuxService::wheel_entries() const noexcept {
+  std::int64_t total = 0;
+  for (const auto& shard : shards_) total += shard->wheel.size();
+  return total;
+}
+
+std::int64_t StatmuxService::shard_stream_count(int shard) const {
+  return static_cast<std::int64_t>(
+      shards_[static_cast<std::size_t>(shard)]->arena.slots.live());
+}
+
+double StatmuxService::shard_busy_seconds(int shard) const {
+  return shards_[static_cast<std::size_t>(shard)]->busy_seconds;
 }
 
 StatmuxStats StatmuxService::stats() const {

@@ -23,20 +23,40 @@
 //
 //   * Epoch-driven advance with dirty-set recomputation. Each epoch
 //     (tick) a shard advances ONLY the streams whose arrival frontier
-//     moves this tick — a calendar heap keyed by (due tick, id,
-//     generation) yields them in deterministic order; everyone else is
-//     untouched. Per-epoch cost scales with the dirty set, not with the
-//     resident stream count. Departures during an in-flight schedule are
-//     lazy: the calendar entry's generation goes stale and is skipped
-//     when popped.
+//     moves this tick. The calendar is a hierarchical timing wheel
+//     (runtime/timing_wheel.h, O(1) amortized schedule/advance instead of
+//     the former heap's O(log residency)); the tick's bucket is sorted by
+//     (id, generation), which — every collected entry being due exactly
+//     now — reproduces the old heap's canonical (due, id, generation) pop
+//     order bit for bit. Per-epoch cost scales with the dirty set, not
+//     with the resident stream count. Departures during an in-flight
+//     schedule are lazy: the wheel entry's generation goes stale and is
+//     skipped when collected.
+//
+//   * Slab/SoA stream state. Per-stream state lives in a slab-backed
+//     structure-of-arrays arena indexed by dense slots from a free-list
+//     (runtime/slab_arena.h): hot scalar fields (generation, reserved
+//     rate, feed cursor, cadence) each occupy one contiguous lane, and
+//     the StreamingSmoother objects sit in a parallel slab whose buffers
+//     are reset in place — not reallocated — when a slot is recycled.
+//     Wheel entries carry their slot, so the advance loop does ZERO hash
+//     lookups and prefetches the next stream's lanes while deciding the
+//     current one; the id->slot map is touched only by admission and
+//     departure.
 //
 //   * Reservation aggregation. Each decided picture re-reserves its
 //     stream's rate; the shard maintains its reserved-rate total by
 //     applying the same deltas the schedule does, in schedule order.
-//     After the parallel shard phase, totals reduce in shard-index order
-//     into the link model: a token-bucket policer (sigma, link rate)
-//     charges each epoch's reserved bits and counts overshoot epochs.
-//     All of it is fixed-order double arithmetic — bitwise reproducible.
+//     run_epochs(count) runs each shard's whole batch in ONE pool task
+//     (amortizing dispatch), each shard recording its per-epoch totals
+//     into a batch buffer; the driver then merges the buffers in
+//     shard-index order with the SIMD element-wise accumulate
+//     core/series_ops.h — per epoch, the identical fixed-order double sum
+//     the scalar per-epoch loop computed, so the series is bitwise
+//     reproducible at every SIMD tier, thread count, and batch size
+//     (run_epochs(n) == n x run_epoch(), tested). The merged totals feed
+//     the link model: a token-bucket policer (sigma, link rate) charges
+//     each epoch's reserved bits and counts overshoot epochs.
 //
 // Determinism contract (enforced by StatmuxDifferential under TSan):
 // schedules, the aggregate rate series, and deterministic trace bytes are
@@ -54,6 +74,11 @@
 
 namespace lsm::runtime {
 class ThreadPool;
+}
+
+namespace lsm::obs {
+class Counter;
+class Gauge;
 }
 
 namespace lsm::net {
@@ -164,9 +189,15 @@ class StatmuxService {
   /// (the epoch driver); admit()/depart() may race freely against it.
   void run_epoch();
 
-  void run_epochs(int count) {
-    for (int i = 0; i < count; ++i) run_epoch();
-  }
+  /// Runs `count` epochs as one batch: each shard executes its whole
+  /// batch in a single pool task, and the per-epoch link-model reduction
+  /// happens afterwards from the shards' recorded totals (see the
+  /// reservation-aggregation note above). Commands enqueued before the
+  /// call apply at the batch's first epoch — exactly as they would under
+  /// `count` separate run_epoch() calls — and all outputs (schedules,
+  /// rate series, trace bytes, stats) are bitwise identical to the
+  /// unbatched equivalent.
+  void run_epochs(int count);
 
   int shard_count() const noexcept;
   std::int64_t tick() const noexcept { return tick_; }
@@ -193,6 +224,21 @@ class StatmuxService {
   /// Streams advanced in the last epoch (the dirty-set size).
   std::int64_t last_dirty_streams() const noexcept;
 
+  /// Calendar entries resident across all shards' timing wheels (live and
+  /// stale alike). Tracks the resident stream count plus not-yet-expired
+  /// stale entries; exported as the gauge "statmux.wheel.entries" and
+  /// gated in BENCH_BASELINE.json as a leak detector.
+  std::int64_t wheel_entries() const noexcept;
+
+  /// Resident streams of one shard — the per-shard occupancy axis
+  /// bench/mux_scale reports imbalance over.
+  std::int64_t shard_stream_count(int shard) const;
+
+  /// Cumulative wall-clock seconds shard `shard`'s epoch tasks have run
+  /// (measured around each batch, shard-locally). Skew across shards is
+  /// the epoch-time imbalance bench/mux_scale reports.
+  double shard_busy_seconds(int shard) const;
+
   StatmuxStats stats() const;
 
   /// Decided sends of `shard` in decision order; empty unless
@@ -201,7 +247,7 @@ class StatmuxService {
 
  private:
   struct Shard;
-  void run_shard_epoch(Shard& shard);
+  void run_shard_epoch(Shard& shard, std::int64_t now);
 
   StatmuxConfig config_;
   std::vector<std::unique_ptr<Shard>> shards_;
@@ -209,7 +255,20 @@ class StatmuxService {
   runtime::ThreadPool* pool_;  ///< the pool epochs run on
 
   std::int64_t tick_ = 0;
+  int batch_count_ = 0;  ///< epochs in the in-flight run_epochs batch
   std::vector<double> rate_series_;
+  std::vector<double> totals_scratch_;  ///< batch totals (capacity reused)
+
+  /// Metric handles resolved once at construction (registry handles have
+  /// stable addresses): the epoch driver publishes telemetry with plain
+  /// atomic stores — no name lookup, no string building, no allocation.
+  obs::Counter* epochs_counter_ = nullptr;
+  obs::Gauge* active_gauge_ = nullptr;
+  obs::Gauge* rate_gauge_ = nullptr;
+  obs::Gauge* dirty_gauge_ = nullptr;
+  obs::Gauge* wheel_gauge_ = nullptr;
+  obs::Gauge* occupancy_max_gauge_ = nullptr;
+  obs::Gauge* occupancy_imbalance_gauge_ = nullptr;
   double last_rate_ = 0.0;  ///< most recent epoch total (ring-independent)
   double bucket_tokens_ = 0.0;  ///< link policer fill (bits)
   std::int64_t overshoot_epochs_ = 0;

@@ -189,4 +189,15 @@ void publish_steady_allocs(Registry& registry, std::string_view subsystem,
   registry.gauge(name).set(static_cast<double>(count));
 }
 
+void publish_shard_occupancy(Registry& registry, std::string_view subsystem,
+                             double max_occupancy, double mean_occupancy) {
+  std::string name(subsystem);
+  name += ".shard.occupancy.max";
+  registry.gauge(name).set(max_occupancy);
+  name.assign(subsystem);
+  name += ".shard.occupancy.imbalance";
+  registry.gauge(name).set(
+      mean_occupancy > 0.0 ? max_occupancy / mean_occupancy : 1.0);
+}
+
 }  // namespace lsm::obs

@@ -134,4 +134,14 @@ class Registry {
 void publish_steady_allocs(Registry& registry, std::string_view subsystem,
                            std::int64_t count);
 
+/// Records a sharded subsystem's load skew as the gauges
+/// "<subsystem>.shard.occupancy.max" (largest per-shard population) and
+/// "<subsystem>.shard.occupancy.imbalance" (max/mean; 1.0 = perfectly
+/// balanced, and the convention when the subsystem is empty). The statmux
+/// service publishes these every epoch batch; bench/mux_scale prints the
+/// same max/mean axis per sweep point so skew regressions are visible
+/// next to aggregate throughput.
+void publish_shard_occupancy(Registry& registry, std::string_view subsystem,
+                             double max_occupancy, double mean_occupancy);
+
 }  // namespace lsm::obs

@@ -22,6 +22,7 @@
 #include <atomic>
 #include <cstddef>
 #include <memory>
+#include <vector>
 
 namespace lsm::runtime {
 
@@ -86,6 +87,35 @@ class MpscRing {
     slot.seq.store(pos + mask_ + 1, std::memory_order_release);
     tail_ = pos + 1;
     return true;
+  }
+
+  /// Batch drain: appends every published value to `out` and frees the
+  /// slots. Consumer-side only. Bounded by a single head snapshot taken on
+  /// entry, so a drain can never chase producers forever; it also stops
+  /// early at a claimed-but-unpublished slot (that producer's CAS won but
+  /// its release store hasn't landed), leaving that value and everything
+  /// after it for the next drain — the same any-time-after-claim
+  /// visibility contract try_pop has, amortizing the per-value atomic
+  /// traffic to one acquire load + one release store per slot with no
+  /// per-value function-call or emptiness re-check overhead.
+  /// Returns the number of values appended.
+  std::size_t drain_into(std::vector<T>& out) {
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    std::size_t pos = tail_;
+    std::size_t drained = 0;
+    while (pos != head) {
+      Slot& slot = slots_[pos & mask_];
+      const std::ptrdiff_t diff =
+          static_cast<std::ptrdiff_t>(slot.seq.load(std::memory_order_acquire)) -
+          static_cast<std::ptrdiff_t>(pos + 1);
+      if (diff < 0) break;  // claimed, not yet published: next epoch's
+      out.push_back(slot.value);
+      slot.seq.store(pos + mask_ + 1, std::memory_order_release);
+      ++pos;
+      ++drained;
+    }
+    tail_ = pos;
+    return drained;
   }
 
   /// True when a pop would currently fail. Consumer-side only (producers

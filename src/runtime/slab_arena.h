@@ -1,0 +1,70 @@
+// Dense slot allocator: the free-list behind slab-backed
+// structure-of-arrays state (net/statmux.cpp's per-shard stream arena).
+//
+// acquire() hands out uint32 slots from a LIFO free-list, growing the
+// dense range only when the free-list is empty; release() returns a slot
+// for reuse. Because freed slots are recycled before the range grows, the
+// live set stays packed into [0, high_water) — the property that makes a
+// parallel-vector (SoA) layout worth having: a walk over the dense range
+// is a linear, prefetch-friendly scan instead of a pointer chase through
+// individually-allocated objects.
+//
+// The allocator itself holds no per-slot payload. Owners keep one vector
+// per field, sized to high_water(), and index them by slot; `live()` and
+// the owner's own liveness flags distinguish occupied from free slots
+// during dense walks. LIFO reuse is deliberate: the most-recently-freed
+// slot is the most likely to still be cache- and TLB-resident.
+//
+// Single-owner, no atomics; zero allocations once the free-list vector
+// has seen its high-water capacity.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace lsm::runtime {
+
+class SlotAllocator {
+ public:
+  /// Pre-sizes the free-list so steady-state churn up to `expected` live
+  /// slots never reallocates it.
+  explicit SlotAllocator(std::size_t expected = 0) {
+    free_.reserve(expected);
+  }
+
+  /// Returns a slot index < high_water(); reuses the most recently
+  /// released slot when one exists, else extends the dense range.
+  std::uint32_t acquire() {
+    ++live_;
+    if (!free_.empty()) {
+      const std::uint32_t slot = free_.back();
+      free_.pop_back();
+      return slot;
+    }
+    return high_water_++;
+  }
+
+  /// Returns `slot` to the free-list. The caller owns generation stamps /
+  /// liveness flags; the allocator trusts it not to double-release.
+  void release(std::uint32_t slot) {
+    --live_;
+    free_.push_back(slot);
+  }
+
+  /// One past the largest slot ever handed out — the size owners keep
+  /// their parallel field vectors at.
+  std::uint32_t high_water() const noexcept { return high_water_; }
+
+  /// Currently-acquired slot count (<= high_water()).
+  std::size_t live() const noexcept { return live_; }
+
+  void reserve(std::size_t expected) { free_.reserve(expected); }
+
+ private:
+  std::vector<std::uint32_t> free_;
+  std::uint32_t high_water_ = 0;
+  std::size_t live_ = 0;
+};
+
+}  // namespace lsm::runtime

@@ -1,0 +1,159 @@
+// Hierarchical timing wheel: the O(1)-amortized calendar behind the
+// statmux shards (net/statmux.cpp), replacing the binary heap whose
+// push/pop cost grew as O(log residency) — at 10^6 resident streams every
+// scheduled picture paid ~20 pointer-chasing heap levels, and the heap was
+// the shard hot path's dominant cache-miss source.
+//
+// The wheel is the classic hashed hierarchical design (Varghese & Lauck):
+// kLevels levels of kSlots buckets each, where a level-l slot spans
+// kSlots^l ticks. An entry due `delta` ticks out lands in the lowest level
+// whose span covers delta; when the tick cursor crosses into a higher-level
+// slot, that slot's bucket cascades down — each entry is re-scheduled and
+// lands in a finer slot (ultimately level 0, whose slots are single
+// ticks). Every entry is therefore touched O(kLevels) = O(1) times in its
+// whole life, independent of how many entries are resident. Entries due
+// beyond the top level's horizon go to an overflow list that is re-examined
+// once per top-level lap.
+//
+// Contracts the statmux service depends on:
+//
+//   * Deterministic bucket order. collect() appends the due bucket in
+//     insertion order (schedule() order, plus cascade order, both of which
+//     are deterministic for a single-owner wheel). Consumers that need a
+//     canonical processing order independent of insertion history sort the
+//     collected batch themselves — the statmux shard sorts by
+//     (id, generation), reproducing the old heap's (due, id, generation)
+//     pop order exactly.
+//   * Lazy cancellation. The wheel never removes an entry early; the owner
+//     guards each entry with a generation stamp and skips stale ones at
+//     collect() time (depart-during-in-flight semantics, DESIGN.md §3.6).
+//     size() counts live and stale entries alike, which is what makes it a
+//     useful leak detector: stale entries leave at their due tick, so
+//     size() tracking far above the resident population means due ticks
+//     are not being collected.
+//   * Zero-allocation steady state. Buckets are std::vectors that keep
+//     their high-water capacity across laps; once every bucket and the
+//     cascade scratch have seen their peak, schedule/collect touch the
+//     heap never again (BM_MuxSteadyAllocs gates the statmux epoch loop at
+//     zero allocations).
+//
+// Single-owner: one thread (the owning shard's epoch task) calls
+// schedule/collect. The wheel has no atomics; cross-thread hand-off is the
+// caller's problem (the statmux pool's wait_idle() ordering).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace lsm::runtime {
+
+/// Bucketed calendar over an int64 tick axis. Entry is any cheap-to-copy
+/// value type exposing an `std::int64_t due` member — cascades re-file an
+/// entry by its own due tick, so the wheel does not store the due
+/// separately. (The statmux shard uses a {due, id, slot, generation} POD.)
+template <typename Entry>
+class TimingWheel {
+ public:
+  static constexpr int kSlotBits = 8;              ///< 256 slots per level
+  static constexpr int kLevels = 3;                ///< horizon 2^24 ticks
+  static constexpr std::int64_t kSlots = std::int64_t{1} << kSlotBits;
+  static constexpr std::int64_t kHorizon = std::int64_t{1}
+                                           << (kSlotBits * kLevels);
+
+  /// Starts the tick cursor at `now`; the first collect() must use the
+  /// same tick. Ticks only move forward, one collect() per tick.
+  explicit TimingWheel(std::int64_t now = 0) : current_(now) {
+    for (auto& level : levels_) {
+      level.resize(static_cast<std::size_t>(kSlots));
+    }
+  }
+
+  /// Files `entry` to fire at tick `due`. Requires due >= the next
+  /// collect() tick; an earlier due is clamped to it (the entry fires on
+  /// the very next collect).
+  void schedule(std::int64_t due, const Entry& entry) {
+    if (due < current_) due = current_;
+    bucket_for(due).push_back(entry);
+    ++size_;
+  }
+
+  /// Appends every entry due at tick `now` to `out` and advances the
+  /// cursor to now + 1. `now` must equal the cursor (ticks are processed
+  /// consecutively); each tick is collected exactly once.
+  void collect(std::int64_t now, std::vector<Entry>& out) {
+    // Crossing into a coarser slot cascades its bucket down one level
+    // (top level first, so a top-level entry can fall through every level
+    // in the same tick). After cascading, the level-0 bucket for `now`
+    // holds exactly the entries due now: anything filed there was within
+    // one level-0 lap of its due tick.
+    for (int level = kLevels - 1; level >= 1; --level) {
+      const std::int64_t span = std::int64_t{1} << (kSlotBits * level);
+      if ((now & (span - 1)) == 0) cascade(level, now);
+    }
+    if ((now & (kHorizon - 1)) == 0 && !overflow_.empty()) refile_overflow();
+    std::vector<Entry>& bucket = level_bucket(0, now);
+    size_ -= static_cast<std::int64_t>(bucket.size());
+    out.insert(out.end(), bucket.begin(), bucket.end());
+    bucket.clear();  // keeps capacity: the slot is reused every lap
+    current_ = now + 1;
+  }
+
+  /// Entries resident in the wheel (live and stale alike).
+  std::int64_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+  std::int64_t next_tick() const noexcept { return current_; }
+
+ private:
+  std::vector<Entry>& level_bucket(int level, std::int64_t tick) {
+    const std::int64_t index = (tick >> (kSlotBits * level)) & (kSlots - 1);
+    return levels_[static_cast<std::size_t>(level)]
+                  [static_cast<std::size_t>(index)];
+  }
+
+  /// The finest bucket whose span still covers `due` from the cursor.
+  std::vector<Entry>& bucket_for(std::int64_t due) {
+    const std::int64_t delta = due - current_;
+    for (int level = 0; level < kLevels; ++level) {
+      if (delta < (std::int64_t{1} << (kSlotBits * (level + 1)))) {
+        return level_bucket(level, due);
+      }
+    }
+    return overflow_;
+  }
+
+  /// Re-files the bucket `now` just entered at `level` into finer slots.
+  void cascade(int level, std::int64_t now) {
+    std::vector<Entry>& bucket = level_bucket(level, now);
+    if (bucket.empty()) return;
+    // Swap through scratch: re-filing writes into other buckets only (a
+    // cascaded entry always lands at a finer level), but the swap keeps
+    // the loop safe by construction and the capacity is retained.
+    cascade_scratch_.swap(bucket);
+    size_ -= static_cast<std::int64_t>(cascade_scratch_.size());
+    for (const Entry& entry : cascade_scratch_) {
+      schedule(entry.due, entry);
+    }
+    cascade_scratch_.clear();
+  }
+
+  /// Once per top-level lap: entries filed beyond the horizon re-file; the
+  /// still-too-far ones go back to overflow.
+  void refile_overflow() {
+    cascade_scratch_.swap(overflow_);
+    size_ -= static_cast<std::int64_t>(cascade_scratch_.size());
+    for (const Entry& entry : cascade_scratch_) {
+      schedule(entry.due, entry);
+    }
+    cascade_scratch_.clear();
+  }
+
+  std::int64_t current_ = 0;  ///< next tick collect() will accept
+  std::int64_t size_ = 0;
+  std::vector<std::vector<std::vector<Entry>>> levels_{
+      static_cast<std::size_t>(kLevels)};
+  std::vector<Entry> overflow_;
+  std::vector<Entry> cascade_scratch_;
+};
+
+}  // namespace lsm::runtime

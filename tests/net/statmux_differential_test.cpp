@@ -167,5 +167,104 @@ TEST(StatmuxDifferential, RepeatedRunsAreBitwiseIdentical) {
   expect_identical(a, b);
 }
 
+/// Same workload as run_workload, but the epochs are driven through
+/// run_epochs() batches instead of one run_epoch() per loop iteration.
+/// The batched driver must be bitwise-invisible: commands enqueued before
+/// a batch apply at its first epoch, exactly like the per-epoch driver.
+RunResult run_workload_batched(int threads,
+                               const std::vector<std::uint32_t>& upfront) {
+  obs::Tracer& tracer = obs::Tracer::global();
+  tracer.clear();
+  tracer.set_enabled(true);
+
+  StatmuxConfig config;
+  config.shards = kShards;
+  config.threads = threads;
+  config.collect_sends = true;
+  config.link_rate_bps = 1e12;
+  StatmuxService service(config);
+
+  for (std::uint32_t id : upfront) {
+    EXPECT_TRUE(service.admit(spec_for(id)));
+  }
+  service.run_epochs(10);
+  for (std::uint32_t id = kStreams / 2 + 1; id <= kStreams; ++id) {
+    EXPECT_TRUE(service.admit(spec_for(id)));
+  }
+  EXPECT_TRUE(service.depart(3));
+  EXPECT_TRUE(service.depart(11));
+  service.run_epochs(kEpochs - 10);
+
+  tracer.set_enabled(false);
+  RunResult result;
+  result.rate_series = service.rate_series();
+  for (int shard = 0; shard < kShards; ++shard) {
+    const std::vector<StreamSend>& sends = service.collected_sends(shard);
+    result.sends.insert(result.sends.end(), sends.begin(), sends.end());
+  }
+  std::vector<obs::TraceEvent> events =
+      obs::deterministic_events(tracer.drain());
+  obs::canonical_sort(events);
+  result.trace_bytes = obs::serialize(events);
+  return result;
+}
+
+TEST(StatmuxDifferential, BatchedEpochsMatchPerEpochBitwise) {
+  const std::vector<std::uint32_t> ids = first_half_ids();
+  const RunResult single =
+      run_workload(/*threads=*/4, ids, /*admit_threads=*/1);
+  const RunResult batched = run_workload_batched(/*threads=*/4, ids);
+  expect_identical(single, batched);
+  const RunResult batched_one = run_workload_batched(/*threads=*/1, ids);
+  expect_identical(single, batched_one);
+}
+
+/// Sparse cadences past the timing wheel's level-0 span (256 ticks): every
+/// re-arm lands in level 1 and must cascade back down to the right tick.
+RunResult run_sparse_workload(int threads) {
+  obs::Tracer& tracer = obs::Tracer::global();
+  tracer.clear();
+  tracer.set_enabled(true);
+
+  StatmuxConfig config;
+  config.shards = kShards;
+  config.threads = threads;
+  config.collect_sends = true;
+  config.link_rate_bps = 1e12;
+  StatmuxService service(config);
+
+  for (std::uint32_t id = 1; id <= 24; ++id) {
+    StreamSpec spec = spec_for(id);
+    spec.picture_count = 4;
+    spec.period_ticks = 300 + static_cast<int>(id % 7) * 60;  // 300..660
+    spec.phase_ticks = static_cast<int>(id % 11) * 23;
+    EXPECT_TRUE(service.admit(spec));
+  }
+  service.run_epochs(4 * 700 + 64);  // past the slowest stream's last send
+  EXPECT_EQ(service.active_streams(), 0);
+
+  tracer.set_enabled(false);
+  RunResult result;
+  result.rate_series = service.rate_series();
+  for (int shard = 0; shard < kShards; ++shard) {
+    const std::vector<StreamSend>& sends = service.collected_sends(shard);
+    result.sends.insert(result.sends.end(), sends.begin(), sends.end());
+  }
+  std::vector<obs::TraceEvent> events =
+      obs::deterministic_events(tracer.drain());
+  obs::canonical_sort(events);
+  result.trace_bytes = obs::serialize(events);
+  return result;
+}
+
+TEST(StatmuxDifferential, WheelCascadePeriodsStayDeterministic) {
+  const RunResult one = run_sparse_workload(/*threads=*/1);
+  const RunResult four = run_sparse_workload(/*threads=*/4);
+  expect_identical(one, four);
+  // Every stream scheduled all of its pictures despite the long re-arm
+  // distances: 24 streams x 4 pictures.
+  EXPECT_EQ(one.sends.size(), 24u * 4u);
+}
+
 }  // namespace
 }  // namespace lsm::net

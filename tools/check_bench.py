@@ -25,7 +25,14 @@ if the counter exceeds the ceiling OR is missing from the current run.
 This is how the steady-state allocation audits are gated —
 {"max_counters": {"allocs_steady": 0}} means "one warmed iteration of
 this benchmark performs zero heap allocations", and any nonzero count is
-a regression regardless of throughput. max_counters survives the update
+a regression regardless of throughput. The statmux scale rows gate
+several health counters at once the same way: "dirty_set" (streams
+scheduled per epoch — above ceil(streams/period) means the staggered
+cadence collapsed into thundering herds) and "wheel_entries" (timing
+wheel residency — above the resident stream count means stale calendar
+entries are leaking). Every counter in the object is checked
+independently; one over-ceiling counter fails the run even when the
+others and the throughput are fine. max_counters survives the update
 subcommand just like threshold.
 
 Context keys the benchmark binary stamps with AddCustomContext (the
@@ -442,6 +449,29 @@ def cmd_selftest(args: argparse.Namespace) -> int:
             {"BM_ALLOC": (100.0, {"allocs_steady": 1.0})})) == 1
         assert compare_doc(gate_path, bench_doc_counters(
             {"BM_ALLOC": (100.0, {})})) == 1
+        checks += 1
+        # Multiple ceilings on one benchmark are independent gates (the
+        # statmux scale rows pin dirty_set AND wheel_entries): nonzero
+        # ceilings pass at the ceiling, and ONE counter over its limit
+        # fails the run even while the other stays under.
+        health_path = os.path.join(tmp, "health_baseline.json")
+        write_baseline(health_path, {
+            "BM_MUX": {"throughput": 100.0,
+                       "max_counters": {"dirty_set": 1031.0,
+                                        "wheel_entries": 100000.0}},
+        })
+        assert compare_doc(health_path, bench_doc_counters(
+            {"BM_MUX": (100.0, {"dirty_set": 1031.0,
+                                "wheel_entries": 100000.0})})) == 0
+        assert compare_doc(health_path, bench_doc_counters(
+            {"BM_MUX": (100.0, {"dirty_set": 1031.0,
+                                "wheel_entries": 100001.0})})) == 1
+        assert compare_doc(health_path, bench_doc_counters(
+            {"BM_MUX": (100.0, {"dirty_set": 1032.0,
+                                "wheel_entries": 99999.0})})) == 1
+        # A partially-reported run fails: each gated counter must appear.
+        assert compare_doc(health_path, bench_doc_counters(
+            {"BM_MUX": (100.0, {"dirty_set": 1031.0})})) == 1
         checks += 1
         # update preserves max_counters alongside thresholds.
         refreshed_counters = os.path.join(tmp, "counter_raw.json")
