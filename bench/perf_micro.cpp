@@ -68,6 +68,33 @@ void BM_TraceOverhead(benchmark::State& state) {
 }
 BENCHMARK(BM_TraceOverhead)->ArgName("enabled")->Arg(0)->Arg(1);
 
+// The health-plane primitive: one QuantileSketch::observe() is a frexp,
+// a shift, and two integer increments. The BM_MuxScale rows carry this
+// cost inline (every decided picture is observed twice, plus the
+// per-epoch global sketches), gated at <= 5% there; this row pins the
+// primitive itself so a geometry change cannot hide inside mux noise.
+// Values span ~20 octaves around 1.0 — the delay/slack regime.
+void BM_SketchOverhead(benchmark::State& state) {
+  std::vector<double> values(4096);
+  std::uint64_t x = 0x9e3779b97f4a7c15ULL;  // splitmix-style scramble
+  for (double& v : values) {
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    const std::uint64_t h = x * 0x2545f4914f6cdd1dULL;
+    v = std::ldexp(0.5 + 0.5 * static_cast<double>(h >> 11) * 0x1.0p-53,
+                   static_cast<int>(h % 21) - 10);
+  }
+  obs::QuantileSketch sketch;
+  for (auto _ : state) {
+    for (const double value : values) sketch.observe(value);
+    benchmark::DoNotOptimize(sketch);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(values.size()));
+}
+BENCHMARK(BM_SketchOverhead);
+
 // A long scene-process trace (>= 50k pictures) so the per-picture cost is
 // measured with the estimator tables, prefix sums, and trace data far
 // outside L1/L2 — the regime batch consumers actually run in, where the

@@ -67,6 +67,24 @@ int main() {
   registry.gauge("live.max_sender_delay_s").set(safe.max_sender_delay);
   registry.gauge("live.worst_delay_excess_s").set(safe.worst_delay_excess);
   registry.gauge("live.playout_offset_s").set(safe.playout_offset);
+  // Health plane (DESIGN.md §3.10): the pipeline's per-picture delay and
+  // slack sketches, plus an epoch-aligned series of sender delays (one
+  // "epoch" per picture, windows of one GOP).
+  registry.sketch("live.delay_seconds").assign(safe.delay_sketch);
+  registry.sketch("live.delay_slack_seconds").assign(safe.slack_sketch);
+  lsm::obs::TimeSeriesOptions series_options;
+  series_options.window_count = 16;
+  series_options.epochs_per_window = trace.pattern().N();
+  series_options.sum_scale = 1e9;  // nanosecond-exact delay sums
+  series_options.with_sketch = true;
+  lsm::obs::TimeSeriesMetric& delay_series =
+      registry.timeseries("live.series.delay_seconds", series_options);
+  for (const lsm::net::PictureDelivery& d : safe.deliveries) {
+    delay_series.record(d.index - 1,
+                        d.sender_done - (d.index - 1) * config.params.tau);
+  }
+  registry.set_time(static_cast<double>(safe.deliveries.size()) *
+                    config.params.tau);
   std::printf("\n# metrics: %s\n", registry.to_json().c_str());
   return 0;
 }

@@ -11,6 +11,7 @@
 
 #include "core/series_ops.h"
 #include "core/streaming.h"
+#include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/tracer.h"
 #include "runtime/mpsc_ring.h"
@@ -75,6 +76,30 @@ void StatmuxConfig::validate() const {
 
 namespace {
 
+/// Same reassociation tolerance as net/transport's delay-excess check: a
+/// send is SLO-good when delay <= D + kDelayTolerance.
+constexpr double kDelayTolerance = 1e-9;
+
+/// Slack fed to the health sketches: D - delay, with within-tolerance
+/// negatives snapped to 0.0 so the slack sketch's `clamped` tally counts
+/// exactly the SLO-bad sends, not reassociation noise.
+double slack_value(double delay, double bound) {
+  const double slack = bound - delay;
+  return slack < 0.0 && delay <= bound + kDelayTolerance ? 0.0 : slack;
+}
+
+/// Geometry of the health-plane time series, from the config knobs.
+/// Integer-valued series (counts): sum_scale 1.0, per-window sketches on.
+lsm::obs::TimeSeriesOptions health_series_options(
+    const lsm::net::StatmuxConfig& config) {
+  lsm::obs::TimeSeriesOptions options;
+  options.window_count = config.health_window_count;
+  options.epochs_per_window = config.health_epochs_per_window;
+  options.sum_scale = 1.0;
+  options.with_sketch = true;
+  return options;
+}
+
 struct Command {
   enum class Kind : std::uint8_t { kAdmit = 0, kDepart = 1 };
   Kind kind = Kind::kAdmit;
@@ -130,6 +155,7 @@ struct StreamMeta {
   std::int32_t next_push = 1;  ///< next picture index to feed
   std::int32_t period_ticks = 1;
   std::int32_t picture_count = 0;
+  double delay_bound = 0.0;  ///< params.D: the slack/SLO reference point
   GopPattern pattern{1, 1};
   core::DefaultSizes defaults;
 };
@@ -172,6 +198,7 @@ struct StreamArena {
     m.next_push = 1;
     m.period_ticks = spec.period_ticks;
     m.picture_count = spec.picture_count;
+    m.delay_bound = spec.params.D;
     m.pattern = pat;
     m.defaults = spec.defaults;
     if (static_cast<std::size_t>(slot) == generation.size()) {
@@ -240,6 +267,21 @@ struct StatmuxService::Shard {
   std::vector<StreamSend> collected;
   std::vector<double> rate_batch;  ///< per-epoch totals within one batch
 
+  // Health plane: cumulative shard-local sketches (merged by the driver
+  // in shard-index order) and per-epoch integer tallies within one batch
+  // (summed by the driver per epoch — integer adds, shard-count
+  // invariant). All preallocated/capacity-reusing: zero steady-state
+  // allocations.
+  obs::QuantileSketch delay_sketch;       ///< per-picture delay d_i (s)
+  obs::QuantileSketch slack_sketch;       ///< per-picture D - d_i (s)
+  obs::QuantileSketch epoch_wall_sketch;  ///< wall-clock epoch seconds
+  std::vector<std::int64_t> queue_batch;     ///< commands drained
+  std::vector<std::int64_t> dirty_batch;     ///< streams advanced
+  std::vector<std::int64_t> decision_batch;  ///< sends released
+  std::vector<std::int64_t> active_batch;    ///< resident at epoch end
+  std::vector<std::uint64_t> good_batch;     ///< sends within the bound
+  std::vector<std::uint64_t> total_batch;    ///< sends decided
+
   /// Persistent per-shard tracer (stream 0, picture = shard index): its
   /// seq counter makes successive epoch events distinct.
   obs::StreamTracer epoch_tracer;
@@ -247,7 +289,12 @@ struct StatmuxService::Shard {
 
 StatmuxService::StatmuxService(StatmuxConfig config,
                                runtime::ThreadPool* pool)
-    : config_(config) {
+    : config_(config),
+      queue_series_(health_series_options(config)),
+      dirty_series_(health_series_options(config)),
+      decisions_series_(health_series_options(config)),
+      active_series_(health_series_options(config)),
+      slo_(config.slo) {
   config_.validate();
   shards_.reserve(static_cast<std::size_t>(config_.shards));
   for (int s = 0; s < config_.shards; ++s) {
@@ -278,6 +325,20 @@ StatmuxService::StatmuxService(StatmuxConfig config,
   occupancy_max_gauge_ = &registry.gauge("statmux.shard.occupancy.max");
   occupancy_imbalance_gauge_ =
       &registry.gauge("statmux.shard.occupancy.imbalance");
+  delay_sketch_metric_ = &registry.sketch("statmux.delay_seconds");
+  slack_sketch_metric_ = &registry.sketch("statmux.delay_slack_seconds");
+  queue_sketch_metric_ = &registry.sketch("statmux.queue_depth");
+  dirty_sketch_metric_ = &registry.sketch("statmux.dirty_set");
+  epoch_wall_metric_ = &registry.sketch("statmux.epoch_seconds");
+  const obs::TimeSeriesOptions series_options = health_series_options(config_);
+  queue_series_metric_ =
+      &registry.timeseries("statmux.series.queue_depth", series_options);
+  dirty_series_metric_ =
+      &registry.timeseries("statmux.series.dirty_set", series_options);
+  decisions_series_metric_ =
+      &registry.timeseries("statmux.series.decisions", series_options);
+  active_series_metric_ =
+      &registry.timeseries("statmux.series.active_streams", series_options);
 }
 
 StatmuxService::~StatmuxService() = default;
@@ -316,6 +377,8 @@ void StatmuxService::run_shard_epoch(Shard& shard, std::int64_t now) {
   //    beyond "exactly one is applied".
   shard.commands.clear();
   shard.ring.drain_into(shard.commands);
+  shard.queue_batch.push_back(
+      static_cast<std::int64_t>(shard.commands.size()));
   std::sort(shard.commands.begin(), shard.commands.end(),
             [](const Command& x, const Command& y) {
               if (x.spec.id != y.spec.id) return x.spec.id < y.spec.id;
@@ -394,6 +457,9 @@ void StatmuxService::run_shard_epoch(Shard& shard, std::int64_t now) {
   }
 
   std::int64_t dirty = 0;
+  std::int64_t epoch_decisions = 0;
+  std::uint64_t epoch_good = 0;
+  std::uint64_t epoch_total = 0;
   const std::size_t due_count = shard.due_scratch.size();
   for (std::size_t k = 0; k < due_count; ++k) {
     if (k + 1 < due_count) {
@@ -427,11 +493,21 @@ void StatmuxService::run_shard_epoch(Shard& shard, std::int64_t now) {
     shard.sends_scratch.clear();
     const int released = smoother.drain_into(shard.sends_scratch);
     shard.decisions += released;
+    epoch_decisions += released;
     for (const core::PictureSend& send : shard.sends_scratch) {
       // Same deltas, same order as the stream's own schedule: the shard
       // total stays a fixed-order double sum.
       shard.reserved_rate += send.rate - arena.rate[slot];
       arena.rate[slot] = send.rate;
+      // Health plane: per-picture delay and slack into the cumulative
+      // shard sketches (integer bucket increments), plus the SLO tally.
+      // A negative slack clamps into bucket 0 and counts as `clamped` —
+      // the sketch's own delay-bound-violation counter.
+      shard.delay_sketch.observe(send.delay);
+      shard.slack_sketch.observe(slack_value(send.delay, meta.delay_bound));
+      ++epoch_total;
+      epoch_good +=
+          send.delay <= meta.delay_bound + kDelayTolerance ? 1 : 0;
       if (config_.collect_sends) {
         shard.collected.push_back(StreamSend{entry.id, send});
       }
@@ -453,6 +529,12 @@ void StatmuxService::run_shard_epoch(Shard& shard, std::int64_t now) {
     }
   }
   shard.dirty_last = dirty;
+  shard.dirty_batch.push_back(dirty);
+  shard.decision_batch.push_back(epoch_decisions);
+  shard.active_batch.push_back(
+      static_cast<std::int64_t>(arena.slots.live()));
+  shard.good_batch.push_back(epoch_good);
+  shard.total_batch.push_back(epoch_total);
 
   shard.epoch_tracer.emit(obs::EventKind::kMuxEpoch,
                           static_cast<std::uint32_t>(shard.index),
@@ -477,14 +559,23 @@ void StatmuxService::run_epochs(int count) {
     Shard& shard = *shards_[static_cast<std::size_t>(s)];
     const auto begin = std::chrono::steady_clock::now();
     shard.rate_batch.clear();
+    shard.queue_batch.clear();
+    shard.dirty_batch.clear();
+    shard.decision_batch.clear();
+    shard.active_batch.clear();
+    shard.good_batch.clear();
+    shard.total_batch.clear();
+    auto epoch_begin = begin;
     for (int e = 0; e < batch_count_; ++e) {
       run_shard_epoch(shard, tick_ + e);
       shard.rate_batch.push_back(shard.reserved_rate);
+      const auto epoch_end = std::chrono::steady_clock::now();
+      shard.epoch_wall_sketch.observe(
+          std::chrono::duration<double>(epoch_end - epoch_begin).count());
+      epoch_begin = epoch_end;
     }
     shard.busy_seconds +=
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      begin)
-            .count();
+        std::chrono::duration<double>(epoch_begin - begin).count();
   });
 
   // Reduce in shard-index order with the element-wise SIMD accumulate:
@@ -497,6 +588,44 @@ void StatmuxService::run_epochs(int count) {
     core::detail::add_series(totals_scratch_.data(),
                              shard->rate_batch.data(),
                              static_cast<std::size_t>(count));
+  }
+
+  // Health reduction, per epoch BEFORE the policer advances tick_: the
+  // per-shard per-epoch tallies are summed over shards in index order —
+  // integer additions, so the global totals (and everything observed from
+  // them) are invariant under re-partitioning. The sketches and series
+  // observe these GLOBAL totals at the driver, never per-shard values: a
+  // per-shard-per-epoch distribution would bake the shard count into the
+  // snapshot bytes.
+  for (int e = 0; e < count; ++e) {
+    const std::int64_t epoch = tick_ + e;
+    const std::size_t k = static_cast<std::size_t>(e);
+    std::int64_t queue_total = 0;
+    std::int64_t dirty_total = 0;
+    std::int64_t decision_total = 0;
+    std::int64_t active_total = 0;
+    std::uint64_t good_total = 0;
+    std::uint64_t sends_total = 0;
+    for (const auto& shard : shards_) {
+      queue_total += shard->queue_batch[k];
+      dirty_total += shard->dirty_batch[k];
+      decision_total += shard->decision_batch[k];
+      active_total += shard->active_batch[k];
+      good_total += shard->good_batch[k];
+      sends_total += shard->total_batch[k];
+    }
+    queue_sketch_.observe(static_cast<double>(queue_total));
+    dirty_sketch_.observe(static_cast<double>(dirty_total));
+    queue_series_.record(epoch, static_cast<double>(queue_total));
+    dirty_series_.record(epoch, static_cast<double>(dirty_total));
+    decisions_series_.record(epoch, static_cast<double>(decision_total));
+    active_series_.record(epoch, static_cast<double>(active_total));
+    queue_series_metric_->record(epoch, static_cast<double>(queue_total));
+    dirty_series_metric_->record(epoch, static_cast<double>(dirty_total));
+    decisions_series_metric_->record(epoch,
+                                     static_cast<double>(decision_total));
+    active_series_metric_->record(epoch, static_cast<double>(active_total));
+    slo_.record_epoch(epoch, good_total, sends_total);
   }
 
   const double sigma = config_.bucket_sigma_bits > 0
@@ -545,6 +674,27 @@ void StatmuxService::run_epochs(int count) {
   occupancy_max_gauge_->set(static_cast<double>(max_occupancy));
   occupancy_imbalance_gauge_->set(
       mean > 0.0 ? static_cast<double>(max_occupancy) / mean : 1.0);
+
+  // Rebuild the merged per-picture sketches from the cumulative shard
+  // sketches — reset + merge in shard-index order, so a batch never
+  // double-counts — and publish the registry mirrors wholesale (assign,
+  // never merge: scrapes between batches see exactly one copy of the
+  // population).
+  merged_delay_.reset();
+  merged_slack_.reset();
+  merged_epoch_wall_.reset();
+  for (const auto& shard : shards_) {
+    merged_delay_.merge(shard->delay_sketch);
+    merged_slack_.merge(shard->slack_sketch);
+    merged_epoch_wall_.merge(shard->epoch_wall_sketch);
+  }
+  delay_sketch_metric_->assign(merged_delay_);
+  slack_sketch_metric_->assign(merged_slack_);
+  queue_sketch_metric_->assign(queue_sketch_);
+  dirty_sketch_metric_->assign(dirty_sketch_);
+  epoch_wall_metric_->assign(merged_epoch_wall_);
+  obs::Registry::global().set_time(static_cast<double>(tick_) *
+                                   config_.tick_seconds);
 }
 
 std::int64_t StatmuxService::active_streams() const noexcept {
@@ -613,6 +763,66 @@ StatmuxStats StatmuxService::stats() const {
 const std::vector<StreamSend>& StatmuxService::collected_sends(
     int shard) const {
   return shards_[static_cast<std::size_t>(shard)]->collected;
+}
+
+std::string StatmuxService::health_json(bool per_shard) const {
+  obs::JsonWriter json;
+  json.begin_object();
+  json.key("tick").value(tick_);
+  json.key("sketches").begin_object();
+  json.key("delay_seconds");
+  obs::write_sketch_json(json, merged_delay_);
+  json.key("delay_slack_seconds");
+  obs::write_sketch_json(json, merged_slack_);
+  json.key("queue_depth");
+  obs::write_sketch_json(json, queue_sketch_);
+  json.key("dirty_set");
+  obs::write_sketch_json(json, dirty_sketch_);
+  json.end_object();
+
+  std::vector<obs::TimeSeriesWindow> windows;
+  std::vector<obs::QuantileSketch> window_sketches;
+  const auto emit_series = [&](const char* name,
+                               const obs::TimeSeries& series) {
+    series.snapshot(windows, &window_sketches);
+    json.key(name);
+    obs::write_series_json(json, series.options(), windows,
+                           &window_sketches);
+  };
+  json.key("series").begin_object();
+  emit_series("queue_depth", queue_series_);
+  emit_series("dirty_set", dirty_series_);
+  emit_series("decisions", decisions_series_);
+  emit_series("active_streams", active_series_);
+  json.end_object();
+
+  json.key("slo");
+  obs::write_slo_json(json, slo_.spec(), slo_.state());
+
+  // Per-shard detail (the lsm_top drill-down view): cumulative per-shard
+  // delay/slack sketches plus the wall-clock epoch-latency sketch. The
+  // shard count and wall-clock buckets make this section run-specific, so
+  // it is excluded from the canonical (per_shard = false) form the
+  // determinism gate compares.
+  if (per_shard) {
+    json.key("shards").begin_array();
+    for (const auto& shard : shards_) {
+      json.begin_object();
+      json.key("shard").value(shard->index);
+      json.key("streams").value(
+          static_cast<std::int64_t>(shard->arena.slots.live()));
+      json.key("delay_seconds");
+      obs::write_sketch_json(json, shard->delay_sketch);
+      json.key("delay_slack_seconds");
+      obs::write_sketch_json(json, shard->slack_sketch);
+      json.key("epoch_seconds");
+      obs::write_sketch_json(json, shard->epoch_wall_sketch);
+      json.end_object();
+    }
+    json.end_array();
+  }
+  json.end_object();
+  return json.take();
 }
 
 }  // namespace lsm::net

@@ -66,10 +66,14 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/estimator.h"
 #include "core/schedule.h"
+#include "obs/sketch.h"
+#include "obs/slo.h"
+#include "obs/timeseries.h"
 #include "trace/pattern.h"
 
 namespace lsm::runtime {
@@ -134,6 +138,16 @@ struct StatmuxConfig {
   /// history once and then runs epoch after epoch without touching the
   /// heap (BM_MuxSteadyAllocs gates this at zero).
   std::size_t rate_history_limit = 0;
+
+  /// Health plane (DESIGN.md §3.10). Always on — the steady-state cost is
+  /// a handful of integer bucket increments per picture/epoch, gated
+  /// under 5% by the BM_MuxScale baseline — with the SLO spec and the
+  /// time-series geometry as configuration. The default SLO is the
+  /// paper's service guarantee: delay slack >= 0 (picture decided within
+  /// its delay bound D) for 99.9% of pictures.
+  obs::SloSpec slo{"statmux.delay_slack", 0.999, 32, 256, 1.0};
+  std::size_t health_window_count = 32;      ///< series ring (windows)
+  std::int64_t health_epochs_per_window = 8; ///< epochs per series window
 
   /// Throws std::invalid_argument on a non-positive shard count, ring
   /// capacity, capacity, link rate, or tick.
@@ -245,6 +259,36 @@ class StatmuxService {
   /// config.collect_sends. Valid between epochs.
   const std::vector<StreamSend>& collected_sends(int shard) const;
 
+  // --- Health plane (DESIGN.md §3.10) ---------------------------------
+
+  /// Canonical health snapshot as JSON: merged quantile sketches
+  /// (per-picture delay and delay slack, per-epoch queue depth and dirty
+  /// set), the epoch-aligned time series, and the SLO burn state. Every
+  /// field is either an integer accumulation or a multiset-invariant
+  /// extremum of the observation population, so the string is
+  /// BYTE-IDENTICAL across shard counts, thread counts, batch sizes, and
+  /// ExecutionPaths for the same admission/feed program (the
+  /// StatmuxHealth determinism suite pins shards 1/4/8 x threads 1/8
+  /// under TSan). `per_shard` appends a "shards" detail section — the
+  /// lsm_top per-shard view — which fixes the shard count in the bytes
+  /// and adds wall-clock epoch-latency quantiles, so it is deliberately
+  /// NOT part of the canonical comparison form.
+  std::string health_json(bool per_shard = false) const;
+
+  /// Burn state of the configured SLO after the last epoch.
+  const obs::SloState& slo_state() const noexcept {
+    return slo_.state();
+  }
+
+  /// Merged per-picture sketches after the last batch (shard-index-order
+  /// reduction of the per-shard sketches, like the rate series).
+  const obs::QuantileSketch& delay_sketch() const noexcept {
+    return merged_delay_;
+  }
+  const obs::QuantileSketch& delay_slack_sketch() const noexcept {
+    return merged_slack_;
+  }
+
  private:
   struct Shard;
   void run_shard_epoch(Shard& shard, std::int64_t now);
@@ -272,6 +316,39 @@ class StatmuxService {
   double last_rate_ = 0.0;  ///< most recent epoch total (ring-independent)
   double bucket_tokens_ = 0.0;  ///< link policer fill (bits)
   std::int64_t overshoot_epochs_ = 0;
+
+  // Health plane: driver-owned canonical state. The merged_* sketches are
+  // rebuilt from the cumulative per-shard sketches at every batch end
+  // (shard-index order); queue/dirty sketches and the series observe the
+  // GLOBAL per-epoch totals — summed over shards as integers — because a
+  // per-shard-per-epoch observation distribution would depend on the
+  // shard count. merged_epoch_wall_ (wall-clock epoch latency) is kept
+  // for operators but excluded from the canonical snapshot, the same way
+  // deterministic_events() strips kShardStart/kShardEnd.
+  obs::QuantileSketch merged_delay_;
+  obs::QuantileSketch merged_slack_;
+  obs::QuantileSketch merged_epoch_wall_;
+  obs::QuantileSketch queue_sketch_;
+  obs::QuantileSketch dirty_sketch_;
+  obs::TimeSeries queue_series_;
+  obs::TimeSeries dirty_series_;
+  obs::TimeSeries decisions_series_;
+  obs::TimeSeries active_series_;
+  obs::SloTracker slo_;
+
+  /// Registry mirrors (pre-resolved like the gauges above): the driver
+  /// assign()s the freshly merged sketches every batch so scrapes and
+  /// Prometheus expositions see the health plane without touching the
+  /// service.
+  obs::SketchMetric* delay_sketch_metric_ = nullptr;
+  obs::SketchMetric* slack_sketch_metric_ = nullptr;
+  obs::SketchMetric* queue_sketch_metric_ = nullptr;
+  obs::SketchMetric* dirty_sketch_metric_ = nullptr;
+  obs::SketchMetric* epoch_wall_metric_ = nullptr;
+  obs::TimeSeriesMetric* queue_series_metric_ = nullptr;
+  obs::TimeSeriesMetric* dirty_series_metric_ = nullptr;
+  obs::TimeSeriesMetric* decisions_series_metric_ = nullptr;
+  obs::TimeSeriesMetric* active_series_metric_ = nullptr;
 };
 
 }  // namespace lsm::net

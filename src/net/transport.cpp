@@ -22,6 +22,15 @@ double delay_excess(double delay, double bound) {
   return delay > bound + kDelayTolerance ? delay - bound : 0.0;
 }
 
+/// Slack fed to the health sketches: D - delay, with within-tolerance
+/// negatives snapped to 0.0 so the sketch's `clamped` tally counts only
+/// true delay-bound violations (the SLO's definition of bad), not
+/// reassociation noise.
+double slack_value(double delay, double bound) {
+  const double slack = bound - delay;
+  return slack < 0.0 && delay <= bound + kDelayTolerance ? 0.0 : slack;
+}
+
 /// Validates the shared config fields and returns the effective playout
 /// offset (auto-selection uses the jitter *bound*, never a sampled value:
 /// Theorem 1's offset is D + latency + jitter).
@@ -144,6 +153,8 @@ PipelineReport run_live_pipeline(const lsm::trace::Trace& trace,
     report.worst_delay_excess =
         std::max(report.worst_delay_excess,
                  delay_excess(send.delay, config.params.D));
+    report.delay_sketch.observe(send.delay);
+    report.slack_sketch.observe(slack_value(send.delay, config.params.D));
     // Wake up at the departure instant to decide the next picture's rate.
     queue.schedule_at(send.depart, [send_next] { (*send_next)(); });
   };
@@ -390,6 +401,8 @@ FaultedPipelineReport run_faulted_pipeline(const lsm::trace::Trace& trace,
     const double excess = delay_excess(actual_delay, params.D);
     report.worst_delay_excess = std::max(report.worst_delay_excess, excess);
     deg.worst_delay_excess = report.worst_delay_excess;
+    report.delay_sketch.observe(actual_delay);
+    report.slack_sketch.observe(slack_value(actual_delay, params.D));
 
     channel_free = actual_depart;
     // Next decision when both the plan and the real channel allow it.

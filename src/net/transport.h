@@ -32,6 +32,7 @@
 #include "core/fastpath.h"
 #include "core/smoother.h"
 #include "net/recovery.h"
+#include "obs/sketch.h"
 #include "runtime/counters.h"
 #include "sim/channel.h"
 #include "sim/event_queue.h"
@@ -69,6 +70,13 @@ struct PipelineReport {
   /// the worst-case overshoot of the delay bound under faults.
   double worst_delay_excess = 0.0;
   double playout_offset = 0.0;
+  /// Health-plane distributions, one observation per sent picture
+  /// (DESIGN.md §3.10): sender delay d_i - (i-1) tau, and slack D - delay
+  /// (a negative slack clamps into bucket 0, so `clamped` counts the
+  /// delay-bound violations). Same fixed geometry as the statmux service's
+  /// sketches — a caller can merge pipeline reports bit-exactly.
+  obs::QuantileSketch delay_sketch;
+  obs::QuantileSketch slack_sketch;
 
   bool clean() const noexcept { return underflows == 0; }
 };

@@ -65,6 +65,13 @@ enum class EventKind : std::uint16_t {
   /// index, b = interval end time, c = joint demand (bps) that exceeded
   /// the cap. time = interval start, picture = 0.
   kLayerShed = 16,
+  /// An SLO entered the breaching state (both burn-rate windows at or
+  /// above the threshold, obs/slo.h): a = fast-window burn rate, b =
+  /// slow-window burn rate, c = cumulative breach count. stream = 0,
+  /// picture = 0xffffffff (disjoint from the statmux shard tracers),
+  /// time = simulated epoch index. Deterministic: burn rates are
+  /// divisions of partition-invariant integer tallies.
+  kSloBreach = 17,
 };
 
 /// Human-readable kind name (chrome exporter, flight-recorder dumps).

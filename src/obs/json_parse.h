@@ -1,0 +1,48 @@
+// Minimal JSON reader: the parsing counterpart of obs/json.h, used by
+// tools that consume the library's own snapshot lines (lsm_top tails
+// `# metrics:` / `# health:` streams) and by tests that want structured
+// access to snapshot JSON without regex surgery.
+//
+// Scope is deliberately the subset obs/json.h emits: objects, arrays,
+// strings with the writer's escapes, doubles (std::from_chars round-trip),
+// booleans, null. Object member order is preserved — the writer emits
+// sorted keys, and round-tripping must not reorder them.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace lsm::obs {
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> items;  ///< kArray elements
+  std::vector<std::pair<std::string, JsonValue>> members;  ///< kObject
+
+  bool is_object() const noexcept { return kind == Kind::kObject; }
+  bool is_array() const noexcept { return kind == Kind::kArray; }
+  bool is_number() const noexcept { return kind == Kind::kNumber; }
+  bool is_string() const noexcept { return kind == Kind::kString; }
+
+  /// Member lookup (linear; snapshot objects are small). Null when absent
+  /// or not an object.
+  const JsonValue* find(std::string_view key) const noexcept;
+
+  /// The member's number, or `fallback` when absent / not a number.
+  double number_or(std::string_view key, double fallback) const noexcept;
+};
+
+/// Parses one JSON document (leading/trailing whitespace allowed). Throws
+/// std::runtime_error with an offset-bearing message on malformed input.
+JsonValue parse_json(std::string_view text);
+
+}  // namespace lsm::obs

@@ -75,8 +75,33 @@ HistogramMetric& Registry::histogram(std::string_view name) {
   return *it->second;
 }
 
+SketchMetric& Registry::sketch(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = sketches_.find(name);
+  if (it == sketches_.end()) {
+    it = sketches_.emplace(std::string(name), std::make_unique<SketchMetric>())
+             .first;
+  }
+  return *it->second;
+}
+
+TimeSeriesMetric& Registry::timeseries(std::string_view name,
+                                       const TimeSeriesOptions& options) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = series_.find(name);
+  if (it == series_.end()) {
+    it = series_
+             .emplace(std::string(name),
+                      std::make_unique<TimeSeriesMetric>(options))
+             .first;
+  }
+  return *it->second;
+}
+
 MetricsSnapshot Registry::snapshot() const {
   MetricsSnapshot snap;
+  snap.seq = snapshot_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+  snap.time_seconds = time_seconds_.load(std::memory_order_relaxed);
   const std::lock_guard<std::mutex> lock(mutex_);
   for (const auto& [name, counter] : counters_) {
     snap.counters.emplace_back(name, counter->value());
@@ -88,12 +113,24 @@ MetricsSnapshot Registry::snapshot() const {
     snap.histograms.push_back(
         MetricsSnapshot::Histogram{name, histogram->data()});
   }
+  for (const auto& [name, sketch] : sketches_) {
+    snap.sketches.push_back(MetricsSnapshot::Sketch{name, sketch->data()});
+  }
+  for (const auto& [name, series] : series_) {
+    MetricsSnapshot::Series out;
+    out.name = name;
+    out.options = series->options();
+    series->snapshot(out.windows, &out.window_sketches);
+    snap.series.push_back(std::move(out));
+  }
   return snap;
 }
 
 std::string MetricsSnapshot::to_json() const {
   JsonWriter json;
   json.begin_object();
+  json.key("seq").value(seq);
+  json.key("time_s").value(time_seconds);
   json.key("counters").begin_object();
   for (const auto& [name, value] : counters) {
     json.key(name).value(value);
@@ -116,6 +153,20 @@ std::string MetricsSnapshot::to_json() const {
     }
     json.end_array();
     json.end_object();
+  }
+  json.end_object();
+  json.key("sketches").begin_object();
+  for (const Sketch& sketch : sketches) {
+    json.key(sketch.name);
+    write_sketch_json(json, sketch.data);
+  }
+  json.end_object();
+  json.key("series").begin_object();
+  for (const Series& entry : series) {
+    json.key(entry.name);
+    write_series_json(json, entry.options, entry.windows,
+                      entry.options.with_sketch ? &entry.window_sketches
+                                                : nullptr);
   }
   json.end_object();
   json.end_object();
@@ -141,22 +192,49 @@ std::string prometheus_double(double value) {
   return json_double(value);
 }
 
+/// "# HELP name text\n" — emitted BEFORE the matching # TYPE line
+/// (Prometheus convention). The help text names the dotted source metric,
+/// which the exposition name mangles.
+void append_help(std::string& out, const std::string& prom,
+                 std::string_view kind, std::string_view source) {
+  out += "# HELP " + prom + " lsm " + std::string(kind) + " '" +
+         std::string(source) + "'\n";
+}
+
+/// One "# HELP/# TYPE/value" gauge triplet (the sketch-quantile and
+/// series-window companions).
+void append_gauge(std::string& out, const std::string& prom,
+                  std::string_view help, double value) {
+  out += "# HELP " + prom + " " + std::string(help) + "\n";
+  out += "# TYPE " + prom + " gauge\n";
+  out += prom + " " + prometheus_double(value) + "\n";
+}
+
 }  // namespace
 
 std::string MetricsSnapshot::to_prometheus() const {
   std::string out;
+  append_help(out, "lsm_snapshot_seq", "snapshot sequence number",
+              "registry");
+  out += "# TYPE lsm_snapshot_seq counter\n";
+  out += "lsm_snapshot_seq " + std::to_string(seq) + "\n";
+  append_gauge(out, "lsm_snapshot_time_seconds",
+               "simulated-time stamp of this snapshot", time_seconds);
   for (const auto& [name, value] : counters) {
     const std::string prom = prometheus_name(name);
+    append_help(out, prom, "counter", name);
     out += "# TYPE " + prom + " counter\n";
     out += prom + " " + std::to_string(value) + "\n";
   }
   for (const auto& [name, value] : gauges) {
     const std::string prom = prometheus_name(name);
+    append_help(out, prom, "gauge", name);
     out += "# TYPE " + prom + " gauge\n";
     out += prom + " " + prometheus_double(value) + "\n";
   }
   for (const Histogram& histogram : histograms) {
     const std::string prom = prometheus_name(histogram.name);
+    append_help(out, prom, "histogram", histogram.name);
     out += "# TYPE " + prom + " histogram\n";
     double bound = 0.001;
     std::uint64_t cumulative = 0;
@@ -172,12 +250,67 @@ std::string MetricsSnapshot::to_prometheus() const {
     out += prom + "_count " + std::to_string(histogram.data.count) + "\n";
     // The histogram tracks max and clamp counts, not a sum of samples:
     // expose them as companion gauges rather than faking a _sum.
+    append_help(out, prom + "_max_seconds", "histogram max",
+                histogram.name);
     out += "# TYPE " + prom + "_max_seconds gauge\n";
     out += prom + "_max_seconds " +
            prometheus_double(histogram.data.max_seconds) + "\n";
+    append_help(out, prom + "_clamped", "histogram clamp count",
+                histogram.name);
     out += "# TYPE " + prom + "_clamped counter\n";
     out += prom + "_clamped " + std::to_string(histogram.data.clamped) +
            "\n";
+  }
+  for (const Sketch& sketch : sketches) {
+    const std::string prom = prometheus_name(sketch.name);
+    append_help(out, prom + "_count", "sketch sample count", sketch.name);
+    out += "# TYPE " + prom + "_count counter\n";
+    out += prom + "_count " + std::to_string(sketch.data.count()) + "\n";
+    append_help(out, prom + "_clamped", "sketch clamp count", sketch.name);
+    out += "# TYPE " + prom + "_clamped counter\n";
+    out += prom + "_clamped " + std::to_string(sketch.data.clamped()) +
+           "\n";
+    append_gauge(out, prom + "_min", "sketch min", sketch.data.min());
+    append_gauge(out, prom + "_max", "sketch max", sketch.data.max());
+    append_gauge(out, prom + "_p50", "sketch p50 quantile",
+                 sketch.data.quantile(0.5));
+    append_gauge(out, prom + "_p99", "sketch p99 quantile",
+                 sketch.data.quantile(0.99));
+    append_gauge(out, prom + "_p999", "sketch p999 quantile",
+                 sketch.data.quantile(0.999));
+  }
+  for (const Series& entry : series) {
+    // Prometheus is a point-in-time exposition: the newest window stands
+    // for the series; full window history rides the JSON snapshot.
+    const std::string prom = prometheus_name(entry.name);
+    TimeSeriesWindow latest;
+    const QuantileSketch* latest_sketch = nullptr;
+    if (!entry.windows.empty()) {
+      latest = entry.windows.back();
+      if (entry.options.with_sketch &&
+          entry.window_sketches.size() == entry.windows.size()) {
+        latest_sketch = &entry.window_sketches.back();
+      }
+    }
+    append_gauge(out, prom + "_window", "series newest window index",
+                 static_cast<double>(latest.window));
+    append_gauge(out, prom + "_count", "series newest window sample count",
+                 static_cast<double>(latest.count));
+    append_gauge(out, prom + "_sum", "series newest window sum",
+                 static_cast<double>(latest.sum_fp) /
+                     entry.options.sum_scale);
+    append_gauge(out, prom + "_min", "series newest window min",
+                 latest.min);
+    append_gauge(out, prom + "_max", "series newest window max",
+                 latest.max);
+    if (latest_sketch != nullptr) {
+      append_gauge(out, prom + "_p50", "series newest window p50",
+                   latest_sketch->quantile(0.5));
+      append_gauge(out, prom + "_p99", "series newest window p99",
+                   latest_sketch->quantile(0.99));
+      append_gauge(out, prom + "_p999", "series newest window p999",
+                   latest_sketch->quantile(0.999));
+    }
   }
   return out;
 }

@@ -21,6 +21,9 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/sketch.h"
+#include "obs/timeseries.h"
+
 namespace lsm::obs {
 
 /// Monotonic counter (Prometheus "counter").
@@ -82,6 +85,14 @@ class HistogramMetric {
 /// Point-in-time copy of every metric, sorted by name — the stable shape
 /// both expositions and tools/metrics_schema.json describe.
 struct MetricsSnapshot {
+  /// Monotonic scrape counter: each Registry::snapshot() call gets the
+  /// next value, so consumers (lsm_top, check_bench.py snapshots) can
+  /// detect stale or duplicated scrapes in a snapshot stream.
+  std::uint64_t seq = 0;
+  /// Simulated-time stamp of the snapshot (Registry::set_time); 0 until a
+  /// subsystem publishes its clock.
+  double time_seconds = 0.0;
+
   std::vector<std::pair<std::string, std::uint64_t>> counters;
   std::vector<std::pair<std::string, double>> gauges;
   struct Histogram {
@@ -89,8 +100,23 @@ struct MetricsSnapshot {
     HistogramMetric::Data data;
   };
   std::vector<Histogram> histograms;
+  struct Sketch {
+    std::string name;
+    QuantileSketch data;
+  };
+  std::vector<Sketch> sketches;
+  struct Series {
+    std::string name;
+    TimeSeriesOptions options;
+    std::vector<TimeSeriesWindow> windows;
+    /// Parallel to `windows` when the series keeps per-window sketches;
+    /// empty otherwise.
+    std::vector<QuantileSketch> window_sketches;
+  };
+  std::vector<Series> series;
 
-  /// {"counters": {...}, "gauges": {...}, "histograms": {...}}.
+  /// {"seq": .., "time_s": .., "counters": {...}, "gauges": {...},
+  /// "histograms": {...}, "sketches": {...}, "series": {...}}.
   std::string to_json() const;
 
   /// Prometheus text exposition ('.' in names becomes '_', each metric
@@ -112,17 +138,36 @@ class Registry {
   Counter& counter(std::string_view name);
   Gauge& gauge(std::string_view name);
   HistogramMetric& histogram(std::string_view name);
+  SketchMetric& sketch(std::string_view name);
+  /// `options` apply only when the series is created by this call;
+  /// later lookups return the existing series unchanged.
+  TimeSeriesMetric& timeseries(std::string_view name,
+                               const TimeSeriesOptions& options = {});
 
+  /// Publishes the simulated clock stamped onto snapshots. Simulated —
+  /// never wall — time keeps snapshot bytes deterministic; the epoch
+  /// driver calls this once per batch.
+  void set_time(double sim_seconds) noexcept {
+    time_seconds_.store(sim_seconds, std::memory_order_relaxed);
+  }
+
+  /// Each call returns the next snapshot_seq (starting at 1).
   MetricsSnapshot snapshot() const;
   std::string to_json() const { return snapshot().to_json(); }
   std::string to_prometheus() const { return snapshot().to_prometheus(); }
 
  private:
   mutable std::mutex mutex_;
+  mutable std::atomic<std::uint64_t> snapshot_seq_{0};
+  std::atomic<double> time_seconds_{0.0};
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<HistogramMetric>, std::less<>>
       histograms_;
+  std::map<std::string, std::unique_ptr<SketchMetric>, std::less<>>
+      sketches_;
+  std::map<std::string, std::unique_ptr<TimeSeriesMetric>, std::less<>>
+      series_;
 };
 
 /// Records a steady-state allocation audit result as the gauge

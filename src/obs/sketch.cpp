@@ -1,0 +1,87 @@
+#include "obs/sketch.h"
+
+#include "obs/json.h"
+
+namespace lsm::obs {
+
+double QuantileSketch::bucket_upper(int index) noexcept {
+  if (index <= 0) return 0.0;
+  if (index >= kBuckets - 1) {
+    return std::numeric_limits<double>::infinity();
+  }
+  const int j = index - 1;
+  const int octave = j / kSubBuckets;
+  const int sub = j % kSubBuckets;
+  // Octave e spans [2^(e-1), 2^e); sub-bucket s tops out at
+  // (kSubBuckets + s + 1) * 2^(e - 1 - kSubBucketBits) — a dyadic
+  // rational, exact in double.
+  const int exponent = kMinExponent + octave;
+  return std::ldexp(static_cast<double>(kSubBuckets + sub + 1),
+                    exponent - 1 - kSubBucketBits);
+}
+
+void QuantileSketch::merge(const QuantileSketch& other) noexcept {
+  for (int i = 0; i < kBuckets; ++i) {
+    buckets_[static_cast<std::size_t>(i)] +=
+        other.buckets_[static_cast<std::size_t>(i)];
+  }
+  count_ += other.count_;
+  clamped_ += other.clamped_;
+  if (other.count_ > 0) {
+    if (other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+}
+
+void QuantileSketch::reset() noexcept {
+  buckets_.fill(0);
+  count_ = 0;
+  clamped_ = 0;
+  min_ = std::numeric_limits<double>::infinity();
+  max_ = -std::numeric_limits<double>::infinity();
+}
+
+double QuantileSketch::quantile(double q) const noexcept {
+  if (count_ == 0) return 0.0;
+  if (!(q > 0.0)) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  std::uint64_t rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(count_)));
+  if (rank < 1) rank = 1;
+  if (rank > count_) rank = count_;
+  std::uint64_t cumulative = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    cumulative += buckets_[static_cast<std::size_t>(i)];
+    if (cumulative >= rank) {
+      // The overflow bucket has no finite bound; the exact max (itself
+      // partition-independent) is the honest answer there.
+      return i == kBuckets - 1 ? max() : bucket_upper(i);
+    }
+  }
+  return max();
+}
+
+void write_sketch_json(JsonWriter& json, const QuantileSketch& sketch) {
+  json.begin_object();
+  json.key("count").value(sketch.count());
+  json.key("clamped").value(sketch.clamped());
+  json.key("min").value(sketch.min());
+  json.key("max").value(sketch.max());
+  json.key("p50").value(sketch.quantile(0.5));
+  json.key("p99").value(sketch.quantile(0.99));
+  json.key("p999").value(sketch.quantile(0.999));
+  json.key("buckets").begin_array();
+  const auto& buckets = sketch.buckets();
+  for (int i = 0; i < QuantileSketch::kBuckets; ++i) {
+    const std::uint64_t count = buckets[static_cast<std::size_t>(i)];
+    if (count == 0) continue;
+    json.begin_array();
+    json.value(static_cast<std::uint64_t>(i));
+    json.value(count);
+    json.end_array();
+  }
+  json.end_array();
+  json.end_object();
+}
+
+}  // namespace lsm::obs

@@ -1,0 +1,152 @@
+// Fixed-geometry mergeable quantile sketch (DESIGN.md §3.10).
+//
+// The health plane needs per-picture and per-epoch distributions (delay,
+// delay slack, queue depth, dirty-set size) that can be accumulated
+// shard-locally without locks and reduced at the epoch driver — and the
+// reduction must be BIT-EXACT regardless of how the population was
+// partitioned, because the determinism gate compares health snapshots
+// across shard counts. That rules out streaming estimators whose state
+// depends on arrival order (t-digest, GK) and fixes the design:
+//
+//   * Geometry is static. Every sketch has the same HDR-histogram-style
+//     log-linear buckets — an octave per power of two, split linearly into
+//     8 sub-buckets by the top three mantissa bits — so any two sketches
+//     are mergeable by element-wise addition.
+//   * Counts are integers. Bucket counts, total and clamp tallies are
+//     uint64: addition is associative and commutative EXACTLY, so the
+//     merged sketch is a pure function of the observation multiset, not of
+//     the shard partition or merge order. (Merges are nevertheless done in
+//     shard-index order, matching the rate-series reduction discipline.)
+//   * min/max are the only doubles, and min/max over a multiset is also
+//     partition-independent.
+//   * Bucket bounds are dyadic rationals (ldexp of small integers), hence
+//     exactly representable: quantile() returns the same bits everywhere.
+//
+// Clamping follows HistogramMetric's contract: negative or non-finite
+// samples count into bucket 0 as value 0.0 and increment `clamped` so
+// faulty inputs stay visible. (The statmux slack sketch exploits this:
+// slack is nonnegative under the paper's Theorem 1, so `clamped` doubles
+// as the delay-bound violation count.)
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <mutex>
+
+namespace lsm::obs {
+
+class JsonWriter;
+
+class QuantileSketch {
+ public:
+  static constexpr int kSubBucketBits = 3;
+  static constexpr int kSubBuckets = 1 << kSubBucketBits;  // 8 per octave
+  /// frexp-exponent range: octave e covers [2^(e-1), 2^e). 2^-27 (~7.5e-9,
+  /// below the 1e-9 delay tolerance) .. 2^27 (~1.3e8, above any picture
+  /// count or queue depth the service can hold).
+  static constexpr int kMinExponent = -26;
+  static constexpr int kMaxExponent = 27;
+  static constexpr int kOctaves = kMaxExponent - kMinExponent + 1;
+  /// [0] = zero/clamped, [1 .. kOctaves*8] = log-linear, last = overflow.
+  static constexpr int kBuckets = 2 + kOctaves * kSubBuckets;
+
+  /// Bucket of `value` after clamping (value <= 0 or tiny -> 0 or the
+  /// first log bucket; value beyond the top octave -> kBuckets - 1).
+  static int bucket_index(double value) noexcept {
+    if (!(value > 0.0)) return 0;  // zero, negative, NaN
+    int exponent = 0;
+    const double mantissa = std::frexp(value, &exponent);  // [0.5, 1)
+    if (exponent > kMaxExponent) return kBuckets - 1;
+    if (exponent < kMinExponent) return 1;
+    const int sub = static_cast<int>(mantissa * (2 * kSubBuckets)) -
+                    kSubBuckets;  // top 3 mantissa bits: [0, 8)
+    return 1 + (exponent - kMinExponent) * kSubBuckets + sub;
+  }
+
+  /// Inclusive upper bound of bucket `index` — a dyadic rational, exactly
+  /// representable, so quantiles are bit-identical everywhere. Bucket 0
+  /// reports 0.0; the overflow bucket has no finite bound (+inf).
+  static double bucket_upper(int index) noexcept;
+
+  void observe(double value) noexcept {
+    const bool faulty = !std::isfinite(value) || value < 0.0;
+    if (faulty) value = 0.0;
+    ++buckets_[static_cast<std::size_t>(bucket_index(value))];
+    ++count_;
+    clamped_ += faulty ? 1 : 0;
+    if (value < min_) min_ = value;
+    if (value > max_) max_ = value;
+  }
+
+  /// Element-wise integer addition (plus min/max). Callers reducing a
+  /// sharded population merge in shard-index order — the same discipline
+  /// as the reserved-rate reduction — though the integer counts make the
+  /// result order-independent by construction.
+  void merge(const QuantileSketch& other) noexcept;
+
+  void reset() noexcept;
+
+  std::uint64_t count() const noexcept { return count_; }
+  std::uint64_t clamped() const noexcept { return clamped_; }
+  /// Smallest / largest observed value (after clamping); 0.0 when empty.
+  double min() const noexcept { return count_ == 0 ? 0.0 : min_; }
+  double max() const noexcept { return count_ == 0 ? 0.0 : max_; }
+
+  /// Upper bound of the bucket holding the rank-ceil(q * count) sample
+  /// (q clamped to [0, 1]); 0.0 when empty. Samples in the overflow
+  /// bucket report the exact observed max. The result is a pure function
+  /// of the bucket counts, so it is byte-stable across shard partitions.
+  double quantile(double q) const noexcept;
+
+  const std::array<std::uint64_t, static_cast<std::size_t>(kBuckets)>&
+  buckets() const noexcept {
+    return buckets_;
+  }
+
+ private:
+  std::array<std::uint64_t, static_cast<std::size_t>(kBuckets)> buckets_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t clamped_ = 0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Serializes `sketch` as the canonical JSON object both the Registry
+/// snapshot ("sketches" section) and StatmuxService::health_json() emit:
+/// {"count": .., "clamped": .., "min": .., "max": .., "p50": .., "p99":
+/// .., "p999": .., "buckets": [[index, count], ...]} with only the
+/// non-zero buckets listed, in index order.
+void write_sketch_json(JsonWriter& json, const QuantileSketch& sketch);
+
+/// Thread-safe named wrapper registered in obs::Registry: observe() and
+/// merge() from any thread; data() copies the fixed-size state under the
+/// lock. assign() replaces the contents wholesale — the statmux driver
+/// publishes its freshly merged per-shard sketches this way every batch,
+/// so the registry mirror never double-counts cumulative shard state.
+class SketchMetric {
+ public:
+  void observe(double value) noexcept {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    sketch_.observe(value);
+  }
+  void merge(const QuantileSketch& other) noexcept {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    sketch_.merge(other);
+  }
+  void assign(const QuantileSketch& replacement) noexcept {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    sketch_ = replacement;
+  }
+  QuantileSketch data() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return sketch_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  QuantileSketch sketch_;
+};
+
+}  // namespace lsm::obs

@@ -1,0 +1,123 @@
+#include "obs/slo.h"
+
+#include <stdexcept>
+
+#include "obs/flight_recorder.h"
+#include "obs/json.h"
+
+namespace lsm::obs {
+
+namespace {
+
+/// picture field of kSloBreach events: keeps service-level SLO events
+/// disjoint from the statmux shard tracers, which share stream 0 with
+/// picture = shard index.
+constexpr std::uint32_t kSloPicture = 0xffffffffu;
+
+}  // namespace
+
+void SloSpec::validate() const {
+  if (!(objective > 0.0) || !(objective < 1.0)) {
+    throw std::invalid_argument("slo: objective must be in (0, 1)");
+  }
+  if (fast_window_epochs < 1 || slow_window_epochs < 1) {
+    throw std::invalid_argument("slo: window sizes must be >= 1");
+  }
+  if (fast_window_epochs > slow_window_epochs) {
+    throw std::invalid_argument(
+        "slo: fast window must not exceed the slow window");
+  }
+  if (!(burn_threshold > 0.0)) {
+    throw std::invalid_argument("slo: burn threshold must be > 0");
+  }
+}
+
+SloTracker::SloTracker(SloSpec spec, Tracer* tracer,
+                       FlightRecorder* recorder)
+    : spec_(std::move(spec)),
+      tracer_(tracer != nullptr ? tracer : &Tracer::global(), 0),
+      recorder_(recorder != nullptr ? recorder
+                                    : &FlightRecorder::global()) {
+  spec_.validate();
+  ring_.resize(static_cast<std::size_t>(spec_.slow_window_epochs));
+}
+
+const SloState& SloTracker::record_epoch(std::int64_t epoch,
+                                         std::uint64_t good,
+                                         std::uint64_t total) {
+  if (epoch < 0) epoch = 0;
+  const std::size_t slot =
+      static_cast<std::size_t>(epoch) %
+      static_cast<std::size_t>(spec_.slow_window_epochs);
+  Cell& cell = ring_[slot];
+  if (cell.epoch != epoch) {
+    cell.epoch = epoch;
+    cell.good = 0;
+    cell.total = 0;
+  }
+  cell.good += good;
+  cell.total += total;
+
+  SloState next;
+  next.epoch = epoch;
+  next.breaches = state_.breaches;
+  for (const Cell& c : ring_) {
+    if (c.epoch < 0 || c.epoch > epoch) continue;
+    const std::int64_t age = epoch - c.epoch;
+    if (age < spec_.fast_window_epochs) {
+      next.fast_good += c.good;
+      next.fast_total += c.total;
+    }
+    if (age < spec_.slow_window_epochs) {
+      next.slow_good += c.good;
+      next.slow_total += c.total;
+    }
+  }
+  const double budget = 1.0 - spec_.objective;
+  if (next.fast_total > 0) {
+    next.fast_burn =
+        (static_cast<double>(next.fast_total - next.fast_good) /
+         static_cast<double>(next.fast_total)) /
+        budget;
+  }
+  if (next.slow_total > 0) {
+    next.slow_burn =
+        (static_cast<double>(next.slow_total - next.slow_good) /
+         static_cast<double>(next.slow_total)) /
+        budget;
+  }
+  next.breaching = next.fast_total > 0 && next.slow_total > 0 &&
+                   next.fast_burn >= spec_.burn_threshold &&
+                   next.slow_burn >= spec_.burn_threshold;
+  if (next.breaching && !state_.breaching) {
+    ++next.breaches;
+    tracer_.emit(EventKind::kSloBreach, kSloPicture,
+                 static_cast<double>(epoch), next.fast_burn, next.slow_burn,
+                 static_cast<double>(next.breaches));
+    recorder_->trigger("slo_breach:" + spec_.name);
+  }
+  state_ = next;
+  return state_;
+}
+
+void write_slo_json(JsonWriter& json, const SloSpec& spec,
+                    const SloState& state) {
+  json.begin_object();
+  json.key("name").value(spec.name);
+  json.key("objective").value(spec.objective);
+  json.key("fast_window").value(spec.fast_window_epochs);
+  json.key("slow_window").value(spec.slow_window_epochs);
+  json.key("burn_threshold").value(spec.burn_threshold);
+  json.key("epoch").value(state.epoch);
+  json.key("fast_good").value(state.fast_good);
+  json.key("fast_total").value(state.fast_total);
+  json.key("slow_good").value(state.slow_good);
+  json.key("slow_total").value(state.slow_total);
+  json.key("fast_burn").value(state.fast_burn);
+  json.key("slow_burn").value(state.slow_burn);
+  json.key("breaching").value(state.breaching);
+  json.key("breaches").value(state.breaches);
+  json.end_object();
+}
+
+}  // namespace lsm::obs

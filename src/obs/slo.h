@@ -1,0 +1,97 @@
+// Declarative SLOs with multi-window burn-rate alerting (DESIGN.md §3.10).
+//
+// A spec names an objective over a good/total event ratio — e.g. "delay
+// slack >= 0 for 99.9% of pictures" — and the tracker consumes one
+// (good, total) pair per epoch. Alerting follows the standard two-window
+// burn-rate recipe: the burn rate of a window is
+//
+//   burn = (bad / total) / (1 - objective)
+//
+// (1.0 = consuming the error budget exactly at the rate that exhausts it
+// over the window), and the tracker is *breaching* while BOTH the fast
+// and the slow window burn at or above the threshold — the fast window
+// makes alerts responsive, the slow window keeps one bad epoch from
+// paging. Entering the breaching state emits a kSloBreach trace event and
+// trigger()s the FlightRecorder, turning a budget burn into a postmortem
+// dump of the trailing per-stream events.
+//
+// Determinism: epoch tallies are integers keyed by simulated epoch, burn
+// rates are single divisions of partition-invariant integers, so the
+// state (and health_json snapshots of it) is byte-identical across shard
+// counts, thread counts, and ExecutionPaths. The per-epoch ring is
+// preallocated; record_epoch() allocates only when a breach fires (the
+// trigger reason string), never in steady state.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/tracer.h"
+
+namespace lsm::obs {
+
+class FlightRecorder;
+class JsonWriter;
+
+struct SloSpec {
+  std::string name = "slo";  ///< dotted metric-style name
+  double objective = 0.999;  ///< required good fraction in (0, 1)
+  std::int64_t fast_window_epochs = 32;
+  std::int64_t slow_window_epochs = 256;  ///< also the ring capacity
+  /// Alert when both windows burn at >= this multiple of the budget rate.
+  double burn_threshold = 1.0;
+
+  /// Throws std::invalid_argument on objective outside (0, 1), window
+  /// sizes < 1, fast > slow, or a non-positive threshold.
+  void validate() const;
+};
+
+struct SloState {
+  std::int64_t epoch = -1;  ///< last recorded epoch
+  std::uint64_t fast_good = 0;
+  std::uint64_t fast_total = 0;
+  std::uint64_t slow_good = 0;
+  std::uint64_t slow_total = 0;
+  double fast_burn = 0.0;
+  double slow_burn = 0.0;
+  bool breaching = false;
+  std::uint64_t breaches = 0;  ///< cumulative transitions into breach
+};
+
+class SloTracker {
+ public:
+  /// `tracer`/`recorder` default to the process-wide instances; pass
+  /// explicit ones to keep a test hermetic.
+  explicit SloTracker(SloSpec spec, Tracer* tracer = nullptr,
+                      FlightRecorder* recorder = nullptr);
+
+  /// Records one epoch's tallies and re-evaluates both windows. Epochs
+  /// are expected in nondecreasing order; re-recording the current epoch
+  /// accumulates into it. Returns the updated state.
+  const SloState& record_epoch(std::int64_t epoch, std::uint64_t good,
+                               std::uint64_t total);
+
+  const SloState& state() const noexcept { return state_; }
+  const SloSpec& spec() const noexcept { return spec_; }
+
+ private:
+  struct Cell {
+    std::int64_t epoch = -1;
+    std::uint64_t good = 0;
+    std::uint64_t total = 0;
+  };
+
+  SloSpec spec_;
+  std::vector<Cell> ring_;  ///< slow_window_epochs slots, epoch-keyed
+  SloState state_;
+  StreamTracer tracer_;
+  FlightRecorder* recorder_;
+};
+
+/// Serializes spec + state as the canonical JSON object health snapshots
+/// embed.
+void write_slo_json(JsonWriter& json, const SloSpec& spec,
+                    const SloState& state);
+
+}  // namespace lsm::obs

@@ -1,0 +1,100 @@
+#include "obs/timeseries.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "obs/json.h"
+
+namespace lsm::obs {
+
+void TimeSeriesOptions::validate() const {
+  if (window_count < 1) {
+    throw std::invalid_argument("timeseries: window_count must be >= 1");
+  }
+  if (epochs_per_window < 1) {
+    throw std::invalid_argument(
+        "timeseries: epochs_per_window must be >= 1");
+  }
+  if (!(sum_scale > 0.0)) {
+    throw std::invalid_argument("timeseries: sum_scale must be > 0");
+  }
+}
+
+TimeSeries::TimeSeries(const TimeSeriesOptions& options)
+    : options_(options) {
+  options_.validate();
+  ring_.resize(options_.window_count);
+  if (options_.with_sketch) sketch_ring_.resize(options_.window_count);
+}
+
+void TimeSeries::record(std::int64_t epoch, double value) noexcept {
+  if (epoch < 0) epoch = 0;
+  const std::int64_t window = epoch / options_.epochs_per_window;
+  const std::size_t slot =
+      static_cast<std::size_t>(window) % options_.window_count;
+  TimeSeriesWindow& cell = ring_[slot];
+  if (cell.window != window) {
+    cell = TimeSeriesWindow{};
+    cell.window = window;
+    if (options_.with_sketch) sketch_ring_[slot].reset();
+  }
+  ++cell.count;
+  cell.sum_fp += std::llround(value * options_.sum_scale);
+  if (cell.count == 1) {
+    cell.min = value;
+    cell.max = value;
+  } else {
+    if (value < cell.min) cell.min = value;
+    if (value > cell.max) cell.max = value;
+  }
+  if (options_.with_sketch) sketch_ring_[slot].observe(value);
+  if (window > latest_) latest_ = window;
+}
+
+void TimeSeries::snapshot(std::vector<TimeSeriesWindow>& out,
+                          std::vector<QuantileSketch>* sketches) const {
+  out.clear();
+  if (sketches != nullptr) sketches->clear();
+  if (latest_ < 0) return;
+  const std::int64_t span =
+      static_cast<std::int64_t>(options_.window_count);
+  const std::int64_t first = std::max<std::int64_t>(0, latest_ - span + 1);
+  for (std::int64_t window = first; window <= latest_; ++window) {
+    const std::size_t slot =
+        static_cast<std::size_t>(window) % options_.window_count;
+    if (ring_[slot].window != window) continue;  // never written / lapped
+    out.push_back(ring_[slot]);
+    if (sketches != nullptr && options_.with_sketch) {
+      sketches->push_back(sketch_ring_[slot]);
+    }
+  }
+}
+
+void write_series_json(JsonWriter& json, const TimeSeriesOptions& options,
+                       const std::vector<TimeSeriesWindow>& windows,
+                       const std::vector<QuantileSketch>* sketches) {
+  json.begin_object();
+  json.key("window_epochs").value(options.epochs_per_window);
+  json.key("scale").value(options.sum_scale);
+  json.key("windows").begin_array();
+  for (std::size_t k = 0; k < windows.size(); ++k) {
+    const TimeSeriesWindow& window = windows[k];
+    json.begin_object();
+    json.key("w").value(window.window);
+    json.key("count").value(window.count);
+    json.key("sum").value(window.sum_fp);
+    json.key("min").value(window.min);
+    json.key("max").value(window.max);
+    if (sketches != nullptr && k < sketches->size()) {
+      const QuantileSketch& sketch = (*sketches)[k];
+      json.key("p50").value(sketch.quantile(0.5));
+      json.key("p99").value(sketch.quantile(0.99));
+      json.key("p999").value(sketch.quantile(0.999));
+    }
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+}
+
+}  // namespace lsm::obs

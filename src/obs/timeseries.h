@@ -1,0 +1,121 @@
+// Epoch-aligned ring-buffered time series (DESIGN.md §3.10).
+//
+// A TimeSeries rolls per-epoch observations into fixed windows of
+// `epochs_per_window` consecutive epochs, keeping the most recent
+// `window_count` windows in a preallocated ring — construction is the only
+// allocation, so a long-running service records epoch after epoch without
+// touching the heap (the BM_MuxSteadyAllocs gate covers the statmux
+// series).
+//
+// The clock is SIMULATED time: windows are keyed by epoch index, never by
+// wall clock, so a snapshot is a pure function of the recorded
+// (epoch, value) sequence — byte-identical across thread counts and
+// ExecutionPaths. Per-window aggregates are chosen to also be invariant
+// under re-partitioning of the recording (the shard-count axis of the
+// statmux determinism gate):
+//
+//   * count — integer;
+//   * min/max — multiset-invariant doubles;
+//   * sum — FIXED-POINT int64: each value contributes
+//     llround(value * sum_scale), so window sums are integer additions
+//     (exact, order-free), not order-sensitive double accumulation;
+//   * optionally a QuantileSketch per window (integer bucket counts).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "obs/sketch.h"
+
+namespace lsm::obs {
+
+class JsonWriter;
+
+struct TimeSeriesOptions {
+  std::size_t window_count = 32;       ///< ring capacity (windows retained)
+  std::int64_t epochs_per_window = 1;  ///< epochs rolled into one window
+  /// Fixed-point quantum of the window sum: a recorded value contributes
+  /// llround(value * sum_scale) to sum_fp. 1e9 gives nanosecond-exact
+  /// sums for second-valued series; 1.0 suits integer-valued series
+  /// (queue depths, stream counts).
+  double sum_scale = 1.0;
+  bool with_sketch = false;  ///< keep a QuantileSketch per window
+
+  /// Throws std::invalid_argument on a zero window count, non-positive
+  /// window width, or non-positive scale.
+  void validate() const;
+};
+
+/// One aggregated window. `window` is the window index
+/// (epoch / epochs_per_window); -1 marks a never-written ring slot.
+struct TimeSeriesWindow {
+  std::int64_t window = -1;
+  std::uint64_t count = 0;
+  std::int64_t sum_fp = 0;  ///< fixed-point sum (see sum_scale)
+  double min = 0.0;
+  double max = 0.0;
+};
+
+class TimeSeries {
+ public:
+  /// Preallocates the ring (the only allocation). Validates `options`.
+  explicit TimeSeries(const TimeSeriesOptions& options);
+
+  /// Folds `value` into the window of `epoch` (>= 0). Recording an epoch
+  /// whose window lapped the ring resets the slot first; recording into
+  /// the current window accumulates. Allocation-free.
+  void record(std::int64_t epoch, double value) noexcept;
+
+  const TimeSeriesOptions& options() const noexcept { return options_; }
+
+  /// Window index of the newest recorded epoch; -1 before any record.
+  std::int64_t latest_window() const noexcept { return latest_; }
+
+  /// Copies the populated windows, oldest first, into `out` (cleared
+  /// first). With `sketches` non-null (and with_sketch on) the matching
+  /// per-window sketches are copied in parallel.
+  void snapshot(std::vector<TimeSeriesWindow>& out,
+                std::vector<QuantileSketch>* sketches = nullptr) const;
+
+ private:
+  TimeSeriesOptions options_;
+  std::vector<TimeSeriesWindow> ring_;
+  std::vector<QuantileSketch> sketch_ring_;  ///< empty unless with_sketch
+  std::int64_t latest_ = -1;
+};
+
+/// Serializes a series snapshot as the canonical JSON object both the
+/// Registry snapshot ("series" section) and StatmuxService::health_json()
+/// emit: {"window_epochs": .., "scale": .., "windows": [{"w": .., "count":
+/// .., "sum": <fixed-point int64>, "min": .., "max": .. [, "p50"/"p99"/
+/// "p999"]}, ...]}. Quantile keys appear only when `sketches` is non-null.
+void write_series_json(JsonWriter& json, const TimeSeriesOptions& options,
+                       const std::vector<TimeSeriesWindow>& windows,
+                       const std::vector<QuantileSketch>* sketches);
+
+/// Thread-safe named wrapper registered in obs::Registry.
+class TimeSeriesMetric {
+ public:
+  explicit TimeSeriesMetric(const TimeSeriesOptions& options)
+      : series_(options) {}
+
+  void record(std::int64_t epoch, double value) noexcept {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    series_.record(epoch, value);
+  }
+  const TimeSeriesOptions& options() const noexcept {
+    return series_.options();
+  }
+  void snapshot(std::vector<TimeSeriesWindow>& out,
+                std::vector<QuantileSketch>* sketches = nullptr) const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    series_.snapshot(out, sketches);
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  TimeSeries series_;
+};
+
+}  // namespace lsm::obs

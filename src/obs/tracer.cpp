@@ -131,6 +131,8 @@ const char* event_kind_name(EventKind kind) noexcept {
       return "channel_state";
     case EventKind::kLayerShed:
       return "layer_shed";
+    case EventKind::kSloBreach:
+      return "slo_breach";
   }
   return "unknown";
 }

@@ -1,0 +1,205 @@
+// QuantileSketch: fixed geometry, clamping contract, and the merge
+// property the health plane's determinism rests on — merging any
+// partition of an observation multiset reproduces the unpartitioned
+// sketch bit for bit.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/sketch.h"
+#include "sim/rng.h"
+
+namespace lsm::obs {
+namespace {
+
+TEST(QuantileSketch, BucketZeroHoldsZeroNegativeAndNonFinite) {
+  EXPECT_EQ(QuantileSketch::bucket_index(0.0), 0);
+  EXPECT_EQ(QuantileSketch::bucket_index(-1.0), 0);
+  EXPECT_EQ(QuantileSketch::bucket_index(
+                std::numeric_limits<double>::quiet_NaN()),
+            0);
+}
+
+TEST(QuantileSketch, BucketBoundsAreConsistentAndMonotone) {
+  // Every positive value's bucket upper bound is >= the value, bounds are
+  // nondecreasing in the index, and adjacent sub-buckets split octaves.
+  double previous = 0.0;
+  for (int index = 0; index < QuantileSketch::kBuckets - 1; ++index) {
+    const double upper = QuantileSketch::bucket_upper(index);
+    EXPECT_GE(upper, previous) << "bucket " << index;
+    previous = upper;
+  }
+  EXPECT_TRUE(std::isinf(
+      QuantileSketch::bucket_upper(QuantileSketch::kBuckets - 1)));
+
+  sim::Rng rng(0x5eedULL);
+  for (int k = 0; k < 10000; ++k) {
+    const double value = std::ldexp(rng.uniform(0.5, 1.0),
+                                    static_cast<int>(rng.uniform_int(
+                                        QuantileSketch::kMinExponent,
+                                        QuantileSketch::kMaxExponent)));
+    const int index = QuantileSketch::bucket_index(value);
+    ASSERT_GT(index, 0) << value;
+    ASSERT_LT(index, QuantileSketch::kBuckets - 1) << value;
+    EXPECT_LE(value, QuantileSketch::bucket_upper(index)) << value;
+    EXPECT_GT(value, QuantileSketch::bucket_upper(index - 1)) << value;
+  }
+}
+
+TEST(QuantileSketch, OutOfRangeValuesHitTheEdgeBuckets) {
+  // Below the bottom octave: first log bucket. Above the top: overflow.
+  EXPECT_EQ(QuantileSketch::bucket_index(1e-12), 1);
+  EXPECT_EQ(QuantileSketch::bucket_index(1e12),
+            QuantileSketch::kBuckets - 1);
+  QuantileSketch sketch;
+  sketch.observe(1e12);
+  // Overflow samples report the exact observed max, not a bucket bound.
+  EXPECT_EQ(sketch.quantile(1.0), 1e12);
+}
+
+TEST(QuantileSketch, ClampingContractMatchesHistogramMetric) {
+  QuantileSketch sketch;
+  sketch.observe(-3.0);
+  sketch.observe(std::numeric_limits<double>::quiet_NaN());
+  sketch.observe(std::numeric_limits<double>::infinity());
+  sketch.observe(0.5);
+  EXPECT_EQ(sketch.count(), 4u);
+  EXPECT_EQ(sketch.clamped(), 3u);
+  EXPECT_EQ(sketch.buckets()[0], 3u);  // faulty samples land as 0.0
+  EXPECT_EQ(sketch.min(), 0.0);
+  EXPECT_EQ(sketch.max(), 0.5);
+}
+
+TEST(QuantileSketch, EmptySketchReportsZeros) {
+  const QuantileSketch sketch;
+  EXPECT_EQ(sketch.count(), 0u);
+  EXPECT_EQ(sketch.min(), 0.0);
+  EXPECT_EQ(sketch.max(), 0.0);
+  EXPECT_EQ(sketch.quantile(0.5), 0.0);
+}
+
+TEST(QuantileSketch, QuantileWalksRanks) {
+  QuantileSketch sketch;
+  for (int k = 1; k <= 100; ++k) {
+    sketch.observe(static_cast<double>(k));
+  }
+  // The rank-ceil walk returns bucket upper bounds: each quantile's bound
+  // must cover the exact rank statistic and not exceed the next octave.
+  EXPECT_GE(sketch.quantile(0.5), 50.0);
+  EXPECT_LE(sketch.quantile(0.5), 64.0);
+  EXPECT_GE(sketch.quantile(0.99), 99.0);
+  EXPECT_LE(sketch.quantile(0.99), 128.0);
+  EXPECT_EQ(sketch.quantile(0.0), sketch.quantile(1.0 / 100.0));
+}
+
+void expect_identical(const QuantileSketch& a, const QuantileSketch& b) {
+  EXPECT_EQ(a.count(), b.count());
+  EXPECT_EQ(a.clamped(), b.clamped());
+  // min/max and every quantile must match BITWISE.
+  EXPECT_EQ(a.min(), b.min());
+  EXPECT_EQ(a.max(), b.max());
+  for (const double q : {0.0, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+    EXPECT_EQ(a.quantile(q), b.quantile(q)) << "q=" << q;
+  }
+  EXPECT_EQ(a.buckets(), b.buckets());
+}
+
+TEST(QuantileSketch, MergeOfAnyPartitionMatchesUnpartitioned) {
+  sim::Rng rng(0xdecade5ULL);
+  std::vector<double> values;
+  for (int k = 0; k < 20000; ++k) {
+    // Mix magnitudes across many octaves plus occasional faulty samples.
+    const double value = std::ldexp(
+        rng.uniform(0.5, 1.0), static_cast<int>(rng.uniform_int(-20, 20)));
+    values.push_back(rng.bernoulli(0.01) ? -value : value);
+  }
+
+  QuantileSketch whole;
+  for (const double value : values) whole.observe(value);
+
+  for (const int shards : {2, 4, 8, 13}) {
+    std::vector<QuantileSketch> parts(static_cast<std::size_t>(shards));
+    for (std::size_t k = 0; k < values.size(); ++k) {
+      parts[k % static_cast<std::size_t>(shards)].observe(values[k]);
+    }
+    QuantileSketch merged;
+    for (const QuantileSketch& part : parts) merged.merge(part);
+    expect_identical(whole, merged);
+
+    // Merge order cannot matter either (integer adds commute exactly).
+    QuantileSketch reversed;
+    for (auto it = parts.rbegin(); it != parts.rend(); ++it) {
+      reversed.merge(*it);
+    }
+    expect_identical(whole, reversed);
+  }
+}
+
+TEST(QuantileSketch, MergePreservesEmptyMinMax) {
+  QuantileSketch target;
+  const QuantileSketch empty;
+  target.observe(2.0);
+  target.merge(empty);  // merging empty must not disturb min/max
+  EXPECT_EQ(target.min(), 2.0);
+  EXPECT_EQ(target.max(), 2.0);
+
+  QuantileSketch fresh;
+  fresh.merge(target);
+  EXPECT_EQ(fresh.min(), 2.0);
+  EXPECT_EQ(fresh.count(), 1u);
+}
+
+TEST(QuantileSketch, ResetClearsEverything) {
+  QuantileSketch sketch;
+  sketch.observe(1.0);
+  sketch.observe(-1.0);
+  sketch.reset();
+  EXPECT_EQ(sketch.count(), 0u);
+  EXPECT_EQ(sketch.clamped(), 0u);
+  EXPECT_EQ(sketch.max(), 0.0);
+  const QuantileSketch empty;
+  EXPECT_EQ(sketch.buckets(), empty.buckets());
+}
+
+TEST(QuantileSketch, JsonIsByteStableAcrossPartitions) {
+  sim::Rng rng(0xbeefULL);
+  std::vector<double> values;
+  for (int k = 0; k < 5000; ++k) values.push_back(rng.uniform(1e-6, 1e6));
+
+  const auto render = [](const QuantileSketch& sketch) {
+    JsonWriter json;
+    write_sketch_json(json, sketch);
+    return json.take();
+  };
+
+  QuantileSketch whole;
+  for (const double value : values) whole.observe(value);
+  QuantileSketch left;
+  QuantileSketch right;
+  for (std::size_t k = 0; k < values.size(); ++k) {
+    (k < values.size() / 2 ? left : right).observe(values[k]);
+  }
+  QuantileSketch merged;
+  merged.merge(left);
+  merged.merge(right);
+  EXPECT_EQ(render(whole), render(merged));
+}
+
+TEST(SketchMetric, AssignReplacesWholesale) {
+  SketchMetric metric;
+  metric.observe(1.0);
+  metric.observe(2.0);
+  QuantileSketch replacement;
+  replacement.observe(5.0);
+  metric.assign(replacement);
+  const QuantileSketch data = metric.data();
+  EXPECT_EQ(data.count(), 1u);
+  EXPECT_EQ(data.max(), 5.0);
+}
+
+}  // namespace
+}  // namespace lsm::obs

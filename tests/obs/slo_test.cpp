@@ -1,0 +1,166 @@
+// SloTracker: burn-rate arithmetic, the two-window AND gate, and the
+// breach side effects (kSloBreach trace event + FlightRecorder dump).
+// Everything runs against hermetic Tracer/FlightRecorder instances so the
+// process-wide observability state is untouched.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "obs/event.h"
+#include "obs/flight_recorder.h"
+#include "obs/slo.h"
+#include "obs/tracer.h"
+
+namespace lsm::obs {
+namespace {
+
+SloSpec spec(double objective, std::int64_t fast, std::int64_t slow,
+             double threshold = 1.0) {
+  SloSpec s;
+  s.name = "test.slo";
+  s.objective = objective;
+  s.fast_window_epochs = fast;
+  s.slow_window_epochs = slow;
+  s.burn_threshold = threshold;
+  return s;
+}
+
+TEST(SloSpec, ValidatesFields) {
+  EXPECT_THROW(spec(0.0, 1, 4).validate(), std::invalid_argument);
+  EXPECT_THROW(spec(1.0, 1, 4).validate(), std::invalid_argument);
+  EXPECT_THROW(spec(0.9, 0, 4).validate(), std::invalid_argument);
+  EXPECT_THROW(spec(0.9, 8, 4).validate(), std::invalid_argument);
+  EXPECT_THROW(spec(0.9, 1, 4, 0.0).validate(), std::invalid_argument);
+  EXPECT_NO_THROW(spec(0.9, 1, 4).validate());
+}
+
+TEST(SloTracker, BurnRateIsBadFractionOverBudget) {
+  Tracer tracer;
+  FlightRecorder recorder;
+  // objective 0.75 -> budget 0.25 (dyadic, so the arithmetic is exact);
+  // 75/100 good burns the budget exactly at rate 1.0.
+  SloTracker slo(spec(0.75, 4, 4), &tracer, &recorder);
+  const SloState& state = slo.record_epoch(0, 75, 100);
+  EXPECT_EQ(state.fast_good, 75u);
+  EXPECT_EQ(state.fast_total, 100u);
+  EXPECT_EQ(state.fast_burn, 1.0);
+  EXPECT_EQ(state.slow_burn, 1.0);
+}
+
+TEST(SloTracker, RecordingTheSameEpochAccumulates) {
+  Tracer tracer;
+  FlightRecorder recorder;
+  SloTracker slo(spec(0.9, 4, 4), &tracer, &recorder);
+  slo.record_epoch(3, 40, 50);
+  const SloState& state = slo.record_epoch(3, 50, 50);
+  EXPECT_EQ(state.fast_good, 90u);
+  EXPECT_EQ(state.fast_total, 100u);
+}
+
+TEST(SloTracker, BreachNeedsBothWindowsBurning) {
+  Tracer tracer;
+  FlightRecorder recorder;
+  // objective 0.5 -> budget 0.5; fast window 1 epoch, slow window 4.
+  SloTracker slo(spec(0.5, 1, 4), &tracer, &recorder);
+  for (std::int64_t epoch = 0; epoch < 3; ++epoch) {
+    EXPECT_FALSE(slo.record_epoch(epoch, 100, 100).breaching);
+  }
+  // Epoch 3 all-bad: fast burn 2.0 but slow = 100 bad / 400 total ->
+  // burn 0.5 < 1.0. One bad epoch must not page.
+  const SloState& fast_only = slo.record_epoch(3, 0, 100);
+  EXPECT_EQ(fast_only.fast_burn, 2.0);
+  EXPECT_EQ(fast_only.slow_burn, 0.5);
+  EXPECT_FALSE(fast_only.breaching);
+  EXPECT_EQ(fast_only.breaches, 0u);
+  // Epoch 4 all-bad: slow window is now epochs 1..4 = 200/400 bad ->
+  // burn 1.0. Both windows at threshold: breach.
+  const SloState& breached = slo.record_epoch(4, 0, 100);
+  EXPECT_EQ(breached.slow_burn, 1.0);
+  EXPECT_TRUE(breached.breaching);
+  EXPECT_EQ(breached.breaches, 1u);
+}
+
+TEST(SloTracker, BreachesCountTransitionsNotEpochs) {
+  Tracer tracer;
+  FlightRecorder recorder;
+  SloTracker slo(spec(0.5, 1, 2), &tracer, &recorder);
+  slo.record_epoch(0, 0, 100);
+  EXPECT_EQ(slo.state().breaches, 1u);
+  // Staying in breach does not re-count.
+  slo.record_epoch(1, 0, 100);
+  EXPECT_TRUE(slo.state().breaching);
+  EXPECT_EQ(slo.state().breaches, 1u);
+  // Recover (fast window all good), then breach again: second transition.
+  slo.record_epoch(2, 100, 100);
+  slo.record_epoch(3, 100, 100);
+  EXPECT_FALSE(slo.state().breaching);
+  slo.record_epoch(4, 0, 100);
+  EXPECT_EQ(slo.state().breaches, 2u);
+}
+
+TEST(SloTracker, OldEpochsAgeOutOfTheSlowWindow) {
+  Tracer tracer;
+  FlightRecorder recorder;
+  SloTracker slo(spec(0.9, 2, 4), &tracer, &recorder);
+  slo.record_epoch(0, 0, 100);  // all bad
+  for (std::int64_t epoch = 1; epoch <= 4; ++epoch) {
+    slo.record_epoch(epoch, 100, 100);
+  }
+  // Epoch 0 is 4 epochs old at epoch 4: outside the slow window entirely.
+  const SloState& state = slo.state();
+  EXPECT_EQ(state.slow_total, 400u);
+  EXPECT_EQ(state.slow_good, 400u);
+  EXPECT_EQ(state.slow_burn, 0.0);
+}
+
+TEST(SloTracker, BreachEmitsTraceEventAndTriggersFlightRecorder) {
+  Tracer tracer;
+  FlightRecorder recorder;
+  recorder.set_dump_path(::testing::TempDir() + "slo_breach_dump.txt");
+  recorder.arm(/*per_stream=*/64, &tracer);  // also enables the tracer
+  ASSERT_TRUE(tracer.enabled());
+
+  SloTracker slo(spec(0.5, 1, 1), &tracer, &recorder);
+  slo.record_epoch(7, 0, 10);
+  EXPECT_TRUE(slo.state().breaching);
+  EXPECT_EQ(recorder.dump_count(), 1u);
+
+  // trigger() capture()s the tracer into the retention rings, so the
+  // breach event is read back from the recorder, not a fresh drain.
+  const std::vector<TraceEvent> events = recorder.retained(0);
+  const TraceEvent* breach = nullptr;
+  for (const TraceEvent& event : events) {
+    if (event.kind == static_cast<std::uint16_t>(EventKind::kSloBreach)) {
+      breach = &event;
+    }
+  }
+  ASSERT_NE(breach, nullptr);
+  EXPECT_EQ(breach->picture, 0xffffffffu);  // disjoint from shard events
+  EXPECT_EQ(breach->time, 7.0);             // simulated epoch, not wall time
+  EXPECT_EQ(breach->a, slo.state().fast_burn);
+  EXPECT_EQ(breach->b, slo.state().slow_burn);
+  EXPECT_EQ(breach->c, 1.0);  // cumulative breach count
+
+  // Re-entering breach later fires a second dump.
+  slo.record_epoch(8, 10, 10);
+  ASSERT_FALSE(slo.state().breaching);
+  slo.record_epoch(9, 0, 10);
+  EXPECT_EQ(recorder.dump_count(), 2u);
+  recorder.disarm();
+}
+
+TEST(SloTracker, DisarmedRecorderMeansBreachIsStateOnly) {
+  Tracer tracer;
+  FlightRecorder recorder;
+  SloTracker slo(spec(0.5, 1, 1), &tracer, &recorder);
+  slo.record_epoch(0, 0, 10);
+  EXPECT_TRUE(slo.state().breaching);
+  EXPECT_EQ(recorder.dump_count(), 0u);  // trigger() no-ops when disarmed
+  EXPECT_TRUE(tracer.drain().empty());   // tracer never enabled
+}
+
+}  // namespace
+}  // namespace lsm::obs

@@ -1,0 +1,148 @@
+// TimeSeries: epoch-keyed windows, fixed-point sums, ring wraparound, and
+// the invariance that makes health snapshots byte-stable — a window's
+// aggregates are a pure function of the recorded (epoch, value) multiset.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/timeseries.h"
+
+namespace lsm::obs {
+namespace {
+
+TimeSeriesOptions options(std::size_t windows, std::int64_t epochs,
+                          bool with_sketch = false) {
+  TimeSeriesOptions opt;
+  opt.window_count = windows;
+  opt.epochs_per_window = epochs;
+  opt.with_sketch = with_sketch;
+  return opt;
+}
+
+TEST(TimeSeries, ValidatesOptions) {
+  EXPECT_THROW(TimeSeries{options(0, 1)}, std::invalid_argument);
+  EXPECT_THROW(TimeSeries{options(4, 0)}, std::invalid_argument);
+  TimeSeriesOptions bad_scale = options(4, 1);
+  bad_scale.sum_scale = 0.0;
+  EXPECT_THROW(TimeSeries{bad_scale}, std::invalid_argument);
+}
+
+TEST(TimeSeries, AggregatesWithinAWindow) {
+  TimeSeries series(options(4, 4));
+  series.record(0, 3.0);
+  series.record(1, 1.0);
+  series.record(3, 7.0);
+  std::vector<TimeSeriesWindow> windows;
+  series.snapshot(windows);
+  ASSERT_EQ(windows.size(), 1u);
+  EXPECT_EQ(windows[0].window, 0);
+  EXPECT_EQ(windows[0].count, 3u);
+  EXPECT_EQ(windows[0].sum_fp, 11);  // sum_scale 1.0: integer-exact
+  EXPECT_EQ(windows[0].min, 1.0);
+  EXPECT_EQ(windows[0].max, 7.0);
+}
+
+TEST(TimeSeries, FixedPointSumUsesScale) {
+  TimeSeriesOptions opt = options(2, 1);
+  opt.sum_scale = 1e9;
+  TimeSeries series(opt);
+  series.record(0, 0.25);
+  series.record(0, 0.5);
+  std::vector<TimeSeriesWindow> windows;
+  series.snapshot(windows);
+  ASSERT_EQ(windows.size(), 1u);
+  EXPECT_EQ(windows[0].sum_fp, 750000000);  // llround-exact, order-free
+}
+
+TEST(TimeSeries, RingWrapsKeepingTheNewestWindows) {
+  TimeSeries series(options(4, 2));
+  for (std::int64_t epoch = 0; epoch < 20; ++epoch) {
+    series.record(epoch, static_cast<double>(epoch));
+  }
+  std::vector<TimeSeriesWindow> windows;
+  series.snapshot(windows);
+  // Epochs 0..19 -> windows 0..9; the ring retains windows 6..9,
+  // oldest first.
+  ASSERT_EQ(windows.size(), 4u);
+  for (std::size_t k = 0; k < 4; ++k) {
+    EXPECT_EQ(windows[k].window, static_cast<std::int64_t>(6 + k));
+    EXPECT_EQ(windows[k].count, 2u);
+    EXPECT_EQ(windows[k].min, static_cast<double>((6 + k) * 2));
+    EXPECT_EQ(windows[k].max, static_cast<double>((6 + k) * 2 + 1));
+  }
+  EXPECT_EQ(series.latest_window(), 9);
+}
+
+TEST(TimeSeries, LappedSlotIsResetNotAccumulated) {
+  TimeSeries series(options(2, 1));
+  series.record(0, 100.0);
+  // Window 4 maps onto window 0's slot (4 % 2 == 0): the stale cell must
+  // be discarded, not folded into the new window.
+  series.record(4, 1.0);
+  std::vector<TimeSeriesWindow> windows;
+  series.snapshot(windows);
+  ASSERT_EQ(windows.size(), 1u);
+  EXPECT_EQ(windows[0].window, 4);
+  EXPECT_EQ(windows[0].count, 1u);
+  EXPECT_EQ(windows[0].sum_fp, 1);
+  EXPECT_EQ(windows[0].max, 1.0);
+}
+
+TEST(TimeSeries, SnapshotSkipsGapsAndStaleSlots) {
+  TimeSeries series(options(4, 1));
+  series.record(0, 1.0);
+  series.record(5, 2.0);  // windows 1..4 never recorded; 0's slot lapped
+  std::vector<TimeSeriesWindow> windows;
+  series.snapshot(windows);
+  ASSERT_EQ(windows.size(), 1u);
+  EXPECT_EQ(windows[0].window, 5);
+}
+
+TEST(TimeSeries, PerWindowSketchesTrackTheirWindows) {
+  TimeSeries series(options(3, 2, /*with_sketch=*/true));
+  for (std::int64_t epoch = 0; epoch < 6; ++epoch) {
+    series.record(epoch, static_cast<double>(epoch + 1));
+  }
+  std::vector<TimeSeriesWindow> windows;
+  std::vector<QuantileSketch> sketches;
+  series.snapshot(windows, &sketches);
+  ASSERT_EQ(windows.size(), 3u);
+  ASSERT_EQ(sketches.size(), 3u);
+  for (std::size_t k = 0; k < 3; ++k) {
+    EXPECT_EQ(sketches[k].count(), 2u) << "window " << k;
+    EXPECT_EQ(sketches[k].max(), windows[k].max) << "window " << k;
+  }
+}
+
+TEST(TimeSeries, RecordingOrderWithinAWindowIsInvisible) {
+  // Same multiset, different order: byte-identical snapshots (integer
+  // sums, multiset min/max).
+  const auto render = [](const std::vector<int>& order) {
+    TimeSeries series(options(2, 8, /*with_sketch=*/true));
+    for (const int value : order) {
+      series.record(value % 8, static_cast<double>(value));
+    }
+    std::vector<TimeSeriesWindow> windows;
+    std::vector<QuantileSketch> sketches;
+    series.snapshot(windows, &sketches);
+    JsonWriter json;
+    write_series_json(json, series.options(), windows, &sketches);
+    return json.take();
+  };
+  EXPECT_EQ(render({1, 2, 3, 4, 5, 6, 7}), render({7, 5, 3, 1, 6, 4, 2}));
+}
+
+TEST(TimeSeriesMetric, ThreadSafeWrapperMatchesPlainSeries) {
+  TimeSeriesMetric metric(options(4, 1));
+  metric.record(0, 2.0);
+  metric.record(1, 4.0);
+  std::vector<TimeSeriesWindow> windows;
+  metric.snapshot(windows);
+  ASSERT_EQ(windows.size(), 2u);
+  EXPECT_EQ(windows[1].max, 4.0);
+}
+
+}  // namespace
+}  // namespace lsm::obs

@@ -51,6 +51,14 @@ Refresh the baseline from a trusted run with
 
 which rewrites the baseline as a minimal, diff-friendly document.
 
+`tools/check_bench.py snapshots --log run.log` audits a recorded
+`# metrics:` stream for scrape staleness: every snapshot carries a
+monotonic "seq" (incremented per Registry snapshot) and a simulated-time
+"time_s" stamp, so a healthy stream has strictly increasing seq and
+nondecreasing time_s. A scraper stuck on a cached snapshot (duplicate
+seq) or reading snapshots out of order fails the check — the same
+detection lsm_top's replay mode performs.
+
 `tools/check_bench.py selftest` exercises the compare/update logic against
 synthetic documents in a temporary directory (run by CI so a regression in
 this script cannot silently disable the perf gate).
@@ -294,6 +302,65 @@ def cmd_update(args: argparse.Namespace) -> int:
     return 0
 
 
+_METRICS_PREFIX = "# metrics: "
+
+
+def audit_snapshot_lines(lines: list[str]) -> tuple[int, list[str]]:
+    """Returns (snapshot_count, errors) for a `# metrics:` stream: seq must
+    be strictly increasing and time_s nondecreasing across snapshots."""
+    errors: list[str] = []
+    count = 0
+    last_seq = None
+    last_time = None
+    for number, raw in enumerate(lines, 1):
+        if not raw.startswith(_METRICS_PREFIX):
+            continue
+        try:
+            snapshot = json.loads(raw[len(_METRICS_PREFIX):])
+        except ValueError as error:
+            errors.append(f"line {number}: not JSON ({error})")
+            continue
+        count += 1
+        seq = snapshot.get("seq")
+        time_s = snapshot.get("time_s")
+        if not isinstance(seq, int):
+            errors.append(f"line {number}: snapshot missing integer 'seq'")
+            continue
+        if not isinstance(time_s, (int, float)):
+            errors.append(f"line {number}: snapshot missing 'time_s'")
+            continue
+        if last_seq is not None and seq <= last_seq:
+            errors.append(f"line {number}: stale/duplicate scrape — seq "
+                          f"{seq} after {last_seq}")
+        if last_time is not None and time_s < last_time:
+            errors.append(f"line {number}: time went backwards — time_s "
+                          f"{time_s} after {last_time}")
+        last_seq = seq
+        last_time = time_s
+    return count, errors
+
+
+def cmd_snapshots(args: argparse.Namespace) -> int:
+    if args.log == "-":
+        lines = sys.stdin.read().splitlines()
+    else:
+        with open(args.log, "r", encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+    count, errors = audit_snapshot_lines(lines)
+    for error in errors:
+        print(f"FAIL  {error}", file=sys.stderr)
+    if count == 0:
+        print("no '# metrics:' snapshot lines found", file=sys.stderr)
+        return 1
+    if errors:
+        print(f"\nsnapshot stream check FAILED ({len(errors)} problem(s) "
+              f"in {count} snapshot(s)).", file=sys.stderr)
+        return 1
+    print(f"snapshot stream ok: {count} snapshot(s), seq strictly "
+          f"increasing, time_s nondecreasing.")
+    return 0
+
+
 def cmd_selftest(args: argparse.Namespace) -> int:
     """End-to-end check of compare/update against synthetic documents."""
     del args
@@ -506,6 +573,31 @@ def cmd_selftest(args: argparse.Namespace) -> int:
         except ValueError:
             pass
         checks += 1
+
+        # Snapshot-stream audit: healthy streams pass; a duplicated seq
+        # (cached scrape), a backwards time_s, and a seq-less snapshot all
+        # fail; non-metrics lines are ignored.
+        def metrics_line(seq: int | None, time_s: float) -> str:
+            snapshot: dict = {"time_s": time_s, "counters": {}}
+            if seq is not None:
+                snapshot["seq"] = seq
+            return "# metrics: " + json.dumps(snapshot)
+
+        count, errors = audit_snapshot_lines([
+            "plain output", metrics_line(1, 0.0), metrics_line(2, 1.5),
+            metrics_line(3, 1.5)])
+        assert count == 3 and not errors, errors
+        _, errors = audit_snapshot_lines(
+            [metrics_line(5, 0.0), metrics_line(5, 1.0)])
+        assert any("stale/duplicate" in e for e in errors), errors
+        _, errors = audit_snapshot_lines(
+            [metrics_line(1, 2.0), metrics_line(2, 1.0)])
+        assert any("time went backwards" in e for e in errors), errors
+        _, errors = audit_snapshot_lines([metrics_line(None, 0.0)])
+        assert any("missing integer 'seq'" in e for e in errors), errors
+        count, errors = audit_snapshot_lines(["no snapshots here"])
+        assert count == 0 and not errors
+        checks += 1
     print(f"check_bench selftest passed ({checks} scenarios).")
     return 0
 
@@ -528,6 +620,12 @@ def main() -> int:
     update.add_argument("--baseline", default="BENCH_BASELINE.json")
     update.add_argument("--current", required=True)
     update.set_defaults(func=cmd_update)
+
+    snapshots = subparsers.add_parser(
+        "snapshots", help="audit a '# metrics:' stream for stale scrapes")
+    snapshots.add_argument("--log", required=True,
+                           help="file of captured stdout ('-' for stdin)")
+    snapshots.set_defaults(func=cmd_snapshots)
 
     selftest = subparsers.add_parser(
         "selftest", help="verify this script against synthetic documents")

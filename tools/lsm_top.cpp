@@ -1,0 +1,284 @@
+// lsm_top: live-ish terminal view of the statmux health plane.
+//
+//   lsm_top replay <run.log>   tail a recorded run: every `# metrics:` and
+//                              `# health:` line in the file is parsed
+//                              (obs/json_parse.h) and the LAST snapshot is
+//                              rendered — per-shard quantile tables, trend
+//                              sparklines over the epoch-aligned series,
+//                              and the active SLO burn. `# metrics:` lines
+//                              are additionally checked for staleness:
+//                              snapshot_seq must be strictly increasing
+//                              and time_s nondecreasing, so a scraper
+//                              stuck on a cached snapshot is called out
+//                              instead of silently re-rendered.
+//   lsm_top demo [epochs]      run a built-in deterministic admit/depart
+//                              churn against a sharded StatmuxService,
+//                              print one `# health:` line per 100 epochs
+//                              (the stream `replay` consumes), and render
+//                              the final dashboard.
+//
+// Rendering is plain stdout — no curses, no ANSI cursor games — so the
+// output is pipeable, diffable, and testable under ctest.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "net/statmux.h"
+#include "obs/json_parse.h"
+#include "sim/rng.h"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: lsm_top replay <run.log>\n"
+               "       lsm_top demo [epochs]\n");
+  return 2;
+}
+
+/// Eight-level unicode sparkline over the per-window means of a series
+/// object ({"windows": [{"count", "sum", ...}]}, sums fixed-point by
+/// "scale"). Empty windows render as a space.
+std::string sparkline(const lsm::obs::JsonValue& series) {
+  static const char* kLevels[8] = {"\xe2\x96\x81", "\xe2\x96\x82",
+                                   "\xe2\x96\x83", "\xe2\x96\x84",
+                                   "\xe2\x96\x85", "\xe2\x96\x86",
+                                   "\xe2\x96\x87", "\xe2\x96\x88"};
+  const lsm::obs::JsonValue* windows = series.find("windows");
+  const double scale = series.number_or("scale", 1.0);
+  if (windows == nullptr || !windows->is_array()) return "";
+  std::vector<double> means;
+  double lo = 0.0;
+  double hi = 0.0;
+  bool seeded = false;
+  for (const lsm::obs::JsonValue& window : windows->items) {
+    const double count = window.number_or("count", 0.0);
+    if (count <= 0.0) {
+      means.push_back(-1.0);  // gap
+      continue;
+    }
+    const double mean = window.number_or("sum", 0.0) / scale / count;
+    if (!seeded) {
+      lo = hi = mean;
+      seeded = true;
+    }
+    lo = std::min(lo, mean);
+    hi = std::max(hi, mean);
+    means.push_back(mean);
+  }
+  std::string out;
+  for (const double mean : means) {
+    if (mean < 0.0) {
+      out += ' ';
+      continue;
+    }
+    const double span = hi - lo;
+    const int level =
+        span > 0.0
+            ? std::min(7, static_cast<int>((mean - lo) / span * 8.0))
+            : 0;
+    out += kLevels[level];
+  }
+  return out;
+}
+
+void print_sketch_row(const char* label, const lsm::obs::JsonValue* sketch) {
+  if (sketch == nullptr || !sketch->is_object()) return;
+  std::printf("  %-22s %10.0f %8.0f %12.6f %12.6f %12.6f %12.6f\n", label,
+              sketch->number_or("count", 0.0),
+              sketch->number_or("clamped", 0.0),
+              sketch->number_or("p50", 0.0), sketch->number_or("p99", 0.0),
+              sketch->number_or("p999", 0.0), sketch->number_or("max", 0.0));
+}
+
+void print_series_row(const char* label, const lsm::obs::JsonValue* series) {
+  if (series == nullptr || !series->is_object()) return;
+  double newest = 0.0;
+  const lsm::obs::JsonValue* windows = series->find("windows");
+  if (windows != nullptr && !windows->items.empty()) {
+    const lsm::obs::JsonValue& last = windows->items.back();
+    const double count = last.number_or("count", 0.0);
+    if (count > 0.0) {
+      newest = last.number_or("sum", 0.0) /
+               series->number_or("scale", 1.0) / count;
+    }
+  }
+  std::printf("  %-22s %12.2f  %s\n", label, newest,
+              sparkline(*series).c_str());
+}
+
+/// Renders one health snapshot (the health_json() shape, canonical or
+/// per-shard) as the dashboard.
+void render_health(const lsm::obs::JsonValue& health) {
+  std::printf("=== statmux health @ tick %.0f ===\n",
+              health.number_or("tick", 0.0));
+
+  const lsm::obs::JsonValue* slo = health.find("slo");
+  if (slo != nullptr && slo->is_object()) {
+    const lsm::obs::JsonValue* name = slo->find("name");
+    const lsm::obs::JsonValue* breaching = slo->find("breaching");
+    std::printf(
+        "slo %s  objective %.4f  burn fast %.3f / slow %.3f  %s"
+        "  (breaches: %.0f)\n",
+        name != nullptr && name->is_string() ? name->string.c_str() : "?",
+        slo->number_or("objective", 0.0), slo->number_or("fast_burn", 0.0),
+        slo->number_or("slow_burn", 0.0),
+        breaching != nullptr && breaching->boolean ? "BREACHING" : "ok",
+        slo->number_or("breaches", 0.0));
+  }
+
+  const lsm::obs::JsonValue* sketches = health.find("sketches");
+  if (sketches != nullptr && sketches->is_object()) {
+    std::printf("  %-22s %10s %8s %12s %12s %12s %12s\n", "sketch", "count",
+                "clamped", "p50", "p99", "p999", "max");
+    for (const auto& [name, sketch] : sketches->members) {
+      print_sketch_row(name.c_str(), &sketch);
+    }
+  }
+
+  const lsm::obs::JsonValue* series = health.find("series");
+  if (series != nullptr && series->is_object()) {
+    std::printf("  %-22s %12s  trend\n", "series", "newest");
+    for (const auto& [name, one] : series->members) {
+      print_series_row(name.c_str(), &one);
+    }
+  }
+
+  const lsm::obs::JsonValue* shards = health.find("shards");
+  if (shards != nullptr && shards->is_array()) {
+    std::printf("  %5s %8s %10s %12s %12s %12s\n", "shard", "streams",
+                "pictures", "delay p99", "slack p50", "epoch p99(s)");
+    for (const lsm::obs::JsonValue& shard : shards->items) {
+      const lsm::obs::JsonValue* delay = shard.find("delay_seconds");
+      const lsm::obs::JsonValue* slack = shard.find("delay_slack_seconds");
+      const lsm::obs::JsonValue* wall = shard.find("epoch_seconds");
+      std::printf(
+          "  %5.0f %8.0f %10.0f %12.6f %12.6f %12.6f\n",
+          shard.number_or("shard", 0.0), shard.number_or("streams", 0.0),
+          delay != nullptr ? delay->number_or("count", 0.0) : 0.0,
+          delay != nullptr ? delay->number_or("p99", 0.0) : 0.0,
+          slack != nullptr ? slack->number_or("p50", 0.0) : 0.0,
+          wall != nullptr ? wall->number_or("p99", 0.0) : 0.0);
+    }
+  }
+}
+
+constexpr const char* kMetricsPrefix = "# metrics: ";
+constexpr const char* kHealthPrefix = "# health: ";
+
+int cmd_replay(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "lsm_top: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::string line;
+  std::string last_health;
+  int metrics_lines = 0;
+  int health_lines = 0;
+  int stale = 0;
+  double last_seq = 0.0;
+  double last_time = 0.0;
+  while (std::getline(in, line)) {
+    if (line.rfind(kMetricsPrefix, 0) == 0) {
+      const lsm::obs::JsonValue snapshot =
+          lsm::obs::parse_json(line.substr(std::strlen(kMetricsPrefix)));
+      ++metrics_lines;
+      const double seq = snapshot.number_or("seq", 0.0);
+      const double time_s = snapshot.number_or("time_s", 0.0);
+      if (metrics_lines > 1 && (seq <= last_seq || time_s < last_time)) {
+        ++stale;
+        std::printf(
+            "stale scrape: seq %.0f after %.0f, time_s %g after %g\n", seq,
+            last_seq, time_s, last_time);
+      }
+      last_seq = seq;
+      last_time = time_s;
+    } else if (line.rfind(kHealthPrefix, 0) == 0) {
+      last_health = line.substr(std::strlen(kHealthPrefix));
+      ++health_lines;
+    }
+  }
+  std::printf("%s: %d metrics line(s), %d health line(s), %d stale\n",
+              path.c_str(), metrics_lines, health_lines, stale);
+  if (!last_health.empty()) {
+    render_health(lsm::obs::parse_json(last_health));
+  }
+  return stale == 0 ? 0 : 1;
+}
+
+/// Deterministic built-in churn: seeded admissions with randomized
+/// cadences and departures of streams admitted in earlier epochs — a
+/// pocket edition of the StatmuxChurn soak, so the demo output is
+/// reproducible run to run.
+int cmd_demo(int epochs) {
+  lsm::net::StatmuxConfig config;
+  config.shards = 4;
+  config.threads = 2;
+  config.ring_capacity = 4096;
+  config.link_rate_bps = 1e12;
+  lsm::net::StatmuxService service(config);
+
+  lsm::sim::Rng rng(0x70901e5ULL);
+  std::vector<std::uint32_t> live;
+  std::uint32_t next_id = 1;
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    for (int c = 0; c < 16; ++c) {
+      const double admit_p =
+          live.size() < 100 ? 0.9 : (live.size() > 400 ? 0.1 : 0.5);
+      if (live.empty() || rng.bernoulli(admit_p)) {
+        lsm::net::StreamSpec spec;
+        spec.id = next_id++;
+        spec.gop_n = 9;
+        spec.gop_m = 3;
+        spec.params.tau = 1.0 / 30.0;
+        spec.params.D = 0.2;
+        spec.params.H = spec.gop_n;
+        spec.feed_seed = rng.next_u64();
+        spec.period_ticks = static_cast<int>(rng.uniform_int(1, 4));
+        spec.phase_ticks =
+            static_cast<int>(rng.uniform_int(0, spec.period_ticks - 1));
+        if (service.admit(spec)) live.push_back(spec.id);
+      } else {
+        const std::size_t pick = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(live.size()) - 1));
+        service.depart(live[pick]);
+        live[pick] = live.back();
+        live.pop_back();
+      }
+    }
+    service.run_epoch();
+    if ((epoch + 1) % 100 == 0 || epoch + 1 == epochs) {
+      std::printf("# health: %s\n", service.health_json().c_str());
+    }
+  }
+  render_health(lsm::obs::parse_json(service.health_json(true)));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  try {
+    if (command == "replay") {
+      if (argc < 3) return usage();
+      return cmd_replay(argv[2]);
+    }
+    if (command == "demo") {
+      const int epochs = argc > 2 ? std::atoi(argv[2]) : 300;
+      return cmd_demo(epochs < 1 ? 300 : epochs);
+    }
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "lsm_top: %s\n", error.what());
+    return 1;
+  }
+  return usage();
+}

@@ -1,0 +1,35 @@
+# ctest script: lsm_top demo -> replay must round-trip. The demo's
+# `# health:` stream is written to a log; replay parses it back, renders
+# the dashboard, and must find zero stale scrapes.
+set(log "${WORK_DIR}/lsm_top_demo.log")
+
+execute_process(COMMAND ${LSM_TOP} demo 250
+                RESULT_VARIABLE status OUTPUT_VARIABLE demo_out)
+if(NOT status EQUAL 0)
+  message(FATAL_ERROR "lsm_top demo failed: ${status}")
+endif()
+if(NOT demo_out MATCHES "# health: ")
+  message(FATAL_ERROR "demo missing health lines:\n${demo_out}")
+endif()
+if(NOT demo_out MATCHES "statmux health @ tick 250")
+  message(FATAL_ERROR "demo missing the dashboard:\n${demo_out}")
+endif()
+if(NOT demo_out MATCHES "slo statmux.delay_slack")
+  message(FATAL_ERROR "demo missing the SLO row:\n${demo_out}")
+endif()
+file(WRITE ${log} "${demo_out}")
+
+execute_process(COMMAND ${LSM_TOP} replay ${log}
+                RESULT_VARIABLE status OUTPUT_VARIABLE replay_out)
+if(NOT status EQUAL 0)
+  message(FATAL_ERROR "lsm_top replay failed: ${status}\n${replay_out}")
+endif()
+if(NOT replay_out MATCHES "3 health line")
+  message(FATAL_ERROR "replay miscounted health lines:\n${replay_out}")
+endif()
+if(NOT replay_out MATCHES "0 stale")
+  message(FATAL_ERROR "replay reported stale scrapes:\n${replay_out}")
+endif()
+if(NOT replay_out MATCHES "statmux health @ tick 250")
+  message(FATAL_ERROR "replay missing the dashboard:\n${replay_out}")
+endif()

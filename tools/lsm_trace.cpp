@@ -11,6 +11,15 @@
 //   lsm_trace timeline <in.bin> [stream]    print events in canonical
 //                                           order, optionally one stream
 //   lsm_trace summary <in.bin>              per-kind and per-stream counts
+//   lsm_trace quantiles <in.bin> [stream]   per-picture delay quantiles,
+//                                           rebuilt OFFLINE from the
+//                                           recorded picture_scheduled
+//                                           events with the same fixed
+//                                           sketch geometry the live
+//                                           health plane uses — the
+//                                           round-trip test pins its
+//                                           "# sketch:" line bit-exactly
+//                                           against record's live sketch
 //
 // The binary format is obs/trace_io.h's header + raw TraceEvent records;
 // any run with Tracer::global() enabled can produce one.
@@ -26,6 +35,8 @@
 #include "core/smoother.h"
 #include "obs/chrome_trace.h"
 #include "obs/event.h"
+#include "obs/json.h"
+#include "obs/sketch.h"
 #include "obs/trace_io.h"
 #include "obs/tracer.h"
 #include "trace/sequences.h"
@@ -38,8 +49,18 @@ int usage() {
                "       lsm_trace chrome <in.bin> <out.json>\n"
                "       lsm_trace timeline <in.bin> [stream]\n"
                "       lsm_trace summary <in.bin>\n"
+               "       lsm_trace quantiles <in.bin> [stream]\n"
                "sequences: driving1 driving2 tennis backyard\n");
   return 2;
+}
+
+/// The machine-readable sketch line both `record` (live) and `quantiles`
+/// (offline replay) print; the round-trip ctest compares the two strings
+/// byte for byte.
+void print_sketch_line(const lsm::obs::QuantileSketch& sketch) {
+  lsm::obs::JsonWriter json;
+  lsm::obs::write_sketch_json(json, sketch);
+  std::printf("# sketch: %s\n", json.str().c_str());
 }
 
 std::vector<lsm::trace::Trace> pick_sequences(const std::string& name) {
@@ -56,6 +77,7 @@ int cmd_record(const std::string& out_path, const std::string& sequence) {
   lsm::obs::Tracer& tracer = lsm::obs::Tracer::global();
   tracer.clear();
   tracer.set_enabled(true);
+  lsm::obs::QuantileSketch delay_sketch;
   for (std::size_t s = 0; s < traces.size(); ++s) {
     const lsm::obs::StreamScope scope(static_cast<std::uint32_t>(s));
     const lsm::trace::Trace& trace = traces[s];
@@ -64,7 +86,14 @@ int cmd_record(const std::string& out_path, const std::string& sequence) {
     params.H = trace.pattern().N();
     params.D = 0.2;
     params.tau = trace.tau();
-    lsm::core::smooth_basic(trace, params);
+    const lsm::core::SmoothingResult result =
+        lsm::core::smooth_basic(trace, params);
+    // Live health sketch over the run's per-picture delays — the same
+    // doubles the smoother traces as picture_scheduled payload b, so the
+    // offline `quantiles` replay must reproduce this sketch bit-exactly.
+    for (const lsm::core::PictureSend& send : result.sends) {
+      delay_sketch.observe(send.delay);
+    }
   }
   tracer.set_enabled(false);
   std::vector<lsm::obs::TraceEvent> events = tracer.drain();
@@ -72,6 +101,7 @@ int cmd_record(const std::string& out_path, const std::string& sequence) {
   lsm::obs::save_trace_file(out_path, events);
   std::printf("recorded %zu events (%zu streams) -> %s\n", events.size(),
               traces.size(), out_path.c_str());
+  print_sketch_line(delay_sketch);
   return 0;
 }
 
@@ -140,6 +170,35 @@ int cmd_summary(const std::string& in_path) {
   return 0;
 }
 
+int cmd_quantiles(const std::string& in_path, const char* stream_arg) {
+  const std::vector<lsm::obs::TraceEvent> events =
+      lsm::obs::load_trace_file(in_path);
+  const bool filter = stream_arg != nullptr;
+  const std::uint32_t only =
+      filter ? static_cast<std::uint32_t>(std::strtoul(stream_arg, nullptr, 10))
+             : 0;
+  lsm::obs::QuantileSketch sketch;
+  for (const lsm::obs::TraceEvent& event : events) {
+    if (static_cast<lsm::obs::EventKind>(event.kind) !=
+        lsm::obs::EventKind::kPictureScheduled) {
+      continue;
+    }
+    if (filter && event.stream != only) continue;
+    sketch.observe(event.b);  // payload b = delay d_i - (i-1) tau
+  }
+  std::printf("pictures: %llu  (clamped %llu)\n",
+              static_cast<unsigned long long>(sketch.count()),
+              static_cast<unsigned long long>(sketch.clamped()));
+  std::printf("%8s %14s\n", "quantile", "delay(s)");
+  for (const double q : {0.5, 0.9, 0.99, 0.999, 1.0}) {
+    std::printf("%8.3f %14.9f\n", q, sketch.quantile(q));
+  }
+  std::printf("%8s %14.9f\n", "min", sketch.min());
+  std::printf("%8s %14.9f\n", "max", sketch.max());
+  print_sketch_line(sketch);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -158,6 +217,9 @@ int main(int argc, char** argv) {
     }
     if (command == "summary") {
       return cmd_summary(argv[2]);
+    }
+    if (command == "quantiles") {
+      return cmd_quantiles(argv[2], argc > 3 ? argv[3] : nullptr);
     }
   } catch (const std::exception& error) {
     std::fprintf(stderr, "lsm_trace: %s\n", error.what());

@@ -4,10 +4,14 @@ set(bin "${WORK_DIR}/roundtrip.bin")
 set(json "${WORK_DIR}/roundtrip.json")
 
 execute_process(COMMAND ${LSM_TRACE} record ${bin} all
-                RESULT_VARIABLE status)
+                RESULT_VARIABLE status OUTPUT_VARIABLE record_out)
 if(NOT status EQUAL 0)
   message(FATAL_ERROR "lsm_trace record failed: ${status}")
 endif()
+if(NOT record_out MATCHES "# sketch: ([^\n]+)")
+  message(FATAL_ERROR "record missing the sketch line: ${record_out}")
+endif()
+set(live_sketch "${CMAKE_MATCH_1}")
 
 execute_process(COMMAND ${LSM_TRACE} summary ${bin}
                 RESULT_VARIABLE status OUTPUT_VARIABLE summary)
@@ -27,4 +31,22 @@ file(READ ${json} chrome_json)
 string(LENGTH "${chrome_json}" chrome_length)
 if(chrome_length LESS 100 OR NOT chrome_json MATCHES "traceEvents")
   message(FATAL_ERROR "chrome export looks empty (${chrome_length} bytes)")
+endif()
+
+# The offline quantiles replay must rebuild the live sketch BIT-EXACTLY
+# from the recorded picture_scheduled events: same geometry, same
+# observation multiset, byte-identical JSON.
+execute_process(COMMAND ${LSM_TRACE} quantiles ${bin}
+                RESULT_VARIABLE status OUTPUT_VARIABLE quantiles_out)
+if(NOT status EQUAL 0)
+  message(FATAL_ERROR "lsm_trace quantiles failed: ${status}")
+endif()
+if(NOT quantiles_out MATCHES "# sketch: ([^\n]+)")
+  message(FATAL_ERROR "quantiles missing the sketch line: ${quantiles_out}")
+endif()
+set(replayed_sketch "${CMAKE_MATCH_1}")
+if(NOT live_sketch STREQUAL replayed_sketch)
+  message(FATAL_ERROR "offline sketch diverged from the live one:\n"
+                      "  live:     ${live_sketch}\n"
+                      "  replayed: ${replayed_sketch}")
 endif()
